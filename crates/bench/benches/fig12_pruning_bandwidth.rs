@@ -1,0 +1,68 @@
+//! Figure 12: effect of pruning (clipped ReLU + quantization + RLE) on
+//! latency under the two measured transmission rates (87.72 and 12.66
+//! Mbps). The paper reports 10.73% / 31.2% average latency reductions.
+
+use adcnn_bench::{emit_json, print_table};
+use adcnn_netsim::{AdcnnSim, AdcnnSimConfig, LinkParams};
+use adcnn_nn::zoo;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    model: String,
+    bandwidth_mbps: f64,
+    pruned_ms: f64,
+    raw_ms: f64,
+    reduction_pct: f64,
+}
+
+fn run(model: &adcnn_nn::zoo::ModelSpec, link: LinkParams, pruned: bool) -> f64 {
+    let mut cfg = AdcnnSimConfig::paper_testbed(model.clone(), 8);
+    cfg.images = 30;
+    cfg.pipeline = false;
+    cfg.link = link;
+    if !pruned {
+        cfg.compression = None;
+    }
+    AdcnnSim::new(cfg).run().steady_latency_s()
+}
+
+fn main() {
+    let mut rows = Vec::new();
+    for m in zoo::all_models() {
+        for link in [LinkParams::wifi_fast(), LinkParams::wifi_slow()] {
+            let pruned = run(&m, link, true);
+            let raw = run(&m, link, false);
+            rows.push(Row {
+                model: m.name.clone(),
+                bandwidth_mbps: link.bandwidth_bps / 1e6,
+                pruned_ms: pruned * 1e3,
+                raw_ms: raw * 1e3,
+                reduction_pct: (raw - pruned) / raw * 100.0,
+            });
+        }
+    }
+
+    print_table(
+        "Figure 12 — latency with vs without pruning (paper: −10.73% @87.72, −31.2% @12.66)",
+        &["model", "link (Mbps)", "pruned (ms)", "raw (ms)", "reduction"],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.model.clone(),
+                    format!("{:.2}", r.bandwidth_mbps),
+                    format!("{:.1}", r.pruned_ms),
+                    format!("{:.1}", r.raw_ms),
+                    format!("{:.1}%", r.reduction_pct),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    for bw in [87.72, 12.66] {
+        let sel: Vec<&Row> = rows.iter().filter(|r| (r.bandwidth_mbps - bw).abs() < 0.01).collect();
+        let mean = sel.iter().map(|r| r.reduction_pct).sum::<f64>() / sel.len() as f64;
+        println!("mean reduction @ {bw} Mbps: {mean:.1}%");
+    }
+    emit_json("fig12_pruning_bandwidth", &rows);
+}

@@ -1,0 +1,107 @@
+//! Criterion micro-benchmarks: the hot primitives underneath the system —
+//! convolution/gemm throughput, the compression codec, FDSP tile
+//! plumbing, and the scheduler inner loops.
+
+use adcnn_core::compress::{compress, Quantizer, RleCodec};
+use adcnn_core::fdsp::TileGrid;
+use adcnn_core::sched::{StatsCollector, TileAllocator};
+use adcnn_tensor::conv::{conv2d, Conv2dParams};
+use adcnn_tensor::gemm::gemm;
+use adcnn_tensor::Tensor;
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use std::hint::black_box;
+
+fn bench_gemm(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let (m, k, n) = (128, 256, 196);
+    let a: Vec<f32> = (0..m * k).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    let b: Vec<f32> = (0..k * n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    let mut g = c.benchmark_group("gemm");
+    g.throughput(Throughput::Elements((2 * m * k * n) as u64));
+    g.bench_function("128x256x196", |bench| {
+        bench.iter_batched(
+            || vec![0.0f32; m * n],
+            |mut out| {
+                gemm(m, k, n, &a, &b, &mut out, 0.0);
+                black_box(out)
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_conv2d(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let x = Tensor::randn([1, 16, 56, 56], 1.0, &mut rng);
+    let w = Tensor::randn([32, 16, 3, 3], 0.1, &mut rng);
+    let bias = vec![0.0f32; 32];
+    let p = Conv2dParams::same(3);
+    let flops = 2u64 * 32 * 56 * 56 * 16 * 9;
+    let mut g = c.benchmark_group("conv2d");
+    g.throughput(Throughput::Elements(flops));
+    g.bench_function("16->32ch_56x56_k3", |bench| {
+        bench.iter(|| black_box(conv2d(&x, &w, &bias, p)))
+    });
+    g.finish();
+}
+
+fn bench_compression(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let n = 100_352; // one VGG16 tile boundary (512*28*28/4)
+    let xs: Vec<f32> = (0..n)
+        .map(|_| if rng.gen_bool(0.95) { 0.0 } else { rng.gen_range(0.0..1.0f32) })
+        .collect();
+    let q = Quantizer::new(4, 1.0);
+    let mut g = c.benchmark_group("compress");
+    g.throughput(Throughput::Bytes((n * 4) as u64));
+    g.bench_function("pipeline_95pct_sparse", |bench| {
+        bench.iter(|| black_box(compress(&xs, q)))
+    });
+    let levels = q.quantize(&xs);
+    let encoded = RleCodec.encode(&levels);
+    g.bench_function("rle_decode", |bench| {
+        bench.iter(|| black_box(RleCodec.decode(&encoded, n).unwrap()))
+    });
+    g.finish();
+}
+
+fn bench_fdsp(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(4);
+    let x = Tensor::randn([1, 3, 224, 224], 1.0, &mut rng);
+    let grid = TileGrid::new(8, 8);
+    let mut g = c.benchmark_group("fdsp");
+    g.bench_function("stack_8x8_224", |bench| bench.iter(|| black_box(grid.stack(&x))));
+    let stacked = grid.stack(&x);
+    g.bench_function("unstack_8x8_224", |bench| {
+        bench.iter(|| black_box(grid.unstack_assemble(&stacked)))
+    });
+    g.finish();
+}
+
+fn bench_scheduler(c: &mut Criterion) {
+    let speeds: Vec<f64> = (0..8).map(|i| 1.0 + i as f64 * 0.5).collect();
+    let alloc = TileAllocator::unbounded(8);
+    let mut g = c.benchmark_group("scheduler");
+    g.bench_function("allocate_64_tiles_8_nodes", |bench| {
+        let mut rng = StdRng::seed_from_u64(5);
+        bench.iter(|| black_box(alloc.allocate(64, &speeds, &mut rng)))
+    });
+    g.bench_function("stats_update", |bench| {
+        let mut sc = StatsCollector::new(8, 0.9);
+        let counts = [8u32, 8, 8, 8, 5, 5, 3, 3];
+        bench.iter(|| {
+            sc.record_image(&counts);
+            black_box(sc.speed(0))
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_gemm, bench_conv2d, bench_compression, bench_fdsp, bench_scheduler
+}
+criterion_main!(benches);

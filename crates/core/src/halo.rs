@@ -1,0 +1,208 @@
+//! Executable halo-exchange spatial partitioning (Figure 4(c)).
+//!
+//! The naive spatial partition of §3.1 keeps the convolution *exact* by
+//! exchanging the `k/2`-wide border rings ("data halos") between adjacent
+//! tiles before every convolution. This module implements that scheme for
+//! real tensors — both to verify bit-exactness against the monolithic
+//! convolution (the property FDSP deliberately gives up) and to measure the
+//! cross-tile traffic it costs, which the analytic model in
+//! [`crate::partition`] estimates.
+
+use crate::fdsp::TileGrid;
+use adcnn_tensor::conv::{conv2d, Conv2dParams};
+use adcnn_tensor::Tensor;
+
+/// Result of a halo-exchange distributed convolution.
+pub struct HaloConvOutput {
+    /// The assembled output map, identical to the monolithic convolution.
+    pub output: Tensor,
+    /// Cross-tile traffic this layer required, in bits (32-bit activations;
+    /// counts each halo element once per receiving tile).
+    pub exchanged_bits: u64,
+}
+
+/// Distributed same-padded convolution over `grid` tiles with explicit halo
+/// exchange.
+///
+/// Every tile gathers a `halo = k/2` ring from its neighbours (zero where
+/// the ring crosses the real image border — that is ordinary padding), runs
+/// an unpadded convolution on the extended tile, and contributes exactly
+/// its own region of the output. Only stride-1 convolutions are supported —
+/// the configuration the paper's §3.1 analysis covers.
+pub fn conv2d_halo(x: &Tensor, w: &Tensor, bias: &[f32], p: Conv2dParams, grid: TileGrid) -> HaloConvOutput {
+    assert_eq!(p.stride, 1, "halo-exchange partitioning is defined for stride 1");
+    assert_eq!(p.pad, p.kernel / 2, "halo-exchange partitioning expects same padding");
+    let (n, _, h, wdt) = x.shape().nchw();
+    let (oc, _, _, _) = w.shape().nchw();
+    let halo = p.kernel / 2;
+
+    let mut output = Tensor::zeros([n, oc, h, wdt]);
+    let mut exchanged_bits = 0u64;
+    let (_, ic, _, _) = x.shape().nchw();
+
+    for rect in grid.rects(h, wdt) {
+        // Extended tile: own region plus the halo ring. Crop handles the
+        // zero fill at real image borders.
+        let ext = x.crop_spatial(
+            rect.r0 as isize - halo as isize,
+            rect.c0 as isize - halo as isize,
+            rect.h + 2 * halo,
+            rect.w + 2 * halo,
+        );
+        // Halo elements that came from *neighbouring tiles* (i.e. are
+        // inside the image but outside this tile) were transmitted.
+        let inside = |r: isize, c: isize| r >= 0 && c >= 0 && (r as usize) < h && (c as usize) < wdt;
+        let own = |r: isize, c: isize| {
+            r >= rect.r0 as isize
+                && c >= rect.c0 as isize
+                && (r as usize) < rect.r0 + rect.h
+                && (c as usize) < rect.c0 + rect.w
+        };
+        let mut halo_px = 0u64;
+        for r in -(halo as isize)..(rect.h + halo) as isize {
+            for c in -(halo as isize)..(rect.w + halo) as isize {
+                let gr = rect.r0 as isize + r;
+                let gc = rect.c0 as isize + c;
+                if inside(gr, gc) && !own(gr, gc) {
+                    halo_px += 1;
+                }
+            }
+        }
+        exchanged_bits += halo_px * ic as u64 * 32;
+
+        // Unpadded conv over the extended tile yields exactly this tile's
+        // outputs.
+        let tile_out = conv2d(&ext, w, bias, Conv2dParams { kernel: p.kernel, stride: 1, pad: 0 });
+        debug_assert_eq!(tile_out.dims()[2], rect.h);
+        debug_assert_eq!(tile_out.dims()[3], rect.w);
+        output.paste_spatial(&tile_out, rect.r0, rect.c0);
+    }
+
+    HaloConvOutput { output, exchanged_bits }
+}
+
+/// Run a stack of same-padded convolutions with halo exchange before every
+/// layer, accumulating the total cross-tile traffic. This is the §3.1
+/// "naive spatial partitioning" baseline end to end.
+pub fn conv_stack_halo(
+    x: &Tensor,
+    weights: &[(Tensor, Vec<f32>, Conv2dParams)],
+    grid: TileGrid,
+) -> HaloConvOutput {
+    let mut cur = x.clone();
+    let mut bits = 0u64;
+    for (w, b, p) in weights {
+        let out = conv2d_halo(&cur, w, b, *p, grid);
+        bits += out.exchanged_bits;
+        cur = out.output;
+    }
+    HaloConvOutput { output: cur, exchanged_bits: bits }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn halo_conv_is_exact() {
+        // Unlike FDSP, halo exchange reproduces the monolithic result
+        // everywhere — including at tile borders.
+        let mut rng = StdRng::seed_from_u64(1);
+        let x = Tensor::randn([1, 3, 12, 12], 1.0, &mut rng);
+        let w = Tensor::randn([5, 3, 3, 3], 0.4, &mut rng);
+        let b: Vec<f32> = (0..5).map(|i| i as f32 * 0.1).collect();
+        let p = Conv2dParams::same(3);
+        let full = conv2d(&x, &w, &b, p);
+        for grid in [TileGrid::new(2, 2), TileGrid::new(3, 4), TileGrid::new(4, 3)] {
+            let halo = conv2d_halo(&x, &w, &b, p, grid);
+            assert!(halo.output.approx_eq(&full, 1e-4), "grid {grid} diverged");
+            assert!(halo.exchanged_bits > 0);
+        }
+    }
+
+    #[test]
+    fn single_tile_exchanges_nothing() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let x = Tensor::randn([1, 2, 8, 8], 1.0, &mut rng);
+        let w = Tensor::randn([2, 2, 3, 3], 0.4, &mut rng);
+        let out = conv2d_halo(&x, &w, &[], Conv2dParams::same(3), TileGrid::new(1, 1));
+        assert_eq!(out.exchanged_bits, 0);
+    }
+
+    #[test]
+    fn one_by_one_kernel_exchanges_nothing() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let x = Tensor::randn([1, 2, 8, 8], 1.0, &mut rng);
+        let w = Tensor::randn([4, 2, 1, 1], 0.4, &mut rng);
+        let p = Conv2dParams { kernel: 1, stride: 1, pad: 0 };
+        let out = conv2d_halo(&x, &w, &[], p, TileGrid::new(2, 2));
+        assert_eq!(out.exchanged_bits, 0);
+    }
+
+    #[test]
+    fn traffic_grows_with_finer_grids_and_bigger_kernels() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let x = Tensor::randn([1, 4, 24, 24], 1.0, &mut rng);
+        let w3 = Tensor::randn([4, 4, 3, 3], 0.2, &mut rng);
+        let w5 = Tensor::randn([4, 4, 5, 5], 0.2, &mut rng);
+        let t_2x2_k3 =
+            conv2d_halo(&x, &w3, &[], Conv2dParams::same(3), TileGrid::new(2, 2)).exchanged_bits;
+        let t_4x4_k3 =
+            conv2d_halo(&x, &w3, &[], Conv2dParams::same(3), TileGrid::new(4, 4)).exchanged_bits;
+        let t_2x2_k5 =
+            conv2d_halo(&x, &w5, &[], Conv2dParams::same(5), TileGrid::new(2, 2)).exchanged_bits;
+        assert!(t_4x4_k3 > t_2x2_k3, "finer grid must exchange more");
+        assert!(t_2x2_k5 > t_2x2_k3, "larger kernel must exchange more");
+    }
+
+    #[test]
+    fn stack_accumulates_traffic_and_stays_exact() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let x = Tensor::randn([1, 3, 16, 16], 1.0, &mut rng);
+        let p = Conv2dParams::same(3);
+        let layers = vec![
+            (Tensor::randn([6, 3, 3, 3], 0.3, &mut rng), vec![0.0; 6], p),
+            (Tensor::randn([4, 6, 3, 3], 0.3, &mut rng), vec![0.0; 4], p),
+        ];
+        let grid = TileGrid::new(2, 2);
+        let halo = conv_stack_halo(&x, &layers, grid);
+        // monolithic reference
+        let mut cur = x.clone();
+        for (w, b, pp) in &layers {
+            cur = conv2d(&cur, w, b, *pp);
+        }
+        assert!(halo.output.approx_eq(&cur, 1e-4));
+        let single0 = conv2d_halo(&x, &layers[0].0, &layers[0].1, p, grid).exchanged_bits;
+        assert!(halo.exchanged_bits > single0, "second layer added no traffic");
+    }
+
+    #[test]
+    fn measured_traffic_matches_geometry() {
+        // 2x2 grid on a 2-channel 8x8 map with k=3: each tile receives a
+        // 1-px L-shaped ring from its neighbours: tile is 4x4, the in-image
+        // non-own ring around it is 4 + 4 + 1 = 9 px (two edges + corner).
+        let x = Tensor::zeros([1, 2, 8, 8]);
+        let w = Tensor::zeros([1, 2, 3, 3]);
+        let out = conv2d_halo(&x, &w, &[], Conv2dParams::same(3), TileGrid::new(2, 2));
+        let expect = 4u64 * 9 * 2 * 32; // 4 tiles x 9 px x 2 channels x 32 bit
+        assert_eq!(out.exchanged_bits, expect);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_halo_exact_for_random_shapes(
+            h in 6usize..20, w in 6usize..20, rows in 1usize..4, cols in 1usize..4, seed in 0u64..50
+        ) {
+            prop_assume!(h >= rows && w >= cols);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let x = Tensor::randn([1, 2, h, w], 1.0, &mut rng);
+            let wt = Tensor::randn([3, 2, 3, 3], 0.4, &mut rng);
+            let p = Conv2dParams::same(3);
+            let full = conv2d(&x, &wt, &[], p);
+            let halo = conv2d_halo(&x, &wt, &[], p, TileGrid::new(rows, cols));
+            prop_assert!(halo.output.approx_eq(&full, 1e-3));
+        }
+    }
+}

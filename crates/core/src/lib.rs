@@ -1,0 +1,41 @@
+//! # adcnn-core
+//!
+//! The ADCNN paper's primary contribution, as a library:
+//!
+//! - [`fdsp`] — **Fully Decomposable Spatial Partition** (§3.2): tile
+//!   geometry, tile extraction/stacking, and output reassembly. The key
+//!   trick is that a tile convolved with ordinary zero padding behaves
+//!   exactly as FDSP prescribes, so tiles can be processed as independent
+//!   batch items with no cross-tile communication at all.
+//! - [`partition`] — the §3.1 analysis of the alternative strategies
+//!   (batch, channel, spatial-with-halo) with their communication costs,
+//!   plus receptive-field/halo arithmetic shared with the AOFL baseline.
+//! - [`halo`] — an *executable* halo-exchange spatial partition (Figure
+//!   4(c)): bit-exact distributed convolution with measured cross-tile
+//!   traffic, the baseline FDSP eliminates.
+//! - [`channel_part`] — executable channel partitioning with measured
+//!   all-reduce traffic (§3.1's other strawman).
+//! - [`compress`] — the §4 communication-reduction pipeline: clipped
+//!   `ReLU[a,b]` (re-exported from `adcnn-tensor`), a 4-bit linear
+//!   quantizer, and a nibble-oriented run-length codec, with exact byte
+//!   accounting and an analytic wire-size model for the simulator.
+//! - [`wire`] — the Central↔Conv node message format (image id, tile id,
+//!   payload), §6.1.
+//! - [`sched`] — Algorithm 2 (EWMA statistics collection) and Algorithm 3
+//!   (greedy min-makespan tile allocation with storage constraints).
+
+pub mod channel_part;
+pub mod compress;
+pub mod fdsp;
+pub mod halo;
+pub mod partition;
+pub mod sched;
+pub mod wire;
+
+pub use compress::{Quantizer, RleCodec};
+pub use fdsp::TileGrid;
+pub use sched::{StatsCollector, TileAllocator};
+
+/// Re-export of the clipped ReLU activation the compression pipeline starts
+/// with (§4.1).
+pub use adcnn_tensor::activ::ClippedRelu;

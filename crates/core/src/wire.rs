@@ -1,0 +1,163 @@
+//! Central ↔ Conv node message format (§6.1, Figure 8).
+//!
+//! Every tile travels with its image ID `i_id` and tile ID `t_id` so the
+//! Central node can reassemble partial results and attribute them to the
+//! right input, and so late results (after `T_L`) can be discarded safely.
+
+use crate::compress::{Compressed, Quantizer};
+use adcnn_tensor::Tensor;
+use bytes::{BufMut, Bytes, BytesMut};
+use serde::{Deserialize, Serialize};
+
+/// Identifies one tile of one input image.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct TileKey {
+    /// Input-image sequence number (`i_id`).
+    pub image_id: u64,
+    /// Tile index within the image (`t_id`, row-major).
+    pub tile_id: u32,
+}
+
+/// Central → Conv: one input tile to process.
+#[derive(Clone, Debug)]
+pub struct TileTask {
+    /// Which tile of which image this is.
+    pub key: TileKey,
+    /// Tile activations `[1, C, th, tw]` as raw f32 (input images are not
+    /// compressed — they are small relative to intermediate maps).
+    pub tile: Tensor,
+}
+
+impl TileTask {
+    /// Serialized size in bits (payload + header), for transfer modelling.
+    pub fn wire_bits(&self) -> u64 {
+        self.tile.numel() as u64 * 32 + HEADER_BITS
+    }
+}
+
+/// Conv → Central: the compressed intermediate result for one tile.
+#[derive(Clone, Debug)]
+pub struct TileResult {
+    /// Which tile of which image this answers.
+    pub key: TileKey,
+    /// Output tile shape `[1, C, oh, ow]` before compression.
+    pub shape: [usize; 4],
+    /// Compressed payload (§4 pipeline).
+    pub payload: Compressed,
+}
+
+/// Fixed per-message header: image id (64) + tile id (32) + shape (4×32) +
+/// element count (32) + quantizer params (8 + 32).
+pub const HEADER_BITS: u64 = 64 + 32 + 4 * 32 + 32 + 8 + 32;
+
+impl TileResult {
+    /// Wire size in bits including the header.
+    pub fn wire_bits(&self) -> u64 {
+        self.payload.wire_bits() + HEADER_BITS
+    }
+
+    /// Decode the payload back into a tensor (zero-filled on decode failure
+    /// is *not* done here — corrupt payloads surface as `None` so the
+    /// caller can apply the paper's zero-fill policy explicitly).
+    pub fn to_tensor(&self) -> Option<Tensor> {
+        let values = crate::compress::decompress(&self.payload)?;
+        if values.len() != self.shape.iter().product::<usize>() {
+            return None;
+        }
+        Some(Tensor::from_vec(self.shape, values))
+    }
+}
+
+/// Serialize a tensor's raw f32 data (little endian) for transport.
+pub fn tensor_to_bytes(t: &Tensor) -> Bytes {
+    let mut buf = BytesMut::with_capacity(t.numel() * 4);
+    for &v in t.as_slice() {
+        buf.put_f32_le(v);
+    }
+    buf.freeze()
+}
+
+/// Inverse of [`tensor_to_bytes`] given the shape.
+pub fn tensor_from_bytes(shape: &[usize], data: &[u8]) -> Option<Tensor> {
+    let n: usize = shape.iter().product();
+    if data.len() != n * 4 {
+        return None;
+    }
+    let mut values = Vec::with_capacity(n);
+    for chunk in data.chunks_exact(4) {
+        values.push(f32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]));
+    }
+    Some(Tensor::from_vec(shape, values))
+}
+
+/// Build a [`TileResult`] by compressing an output tile.
+pub fn make_result(key: TileKey, tile: &Tensor, quantizer: Quantizer) -> TileResult {
+    let dims = tile.dims();
+    assert_eq!(dims.len(), 4, "tile results are [1,C,H,W]");
+    TileResult {
+        key,
+        shape: [dims[0], dims[1], dims[2], dims[3]],
+        payload: crate::compress::compress(tile.as_slice(), quantizer),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adcnn_tensor::activ::ClippedRelu;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn tensor_bytes_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let t = Tensor::randn([1, 3, 4, 5], 1.0, &mut rng);
+        let b = tensor_to_bytes(&t);
+        assert_eq!(b.len(), 60 * 4);
+        let back = tensor_from_bytes(&[1, 3, 4, 5], &b).unwrap();
+        assert!(back.approx_eq(&t, 0.0));
+    }
+
+    #[test]
+    fn tensor_from_bytes_rejects_bad_length() {
+        assert!(tensor_from_bytes(&[2, 2], &[0u8; 15]).is_none());
+    }
+
+    #[test]
+    fn result_roundtrip_within_quant_error() {
+        let cr = ClippedRelu::new(0.1, 1.1);
+        let q = Quantizer::paper_default(cr);
+        let mut rng = StdRng::seed_from_u64(2);
+        let raw = Tensor::randn([1, 4, 6, 6], 0.5, &mut rng);
+        let clipped = cr.forward(&raw);
+        let key = TileKey { image_id: 7, tile_id: 3 };
+        let res = make_result(key, &clipped, q);
+        assert_eq!(res.key, key);
+        let back = res.to_tensor().unwrap();
+        assert!(back.approx_eq(&clipped, q.max_error() + 1e-6));
+    }
+
+    #[test]
+    fn wire_bits_accounts_header() {
+        let q = Quantizer::new(4, 1.0);
+        let t = Tensor::zeros([1, 1, 8, 8]);
+        let res = make_result(TileKey { image_id: 0, tile_id: 0 }, &t, q);
+        assert!(res.wire_bits() >= HEADER_BITS);
+        assert_eq!(res.wire_bits(), res.payload.wire_bits() + HEADER_BITS);
+    }
+
+    #[test]
+    fn task_wire_bits() {
+        let t = TileTask {
+            key: TileKey { image_id: 1, tile_id: 2 },
+            tile: Tensor::zeros([1, 3, 28, 28]),
+        };
+        assert_eq!(t.wire_bits(), 3 * 28 * 28 * 32 + HEADER_BITS);
+    }
+
+    #[test]
+    fn tile_keys_order_by_image_then_tile() {
+        let a = TileKey { image_id: 1, tile_id: 9 };
+        let b = TileKey { image_id: 2, tile_id: 0 };
+        assert!(a < b);
+    }
+}

@@ -1,0 +1,314 @@
+//! Minimal discrete-event machinery: a deterministic event queue, a FIFO
+//! transfer resource, and a CPU with a piecewise-constant speed schedule.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A scheduled event: fires at `time`; ties break by insertion sequence so
+/// runs are fully deterministic.
+struct Entry<E> {
+    time: f64,
+    seq: u64,
+    ev: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert to get earliest-first.
+        other
+            .time
+            .total_cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Deterministic min-heap of timed events.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    seq: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        EventQueue { heap: BinaryHeap::new(), seq: 0 }
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedule `ev` at absolute time `time` (seconds).
+    pub fn push(&mut self, time: f64, ev: E) {
+        assert!(time.is_finite(), "event time must be finite");
+        self.heap.push(Entry { time, seq: self.seq, ev });
+        self.seq += 1;
+    }
+
+    /// Pop the earliest event.
+    pub fn pop(&mut self) -> Option<(f64, E)> {
+        self.heap.pop().map(|e| (e.time, e.ev))
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if nothing is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+/// A serially-shared FIFO resource (the half-duplex WiFi channel, a CPU
+/// without preemption). Callers must acquire in nondecreasing `now` order —
+/// which the event loop guarantees.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FifoResource {
+    free_at: f64,
+    busy_total: f64,
+}
+
+impl FifoResource {
+    /// New, idle resource.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Occupy the resource for `duration` starting no earlier than `now`.
+    /// Returns `(start, end)`.
+    pub fn acquire(&mut self, now: f64, duration: f64) -> (f64, f64) {
+        assert!(duration >= 0.0, "negative duration");
+        let start = now.max(self.free_at);
+        let end = start + duration;
+        self.free_at = end;
+        self.busy_total += duration;
+        (start, end)
+    }
+
+    /// Time the resource becomes free.
+    pub fn free_at(&self) -> f64 {
+        self.free_at
+    }
+
+    /// Total busy seconds so far.
+    pub fn busy_total(&self) -> f64 {
+        self.busy_total
+    }
+}
+
+/// Piecewise-constant speed multiplier over time: `(from_time, multiplier)`
+/// change points, sorted by time. Before the first change point the
+/// multiplier is 1.0. Models CPUlimit-style throttling (§7.3).
+#[derive(Clone, Debug, Default)]
+pub struct SpeedSchedule {
+    points: Vec<(f64, f64)>,
+}
+
+impl SpeedSchedule {
+    /// Constant full speed.
+    pub fn constant() -> Self {
+        Self::default()
+    }
+
+    /// From explicit change points; must be time-sorted with positive or
+    /// zero multipliers (zero = node dead from that point).
+    pub fn from_points(points: Vec<(f64, f64)>) -> Self {
+        for w in points.windows(2) {
+            assert!(w[0].0 <= w[1].0, "schedule not time-sorted");
+        }
+        for &(_, m) in &points {
+            assert!(m >= 0.0, "negative multiplier");
+        }
+        SpeedSchedule { points }
+    }
+
+    /// Throttle to `mult` from time `t` onward.
+    pub fn throttle_at(t: f64, mult: f64) -> Self {
+        Self::from_points(vec![(t, mult)])
+    }
+
+    /// The multiplier in effect at time `t`.
+    pub fn multiplier_at(&self, t: f64) -> f64 {
+        let mut m = 1.0;
+        for &(from, mult) in &self.points {
+            if from <= t {
+                m = mult;
+            } else {
+                break;
+            }
+        }
+        m
+    }
+
+    /// Finish time for `work` seconds of full-speed execution starting at
+    /// `start`, honoring the multiplier schedule. Returns `f64::INFINITY`
+    /// if the schedule drops to 0 before the work completes.
+    pub fn finish_time(&self, start: f64, work: f64) -> f64 {
+        if work <= 0.0 {
+            return start;
+        }
+        let mut t = start;
+        let mut remaining = work;
+        // Walk segment boundaries after `start`.
+        let mut boundaries: Vec<f64> =
+            self.points.iter().map(|&(from, _)| from).filter(|&b| b > start).collect();
+        boundaries.push(f64::INFINITY);
+        for b in boundaries {
+            let m = self.multiplier_at(t);
+            if m <= 0.0 {
+                if b.is_infinite() {
+                    return f64::INFINITY;
+                }
+                t = b;
+                continue;
+            }
+            let seg = b - t;
+            let can_do = seg * m;
+            if can_do >= remaining {
+                return t + remaining / m;
+            }
+            remaining -= can_do;
+            t = b;
+        }
+        f64::INFINITY
+    }
+}
+
+/// A CPU processing work items FIFO under a [`SpeedSchedule`].
+#[derive(Clone, Debug)]
+pub struct ThrottledCpu {
+    /// The speed schedule (shared with metrics readers).
+    pub schedule: SpeedSchedule,
+    free_at: f64,
+    busy_total: f64,
+}
+
+impl ThrottledCpu {
+    /// Idle CPU with the given schedule.
+    pub fn new(schedule: SpeedSchedule) -> Self {
+        ThrottledCpu { schedule, free_at: 0.0, busy_total: 0.0 }
+    }
+
+    /// Enqueue `work` full-speed seconds arriving at `now`; returns
+    /// `(start, end)` of the execution.
+    pub fn run(&mut self, now: f64, work: f64) -> (f64, f64) {
+        let start = now.max(self.free_at);
+        let end = self.schedule.finish_time(start, work);
+        if end.is_finite() {
+            self.free_at = end;
+            self.busy_total += end - start;
+        } else {
+            // Dead node: park the CPU forever.
+            self.free_at = f64::MAX;
+        }
+        (start, end)
+    }
+
+    /// Wall-clock busy time so far.
+    pub fn busy_total(&self) -> f64 {
+        self.busy_total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn queue_orders_by_time_then_seq() {
+        let mut q = EventQueue::new();
+        q.push(2.0, "b");
+        q.push(1.0, "a");
+        q.push(2.0, "c");
+        assert_eq!(q.pop().unwrap(), (1.0, "a"));
+        assert_eq!(q.pop().unwrap(), (2.0, "b"));
+        assert_eq!(q.pop().unwrap(), (2.0, "c"));
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn fifo_resource_serializes() {
+        let mut r = FifoResource::new();
+        let (s1, e1) = r.acquire(0.0, 2.0);
+        let (s2, e2) = r.acquire(1.0, 3.0);
+        assert_eq!((s1, e1), (0.0, 2.0));
+        assert_eq!((s2, e2), (2.0, 5.0)); // waits for first transfer
+        let (s3, _) = r.acquire(9.0, 1.0);
+        assert_eq!(s3, 9.0); // idle gap
+        assert_eq!(r.busy_total(), 6.0);
+    }
+
+    #[test]
+    fn schedule_constant_is_identity() {
+        let s = SpeedSchedule::constant();
+        assert_eq!(s.finish_time(3.0, 2.0), 5.0);
+        assert_eq!(s.multiplier_at(100.0), 1.0);
+    }
+
+    #[test]
+    fn schedule_throttle_halves_speed() {
+        let s = SpeedSchedule::throttle_at(10.0, 0.5);
+        // entirely before throttle
+        assert_eq!(s.finish_time(0.0, 5.0), 5.0);
+        // entirely after throttle: 4s of work at 0.5 = 8s
+        assert_eq!(s.finish_time(20.0, 4.0), 28.0);
+        // straddling: 2s at full (8..10), then 3s of work at 0.5 = 6s
+        assert_eq!(s.finish_time(8.0, 5.0), 16.0);
+    }
+
+    #[test]
+    fn schedule_zero_speed_never_finishes() {
+        let s = SpeedSchedule::throttle_at(5.0, 0.0);
+        assert_eq!(s.finish_time(0.0, 4.0), 4.0);
+        assert!(s.finish_time(0.0, 10.0).is_infinite());
+        assert!(s.finish_time(6.0, 0.001).is_infinite());
+    }
+
+    #[test]
+    fn schedule_recovery_resumes_work() {
+        // dead from 1..3, then full speed again
+        let s = SpeedSchedule::from_points(vec![(1.0, 0.0), (3.0, 1.0)]);
+        // 2s of work starting at 0: 1s done by t=1, stall 1..3, finish at 4
+        assert_eq!(s.finish_time(0.0, 2.0), 4.0);
+    }
+
+    #[test]
+    fn cpu_fifo_and_busy_accounting() {
+        let mut cpu = ThrottledCpu::new(SpeedSchedule::constant());
+        let (s1, e1) = cpu.run(0.0, 2.0);
+        let (s2, e2) = cpu.run(0.5, 1.0);
+        assert_eq!((s1, e1), (0.0, 2.0));
+        assert_eq!((s2, e2), (2.0, 3.0));
+        assert_eq!(cpu.busy_total(), 3.0);
+    }
+
+    #[test]
+    fn cpu_dead_node_parks() {
+        let mut cpu = ThrottledCpu::new(SpeedSchedule::throttle_at(0.0, 0.0));
+        let (_, end) = cpu.run(1.0, 1.0);
+        assert!(end.is_infinite());
+        let (_, end2) = cpu.run(2.0, 1.0);
+        assert!(end2.is_infinite());
+    }
+
+    #[test]
+    #[should_panic]
+    fn schedule_rejects_unsorted() {
+        SpeedSchedule::from_points(vec![(5.0, 0.5), (1.0, 1.0)]);
+    }
+}

@@ -1,0 +1,32 @@
+//! # adcnn-netsim
+//!
+//! Deterministic discrete-event simulator standing in for the paper's
+//! physical testbed (a WiFi cluster of Raspberry Pi 3B+ devices plus an EC2
+//! p3.2xlarge "cloud"). It reuses the *actual* scheduling code from
+//! [`adcnn_core`] (Algorithms 2 and 3) and the cost model from
+//! [`adcnn_nn::cost`], so the simulated Central node takes exactly the
+//! decisions the real runtime takes — only compute and transfer durations
+//! are modeled instead of executed.
+//!
+//! Modules:
+//! - [`engine`] — minimal event queue, FIFO resources, throttleable CPUs.
+//! - [`profiles`] — calibrated bandwidths, device profiles and per-model
+//!   compression sparsities (Table 2).
+//! - [`cluster`] — the ADCNN Central + Conv-node cluster simulation
+//!   (Figures 11–13, 15, Table 3).
+//! - [`schemes`] — the comparison schemes: single-device, remote-cloud,
+//!   Neurosurgeon and AOFL (Figures 11, 14).
+//! - [`power`] — the energy/memory model behind Figure 13's right panel.
+//! - [`planner`] — a deployment planner that jointly picks the partition
+//!   grid and split depth under an operator accuracy floor (the paper's
+//!   §7.2 closing suggestion, as an API).
+
+pub mod cluster;
+pub mod engine;
+pub mod planner;
+pub mod power;
+pub mod profiles;
+pub mod schemes;
+
+pub use cluster::{AdcnnSim, AdcnnSimConfig, ImageStats, SimNode, SimSummary, ThrottleSchedule, TimerPolicy};
+pub use profiles::LinkParams;

@@ -1,0 +1,454 @@
+//! Trainable layers with explicit forward contexts.
+//!
+//! Every layer's `forward` returns its output plus a [`Ctx`] capturing what
+//! the backward pass needs. Contexts are externalized (rather than stored in
+//! the layer) so the same layer weights can process many FDSP tiles within
+//! one training step and accumulate gradients across all of them.
+
+use adcnn_tensor::activ::{self, ClippedRelu};
+use adcnn_tensor::conv::{conv2d, conv2d_backward, Conv2dParams};
+use adcnn_tensor::linear::{linear, linear_backward};
+use adcnn_tensor::norm::{BatchNorm, BnCtx};
+use adcnn_tensor::pool::{
+    avgpool2d, avgpool2d_backward, global_avgpool, global_avgpool_backward, maxpool2d,
+    maxpool2d_backward, MaxPoolOut, Pool2dParams,
+};
+use adcnn_tensor::Tensor;
+use rand::Rng;
+
+/// A learnable parameter: value, gradient accumulator, and SGD momentum
+/// buffer, all the same shape.
+#[derive(Clone, Debug)]
+pub struct Param {
+    /// Current value.
+    pub value: Tensor,
+    /// Accumulated gradient (summed over tiles/microbatches since the last
+    /// optimizer step).
+    pub grad: Tensor,
+    /// SGD momentum (velocity) buffer.
+    pub vel: Tensor,
+}
+
+impl Param {
+    /// Wrap an initial value with zeroed gradient and velocity.
+    pub fn new(value: Tensor) -> Self {
+        let grad = Tensor::zeros(value.dims());
+        let vel = Tensor::zeros(value.dims());
+        Param { value, grad, vel }
+    }
+
+    /// Zero the gradient accumulator.
+    pub fn zero_grad(&mut self) {
+        self.grad.fill_zero();
+    }
+}
+
+/// Straight-through-estimator quantizer used **inside the training graph**
+/// (paper §4.2 / Figure 7(b)): forward rounds activations in `[0, range]` to
+/// `2^bits − 1` uniform levels; backward passes full-precision gradients.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct QuantizeSte {
+    /// Bit width (the paper uses 4).
+    pub bits: u8,
+    /// Upper end of the representable range; with a preceding clipped
+    /// `ReLU[a,b]` this is `b − a`.
+    pub range: f32,
+}
+
+impl QuantizeSte {
+    /// Construct; panics on zero bits or non-positive range.
+    pub fn new(bits: u8, range: f32) -> Self {
+        assert!(bits >= 1 && bits <= 16, "bits must be in 1..=16");
+        assert!(range > 0.0, "range must be positive");
+        QuantizeSte { bits, range }
+    }
+
+    /// Number of non-zero quantization levels (`2^bits − 1`).
+    #[inline]
+    pub fn levels(&self) -> u32 {
+        (1u32 << self.bits) - 1
+    }
+
+    /// Quantize one value (clamps into `[0, range]` first).
+    #[inline]
+    pub fn apply(&self, x: f32) -> f32 {
+        let l = self.levels() as f32;
+        let x = x.clamp(0.0, self.range);
+        (x / self.range * l).round() * self.range / l
+    }
+}
+
+/// A single differentiable layer.
+#[derive(Clone)]
+pub enum Layer {
+    /// 2-D convolution with bias.
+    Conv2d {
+        /// Filter weights `[OC, IC, K, K]`.
+        w: Param,
+        /// Bias `[OC]`.
+        b: Param,
+        /// Stride/padding/kernel hyper-parameters.
+        p: Conv2dParams,
+    },
+    /// Batch normalization (learnable γ/β carried inside [`BatchNorm`]).
+    BatchNorm {
+        /// The normalization state (γ, β, running stats).
+        bn: BatchNorm,
+        /// Gradient/velocity for γ.
+        g_gamma: Param,
+        /// Gradient/velocity for β.
+        g_beta: Param,
+    },
+    /// Standard ReLU.
+    Relu,
+    /// The paper's clipped `ReLU[a,b]` (§4.1).
+    ClippedRelu(ClippedRelu),
+    /// Straight-through quantizer (§4.2), active in forward only.
+    Quantize(QuantizeSte),
+    /// Max pooling.
+    MaxPool(Pool2dParams),
+    /// Average pooling.
+    AvgPool(Pool2dParams),
+    /// Global average pooling `[N,C,H,W] → [N,C]`.
+    GlobalAvgPool,
+    /// Reshape `[N,C,H,W] → [N, C·H·W]`.
+    Flatten,
+    /// Fully connected layer.
+    Linear {
+        /// Weights `[D, O]`.
+        w: Param,
+        /// Bias `[O]`.
+        b: Param,
+    },
+    /// Hyperbolic tangent.
+    Tanh,
+}
+
+/// Backward-pass context produced by [`Layer::forward`].
+pub enum Ctx {
+    /// No state needed (inference mode, or stateless layers).
+    None,
+    /// Conv input.
+    Conv(Tensor),
+    /// BatchNorm saved statistics.
+    Bn(BnCtx),
+    /// Pre-activation input (ReLU / clipped ReLU / linear gates).
+    Input(Tensor),
+    /// Max-pool argmax plus input shape.
+    MaxPool {
+        /// Forward argmax bookkeeping.
+        out: MaxPoolOut,
+        /// Shape of the pool input.
+        in_shape: Vec<usize>,
+    },
+    /// Input shape only (avg pool, global pool, flatten).
+    Shape(Vec<usize>),
+    /// Tanh forward output (its backward uses `y`, not `x`).
+    Output(Tensor),
+}
+
+impl Layer {
+    /// Convenience constructor: conv + Kaiming init.
+    pub fn conv2d(ic: usize, oc: usize, k: usize, p: Conv2dParams, rng: &mut impl Rng) -> Self {
+        Layer::Conv2d {
+            w: Param::new(adcnn_tensor::init::kaiming_conv(oc, ic, k, rng)),
+            b: Param::new(Tensor::zeros([oc])),
+            p,
+        }
+    }
+
+    /// Convenience constructor: identity-initialized BN over `c` channels.
+    pub fn batch_norm(c: usize) -> Self {
+        Layer::BatchNorm {
+            bn: BatchNorm::new(c),
+            g_gamma: Param::new(Tensor::zeros([c])),
+            g_beta: Param::new(Tensor::zeros([c])),
+        }
+    }
+
+    /// Convenience constructor: linear + Kaiming init.
+    pub fn linear(d: usize, o: usize, rng: &mut impl Rng) -> Self {
+        Layer::Linear {
+            w: Param::new(adcnn_tensor::init::kaiming_linear(d, o, rng)),
+            b: Param::new(Tensor::zeros([o])),
+        }
+    }
+
+    /// Forward pass. With `train == true` the returned [`Ctx`] carries the
+    /// state backward needs; with `train == false` contexts are elided and
+    /// BN uses its folded running statistics.
+    pub fn forward(&mut self, x: &Tensor, train: bool) -> (Tensor, Ctx) {
+        match self {
+            Layer::Conv2d { w, b, p } => {
+                let y = conv2d(x, &w.value, b.value.as_slice(), *p);
+                let ctx = if train { Ctx::Conv(x.clone()) } else { Ctx::None };
+                (y, ctx)
+            }
+            Layer::BatchNorm { bn, .. } => {
+                if train {
+                    let (y, c) = bn.forward_train(x);
+                    (y, Ctx::Bn(c))
+                } else {
+                    (bn.forward_infer(x), Ctx::None)
+                }
+            }
+            Layer::Relu => {
+                let y = activ::relu(x);
+                let ctx = if train { Ctx::Input(x.clone()) } else { Ctx::None };
+                (y, ctx)
+            }
+            Layer::ClippedRelu(cr) => {
+                let y = cr.forward(x);
+                let ctx = if train { Ctx::Input(x.clone()) } else { Ctx::None };
+                (y, ctx)
+            }
+            Layer::Quantize(q) => {
+                let q = *q;
+                (x.map(|v| q.apply(v)), Ctx::None)
+            }
+            Layer::MaxPool(p) => {
+                let out = maxpool2d(x, *p);
+                if train {
+                    let y = out.output.clone();
+                    (y, Ctx::MaxPool { out, in_shape: x.dims().to_vec() })
+                } else {
+                    (out.output, Ctx::None)
+                }
+            }
+            Layer::AvgPool(p) => {
+                let y = avgpool2d(x, *p);
+                let ctx = if train { Ctx::Shape(x.dims().to_vec()) } else { Ctx::None };
+                (y, ctx)
+            }
+            Layer::GlobalAvgPool => {
+                let y = global_avgpool(x);
+                let ctx = if train { Ctx::Shape(x.dims().to_vec()) } else { Ctx::None };
+                (y, ctx)
+            }
+            Layer::Flatten => {
+                let dims = x.dims().to_vec();
+                let n = dims[0];
+                let rest: usize = dims[1..].iter().product();
+                let y = x.clone().reshape([n, rest]);
+                let ctx = if train { Ctx::Shape(dims) } else { Ctx::None };
+                (y, ctx)
+            }
+            Layer::Linear { w, b } => {
+                let y = linear(x, &w.value, b.value.as_slice());
+                let ctx = if train { Ctx::Input(x.clone()) } else { Ctx::None };
+                (y, ctx)
+            }
+            Layer::Tanh => {
+                let y = activ::tanh(x);
+                let ctx = if train { Ctx::Output(y.clone()) } else { Ctx::None };
+                (y, ctx)
+            }
+        }
+    }
+
+    /// Backward pass: consume the forward context and upstream gradient,
+    /// accumulate parameter gradients, and return the input gradient.
+    pub fn backward(&mut self, ctx: &Ctx, dy: &Tensor) -> Tensor {
+        match (self, ctx) {
+            (Layer::Conv2d { w, b, p }, Ctx::Conv(x)) => {
+                let grads = conv2d_backward(x, &w.value, dy, *p);
+                w.grad.add_scaled(&grads.dweight, 1.0);
+                for (g, &d) in b.grad.as_mut_slice().iter_mut().zip(&grads.dbias) {
+                    *g += d;
+                }
+                grads.dinput
+            }
+            (Layer::BatchNorm { bn, g_gamma, g_beta }, Ctx::Bn(c)) => {
+                let (dx, dgamma, dbeta) = bn.backward(c, dy);
+                for (g, &d) in g_gamma.grad.as_mut_slice().iter_mut().zip(&dgamma) {
+                    *g += d;
+                }
+                for (g, &d) in g_beta.grad.as_mut_slice().iter_mut().zip(&dbeta) {
+                    *g += d;
+                }
+                dx
+            }
+            (Layer::Relu, Ctx::Input(x)) => activ::relu_backward(x, dy),
+            (Layer::ClippedRelu(cr), Ctx::Input(x)) => cr.backward(x, dy),
+            // Straight-through estimator: gradient passes unchanged.
+            (Layer::Quantize(_), _) => dy.clone(),
+            (Layer::MaxPool(_), Ctx::MaxPool { out, in_shape }) => {
+                maxpool2d_backward(out, dy, in_shape)
+            }
+            (Layer::AvgPool(p), Ctx::Shape(s)) => avgpool2d_backward(dy, *p, s),
+            (Layer::GlobalAvgPool, Ctx::Shape(s)) => global_avgpool_backward(dy, s),
+            (Layer::Flatten, Ctx::Shape(s)) => dy.clone().reshape(s.as_slice()),
+            (Layer::Linear { w, b }, Ctx::Input(x)) => {
+                let grads = linear_backward(x, &w.value, dy);
+                w.grad.add_scaled(&grads.dw, 1.0);
+                for (g, &d) in b.grad.as_mut_slice().iter_mut().zip(&grads.db) {
+                    *g += d;
+                }
+                grads.dx
+            }
+            (Layer::Tanh, Ctx::Output(y)) => activ::tanh_backward(y, dy),
+            _ => panic!("layer/context mismatch in backward"),
+        }
+    }
+
+    /// Visit every learnable [`Param`] in this layer. For BN, the γ/β
+    /// values live in the [`BatchNorm`] and are mirrored through the Param
+    /// wrappers around the visit (see the body below).
+    pub fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        match self {
+            Layer::Conv2d { w, b, .. } | Layer::Linear { w, b } => {
+                f(w);
+                f(b);
+            }
+            Layer::BatchNorm { bn, g_gamma, g_beta } => {
+                // Mirror current values into the Param wrappers, let the
+                // optimizer update them, then write back.
+                g_gamma.value = Tensor::from_vec([bn.gamma.len()], bn.gamma.clone());
+                g_beta.value = Tensor::from_vec([bn.beta.len()], bn.beta.clone());
+                f(g_gamma);
+                f(g_beta);
+                bn.gamma.copy_from_slice(g_gamma.value.as_slice());
+                bn.beta.copy_from_slice(g_beta.value.as_slice());
+            }
+            _ => {}
+        }
+    }
+
+    /// Number of learnable scalars in this layer.
+    pub fn param_count(&self) -> usize {
+        match self {
+            Layer::Conv2d { w, b, .. } | Layer::Linear { w, b } => w.value.numel() + b.value.numel(),
+            Layer::BatchNorm { bn, .. } => 2 * bn.channels(),
+            _ => 0,
+        }
+    }
+
+    /// Zero all gradient accumulators.
+    pub fn zero_grad(&mut self) {
+        match self {
+            Layer::Conv2d { w, b, .. } | Layer::Linear { w, b } => {
+                w.zero_grad();
+                b.zero_grad();
+            }
+            Layer::BatchNorm { g_gamma, g_beta, .. } => {
+                g_gamma.zero_grad();
+                g_beta.zero_grad();
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn quantize_ste_rounds_to_levels() {
+        let q = QuantizeSte::new(4, 1.8);
+        assert_eq!(q.levels(), 15);
+        // exact level values are preserved
+        let step = 1.8 / 15.0;
+        for i in 0..=15u32 {
+            let v = i as f32 * step;
+            assert!((q.apply(v) - v).abs() < 1e-6);
+        }
+        // a value halfway between levels rounds to one of its neighbours
+        let mid = 2.5 * step;
+        let got = q.apply(mid);
+        assert!((got - 2.0 * step).abs() < 1e-6 || (got - 3.0 * step).abs() < 1e-6);
+        // clamping
+        assert!((q.apply(99.0) - 1.8).abs() < 1e-6);
+        assert_eq!(q.apply(-5.0), 0.0);
+    }
+
+    #[test]
+    fn quantize_error_bounded_by_half_step() {
+        let q = QuantizeSte::new(4, 2.0);
+        let step = 2.0 / 15.0;
+        for i in 0..200 {
+            let x = i as f32 / 100.0; // [0, 2)
+            assert!((q.apply(x) - x).abs() <= step / 2.0 + 1e-6);
+        }
+    }
+
+    #[test]
+    fn conv_layer_forward_backward_shapes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut l = Layer::conv2d(3, 8, 3, Conv2dParams::same(3), &mut rng);
+        let x = Tensor::randn([2, 3, 8, 8], 1.0, &mut rng);
+        let (y, ctx) = l.forward(&x, true);
+        assert_eq!(y.dims(), &[2, 8, 8, 8]);
+        let dx = l.backward(&ctx, &Tensor::full(y.shape().clone(), 1.0));
+        assert_eq!(dx.dims(), x.dims());
+        // gradient accumulated
+        if let Layer::Conv2d { w, .. } = &l {
+            assert!(w.grad.max_abs() > 0.0);
+        }
+    }
+
+    #[test]
+    fn zero_grad_clears_accumulators() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut l = Layer::linear(4, 2, &mut rng);
+        let x = Tensor::randn([3, 4], 1.0, &mut rng);
+        let (y, ctx) = l.forward(&x, true);
+        l.backward(&ctx, &Tensor::full(y.shape().clone(), 1.0));
+        l.zero_grad();
+        if let Layer::Linear { w, b } = &l {
+            assert_eq!(w.grad.max_abs(), 0.0);
+            assert_eq!(b.grad.max_abs(), 0.0);
+        }
+    }
+
+    #[test]
+    fn flatten_roundtrip() {
+        let mut l = Layer::Flatten;
+        let x = Tensor::from_fn([2, 3, 2, 2], |i| i as f32);
+        let (y, ctx) = l.forward(&x, true);
+        assert_eq!(y.dims(), &[2, 12]);
+        let dx = l.backward(&ctx, &y);
+        assert!(dx.approx_eq(&x, 0.0));
+    }
+
+    #[test]
+    fn grads_accumulate_across_two_tiles() {
+        // The FDSP training pattern: two forward/backward passes with the
+        // same layer must sum gradients.
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut l = Layer::linear(4, 2, &mut rng);
+        let x1 = Tensor::randn([1, 4], 1.0, &mut rng);
+        let x2 = Tensor::randn([1, 4], 1.0, &mut rng);
+
+        let (y1, c1) = l.forward(&x1, true);
+        l.backward(&c1, &Tensor::full(y1.shape().clone(), 1.0));
+        let g_after_one = if let Layer::Linear { w, .. } = &l { w.grad.clone() } else { unreachable!() };
+
+        let (y2, c2) = l.forward(&x2, true);
+        l.backward(&c2, &Tensor::full(y2.shape().clone(), 1.0));
+        let g_after_two = if let Layer::Linear { w, .. } = &l { w.grad.clone() } else { unreachable!() };
+
+        // second pass must have added, not replaced
+        assert!(!g_after_two.approx_eq(&g_after_one, 1e-9));
+    }
+
+    #[test]
+    fn quantize_backward_is_identity() {
+        let mut l = Layer::Quantize(QuantizeSte::new(4, 1.0));
+        let x = Tensor::from_vec([3], vec![0.1, 0.5, 0.93]);
+        let (_, ctx) = l.forward(&x, true);
+        let dy = Tensor::from_vec([3], vec![1.0, -2.0, 3.0]);
+        let dx = l.backward(&ctx, &dy);
+        assert!(dx.approx_eq(&dy, 0.0));
+    }
+
+    #[test]
+    fn inference_mode_returns_no_ctx() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut l = Layer::conv2d(1, 1, 3, Conv2dParams::same(3), &mut rng);
+        let x = Tensor::randn([1, 1, 4, 4], 1.0, &mut rng);
+        let (_, ctx) = l.forward(&x, false);
+        assert!(matches!(ctx, Ctx::None));
+    }
+}

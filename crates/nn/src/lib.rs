@@ -1,0 +1,25 @@
+//! # adcnn-nn
+//!
+//! Neural-network layer over [`adcnn_tensor`]: trainable layers with
+//! forward/backward, a network graph with residual blocks, an SGD optimizer,
+//! the paper's **model zoo** as architecture descriptors
+//! (VGG16, ResNet18/34, YOLOv2, FCN, CharCNN), and the **device cost model**
+//! that turns descriptors into per-layer-block execution-time and ifmap-size
+//! profiles (the paper's Figure 3).
+//!
+//! The crate is deliberately tile-agnostic: FDSP enters one level up
+//! (`adcnn-core`) by stacking tiles into the batch dimension, which makes the
+//! conv zero padding at tile borders *exactly* the FDSP semantics.
+
+pub mod cost;
+pub mod layer;
+mod proptests;
+pub mod network;
+pub mod sgd;
+pub mod small;
+pub mod zoo;
+
+pub use layer::{Ctx, Layer, Param};
+pub use network::{Block, BlockCtx, Network};
+pub use sgd::Sgd;
+pub use zoo::{LayerBlockSpec, ModelSpec};

@@ -1,0 +1,448 @@
+//! Procedurally generated datasets.
+//!
+//! - [`shapes`]: 3×32×32 images of geometric glyphs (the image-classification
+//!   stand-in for Caltech101/ImageNet). The class is determined by *local*
+//!   structure — edges, corners, strokes — which is exactly the feature
+//!   family the paper argues early CNN layers extract (§2.3), so FDSP's
+//!   border effects are exercised realistically.
+//! - [`char_seqs`]: one-hot character sequences where the class is decided
+//!   by which trigram motif appears (the CharCNN/AG-news stand-in).
+
+use adcnn_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A labeled dataset with a train/test split.
+pub struct Dataset {
+    /// Training inputs `[N, C, H, W]`.
+    pub train_x: Tensor,
+    /// Training labels.
+    pub train_y: Vec<usize>,
+    /// Held-out inputs.
+    pub test_x: Tensor,
+    /// Held-out labels.
+    pub test_y: Vec<usize>,
+    /// Number of classes.
+    pub classes: usize,
+}
+
+impl Dataset {
+    /// Number of training samples.
+    pub fn train_len(&self) -> usize {
+        self.train_y.len()
+    }
+
+    /// Number of test samples.
+    pub fn test_len(&self) -> usize {
+        self.test_y.len()
+    }
+
+    /// Slice a training mini-batch given shuffled indices.
+    pub fn batch(&self, idx: &[usize]) -> (Tensor, Vec<usize>) {
+        gather(&self.train_x, &self.train_y, idx)
+    }
+}
+
+fn gather(x: &Tensor, y: &[usize], idx: &[usize]) -> (Tensor, Vec<usize>) {
+    let dims = x.dims();
+    let stride: usize = dims[1..].iter().product();
+    let mut out = Vec::with_capacity(idx.len() * stride);
+    let mut labels = Vec::with_capacity(idx.len());
+    for &i in idx {
+        out.extend_from_slice(&x.as_slice()[i * stride..(i + 1) * stride]);
+        labels.push(y[i]);
+    }
+    let mut shape = vec![idx.len()];
+    shape.extend_from_slice(&dims[1..]);
+    (Tensor::from_vec(shape.as_slice(), out), labels)
+}
+
+/// The shape-glyph classes.
+pub const SHAPE_CLASSES: usize = 6;
+
+/// Draw one glyph class into a `size × size` single-channel canvas.
+fn draw_glyph(class: usize, size: usize, rng: &mut StdRng) -> Vec<f32> {
+    let mut img = vec![0.0f32; size * size];
+    let s = size as f32;
+    // jittered center and scale
+    let cx = s / 2.0 + rng.gen_range(-s / 8.0..s / 8.0);
+    let cy = s / 2.0 + rng.gen_range(-s / 8.0..s / 8.0);
+    let r = rng.gen_range(s / 5.0..s / 3.2);
+    let mut put = |x: isize, y: isize, v: f32| {
+        if x >= 0 && y >= 0 && (x as usize) < size && (y as usize) < size {
+            img[y as usize * size + x as usize] = v;
+        }
+    };
+    match class {
+        // 0: filled circle
+        0 => {
+            for y in 0..size {
+                for x in 0..size {
+                    let d = ((x as f32 - cx).powi(2) + (y as f32 - cy).powi(2)).sqrt();
+                    if d < r {
+                        put(x as isize, y as isize, 1.0);
+                    }
+                }
+            }
+        }
+        // 1: ring (circle outline)
+        1 => {
+            for y in 0..size {
+                for x in 0..size {
+                    let d = ((x as f32 - cx).powi(2) + (y as f32 - cy).powi(2)).sqrt();
+                    if (d - r).abs() < 1.5 {
+                        put(x as isize, y as isize, 1.0);
+                    }
+                }
+            }
+        }
+        // 2: filled square
+        2 => {
+            for y in 0..size {
+                for x in 0..size {
+                    if (x as f32 - cx).abs() < r && (y as f32 - cy).abs() < r {
+                        put(x as isize, y as isize, 1.0);
+                    }
+                }
+            }
+        }
+        // 3: cross (+)
+        3 => {
+            for t in -(r as isize)..=(r as isize) {
+                for w in -1..=1isize {
+                    put(cx as isize + t, cy as isize + w, 1.0);
+                    put(cx as isize + w, cy as isize + t, 1.0);
+                }
+            }
+        }
+        // 4: diagonal X
+        4 => {
+            for t in -(r as isize)..=(r as isize) {
+                for w in -1..=1isize {
+                    put(cx as isize + t + w, cy as isize + t, 1.0);
+                    put(cx as isize + t + w, cy as isize - t, 1.0);
+                }
+            }
+        }
+        // 5: horizontal bars
+        5 => {
+            let gap = (r / 2.0).max(2.0) as isize;
+            for row in [-gap, 0, gap] {
+                for t in -(r as isize)..=(r as isize) {
+                    put(cx as isize + t, cy as isize + row, 1.0);
+                }
+            }
+        }
+        _ => panic!("unknown shape class {class}"),
+    }
+    img
+}
+
+/// Generate the shapes dataset: `train + test` images of `SHAPE_CLASSES`
+/// glyph classes on 3×`size`×`size` canvases with color jitter and noise.
+pub fn shapes(train: usize, test: usize, size: usize, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let total = train + test;
+    let mut xs = Vec::with_capacity(total * 3 * size * size);
+    let mut ys = Vec::with_capacity(total);
+    for i in 0..total {
+        let class = i % SHAPE_CLASSES;
+        ys.push(class);
+        let glyph = draw_glyph(class, size, &mut rng);
+        // random (but bright) color and additive noise per channel
+        for _c in 0..3 {
+            let tint: f32 = rng.gen_range(0.6..1.0);
+            for &g in &glyph {
+                let noise: f32 = rng.gen_range(-0.08..0.08);
+                xs.push((g * tint + noise).clamp(-0.2, 1.2));
+            }
+        }
+        let _ = i;
+    }
+    let x = Tensor::from_vec([total, 3, size, size], xs);
+    split(x, ys, train, test, SHAPE_CLASSES, seed ^ 0x5eed)
+}
+
+/// Alphabet size for [`char_seqs`].
+pub const CHAR_ALPHABET: usize = 16;
+/// Classes for [`char_seqs`].
+pub const CHAR_CLASSES: usize = 4;
+
+/// Generate the character-sequence dataset: random symbol streams of length
+/// `len` in which one of four trigram motifs is planted; the label is the
+/// motif. One-hot `[N, CHAR_ALPHABET, 1, len]`.
+pub fn char_seqs(train: usize, test: usize, len: usize, seed: u64) -> Dataset {
+    assert!(len >= 8, "sequence too short");
+    let motifs: [[usize; 3]; CHAR_CLASSES] = [[1, 2, 3], [4, 5, 6], [7, 8, 9], [10, 11, 12]];
+    let mut rng = StdRng::seed_from_u64(seed);
+    let total = train + test;
+    let mut xs = vec![0.0f32; total * CHAR_ALPHABET * len];
+    let mut ys = Vec::with_capacity(total);
+    for i in 0..total {
+        let class = i % CHAR_CLASSES;
+        ys.push(class);
+        let mut seq: Vec<usize> = (0..len).map(|_| rng.gen_range(0..CHAR_ALPHABET)).collect();
+        // plant the motif at 2-3 random positions
+        for _ in 0..rng.gen_range(2..4) {
+            let pos = rng.gen_range(0..len - 3);
+            seq[pos..pos + 3].copy_from_slice(&motifs[class]);
+        }
+        // make sure no *other* motif appears by clobbering accidental hits
+        for other in 0..CHAR_CLASSES {
+            if other == class {
+                continue;
+            }
+            for p in 0..len - 2 {
+                if seq[p..p + 3] == motifs[other] {
+                    seq[p] = 0;
+                }
+            }
+        }
+        for (p, &sym) in seq.iter().enumerate() {
+            xs[i * CHAR_ALPHABET * len + sym * len + p] = 1.0;
+        }
+    }
+    let x = Tensor::from_vec([total, CHAR_ALPHABET, 1, len], xs);
+    split(x, ys, train, test, CHAR_CLASSES, seed ^ 0xc0de)
+}
+
+/// Shuffle and split into train/test.
+fn split(x: Tensor, y: Vec<usize>, train: usize, test: usize, classes: usize, seed: u64) -> Dataset {
+    let total = train + test;
+    assert_eq!(y.len(), total);
+    let mut order: Vec<usize> = (0..total).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Fisher-Yates
+    for i in (1..total).rev() {
+        let j = rng.gen_range(0..=i);
+        order.swap(i, j);
+    }
+    let (train_x, train_y) = gather(&x, &y, &order[..train]);
+    let (test_x, test_y) = gather(&x, &y, &order[train..]);
+    Dataset { train_x, train_y, test_x, test_y, classes }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_dims_and_labels() {
+        let d = shapes(60, 30, 16, 1);
+        assert_eq!(d.train_x.dims(), &[60, 3, 16, 16]);
+        assert_eq!(d.test_x.dims(), &[30, 3, 16, 16]);
+        assert!(d.train_y.iter().all(|&y| y < SHAPE_CLASSES));
+        assert_eq!(d.classes, SHAPE_CLASSES);
+    }
+
+    #[test]
+    fn shapes_classes_are_distinguishable() {
+        // Mean images of different classes must differ substantially.
+        let d = shapes(120, 0, 16, 2);
+        let stride = 3 * 16 * 16;
+        let mut means = vec![vec![0.0f64; stride]; SHAPE_CLASSES];
+        let mut counts = vec![0usize; SHAPE_CLASSES];
+        for (i, &y) in d.train_y.iter().enumerate() {
+            counts[y] += 1;
+            for j in 0..stride {
+                means[y][j] += d.train_x.as_slice()[i * stride + j] as f64;
+            }
+        }
+        for (m, &c) in means.iter_mut().zip(&counts) {
+            for v in m.iter_mut() {
+                *v /= c.max(1) as f64;
+            }
+        }
+        let dist = |a: &[f64], b: &[f64]| -> f64 {
+            a.iter().zip(b).map(|(x, y)| (x - y).powi(2)).sum::<f64>().sqrt()
+        };
+        for a in 0..SHAPE_CLASSES {
+            for b in a + 1..SHAPE_CLASSES {
+                assert!(dist(&means[a], &means[b]) > 1.0, "classes {a},{b} too similar");
+            }
+        }
+    }
+
+    #[test]
+    fn shapes_deterministic_per_seed() {
+        let a = shapes(20, 10, 16, 7);
+        let b = shapes(20, 10, 16, 7);
+        assert!(a.train_x.approx_eq(&b.train_x, 0.0));
+        assert_eq!(a.train_y, b.train_y);
+        let c = shapes(20, 10, 16, 8);
+        assert!(!a.train_x.approx_eq(&c.train_x, 0.0));
+    }
+
+    #[test]
+    fn char_seqs_one_hot() {
+        let d = char_seqs(40, 20, 32, 3);
+        assert_eq!(d.train_x.dims(), &[40, CHAR_ALPHABET, 1, 32]);
+        // each position has exactly one hot symbol
+        for i in 0..40 {
+            for p in 0..32 {
+                let mut hot = 0;
+                for s in 0..CHAR_ALPHABET {
+                    if d.train_x.at(&[i, s, 0, p]) == 1.0 {
+                        hot += 1;
+                    }
+                }
+                assert_eq!(hot, 1, "sample {i} pos {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn char_seqs_motif_present_only_for_label() {
+        let d = char_seqs(40, 0, 32, 4);
+        let motifs: [[usize; 3]; 4] = [[1, 2, 3], [4, 5, 6], [7, 8, 9], [10, 11, 12]];
+        for i in 0..40 {
+            // reconstruct symbol sequence
+            let seq: Vec<usize> = (0..32)
+                .map(|p| {
+                    (0..CHAR_ALPHABET)
+                        .find(|&s| d.train_x.at(&[i, s, 0, p]) == 1.0)
+                        .unwrap()
+                })
+                .collect();
+            let has = |m: &[usize; 3]| (0..30).any(|p| seq[p..p + 3] == m[..]);
+            let y = d.train_y[i];
+            assert!(has(&motifs[y]), "sample {i}: own motif missing");
+            for other in 0..4 {
+                if other != y {
+                    assert!(!has(&motifs[other]), "sample {i}: foreign motif {other}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batch_gathers_correct_rows() {
+        let d = shapes(10, 5, 16, 5);
+        let (bx, by) = d.batch(&[3, 7]);
+        assert_eq!(bx.dims(), &[2, 3, 16, 16]);
+        assert_eq!(by, vec![d.train_y[3], d.train_y[7]]);
+        let stride = 3 * 16 * 16;
+        assert_eq!(
+            &bx.as_slice()[..stride],
+            &d.train_x.as_slice()[3 * stride..4 * stride]
+        );
+    }
+
+    #[test]
+    fn split_is_shuffled() {
+        // Labels should not come out in strict generation order.
+        let d = shapes(60, 0, 16, 6);
+        let in_order = d.train_y.iter().enumerate().all(|(i, &y)| y == i % SHAPE_CLASSES);
+        assert!(!in_order, "train labels unshuffled");
+    }
+}
+
+/// A dense-prediction (segmentation) dataset: per-pixel labels, class 0 is
+/// background and classes `1..=SHAPE_CLASSES` are glyphs. The FCN stand-in
+/// task (paper §7.1 evaluates FCN on CamVid).
+pub struct SegDataset {
+    /// Training inputs `[N, 3, H, W]`.
+    pub train_x: Tensor,
+    /// Flattened per-pixel training labels, length `N·H·W`.
+    pub train_y: Vec<usize>,
+    /// Held-out inputs.
+    pub test_x: Tensor,
+    /// Flattened per-pixel held-out labels.
+    pub test_y: Vec<usize>,
+    /// Classes including background.
+    pub classes: usize,
+}
+
+impl SegDataset {
+    /// Number of training images.
+    pub fn train_len(&self) -> usize {
+        self.train_x.dims()[0]
+    }
+
+    /// Number of test images.
+    pub fn test_len(&self) -> usize {
+        self.test_x.dims()[0]
+    }
+
+    /// Gather a training mini-batch (inputs + flattened pixel labels).
+    pub fn batch(&self, idx: &[usize]) -> (Tensor, Vec<usize>) {
+        let dims = self.train_x.dims();
+        let stride: usize = dims[1..].iter().product();
+        let hw = dims[2] * dims[3];
+        let mut xs = Vec::with_capacity(idx.len() * stride);
+        let mut ys = Vec::with_capacity(idx.len() * hw);
+        for &i in idx {
+            xs.extend_from_slice(&self.train_x.as_slice()[i * stride..(i + 1) * stride]);
+            ys.extend_from_slice(&self.train_y[i * hw..(i + 1) * hw]);
+        }
+        let shape = [idx.len(), dims[1], dims[2], dims[3]];
+        (Tensor::from_vec(shape, xs), ys)
+    }
+}
+
+/// Generate the shapes *segmentation* dataset: the glyph pixels carry the
+/// glyph's class (1-based), everything else is background (0).
+pub fn shapes_seg(train: usize, test: usize, size: usize, seed: u64) -> SegDataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let total = train + test;
+    let mut xs = Vec::with_capacity(total * 3 * size * size);
+    let mut ys = Vec::with_capacity(total * size * size);
+    for i in 0..total {
+        let class = i % SHAPE_CLASSES;
+        let glyph = draw_glyph(class, size, &mut rng);
+        for &g in &glyph {
+            ys.push(if g > 0.5 { class + 1 } else { 0 });
+        }
+        for _c in 0..3 {
+            let tint: f32 = rng.gen_range(0.6..1.0);
+            for &g in &glyph {
+                let noise: f32 = rng.gen_range(-0.08..0.08);
+                xs.push((g * tint + noise).clamp(-0.2, 1.2));
+            }
+        }
+    }
+    let hw = size * size;
+    let stride = 3 * hw;
+    SegDataset {
+        train_x: Tensor::from_vec([train, 3, size, size], xs[..train * stride].to_vec()),
+        train_y: ys[..train * hw].to_vec(),
+        test_x: Tensor::from_vec([test, 3, size, size], xs[train * stride..].to_vec()),
+        test_y: ys[train * hw..].to_vec(),
+        classes: SHAPE_CLASSES + 1,
+    }
+}
+
+#[cfg(test)]
+mod seg_tests {
+    use super::*;
+
+    #[test]
+    fn seg_labels_align_with_pixels() {
+        let d = shapes_seg(8, 4, 16, 41);
+        assert_eq!(d.train_y.len(), 8 * 256);
+        assert_eq!(d.test_y.len(), 4 * 256);
+        // glyph pixels must carry a non-zero class and match bright pixels
+        let hw = 256;
+        for i in 0..8 {
+            let mut fg = 0usize;
+            for px in 0..hw {
+                let y = d.train_y[i * hw + px];
+                assert!(y <= SHAPE_CLASSES);
+                if y > 0 {
+                    fg += 1;
+                }
+            }
+            assert!(fg > 10, "image {i} has almost no foreground");
+            assert!(fg < hw / 2, "image {i} is mostly foreground");
+        }
+    }
+
+    #[test]
+    fn seg_batch_shapes() {
+        let d = shapes_seg(6, 2, 16, 42);
+        let (x, y) = d.batch(&[1, 4]);
+        assert_eq!(x.dims(), &[2, 3, 16, 16]);
+        assert_eq!(y.len(), 2 * 256);
+        assert_eq!(&y[..256], &d.train_y[256..512]);
+    }
+}

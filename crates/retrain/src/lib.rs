@@ -1,0 +1,22 @@
+//! # adcnn-retrain
+//!
+//! The paper's machine-learning side: synthetic datasets, a training loop,
+//! FDSP-partitioned training graphs (Figure 7), and **Algorithm 1** —
+//! progressive retraining that folds in FDSP, the clipped ReLU and the
+//! quantizer one at a time, recovering accuracy after each step.
+//!
+//! The paper retrains ImageNet/VOC/AG-news models; that is substituted with
+//! procedurally generated tasks (see `DESIGN.md`) whose decisive property is
+//! shared with the originals: labels depend on *local* features that early
+//! conv layers detect, so FDSP's zero-padded tile borders cost a little
+//! accuracy that retraining can win back.
+
+pub mod data;
+pub mod partitioned;
+pub mod progressive;
+pub mod trainer;
+
+pub use data::Dataset;
+pub use partitioned::PartitionedModel;
+pub use progressive::{progressive_retrain, ProgressiveReport, RetrainConfig, StageReport};
+pub use trainer::{train, TrainConfig, TrainReport};

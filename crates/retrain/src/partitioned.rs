@@ -1,0 +1,317 @@
+//! FDSP-partitioned training graph (Figure 7 of the paper).
+//!
+//! The separable prefix runs per tile: tiles are stacked along the batch
+//! dimension, so the prefix's zero-padded convolutions apply FDSP's border
+//! semantics automatically. At the prefix/suffix boundary — the tensor
+//! that would cross the network at inference time — the optional clipped
+//! ReLU and straight-through quantizer are applied, exactly where Figure
+//! 7(b) inserts them. The suffix then runs on the reassembled map.
+
+use adcnn_core::fdsp::TileGrid;
+use adcnn_nn::layer::QuantizeSte;
+use adcnn_nn::small::SmallModel;
+use adcnn_nn::{BlockCtx, Network};
+use adcnn_tensor::activ::ClippedRelu;
+use adcnn_tensor::Tensor;
+
+/// A model whose separable prefix is executed per-FDSP-tile.
+pub struct PartitionedModel {
+    /// The underlying network (prefix blocks + suffix blocks).
+    pub net: Network,
+    /// Number of leading blocks in the separable prefix.
+    pub prefix: usize,
+    /// The FDSP grid; `1×1` means unpartitioned.
+    pub grid: TileGrid,
+    /// Clipped ReLU at the prefix/suffix boundary (§4.1), if enabled.
+    pub boundary_crelu: Option<ClippedRelu>,
+    /// Straight-through quantizer at the boundary (§4.2), if enabled.
+    pub boundary_quant: Option<QuantizeSte>,
+    /// Model metadata (input dims, classes).
+    pub input: (usize, usize, usize),
+    /// Number of classes.
+    pub classes: usize,
+}
+
+/// Backward context of one partitioned forward pass.
+pub struct PartCtx {
+    prefix_ctxs: Vec<BlockCtx>,
+    suffix_ctxs: Vec<BlockCtx>,
+    /// Boundary tensor *before* the clipped ReLU (needed for its backward).
+    pre_crelu: Option<Tensor>,
+}
+
+impl PartitionedModel {
+    /// Wrap a small model without partitioning (grid 1×1).
+    pub fn unpartitioned(m: SmallModel) -> Self {
+        PartitionedModel {
+            net: m.net,
+            prefix: m.separable_prefix,
+            grid: TileGrid::new(1, 1),
+            boundary_crelu: None,
+            boundary_quant: None,
+            input: m.input,
+            classes: m.classes,
+        }
+    }
+
+    /// Wrap a small model with FDSP over `grid`.
+    pub fn fdsp(m: SmallModel, grid: TileGrid) -> Self {
+        let (_, h, w) = m.input;
+        assert!(
+            h % grid.rows == 0 && w % grid.cols == 0,
+            "input {h}x{w} not divisible by grid {grid}"
+        );
+        PartitionedModel {
+            net: m.net,
+            prefix: m.separable_prefix,
+            grid,
+            boundary_crelu: None,
+            boundary_quant: None,
+            input: m.input,
+            classes: m.classes,
+        }
+    }
+
+    /// Enable the boundary clipped ReLU (Algorithm 1, step 4).
+    pub fn with_crelu(mut self, cr: ClippedRelu) -> Self {
+        self.boundary_crelu = Some(cr);
+        self
+    }
+
+    /// Enable the boundary quantizer (Algorithm 1, step 5).
+    pub fn with_quant(mut self, q: QuantizeSte) -> Self {
+        self.boundary_quant = Some(q);
+        self
+    }
+
+    fn tiled(&self) -> bool {
+        self.grid.tiles() > 1
+    }
+
+    /// Training-mode forward: returns logits and the backward context.
+    pub fn forward_train(&mut self, x: &Tensor) -> (Tensor, PartCtx) {
+        self.forward_inner(x, true)
+    }
+
+    /// Inference-mode forward (no context capture, folded BN).
+    pub fn infer(&mut self, x: &Tensor) -> Tensor {
+        self.forward_inner(x, false).0
+    }
+
+    fn forward_inner(&mut self, x: &Tensor, train: bool) -> (Tensor, PartCtx) {
+        let p = self.prefix;
+        let total = self.net.len();
+        // 1. prefix, per tile (stacked into the batch dimension)
+        let (boundary_tiled, prefix_ctxs) = if self.tiled() {
+            let stacked = self.grid.stack(x);
+            self.net.forward_range(&stacked, 0..p, train)
+        } else {
+            self.net.forward_range(x, 0..p, train)
+        };
+        // 2. reassemble
+        let mut boundary = if self.tiled() {
+            self.grid.unstack_assemble(&boundary_tiled)
+        } else {
+            boundary_tiled
+        };
+        // 3. boundary compression ops
+        let mut pre_crelu = None;
+        if let Some(cr) = self.boundary_crelu {
+            if train {
+                pre_crelu = Some(boundary.clone());
+            }
+            boundary = cr.forward(&boundary);
+        }
+        if let Some(q) = self.boundary_quant {
+            boundary = boundary.map(|v| q.apply(v));
+        }
+        // 4. suffix on the full map
+        let (out, suffix_ctxs) = self.net.forward_range(&boundary, p..total, train);
+        (out, PartCtx { prefix_ctxs, suffix_ctxs, pre_crelu })
+    }
+
+    /// Backward pass; accumulates gradients into the network's parameters.
+    pub fn backward(&mut self, ctx: &PartCtx, dlogits: &Tensor) -> Tensor {
+        let p = self.prefix;
+        let total = self.net.len();
+        // suffix
+        let mut d = self.net.backward_range(&ctx.suffix_ctxs, dlogits, p..total);
+        // quantizer: straight-through (full-precision gradients, §4.4)
+        // clipped ReLU: gate on the saved pre-activation
+        if let Some(cr) = self.boundary_crelu {
+            let pre = ctx
+                .pre_crelu
+                .as_ref()
+                .expect("forward_train must be used before backward");
+            d = cr.backward(pre, &d);
+        }
+        // split the boundary gradient back into tiles
+        let d_tiled = if self.tiled() { self.grid.stack_gradient(&d) } else { d };
+        let d_in = self.net.backward_range(&ctx.prefix_ctxs, &d_tiled, 0..p);
+        if self.tiled() {
+            self.grid.unstack_assemble(&d_in)
+        } else {
+            d_in
+        }
+    }
+
+    /// Boundary activations for a batch (used to choose clipped-ReLU
+    /// bounds from output statistics, §7.1).
+    pub fn boundary_activations(&mut self, x: &Tensor) -> Tensor {
+        let p = self.prefix;
+        let (b, _) = if self.tiled() {
+            let stacked = self.grid.stack(x);
+            self.net.forward_range(&stacked, 0..p, false)
+        } else {
+            self.net.forward_range(x, 0..p, false)
+        };
+        if self.tiled() {
+            self.grid.unstack_assemble(&b)
+        } else {
+            b
+        }
+    }
+}
+
+/// Pick clipped-ReLU bounds from boundary-activation statistics: `lo` at
+/// the quantile that yields the target sparsity, `hi` near the top of the
+/// distribution (the paper's "coarse range from output statistics, then
+/// grid search", §7.1, first half).
+pub fn choose_crelu_bounds(acts: &Tensor, target_sparsity: f64) -> ClippedRelu {
+    assert!((0.0..1.0).contains(&target_sparsity));
+    let mut vals: Vec<f32> = acts.as_slice().to_vec();
+    vals.sort_by(f32::total_cmp);
+    let n = vals.len();
+    let lo_idx = ((n as f64 * target_sparsity) as usize).min(n - 2);
+    let hi_idx = ((n as f64 * 0.995) as usize).clamp(lo_idx + 1, n - 1);
+    let lo = vals[lo_idx];
+    let mut hi = vals[hi_idx];
+    if hi <= lo {
+        hi = lo + 1e-3;
+    }
+    ClippedRelu::new(lo, hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adcnn_nn::small::shapes_cnn;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn model(seed: u64) -> SmallModel {
+        let mut rng = StdRng::seed_from_u64(seed);
+        shapes_cnn(6, &mut rng)
+    }
+
+    #[test]
+    fn grid_1x1_matches_plain_network() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let x = Tensor::randn([2, 3, 32, 32], 1.0, &mut rng);
+        let m1 = model(5);
+        let mut m2 = model(5); // same seed -> same weights
+        let mut part = PartitionedModel::unpartitioned(m1);
+        let got = part.infer(&x);
+        let want = m2.net.infer(&x);
+        assert!(got.approx_eq(&want, 1e-5));
+    }
+
+    #[test]
+    fn fdsp_changes_border_math_only_slightly() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let x = Tensor::randn([1, 3, 32, 32], 0.5, &mut rng);
+        let mut plain = PartitionedModel::unpartitioned(model(7));
+        let mut tiled = PartitionedModel::fdsp(model(7), TileGrid::new(2, 2));
+        let a = plain.infer(&x);
+        let b = tiled.infer(&x);
+        // different (border effects) but same scale of logits
+        assert!(!a.approx_eq(&b, 1e-6));
+        assert!(a.max_abs() > 0.0 && b.max_abs() > 0.0);
+        let diff = a.zip_map(&b, |p, q| p - q).max_abs();
+        assert!(diff < 10.0 * a.max_abs().max(1.0), "diff {diff}");
+    }
+
+    #[test]
+    fn backward_runs_and_populates_grads() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let x = Tensor::randn([2, 3, 32, 32], 0.5, &mut rng);
+        let mut m = PartitionedModel::fdsp(model(9), TileGrid::new(2, 2))
+            .with_crelu(ClippedRelu::new(0.0, 2.0))
+            .with_quant(QuantizeSte::new(4, 2.0));
+        let (y, ctx) = m.forward_train(&x);
+        let dl = Tensor::full(y.shape().clone(), 0.1);
+        let dx = m.backward(&ctx, &dl);
+        assert_eq!(dx.dims(), x.dims());
+        let mut any = false;
+        m.net.visit_params(&mut |p| {
+            if p.grad.max_abs() > 0.0 {
+                any = true;
+            }
+        });
+        assert!(any, "no gradients accumulated");
+    }
+
+    #[test]
+    fn fdsp_gradcheck_through_tiling() {
+        // Finite-difference check of the whole partitioned pipeline without
+        // boundary ops (they are piecewise-linear; checked separately).
+        let mut rng = StdRng::seed_from_u64(4);
+        let x = Tensor::randn([1, 3, 8, 8], 0.5, &mut rng);
+        // build a tiny 2-block model on 8x8 inputs
+        let mut net_rng = StdRng::seed_from_u64(77);
+        let same = adcnn_tensor::conv::Conv2dParams::same(3);
+        let net = Network::new(vec![
+            adcnn_nn::Block::Seq(vec![adcnn_nn::Layer::conv2d(3, 4, 3, same, &mut net_rng)]),
+            adcnn_nn::Block::Seq(vec![
+                adcnn_nn::Layer::Flatten,
+                adcnn_nn::Layer::linear(4 * 8 * 8, 3, &mut net_rng),
+            ]),
+        ]);
+        let mut m = PartitionedModel {
+            net,
+            prefix: 1,
+            grid: TileGrid::new(2, 2),
+            boundary_crelu: None,
+            boundary_quant: None,
+            input: (3, 8, 8),
+            classes: 3,
+        };
+        let (y, ctx) = m.forward_train(&x);
+        let dl = Tensor::full(y.shape().clone(), 1.0);
+        let dx = m.backward(&ctx, &dl);
+
+        let eps = 1e-2f32;
+        for &flat in &[0usize, 50, 100, 191] {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[flat] += eps;
+            let mut xm = x.clone();
+            xm.as_mut_slice()[flat] -= eps;
+            let lp = m.infer(&xp).sum();
+            let lm = m.infer(&xm).sum();
+            let num = ((lp - lm) / (2.0 * eps as f64)) as f32;
+            assert!(
+                (num - dx.as_slice()[flat]).abs() < 3e-2,
+                "dx[{flat}]: {num} vs {}",
+                dx.as_slice()[flat]
+            );
+        }
+    }
+
+    #[test]
+    fn crelu_bounds_hit_target_sparsity() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let x = Tensor::randn([1, 3, 32, 32], 0.5, &mut rng);
+        let mut m = PartitionedModel::fdsp(model(11), TileGrid::new(2, 2));
+        let acts = m.boundary_activations(&x);
+        let cr = choose_crelu_bounds(&acts, 0.9);
+        let clipped = cr.forward(&acts);
+        let s = clipped.sparsity();
+        assert!((0.8..0.99).contains(&s), "sparsity {s}");
+        assert!(cr.lo < cr.hi);
+    }
+
+    #[test]
+    #[should_panic]
+    fn fdsp_rejects_indivisible_grid() {
+        PartitionedModel::fdsp(model(1), TileGrid::new(3, 3));
+    }
+}

@@ -1,0 +1,642 @@
+//! The Central node (§6.1, Figure 8): input partition block, statistics
+//! collection block, and layer computation block, driving real worker
+//! threads.
+
+use crate::worker::{spawn_worker, Compression, WorkerMsg, WorkerOptions};
+use adcnn_core::compress::Quantizer;
+use adcnn_core::fdsp::TileGrid;
+use adcnn_core::sched::{StatsCollector, TileAllocator};
+use adcnn_core::wire::{TileKey, TileResult, TileTask};
+use adcnn_core::ClippedRelu;
+use adcnn_nn::Network;
+use adcnn_retrain::PartitionedModel;
+use adcnn_tensor::Tensor;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Central-node configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct RuntimeConfig {
+    /// Timeout grace `T_L` (the paper uses 30 ms): once the first result
+    /// lands, the Central node waits for the expected makespan
+    /// (first-result time x the largest allocation, +25% slack) plus this
+    /// grace, then zero-fills the missing tiles.
+    pub t_l: Duration,
+    /// Hard cap on the total wait for one image.
+    pub hard_timeout: Duration,
+    /// Algorithm 2 decay γ.
+    pub gamma: f64,
+    /// Tile-allocation tie-break seed.
+    pub seed: u64,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig {
+            t_l: Duration::from_millis(30),
+            hard_timeout: Duration::from_secs(5),
+            gamma: 0.9,
+            seed: 42,
+        }
+    }
+}
+
+/// Result of one distributed inference.
+#[derive(Debug)]
+pub struct InferOutcome {
+    /// The network output (logits / dense map).
+    pub output: Tensor,
+    /// Wall-clock end-to-end latency.
+    pub latency: Duration,
+    /// Tiles allocated per worker.
+    pub alloc: Vec<u32>,
+    /// Results received in time per worker.
+    pub received: Vec<u32>,
+    /// Tiles zero-filled after the timeout.
+    pub dropped: u32,
+    /// Total compressed payload bits received (communication accounting).
+    pub wire_bits: u64,
+}
+
+/// A dispatched-but-not-yet-collected image.
+struct Pending {
+    image_id: u64,
+    alloc: Vec<u32>,
+    start: Instant,
+}
+
+/// The live system: Central node state plus its worker threads.
+pub struct AdcnnRuntime {
+    grid: TileGrid,
+    suffix: Network,
+    task_txs: Vec<Sender<WorkerMsg>>,
+    result_rx: Receiver<(usize, TileResult)>,
+    handles: Vec<JoinHandle<()>>,
+    stats: StatsCollector,
+    allocator: TileAllocator,
+    rng: StdRng,
+    cfg: RuntimeConfig,
+    next_image: u64,
+    /// Assembled boundary map dims `(C, H, W)`.
+    boundary: (usize, usize, usize),
+    /// Per-tile boundary dims `(C, h, w)`.
+    tile_out: (usize, usize, usize),
+}
+
+impl AdcnnRuntime {
+    /// Split a (retrained) [`PartitionedModel`] into Conv-node prefixes and
+    /// the Central suffix, and launch one worker thread per entry of
+    /// `worker_opts`.
+    pub fn launch(
+        model: PartitionedModel,
+        worker_opts: &[WorkerOptions],
+        cfg: RuntimeConfig,
+    ) -> Self {
+        assert!(!worker_opts.is_empty(), "need at least one worker");
+        let k = worker_opts.len();
+        let grid = model.grid;
+        let prefix_net = Network::new(model.net.blocks[..model.prefix].to_vec());
+        let suffix = Network::new(model.net.blocks[model.prefix..].to_vec());
+
+        // Probe the per-tile boundary dims with a zero tile.
+        let (c, h, w) = model.input;
+        assert!(
+            h % grid.rows == 0 && w % grid.cols == 0,
+            "input {h}x{w} not divisible by {grid}"
+        );
+        let mut probe_net = prefix_net.clone();
+        let probe = Tensor::zeros([1, c, h / grid.rows, w / grid.cols]);
+        let n_prefix = probe_net.len();
+        let (out, _) = probe_net.forward_range(&probe, 0..n_prefix, false);
+        let (_, oc, oh, ow) = out.shape().nchw();
+        let tile_out = (oc, oh, ow);
+        let boundary = (oc, oh * grid.rows, ow * grid.cols);
+
+        let compression = model.boundary_crelu.map(|cr: ClippedRelu| Compression {
+            crelu: cr,
+            quantizer: Quantizer::new(
+                model.boundary_quant.map(|q| q.bits).unwrap_or(4),
+                cr.range(),
+            ),
+        });
+
+        let (result_tx, result_rx) = unbounded();
+        let mut task_txs = Vec::with_capacity(k);
+        let mut handles = Vec::with_capacity(k);
+        for (i, opts) in worker_opts.iter().enumerate() {
+            let (tx, rx) = unbounded();
+            handles.push(spawn_worker(
+                i,
+                prefix_net.clone(),
+                compression,
+                *opts,
+                rx,
+                result_tx.clone(),
+            ));
+            task_txs.push(tx);
+        }
+
+        AdcnnRuntime {
+            grid,
+            suffix,
+            task_txs,
+            result_rx,
+            handles,
+            stats: StatsCollector::new(k, cfg.gamma),
+            allocator: TileAllocator::unbounded(k),
+            rng: StdRng::seed_from_u64(cfg.seed),
+            cfg,
+            next_image: 0,
+            boundary,
+            tile_out,
+        }
+    }
+
+    /// Number of workers.
+    pub fn workers(&self) -> usize {
+        self.task_txs.len()
+    }
+
+    /// Current Algorithm 2 speed estimates.
+    pub fn speeds(&self) -> &[f64] {
+        self.stats.speeds()
+    }
+
+    /// Run one image `[1, C, H, W]` through the distributed pipeline.
+    pub fn infer(&mut self, x: &Tensor) -> InferOutcome {
+        let pending = self.dispatch(x);
+        let mut stash = Vec::new();
+        self.collect(pending, &mut stash)
+    }
+
+    /// Run a stream of images with Figure 9 pipelining: the tiles of image
+    /// `i+1` are dispatched before image `i`'s results are collected, so
+    /// Conv nodes never starve between images.
+    pub fn infer_stream(&mut self, images: &[Tensor]) -> Vec<InferOutcome> {
+        let mut out = Vec::with_capacity(images.len());
+        let mut stash: Vec<(usize, TileResult)> = Vec::new();
+        let mut window: std::collections::VecDeque<Pending> = Default::default();
+        let mut next = 0usize;
+        while out.len() < images.len() {
+            while next < images.len() && window.len() < 2 {
+                window.push_back(self.dispatch(&images[next]));
+                next += 1;
+            }
+            let pending = window.pop_front().expect("window non-empty");
+            out.push(self.collect(pending, &mut stash));
+        }
+        out
+    }
+
+    /// Input partition block: extract tiles, allocate with Algorithm 3,
+    /// push them to the workers. Returns the collection state.
+    fn dispatch(&mut self, x: &Tensor) -> Pending {
+        let image_id = self.next_image;
+        self.next_image += 1;
+        let d = self.grid.tiles();
+        let tiles = self.grid.extract(x);
+        let alloc = self.allocator.allocate(d, self.stats.speeds(), &mut self.rng);
+        let mut assignment: Vec<usize> = Vec::with_capacity(d);
+        {
+            // round-robin across nodes honoring the allocation counts
+            let mut remaining = alloc.clone();
+            while assignment.len() < d {
+                for (node, rem) in remaining.iter_mut().enumerate() {
+                    if *rem > 0 {
+                        *rem -= 1;
+                        assignment.push(node);
+                    }
+                }
+            }
+        }
+        for (t, tile) in tiles.into_iter().enumerate() {
+            let node = assignment[t];
+            let task = TileTask { key: TileKey { image_id, tile_id: t as u32 }, tile };
+            // A closed channel means the worker died; the timeout handles it.
+            let _ = self.task_txs[node].send(WorkerMsg::Tile(task));
+        }
+        Pending { image_id, alloc, start: Instant::now() }
+    }
+
+    /// Statistics collection + reassembly + suffix for one dispatched
+    /// image. Results belonging to later images land in `stash` (they are
+    /// consumed when their image is collected); earlier-image stragglers
+    /// are discarded.
+    fn collect(&mut self, pending: Pending, stash: &mut Vec<(usize, TileResult)>) -> InferOutcome {
+        let Pending { image_id, alloc, start } = pending;
+        let d = self.grid.tiles();
+        let k = self.workers();
+        let (bc, bh, bw) = self.boundary;
+        let (_, th, tw) = self.tile_out;
+        let mut assembled = Tensor::zeros([1, bc, bh, bw]);
+        let mut received = vec![0u32; k];
+        // Arrival time of each worker's latest result (Algorithm 2 rates).
+        let mut last_result_at: Vec<Option<Instant>> = vec![None; k];
+        // Expected-makespan deadline, armed by the first result.
+        let mut deadline: Option<Instant> = None;
+        let max_alloc = alloc.iter().copied().max().unwrap_or(1).max(1);
+        let mut got = vec![false; d];
+        let mut got_total = 0usize;
+        let mut wire_bits = 0u64;
+
+        let paste = |res: &TileResult,
+                         worker: usize,
+                         got: &mut Vec<bool>,
+                         got_total: &mut usize,
+                         received: &mut Vec<u32>,
+                         wire_bits: &mut u64,
+                         assembled: &mut Tensor| {
+            let t = res.key.tile_id as usize;
+            if t >= d || got[t] {
+                return;
+            }
+            *wire_bits += res.wire_bits();
+            if let Some(tensor) = res.to_tensor() {
+                let (gr, gc) = self.grid.tile_pos(t);
+                assembled.paste_spatial(&tensor, gr * th, gc * tw);
+                got[t] = true;
+                *got_total += 1;
+                received[worker] += 1;
+            }
+        };
+
+        // First drain any stashed results for this image (they arrived
+        // while a previous image was being collected).
+        let mut i = 0;
+        while i < stash.len() {
+            if stash[i].1.key.image_id == image_id {
+                let (worker, res) = stash.remove(i);
+                let before = got_total;
+                paste(&res, worker, &mut got, &mut got_total, &mut received, &mut wire_bits, &mut assembled);
+                if got_total > before {
+                    let now = Instant::now();
+                    last_result_at[worker] = Some(now);
+                    if deadline.is_none() {
+                        let per_unit = now.duration_since(start);
+                        deadline =
+                            Some(now + per_unit.mul_f64(1.25 * (max_alloc - 1) as f64) + self.cfg.t_l);
+                    }
+                }
+            } else {
+                i += 1;
+            }
+        }
+
+        let hard_deadline = Instant::now() + self.cfg.hard_timeout;
+        while got_total < d {
+            let limit = deadline.map_or(hard_deadline, |dl| dl.min(hard_deadline));
+            let wait = limit.saturating_duration_since(Instant::now());
+            if wait.is_zero() {
+                break;
+            }
+            match self.result_rx.recv_timeout(wait) {
+                Ok((worker, res)) => {
+                    use std::cmp::Ordering;
+                    match res.key.image_id.cmp(&image_id) {
+                        Ordering::Less => continue, // straggler: discard
+                        Ordering::Greater => {
+                            stash.push((worker, res)); // future image
+                            continue;
+                        }
+                        Ordering::Equal => {
+                            let before = got_total;
+                            paste(
+                                &res, worker, &mut got, &mut got_total, &mut received,
+                                &mut wire_bits, &mut assembled,
+                            );
+                            if got_total > before {
+                                let now = Instant::now();
+                                last_result_at[worker] = Some(now);
+                                if deadline.is_none() {
+                                    let per_unit = now.duration_since(start);
+                                    deadline = Some(
+                                        now + per_unit.mul_f64(1.25 * (max_alloc - 1) as f64)
+                                            + self.cfg.t_l,
+                                    );
+                                }
+                            }
+                        }
+                    }
+                }
+                Err(_) => break, // idle gap: zero-fill the rest
+            }
+        }
+
+        // Algorithm 2 update: per-node throughput — in-time results per
+        // elapsed second, scaled by T_L to match the paper's "results
+        // within the time limit" unit. Nodes with no work this image keep
+        // their previous estimate.
+        for node in 0..k {
+            if alloc[node] > 0 {
+                let rate = match last_result_at[node] {
+                    Some(t) if received[node] > 0 => {
+                        let elapsed = t.duration_since(start).as_secs_f64().max(1e-6);
+                        received[node] as f64 / elapsed * self.cfg.t_l.as_secs_f64()
+                    }
+                    _ => 0.0,
+                };
+                self.stats.record_node(node, rate);
+            }
+        }
+
+        // Layer computation block: the rest of the network.
+        let n_suffix = self.suffix.len();
+        let (output, _) = self.suffix.forward_range(&assembled, 0..n_suffix, false);
+        InferOutcome {
+            output,
+            latency: start.elapsed(),
+            alloc,
+            received,
+            dropped: (d - got_total) as u32,
+            wire_bits,
+        }
+    }
+
+    /// Stop all workers and join their threads.
+    pub fn shutdown(mut self) {
+        for tx in &self.task_txs {
+            let _ = tx.send(WorkerMsg::Shutdown);
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for AdcnnRuntime {
+    fn drop(&mut self) {
+        for tx in &self.task_txs {
+            let _ = tx.send(WorkerMsg::Shutdown);
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adcnn_nn::layer::QuantizeSte;
+    use adcnn_nn::small::shapes_cnn;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn build_model(seed: u64, grid: TileGrid) -> PartitionedModel {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cr = ClippedRelu::new(0.0, 2.0);
+        PartitionedModel::fdsp(shapes_cnn(6, &mut rng), grid)
+            .with_crelu(cr)
+            .with_quant(QuantizeSte::new(4, cr.range()))
+    }
+
+    fn rand_image(seed: u64) -> Tensor {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Tensor::randn([1, 3, 32, 32], 0.5, &mut rng)
+    }
+
+    #[test]
+    fn distributed_matches_local_partitioned_model() {
+        let grid = TileGrid::new(2, 2);
+        let mut local = build_model(5, grid);
+        let model = build_model(5, grid); // identical weights (same seed)
+        let mut rt = AdcnnRuntime::launch(
+            model,
+            &[WorkerOptions::default(); 3],
+            RuntimeConfig::default(),
+        );
+        for s in 0..3 {
+            let x = rand_image(100 + s);
+            let want = local.infer(&x);
+            let out = rt.infer(&x);
+            assert_eq!(out.dropped, 0, "dropped tiles: {:?}", out.received);
+            assert!(
+                out.output.approx_eq(&want, 2e-3),
+                "distributed output diverges from local model"
+            );
+        }
+        rt.shutdown();
+    }
+
+    #[test]
+    fn allocation_adapts_to_slow_worker() {
+        let grid = TileGrid::new(4, 4);
+        let model = build_model(7, grid);
+        // The slow worker's per-tile time must exceed T_L so its stragglers
+        // miss the idle-gap deadline and Algorithm 2 marks it slow.
+        let opts = [
+            WorkerOptions::default(),
+            WorkerOptions::default(),
+            WorkerOptions { artificial_delay: Duration::from_millis(100), ..Default::default() },
+        ];
+        let cfg = RuntimeConfig { t_l: Duration::from_millis(50), ..Default::default() };
+        let mut rt = AdcnnRuntime::launch(model, &opts, cfg);
+        let mut last_alloc = vec![0u32; 3];
+        for s in 0..6 {
+            let out = rt.infer(&rand_image(s));
+            last_alloc = out.alloc.clone();
+        }
+        // the slow worker must end up with fewer tiles than the fast ones
+        assert!(
+            last_alloc[2] < last_alloc[0] && last_alloc[2] < last_alloc[1],
+            "allocation did not adapt: {last_alloc:?} (speeds {:?})",
+            rt.speeds()
+        );
+        rt.shutdown();
+    }
+
+    #[test]
+    fn failed_worker_is_tolerated_and_starved() {
+        let grid = TileGrid::new(4, 4);
+        let model = build_model(9, grid);
+        let opts = [
+            WorkerOptions::default(),
+            WorkerOptions { fail_after_tiles: Some(0), ..Default::default() },
+        ];
+        let cfg = RuntimeConfig { t_l: Duration::from_millis(50), ..Default::default() };
+        let mut rt = AdcnnRuntime::launch(model, &opts, cfg);
+        let first = rt.infer(&rand_image(1));
+        assert!(first.dropped > 0, "dead worker's tiles should drop");
+        assert_eq!(first.output.dims()[0], 1); // output still produced
+        for s in 2..6 {
+            rt.infer(&rand_image(s));
+        }
+        let last = rt.infer(&rand_image(99));
+        assert_eq!(last.alloc[1], 0, "dead worker still allocated: {:?}", last.alloc);
+        assert_eq!(last.dropped, 0, "steady state should not drop");
+        rt.shutdown();
+    }
+
+    #[test]
+    fn wire_bits_shrink_with_compression() {
+        let grid = TileGrid::new(2, 2);
+        // Compressed model (tight clipped ReLU -> sparse)
+        let model = build_model(11, grid);
+        let mut rt = AdcnnRuntime::launch(model, &[WorkerOptions::default(); 2], RuntimeConfig::default());
+        let out = rt.infer(&rand_image(3));
+        let raw_bits = (16 * 16 * 16 * 4) as u64 * 32; // boundary map at f32
+        assert!(out.wire_bits > 0);
+        assert!(
+            out.wire_bits < raw_bits,
+            "compression ineffective: {} vs {raw_bits}",
+            out.wire_bits
+        );
+        rt.shutdown();
+    }
+
+    #[test]
+    fn image_ids_keep_results_separated() {
+        // Run several images back-to-back; stragglers from image i must not
+        // corrupt image i+1 (exercised by a slow worker + short timeout).
+        let grid = TileGrid::new(2, 2);
+        let model = build_model(13, grid);
+        let opts = [
+            WorkerOptions::default(),
+            WorkerOptions { artificial_delay: Duration::from_millis(30), ..Default::default() },
+        ];
+        let cfg = RuntimeConfig { t_l: Duration::from_millis(10), ..Default::default() };
+        let mut rt = AdcnnRuntime::launch(model, &opts, cfg);
+        let mut local = build_model(13, grid);
+        let x = rand_image(42);
+        let want = local.infer(&x);
+        // warm-up images that will leave stragglers in flight
+        for s in 0..3 {
+            rt.infer(&rand_image(s));
+        }
+        // let the allocator starve the slow worker, then verify correctness
+        for _ in 0..3 {
+            rt.infer(&x);
+        }
+        let out = rt.infer(&x);
+        if out.dropped == 0 {
+            assert!(out.output.approx_eq(&want, 2e-3));
+        }
+        rt.shutdown();
+    }
+
+    #[test]
+    fn random_inputs_never_panic() {
+        let grid = TileGrid::new(2, 2);
+        let model = build_model(17, grid);
+        let mut rt =
+            AdcnnRuntime::launch(model, &[WorkerOptions::default(); 4], RuntimeConfig::default());
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..5 {
+            let x = Tensor::rand_uniform([1, 3, 32, 32], -2.0, 2.0, &mut rng);
+            let out = rt.infer(&x);
+            assert_eq!(out.output.dims(), &[1, 6]);
+            let _ = rng.gen::<u32>();
+        }
+        rt.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod stream_tests {
+    use super::*;
+    use adcnn_core::fdsp::TileGrid;
+    use adcnn_core::ClippedRelu;
+    use adcnn_nn::layer::QuantizeSte;
+    use adcnn_nn::small::shapes_cnn;
+    use adcnn_retrain::PartitionedModel;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn build_model(seed: u64, grid: TileGrid) -> PartitionedModel {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cr = ClippedRelu::new(0.0, 2.0);
+        PartitionedModel::fdsp(shapes_cnn(6, &mut rng), grid)
+            .with_crelu(cr)
+            .with_quant(QuantizeSte::new(4, cr.range()))
+    }
+
+    fn rand_images(n: usize, seed: u64) -> Vec<Tensor> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| Tensor::randn([1, 3, 32, 32], 0.5, &mut rng)).collect()
+    }
+
+    #[test]
+    fn stream_matches_sequential_outputs() {
+        let grid = TileGrid::new(2, 2);
+        let images = rand_images(6, 77);
+        // sequential reference
+        let mut rt_seq =
+            AdcnnRuntime::launch(build_model(21, grid), &[WorkerOptions::default(); 3], RuntimeConfig::default());
+        let seq: Vec<Tensor> = images.iter().map(|x| rt_seq.infer(x).output).collect();
+        rt_seq.shutdown();
+        // streamed
+        let mut rt =
+            AdcnnRuntime::launch(build_model(21, grid), &[WorkerOptions::default(); 3], RuntimeConfig::default());
+        let stream = rt.infer_stream(&images);
+        rt.shutdown();
+        assert_eq!(stream.len(), 6);
+        for (s, r) in stream.iter().zip(&seq) {
+            assert_eq!(s.dropped, 0);
+            assert!(s.output.approx_eq(r, 1e-4), "streamed output diverged");
+        }
+    }
+
+    #[test]
+    fn stream_interleaves_without_cross_talk() {
+        // Distinct images must map to their own outputs even when results
+        // of consecutive images interleave on the shared result channel.
+        let grid = TileGrid::new(4, 4);
+        let images = rand_images(8, 91);
+        let mut local = build_model(23, grid);
+        let want: Vec<Tensor> = images.iter().map(|x| local.infer(x)).collect();
+        let mut rt =
+            AdcnnRuntime::launch(build_model(23, grid), &[WorkerOptions::default(); 4], RuntimeConfig::default());
+        let got = rt.infer_stream(&images);
+        rt.shutdown();
+        for (g, w) in got.iter().zip(&want) {
+            assert_eq!(g.dropped, 0);
+            assert!(g.output.approx_eq(w, 2e-3));
+        }
+    }
+
+    #[test]
+    fn probe_window_favors_faster_worker() {
+        // Nobody misses the deadline here — the fast worker simply returns
+        // more results inside the T_L probe window, and Algorithm 3 should
+        // reward it with more tiles (the paper's throughput semantics).
+        let grid = TileGrid::new(4, 4);
+        let model = build_model(41, grid);
+        let workers = [
+            WorkerOptions::default(),
+            WorkerOptions { artificial_delay: Duration::from_millis(15), ..Default::default() },
+            WorkerOptions { artificial_delay: Duration::from_millis(15), ..Default::default() },
+        ];
+        let cfg = RuntimeConfig { t_l: Duration::from_millis(50), ..Default::default() };
+        let mut rt = AdcnnRuntime::launch(model, &workers, cfg);
+        let images = rand_images(8, 17);
+        let got = rt.infer_stream(&images);
+        let last = got.last().unwrap();
+        assert!(
+            last.alloc[0] > last.alloc[1] && last.alloc[0] > last.alloc[2],
+            "fast worker not favored: {:?} (speeds {:?})",
+            last.alloc,
+            rt.speeds()
+        );
+        rt.shutdown();
+    }
+
+    #[test]
+    fn stream_survives_failed_worker() {
+        let grid = TileGrid::new(2, 2);
+        let images = rand_images(8, 13);
+        let workers = [
+            WorkerOptions::default(),
+            WorkerOptions { fail_after_tiles: Some(2), ..Default::default() },
+        ];
+        let cfg = RuntimeConfig { t_l: Duration::from_millis(40), ..Default::default() };
+        let mut rt = AdcnnRuntime::launch(build_model(29, grid), &workers, cfg);
+        let got = rt.infer_stream(&images);
+        rt.shutdown();
+        assert_eq!(got.len(), 8);
+        // early images drop tiles, the tail is clean
+        assert!(got.iter().any(|o| o.dropped > 0));
+        assert_eq!(got.last().unwrap().dropped, 0);
+        assert_eq!(got.last().unwrap().alloc[1], 0);
+    }
+}

@@ -1,0 +1,17 @@
+//! # adcnn-runtime
+//!
+//! The real, multi-threaded ADCNN system (§6, Figure 8): a Central node and
+//! K Conv-node workers connected by channels, executing *actual* CNN
+//! inference with the same scheduler ([`adcnn_core::sched`]), the same FDSP
+//! geometry ([`adcnn_core::fdsp`]) and the same compression pipeline
+//! ([`adcnn_core::compress`]) as the paper describes.
+//!
+//! Workers are OS threads standing in for edge devices; per-worker
+//! artificial delays and failure injection reproduce the heterogeneity and
+//! fault-tolerance scenarios of §7.3 in-process.
+
+pub mod central;
+pub mod worker;
+
+pub use central::{AdcnnRuntime, InferOutcome, RuntimeConfig};
+pub use worker::WorkerOptions;

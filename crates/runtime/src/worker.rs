@@ -1,0 +1,173 @@
+//! Conv-node worker threads.
+//!
+//! Each worker owns a clone of the separable-prefix network (the paper
+//! stores "the filter weights for the separable layer blocks … in the Conv
+//! nodes", §6.1). It processes [`TileTask`]s as they arrive, applies the
+//! clipped-ReLU + quantize + RLE pipeline, and sends [`TileResult`]s back.
+
+use adcnn_core::compress::Quantizer;
+use adcnn_core::wire::{make_result, TileResult, TileTask};
+use adcnn_nn::Network;
+use adcnn_tensor::activ::ClippedRelu;
+use crossbeam::channel::{Receiver, Sender};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Behaviour knobs for one worker (heterogeneity / fault injection).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct WorkerOptions {
+    /// Extra sleep per tile (simulates a slower device; §7.3 CPUlimit).
+    pub artificial_delay: Duration,
+    /// Stop responding after this many tiles (simulates a node crash).
+    pub fail_after_tiles: Option<usize>,
+}
+
+/// Control messages from the Central node.
+pub enum WorkerMsg {
+    /// A tile to process.
+    Tile(TileTask),
+    /// Terminate the worker.
+    Shutdown,
+}
+
+/// One worker's compression configuration (applied at the boundary).
+#[derive(Clone, Copy, Debug)]
+pub struct Compression {
+    /// Clipped ReLU bounds.
+    pub crelu: ClippedRelu,
+    /// Wire quantizer (usually `Quantizer::paper_default(crelu)`).
+    pub quantizer: Quantizer,
+}
+
+/// Spawn a Conv-node worker thread.
+///
+/// `prefix` is the worker's clone of the separable blocks; results go to
+/// `results` tagged with `worker_id`.
+pub fn spawn_worker(
+    worker_id: usize,
+    mut prefix: Network,
+    compression: Option<Compression>,
+    opts: WorkerOptions,
+    tasks: Receiver<WorkerMsg>,
+    results: Sender<(usize, TileResult)>,
+) -> JoinHandle<()> {
+    std::thread::Builder::new()
+        .name(format!("conv-node-{worker_id}"))
+        .spawn(move || {
+            let mut processed = 0usize;
+            let n_blocks = prefix.len();
+            while let Ok(msg) = tasks.recv() {
+                let task = match msg {
+                    WorkerMsg::Tile(t) => t,
+                    WorkerMsg::Shutdown => break,
+                };
+                if let Some(limit) = opts.fail_after_tiles {
+                    if processed >= limit {
+                        // Crashed node: swallow work silently (the Central
+                        // node's timeout + statistics handle it).
+                        continue;
+                    }
+                }
+                if !opts.artificial_delay.is_zero() {
+                    std::thread::sleep(opts.artificial_delay);
+                }
+                let (out, _) = prefix.forward_range(&task.tile, 0..n_blocks, false);
+                let (boundary, quantizer) = match compression {
+                    Some(c) => (c.crelu.forward(&out), c.quantizer),
+                    // Uncompressed mode still needs a wire quantizer (the
+                    // nibble codec carries at most 4-bit levels); use the
+                    // observed range. This mode exists for comparisons only.
+                    None => {
+                        let range = out.max_abs().max(1e-6);
+                        let relu = out.map(|v| v.max(0.0));
+                        (relu, Quantizer::new(4, range))
+                    }
+                };
+                let result = make_result(task.key, &boundary, quantizer);
+                processed += 1;
+                if results.send((worker_id, result)).is_err() {
+                    break; // central gone
+                }
+            }
+        })
+        .expect("failed to spawn worker thread")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adcnn_core::wire::TileKey;
+    use adcnn_nn::{Block, Layer, Network};
+    use adcnn_tensor::conv::Conv2dParams;
+    use adcnn_tensor::Tensor;
+    use crossbeam::channel::unbounded;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn tiny_prefix(seed: u64) -> Network {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Network::new(vec![Block::Seq(vec![
+            Layer::conv2d(1, 2, 3, Conv2dParams::same(3), &mut rng),
+            Layer::Relu,
+        ])])
+    }
+
+    #[test]
+    fn worker_processes_and_replies() {
+        let (task_tx, task_rx) = unbounded();
+        let (res_tx, res_rx) = unbounded();
+        let cr = ClippedRelu::new(0.0, 1.0);
+        let comp = Compression { crelu: cr, quantizer: Quantizer::paper_default(cr) };
+        let h = spawn_worker(3, tiny_prefix(1), Some(comp), WorkerOptions::default(), task_rx, res_tx);
+
+        let tile = Tensor::full([1, 1, 4, 4], 0.5);
+        task_tx
+            .send(WorkerMsg::Tile(TileTask { key: TileKey { image_id: 9, tile_id: 2 }, tile }))
+            .unwrap();
+        let (wid, res) = res_rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(wid, 3);
+        assert_eq!(res.key, TileKey { image_id: 9, tile_id: 2 });
+        let t = res.to_tensor().unwrap();
+        assert_eq!(t.dims(), &[1, 2, 4, 4]);
+
+        task_tx.send(WorkerMsg::Shutdown).unwrap();
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn failed_worker_goes_silent() {
+        let (task_tx, task_rx) = unbounded();
+        let (res_tx, res_rx) = unbounded();
+        let opts = WorkerOptions { fail_after_tiles: Some(1), ..Default::default() };
+        let h = spawn_worker(0, tiny_prefix(2), None, opts, task_rx, res_tx);
+
+        for i in 0..3u32 {
+            task_tx
+                .send(WorkerMsg::Tile(TileTask {
+                    key: TileKey { image_id: 0, tile_id: i },
+                    tile: Tensor::full([1, 1, 4, 4], 0.1),
+                }))
+                .unwrap();
+        }
+        // exactly one reply, then silence
+        assert!(res_rx.recv_timeout(Duration::from_secs(5)).is_ok());
+        assert!(res_rx.recv_timeout(Duration::from_millis(200)).is_err());
+        task_tx.send(WorkerMsg::Shutdown).unwrap();
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn worker_exits_when_central_drops() {
+        let (task_tx, task_rx) = unbounded();
+        let (res_tx, res_rx) = unbounded();
+        let h = spawn_worker(0, tiny_prefix(3), None, WorkerOptions::default(), task_rx, res_tx);
+        drop(res_rx);
+        task_tx
+            .send(WorkerMsg::Tile(TileTask {
+                key: TileKey { image_id: 0, tile_id: 0 },
+                tile: Tensor::zeros([1, 1, 4, 4]),
+            }))
+            .unwrap();
+        drop(task_tx);
+        h.join().unwrap();
+    }
+}

@@ -1,0 +1,187 @@
+//! Activation functions, including the paper's clipped `ReLU[a,b]` (§4.1).
+
+use crate::tensor::Tensor;
+
+/// Standard rectified linear unit.
+pub fn relu(x: &Tensor) -> Tensor {
+    x.map(|v| v.max(0.0))
+}
+
+/// Backward of ReLU: passes gradient where the *input* was positive.
+pub fn relu_backward(x: &Tensor, dy: &Tensor) -> Tensor {
+    x.zip_map(dy, |xi, gi| if xi > 0.0 { gi } else { 0.0 })
+}
+
+/// The paper's clipped ReLU with lower bound `a` and upper bound `b`:
+///
+/// ```text
+/// ReLU[a,b](x) = b − a   if x > b
+///              = x − a   if a ≤ x ≤ b
+///              = 0       if x < a
+/// ```
+///
+/// Outputs lie in `[0, b − a]`; everything below `a` becomes an exact zero,
+/// which is what makes the Conv-node outputs sparse and RLE-compressible.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ClippedRelu {
+    /// Lower bound `a` (values below it are zeroed).
+    pub lo: f32,
+    /// Upper bound `b` (values above it saturate at `b − a`).
+    pub hi: f32,
+}
+
+impl ClippedRelu {
+    /// Construct; panics unless `lo < hi`.
+    pub fn new(lo: f32, hi: f32) -> Self {
+        assert!(lo < hi, "clipped ReLU requires lo < hi (got {lo} >= {hi})");
+        ClippedRelu { lo, hi }
+    }
+
+    /// The output range width `b − a`.
+    #[inline]
+    pub fn range(&self) -> f32 {
+        self.hi - self.lo
+    }
+
+    /// Scalar application.
+    #[inline]
+    pub fn apply(&self, x: f32) -> f32 {
+        if x > self.hi {
+            self.hi - self.lo
+        } else if x >= self.lo {
+            x - self.lo
+        } else {
+            0.0
+        }
+    }
+
+    /// Elementwise forward.
+    pub fn forward(&self, x: &Tensor) -> Tensor {
+        x.map(|v| self.apply(v))
+    }
+
+    /// Backward: gradient passes only inside the linear region `a ≤ x ≤ b`
+    /// (the paper trains with full-precision gradients through this gate).
+    pub fn backward(&self, x: &Tensor, dy: &Tensor) -> Tensor {
+        x.zip_map(dy, |xi, gi| if xi >= self.lo && xi <= self.hi { gi } else { 0.0 })
+    }
+}
+
+/// Numerically stable row-wise softmax over a `[N, K]` matrix.
+pub fn softmax_rows(logits: &Tensor) -> Tensor {
+    let (n, k) = logits.shape().rc();
+    let mut out = Tensor::zeros([n, k]);
+    for i in 0..n {
+        let row = &logits.as_slice()[i * k..(i + 1) * k];
+        let m = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let mut denom = 0.0f32;
+        let dst = &mut out.as_mut_slice()[i * k..(i + 1) * k];
+        for (d, &v) in dst.iter_mut().zip(row) {
+            let e = (v - m).exp();
+            *d = e;
+            denom += e;
+        }
+        let inv = 1.0 / denom;
+        for d in dst.iter_mut() {
+            *d *= inv;
+        }
+    }
+    out
+}
+
+/// Hyperbolic tangent activation (mentioned in §2.1 as an alternative).
+pub fn tanh(x: &Tensor) -> Tensor {
+    x.map(f32::tanh)
+}
+
+/// Backward of tanh given the forward *output* `y`: `dx = dy · (1 − y²)`.
+pub fn tanh_backward(y: &Tensor, dy: &Tensor) -> Tensor {
+    y.zip_map(dy, |yi, gi| gi * (1.0 - yi * yi))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_clamps_negatives() {
+        let x = Tensor::from_vec([4], vec![-1.0, 0.0, 0.5, 2.0]);
+        assert_eq!(relu(&x).as_slice(), &[0.0, 0.0, 0.5, 2.0]);
+    }
+
+    #[test]
+    fn relu_backward_gates_on_input() {
+        let x = Tensor::from_vec([3], vec![-1.0, 1.0, 3.0]);
+        let dy = Tensor::full([3], 2.0);
+        assert_eq!(relu_backward(&x, &dy).as_slice(), &[0.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn clipped_relu_piecewise_definition() {
+        // Mirrors the paper's Figure 5(b) with a = 0.2, b = 2.
+        let cr = ClippedRelu::new(0.2, 2.0);
+        assert_eq!(cr.apply(-1.0), 0.0); // below a
+        assert_eq!(cr.apply(0.1), 0.0); // below a
+        assert!(crate::approx_eq(cr.apply(0.2), 0.0, 1e-6)); // at a
+        assert!(crate::approx_eq(cr.apply(1.0), 0.8, 1e-6)); // linear region
+        assert!(crate::approx_eq(cr.apply(2.0), 1.8, 1e-6)); // at b
+        assert!(crate::approx_eq(cr.apply(5.0), 1.8, 1e-6)); // saturated
+    }
+
+    #[test]
+    fn clipped_relu_output_range() {
+        let cr = ClippedRelu::new(-0.5, 1.5);
+        let x = Tensor::from_fn([100], |i| (i as f32 - 50.0) / 10.0);
+        let y = cr.forward(&x);
+        for &v in y.as_slice() {
+            assert!((0.0..=cr.range() + 1e-6).contains(&v));
+        }
+    }
+
+    #[test]
+    fn clipped_relu_increases_sparsity() {
+        let x = Tensor::from_fn([1000], |i| ((i as f32) * 0.7).sin());
+        let plain = relu(&x);
+        let cr = ClippedRelu::new(0.3, 0.9);
+        let clipped = cr.forward(&x);
+        assert!(clipped.sparsity() > plain.sparsity());
+    }
+
+    #[test]
+    fn clipped_relu_gradient_gate() {
+        let cr = ClippedRelu::new(0.0, 1.0);
+        let x = Tensor::from_vec([4], vec![-0.5, 0.5, 1.5, 0.9]);
+        let dy = Tensor::full([4], 1.0);
+        let dx = cr.backward(&x, &dy);
+        assert_eq!(dx.as_slice(), &[0.0, 1.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn clipped_relu_rejects_inverted_bounds() {
+        ClippedRelu::new(2.0, 1.0);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let x = Tensor::from_vec([2, 3], vec![1.0, 2.0, 3.0, -1.0, 0.0, 100.0]);
+        let s = softmax_rows(&x);
+        for i in 0..2 {
+            let row_sum: f32 = s.as_slice()[i * 3..(i + 1) * 3].iter().sum();
+            assert!(crate::approx_eq(row_sum, 1.0, 1e-5));
+        }
+        // the 100 logit should dominate
+        assert!(s.at(&[1, 2]) > 0.999);
+    }
+
+    #[test]
+    fn tanh_backward_formula() {
+        let x = Tensor::from_vec([2], vec![0.0, 1.0]);
+        let y = tanh(&x);
+        let dy = Tensor::full([2], 1.0);
+        let dx = tanh_backward(&y, &dy);
+        assert!(crate::approx_eq(dx.as_slice()[0], 1.0, 1e-6));
+        let t1 = 1.0f32.tanh();
+        assert!(crate::approx_eq(dx.as_slice()[1], 1.0 - t1 * t1, 1e-6));
+    }
+}

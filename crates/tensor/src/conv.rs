@@ -1,0 +1,419 @@
+//! 2-D convolution via im2col + gemm, with a full backward pass.
+//!
+//! FDSP (§3.2 of the paper) is *built on* the semantics of zero padding: a
+//! tile convolved with `pad = k/2` produces exactly the output the full image
+//! would, except at tile borders where the halo has been replaced by zeros.
+//! Getting the padding arithmetic right here is therefore load-bearing for
+//! the whole reproduction; the tests include an explicit naive reference.
+
+use crate::gemm::{gemm, gemm_at, gemm_bt};
+use crate::tensor::Tensor;
+
+/// Hyper-parameters of a conv layer application.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Conv2dParams {
+    /// Filter height/width (square filters, as in all the paper's models).
+    pub kernel: usize,
+    /// Stride in both spatial dimensions.
+    pub stride: usize,
+    /// Symmetric zero padding in both spatial dimensions.
+    pub pad: usize,
+}
+
+impl Conv2dParams {
+    /// "Same" convolution for odd kernels at stride 1.
+    pub fn same(kernel: usize) -> Self {
+        assert!(kernel % 2 == 1, "same-padding requires odd kernel");
+        Conv2dParams { kernel, stride: 1, pad: kernel / 2 }
+    }
+
+    /// Output spatial extent for an input extent `in_dim`.
+    #[inline]
+    pub fn out_dim(&self, in_dim: usize) -> usize {
+        let padded = in_dim + 2 * self.pad;
+        if padded < self.kernel {
+            0
+        } else {
+            (padded - self.kernel) / self.stride + 1
+        }
+    }
+}
+
+/// Unroll input patches into the im2col matrix `[IC*KH*KW, OH*OW]` for one
+/// image `[C, H, W]` given as a flat slice.
+fn im2col(
+    input: &[f32],
+    c: usize,
+    h: usize,
+    w: usize,
+    p: Conv2dParams,
+    col: &mut [f32],
+) {
+    let oh = p.out_dim(h);
+    let ow = p.out_dim(w);
+    let k = p.kernel;
+    debug_assert_eq!(col.len(), c * k * k * oh * ow);
+    // col[(ci*k*k + ki*k + kj), (oi*ow + oj)] = x[ci, oi*s + ki - pad, oj*s + kj - pad]
+    let mut row = 0usize;
+    for ci in 0..c {
+        let plane = &input[ci * h * w..(ci + 1) * h * w];
+        for ki in 0..k {
+            for kj in 0..k {
+                let dst = &mut col[row * oh * ow..(row + 1) * oh * ow];
+                let mut idx = 0usize;
+                for oi in 0..oh {
+                    let si = (oi * p.stride + ki) as isize - p.pad as isize;
+                    if si < 0 || si >= h as isize {
+                        // Whole output row reads out-of-range input: zeros.
+                        dst[idx..idx + ow].fill(0.0);
+                        idx += ow;
+                        continue;
+                    }
+                    let src_row = &plane[si as usize * w..si as usize * w + w];
+                    for oj in 0..ow {
+                        let sj = (oj * p.stride + kj) as isize - p.pad as isize;
+                        dst[idx] = if sj < 0 || sj >= w as isize {
+                            0.0
+                        } else {
+                            src_row[sj as usize]
+                        };
+                        idx += 1;
+                    }
+                }
+                row += 1;
+            }
+        }
+    }
+}
+
+/// Scatter-add the im2col matrix back into an image (`col2im`), the adjoint
+/// of [`im2col`]. Used to accumulate input gradients.
+fn col2im(
+    col: &[f32],
+    c: usize,
+    h: usize,
+    w: usize,
+    p: Conv2dParams,
+    out: &mut [f32],
+) {
+    let oh = p.out_dim(h);
+    let ow = p.out_dim(w);
+    let k = p.kernel;
+    debug_assert_eq!(col.len(), c * k * k * oh * ow);
+    debug_assert_eq!(out.len(), c * h * w);
+    let mut row = 0usize;
+    for ci in 0..c {
+        let plane = &mut out[ci * h * w..(ci + 1) * h * w];
+        for ki in 0..k {
+            for kj in 0..k {
+                let src = &col[row * oh * ow..(row + 1) * oh * ow];
+                let mut idx = 0usize;
+                for oi in 0..oh {
+                    let si = (oi * p.stride + ki) as isize - p.pad as isize;
+                    if si < 0 || si >= h as isize {
+                        idx += ow;
+                        continue;
+                    }
+                    let dst_row = &mut plane[si as usize * w..si as usize * w + w];
+                    for oj in 0..ow {
+                        let sj = (oj * p.stride + kj) as isize - p.pad as isize;
+                        if sj >= 0 && (sj as usize) < w {
+                            dst_row[sj as usize] += src[idx];
+                        }
+                        idx += 1;
+                    }
+                }
+                row += 1;
+            }
+        }
+    }
+}
+
+/// Forward 2-D convolution.
+///
+/// * `input`: `[N, IC, H, W]`
+/// * `weight`: `[OC, IC, KH, KW]` with `KH == KW == p.kernel`
+/// * `bias`: length `OC` (may be empty for no bias)
+///
+/// Returns `[N, OC, OH, OW]`.
+pub fn conv2d(input: &Tensor, weight: &Tensor, bias: &[f32], p: Conv2dParams) -> Tensor {
+    let (n, ic, h, w) = input.shape().nchw();
+    let (oc, wic, kh, kw) = weight.shape().nchw();
+    assert_eq!(ic, wic, "input channels {ic} != weight channels {wic}");
+    assert_eq!(kh, p.kernel, "weight kernel height mismatch");
+    assert_eq!(kw, p.kernel, "weight kernel width mismatch");
+    assert!(bias.is_empty() || bias.len() == oc, "bias length mismatch");
+
+    let oh = p.out_dim(h);
+    let ow = p.out_dim(w);
+    let kk = ic * p.kernel * p.kernel;
+    let mut out = Tensor::zeros([n, oc, oh, ow]);
+
+    // One image per rayon task: each needs a private im2col scratch buffer,
+    // and the batched forward dominates training time.
+    let in_stride = ic * h * w;
+    let out_stride = oc * oh * ow;
+    let body = |ni: usize, dst: &mut [f32]| {
+        let img = &input.as_slice()[ni * in_stride..(ni + 1) * in_stride];
+        let mut col = vec![0.0f32; kk * oh * ow];
+        im2col(img, ic, h, w, p, &mut col);
+        gemm(oc, kk, oh * ow, weight.as_slice(), &col, dst, 0.0);
+        if !bias.is_empty() {
+            for (co, b) in bias.iter().enumerate() {
+                for v in &mut dst[co * oh * ow..(co + 1) * oh * ow] {
+                    *v += b;
+                }
+            }
+        }
+    };
+    if n > 1 {
+        use rayon::prelude::*;
+        out.as_mut_slice()
+            .par_chunks_mut(out_stride)
+            .enumerate()
+            .for_each(|(ni, dst)| body(ni, dst));
+    } else if n == 1 {
+        body(0, out.as_mut_slice());
+    }
+    out
+}
+
+/// Gradients of [`conv2d`].
+pub struct Conv2dGrads {
+    /// `d loss / d input`, same shape as the forward input.
+    pub dinput: Tensor,
+    /// `d loss / d weight`, same shape as the weight.
+    pub dweight: Tensor,
+    /// `d loss / d bias`, length `OC`.
+    pub dbias: Vec<f32>,
+}
+
+/// Backward 2-D convolution: given `dout = d loss / d output`, produce
+/// gradients w.r.t. input, weight and bias.
+pub fn conv2d_backward(
+    input: &Tensor,
+    weight: &Tensor,
+    dout: &Tensor,
+    p: Conv2dParams,
+) -> Conv2dGrads {
+    let (n, ic, h, w) = input.shape().nchw();
+    let (oc, _, _, _) = weight.shape().nchw();
+    let oh = p.out_dim(h);
+    let ow = p.out_dim(w);
+    let (dn, doc, doh, dow) = dout.shape().nchw();
+    assert_eq!((dn, doc, doh, dow), (n, oc, oh, ow), "dout shape mismatch");
+
+    let kk = ic * p.kernel * p.kernel;
+    let mut dinput = Tensor::zeros([n, ic, h, w]);
+    let mut dweight = Tensor::zeros([oc, ic, p.kernel, p.kernel]);
+    let mut dbias = vec![0.0f32; oc];
+    let in_stride = ic * h * w;
+    let out_stride = oc * oh * ow;
+
+    // Per-image work: the input gradient slices are disjoint (parallel
+    // writes), while the weight/bias gradients are summed in a reduction.
+    let per_image = |ni: usize, dimg: &mut [f32]| -> (Vec<f32>, Vec<f32>) {
+        let img = &input.as_slice()[ni * in_stride..(ni + 1) * in_stride];
+        let dy = &dout.as_slice()[ni * out_stride..(ni + 1) * out_stride];
+
+        let mut db = vec![0.0f32; oc];
+        for co in 0..oc {
+            let mut acc = 0.0f32;
+            for &g in &dy[co * oh * ow..(co + 1) * oh * ow] {
+                acc += g;
+            }
+            db[co] = acc;
+        }
+
+        // dW[oc, kk] = dy[oc, ohw] · col[kk, ohw]^T
+        let mut col = vec![0.0f32; kk * oh * ow];
+        im2col(img, ic, h, w, p, &mut col);
+        let mut dw = vec![0.0f32; oc * kk];
+        gemm_bt(oc, oh * ow, kk, dy, &col, &mut dw, 0.0);
+
+        // dcol[kk, ohw] = W^T[kk, oc] · dy[oc, ohw]; W stored as [oc, kk].
+        let mut dcol = vec![0.0f32; kk * oh * ow];
+        gemm_at(kk, oc, oh * ow, weight.as_slice(), dy, &mut dcol, 0.0);
+        col2im(&dcol, ic, h, w, p, dimg);
+        (dw, db)
+    };
+
+    if n > 1 {
+        use rayon::prelude::*;
+        let partials: Vec<(Vec<f32>, Vec<f32>)> = dinput
+            .as_mut_slice()
+            .par_chunks_mut(in_stride)
+            .enumerate()
+            .map(|(ni, dimg)| per_image(ni, dimg))
+            .collect();
+        for (dw, db) in partials {
+            for (a, b) in dweight.as_mut_slice().iter_mut().zip(&dw) {
+                *a += b;
+            }
+            for (a, b) in dbias.iter_mut().zip(&db) {
+                *a += b;
+            }
+        }
+    } else if n == 1 {
+        let (dw, db) = per_image(0, dinput.as_mut_slice());
+        dweight.as_mut_slice().copy_from_slice(&dw);
+        dbias.copy_from_slice(&db);
+    }
+
+    Conv2dGrads { dinput, dweight, dbias }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    /// Direct (quadruple-loop) convolution used as ground truth.
+    fn conv_naive(input: &Tensor, weight: &Tensor, bias: &[f32], p: Conv2dParams) -> Tensor {
+        let (n, ic, h, w) = input.shape().nchw();
+        let (oc, _, k, _) = weight.shape().nchw();
+        let oh = p.out_dim(h);
+        let ow = p.out_dim(w);
+        let mut out = Tensor::zeros([n, oc, oh, ow]);
+        for ni in 0..n {
+            for co in 0..oc {
+                for oi in 0..oh {
+                    for oj in 0..ow {
+                        let mut acc = if bias.is_empty() { 0.0 } else { bias[co] };
+                        for ci in 0..ic {
+                            for ki in 0..k {
+                                for kj in 0..k {
+                                    let si = (oi * p.stride + ki) as isize - p.pad as isize;
+                                    let sj = (oj * p.stride + kj) as isize - p.pad as isize;
+                                    if si >= 0
+                                        && sj >= 0
+                                        && (si as usize) < h
+                                        && (sj as usize) < w
+                                    {
+                                        acc += input.at(&[ni, ci, si as usize, sj as usize])
+                                            * weight.at(&[co, ci, ki, kj]);
+                                    }
+                                }
+                            }
+                        }
+                        *out.at_mut(&[ni, co, oi, oj]) = acc;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn out_dim_arithmetic() {
+        let p = Conv2dParams { kernel: 3, stride: 1, pad: 1 };
+        assert_eq!(p.out_dim(224), 224);
+        let p2 = Conv2dParams { kernel: 3, stride: 2, pad: 1 };
+        assert_eq!(p2.out_dim(224), 112);
+        let p3 = Conv2dParams { kernel: 7, stride: 2, pad: 3 };
+        assert_eq!(p3.out_dim(224), 112);
+        // Degenerate: window larger than padded input.
+        let p4 = Conv2dParams { kernel: 5, stride: 1, pad: 0 };
+        assert_eq!(p4.out_dim(3), 0);
+    }
+
+    #[test]
+    fn matches_naive_various_shapes() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let cases = [
+            (1, 1, 5, 5, 1, 3, 1, 1),
+            (2, 3, 8, 8, 4, 3, 1, 1),
+            (1, 2, 9, 7, 3, 3, 2, 1),
+            (1, 3, 6, 6, 2, 1, 1, 0),
+            (1, 2, 8, 8, 2, 5, 1, 2),
+        ];
+        for (n, ic, h, w, oc, k, s, pad) in cases {
+            let p = Conv2dParams { kernel: k, stride: s, pad };
+            let x = Tensor::randn([n, ic, h, w], 1.0, &mut rng);
+            let wt = Tensor::randn([oc, ic, k, k], 0.5, &mut rng);
+            let b: Vec<f32> = (0..oc).map(|i| i as f32 * 0.1).collect();
+            let got = conv2d(&x, &wt, &b, p);
+            let want = conv_naive(&x, &wt, &b, p);
+            assert!(got.approx_eq(&want, 1e-4), "mismatch for case {:?}", (n, ic, h, w, oc, k, s, pad));
+        }
+    }
+
+    #[test]
+    fn identity_kernel_passthrough() {
+        // 1x1 conv with identity weight reproduces the input channel.
+        let x = Tensor::from_fn([1, 1, 4, 4], |i| i as f32);
+        let w = Tensor::from_vec([1, 1, 1, 1], vec![1.0]);
+        let y = conv2d(&x, &w, &[], Conv2dParams { kernel: 1, stride: 1, pad: 0 });
+        assert!(y.approx_eq(&x, 0.0));
+    }
+
+    #[test]
+    fn zero_padding_semantics_at_border() {
+        // A 3x3 all-ones kernel over an all-ones image: interior outputs are 9,
+        // edges 6, corners 4 — exactly the zero-padding behaviour FDSP relies on.
+        let x = Tensor::full([1, 1, 5, 5], 1.0);
+        let w = Tensor::full([1, 1, 3, 3], 1.0);
+        let y = conv2d(&x, &w, &[], Conv2dParams::same(3));
+        assert_eq!(y.at(&[0, 0, 2, 2]), 9.0);
+        assert_eq!(y.at(&[0, 0, 0, 2]), 6.0);
+        assert_eq!(y.at(&[0, 0, 0, 0]), 4.0);
+    }
+
+    /// Central finite difference of the scalar loss `sum(conv(x, w))`.
+    fn grad_check(n: usize, ic: usize, h: usize, w: usize, oc: usize, p: Conv2dParams) {
+        let mut rng = StdRng::seed_from_u64(42);
+        let x = Tensor::randn([n, ic, h, w], 1.0, &mut rng);
+        let wt = Tensor::randn([oc, ic, p.kernel, p.kernel], 0.5, &mut rng);
+        let b: Vec<f32> = vec![0.05; oc];
+
+        let y = conv2d(&x, &wt, &b, p);
+        // loss = sum(y) => dout = ones
+        let dout = Tensor::full(y.shape().clone(), 1.0);
+        let grads = conv2d_backward(&x, &wt, &dout, p);
+
+        let eps = 1e-2f32;
+        let loss = |x: &Tensor, wt: &Tensor, b: &[f32]| -> f64 { conv2d(x, wt, b, p).sum() };
+
+        // check a scattering of input grads
+        for &flat in &[0usize, x.numel() / 2, x.numel() - 1] {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[flat] += eps;
+            let mut xm = x.clone();
+            xm.as_mut_slice()[flat] -= eps;
+            let num = ((loss(&xp, &wt, &b) - loss(&xm, &wt, &b)) / (2.0 * eps as f64)) as f32;
+            let ana = grads.dinput.as_slice()[flat];
+            assert!((num - ana).abs() < 2e-2, "dinput[{flat}]: num {num} vs ana {ana}");
+        }
+        // weight grads
+        for &flat in &[0usize, wt.numel() / 2, wt.numel() - 1] {
+            let mut wp = wt.clone();
+            wp.as_mut_slice()[flat] += eps;
+            let mut wm = wt.clone();
+            wm.as_mut_slice()[flat] -= eps;
+            let num = ((loss(&x, &wp, &b) - loss(&x, &wm, &b)) / (2.0 * eps as f64)) as f32;
+            let ana = grads.dweight.as_slice()[flat];
+            assert!((num - ana).abs() < 2e-2, "dweight[{flat}]: num {num} vs ana {ana}");
+        }
+        // bias grad: d sum(y) / d b[o] = OH*OW*N
+        let (_, _, yh, yw) = y.shape().nchw();
+        for co in 0..oc {
+            let expect = (n * yh * yw) as f32;
+            assert!((grads.dbias[co] - expect).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn gradients_match_finite_difference_same_pad() {
+        grad_check(1, 2, 6, 6, 3, Conv2dParams::same(3));
+    }
+
+    #[test]
+    fn gradients_match_finite_difference_strided() {
+        grad_check(2, 2, 7, 7, 2, Conv2dParams { kernel: 3, stride: 2, pad: 1 });
+    }
+
+    #[test]
+    fn gradients_match_finite_difference_no_pad() {
+        grad_check(1, 1, 5, 5, 1, Conv2dParams { kernel: 3, stride: 1, pad: 0 });
+    }
+}

@@ -1,0 +1,277 @@
+//! Blocked, rayon-parallel single-precision matrix multiply.
+//!
+//! The convolution path (im2col) reduces to `C = A · B` where `A` is the
+//! filter matrix `[OC, IC·KH·KW]` and `B` is the unrolled input
+//! `[IC·KH·KW, OH·OW]`. A straightforward cache-blocked kernel with
+//! row-parallelism is plenty for the model sizes the reproduction runs
+//! natively (the Raspberry-Pi-scale numbers come from the simulator's cost
+//! model, not from timing this kernel).
+
+use rayon::prelude::*;
+
+/// Tile edge for the k-dimension blocking. Chosen so one `A` row block and a
+/// `B` panel fit comfortably in L1 for f32.
+const KC: usize = 256;
+
+/// Below this work threshold the parallel dispatch overhead outweighs the
+/// speedup, so we stay single-threaded.
+const PAR_FLOP_THRESHOLD: usize = 1 << 16;
+
+/// `c[m×n] = a[m×k] · b[k×n] + beta · c`.
+///
+/// All matrices are dense row-major slices. Panics if the slice lengths do
+/// not match the stated dimensions.
+pub fn gemm(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32], beta: f32) {
+    assert_eq!(a.len(), m * k, "A dims mismatch");
+    assert_eq!(b.len(), k * n, "B dims mismatch");
+    assert_eq!(c.len(), m * n, "C dims mismatch");
+
+    if beta == 0.0 {
+        c.fill(0.0);
+    } else if beta != 1.0 {
+        for x in c.iter_mut() {
+            *x *= beta;
+        }
+    }
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
+
+    let flops = m * n * k;
+    if flops >= PAR_FLOP_THRESHOLD && m > 1 {
+        c.par_chunks_mut(n)
+            .enumerate()
+            .for_each(|(i, crow)| gemm_row(i, k, n, a, b, crow));
+    } else {
+        for (i, crow) in c.chunks_mut(n).enumerate() {
+            gemm_row(i, k, n, a, b, crow);
+        }
+    }
+}
+
+/// Accumulate one output row: `crow += a[i, :] · b`.
+#[inline]
+fn gemm_row(i: usize, k: usize, n: usize, a: &[f32], b: &[f32], crow: &mut [f32]) {
+    let arow = &a[i * k..(i + 1) * k];
+    // k-blocking keeps the active B panel hot in cache.
+    let mut k0 = 0;
+    while k0 < k {
+        let kb = KC.min(k - k0);
+        for kk in 0..kb {
+            let aik = arow[k0 + kk];
+            if aik == 0.0 {
+                continue;
+            }
+            let brow = &b[(k0 + kk) * n..(k0 + kk) * n + n];
+            // This inner loop autovectorizes: c[j] += aik * b[kk, j].
+            for (cj, &bj) in crow.iter_mut().zip(brow) {
+                *cj += aik * bj;
+            }
+        }
+        k0 += kb;
+    }
+}
+
+/// `c[m×n] = a^T[k×m]^T · b[k×n] + beta·c`, i.e. A is stored transposed
+/// (`a` is `[k, m]` row-major). Used by the convolution backward pass where
+/// the filter matrix must be applied transposed without materializing a copy.
+pub fn gemm_at(m: usize, k: usize, n: usize, a_t: &[f32], b: &[f32], c: &mut [f32], beta: f32) {
+    assert_eq!(a_t.len(), k * m, "A^T dims mismatch");
+    assert_eq!(b.len(), k * n, "B dims mismatch");
+    assert_eq!(c.len(), m * n, "C dims mismatch");
+
+    if beta == 0.0 {
+        c.fill(0.0);
+    } else if beta != 1.0 {
+        for x in c.iter_mut() {
+            *x *= beta;
+        }
+    }
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
+
+    // Process sequentially in k (outer) so each B row is streamed once;
+    // parallelism over output rows would race, so split m instead.
+    let flops = m * n * k;
+    if flops >= PAR_FLOP_THRESHOLD && m > 1 {
+        c.par_chunks_mut(n).enumerate().for_each(|(i, crow)| {
+            for kk in 0..k {
+                let aik = a_t[kk * m + i];
+                if aik == 0.0 {
+                    continue;
+                }
+                let brow = &b[kk * n..kk * n + n];
+                for (cj, &bj) in crow.iter_mut().zip(brow) {
+                    *cj += aik * bj;
+                }
+            }
+        });
+    } else {
+        for (i, crow) in c.chunks_mut(n).enumerate() {
+            for kk in 0..k {
+                let aik = a_t[kk * m + i];
+                if aik == 0.0 {
+                    continue;
+                }
+                let brow = &b[kk * n..kk * n + n];
+                for (cj, &bj) in crow.iter_mut().zip(brow) {
+                    *cj += aik * bj;
+                }
+            }
+        }
+    }
+}
+
+/// `c[m×n] = a[m×k] · b^T[n×k]^T + beta·c`, i.e. B is stored transposed
+/// (`b_t` is `[n, k]` row-major). Used for weight gradients
+/// (`dW = dY · X^T`) where X naturally sits row-major as `[n, k]`.
+pub fn gemm_bt(m: usize, k: usize, n: usize, a: &[f32], b_t: &[f32], c: &mut [f32], beta: f32) {
+    assert_eq!(a.len(), m * k, "A dims mismatch");
+    assert_eq!(b_t.len(), n * k, "B^T dims mismatch");
+    assert_eq!(c.len(), m * n, "C dims mismatch");
+
+    if beta == 0.0 {
+        c.fill(0.0);
+    } else if beta != 1.0 {
+        for x in c.iter_mut() {
+            *x *= beta;
+        }
+    }
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
+
+    let flops = m * n * k;
+    let body = |i: usize, crow: &mut [f32]| {
+        let arow = &a[i * k..(i + 1) * k];
+        for (j, cij) in crow.iter_mut().enumerate() {
+            let brow = &b_t[j * k..(j + 1) * k];
+            // Dot product of two contiguous rows; autovectorizes well.
+            let mut acc = 0.0f32;
+            for (x, y) in arow.iter().zip(brow) {
+                acc += x * y;
+            }
+            *cij += acc;
+        }
+    };
+    if flops >= PAR_FLOP_THRESHOLD && m > 1 {
+        c.par_chunks_mut(n).enumerate().for_each(|(i, crow)| body(i, crow));
+    } else {
+        for (i, crow) in c.chunks_mut(n).enumerate() {
+            body(i, crow);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn naive(m: usize, k: usize, n: usize, a: &[f32], b: &[f32]) -> Vec<f32> {
+        let mut c = vec![0.0; m * n];
+        for i in 0..m {
+            for kk in 0..k {
+                for j in 0..n {
+                    c[i * n + j] += a[i * k + kk] * b[kk * n + j];
+                }
+            }
+        }
+        c
+    }
+
+    fn rand_vec(n: usize, rng: &mut StdRng) -> Vec<f32> {
+        (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect()
+    }
+
+    #[test]
+    fn matches_naive_small() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for &(m, k, n) in &[(1, 1, 1), (2, 3, 4), (5, 7, 3), (8, 8, 8)] {
+            let a = rand_vec(m * k, &mut rng);
+            let b = rand_vec(k * n, &mut rng);
+            let mut c = vec![0.0; m * n];
+            gemm(m, k, n, &a, &b, &mut c, 0.0);
+            let want = naive(m, k, n, &a, &b);
+            for (x, y) in c.iter().zip(&want) {
+                assert!((x - y).abs() < 1e-4, "{x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn matches_naive_large_parallel() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let (m, k, n) = (64, 300, 50);
+        let a = rand_vec(m * k, &mut rng);
+        let b = rand_vec(k * n, &mut rng);
+        let mut c = vec![0.0; m * n];
+        gemm(m, k, n, &a, &b, &mut c, 0.0);
+        let want = naive(m, k, n, &a, &b);
+        for (x, y) in c.iter().zip(&want) {
+            assert!((x - y).abs() < 1e-3, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn beta_accumulates() {
+        let a = vec![1.0, 0.0, 0.0, 1.0]; // identity 2x2
+        let b = vec![1.0, 2.0, 3.0, 4.0];
+        let mut c = vec![10.0; 4];
+        gemm(2, 2, 2, &a, &b, &mut c, 1.0);
+        assert_eq!(c, vec![11.0, 12.0, 13.0, 14.0]);
+    }
+
+    #[test]
+    fn gemm_at_matches_explicit_transpose() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let (m, k, n) = (6, 9, 5);
+        let a = rand_vec(m * k, &mut rng); // logical A [m,k]
+        let b = rand_vec(k * n, &mut rng);
+        // store A transposed as [k, m]
+        let mut at = vec![0.0; k * m];
+        for i in 0..m {
+            for kk in 0..k {
+                at[kk * m + i] = a[i * k + kk];
+            }
+        }
+        let mut c1 = vec![0.0; m * n];
+        let mut c2 = vec![0.0; m * n];
+        gemm(m, k, n, &a, &b, &mut c1, 0.0);
+        gemm_at(m, k, n, &at, &b, &mut c2, 0.0);
+        for (x, y) in c1.iter().zip(&c2) {
+            assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn gemm_bt_matches_explicit_transpose() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let (m, k, n) = (4, 7, 6);
+        let a = rand_vec(m * k, &mut rng);
+        let b = rand_vec(k * n, &mut rng); // logical B [k,n]
+        let mut bt = vec![0.0; n * k];
+        for kk in 0..k {
+            for j in 0..n {
+                bt[j * k + kk] = b[kk * n + j];
+            }
+        }
+        let mut c1 = vec![0.0; m * n];
+        let mut c2 = vec![0.0; m * n];
+        gemm(m, k, n, &a, &b, &mut c1, 0.0);
+        gemm_bt(m, k, n, &a, &bt, &mut c2, 0.0);
+        for (x, y) in c1.iter().zip(&c2) {
+            assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn zero_dims_are_noops() {
+        let mut c: Vec<f32> = vec![];
+        gemm(0, 3, 0, &[], &[], &mut c, 0.0);
+        let mut c2 = vec![5.0; 4];
+        gemm(2, 0, 2, &[], &[], &mut c2, 1.0);
+        assert_eq!(c2, vec![5.0; 4]);
+    }
+}

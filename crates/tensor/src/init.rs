@@ -1,0 +1,67 @@
+//! Weight initialization schemes.
+
+use crate::tensor::Tensor;
+use rand::Rng;
+
+/// Kaiming (He) normal initialization for a conv weight `[OC, IC, K, K]`:
+/// `std = sqrt(2 / fan_in)` with `fan_in = IC·K·K`. Appropriate for
+/// ReLU-family activations, which is every activation in the paper's models.
+pub fn kaiming_conv(oc: usize, ic: usize, k: usize, rng: &mut impl Rng) -> Tensor {
+    let fan_in = (ic * k * k) as f32;
+    let std = (2.0 / fan_in).sqrt();
+    Tensor::randn([oc, ic, k, k], std, rng)
+}
+
+/// Kaiming normal initialization for a linear weight `[D, O]`.
+pub fn kaiming_linear(d: usize, o: usize, rng: &mut impl Rng) -> Tensor {
+    let std = (2.0 / d as f32).sqrt();
+    Tensor::randn([d, o], std, rng)
+}
+
+/// Xavier/Glorot uniform initialization for a linear weight `[D, O]`:
+/// `U(−a, a)` with `a = sqrt(6 / (fan_in + fan_out))`.
+pub fn xavier_linear(d: usize, o: usize, rng: &mut impl Rng) -> Tensor {
+    let a = (6.0 / (d + o) as f32).sqrt();
+    Tensor::rand_uniform([d, o], -a, a, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn kaiming_conv_std_scales_with_fan_in() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let w = kaiming_conv(64, 32, 3, &mut rng);
+        let n = w.numel() as f64;
+        let mean = w.sum() / n;
+        let var = w
+            .as_slice()
+            .iter()
+            .map(|&x| (x as f64 - mean).powi(2))
+            .sum::<f64>()
+            / n;
+        let expect = 2.0 / (32.0 * 9.0);
+        assert!((var - expect as f64).abs() / (expect as f64) < 0.1, "var {var} expect {expect}");
+    }
+
+    #[test]
+    fn xavier_bounds_respected() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let w = xavier_linear(100, 50, &mut rng);
+        let a = (6.0f32 / 150.0).sqrt();
+        for &v in w.as_slice() {
+            assert!(v.abs() <= a);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut r1 = StdRng::seed_from_u64(5);
+        let mut r2 = StdRng::seed_from_u64(5);
+        let w1 = kaiming_linear(10, 10, &mut r1);
+        let w2 = kaiming_linear(10, 10, &mut r2);
+        assert!(w1.approx_eq(&w2, 0.0));
+    }
+}

@@ -1,0 +1,122 @@
+//! Fully connected (dense) layers.
+
+use crate::gemm::{gemm, gemm_at, gemm_bt};
+use crate::tensor::Tensor;
+
+/// Forward FC: `y[N, O] = x[N, D] · w[D, O] + b`.
+pub fn linear(x: &Tensor, w: &Tensor, b: &[f32]) -> Tensor {
+    let (n, d) = x.shape().rc();
+    let (wd, o) = w.shape().rc();
+    assert_eq!(d, wd, "linear dim mismatch: x cols {d} vs w rows {wd}");
+    assert!(b.is_empty() || b.len() == o, "bias length mismatch");
+    let mut y = Tensor::zeros([n, o]);
+    gemm(n, d, o, x.as_slice(), w.as_slice(), y.as_mut_slice(), 0.0);
+    if !b.is_empty() {
+        for row in y.as_mut_slice().chunks_mut(o) {
+            for (v, &bi) in row.iter_mut().zip(b) {
+                *v += bi;
+            }
+        }
+    }
+    y
+}
+
+/// Gradients of [`linear`].
+pub struct LinearGrads {
+    /// `dL/dx`, shape `[N, D]`.
+    pub dx: Tensor,
+    /// `dL/dw`, shape `[D, O]`.
+    pub dw: Tensor,
+    /// `dL/db`, length `O`.
+    pub db: Vec<f32>,
+}
+
+/// Backward FC.
+pub fn linear_backward(x: &Tensor, w: &Tensor, dy: &Tensor) -> LinearGrads {
+    let (n, d) = x.shape().rc();
+    let (_, o) = w.shape().rc();
+    let (dn, dyo) = dy.shape().rc();
+    assert_eq!((dn, dyo), (n, o), "dy shape mismatch");
+
+    // dx[N, D] = dy[N, O] · w^T; w stored [D, O] row-major == w^T stored [O, D]-transposed,
+    // so use gemm_bt with b_t = w (treating w as the [D(=n of bt), O(=k)] transposed operand):
+    // dx[i, j] = sum_o dy[i, o] * w[j, o] — matches gemm_bt(m=N, k=O, n=D, a=dy, b_t=w).
+    let mut dx = Tensor::zeros([n, d]);
+    gemm_bt(n, o, d, dy.as_slice(), w.as_slice(), dx.as_mut_slice(), 0.0);
+
+    // dw[D, O] = x^T[D, N] · dy[N, O]; x stored [N, D] is exactly the
+    // transposed operand gemm_at expects.
+    let mut dw = Tensor::zeros([d, o]);
+    gemm_at(d, n, o, x.as_slice(), dy.as_slice(), dw.as_mut_slice(), 0.0);
+
+    let mut db = vec![0.0f32; o];
+    for row in dy.as_slice().chunks(o) {
+        for (acc, &g) in db.iter_mut().zip(row) {
+            *acc += g;
+        }
+    }
+    LinearGrads { dx, dw, db }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn forward_matches_manual() {
+        let x = Tensor::from_vec([2, 3], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let w = Tensor::from_vec([3, 2], vec![1.0, 0.0, 0.0, 1.0, 1.0, 1.0]);
+        let b = vec![0.5, -0.5];
+        let y = linear(&x, &w, &b);
+        // row0: [1 + 3, 2 + 3] + b = [4.5, 4.5]
+        assert_eq!(y.as_slice(), &[4.5, 4.5, 10.5, 10.5]);
+    }
+
+    #[test]
+    fn backward_matches_finite_difference() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let x = Tensor::randn([3, 4], 1.0, &mut rng);
+        let w = Tensor::randn([4, 2], 0.7, &mut rng);
+        let b = vec![0.1, -0.2];
+        let mask = Tensor::randn([3, 2], 1.0, &mut rng);
+        let loss = |x: &Tensor, w: &Tensor, b: &[f32]| -> f64 {
+            linear(x, w, b).zip_map(&mask, |a, m| a * m).sum()
+        };
+        let grads = linear_backward(&x, &w, &mask);
+
+        let eps = 1e-2f32;
+        for flat in 0..x.numel() {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[flat] += eps;
+            let mut xm = x.clone();
+            xm.as_mut_slice()[flat] -= eps;
+            let num = ((loss(&xp, &w, &b) - loss(&xm, &w, &b)) / (2.0 * eps as f64)) as f32;
+            assert!((num - grads.dx.as_slice()[flat]).abs() < 1e-2, "dx[{flat}]");
+        }
+        for flat in 0..w.numel() {
+            let mut wp = w.clone();
+            wp.as_mut_slice()[flat] += eps;
+            let mut wm = w.clone();
+            wm.as_mut_slice()[flat] -= eps;
+            let num = ((loss(&x, &wp, &b) - loss(&x, &wm, &b)) / (2.0 * eps as f64)) as f32;
+            assert!((num - grads.dw.as_slice()[flat]).abs() < 1e-2, "dw[{flat}]");
+        }
+        for o in 0..2 {
+            let mut bp = b.clone();
+            bp[o] += eps;
+            let mut bm = b.clone();
+            bm[o] -= eps;
+            let num = ((loss(&x, &w, &bp) - loss(&x, &w, &bm)) / (2.0 * eps as f64)) as f32;
+            assert!((num - grads.db[o]).abs() < 1e-2, "db[{o}]");
+        }
+    }
+
+    #[test]
+    fn no_bias_supported() {
+        let x = Tensor::full([1, 2], 1.0);
+        let w = Tensor::full([2, 2], 2.0);
+        let y = linear(&x, &w, &[]);
+        assert_eq!(y.as_slice(), &[4.0, 4.0]);
+    }
+}

@@ -1,0 +1,288 @@
+//! Loss functions for the retraining experiments.
+
+use crate::activ::softmax_rows;
+use crate::tensor::Tensor;
+
+/// Softmax cross-entropy over `[N, K]` logits with integer class targets.
+///
+/// Returns `(mean_loss, dlogits)` where `dlogits` already includes the
+/// `1/N` factor, so it can be fed straight into the backward pass.
+pub fn softmax_cross_entropy(logits: &Tensor, targets: &[usize]) -> (f64, Tensor) {
+    let (n, k) = logits.shape().rc();
+    assert_eq!(targets.len(), n, "target count mismatch");
+    let probs = softmax_rows(logits);
+    let mut loss = 0.0f64;
+    let mut dlogits = probs.clone();
+    let inv_n = 1.0 / n as f32;
+    for (i, &t) in targets.iter().enumerate() {
+        assert!(t < k, "target {t} out of range for {k} classes");
+        let p = probs.at(&[i, t]).max(1e-12);
+        loss -= (p as f64).ln();
+        *dlogits.at_mut(&[i, t]) -= 1.0;
+    }
+    dlogits.scale(inv_n);
+    (loss / n as f64, dlogits)
+}
+
+/// Classification accuracy of `[N, K]` logits against integer targets.
+pub fn accuracy(logits: &Tensor, targets: &[usize]) -> f64 {
+    let (n, k) = logits.shape().rc();
+    assert_eq!(targets.len(), n);
+    let mut correct = 0usize;
+    for i in 0..n {
+        let row = &logits.as_slice()[i * k..(i + 1) * k];
+        let mut best = 0usize;
+        for (j, &v) in row.iter().enumerate() {
+            if v > row[best] {
+                best = j;
+            }
+        }
+        if best == targets[i] {
+            correct += 1;
+        }
+    }
+    correct as f64 / n as f64
+}
+
+/// Mean squared error; returns `(mean_loss, dpred)`.
+pub fn mse(pred: &Tensor, target: &Tensor) -> (f64, Tensor) {
+    assert_eq!(pred.dims(), target.dims(), "mse shape mismatch");
+    let n = pred.numel() as f64;
+    let mut loss = 0.0f64;
+    let mut grad = Tensor::zeros(pred.dims());
+    let scale = 2.0 / n as f32;
+    for ((g, &p), &t) in grad
+        .as_mut_slice()
+        .iter_mut()
+        .zip(pred.as_slice())
+        .zip(target.as_slice())
+    {
+        let d = p - t;
+        loss += (d as f64) * (d as f64);
+        *g = scale * d;
+    }
+    (loss / n, grad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cross_entropy_perfect_prediction_near_zero() {
+        let logits = Tensor::from_vec([1, 3], vec![100.0, 0.0, 0.0]);
+        let (loss, _) = softmax_cross_entropy(&logits, &[0]);
+        assert!(loss < 1e-6);
+    }
+
+    #[test]
+    fn cross_entropy_uniform_is_log_k() {
+        let logits = Tensor::zeros([2, 4]);
+        let (loss, _) = softmax_cross_entropy(&logits, &[1, 3]);
+        assert!((loss - (4.0f64).ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn cross_entropy_grad_matches_finite_difference() {
+        let logits = Tensor::from_vec([2, 3], vec![0.5, -0.2, 1.0, 0.0, 0.3, -0.7]);
+        let targets = [2usize, 0usize];
+        let (_, grad) = softmax_cross_entropy(&logits, &targets);
+        let eps = 1e-3f32;
+        for flat in 0..logits.numel() {
+            let mut lp = logits.clone();
+            lp.as_mut_slice()[flat] += eps;
+            let mut lm = logits.clone();
+            lm.as_mut_slice()[flat] -= eps;
+            let (lossp, _) = softmax_cross_entropy(&lp, &targets);
+            let (lossm, _) = softmax_cross_entropy(&lm, &targets);
+            let num = ((lossp - lossm) / (2.0 * eps as f64)) as f32;
+            assert!((num - grad.as_slice()[flat]).abs() < 1e-3, "grad[{flat}]");
+        }
+    }
+
+    #[test]
+    fn accuracy_counts_argmax_hits() {
+        let logits = Tensor::from_vec([3, 2], vec![1.0, 0.0, 0.0, 1.0, 0.9, 0.1]);
+        assert_eq!(accuracy(&logits, &[0, 1, 0]), 1.0);
+        assert!((accuracy(&logits, &[1, 1, 0]) - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mse_zero_for_identical() {
+        let a = Tensor::from_fn([5], |i| i as f32);
+        let (loss, grad) = mse(&a, &a);
+        assert_eq!(loss, 0.0);
+        assert!(grad.as_slice().iter().all(|&g| g == 0.0));
+    }
+
+    #[test]
+    fn mse_grad_direction() {
+        let pred = Tensor::from_vec([2], vec![1.0, 0.0]);
+        let target = Tensor::from_vec([2], vec![0.0, 0.0]);
+        let (loss, grad) = mse(&pred, &target);
+        assert!((loss - 0.5).abs() < 1e-6);
+        assert!(grad.as_slice()[0] > 0.0);
+        assert_eq!(grad.as_slice()[1], 0.0);
+    }
+}
+
+/// Per-pixel softmax cross-entropy for dense prediction (FCN-style):
+/// `logits` is `[N, K, H, W]`, `targets[n*H*W + h*W + w]` is the class of
+/// each pixel. Returns `(mean_loss, dlogits)` with the `1/(N·H·W)` factor
+/// folded into the gradient.
+pub fn pixel_cross_entropy(logits: &Tensor, targets: &[usize]) -> (f64, Tensor) {
+    let (n, k, h, w) = logits.shape().nchw();
+    assert_eq!(targets.len(), n * h * w, "target count mismatch");
+    let mut loss = 0.0f64;
+    let mut grad = Tensor::zeros(logits.dims());
+    let hw = h * w;
+    let inv = 1.0 / (n * hw) as f32;
+    let xs = logits.as_slice();
+    let gs = grad.as_mut_slice();
+    for ni in 0..n {
+        for px in 0..hw {
+            // softmax over the K channel values of this pixel
+            let mut maxv = f32::NEG_INFINITY;
+            for ci in 0..k {
+                maxv = maxv.max(xs[(ni * k + ci) * hw + px]);
+            }
+            let mut denom = 0.0f32;
+            for ci in 0..k {
+                denom += (xs[(ni * k + ci) * hw + px] - maxv).exp();
+            }
+            let t = targets[ni * hw + px];
+            assert!(t < k, "pixel target {t} out of range");
+            for ci in 0..k {
+                let p = (xs[(ni * k + ci) * hw + px] - maxv).exp() / denom;
+                gs[(ni * k + ci) * hw + px] = inv * (p - if ci == t { 1.0 } else { 0.0 });
+                if ci == t {
+                    loss -= (p.max(1e-12) as f64).ln();
+                }
+            }
+        }
+    }
+    (loss / (n * hw) as f64, grad)
+}
+
+/// Per-pixel argmax accuracy for dense `[N, K, H, W]` logits.
+pub fn pixel_accuracy(logits: &Tensor, targets: &[usize]) -> f64 {
+    let (n, k, h, w) = logits.shape().nchw();
+    assert_eq!(targets.len(), n * h * w);
+    let hw = h * w;
+    let xs = logits.as_slice();
+    let mut correct = 0usize;
+    for ni in 0..n {
+        for px in 0..hw {
+            let mut best = 0usize;
+            for ci in 1..k {
+                if xs[(ni * k + ci) * hw + px] > xs[(ni * k + best) * hw + px] {
+                    best = ci;
+                }
+            }
+            if best == targets[ni * hw + px] {
+                correct += 1;
+            }
+        }
+    }
+    correct as f64 / (n * hw) as f64
+}
+
+/// Mean intersection-over-union across classes for dense `[N, K, H, W]`
+/// logits (the paper's FCN metric). Classes absent from both prediction
+/// and ground truth are skipped.
+pub fn mean_iou(logits: &Tensor, targets: &[usize]) -> f64 {
+    let (n, k, h, w) = logits.shape().nchw();
+    assert_eq!(targets.len(), n * h * w);
+    let hw = h * w;
+    let xs = logits.as_slice();
+    let mut inter = vec![0u64; k];
+    let mut union = vec![0u64; k];
+    for ni in 0..n {
+        for px in 0..hw {
+            let mut pred = 0usize;
+            for ci in 1..k {
+                if xs[(ni * k + ci) * hw + px] > xs[(ni * k + pred) * hw + px] {
+                    pred = ci;
+                }
+            }
+            let t = targets[ni * hw + px];
+            if pred == t {
+                inter[t] += 1;
+                union[t] += 1;
+            } else {
+                union[t] += 1;
+                union[pred] += 1;
+            }
+        }
+    }
+    let mut acc = 0.0f64;
+    let mut classes = 0usize;
+    for ci in 0..k {
+        if union[ci] > 0 {
+            acc += inter[ci] as f64 / union[ci] as f64;
+            classes += 1;
+        }
+    }
+    if classes == 0 {
+        0.0
+    } else {
+        acc / classes as f64
+    }
+}
+
+#[cfg(test)]
+mod dense_tests {
+    use super::*;
+
+    #[test]
+    fn pixel_ce_perfect_prediction() {
+        // logits heavily favoring the right class per pixel -> ~0 loss
+        let mut logits = Tensor::zeros([1, 2, 2, 2]);
+        let targets = [0usize, 1, 1, 0];
+        for (px, &t) in targets.iter().enumerate() {
+            *logits.at_mut(&[0, t, px / 2, px % 2]) = 50.0;
+        }
+        let (loss, _) = pixel_cross_entropy(&logits, &targets);
+        assert!(loss < 1e-6, "{loss}");
+        assert_eq!(pixel_accuracy(&logits, &targets), 1.0);
+        assert_eq!(mean_iou(&logits, &targets), 1.0);
+    }
+
+    #[test]
+    fn pixel_ce_grad_matches_finite_difference() {
+        let mut logits = Tensor::from_fn([1, 3, 2, 2], |i| ((i * 7) % 5) as f32 * 0.3 - 0.5);
+        let targets = [0usize, 2, 1, 1];
+        let (_, grad) = pixel_cross_entropy(&logits, &targets);
+        let eps = 1e-3f32;
+        for flat in 0..logits.numel() {
+            let orig = logits.as_slice()[flat];
+            logits.as_mut_slice()[flat] = orig + eps;
+            let (lp, _) = pixel_cross_entropy(&logits, &targets);
+            logits.as_mut_slice()[flat] = orig - eps;
+            let (lm, _) = pixel_cross_entropy(&logits, &targets);
+            logits.as_mut_slice()[flat] = orig;
+            let num = ((lp - lm) / (2.0 * eps as f64)) as f32;
+            assert!(
+                (num - grad.as_slice()[flat]).abs() < 1e-3,
+                "grad[{flat}]: {num} vs {}",
+                grad.as_slice()[flat]
+            );
+        }
+    }
+
+    #[test]
+    fn iou_penalizes_false_positives() {
+        // All pixels truly class 0; predict half as class 1.
+        let mut logits = Tensor::zeros([1, 2, 1, 4]);
+        for px in 0..4 {
+            let c = if px < 2 { 0 } else { 1 };
+            *logits.at_mut(&[0, c, 0, px]) = 10.0;
+        }
+        let targets = [0usize; 4];
+        let acc = pixel_accuracy(&logits, &targets);
+        assert_eq!(acc, 0.5);
+        // class 0: inter 2, union 4 -> 0.5; class 1: inter 0, union 2 -> 0
+        let iou = mean_iou(&logits, &targets);
+        assert!((iou - 0.25).abs() < 1e-9, "{iou}");
+    }
+}

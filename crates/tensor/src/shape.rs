@@ -1,0 +1,166 @@
+//! Shape arithmetic for row-major tensors.
+
+use std::fmt;
+
+/// The extents of an N-dimensional tensor, row-major.
+///
+/// `Shape` is a thin wrapper over a `Vec<usize>` with the index arithmetic
+/// the rest of the crate needs (flat offsets, stride computation, element
+/// counts). Dimension 0 is the slowest-varying axis.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Shape(Vec<usize>);
+
+impl Shape {
+    /// Build a shape from dimension extents.
+    pub fn new(dims: &[usize]) -> Self {
+        Shape(dims.to_vec())
+    }
+
+    /// Number of dimensions.
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Extent of dimension `d`.
+    #[inline]
+    pub fn dim(&self, d: usize) -> usize {
+        self.0[d]
+    }
+
+    /// All extents as a slice.
+    #[inline]
+    pub fn dims(&self) -> &[usize] {
+        &self.0
+    }
+
+    /// Total number of elements (product of extents; 1 for rank 0).
+    #[inline]
+    pub fn numel(&self) -> usize {
+        self.0.iter().product()
+    }
+
+    /// Row-major strides: `strides[i]` is the flat distance between
+    /// consecutive indices along dimension `i`.
+    pub fn strides(&self) -> Vec<usize> {
+        let mut s = vec![1usize; self.0.len()];
+        for i in (0..self.0.len().saturating_sub(1)).rev() {
+            s[i] = s[i + 1] * self.0[i + 1];
+        }
+        s
+    }
+
+    /// Flat offset of a multi-index. Panics (debug) on out-of-range indices.
+    #[inline]
+    pub fn offset(&self, idx: &[usize]) -> usize {
+        debug_assert_eq!(idx.len(), self.0.len(), "index rank mismatch");
+        let mut off = 0usize;
+        let mut stride = 1usize;
+        for d in (0..self.0.len()).rev() {
+            debug_assert!(idx[d] < self.0[d], "index {} out of range dim {}", idx[d], d);
+            off += idx[d] * stride;
+            stride *= self.0[d];
+        }
+        off
+    }
+
+    /// Interpret this shape as `[N, C, H, W]`. Panics unless rank is 4.
+    #[inline]
+    pub fn nchw(&self) -> (usize, usize, usize, usize) {
+        assert_eq!(self.rank(), 4, "expected rank-4 [N,C,H,W] shape, got {self:?}");
+        (self.0[0], self.0[1], self.0[2], self.0[3])
+    }
+
+    /// Interpret this shape as a matrix `[rows, cols]`. Panics unless rank is 2.
+    #[inline]
+    pub fn rc(&self) -> (usize, usize) {
+        assert_eq!(self.rank(), 2, "expected rank-2 matrix shape, got {self:?}");
+        (self.0[0], self.0[1])
+    }
+}
+
+impl fmt::Debug for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Shape{:?}", self.0)
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Shape::new(dims)
+    }
+}
+
+impl<const N: usize> From<[usize; N]> for Shape {
+    fn from(dims: [usize; N]) -> Self {
+        Shape(dims.to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numel_and_rank() {
+        let s = Shape::new(&[2, 3, 4]);
+        assert_eq!(s.numel(), 24);
+        assert_eq!(s.rank(), 3);
+        assert_eq!(s.dim(1), 3);
+    }
+
+    #[test]
+    fn empty_dim_gives_zero_numel() {
+        assert_eq!(Shape::new(&[4, 0, 7]).numel(), 0);
+    }
+
+    #[test]
+    fn scalar_shape() {
+        let s = Shape::new(&[]);
+        assert_eq!(s.numel(), 1);
+        assert_eq!(s.offset(&[]), 0);
+    }
+
+    #[test]
+    fn strides_row_major() {
+        let s = Shape::new(&[2, 3, 4]);
+        assert_eq!(s.strides(), vec![12, 4, 1]);
+    }
+
+    #[test]
+    fn offset_matches_strides() {
+        let s = Shape::new(&[2, 3, 4]);
+        let st = s.strides();
+        for i in 0..2 {
+            for j in 0..3 {
+                for k in 0..4 {
+                    assert_eq!(s.offset(&[i, j, k]), i * st[0] + j * st[1] + k * st[2]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn offsets_cover_dense_range() {
+        let s = Shape::new(&[3, 5]);
+        let mut seen = vec![false; 15];
+        for i in 0..3 {
+            for j in 0..5 {
+                seen[s.offset(&[i, j])] = true;
+            }
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn nchw_accessor() {
+        let s = Shape::new(&[1, 3, 224, 224]);
+        assert_eq!(s.nchw(), (1, 3, 224, 224));
+    }
+
+    #[test]
+    #[should_panic]
+    fn nchw_wrong_rank_panics() {
+        Shape::new(&[3, 224, 224]).nchw();
+    }
+}

@@ -1,0 +1,80 @@
+//! Heterogeneous edge cluster (the paper's §7.3 scenario, live): four Conv
+//! nodes of different speeds, one of which crashes mid-run. Watch Algorithm
+//! 2's statistics converge and Algorithm 3 shift tiles to the fast nodes,
+//! then route around the dead one.
+//!
+//! ```sh
+//! cargo run --release --example heterogeneous_cluster
+//! ```
+
+use adcnn::core::fdsp::TileGrid;
+use adcnn::core::ClippedRelu;
+use adcnn::nn::layer::QuantizeSte;
+use adcnn::nn::small::shapes_cnn;
+use adcnn::retrain::data::{shapes, SHAPE_CLASSES};
+use adcnn::retrain::PartitionedModel;
+use adcnn::runtime::{AdcnnRuntime, RuntimeConfig, WorkerOptions};
+use adcnn::tensor::Tensor;
+use rand::{rngs::StdRng, SeedableRng};
+use std::time::Duration;
+
+fn main() {
+    // An (untrained) model is fine here — this example demonstrates the
+    // *system* behaviour: scheduling, adaptation, fault tolerance.
+    let mut rng = StdRng::seed_from_u64(3);
+    let cr = ClippedRelu::new(0.0, 2.0);
+    let model = PartitionedModel::fdsp(shapes_cnn(SHAPE_CLASSES, &mut rng), TileGrid::new(4, 4))
+        .with_crelu(cr)
+        .with_quant(QuantizeSte::new(4, cr.range()));
+
+    // Node 0-1: fast. Node 2: 3x slower than T_L allows, so its stragglers
+    // miss the window. Node 3: dies after 12 tiles.
+    let workers = [
+        WorkerOptions::default(),
+        WorkerOptions::default(),
+        WorkerOptions { artificial_delay: Duration::from_millis(90), ..Default::default() },
+        WorkerOptions { fail_after_tiles: Some(12), ..Default::default() },
+    ];
+    let cfg = RuntimeConfig { t_l: Duration::from_millis(40), ..Default::default() };
+    let mut rt = AdcnnRuntime::launch(model, &workers, cfg);
+
+    let data = shapes(1, 24, 32, 9);
+    let dims = data.test_x.dims().to_vec();
+    let stride: usize = dims[1..].iter().product();
+
+    println!("img | alloc (n0 n1 n2 n3) | received      | dropped | speeds s_k");
+    println!("----+---------------------+---------------+---------+-----------");
+    for i in 0..24.min(data.test_len()) {
+        let img = Tensor::from_vec(
+            [1, dims[1], dims[2], dims[3]],
+            data.test_x.as_slice()[i * stride..(i + 1) * stride].to_vec(),
+        );
+        let out = rt.infer(&img);
+        let speeds: Vec<String> = rt.speeds().iter().map(|s| format!("{s:.1}")).collect();
+        println!(
+            "{i:>3} | {:>4} {:>4} {:>4} {:>4} | {:>3} {:>3} {:>3} {:>3} | {:>7} | {}",
+            out.alloc[0],
+            out.alloc[1],
+            out.alloc[2],
+            out.alloc[3],
+            out.received[0],
+            out.received[1],
+            out.received[2],
+            out.received[3],
+            out.dropped,
+            speeds.join(" ")
+        );
+    }
+
+    let final_alloc = {
+        let img = Tensor::zeros([1, dims[1], dims[2], dims[3]]);
+        rt.infer(&img).alloc
+    };
+    println!("\nfinal allocation: {final_alloc:?}");
+    assert_eq!(final_alloc[3], 0, "the dead node should be starved by now");
+    println!(
+        "node 3 (crashed) receives no tiles; node 2 (slow) holds fewer than the fast nodes — \
+         exactly the §7.3 behaviour."
+    );
+    rt.shutdown();
+}

@@ -1,0 +1,105 @@
+//! Quickstart: train a small CNN, progressively retrain it for FDSP (the
+//! paper's Algorithm 1), and serve it on a distributed multi-threaded
+//! ADCNN cluster.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use adcnn::core::fdsp::TileGrid;
+use adcnn::nn::small::shapes_cnn;
+use adcnn::retrain::data::{shapes, SHAPE_CLASSES};
+use adcnn::retrain::progressive::{progressive_retrain, RetrainConfig};
+use adcnn::retrain::trainer::{train, TrainConfig};
+use adcnn::retrain::PartitionedModel;
+use adcnn::runtime::{AdcnnRuntime, RuntimeConfig, WorkerOptions};
+use adcnn::tensor::loss::accuracy;
+use rand::{rngs::StdRng, SeedableRng};
+
+fn main() {
+    // 1. A synthetic image-classification task (see DESIGN.md for why this
+    //    substitutes for Caltech101/ImageNet) and a small CNN.
+    println!("[1/4] generating data and training the original model…");
+    let data = shapes(480, 240, 32, 7);
+    let mut rng = StdRng::seed_from_u64(1);
+    let model = shapes_cnn(SHAPE_CLASSES, &mut rng);
+    let mut original = PartitionedModel::unpartitioned(model);
+    let report = train(
+        &mut original,
+        &data,
+        &TrainConfig { epochs: 30, target_accuracy: 0.95, ..Default::default() },
+    );
+    println!(
+        "      original accuracy: {:.1}% after {} epochs",
+        report.final_accuracy() * 100.0,
+        report.epochs_used
+    );
+
+    // 2. Algorithm 1: fold in FDSP, the clipped ReLU and the 4-bit
+    //    quantizer, retraining a few epochs after each.
+    println!("[2/4] progressive retraining for a 4x4 FDSP partition…");
+    let original_model = adcnn::nn::small::SmallModel {
+        net: original.net,
+        name: "ShapesCNN",
+        input: (3, 32, 32),
+        classes: SHAPE_CLASSES,
+        separable_prefix: 2,
+        prefix_scale: (2, 2),
+    };
+    let grid = TileGrid::new(4, 4);
+    let (retrained, prog) = progressive_retrain(
+        original_model,
+        &data,
+        grid,
+        &RetrainConfig::default(),
+    );
+    for s in &prog.stages {
+        println!(
+            "      {:<14} acc {:.1}% -> {:.1}% in {} epoch(s)",
+            s.stage,
+            s.acc_before * 100.0,
+            s.acc_after * 100.0,
+            s.epochs
+        );
+    }
+    println!(
+        "      final drop vs original: {:+.2}% ({} extra epochs total)",
+        prog.accuracy_drop() * 100.0,
+        prog.total_epochs()
+    );
+
+    // 3. Launch the distributed runtime: 4 Conv-node worker threads + the
+    //    Central node in this thread.
+    println!("[3/4] launching the ADCNN runtime with 4 Conv nodes…");
+    let mut runtime = AdcnnRuntime::launch(
+        retrained,
+        &[WorkerOptions::default(); 4],
+        RuntimeConfig::default(),
+    );
+
+    // 4. Serve the test set tile-by-tile across the cluster.
+    println!("[4/4] serving {} test images…", data.test_len().min(32));
+    let mut correct = 0usize;
+    let mut total = 0usize;
+    let dims = data.test_x.dims().to_vec();
+    let stride: usize = dims[1..].iter().product();
+    for i in 0..data.test_len().min(32) {
+        let img = adcnn::tensor::Tensor::from_vec(
+            [1, dims[1], dims[2], dims[3]],
+            data.test_x.as_slice()[i * stride..(i + 1) * stride].to_vec(),
+        );
+        let out = runtime.infer(&img);
+        assert_eq!(out.dropped, 0, "healthy cluster must not drop tiles");
+        if accuracy(&out.output, &[data.test_y[i]]) > 0.5 {
+            correct += 1;
+        }
+        total += 1;
+    }
+    println!(
+        "      distributed accuracy: {:.1}% over {total} images (speeds {:?})",
+        correct as f64 / total as f64 * 100.0,
+        runtime.speeds()
+    );
+    runtime.shutdown();
+    println!("done.");
+}

@@ -1,0 +1,135 @@
+//! `adcnn` — command-line front end for the reproduction.
+//!
+//! ```text
+//! adcnn profile <model>              per-layer-block time/ifmap profile (Fig 3)
+//! adcnn simulate <model> [nodes]     ADCNN cluster simulation vs all baselines
+//! adcnn plan <model> [min_accuracy]  grid x split-depth deployment planning
+//! adcnn compress <sparsity>          compression pipeline stats at a sparsity
+//! adcnn models                       list the model zoo
+//! ```
+
+use adcnn::core::compress::{compress, Quantizer};
+use adcnn::core::fdsp::TileGrid;
+use adcnn::netsim::planner::plan_deployment;
+use adcnn::netsim::schemes::{aofl, neurosurgeon, remote_cloud, single_device};
+use adcnn::netsim::{AdcnnSim, AdcnnSimConfig, LinkParams};
+use adcnn::nn::cost::{layer_profile, model_time_s, DeviceProfile};
+use adcnn::nn::zoo;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("models") => models(),
+        Some("profile") => profile(args.get(1)),
+        Some("simulate") => simulate(args.get(1), args.get(2)),
+        Some("plan") => plan(args.get(1), args.get(2)),
+        Some("compress") => compress_cmd(args.get(1)),
+        _ => {
+            eprintln!(
+                "usage: adcnn <models|profile MODEL|simulate MODEL [NODES]|plan MODEL [MIN_ACC]|compress SPARSITY>"
+            );
+            std::process::exit(2);
+        }
+    }
+}
+
+fn lookup(name: Option<&String>) -> zoo::ModelSpec {
+    let name = name.cloned().unwrap_or_else(|| "vgg16".into());
+    zoo::by_name(&name).unwrap_or_else(|| {
+        eprintln!("unknown model {name:?}; try `adcnn models`");
+        std::process::exit(2);
+    })
+}
+
+fn models() {
+    println!("{:<10} {:>8} {:>7} {:>9} {:>6}", "model", "GFLOPs", "blocks", "separable", "grid");
+    for m in zoo::all_models().into_iter().chain([zoo::resnet18(), zoo::alexnet()]) {
+        println!(
+            "{:<10} {:>8.1} {:>7} {:>9} {:>5}x{}",
+            m.name,
+            m.total_flops() as f64 / 1e9,
+            m.blocks.len(),
+            m.separable_prefix,
+            m.default_grid.0,
+            m.default_grid.1
+        );
+    }
+}
+
+fn profile(name: Option<&String>) {
+    let m = lookup(name);
+    let pi = DeviceProfile::raspberry_pi3();
+    println!("{} on {} — total {:.0} ms", m.name, pi.name, model_time_s(&m, &pi) * 1e3);
+    println!("{:<8} {:>10} {:>12}", "block", "time (ms)", "ifmap (KB)");
+    for row in layer_profile(&m, &pi) {
+        println!("{:<8} {:>10.1} {:>12.0}", row.label, row.time_ms, row.ifmap_kb);
+    }
+}
+
+fn simulate(name: Option<&String>, nodes: Option<&String>) {
+    let m = lookup(name);
+    let k: usize = nodes.and_then(|s| s.parse().ok()).unwrap_or(8);
+    let mut cfg = AdcnnSimConfig::paper_testbed(m.clone(), k);
+    cfg.images = 30;
+    cfg.pipeline = false;
+    let run = AdcnnSim::new(cfg).run();
+    let pi = DeviceProfile::raspberry_pi3();
+    let v100 = DeviceProfile::cloud_v100();
+    println!("{} on {k} Conv nodes:", m.name);
+    println!("  ADCNN          {:>8.1} ms", run.steady_latency_s() * 1e3);
+    for r in [
+        single_device(&m, &pi),
+        remote_cloud(&m, &v100, LinkParams::cloud_uplink()),
+        neurosurgeon(&m, &pi, &v100, LinkParams::cloud_uplink()),
+        aofl(&m, k, &pi, LinkParams::wifi_fast()),
+    ] {
+        println!("  {:<14} {:>8.1} ms  [{}]", r.scheme, r.latency_s * 1e3, r.detail);
+    }
+}
+
+fn plan(name: Option<&String>, floor: Option<&String>) {
+    let m = lookup(name);
+    let floor: f64 = floor.and_then(|s| s.parse().ok()).unwrap_or(0.92);
+    let sep = m.separable_prefix;
+    let blocks = m.blocks.len();
+    let mut cfg = AdcnnSimConfig::paper_testbed(m, 8);
+    cfg.images = 10;
+    let oracle = move |grid: TileGrid, prefix: usize| -> f64 {
+        0.95 - 0.0006 * grid.tiles() as f64 - 0.015 * prefix.saturating_sub(sep) as f64
+    };
+    let grids = [TileGrid::new(2, 2), TileGrid::new(4, 4), TileGrid::new(8, 8)];
+    let prefixes: Vec<usize> =
+        [sep, (sep + blocks) / 2, blocks].into_iter().filter(|&p| p > 0).collect();
+    let plan = plan_deployment(&cfg, &grids, &prefixes, floor, &oracle);
+    match plan.chosen {
+        Some(c) => println!(
+            "chosen: {} tiles, split after block {} -> {:.1} ms at accuracy {:.3}",
+            c.grid,
+            c.prefix,
+            c.latency_s * 1e3,
+            c.accuracy
+        ),
+        None => println!("no configuration meets accuracy floor {floor}"),
+    }
+}
+
+fn compress_cmd(sparsity: Option<&String>) {
+    let s: f64 = sparsity.and_then(|x| x.parse().ok()).unwrap_or(0.95);
+    if !(0.0..=1.0).contains(&s) {
+        eprintln!("sparsity must be in [0, 1]");
+        std::process::exit(2);
+    }
+    let mut rng = StdRng::seed_from_u64(0);
+    let n = 100_000usize;
+    let xs: Vec<f32> = (0..n)
+        .map(|_| if rng.gen_bool(s) { 0.0 } else { rng.gen_range(0.05f32..1.0) })
+        .collect();
+    let c = compress(&xs, Quantizer::new(4, 1.0));
+    println!(
+        "{n} activations at sparsity {s}: {} bytes on the wire ({:.4}x of f32, {:.1}x reduction)",
+        c.payload.len(),
+        c.ratio_vs_f32(),
+        1.0 / c.ratio_vs_f32()
+    );
+}

@@ -1,0 +1,27 @@
+//! # adcnn
+//!
+//! Facade crate for the ADCNN reproduction (Zhang, Lin & Zhang, *Adaptive
+//! Distributed Convolutional Neural Network Inference at the Network Edge
+//! with ADCNN*, ICPP 2020).
+//!
+//! Re-exports the workspace crates under stable module names so downstream
+//! users depend on one crate:
+//!
+//! - [`tensor`] — dense f32 tensors and CNN primitives (fwd + bwd).
+//! - [`nn`] — layers, networks, the model zoo descriptors and cost model.
+//! - [`core`] — the paper's contribution: FDSP partitioning, the
+//!   clipped-ReLU/quantize/RLE compression pipeline, and the Central-node
+//!   scheduling algorithms.
+//! - [`netsim`] — deterministic discrete-event edge-cluster simulator plus
+//!   the baseline schemes (single-device, remote-cloud, Neurosurgeon, AOFL).
+//! - [`runtime`] — the real multi-threaded ADCNN runtime.
+//! - [`retrain`] — synthetic datasets and Algorithm 1 progressive retraining.
+//!
+//! See `examples/quickstart.rs` for a five-minute tour.
+
+pub use adcnn_core as core;
+pub use adcnn_netsim as netsim;
+pub use adcnn_nn as nn;
+pub use adcnn_retrain as retrain;
+pub use adcnn_runtime as runtime;
+pub use adcnn_tensor as tensor;

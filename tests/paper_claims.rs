@@ -1,0 +1,191 @@
+//! The paper's headline qualitative claims, asserted against the full
+//! stack (descriptors + cost model + simulator + schemes). These are the
+//! invariants EXPERIMENTS.md reports on; if a refactor breaks one of them,
+//! the reproduction is no longer reproducing.
+
+use adcnn::netsim::schemes::{aofl, neurosurgeon, remote_cloud, single_device};
+use adcnn::netsim::{AdcnnSim, AdcnnSimConfig, LinkParams, ThrottleSchedule};
+use adcnn::nn::cost::DeviceProfile;
+use adcnn::nn::zoo;
+
+fn latency(cfg: AdcnnSimConfig) -> f64 {
+    AdcnnSim::new(cfg).run().steady_latency_s()
+}
+
+fn base_cfg(model: adcnn::nn::zoo::ModelSpec, k: usize) -> AdcnnSimConfig {
+    let mut cfg = AdcnnSimConfig::paper_testbed(model, k);
+    cfg.images = 20;
+    cfg.pipeline = false;
+    cfg
+}
+
+/// Figure 11: ADCNN beats the single-device scheme. At the paper's stated
+/// (shallow) splits our calibration gives strict wins on 4 of 5 models,
+/// with ResNet34 a statistical tie (its prefix is a small FLOP share);
+/// the deep split wins strictly everywhere (next test).
+#[test]
+fn claim_adcnn_beats_single_device() {
+    let pi = DeviceProfile::raspberry_pi3();
+    let mut strict_wins = 0;
+    for m in zoo::all_models() {
+        let adcnn = latency(base_cfg(m.clone(), 8));
+        let single = single_device(&m, &pi).latency_s;
+        assert!(
+            adcnn < single * 1.05,
+            "{}: ADCNN {adcnn} catastrophically worse than single {single}",
+            m.name
+        );
+        if adcnn < single {
+            strict_wins += 1;
+        }
+    }
+    assert!(strict_wins >= 4, "only {strict_wins}/5 strict wins");
+}
+
+/// Figure 11 at the deep split: strict wins on every model.
+#[test]
+fn claim_deep_split_beats_single_device_everywhere() {
+    let pi = DeviceProfile::raspberry_pi3();
+    for m in zoo::all_models() {
+        let mut cfg = base_cfg(m.clone(), 8);
+        cfg.prefix = m.blocks.len();
+        let adcnn = latency(cfg);
+        let single = single_device(&m, &pi).latency_s;
+        assert!(adcnn < single, "{}: deep ADCNN {adcnn} !< single {single}", m.name);
+    }
+}
+
+/// Figure 11 (cloud side): with the deep split, ADCNN also beats the
+/// remote-cloud scheme on every model.
+#[test]
+fn claim_deep_split_beats_remote_cloud() {
+    let v100 = DeviceProfile::cloud_v100();
+    for m in zoo::all_models() {
+        let mut cfg = base_cfg(m.clone(), 8);
+        cfg.prefix = m.blocks.len();
+        let adcnn = latency(cfg);
+        let cloud = remote_cloud(&m, &v100, LinkParams::cloud_uplink()).latency_s;
+        assert!(adcnn < cloud, "{}: deep ADCNN {adcnn} !< cloud {cloud}", m.name);
+    }
+}
+
+/// Figure 12: pruning always helps, and helps more on the slow link.
+#[test]
+fn claim_pruning_gain_grows_as_bandwidth_shrinks() {
+    for m in [zoo::vgg16(), zoo::fcn()] {
+        let mut gains = Vec::new();
+        for link in [LinkParams::wifi_fast(), LinkParams::wifi_slow()] {
+            let mut pruned = base_cfg(m.clone(), 8);
+            pruned.link = link;
+            let mut raw = pruned.clone();
+            raw.compression = None;
+            let lp = latency(pruned);
+            let lr = latency(raw);
+            assert!(lp <= lr, "{}: pruning hurt on {} bps", m.name, link.bandwidth_bps);
+            gains.push((lr - lp) / lr);
+        }
+        assert!(gains[1] > gains[0], "{}: slow-link gain not larger: {gains:?}", m.name);
+    }
+}
+
+/// Figure 13: latency decreases monotonically in cluster size, with
+/// diminishing returns.
+#[test]
+fn claim_scalability_monotone_with_diminishing_returns() {
+    let m = zoo::vgg16();
+    let l: Vec<f64> = [2usize, 4, 8].iter().map(|&k| latency(base_cfg(m.clone(), k))).collect();
+    assert!(l[1] < l[0] && l[2] < l[1], "{l:?}");
+    assert!(l[0] / l[1] > l[1] / l[2], "no diminishing returns: {l:?}");
+}
+
+/// Figure 14: with the deep split, ADCNN beats both Neurosurgeon and AOFL
+/// on all three compared models.
+#[test]
+fn claim_deep_split_beats_neurosurgeon_and_aofl() {
+    let pi = DeviceProfile::raspberry_pi3();
+    let v100 = DeviceProfile::cloud_v100();
+    for m in [zoo::yolo(), zoo::vgg16(), zoo::resnet34()] {
+        let mut cfg = base_cfg(m.clone(), 8);
+        cfg.prefix = m.blocks.len();
+        let adcnn = latency(cfg);
+        let ns = neurosurgeon(&m, &pi, &v100, LinkParams::cloud_uplink()).latency_s;
+        let ao = aofl(&m, 8, &pi, LinkParams::wifi_fast()).latency_s;
+        assert!(adcnn < ns, "{}: {adcnn} !< Neurosurgeon {ns}", m.name);
+        assert!(adcnn < ao, "{}: {adcnn} !< AOFL {ao}", m.name);
+    }
+}
+
+/// §7.4: AOFL prefers fusing many early layers on big-feature-map models.
+#[test]
+fn claim_aofl_fuses_early_layers() {
+    let pi = DeviceProfile::raspberry_pi3();
+    for (m, min_fuse) in [(zoo::vgg16(), 5), (zoo::yolo(), 5)] {
+        let r = aofl(&m, 8, &pi, LinkParams::wifi_fast());
+        let fuse: usize = r.detail.split(' ').next().unwrap().parse().unwrap();
+        assert!(fuse >= min_fuse, "{}: fused only {fuse} ({})", m.name, r.detail);
+    }
+}
+
+/// §7.4: Neurosurgeon's latency is dominated by the edge→cloud transfer
+/// (the paper measures 67% on average).
+#[test]
+fn claim_neurosurgeon_transfer_dominated() {
+    let pi = DeviceProfile::raspberry_pi3();
+    let v100 = DeviceProfile::cloud_v100();
+    for m in [zoo::vgg16(), zoo::yolo()] {
+        let r = neurosurgeon(&m, &pi, &v100, LinkParams::cloud_uplink());
+        let frac = r.transmission_s / r.latency_s;
+        assert!(frac > 0.5, "{}: transfer only {:.0}%", m.name, frac * 100.0);
+    }
+}
+
+/// §7.3 / Figure 15: after mid-run throttling the allocator shifts tiles to
+/// the fast nodes and steady-state drops return to zero, while a static
+/// allocation keeps dropping results forever.
+#[test]
+fn claim_adaptation_restores_losslessness() {
+    let m = zoo::vgg16();
+    let mut cfg = base_cfg(m, 8);
+    cfg.images = 40;
+    for i in 4..8 {
+        cfg.nodes[i].throttle = ThrottleSchedule::throttle_at(5.0, 0.24);
+    }
+    let adaptive = AdcnnSim::new(cfg.clone()).run();
+    let mut static_cfg = cfg;
+    static_cfg.adaptive = false;
+    let fixed = AdcnnSim::new(static_cfg).run();
+
+    let tail_drops = |r: &adcnn::netsim::SimSummary| {
+        r.images[r.images.len() - 10..]
+            .iter()
+            .map(|i| i.dropped as u64)
+            .sum::<u64>()
+    };
+    assert_eq!(tail_drops(&adaptive), 0, "adaptive cluster still dropping");
+    assert!(tail_drops(&fixed) > 0, "static control unexpectedly lossless");
+    // and the fast nodes carry more tiles than the slow ones
+    let alloc = &adaptive.images.last().unwrap().alloc;
+    let fast: u32 = alloc[..4].iter().sum();
+    let slow: u32 = alloc[4..].iter().sum();
+    assert!(fast > slow, "allocation did not shift: {alloc:?}");
+}
+
+/// Table 2: the calibrated compression lands within 20% of every paper
+/// ratio.
+#[test]
+fn claim_table2_ratios_match() {
+    use adcnn::core::compress::wire_bits_estimate;
+    use adcnn::netsim::profiles::{model_sparsity, table2_ratio};
+    for m in zoo::all_models() {
+        let (c, h, w) = m.block_inputs()[m.separable_prefix];
+        let elems = (c * h * w) as u64;
+        let s = model_sparsity(&m.name);
+        let got = wire_bits_estimate(elems, s, 4) as f64 / (elems as f64 * 32.0);
+        let want = table2_ratio(&m.name);
+        assert!(
+            (got - want).abs() / want < 0.2,
+            "{}: ratio {got} vs paper {want}",
+            m.name
+        );
+    }
+}
