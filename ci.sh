@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Repo CI gate: build, tests, lints, then re-record the packed-GEMM
+# acceptance baseline (results/BENCH_gemm.json). Run from the repo root.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo clippy -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> record GEMM baseline (results/BENCH_gemm.json)"
+# The micro bench's custom main records the packed-vs-seed speedup before
+# the criterion groups run.
+cargo bench -p adcnn-bench --bench micro >/dev/null
+cat results/BENCH_gemm.json
+
+echo "==> CI OK"

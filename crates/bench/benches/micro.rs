@@ -2,15 +2,19 @@
 //! convolution/gemm throughput, the compression codec, FDSP tile
 //! plumbing, and the scheduler inner loops.
 
-use adcnn_core::compress::{compress, Quantizer, RleCodec};
+use adcnn_core::compress::{clip_and_compress_into, compress, CompressScratch, Quantizer, RleCodec};
 use adcnn_core::fdsp::TileGrid;
 use adcnn_core::sched::{StatsCollector, TileAllocator};
-use adcnn_tensor::conv::{conv2d, Conv2dParams};
-use adcnn_tensor::gemm::gemm;
-use adcnn_tensor::Tensor;
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use adcnn_nn::infer::InferScratch;
+use adcnn_nn::{Block, Layer, Network};
+use adcnn_tensor::activ::ClippedRelu;
+use adcnn_tensor::conv::{conv2d, conv2d_into, Conv2dParams};
+use adcnn_tensor::gemm::{gemm, gemm_unpacked, FusedAct};
+use adcnn_tensor::{ActBuf, Scratch, Tensor};
+use criterion::{criterion_group, BatchSize, Criterion, Throughput};
 use rand::{rngs::StdRng, Rng, SeedableRng};
 use std::hint::black_box;
+use std::time::Instant;
 
 fn bench_gemm(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(1);
@@ -24,6 +28,31 @@ fn bench_gemm(c: &mut Criterion) {
             || vec![0.0f32; m * n],
             |mut out| {
                 gemm(m, k, n, &a, &b, &mut out, 0.0);
+                black_box(out)
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    // The baseline-vs-packed pair used for BENCH_gemm.json.
+    let (m, k, n) = (256, 256, 256);
+    let a: Vec<f32> = (0..m * k).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    let b: Vec<f32> = (0..k * n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    g.throughput(Throughput::Elements((2 * m * k * n) as u64));
+    g.bench_function("packed_256x256x256", |bench| {
+        bench.iter_batched(
+            || vec![0.0f32; m * n],
+            |mut out| {
+                gemm(m, k, n, &a, &b, &mut out, 0.0);
+                black_box(out)
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    g.bench_function("unpacked_256x256x256", |bench| {
+        bench.iter_batched(
+            || vec![0.0f32; m * n],
+            |mut out| {
+                gemm_unpacked(m, k, n, &a, &b, &mut out, 0.0);
                 black_box(out)
             },
             BatchSize::LargeInput,
@@ -43,6 +72,50 @@ fn bench_conv2d(c: &mut Criterion) {
     g.throughput(Throughput::Elements(flops));
     g.bench_function("16->32ch_56x56_k3", |bench| {
         bench.iter(|| black_box(conv2d(&x, &w, &bias, p)))
+    });
+    g.bench_function("16->32ch_56x56_k3_into", |bench| {
+        let mut scratch = Scratch::new();
+        let mut out = ActBuf::new();
+        bench.iter(|| {
+            conv2d_into(
+                x.as_slice(),
+                (1, 16, 56, 56),
+                &w,
+                &bias,
+                p,
+                FusedAct::Relu,
+                &mut scratch,
+                &mut out,
+            );
+            black_box(out.as_slice()[0])
+        })
+    });
+    g.finish();
+}
+
+/// The Conv-node steady-state tile loop: prefix forward + clip + quantize +
+/// RLE, all through reusable scratch (the zero-allocation path).
+fn bench_tile_pipeline(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(6);
+    let net = Network::new(vec![Block::Seq(vec![
+        Layer::conv2d(3, 16, 3, Conv2dParams::same(3), &mut rng),
+        Layer::batch_norm(16),
+        Layer::Relu,
+        Layer::conv2d(16, 16, 3, Conv2dParams::same(3), &mut rng),
+        Layer::Relu,
+    ])]);
+    let tile = Tensor::randn([1, 3, 16, 16], 0.5, &mut rng);
+    let cr = ClippedRelu::new(0.1, 1.1);
+    let q = Quantizer::paper_default(cr);
+    let mut g = c.benchmark_group("tile_pipeline");
+    g.bench_function("prefix_forward_clip_compress", |bench| {
+        let mut scratch = InferScratch::new();
+        let mut cs = CompressScratch::new();
+        bench.iter(|| {
+            let out = net.forward_infer_with(&tile, &mut scratch);
+            let enc = clip_and_compress_into(out.as_slice(), cr, q, &mut cs);
+            black_box(enc.len())
+        })
     });
     g.finish();
 }
@@ -99,9 +172,79 @@ fn bench_scheduler(c: &mut Criterion) {
     g.finish();
 }
 
+/// Best-of-N wall-clock seconds for one invocation of `f`.
+fn best_secs(mut f: impl FnMut(), reps: usize) -> f64 {
+    // Warm-up: populate thread-local pack buffers, fault in pages.
+    f();
+    f();
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// Record the packed-vs-seed GEMM speedup on 256x256x256 to
+/// `results/BENCH_gemm.json` (the PR's acceptance baseline). JSON is
+/// hand-formatted so the file is stable regardless of serializer.
+fn record_gemm_baseline() {
+    let (m, k, n) = (256usize, 256, 256);
+    let mut rng = StdRng::seed_from_u64(7);
+    let a: Vec<f32> = (0..m * k).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    let b: Vec<f32> = (0..k * n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    let mut out = vec![0.0f32; m * n];
+    let flops = (2 * m * k * n) as f64;
+
+    let seed_s = best_secs(
+        || {
+            gemm_unpacked(m, k, n, &a, &b, &mut out, 0.0);
+            black_box(out[0]);
+        },
+        9,
+    );
+    let packed_s = best_secs(
+        || {
+            gemm(m, k, n, &a, &b, &mut out, 0.0);
+            black_box(out[0]);
+        },
+        9,
+    );
+    let speedup = seed_s / packed_s;
+    let json = format!(
+        "{{\n  \"bench\": \"gemm_256x256x256\",\n  \"seed_kernel_s\": {seed_s:.6},\n  \
+         \"packed_kernel_s\": {packed_s:.6},\n  \"seed_gflops\": {:.3},\n  \
+         \"packed_gflops\": {:.3},\n  \"speedup\": {speedup:.3},\n  \
+         \"threads\": {}\n}}\n",
+        flops / seed_s / 1e9,
+        flops / packed_s / 1e9,
+        rayon_threads(),
+    );
+    let path = adcnn_bench::results_dir().join("BENCH_gemm.json");
+    std::fs::write(&path, json).expect("write BENCH_gemm.json");
+    println!(
+        "gemm 256x256x256: seed {:.2} GFLOP/s, packed {:.2} GFLOP/s, {speedup:.2}x [written {path:?}]",
+        flops / seed_s / 1e9,
+        flops / packed_s / 1e9,
+    );
+}
+
+fn rayon_threads() -> usize {
+    // The gemm dispatches through rayon; report the pool it actually used.
+    adcnn_tensor::gemm::current_threads()
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_gemm, bench_conv2d, bench_compression, bench_fdsp, bench_scheduler
+    targets = bench_gemm, bench_conv2d, bench_tile_pipeline, bench_compression, bench_fdsp, bench_scheduler
 }
-criterion_main!(benches);
+
+// Custom main (instead of `criterion_main!`): record the acceptance
+// baseline first, then run the criterion groups as usual.
+fn main() {
+    record_gemm_baseline();
+    benches();
+    Criterion::default().configure_from_args().final_summary();
+}

@@ -16,7 +16,7 @@
 //! against the real codec in this module's tests).
 
 use adcnn_tensor::activ::ClippedRelu;
-use bytes::{BufMut, Bytes, BytesMut};
+use bytes::Bytes;
 use serde::{Deserialize, Serialize};
 
 /// Linear quantizer over `[0, range]` with `2^bits − 1` non-zero levels.
@@ -71,6 +71,13 @@ impl Quantizer {
         xs.iter().map(|&x| self.level(x)).collect()
     }
 
+    /// Quantize into a reusable buffer (clears `out` first; capacity is
+    /// kept, so steady-state calls do not allocate).
+    pub fn quantize_into(&self, xs: &[f32], out: &mut Vec<u8>) {
+        out.clear();
+        out.extend(xs.iter().map(|&x| self.level(x)));
+    }
+
     /// Dequantize level indices back to floats.
     pub fn dequantize(&self, levels: &[u8]) -> Vec<f32> {
         levels.iter().map(|&l| self.value(l)).collect()
@@ -97,10 +104,41 @@ impl Quantizer {
 #[derive(Clone, Copy, Debug, Default)]
 pub struct RleCodec;
 
+/// Packs a nibble stream into bytes, high nibble first (a trailing odd
+/// nibble leaves the low half zero) — the wire format of [`RleCodec`].
+struct NibblePacker<'a> {
+    out: &'a mut Vec<u8>,
+    /// True when the last byte's low nibble is still free.
+    half: bool,
+}
+
+impl NibblePacker<'_> {
+    #[inline]
+    fn push(&mut self, nib: u8) {
+        debug_assert!(nib <= 15);
+        if self.half {
+            *self.out.last_mut().unwrap() |= nib;
+            self.half = false;
+        } else {
+            self.out.push(nib << 4);
+            self.half = true;
+        }
+    }
+}
+
 impl RleCodec {
     /// Encode a level stream (values must fit in a nibble, i.e. `<= 15`).
     pub fn encode(&self, levels: &[u8]) -> Bytes {
-        let mut nibbles: Vec<u8> = Vec::with_capacity(levels.len() / 2 + 2);
+        let mut out = Vec::with_capacity(levels.len() / 2 + 2);
+        self.encode_into(levels, &mut out);
+        Bytes::from(out)
+    }
+
+    /// [`RleCodec::encode`] into a reusable byte buffer (cleared first,
+    /// capacity kept). Produces exactly the same bytes as `encode`.
+    pub fn encode_into(&self, levels: &[u8], out: &mut Vec<u8>) {
+        out.clear();
+        let mut packer = NibblePacker { out, half: false };
         let mut i = 0usize;
         while i < levels.len() {
             let v = levels[i];
@@ -111,28 +149,21 @@ impl RleCodec {
                     run += 1;
                     i += 1;
                 }
-                nibbles.push(0);
+                packer.push(0);
                 let mut rem = run - 1;
                 loop {
                     let group = (rem & 0x7) as u8;
                     rem >>= 3;
-                    nibbles.push(if rem > 0 { group | 0x8 } else { group });
+                    packer.push(if rem > 0 { group | 0x8 } else { group });
                     if rem == 0 {
                         break;
                     }
                 }
             } else {
-                nibbles.push(v);
+                packer.push(v);
                 i += 1;
             }
         }
-        let mut out = BytesMut::with_capacity(nibbles.len() / 2 + 1);
-        for pair in nibbles.chunks(2) {
-            let hi = pair[0];
-            let lo = if pair.len() == 2 { pair[1] } else { 0 };
-            out.put_u8((hi << 4) | lo);
-        }
-        out.freeze()
     }
 
     /// Decode `n` levels from an encoded stream.
@@ -143,7 +174,7 @@ impl RleCodec {
         let mut levels = Vec::with_capacity(n);
         let nibble_at = |idx: usize| -> Option<u8> {
             let byte = data.get(idx / 2)?;
-            Some(if idx % 2 == 0 { byte >> 4 } else { byte & 0x0f })
+            Some(if idx.is_multiple_of(2) { byte >> 4 } else { byte & 0x0f })
         };
         let mut i = 0usize;
         while levels.len() < n {
@@ -168,7 +199,7 @@ impl RleCodec {
                 if levels.len() + run > n {
                     return None;
                 }
-                levels.extend(std::iter::repeat(0u8).take(run));
+                levels.resize(levels.len() + run, 0u8);
             } else {
                 levels.push(tok);
             }
@@ -226,6 +257,60 @@ pub fn decompress(c: &Compressed) -> Option<Vec<f32>> {
 pub fn clip_and_compress(xs: &[f32], cr: ClippedRelu, bits: u8) -> Compressed {
     let clipped: Vec<f32> = xs.iter().map(|&x| cr.apply(x)).collect();
     compress(&clipped, Quantizer::new(bits, cr.range()))
+}
+
+/// Reusable buffers for the allocation-free compression path.
+///
+/// One per worker thread; `levels` holds the quantized indices, `bytes` the
+/// RLE-encoded payload. Both grow to their high-water mark and stay put, so
+/// steady-state [`compress_into`] / [`clip_and_compress_into`] calls perform
+/// zero heap allocation.
+#[derive(Clone, Debug, Default)]
+pub struct CompressScratch {
+    /// Quantized level indices (one per source element).
+    pub levels: Vec<u8>,
+    /// RLE-encoded payload bytes.
+    pub bytes: Vec<u8>,
+}
+
+impl CompressScratch {
+    /// Empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        CompressScratch::default()
+    }
+}
+
+/// [`compress`] into reusable buffers. Returns the encoded payload slice
+/// (valid until the next call); it is byte-identical to
+/// `compress(xs, quantizer).payload`.
+pub fn compress_into<'s>(xs: &[f32], quantizer: Quantizer, s: &'s mut CompressScratch) -> &'s [u8] {
+    assert!(
+        quantizer.bits <= 4,
+        "the nibble RLE wire codec carries at most 4-bit levels (got {})",
+        quantizer.bits
+    );
+    quantizer.quantize_into(xs, &mut s.levels);
+    RleCodec.encode_into(&s.levels, &mut s.bytes);
+    &s.bytes
+}
+
+/// [`clip_and_compress`] into reusable buffers, with the clipped ReLU fused
+/// into the quantization pass (no intermediate clipped `Vec<f32>`).
+pub fn clip_and_compress_into<'s>(
+    xs: &[f32],
+    cr: ClippedRelu,
+    quantizer: Quantizer,
+    s: &'s mut CompressScratch,
+) -> &'s [u8] {
+    assert!(
+        quantizer.bits <= 4,
+        "the nibble RLE wire codec carries at most 4-bit levels (got {})",
+        quantizer.bits
+    );
+    s.levels.clear();
+    s.levels.extend(xs.iter().map(|&x| quantizer.level(cr.apply(x))));
+    RleCodec.encode_into(&s.levels, &mut s.bytes);
+    &s.bytes
 }
 
 /// Closed-form wire-size estimate (bits) for `elems` activations at
@@ -460,6 +545,39 @@ mod tests {
         assert_eq!(s.original_bits, 64 * 32);
         assert_eq!(s.sparsity, 0.0);
         assert!(s.compressed_bits > 0);
+    }
+
+    #[test]
+    fn into_paths_are_byte_identical() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let cr = ClippedRelu::new(0.2, 2.0);
+        let q = Quantizer::new(4, cr.range());
+        let mut s = CompressScratch::new();
+        for n in [0usize, 1, 7, 100, 4096] {
+            let xs: Vec<f32> = (0..n)
+                .map(|_| if rng.gen_bool(0.8) { 0.0 } else { rng.gen_range(-1.0..3.0) })
+                .collect();
+            let want = compress(&xs, q);
+            let got = compress_into(&xs, q, &mut s);
+            assert_eq!(got, &want.payload[..], "compress_into diverged at n={n}");
+            let want_clip = clip_and_compress(&xs, cr, 4);
+            let got_clip = clip_and_compress_into(&xs, cr, q, &mut s);
+            assert_eq!(got_clip, &want_clip.payload[..], "clip path diverged at n={n}");
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_does_not_grow_capacity() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let xs: Vec<f32> = (0..10_000).map(|_| rng.gen_range(0.0..1.0)).collect();
+        let q = Quantizer::new(4, 1.0);
+        let mut s = CompressScratch::new();
+        compress_into(&xs, q, &mut s);
+        let (lc, bc) = (s.levels.capacity(), s.bytes.capacity());
+        for _ in 0..3 {
+            compress_into(&xs, q, &mut s);
+        }
+        assert_eq!((s.levels.capacity(), s.bytes.capacity()), (lc, bc));
     }
 
     proptest! {

@@ -96,7 +96,7 @@ impl TileGrid {
     /// True if an `h × w` map splits into equal-size tiles (required for
     /// batch stacking).
     pub fn divides(&self, h: usize, w: usize) -> bool {
-        h % self.rows == 0 && w % self.cols == 0
+        h.is_multiple_of(self.rows) && w.is_multiple_of(self.cols)
     }
 
     /// Extract the tiles of a `[N, C, H, W]` tensor as separate tensors,
@@ -210,7 +210,7 @@ mod tests {
         let area: usize = rects.iter().map(|r| r.h * r.w).sum();
         assert_eq!(area, 130);
         // no overlap: mark every covered pixel once
-        let mut seen = vec![false; 130];
+        let mut seen = [false; 130];
         for r in &rects {
             for i in r.r0..r.r0 + r.h {
                 for j in r.c0..r.c0 + r.w {

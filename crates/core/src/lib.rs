@@ -32,7 +32,7 @@ pub mod partition;
 pub mod sched;
 pub mod wire;
 
-pub use compress::{Quantizer, RleCodec};
+pub use compress::{CompressScratch, Quantizer, RleCodec};
 pub use fdsp::TileGrid;
 pub use sched::{StatsCollector, TileAllocator};
 

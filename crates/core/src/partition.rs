@@ -73,7 +73,7 @@ pub fn prefix_comm_bits(m: &ModelSpec, prefix: usize, strategy: Strategy, k: usi
 /// spatially for the halo analysis).
 pub fn square_grid(k: usize) -> TileGrid {
     let mut rows = (k as f64).sqrt() as usize;
-    while rows > 1 && k % rows != 0 {
+    while rows > 1 && !k.is_multiple_of(rows) {
         rows -= 1;
     }
     TileGrid::new(rows.max(1), k / rows.max(1))
@@ -104,6 +104,7 @@ pub fn fused_tile_flops(m: &ModelSpec, start: usize, end: usize, grid: TileGrid)
     let dims = m.block_inputs();
     let mut total = 0u64;
     let mut scale = 1usize;
+    #[allow(clippy::needless_range_loop)]
     for i in start..end.min(m.blocks.len()) {
         let (_, h, w) = dims[i];
         // Halo this layer's input tile must carry so the *final* fused

@@ -101,6 +101,23 @@ pub fn make_result(key: TileKey, tile: &Tensor, quantizer: Quantizer) -> TileRes
     }
 }
 
+/// Build a [`TileResult`] from an already-encoded payload (the worker's
+/// zero-allocation path: quantize + RLE run in reusable scratch buffers and
+/// only this one `Bytes` copy is made per shipped tile).
+pub fn make_result_from_parts(
+    key: TileKey,
+    shape: [usize; 4],
+    elems: usize,
+    encoded: &[u8],
+    quantizer: Quantizer,
+) -> TileResult {
+    TileResult {
+        key,
+        shape,
+        payload: Compressed { payload: Bytes::copy_from_slice(encoded), elems, quantizer },
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -134,6 +151,25 @@ mod tests {
         assert_eq!(res.key, key);
         let back = res.to_tensor().unwrap();
         assert!(back.approx_eq(&clipped, q.max_error() + 1e-6));
+    }
+
+    #[test]
+    fn result_from_parts_matches_make_result() {
+        use crate::compress::{compress_into, CompressScratch};
+        let cr = ClippedRelu::new(0.0, 1.0);
+        let q = Quantizer::paper_default(cr);
+        let mut rng = StdRng::seed_from_u64(3);
+        let tile = cr.forward(&Tensor::randn([1, 3, 5, 5], 0.7, &mut rng));
+        let key = TileKey { image_id: 1, tile_id: 4 };
+        let want = make_result(key, &tile, q);
+        let mut s = CompressScratch::new();
+        let enc = compress_into(tile.as_slice(), q, &mut s);
+        let got = make_result_from_parts(key, [1, 3, 5, 5], tile.numel(), enc, q);
+        assert_eq!(got.key, want.key);
+        assert_eq!(got.shape, want.shape);
+        assert_eq!(&got.payload.payload[..], &want.payload.payload[..]);
+        assert_eq!(got.payload.elems, want.payload.elems);
+        assert!(got.to_tensor().unwrap().approx_eq(&want.to_tensor().unwrap(), 0.0));
     }
 
     #[test]

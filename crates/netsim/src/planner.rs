@@ -61,7 +61,7 @@ pub fn plan_deployment(
             let mut cfg = base.clone();
             cfg.grid = grid;
             cfg.prefix = prefix;
-            cfg.images = cfg.images.min(15).max(5);
+            cfg.images = cfg.images.clamp(5, 15);
             cfg.pipeline = false;
             let latency_s = AdcnnSim::new(cfg).run().steady_latency_s();
             let accuracy = oracle(grid, prefix);

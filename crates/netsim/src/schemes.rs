@@ -96,7 +96,7 @@ pub fn neurosurgeon(
         };
         let down = uplink.transfer_s(output_bits(m));
         let total = edge_t + transfer + cloud_t + down;
-        if best.map_or(true, |(_, t, _, _)| total < t) {
+        if best.is_none_or(|(_, t, _, _)| total < t) {
             best = Some((s, total, transfer + down, edge_t + cloud_t));
         }
     }
@@ -153,7 +153,7 @@ pub fn aofl(
         // remaining layers on the head device
         let rest = suffix_time_s(m, fuse, dev);
         let total = scatter + compute_tile + gather + rest;
-        if best.map_or(true, |(_, t, _, _)| total < t) {
+        if best.is_none_or(|(_, t, _, _)| total < t) {
             best = Some((fuse, total, scatter + gather, compute_tile + rest));
         }
     }

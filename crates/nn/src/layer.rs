@@ -58,7 +58,7 @@ pub struct QuantizeSte {
 impl QuantizeSte {
     /// Construct; panics on zero bits or non-positive range.
     pub fn new(bits: u8, range: f32) -> Self {
-        assert!(bits >= 1 && bits <= 16, "bits must be in 1..=16");
+        assert!((1..=16).contains(&bits), "bits must be in 1..=16");
         assert!(range > 0.0, "range must be positive");
         QuantizeSte { bits, range }
     }

@@ -12,6 +12,7 @@
 //! conv zero padding at tile borders *exactly* the FDSP semantics.
 
 pub mod cost;
+pub mod infer;
 pub mod layer;
 mod proptests;
 pub mod network;

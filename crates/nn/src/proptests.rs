@@ -35,7 +35,7 @@ fn random_net(
             layers.push(Layer::batch_norm(c_out));
         }
         layers.push(Layer::Relu);
-        if pools[d % pools.len()] && hw % 2 == 0 && hw >= 4 {
+        if pools[d % pools.len()] && hw.is_multiple_of(2) && hw >= 4 {
             layers.push(Layer::MaxPool(Pool2dParams::non_overlapping(2)));
             hw /= 2;
         }

@@ -204,6 +204,7 @@ mod tests {
         let n = 16;
         let mut x = Tensor::zeros([n, 3, 32, 32]);
         let mut t = vec![0usize; n];
+        #[allow(clippy::needless_range_loop)]
         for i in 0..n {
             let cls = i % 2;
             t[i] = cls;

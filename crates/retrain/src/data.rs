@@ -188,6 +188,7 @@ pub fn char_seqs(train: usize, test: usize, len: usize, seed: u64) -> Dataset {
             seq[pos..pos + 3].copy_from_slice(&motifs[class]);
         }
         // make sure no *other* motif appears by clobbering accidental hits
+        #[allow(clippy::needless_range_loop)]
         for other in 0..CHAR_CLASSES {
             if other == class {
                 continue;
@@ -244,6 +245,7 @@ mod tests {
         let mut counts = vec![0usize; SHAPE_CLASSES];
         for (i, &y) in d.train_y.iter().enumerate() {
             counts[y] += 1;
+            #[allow(clippy::needless_range_loop)]
             for j in 0..stride {
                 means[y][j] += d.train_x.as_slice()[i * stride + j] as f64;
             }
@@ -307,6 +309,7 @@ mod tests {
             let has = |m: &[usize; 3]| (0..30).any(|p| seq[p..p + 3] == m[..]);
             let y = d.train_y[i];
             assert!(has(&motifs[y]), "sample {i}: own motif missing");
+            #[allow(clippy::needless_range_loop)]
             for other in 0..4 {
                 if other != y {
                     assert!(!has(&motifs[other]), "sample {i}: foreign motif {other}");

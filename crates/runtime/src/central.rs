@@ -2,18 +2,22 @@
 //! collection block, and layer computation block, driving real worker
 //! threads.
 
-use crate::worker::{spawn_worker, Compression, WorkerMsg, WorkerOptions};
+use crate::worker::{
+    spawn_worker, Compression, WorkerMsg, WorkerOptions, WorkerStats, WorkerStatsSnapshot,
+};
 use adcnn_core::compress::Quantizer;
 use adcnn_core::fdsp::TileGrid;
 use adcnn_core::sched::{StatsCollector, TileAllocator};
 use adcnn_core::wire::{TileKey, TileResult, TileTask};
 use adcnn_core::ClippedRelu;
+use adcnn_nn::infer::InferScratch;
 use adcnn_nn::Network;
 use adcnn_retrain::PartitionedModel;
 use adcnn_tensor::Tensor;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -59,6 +63,9 @@ pub struct InferOutcome {
     pub dropped: u32,
     /// Total compressed payload bits received (communication accounting).
     pub wire_bits: u64,
+    /// Cumulative per-worker compute/compress timings (since launch),
+    /// snapshotted when this image finished.
+    pub worker_stats: Vec<WorkerStatsSnapshot>,
 }
 
 /// A dispatched-but-not-yet-collected image.
@@ -75,6 +82,9 @@ pub struct AdcnnRuntime {
     task_txs: Vec<Sender<WorkerMsg>>,
     result_rx: Receiver<(usize, TileResult)>,
     handles: Vec<JoinHandle<()>>,
+    worker_stats: Vec<Arc<WorkerStats>>,
+    /// Reusable buffers for the suffix-network forward.
+    infer_scratch: InferScratch,
     stats: StatsCollector,
     allocator: TileAllocator,
     rng: StdRng,
@@ -126,8 +136,10 @@ impl AdcnnRuntime {
         let (result_tx, result_rx) = unbounded();
         let mut task_txs = Vec::with_capacity(k);
         let mut handles = Vec::with_capacity(k);
+        let mut worker_stats = Vec::with_capacity(k);
         for (i, opts) in worker_opts.iter().enumerate() {
             let (tx, rx) = unbounded();
+            let stats = Arc::new(WorkerStats::default());
             handles.push(spawn_worker(
                 i,
                 prefix_net.clone(),
@@ -135,8 +147,10 @@ impl AdcnnRuntime {
                 *opts,
                 rx,
                 result_tx.clone(),
+                stats.clone(),
             ));
             task_txs.push(tx);
+            worker_stats.push(stats);
         }
 
         AdcnnRuntime {
@@ -145,6 +159,8 @@ impl AdcnnRuntime {
             task_txs,
             result_rx,
             handles,
+            worker_stats,
+            infer_scratch: InferScratch::new(),
             stats: StatsCollector::new(k, cfg.gamma),
             allocator: TileAllocator::unbounded(k),
             rng: StdRng::seed_from_u64(cfg.seed),
@@ -163,6 +179,11 @@ impl AdcnnRuntime {
     /// Current Algorithm 2 speed estimates.
     pub fn speeds(&self) -> &[f64] {
         self.stats.speeds()
+    }
+
+    /// Snapshot the per-worker tile/compute/compress counters.
+    pub fn worker_stats(&self) -> Vec<WorkerStatsSnapshot> {
+        self.worker_stats.iter().map(|s| s.snapshot()).collect()
     }
 
     /// Run one image `[1, C, H, W]` through the distributed pipeline.
@@ -342,9 +363,13 @@ impl AdcnnRuntime {
             }
         }
 
-        // Layer computation block: the rest of the network.
+        // Layer computation block: the rest of the network, through the
+        // allocation-free inference path with runtime-owned scratch.
         let n_suffix = self.suffix.len();
-        let (output, _) = self.suffix.forward_range(&assembled, 0..n_suffix, false);
+        let output = self
+            .suffix
+            .forward_infer_range_with(&assembled, 0..n_suffix, &mut self.infer_scratch)
+            .to_tensor();
         InferOutcome {
             output,
             latency: start.elapsed(),
@@ -352,6 +377,7 @@ impl AdcnnRuntime {
             received,
             dropped: (d - got_total) as u32,
             wire_bits,
+            worker_stats: self.worker_stats.iter().map(|s| s.snapshot()).collect(),
         }
     }
 
@@ -466,6 +492,28 @@ mod tests {
         let last = rt.infer(&rand_image(99));
         assert_eq!(last.alloc[1], 0, "dead worker still allocated: {:?}", last.alloc);
         assert_eq!(last.dropped, 0, "steady state should not drop");
+        rt.shutdown();
+    }
+
+    #[test]
+    fn worker_stats_surface_in_outcome() {
+        let grid = TileGrid::new(2, 2);
+        let model = build_model(31, grid);
+        let mut rt =
+            AdcnnRuntime::launch(model, &[WorkerOptions::default(); 2], RuntimeConfig::default());
+        let out = rt.infer(&rand_image(4));
+        assert_eq!(out.worker_stats.len(), 2);
+        if out.dropped == 0 {
+            let total: u64 = out.worker_stats.iter().map(|s| s.tiles).sum();
+            assert_eq!(total, 4, "every received tile must be counted");
+            assert!(out.worker_stats.iter().any(|s| s.compute_ns > 0));
+            assert!(out.worker_stats.iter().any(|s| s.compress_ns > 0));
+        }
+        let again = rt.infer(&rand_image(5));
+        let t1: u64 = out.worker_stats.iter().map(|s| s.tiles).sum();
+        let t2: u64 = again.worker_stats.iter().map(|s| s.tiles).sum();
+        assert!(t2 > t1, "counters must accumulate across images");
+        assert_eq!(rt.worker_stats().len(), 2);
         rt.shutdown();
     }
 

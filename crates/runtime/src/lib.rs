@@ -14,4 +14,4 @@ pub mod central;
 pub mod worker;
 
 pub use central::{AdcnnRuntime, InferOutcome, RuntimeConfig};
-pub use worker::WorkerOptions;
+pub use worker::{WorkerOptions, WorkerStats, WorkerStatsSnapshot};

@@ -5,13 +5,16 @@
 //! nodes", §6.1). It processes [`TileTask`]s as they arrive, applies the
 //! clipped-ReLU + quantize + RLE pipeline, and sends [`TileResult`]s back.
 
-use adcnn_core::compress::Quantizer;
-use adcnn_core::wire::{make_result, TileResult, TileTask};
+use adcnn_core::compress::{clip_and_compress_into, compress_into, CompressScratch, Quantizer};
+use adcnn_core::wire::{make_result_from_parts, TileResult, TileTask};
+use adcnn_nn::infer::InferScratch;
 use adcnn_nn::Network;
 use adcnn_tensor::activ::ClippedRelu;
 use crossbeam::channel::{Receiver, Sender};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Behaviour knobs for one worker (heterogeneity / fault injection).
 #[derive(Clone, Copy, Debug, Default)]
@@ -39,23 +42,82 @@ pub struct Compression {
     pub quantizer: Quantizer,
 }
 
+/// Lock-free per-worker counters, updated by the worker thread after every
+/// tile and snapshotted by the Central node (the runtime-stats-context
+/// idiom: one shared `Arc`, relaxed atomics, no channel traffic).
+#[derive(Debug, Default)]
+pub struct WorkerStats {
+    /// Tiles fully processed (computed + compressed + sent).
+    pub tiles: AtomicU64,
+    /// Cumulative prefix-network forward time, nanoseconds.
+    pub compute_ns: AtomicU64,
+    /// Cumulative clip + quantize + RLE time, nanoseconds.
+    pub compress_ns: AtomicU64,
+}
+
+impl WorkerStats {
+    /// Record one processed tile.
+    pub fn record(&self, compute: Duration, compress: Duration) {
+        self.tiles.fetch_add(1, Ordering::Relaxed);
+        self.compute_ns.fetch_add(compute.as_nanos() as u64, Ordering::Relaxed);
+        self.compress_ns.fetch_add(compress.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Consistent-enough snapshot for reporting (relaxed loads).
+    pub fn snapshot(&self) -> WorkerStatsSnapshot {
+        WorkerStatsSnapshot {
+            tiles: self.tiles.load(Ordering::Relaxed),
+            compute_ns: self.compute_ns.load(Ordering::Relaxed),
+            compress_ns: self.compress_ns.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Plain-value copy of [`WorkerStats`] surfaced in
+/// [`crate::central::InferOutcome`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WorkerStatsSnapshot {
+    /// Tiles fully processed since launch.
+    pub tiles: u64,
+    /// Cumulative prefix-network forward time, nanoseconds.
+    pub compute_ns: u64,
+    /// Cumulative clip + quantize + RLE time, nanoseconds.
+    pub compress_ns: u64,
+}
+
+impl WorkerStatsSnapshot {
+    /// Mean per-tile compute time, if any tiles were processed.
+    pub fn mean_compute(&self) -> Option<Duration> {
+        (self.tiles > 0).then(|| Duration::from_nanos(self.compute_ns / self.tiles))
+    }
+
+    /// Mean per-tile compression time, if any tiles were processed.
+    pub fn mean_compress(&self) -> Option<Duration> {
+        (self.tiles > 0).then(|| Duration::from_nanos(self.compress_ns / self.tiles))
+    }
+}
+
 /// Spawn a Conv-node worker thread.
 ///
 /// `prefix` is the worker's clone of the separable blocks; results go to
-/// `results` tagged with `worker_id`.
+/// `results` tagged with `worker_id`. The thread owns one [`InferScratch`]
+/// and one [`CompressScratch`], so its steady-state tile loop performs zero
+/// heap allocation up to the final per-result payload copy.
 pub fn spawn_worker(
     worker_id: usize,
-    mut prefix: Network,
+    prefix: Network,
     compression: Option<Compression>,
     opts: WorkerOptions,
     tasks: Receiver<WorkerMsg>,
     results: Sender<(usize, TileResult)>,
+    stats: Arc<WorkerStats>,
 ) -> JoinHandle<()> {
     std::thread::Builder::new()
         .name(format!("conv-node-{worker_id}"))
         .spawn(move || {
             let mut processed = 0usize;
-            let n_blocks = prefix.len();
+            let mut scratch = InferScratch::new();
+            let mut cs = CompressScratch::new();
             while let Ok(msg) = tasks.recv() {
                 let task = match msg {
                     WorkerMsg::Tile(t) => t,
@@ -71,19 +133,34 @@ pub fn spawn_worker(
                 if !opts.artificial_delay.is_zero() {
                     std::thread::sleep(opts.artificial_delay);
                 }
-                let (out, _) = prefix.forward_range(&task.tile, 0..n_blocks, false);
-                let (boundary, quantizer) = match compression {
-                    Some(c) => (c.crelu.forward(&out), c.quantizer),
+                let t0 = Instant::now();
+                let out = prefix.forward_infer_with(&task.tile, &mut scratch);
+                let t1 = Instant::now();
+                let dims = out.dims();
+                assert_eq!(dims.len(), 4, "tile results are [1,C,H,W]");
+                let shape = [dims[0], dims[1], dims[2], dims[3]];
+                let elems = out.numel();
+                let (encoded, quantizer) = match compression {
+                    Some(c) => {
+                        (clip_and_compress_into(out.as_slice(), c.crelu, c.quantizer, &mut cs), c.quantizer)
+                    }
                     // Uncompressed mode still needs a wire quantizer (the
                     // nibble codec carries at most 4-bit levels); use the
-                    // observed range. This mode exists for comparisons only.
+                    // observed range. The quantizer clamps into [0, range],
+                    // which subsumes the ReLU the seed path applied. This
+                    // mode exists for comparisons only.
                     None => {
-                        let range = out.max_abs().max(1e-6);
-                        let relu = out.map(|v| v.max(0.0));
-                        (relu, Quantizer::new(4, range))
+                        let range = out
+                            .as_slice()
+                            .iter()
+                            .fold(0.0f32, |m, &v| m.max(v.abs()))
+                            .max(1e-6);
+                        let q = Quantizer::new(4, range);
+                        (compress_into(out.as_slice(), q, &mut cs), q)
                     }
                 };
-                let result = make_result(task.key, &boundary, quantizer);
+                let result = make_result_from_parts(task.key, shape, elems, encoded, quantizer);
+                stats.record(t1.duration_since(t0), t1.elapsed());
                 processed += 1;
                 if results.send((worker_id, result)).is_err() {
                     break; // central gone
@@ -117,7 +194,16 @@ mod tests {
         let (res_tx, res_rx) = unbounded();
         let cr = ClippedRelu::new(0.0, 1.0);
         let comp = Compression { crelu: cr, quantizer: Quantizer::paper_default(cr) };
-        let h = spawn_worker(3, tiny_prefix(1), Some(comp), WorkerOptions::default(), task_rx, res_tx);
+        let stats = Arc::new(WorkerStats::default());
+        let h = spawn_worker(
+            3,
+            tiny_prefix(1),
+            Some(comp),
+            WorkerOptions::default(),
+            task_rx,
+            res_tx,
+            stats.clone(),
+        );
 
         let tile = Tensor::full([1, 1, 4, 4], 0.5);
         task_tx
@@ -128,6 +214,9 @@ mod tests {
         assert_eq!(res.key, TileKey { image_id: 9, tile_id: 2 });
         let t = res.to_tensor().unwrap();
         assert_eq!(t.dims(), &[1, 2, 4, 4]);
+        let snap = stats.snapshot();
+        assert_eq!(snap.tiles, 1);
+        assert!(snap.mean_compute().is_some());
 
         task_tx.send(WorkerMsg::Shutdown).unwrap();
         h.join().unwrap();
@@ -138,7 +227,8 @@ mod tests {
         let (task_tx, task_rx) = unbounded();
         let (res_tx, res_rx) = unbounded();
         let opts = WorkerOptions { fail_after_tiles: Some(1), ..Default::default() };
-        let h = spawn_worker(0, tiny_prefix(2), None, opts, task_rx, res_tx);
+        let stats = Arc::new(WorkerStats::default());
+        let h = spawn_worker(0, tiny_prefix(2), None, opts, task_rx, res_tx, stats.clone());
 
         for i in 0..3u32 {
             task_tx
@@ -159,7 +249,15 @@ mod tests {
     fn worker_exits_when_central_drops() {
         let (task_tx, task_rx) = unbounded();
         let (res_tx, res_rx) = unbounded();
-        let h = spawn_worker(0, tiny_prefix(3), None, WorkerOptions::default(), task_rx, res_tx);
+        let h = spawn_worker(
+            0,
+            tiny_prefix(3),
+            None,
+            WorkerOptions::default(),
+            task_rx,
+            res_tx,
+            Arc::new(WorkerStats::default()),
+        );
         drop(res_rx);
         task_tx
             .send(WorkerMsg::Tile(TileTask {

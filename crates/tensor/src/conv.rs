@@ -5,9 +5,16 @@
 //! would, except at tile borders where the halo has been replaced by zeros.
 //! Getting the padding arithmetic right here is therefore load-bearing for
 //! the whole reproduction; the tests include an explicit naive reference.
+//!
+//! The forward path borrows its im2col and GEMM-pack buffers from a
+//! [`Scratch`] arena (a per-thread one for the plain [`conv2d`] API, the
+//! caller's own for [`conv2d_into`]), so steady-state inference re-runs the
+//! same shapes with zero heap allocation.
 
-use crate::gemm::{gemm, gemm_at, gemm_bt};
+use crate::gemm::{gemm_at, gemm_bt, gemm_packed, FusedAct};
+use crate::scratch::{ActBuf, Scratch};
 use crate::tensor::Tensor;
+use std::cell::RefCell;
 
 /// Hyper-parameters of a conv layer application.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -39,16 +46,31 @@ impl Conv2dParams {
     }
 }
 
+/// Half-open range of output coordinates whose input sample
+/// `o·stride + k_off - pad` lands inside `[0, extent)`. Everything outside
+/// the range reads padding (zeros), so callers can bulk-fill instead of
+/// branching per element.
+#[inline]
+fn valid_out_range(k_off: usize, extent: usize, out: usize, p: Conv2dParams) -> (usize, usize) {
+    let shift = k_off as isize - p.pad as isize;
+    let lo = if shift >= 0 {
+        0
+    } else {
+        ((-shift) as usize).div_ceil(p.stride).min(out)
+    };
+    let max_s = extent as isize - 1 - shift;
+    let hi = if max_s < 0 { lo } else { out.min((max_s as usize) / p.stride + 1).max(lo) };
+    (lo, hi)
+}
+
 /// Unroll input patches into the im2col matrix `[IC*KH*KW, OH*OW]` for one
 /// image `[C, H, W]` given as a flat slice.
-fn im2col(
-    input: &[f32],
-    c: usize,
-    h: usize,
-    w: usize,
-    p: Conv2dParams,
-    col: &mut [f32],
-) {
+///
+/// The valid output-column span is hoisted out of the row loop per
+/// `(ki, kj)`: the interior is one `copy_from_slice` at stride 1 (a strided
+/// gather otherwise) and the padding margins are bulk `fill(0.0)` — no
+/// per-element bounds branch.
+fn im2col(input: &[f32], c: usize, h: usize, w: usize, p: Conv2dParams, col: &mut [f32]) {
     let oh = p.out_dim(h);
     let ow = p.out_dim(w);
     let k = p.kernel;
@@ -58,26 +80,32 @@ fn im2col(
     for ci in 0..c {
         let plane = &input[ci * h * w..(ci + 1) * h * w];
         for ki in 0..k {
+            let (ilo, ihi) = valid_out_range(ki, h, oh, p);
             for kj in 0..k {
+                let (jlo, jhi) = valid_out_range(kj, w, ow, p);
+                // First input column read at oj = jlo (known in-range).
+                let sj0 = (jlo * p.stride + kj) as isize - p.pad as isize;
+                debug_assert!(jlo >= jhi || sj0 >= 0);
                 let dst = &mut col[row * oh * ow..(row + 1) * oh * ow];
-                let mut idx = 0usize;
-                for oi in 0..oh {
-                    let si = (oi * p.stride + ki) as isize - p.pad as isize;
-                    if si < 0 || si >= h as isize {
-                        // Whole output row reads out-of-range input: zeros.
-                        dst[idx..idx + ow].fill(0.0);
-                        idx += ow;
-                        continue;
-                    }
-                    let src_row = &plane[si as usize * w..si as usize * w + w];
-                    for oj in 0..ow {
-                        let sj = (oj * p.stride + kj) as isize - p.pad as isize;
-                        dst[idx] = if sj < 0 || sj >= w as isize {
-                            0.0
+                dst[..ilo * ow].fill(0.0);
+                dst[ihi * ow..].fill(0.0);
+                for oi in ilo..ihi {
+                    let si = (oi * p.stride + ki) - p.pad; // in range by construction
+                    let src_row = &plane[si * w..si * w + w];
+                    let drow = &mut dst[oi * ow..(oi + 1) * ow];
+                    drow[..jlo].fill(0.0);
+                    drow[jhi..].fill(0.0);
+                    if jlo < jhi {
+                        let s0 = sj0 as usize;
+                        if p.stride == 1 {
+                            drow[jlo..jhi].copy_from_slice(&src_row[s0..s0 + (jhi - jlo)]);
                         } else {
-                            src_row[sj as usize]
-                        };
-                        idx += 1;
+                            let mut sj = s0;
+                            for d in &mut drow[jlo..jhi] {
+                                *d = src_row[sj];
+                                sj += p.stride;
+                            }
+                        }
                     }
                 }
                 row += 1;
@@ -88,14 +116,7 @@ fn im2col(
 
 /// Scatter-add the im2col matrix back into an image (`col2im`), the adjoint
 /// of [`im2col`]. Used to accumulate input gradients.
-fn col2im(
-    col: &[f32],
-    c: usize,
-    h: usize,
-    w: usize,
-    p: Conv2dParams,
-    out: &mut [f32],
-) {
+fn col2im(col: &[f32], c: usize, h: usize, w: usize, p: Conv2dParams, out: &mut [f32]) {
     let oh = p.out_dim(h);
     let ow = p.out_dim(w);
     let k = p.kernel;
@@ -129,6 +150,38 @@ fn col2im(
     }
 }
 
+thread_local! {
+    /// Scratch backing the allocation-implicit [`conv2d`] API; the inference
+    /// hot path passes an explicit arena to [`conv2d_into`] instead.
+    static CONV_TLS: RefCell<Scratch> = RefCell::new(Scratch::new());
+}
+
+/// One image forward: im2col into the arena's col buffer, then a packed GEMM
+/// with bias + activation fused into the last-k-block epilogue.
+#[allow(clippy::too_many_arguments)]
+fn conv2d_image(
+    img: &[f32],
+    ic: usize,
+    h: usize,
+    w: usize,
+    weight: &Tensor,
+    oc: usize,
+    bias: Option<&[f32]>,
+    p: Conv2dParams,
+    act: FusedAct,
+    scratch: &mut Scratch,
+    dst: &mut [f32],
+) {
+    let oh = p.out_dim(h);
+    let ow = p.out_dim(w);
+    let kk = ic * p.kernel * p.kernel;
+    let (col, pack) = scratch.col_and_pack();
+    col.clear();
+    col.resize(kk * oh * ow, 0.0);
+    im2col(img, ic, h, w, p, col);
+    gemm_packed(oc, kk, oh * ow, weight.as_slice(), col, dst, 0.0, bias, act, pack);
+}
+
 /// Forward 2-D convolution.
 ///
 /// * `input`: `[N, IC, H, W]`
@@ -146,25 +199,18 @@ pub fn conv2d(input: &Tensor, weight: &Tensor, bias: &[f32], p: Conv2dParams) ->
 
     let oh = p.out_dim(h);
     let ow = p.out_dim(w);
-    let kk = ic * p.kernel * p.kernel;
     let mut out = Tensor::zeros([n, oc, oh, ow]);
 
-    // One image per rayon task: each needs a private im2col scratch buffer,
+    // One image per rayon task: each thread borrows its own scratch arena,
     // and the batched forward dominates training time.
     let in_stride = ic * h * w;
     let out_stride = oc * oh * ow;
+    let b = if bias.is_empty() { None } else { Some(bias) };
     let body = |ni: usize, dst: &mut [f32]| {
         let img = &input.as_slice()[ni * in_stride..(ni + 1) * in_stride];
-        let mut col = vec![0.0f32; kk * oh * ow];
-        im2col(img, ic, h, w, p, &mut col);
-        gemm(oc, kk, oh * ow, weight.as_slice(), &col, dst, 0.0);
-        if !bias.is_empty() {
-            for (co, b) in bias.iter().enumerate() {
-                for v in &mut dst[co * oh * ow..(co + 1) * oh * ow] {
-                    *v += b;
-                }
-            }
-        }
+        CONV_TLS.with(|s| {
+            conv2d_image(img, ic, h, w, weight, oc, b, p, FusedAct::Identity, &mut s.borrow_mut(), dst)
+        });
     };
     if n > 1 {
         use rayon::prelude::*;
@@ -176,6 +222,45 @@ pub fn conv2d(input: &Tensor, weight: &Tensor, bias: &[f32], p: Conv2dParams) ->
         body(0, out.as_mut_slice());
     }
     out
+}
+
+/// Allocation-free forward 2-D convolution for the inference hot path.
+///
+/// Reads a flat `[n, ic, h, w]` activation slice, writes `out` (reshaped to
+/// `[n, oc, oh, ow]`, storage reused), and fuses `act` plus the optional
+/// bias into the GEMM epilogue. All intermediate buffers come from
+/// `scratch`; after a warm-up call at the same shape this performs zero heap
+/// allocation. Images are processed serially — the tile hot path runs one
+/// image per call, and worker threads are themselves the parallel axis.
+#[allow(clippy::too_many_arguments)]
+pub fn conv2d_into(
+    input: &[f32],
+    (n, ic, h, w): (usize, usize, usize, usize),
+    weight: &Tensor,
+    bias: &[f32],
+    p: Conv2dParams,
+    act: FusedAct,
+    scratch: &mut Scratch,
+    out: &mut ActBuf,
+) {
+    assert_eq!(input.len(), n * ic * h * w, "input dims mismatch");
+    let (oc, wic, kh, kw) = weight.shape().nchw();
+    assert_eq!(ic, wic, "input channels {ic} != weight channels {wic}");
+    assert_eq!(kh, p.kernel, "weight kernel height mismatch");
+    assert_eq!(kw, p.kernel, "weight kernel width mismatch");
+    assert!(bias.is_empty() || bias.len() == oc, "bias length mismatch");
+
+    let oh = p.out_dim(h);
+    let ow = p.out_dim(w);
+    out.reshape(&[n, oc, oh, ow]);
+    let in_stride = ic * h * w;
+    let out_stride = oc * oh * ow;
+    let b = if bias.is_empty() { None } else { Some(bias) };
+    for ni in 0..n {
+        let img = &input[ni * in_stride..(ni + 1) * in_stride];
+        let dst = &mut out.as_mut_slice()[ni * out_stride..(ni + 1) * out_stride];
+        conv2d_image(img, ic, h, w, weight, oc, b, p, act, scratch, dst);
+    }
 }
 
 /// Gradients of [`conv2d`].
@@ -336,6 +421,74 @@ mod tests {
             let want = conv_naive(&x, &wt, &b, p);
             assert!(got.approx_eq(&want, 1e-4), "mismatch for case {:?}", (n, ic, h, w, oc, k, s, pad));
         }
+    }
+
+    #[test]
+    fn conv2d_into_matches_conv2d() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let cases = [
+            (1, 3, 8, 8, 4, 3, 1, 1),
+            (2, 2, 9, 7, 3, 3, 2, 1),
+            (1, 3, 6, 6, 2, 1, 1, 0),
+        ];
+        let mut scratch = Scratch::new();
+        let mut out = ActBuf::new();
+        for (n, ic, h, w, oc, k, s, pad) in cases {
+            let p = Conv2dParams { kernel: k, stride: s, pad };
+            let x = Tensor::randn([n, ic, h, w], 1.0, &mut rng);
+            let wt = Tensor::randn([oc, ic, k, k], 0.5, &mut rng);
+            let b: Vec<f32> = (0..oc).map(|i| i as f32 * 0.1).collect();
+            let want = conv2d(&x, &wt, &b, p);
+            conv2d_into(
+                x.as_slice(),
+                (n, ic, h, w),
+                &wt,
+                &b,
+                p,
+                FusedAct::Identity,
+                &mut scratch,
+                &mut out,
+            );
+            assert_eq!(out.dims(), want.dims());
+            assert!(out.to_tensor().approx_eq(&want, 1e-5));
+        }
+    }
+
+    #[test]
+    fn conv2d_into_fused_relu_matches_post_relu() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let p = Conv2dParams::same(3);
+        let x = Tensor::randn([1, 3, 7, 7], 1.0, &mut rng);
+        let wt = Tensor::randn([4, 3, 3, 3], 0.5, &mut rng);
+        let b = vec![0.1f32; 4];
+        let want = conv2d(&x, &wt, &b, p).map(|v| v.max(0.0));
+        let mut scratch = Scratch::new();
+        let mut out = ActBuf::new();
+        conv2d_into(
+            x.as_slice(),
+            (1, 3, 7, 7),
+            &wt,
+            &b,
+            p,
+            FusedAct::Relu,
+            &mut scratch,
+            &mut out,
+        );
+        assert!(out.to_tensor().approx_eq(&want, 1e-5));
+    }
+
+    #[test]
+    fn degenerate_zero_output_dim() {
+        // Window larger than the padded input: 0×0 output, no panic.
+        let p = Conv2dParams { kernel: 5, stride: 1, pad: 0 };
+        let x = Tensor::full([1, 2, 3, 3], 1.0);
+        let wt = Tensor::full([2, 2, 5, 5], 1.0);
+        let y = conv2d(&x, &wt, &[], p);
+        assert_eq!(y.dims(), &[1, 2, 0, 0]);
+        let mut scratch = Scratch::new();
+        let mut out = ActBuf::new();
+        conv2d_into(x.as_slice(), (1, 2, 3, 3), &wt, &[], p, FusedAct::Relu, &mut scratch, &mut out);
+        assert_eq!(out.dims(), &[1, 2, 0, 0]);
     }
 
     #[test]

@@ -1,27 +1,433 @@
-//! Blocked, rayon-parallel single-precision matrix multiply.
+//! Blocked, packed, rayon-parallel single-precision matrix multiply.
 //!
 //! The convolution path (im2col) reduces to `C = A · B` where `A` is the
 //! filter matrix `[OC, IC·KH·KW]` and `B` is the unrolled input
-//! `[IC·KH·KW, OH·OW]`. A straightforward cache-blocked kernel with
-//! row-parallelism is plenty for the model sizes the reproduction runs
-//! natively (the Raspberry-Pi-scale numbers come from the simulator's cost
-//! model, not from timing this kernel).
+//! `[IC·KH·KW, OH·OW]`. The forward kernel packs `B` once per call into
+//! cache-friendly `KC×NR` panels and runs a register-tiled `MR×NR`
+//! microkernel with the accumulators in locals, so the hot loop streams one
+//! `A` panel and one `B` panel with no `C` traffic until write-back. An
+//! optional fused epilogue applies the conv bias and activation on the final
+//! k-block write-back, which lets the inference path skip separate
+//! bias/activation passes over the output map.
+//!
+//! Blocking parameters (also documented in DESIGN.md §"Performance
+//! architecture"): `MR×NR = 4×8` register tile, `KC = 256` k-blocking, so a
+//! packed A panel (`4·256` f32) plus a packed B panel (`256·8` f32) stay
+//! resident in L1 while a k-block is processed. On x86-64 the microkernel
+//! dispatches at runtime to an AVX2+FMA variant (one YMM accumulator per
+//! output row) when the CPU supports it, since the build targets baseline
+//! SSE2; other architectures use the portable scalar tile.
 
+use crate::scratch::Scratch;
 use rayon::prelude::*;
+use std::cell::RefCell;
 
-/// Tile edge for the k-dimension blocking. Chosen so one `A` row block and a
-/// `B` panel fit comfortably in L1 for f32.
-const KC: usize = 256;
+/// Microkernel row count (output rows accumulated per register tile).
+pub const MR: usize = 4;
+/// Microkernel column count (output columns per register tile).
+pub const NR: usize = 8;
+/// Tile edge for the k-dimension blocking. Chosen so one packed `A` panel
+/// and one packed `B` panel fit comfortably in L1 for f32.
+pub const KC: usize = 256;
 
 /// Below this work threshold the parallel dispatch overhead outweighs the
 /// speedup, so we stay single-threaded.
 const PAR_FLOP_THRESHOLD: usize = 1 << 16;
 
+/// Activation fused into the GEMM epilogue (applied on the last k-block
+/// write-back, together with the optional per-row bias).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum FusedAct {
+    /// No activation.
+    Identity,
+    /// `max(0, x)`.
+    Relu,
+    /// The paper's shifted clipped ReLU: `0` below `lo`, `x - lo` inside
+    /// `[lo, hi]`, saturating at `hi - lo` (mirrors
+    /// [`crate::activ::ClippedRelu::apply`]).
+    Clipped { lo: f32, hi: f32 },
+}
+
+impl FusedAct {
+    /// Apply the activation to one element.
+    #[inline(always)]
+    pub fn apply(self, x: f32) -> f32 {
+        match self {
+            FusedAct::Identity => x,
+            FusedAct::Relu => {
+                if x > 0.0 {
+                    x
+                } else {
+                    0.0
+                }
+            }
+            FusedAct::Clipped { lo, hi } => {
+                if x > hi {
+                    hi - lo
+                } else if x >= lo {
+                    x - lo
+                } else {
+                    0.0
+                }
+            }
+        }
+    }
+}
+
+thread_local! {
+    /// Per-thread pack buffer backing the scratch-less public [`gemm`]; the
+    /// allocation-free path passes an explicit [`Scratch`] instead.
+    static PACK_TLS: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Number of worker threads the parallel dispatch sees (rayon's pool size;
+/// benches report it alongside throughput numbers).
+pub fn current_threads() -> usize {
+    rayon::current_num_threads()
+}
+
 /// `c[m×n] = a[m×k] · b[k×n] + beta · c`.
 ///
 /// All matrices are dense row-major slices. Panics if the slice lengths do
-/// not match the stated dimensions.
+/// not match the stated dimensions. Uses a per-thread pack buffer; steady
+/// state allocates nothing once the buffer has grown to the largest shape
+/// seen on the thread.
 pub fn gemm(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32], beta: f32) {
+    PACK_TLS.with(|p| {
+        gemm_packed(m, k, n, a, b, c, beta, None, FusedAct::Identity, &mut p.borrow_mut())
+    });
+}
+
+/// Fused-epilogue GEMM with caller-provided pack scratch:
+/// `c = act(a·b + bias)`, row `i` of `c` offset by `bias[i]`.
+///
+/// This is the inference hot-path entry: `beta` is fixed at 0, the pack
+/// buffer comes from the worker's [`Scratch`] arena, and bias + activation
+/// are applied in the last k-block write-back instead of a separate pass.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_fused(
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    bias: Option<&[f32]>,
+    act: FusedAct,
+    scratch: &mut Scratch,
+) {
+    gemm_packed(m, k, n, a, b, c, 0.0, bias, act, scratch.pack_buf());
+}
+
+/// Shared implementation behind [`gemm`] and [`gemm_fused`]; `conv2d` calls
+/// it directly so the im2col and pack buffers can come from one [`Scratch`].
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn gemm_packed(
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    beta: f32,
+    bias: Option<&[f32]>,
+    act: FusedAct,
+    pack: &mut Vec<f32>,
+) {
+    assert_eq!(a.len(), m * k, "A dims mismatch");
+    assert_eq!(b.len(), k * n, "B dims mismatch");
+    assert_eq!(c.len(), m * n, "C dims mismatch");
+    if let Some(bs) = bias {
+        assert_eq!(bs.len(), m, "bias dims mismatch");
+    }
+
+    if beta == 0.0 {
+        c.fill(0.0);
+    } else if beta != 1.0 {
+        for x in c.iter_mut() {
+            *x *= beta;
+        }
+    }
+    if m == 0 || n == 0 {
+        return;
+    }
+    if k == 0 {
+        // Degenerate reduction: the product is zero, but the epilogue still
+        // owes bias + activation.
+        if bias.is_some() || act != FusedAct::Identity {
+            for (i, crow) in c.chunks_mut(n).enumerate() {
+                let badd = bias.map_or(0.0, |bs| bs[i]);
+                for cv in crow.iter_mut() {
+                    *cv = act.apply(*cv + badd);
+                }
+            }
+        }
+        return;
+    }
+
+    let flops = m * n * k;
+    let parallel = flops >= PAR_FLOP_THRESHOLD && rayon::current_num_threads() > 1;
+
+    if m == 1 {
+        // Single-row (fully-connected) case: no point packing; split the N
+        // dimension across threads instead so large layers still parallelize.
+        let b0 = bias.map_or(0.0, |bs| bs[0]);
+        if parallel {
+            let chunk = n.div_ceil(rayon::current_num_threads() * 4).max(NR);
+            c.par_chunks_mut(chunk)
+                .enumerate()
+                .for_each(|(ci, ccols)| gemm_row1(ci * chunk, k, n, a, b, ccols, b0, act));
+        } else {
+            gemm_row1(0, k, n, a, b, c, b0, act);
+        }
+        return;
+    }
+
+    pack_b(k, n, b, pack);
+    if parallel && m > MR {
+        c.par_chunks_mut(MR * n).enumerate().for_each(|(ib, cblock)| {
+            let i0 = ib * MR;
+            row_block(i0, MR.min(m - i0), k, n, a, pack, cblock, bias, act);
+        });
+    } else {
+        for (ib, cblock) in c.chunks_mut(MR * n).enumerate() {
+            let i0 = ib * MR;
+            row_block(i0, MR.min(m - i0), k, n, a, pack, cblock, bias, act);
+        }
+    }
+}
+
+/// Pack `b` (`[k, n]` row-major) into `KC`-row blocks of `NR`-column panels.
+///
+/// Block for rows `k0..k0+kb` starts at `k0 · np · NR`; within it, panel `p`
+/// (columns `p·NR..`) is `kb·NR` contiguous floats in k-major order, with
+/// tail columns zero-padded so the microkernel never branches on `n % NR`.
+fn pack_b(k: usize, n: usize, b: &[f32], pack: &mut Vec<f32>) {
+    let np = n.div_ceil(NR);
+    pack.clear();
+    pack.resize(k * np * NR, 0.0);
+    let mut k0 = 0;
+    while k0 < k {
+        let kb = KC.min(k - k0);
+        let block = &mut pack[k0 * np * NR..(k0 + kb) * np * NR];
+        for (pj, panel) in block.chunks_exact_mut(kb * NR).enumerate() {
+            let j0 = pj * NR;
+            let jb = NR.min(n - j0);
+            for kk in 0..kb {
+                let src = &b[(k0 + kk) * n + j0..(k0 + kk) * n + j0 + jb];
+                panel[kk * NR..kk * NR + jb].copy_from_slice(src);
+                if jb < NR {
+                    // The buffer is reused across calls, so stale tail
+                    // values must be re-zeroed explicitly.
+                    panel[kk * NR + jb..(kk + 1) * NR].fill(0.0);
+                }
+            }
+        }
+        k0 += kb;
+    }
+}
+
+/// Compute `MR` output rows (`i0..i0+mb`) of the packed product into
+/// `cblock` (`mb` rows of stride `n`), applying bias + activation on the
+/// final k-block write-back.
+#[allow(clippy::too_many_arguments)]
+fn row_block(
+    i0: usize,
+    mb: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    pack: &[f32],
+    cblock: &mut [f32],
+    bias: Option<&[f32]>,
+    act: FusedAct,
+) {
+    let np = n.div_ceil(NR);
+    let mut a_panel = [0.0f32; MR * KC];
+    let mut k0 = 0;
+    while k0 < k {
+        let kb = KC.min(k - k0);
+        let last = k0 + kb == k;
+        // Interleave the A rows (k-major, MR-wide) so the microkernel reads
+        // one contiguous MR-vector per k step; missing tail rows stay zero.
+        for kk in 0..kb {
+            for r in 0..MR {
+                a_panel[kk * MR + r] = if r < mb { a[(i0 + r) * k + k0 + kk] } else { 0.0 };
+            }
+        }
+        let block = &pack[k0 * np * NR..(k0 + kb) * np * NR];
+        for (pj, bpanel) in block.chunks_exact(kb * NR).enumerate() {
+            let j0 = pj * NR;
+            let jb = NR.min(n - j0);
+            let mut acc = [[0.0f32; NR]; MR];
+            microkernel_dispatch(&a_panel, bpanel, kb, &mut acc);
+            for (r, accr) in acc.iter().enumerate().take(mb) {
+                let crow = &mut cblock[r * n + j0..r * n + j0 + jb];
+                if last {
+                    let badd = bias.map_or(0.0, |bs| bs[i0 + r]);
+                    for (cv, &av) in crow.iter_mut().zip(accr.iter()) {
+                        *cv = act.apply(*cv + av + badd);
+                    }
+                } else {
+                    for (cv, &av) in crow.iter_mut().zip(accr.iter()) {
+                        *cv += av;
+                    }
+                }
+            }
+        }
+        k0 += kb;
+    }
+}
+
+/// Pick the widest microkernel the CPU supports. The crate builds against
+/// baseline x86-64 (SSE2 only), so AVX2+FMA has to be a *runtime* dispatch:
+/// probed once, then a predictable branch per panel.
+#[inline]
+fn microkernel_dispatch(a_panel: &[f32], bpanel: &[f32], kb: usize, acc: &mut [[f32; NR]; MR]) {
+    #[cfg(target_arch = "x86_64")]
+    if x86::fma_available() {
+        // SAFETY: the feature probe passed; `a_panel` holds `kb` MR-wide
+        // k-steps and `bpanel` exactly `kb` NR-wide k-steps (panel layout
+        // established by `pack_b`/`row_block`).
+        unsafe { x86::microkernel_fma(a_panel, bpanel, kb, acc) };
+        return;
+    }
+    let _ = kb;
+    microkernel(a_panel, bpanel, acc);
+}
+
+/// The portable register tile: `acc[MR][NR] += a_panel ⊗ bpanel` over one
+/// k-block. `bpanel` (`kb` chunks of `NR`) drives the zip, `a_panel` is
+/// k-major `MR`-interleaved. Accumulators live in locals across the whole
+/// block.
+#[inline]
+fn microkernel(a_panel: &[f32], bpanel: &[f32], acc: &mut [[f32; NR]; MR]) {
+    for (arow, brow) in a_panel.chunks_exact(MR).zip(bpanel.chunks_exact(NR)) {
+        for (r, accr) in acc.iter_mut().enumerate() {
+            let ar = arow[r];
+            for (jj, av) in accr.iter_mut().enumerate() {
+                *av += ar * brow[jj];
+            }
+        }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    use super::{MR, NR};
+    use std::arch::x86_64::*;
+
+    // The FMA kernel hardcodes 4 row accumulators of one YMM each.
+    const _: () = assert!(MR == 4 && NR == 8, "microkernel_fma assumes a 4x8 tile");
+
+    /// One-time probe for the wide microkernel; an atomic load thereafter.
+    pub fn fma_available() -> bool {
+        use std::sync::OnceLock;
+        static AVAILABLE: OnceLock<bool> = OnceLock::new();
+        *AVAILABLE.get_or_init(|| {
+            std::arch::is_x86_feature_detected!("avx2")
+                && std::arch::is_x86_feature_detected!("fma")
+        })
+    }
+
+    /// AVX2+FMA register tile: `NR == 8` is exactly one YMM, so each output
+    /// row is a single vector accumulator. Two accumulator sets per row
+    /// (even/odd k-steps, summed at the end) keep 8 independent FMA chains
+    /// in flight, hiding the 4–5 cycle FMA latency a single set would
+    /// serialize on.
+    ///
+    /// # Safety
+    /// Caller must have checked [`fma_available`], and `a_panel`/`bpanel`
+    /// must hold at least `kb` packed k-steps (`MR`- resp. `NR`-wide).
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn microkernel_fma(
+        a_panel: &[f32],
+        bpanel: &[f32],
+        kb: usize,
+        acc: &mut [[f32; NR]; MR],
+    ) {
+        debug_assert!(a_panel.len() >= kb * MR && bpanel.len() >= kb * NR);
+        let a = a_panel.as_ptr();
+        let b = bpanel.as_ptr();
+        let mut c0 = _mm256_loadu_ps(acc[0].as_ptr());
+        let mut c1 = _mm256_loadu_ps(acc[1].as_ptr());
+        let mut c2 = _mm256_loadu_ps(acc[2].as_ptr());
+        let mut c3 = _mm256_loadu_ps(acc[3].as_ptr());
+        let mut d0 = _mm256_setzero_ps();
+        let mut d1 = _mm256_setzero_ps();
+        let mut d2 = _mm256_setzero_ps();
+        let mut d3 = _mm256_setzero_ps();
+        for p in 0..kb / 2 {
+            let kk = 2 * p;
+            let bv0 = _mm256_loadu_ps(b.add(kk * NR));
+            let ap0 = a.add(kk * MR);
+            c0 = _mm256_fmadd_ps(_mm256_broadcast_ss(&*ap0), bv0, c0);
+            c1 = _mm256_fmadd_ps(_mm256_broadcast_ss(&*ap0.add(1)), bv0, c1);
+            c2 = _mm256_fmadd_ps(_mm256_broadcast_ss(&*ap0.add(2)), bv0, c2);
+            c3 = _mm256_fmadd_ps(_mm256_broadcast_ss(&*ap0.add(3)), bv0, c3);
+            let bv1 = _mm256_loadu_ps(b.add((kk + 1) * NR));
+            let ap1 = a.add((kk + 1) * MR);
+            d0 = _mm256_fmadd_ps(_mm256_broadcast_ss(&*ap1), bv1, d0);
+            d1 = _mm256_fmadd_ps(_mm256_broadcast_ss(&*ap1.add(1)), bv1, d1);
+            d2 = _mm256_fmadd_ps(_mm256_broadcast_ss(&*ap1.add(2)), bv1, d2);
+            d3 = _mm256_fmadd_ps(_mm256_broadcast_ss(&*ap1.add(3)), bv1, d3);
+        }
+        if kb % 2 == 1 {
+            let kk = kb - 1;
+            let bv = _mm256_loadu_ps(b.add(kk * NR));
+            let ap = a.add(kk * MR);
+            c0 = _mm256_fmadd_ps(_mm256_broadcast_ss(&*ap), bv, c0);
+            c1 = _mm256_fmadd_ps(_mm256_broadcast_ss(&*ap.add(1)), bv, c1);
+            c2 = _mm256_fmadd_ps(_mm256_broadcast_ss(&*ap.add(2)), bv, c2);
+            c3 = _mm256_fmadd_ps(_mm256_broadcast_ss(&*ap.add(3)), bv, c3);
+        }
+        _mm256_storeu_ps(acc[0].as_mut_ptr(), _mm256_add_ps(c0, d0));
+        _mm256_storeu_ps(acc[1].as_mut_ptr(), _mm256_add_ps(c1, d1));
+        _mm256_storeu_ps(acc[2].as_mut_ptr(), _mm256_add_ps(c2, d2));
+        _mm256_storeu_ps(acc[3].as_mut_ptr(), _mm256_add_ps(c3, d3));
+    }
+}
+
+/// `m == 1` kernel over the column span `j0..j0+ccols.len()`: k-blocked axpy
+/// with zero-skip (the seed kernel's shape), then the fused epilogue.
+#[allow(clippy::too_many_arguments)]
+fn gemm_row1(
+    j0: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    b: &[f32],
+    ccols: &mut [f32],
+    bias0: f32,
+    act: FusedAct,
+) {
+    let jb = ccols.len();
+    let mut k0 = 0;
+    while k0 < k {
+        let kb = KC.min(k - k0);
+        for kk in 0..kb {
+            let aik = a[k0 + kk];
+            if aik == 0.0 {
+                continue;
+            }
+            let brow = &b[(k0 + kk) * n + j0..(k0 + kk) * n + j0 + jb];
+            for (cj, &bj) in ccols.iter_mut().zip(brow) {
+                *cj += aik * bj;
+            }
+        }
+        k0 += kb;
+    }
+    if bias0 != 0.0 || act != FusedAct::Identity {
+        for cv in ccols.iter_mut() {
+            *cv = act.apply(*cv + bias0);
+        }
+    }
+}
+
+/// The seed's unpacked row kernel, kept as the benchmark baseline so
+/// `benches/micro.rs` can report the packed kernel's speedup against it
+/// (`BENCH_gemm.json`).
+pub fn gemm_unpacked(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32], beta: f32) {
     assert_eq!(a.len(), m * k, "A dims mismatch");
     assert_eq!(b.len(), k * n, "B dims mismatch");
     assert_eq!(c.len(), m * n, "C dims mismatch");
@@ -41,17 +447,17 @@ pub fn gemm(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32], b
     if flops >= PAR_FLOP_THRESHOLD && m > 1 {
         c.par_chunks_mut(n)
             .enumerate()
-            .for_each(|(i, crow)| gemm_row(i, k, n, a, b, crow));
+            .for_each(|(i, crow)| unpacked_row(i, k, n, a, b, crow));
     } else {
         for (i, crow) in c.chunks_mut(n).enumerate() {
-            gemm_row(i, k, n, a, b, crow);
+            unpacked_row(i, k, n, a, b, crow);
         }
     }
 }
 
-/// Accumulate one output row: `crow += a[i, :] · b`.
+/// Accumulate one output row: `crow += a[i, :] · b` (seed kernel body).
 #[inline]
-fn gemm_row(i: usize, k: usize, n: usize, a: &[f32], b: &[f32], crow: &mut [f32]) {
+fn unpacked_row(i: usize, k: usize, n: usize, a: &[f32], b: &[f32], crow: &mut [f32]) {
     let arow = &a[i * k..(i + 1) * k];
     // k-blocking keeps the active B panel hot in cache.
     let mut k0 = 0;
@@ -212,6 +618,91 @@ mod tests {
         for (x, y) in c.iter().zip(&want) {
             assert!((x - y).abs() < 1e-3, "{x} vs {y}");
         }
+    }
+
+    #[test]
+    fn matches_unpacked_across_shapes() {
+        // Shapes chosen to cross every blocking boundary: MR/NR remainders,
+        // multiple KC blocks, and the single-row N-split path.
+        let mut rng = StdRng::seed_from_u64(7);
+        for &(m, k, n) in &[
+            (1, 700, 300),
+            (3, 5, 9),
+            (4, 256, 8),
+            (5, 257, 9),
+            (13, 520, 33),
+            (16, 300, 64),
+        ] {
+            let a = rand_vec(m * k, &mut rng);
+            let b = rand_vec(k * n, &mut rng);
+            let mut c1 = vec![0.0; m * n];
+            let mut c2 = vec![0.0; m * n];
+            gemm(m, k, n, &a, &b, &mut c1, 0.0);
+            gemm_unpacked(m, k, n, &a, &b, &mut c2, 0.0);
+            for (x, y) in c1.iter().zip(&c2) {
+                assert!((x - y).abs() < 1e-3, "({m},{k},{n}): {x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn fused_epilogue_matches_separate_passes() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let (m, k, n) = (6, 40, 19);
+        let a = rand_vec(m * k, &mut rng);
+        let b = rand_vec(k * n, &mut rng);
+        let bias: Vec<f32> = (0..m).map(|i| i as f32 * 0.1 - 0.2).collect();
+        for act in [
+            FusedAct::Identity,
+            FusedAct::Relu,
+            FusedAct::Clipped { lo: -0.5, hi: 0.8 },
+        ] {
+            let mut fused = vec![0.0; m * n];
+            let mut scratch = Scratch::new();
+            gemm_fused(m, k, n, &a, &b, &mut fused, Some(&bias), act, &mut scratch);
+
+            let mut want = vec![0.0; m * n];
+            gemm(m, k, n, &a, &b, &mut want, 0.0);
+            for (i, row) in want.chunks_mut(n).enumerate() {
+                for v in row.iter_mut() {
+                    *v = act.apply(*v + bias[i]);
+                }
+            }
+            for (x, y) in fused.iter().zip(&want) {
+                assert!((x - y).abs() < 1e-4, "{act:?}: {x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn fused_single_row_applies_epilogue() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let (k, n) = (30, 700);
+        let a = rand_vec(k, &mut rng);
+        let b = rand_vec(k * n, &mut rng);
+        let bias = [0.3f32];
+        let act = FusedAct::Relu;
+        let mut fused = vec![0.0; n];
+        let mut scratch = Scratch::new();
+        gemm_fused(1, k, n, &a, &b, &mut fused, Some(&bias), act, &mut scratch);
+
+        let mut want = vec![0.0; n];
+        gemm(1, k, n, &a, &b, &mut want, 0.0);
+        for v in want.iter_mut() {
+            *v = act.apply(*v + bias[0]);
+        }
+        for (x, y) in fused.iter().zip(&want) {
+            assert!((x - y).abs() < 1e-4, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn zero_k_fused_is_activated_bias() {
+        let mut c = vec![7.0; 6]; // beta=0 clears this first
+        let mut scratch = Scratch::new();
+        let bias = [1.0f32, -2.0];
+        gemm_fused(2, 0, 3, &[], &[], &mut c, Some(&bias), FusedAct::Relu, &mut scratch);
+        assert_eq!(c, vec![1.0, 1.0, 1.0, 0.0, 0.0, 0.0]);
     }
 
     #[test]

@@ -43,7 +43,7 @@ mod tests {
             .sum::<f64>()
             / n;
         let expect = 2.0 / (32.0 * 9.0);
-        assert!((var - expect as f64).abs() / (expect as f64) < 0.1, "var {var} expect {expect}");
+        assert!((var - expect).abs() / expect < 0.1, "var {var} expect {expect}");
     }
 
     #[test]

@@ -7,8 +7,11 @@
 //! needs and nothing more:
 //!
 //! - [`Tensor`]: a row-major, heap-allocated N-d array of `f32`.
-//! - [`gemm`]: blocked, rayon-parallel matrix multiply.
+//! - [`gemm`]: packed, register-tiled, rayon-parallel matrix multiply with
+//!   optional fused bias+activation epilogues.
 //! - [`conv`]: 2-D convolution (im2col + gemm) with full backward pass.
+//! - [`scratch`]: reusable arenas ([`scratch::Scratch`],
+//!   [`scratch::ActBuf`]) backing the allocation-free inference hot path.
 //! - [`pool`]: max/average pooling with backward.
 //! - [`norm`]: batch normalization (training and folded inference forms).
 //! - [`activ`]: ReLU and the paper's clipped `ReLU[a,b]` (§4.1), softmax.
@@ -27,10 +30,12 @@ pub mod linear;
 pub mod loss;
 pub mod norm;
 pub mod pool;
+pub mod scratch;
 pub mod shape;
 pub mod tensor;
 
 pub use conv::{conv2d, conv2d_backward, Conv2dParams};
+pub use scratch::{ActBuf, Scratch};
 pub use shape::Shape;
 pub use tensor::Tensor;
 

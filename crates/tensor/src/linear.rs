@@ -1,6 +1,7 @@
 //! Fully connected (dense) layers.
 
-use crate::gemm::{gemm, gemm_at, gemm_bt};
+use crate::gemm::{gemm, gemm_at, gemm_bt, gemm_fused, FusedAct};
+use crate::scratch::{ActBuf, Scratch};
 use crate::tensor::Tensor;
 
 /// Forward FC: `y[N, O] = x[N, D] · w[D, O] + b`.
@@ -19,6 +20,41 @@ pub fn linear(x: &Tensor, w: &Tensor, b: &[f32]) -> Tensor {
         }
     }
     y
+}
+
+/// Allocation-free forward FC into a reusable [`ActBuf`].
+///
+/// Bias is per output *column*, so it cannot ride the gemm's per-row fused
+/// epilogue; instead the gemm runs bias-free and a single cache-friendly
+/// second pass adds `b` and applies `act`.
+#[allow(clippy::too_many_arguments)]
+pub fn linear_into(
+    x: &[f32],
+    n: usize,
+    d: usize,
+    w: &Tensor,
+    b: &[f32],
+    act: FusedAct,
+    scratch: &mut Scratch,
+    out: &mut ActBuf,
+) {
+    let (wd, o) = w.shape().rc();
+    assert_eq!(d, wd, "linear dim mismatch: x cols {d} vs w rows {wd}");
+    assert!(b.is_empty() || b.len() == o, "bias length mismatch");
+    assert_eq!(x.len(), n * d, "input length mismatch");
+    out.reshape(&[n, o]);
+    gemm_fused(n, d, o, x, w.as_slice(), out.as_mut_slice(), None, FusedAct::Identity, scratch);
+    if !b.is_empty() {
+        for row in out.as_mut_slice().chunks_mut(o) {
+            for (v, &bi) in row.iter_mut().zip(b) {
+                *v = act.apply(*v + bi);
+            }
+        }
+    } else if act != FusedAct::Identity {
+        for v in out.as_mut_slice() {
+            *v = act.apply(*v);
+        }
+    }
 }
 
 /// Gradients of [`linear`].
@@ -110,6 +146,28 @@ mod tests {
             let num = ((loss(&x, &w, &bp) - loss(&x, &w, &bm)) / (2.0 * eps as f64)) as f32;
             assert!((num - grads.db[o]).abs() < 1e-2, "db[{o}]");
         }
+    }
+
+    #[test]
+    fn linear_into_matches_linear_with_activation() {
+        let mut rng = StdRng::seed_from_u64(33);
+        let x = Tensor::randn([5, 7], 1.0, &mut rng);
+        let w = Tensor::randn([7, 4], 0.6, &mut rng);
+        let b = vec![0.3, -0.1, 0.0, 0.7];
+        let mut want = linear(&x, &w, &b);
+        for v in want.as_mut_slice() {
+            *v = v.max(0.0);
+        }
+        let mut scratch = Scratch::new();
+        let mut out = ActBuf::new();
+        linear_into(x.as_slice(), 5, 7, &w, &b, FusedAct::Relu, &mut scratch, &mut out);
+        assert_eq!(out.dims(), &[5, 4]);
+        assert!(out.to_tensor().approx_eq(&want, 1e-5));
+
+        // No bias, identity activation.
+        let want2 = linear(&x, &w, &[]);
+        linear_into(x.as_slice(), 5, 7, &w, &[], FusedAct::Identity, &mut scratch, &mut out);
+        assert!(out.to_tensor().approx_eq(&want2, 1e-5));
     }
 
     #[test]

@@ -29,6 +29,7 @@ pub fn accuracy(logits: &Tensor, targets: &[usize]) -> f64 {
     let (n, k) = logits.shape().rc();
     assert_eq!(targets.len(), n);
     let mut correct = 0usize;
+    #[allow(clippy::needless_range_loop)]
     for i in 0..n {
         let row = &logits.as_slice()[i * k..(i + 1) * k];
         let mut best = 0usize;

@@ -62,6 +62,7 @@ impl BatchNorm {
         let mut mean = vec![0.0f32; c];
         let mut var = vec![0.0f32; c];
         let xs = x.as_slice();
+        #[allow(clippy::needless_range_loop)]
         for ci in 0..c {
             let mut acc = 0.0f64;
             for ni in 0..n {
@@ -128,6 +129,33 @@ impl BatchNorm {
             }
         }
         y
+    }
+
+    /// Allocation-free inference forward: same folded affine as
+    /// [`BatchNorm::forward_infer`], but reads a flat `[n, c, h, w]` slice,
+    /// reuses `out`'s storage, and computes the per-channel `(a, b)`
+    /// coefficients inline instead of materializing the fold vectors.
+    pub fn forward_infer_into(
+        &self,
+        x: &[f32],
+        (n, c, h, w): (usize, usize, usize, usize),
+        out: &mut crate::scratch::ActBuf,
+    ) {
+        assert_eq!(c, self.channels(), "channel mismatch");
+        assert_eq!(x.len(), n * c * h * w, "input dims mismatch");
+        out.reshape(&[n, c, h, w]);
+        let ys = out.as_mut_slice();
+        for ni in 0..n {
+            for ci in 0..c {
+                let inv_std = 1.0 / (self.running_var[ci] + self.eps).sqrt();
+                let a = self.gamma[ci] * inv_std;
+                let b = self.beta[ci] - self.running_mean[ci] * a;
+                let base = (ni * c + ci) * h * w;
+                for i in base..base + h * w {
+                    ys[i] = a * x[i] + b;
+                }
+            }
+        }
     }
 
     /// Per-channel folded coefficients `(a, b)` with `a = γ/σ`,
@@ -229,6 +257,21 @@ mod tests {
         assert!(crate::approx_eq(y.at(&[0, 0, 0, 1]), 4.1, 1e-5));
         assert!(crate::approx_eq(y.at(&[0, 1, 0, 0]), 1.9, 1e-5));
         assert!(crate::approx_eq(y.at(&[0, 1, 0, 1]), -0.1, 1e-5));
+    }
+
+    #[test]
+    fn forward_infer_into_matches_forward_infer() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let mut bn = BatchNorm::new(3);
+        bn.running_mean = vec![0.5, -1.0, 2.0];
+        bn.running_var = vec![1.5, 0.3, 2.2];
+        bn.gamma = vec![1.1, 0.9, -0.4];
+        bn.beta = vec![0.0, 0.2, -0.3];
+        let x = Tensor::randn([2, 3, 4, 4], 1.0, &mut rng);
+        let want = bn.forward_infer(&x);
+        let mut out = crate::scratch::ActBuf::new();
+        bn.forward_infer_into(x.as_slice(), (2, 3, 4, 4), &mut out);
+        assert!(out.to_tensor().approx_eq(&want, 1e-6));
     }
 
     #[test]

@@ -4,6 +4,7 @@
 //! tile, so pooling never needs cross-tile data. That constraint lives in
 //! `adcnn-core`; here we just implement the numerics.
 
+use crate::scratch::ActBuf;
 use crate::tensor::Tensor;
 
 /// Pooling hyper-parameters (square window).
@@ -82,6 +83,43 @@ pub fn maxpool2d(input: &Tensor, p: Pool2dParams) -> MaxPoolOut {
     MaxPoolOut { output, argmax }
 }
 
+/// Allocation-free max pooling for the inference hot path: reads a flat
+/// `[n, c, h, w]` slice, writes `out` (storage reused), and skips the argmax
+/// bookkeeping that only the backward pass needs.
+pub fn maxpool2d_into(
+    x: &[f32],
+    (n, c, h, w): (usize, usize, usize, usize),
+    p: Pool2dParams,
+    out: &mut ActBuf,
+) {
+    assert_eq!(x.len(), n * c * h * w, "input dims mismatch");
+    let oh = p.out_dim(h);
+    let ow = p.out_dim(w);
+    out.reshape(&[n, c, oh, ow]);
+    let o = out.as_mut_slice();
+    let mut oidx = 0usize;
+    for plane in 0..n * c {
+        let base = plane * h * w;
+        for oi in 0..oh {
+            for oj in 0..ow {
+                let r0 = oi * p.stride;
+                let c0 = oj * p.stride;
+                let mut best = f32::NEG_INFINITY;
+                for ki in 0..p.kernel {
+                    for kj in 0..p.kernel {
+                        let v = x[base + (r0 + ki) * w + (c0 + kj)];
+                        if v > best {
+                            best = v;
+                        }
+                    }
+                }
+                o[oidx] = best;
+                oidx += 1;
+            }
+        }
+    }
+}
+
 /// Backward of max pooling: routes each output gradient to its argmax input.
 pub fn maxpool2d_backward(ctx: &MaxPoolOut, dout: &Tensor, input_shape: &[usize]) -> Tensor {
     assert_eq!(dout.numel(), ctx.argmax.len(), "dout/argmax length mismatch");
@@ -123,6 +161,39 @@ pub fn avgpool2d(input: &Tensor, p: Pool2dParams) -> Tensor {
         }
     }
     output
+}
+
+/// Allocation-free average pooling (flat-slice input, reused output buffer).
+pub fn avgpool2d_into(
+    x: &[f32],
+    (n, c, h, w): (usize, usize, usize, usize),
+    p: Pool2dParams,
+    out: &mut ActBuf,
+) {
+    assert_eq!(x.len(), n * c * h * w, "input dims mismatch");
+    let oh = p.out_dim(h);
+    let ow = p.out_dim(w);
+    let inv = 1.0 / (p.kernel * p.kernel) as f32;
+    out.reshape(&[n, c, oh, ow]);
+    let o = out.as_mut_slice();
+    let mut oidx = 0usize;
+    for plane in 0..n * c {
+        let base = plane * h * w;
+        for oi in 0..oh {
+            for oj in 0..ow {
+                let r0 = oi * p.stride;
+                let c0 = oj * p.stride;
+                let mut acc = 0.0f32;
+                for ki in 0..p.kernel {
+                    for kj in 0..p.kernel {
+                        acc += x[base + (r0 + ki) * w + (c0 + kj)];
+                    }
+                }
+                o[oidx] = acc * inv;
+                oidx += 1;
+            }
+        }
+    }
 }
 
 /// Backward of average pooling (only defined for non-overlapping windows,
@@ -169,6 +240,23 @@ pub fn global_avgpool(input: &Tensor) -> Tensor {
         }
     }
     out
+}
+
+/// Allocation-free global average pooling: `[n, c, h, w] -> [n, c]`.
+pub fn global_avgpool_into(
+    x: &[f32],
+    (n, c, h, w): (usize, usize, usize, usize),
+    out: &mut ActBuf,
+) {
+    assert_eq!(x.len(), n * c * h * w, "input dims mismatch");
+    let inv = 1.0 / (h * w) as f32;
+    out.reshape(&[n, c]);
+    let o = out.as_mut_slice();
+    for (plane, dst) in o.iter_mut().enumerate() {
+        let base = plane * h * w;
+        let s: f32 = x[base..base + h * w].iter().sum();
+        *dst = s * inv;
+    }
 }
 
 /// Backward of global average pooling.
@@ -248,6 +336,24 @@ mod tests {
         let dy = Tensor::full([2, 3], 4.0);
         let dx = global_avgpool_backward(&dy, &[2, 3, 2, 2]);
         assert_eq!(dx.at(&[0, 0, 0, 0]), 1.0);
+    }
+
+    #[test]
+    fn into_variants_match_allocating_forms() {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(6);
+        let x = Tensor::randn([2, 3, 5, 4], 1.0, &mut rng);
+        let p = Pool2dParams::non_overlapping(2);
+        let mut buf = ActBuf::new();
+
+        maxpool2d_into(x.as_slice(), (2, 3, 5, 4), p, &mut buf);
+        assert!(buf.to_tensor().approx_eq(&maxpool2d(&x, p).output, 0.0));
+
+        avgpool2d_into(x.as_slice(), (2, 3, 5, 4), p, &mut buf);
+        assert!(buf.to_tensor().approx_eq(&avgpool2d(&x, p), 0.0));
+
+        global_avgpool_into(x.as_slice(), (2, 3, 5, 4), &mut buf);
+        assert!(buf.to_tensor().approx_eq(&global_avgpool(&x), 0.0));
     }
 
     #[test]

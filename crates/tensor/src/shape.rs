@@ -143,7 +143,7 @@ mod tests {
     #[test]
     fn offsets_cover_dense_range() {
         let s = Shape::new(&[3, 5]);
-        let mut seen = vec![false; 15];
+        let mut seen = [false; 15];
         for i in 0..3 {
             for j in 0..5 {
                 seen[s.offset(&[i, j])] = true;

@@ -1,0 +1,239 @@
+//! Randomized equivalence tests for the packed inference kernels.
+//!
+//! The packed GEMM and the scratch-arena conv path must agree with naive
+//! reference implementations across random shapes — including the awkward
+//! ones: single rows, panel-tail widths, stride 2, 1x1 kernels, and
+//! degenerate zero-sized outputs. Plain seeded-rand loops (not proptest) so
+//! the shapes exercised are identical on every run and every platform.
+
+use adcnn_tensor::conv::{conv2d, conv2d_into, Conv2dParams};
+use adcnn_tensor::gemm::{gemm, gemm_fused, FusedAct};
+use adcnn_tensor::{ActBuf, Scratch, Tensor};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+fn rand_vec(rng: &mut StdRng, n: usize) -> Vec<f32> {
+    (0..n).map(|_| rng.gen_range(-2.0..2.0)).collect()
+}
+
+/// Naive triple-loop reference: `c = a·b + beta·c`.
+fn gemm_ref(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32], beta: f32) {
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0f32;
+            for p in 0..k {
+                acc += a[i * k + p] * b[p * n + j];
+            }
+            c[i * n + j] = acc + beta * c[i * n + j];
+        }
+    }
+}
+
+fn max_rel_err(got: &[f32], want: &[f32]) -> f32 {
+    got.iter()
+        .zip(want)
+        .map(|(&g, &w)| (g - w).abs() / w.abs().max(1.0))
+        .fold(0.0, f32::max)
+}
+
+#[test]
+fn packed_gemm_matches_naive_across_random_shapes() {
+    let mut rng = StdRng::seed_from_u64(0xADC);
+    for trial in 0..40 {
+        let m = rng.gen_range(1..40);
+        let k = rng.gen_range(1..90);
+        let n = rng.gen_range(1..70);
+        let a = rand_vec(&mut rng, m * k);
+        let b = rand_vec(&mut rng, k * n);
+        let beta = [0.0f32, 1.0, -0.5][trial % 3];
+        let mut want = rand_vec(&mut rng, m * n);
+        let mut got = want.clone();
+        gemm_ref(m, k, n, &a, &b, &mut want, beta);
+        gemm(m, k, n, &a, &b, &mut got, beta);
+        let err = max_rel_err(&got, &want);
+        assert!(err < 1e-4, "trial {trial} ({m}x{k}x{n}, beta {beta}): rel err {err}");
+    }
+}
+
+#[test]
+fn packed_gemm_matches_naive_on_large_parallel_shapes() {
+    // Shapes big enough to cross the parallel-dispatch threshold, including
+    // the m == 1 split-N case.
+    let mut rng = StdRng::seed_from_u64(0xBEE);
+    for &(m, k, n) in &[(1usize, 512usize, 300usize), (67, 129, 95), (128, 64, 33), (4, 300, 256)] {
+        let a = rand_vec(&mut rng, m * k);
+        let b = rand_vec(&mut rng, k * n);
+        let mut want = vec![0.0f32; m * n];
+        let mut got = vec![0.0f32; m * n];
+        gemm_ref(m, k, n, &a, &b, &mut want, 0.0);
+        gemm(m, k, n, &a, &b, &mut got, 0.0);
+        let err = max_rel_err(&got, &want);
+        assert!(err < 1e-3, "({m}x{k}x{n}): rel err {err}");
+    }
+}
+
+#[test]
+fn fused_gemm_matches_naive_plus_epilogue() {
+    let mut rng = StdRng::seed_from_u64(0xCAB);
+    let mut scratch = Scratch::new();
+    for trial in 0..20 {
+        let m = rng.gen_range(1..20);
+        let k = rng.gen_range(1..60);
+        let n = rng.gen_range(1..50);
+        let a = rand_vec(&mut rng, m * k);
+        let b = rand_vec(&mut rng, k * n);
+        let bias = rand_vec(&mut rng, m);
+        let act = [
+            FusedAct::Identity,
+            FusedAct::Relu,
+            FusedAct::Clipped { lo: 0.2, hi: 1.4 },
+        ][trial % 3];
+        let mut want = vec![0.0f32; m * n];
+        gemm_ref(m, k, n, &a, &b, &mut want, 0.0);
+        for i in 0..m {
+            for v in &mut want[i * n..(i + 1) * n] {
+                *v = act.apply(*v + bias[i]);
+            }
+        }
+        let mut got = vec![0.0f32; m * n];
+        gemm_fused(m, k, n, &a, &b, &mut got, Some(&bias), act, &mut scratch);
+        let err = max_rel_err(&got, &want);
+        assert!(err < 1e-4, "trial {trial} ({m}x{k}x{n}, {act:?}): rel err {err}");
+    }
+}
+
+/// Naive direct convolution (zero padding), the ground truth for conv2d.
+fn conv_ref(
+    x: &Tensor,
+    w: &Tensor,
+    bias: &[f32],
+    p: Conv2dParams,
+) -> Tensor {
+    let (n, ic, h, ww) = x.shape().nchw();
+    let oc = w.dims()[0];
+    let oh = p.out_dim(h);
+    let ow = p.out_dim(ww);
+    let mut out = Tensor::zeros([n, oc, oh, ow]);
+    let xs = x.as_slice();
+    let ws = w.as_slice();
+    let os = out.as_mut_slice();
+    for img in 0..n {
+        for o in 0..oc {
+            for oi in 0..oh {
+                for oj in 0..ow {
+                    let mut acc = if bias.is_empty() { 0.0 } else { bias[o] };
+                    for c in 0..ic {
+                        for ki in 0..p.kernel {
+                            for kj in 0..p.kernel {
+                                let si = (oi * p.stride + ki) as isize - p.pad as isize;
+                                let sj = (oj * p.stride + kj) as isize - p.pad as isize;
+                                if si < 0 || sj < 0 || si >= h as isize || sj >= ww as isize {
+                                    continue;
+                                }
+                                let xv = xs[((img * ic + c) * h + si as usize) * ww + sj as usize];
+                                let wv = ws[((o * ic + c) * p.kernel + ki) * p.kernel + kj];
+                                acc += xv * wv;
+                            }
+                        }
+                    }
+                    os[((img * oc + o) * oh + oi) * ow + oj] = acc;
+                }
+            }
+        }
+    }
+    out
+}
+
+#[test]
+fn conv2d_matches_direct_reference_across_shapes() {
+    let mut rng = StdRng::seed_from_u64(0xD0C);
+    // (ic, oc, h, w, kernel, stride, pad) — includes stride 2, kernel 1,
+    // pad 0, and asymmetric spatial dims.
+    let cases = [
+        (1usize, 1usize, 5usize, 5usize, 3usize, 1usize, 1usize),
+        (3, 8, 8, 8, 3, 1, 1),
+        (2, 4, 9, 7, 3, 2, 1),
+        (4, 6, 8, 8, 1, 1, 0),
+        (2, 3, 11, 5, 5, 2, 2),
+        (3, 2, 6, 6, 3, 1, 0),
+    ];
+    for &(ic, oc, h, w, kernel, stride, pad) in &cases {
+        let p = Conv2dParams { kernel, stride, pad };
+        for n in [1usize, 2] {
+            let x = Tensor::randn([n, ic, h, w], 1.0, &mut rng);
+            let wt = Tensor::randn([oc, ic, kernel, kernel], 0.5, &mut rng);
+            let bias = rand_vec(&mut rng, oc);
+            let want = conv_ref(&x, &wt, &bias, p);
+            let got = conv2d(&x, &wt, &bias, p);
+            assert_eq!(got.dims(), want.dims());
+            let err = max_rel_err(got.as_slice(), want.as_slice());
+            assert!(err < 1e-4, "{ic}->{oc} {h}x{w} k{kernel} s{stride} p{pad}: err {err}");
+        }
+    }
+}
+
+#[test]
+fn conv2d_into_matches_public_conv2d_across_shapes() {
+    let mut rng = StdRng::seed_from_u64(0xF00);
+    let mut scratch = Scratch::new();
+    let mut out = ActBuf::new();
+    let cases = [
+        (1usize, 2usize, 6usize, 6usize, 3usize, 1usize, 1usize),
+        (3, 5, 7, 9, 3, 2, 1),
+        (2, 2, 5, 5, 1, 1, 0),
+        (2, 3, 10, 10, 5, 2, 2),
+    ];
+    for &(ic, oc, h, w, kernel, stride, pad) in &cases {
+        let p = Conv2dParams { kernel, stride, pad };
+        let x = Tensor::randn([1, ic, h, w], 1.0, &mut rng);
+        let wt = Tensor::randn([oc, ic, kernel, kernel], 0.5, &mut rng);
+        let bias = rand_vec(&mut rng, oc);
+        let mut want = conv2d(&x, &wt, &bias, p);
+        for v in want.as_mut_slice() {
+            *v = v.max(0.0);
+        }
+        conv2d_into(
+            x.as_slice(),
+            (1, ic, h, w),
+            &wt,
+            &bias,
+            p,
+            FusedAct::Relu,
+            &mut scratch,
+            &mut out,
+        );
+        assert_eq!(out.dims(), want.dims());
+        let err = max_rel_err(out.as_slice(), want.as_slice());
+        assert!(err < 1e-5, "{ic}->{oc} {h}x{w} k{kernel} s{stride} p{pad}: err {err}");
+    }
+}
+
+#[test]
+fn degenerate_zero_output_shapes_are_consistent() {
+    // Kernel larger than the padded input: out_dim == 0. Both paths must
+    // agree on the (empty) result instead of panicking.
+    let mut rng = StdRng::seed_from_u64(0xE00);
+    let p = Conv2dParams { kernel: 5, stride: 1, pad: 0 };
+    let x = Tensor::randn([1, 2, 3, 3], 1.0, &mut rng);
+    let wt = Tensor::randn([4, 2, 5, 5], 0.5, &mut rng);
+    let got = conv2d(&x, &wt, &[], p);
+    assert_eq!(got.dims(), &[1, 4, 0, 0]);
+    let mut scratch = Scratch::new();
+    let mut out = ActBuf::new();
+    conv2d_into(
+        x.as_slice(),
+        (1, 2, 3, 3),
+        &wt,
+        &[],
+        p,
+        FusedAct::Identity,
+        &mut scratch,
+        &mut out,
+    );
+    assert_eq!(out.dims(), &[1, 4, 0, 0]);
+    assert_eq!(out.numel(), 0);
+
+    // Zero-k GEMM: m×0 · 0×n must yield the epilogue of a zero matrix.
+    let mut c = vec![7.0f32; 6];
+    gemm(2, 0, 3, &[], &[], &mut c, 0.0);
+    assert_eq!(c, vec![0.0; 6]);
+}

@@ -1,0 +1,143 @@
+//! Counting-allocator proof of the zero-allocation inference hot path.
+//!
+//! The Conv-node steady-state tile loop is: prefix forward
+//! (`Network::forward_infer_with`) + clip/quantize/RLE
+//! (`clip_and_compress_into`), all through per-worker scratch. After a
+//! warm-up pass on the tile shape, repeating that loop must hit the global
+//! allocator **zero** times. The only per-tile allocation left in the full
+//! worker is the final `Bytes` payload copy at the wire boundary, which is
+//! measured separately and bounded.
+//!
+//! The network is sized so every internal GEMM stays under the parallel
+//! dispatch threshold — the loop runs on this thread only, so the counter
+//! observes exactly the hot path.
+
+use adcnn::core::compress::{clip_and_compress_into, CompressScratch, Quantizer};
+use adcnn::core::wire::{make_result_from_parts, TileKey};
+use adcnn::nn::infer::InferScratch;
+use adcnn::nn::{Block, Layer, Network};
+use adcnn::tensor::activ::ClippedRelu;
+use adcnn::tensor::conv::Conv2dParams;
+use adcnn::tensor::pool::Pool2dParams;
+use adcnn::tensor::Tensor;
+use rand::{rngs::StdRng, SeedableRng};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Counts every allocator hit (alloc + realloc; dealloc is free to the
+/// "zero allocation" claim but counted for completeness).
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static COUNTER: CountingAlloc = CountingAlloc;
+
+fn allocs() -> u64 {
+    ALLOCS.load(Ordering::Relaxed)
+}
+
+/// A representative Conv-node prefix: conv→BN→ReLU→pool→conv→ReLU. Small
+/// enough (all GEMMs < the parallel-dispatch threshold) to stay serial.
+fn prefix_net(rng: &mut StdRng) -> Network {
+    Network::new(vec![
+        Block::Seq(vec![
+            Layer::conv2d(3, 8, 3, Conv2dParams::same(3), rng),
+            Layer::batch_norm(8),
+            Layer::Relu,
+            Layer::MaxPool(Pool2dParams::non_overlapping(2)),
+        ]),
+        Block::Residual {
+            body: vec![Layer::conv2d(8, 8, 3, Conv2dParams::same(3), rng), Layer::Relu],
+            shortcut: vec![],
+        },
+    ])
+}
+
+#[test]
+fn steady_state_tile_loop_is_allocation_free() {
+    let mut rng = StdRng::seed_from_u64(42);
+    let net = prefix_net(&mut rng);
+    let tile = Tensor::randn([1, 3, 16, 16], 0.5, &mut rng);
+    let cr = ClippedRelu::new(0.1, 1.1);
+    let q = Quantizer::paper_default(cr);
+
+    let mut scratch = InferScratch::new();
+    let mut cs = CompressScratch::new();
+
+    // Warm-up: grow every arena/buffer to its steady-state size.
+    for _ in 0..3 {
+        let out = net.forward_infer_with(&tile, &mut scratch);
+        let _ = clip_and_compress_into(out.as_slice(), cr, q, &mut cs);
+    }
+
+    let before = allocs();
+    for _ in 0..10 {
+        let out = net.forward_infer_with(&tile, &mut scratch);
+        let enc = clip_and_compress_into(out.as_slice(), cr, q, &mut cs);
+        assert!(!enc.is_empty());
+    }
+    let hot_path_allocs = allocs() - before;
+    assert_eq!(
+        hot_path_allocs, 0,
+        "steady-state forward + compress must not allocate (got {hot_path_allocs} allocations \
+         over 10 tiles)"
+    );
+}
+
+#[test]
+fn wire_boundary_allocations_are_bounded() {
+    let mut rng = StdRng::seed_from_u64(43);
+    let net = prefix_net(&mut rng);
+    let tile = Tensor::randn([1, 3, 16, 16], 0.5, &mut rng);
+    let cr = ClippedRelu::new(0.1, 1.1);
+    let q = Quantizer::paper_default(cr);
+
+    let mut scratch = InferScratch::new();
+    let mut cs = CompressScratch::new();
+    for _ in 0..3 {
+        let out = net.forward_infer_with(&tile, &mut scratch);
+        let _ = clip_and_compress_into(out.as_slice(), cr, q, &mut cs);
+    }
+
+    // The full per-tile result construction: the one unavoidable allocation
+    // is the Bytes payload copy handed to the channel (plus its drop).
+    let iters = 10u64;
+    let before = allocs();
+    for i in 0..iters {
+        let out = net.forward_infer_with(&tile, &mut scratch);
+        let dims = out.dims();
+        let shape = [dims[0], dims[1], dims[2], dims[3]];
+        let elems = out.numel();
+        let enc = clip_and_compress_into(out.as_slice(), cr, q, &mut cs);
+        let res = make_result_from_parts(
+            TileKey { image_id: 0, tile_id: i as u32 },
+            shape,
+            elems,
+            enc,
+            q,
+        );
+        assert_eq!(res.payload.elems, elems);
+    }
+    let per_tile = (allocs() - before) as f64 / iters as f64;
+    assert!(
+        per_tile <= 2.0,
+        "expected at most the Bytes payload copy per tile, got {per_tile} allocations/tile"
+    );
+}
