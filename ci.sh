@@ -4,6 +4,9 @@
 set -euo pipefail
 cd "$(dirname "$0")"
 
+echo "==> cargo fmt --check"
+cargo fmt --check
+
 echo "==> cargo build --release"
 cargo build --release
 

@@ -32,16 +32,12 @@ fn allocator_ablation(out: &mut Ablations) {
     let rr = allocate_round_robin(64, 8);
     let prop = allocate_proportional(64, &speeds, &mut rng);
     for (name, x) in [("greedy (Alg 3)", greedy), ("round-robin", rr), ("proportional", prop)] {
-        out.allocator
-            .push((name.to_string(), TileAllocator::makespan(&x, &speeds)));
+        out.allocator.push((name.to_string(), TileAllocator::makespan(&x, &speeds)));
     }
     print_table(
         "Ablation 1 — allocator makespan on a 4-fast/2-mid/2-slow cluster (lower = better)",
         &["policy", "makespan (tiles/speed-unit)"],
-        &out.allocator
-            .iter()
-            .map(|(n, m)| vec![n.clone(), format!("{m:.2}")])
-            .collect::<Vec<_>>(),
+        &out.allocator.iter().map(|(n, m)| vec![n.clone(), format!("{m:.2}")]).collect::<Vec<_>>(),
     );
 }
 
@@ -67,26 +63,19 @@ fn gamma_ablation(out: &mut Ablations) {
     print_table(
         "Ablation 2 — Algorithm 2 decay γ vs adaptation cost (total dropped tiles after throttle)",
         &["gamma", "dropped tiles"],
-        &out.gamma
-            .iter()
-            .map(|(g, l)| vec![g.to_string(), format!("{l:.0}")])
-            .collect::<Vec<_>>(),
+        &out.gamma.iter().map(|(g, l)| vec![g.to_string(), format!("{l:.0}")]).collect::<Vec<_>>(),
     );
 }
 
 fn quant_ablation(out: &mut Ablations) {
     let mut rng = StdRng::seed_from_u64(7);
     let n = 100_000usize;
-    let xs: Vec<f32> = (0..n)
-        .map(|_| if rng.gen_bool(0.95) { 0.0 } else { rng.gen_range(0.0..1.0f32) })
-        .collect();
+    let xs: Vec<f32> =
+        (0..n).map(|_| if rng.gen_bool(0.95) { 0.0 } else { rng.gen_range(0.0..1.0f32) }).collect();
     for bits in [2u8, 3, 4] {
         let q = Quantizer::new(bits, 1.0);
         let c = compress(&xs, q);
-        let err: f32 = xs
-            .iter()
-            .map(|&x| (q.value(q.level(x)) - x).abs())
-            .fold(0.0, f32::max);
+        let err: f32 = xs.iter().map(|&x| (q.value(q.level(x)) - x).abs()).fold(0.0, f32::max);
         out.quant_bits.push((bits, c.ratio_vs_f32(), err as f64));
     }
     print_table(
@@ -125,10 +114,7 @@ fn encoding_ablation(out: &mut Ablations) {
     print_table(
         "Ablation 4 — encoding scheme at 95% sparsity (fraction of raw f32)",
         &["encoding", "ratio"],
-        &out.encodings
-            .iter()
-            .map(|(n, r)| vec![n.clone(), format!("{r:.4}x")])
-            .collect::<Vec<_>>(),
+        &out.encodings.iter().map(|(n, r)| vec![n.clone(), format!("{r:.4}x")]).collect::<Vec<_>>(),
     );
 }
 
@@ -145,10 +131,7 @@ fn pipelining_ablation(out: &mut Ablations) {
     print_table(
         "Ablation 5 — pipelining vs throughput (images/s)",
         &["mode", "throughput"],
-        &out.pipelining
-            .iter()
-            .map(|(n, t)| vec![n.clone(), format!("{t:.2}")])
-            .collect::<Vec<_>>(),
+        &out.pipelining.iter().map(|(n, t)| vec![n.clone(), format!("{t:.2}")]).collect::<Vec<_>>(),
     );
 }
 

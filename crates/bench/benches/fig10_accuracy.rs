@@ -11,7 +11,9 @@
 use adcnn_bench::{emit_json, print_table};
 use adcnn_core::fdsp::TileGrid;
 use adcnn_nn::small::{shapes_cnn, small_charcnn, small_fcn, small_resnet, SmallModel};
-use adcnn_retrain::data::{char_seqs, shapes, shapes_seg, CHAR_ALPHABET, CHAR_CLASSES, SHAPE_CLASSES};
+use adcnn_retrain::data::{
+    char_seqs, shapes, shapes_seg, CHAR_ALPHABET, CHAR_CLASSES, SHAPE_CLASSES,
+};
 use adcnn_retrain::progressive::{progressive_retrain, RetrainConfig};
 use adcnn_retrain::trainer::{evaluate_dense, train, train_dense, TrainConfig};
 use adcnn_retrain::{Dataset, PartitionedModel};
@@ -42,10 +44,7 @@ fn train_original(mut m: SmallModel, data: &Dataset, seed: u64) -> (SmallModel, 
     let tc = TrainConfig { epochs: 30, target_accuracy: 0.95, ..Default::default() };
     let rep = train(&mut part, data, &tc);
     let acc = rep.final_accuracy();
-    (
-        SmallModel { net: part.net, ..m },
-        acc,
-    )
+    (SmallModel { net: part.net, ..m }, acc)
 }
 
 fn run_model(
@@ -80,12 +79,8 @@ fn run_model(
 }
 
 fn main() {
-    let image_grids = [
-        TileGrid::new(2, 2),
-        TileGrid::new(4, 4),
-        TileGrid::new(4, 8),
-        TileGrid::new(8, 8),
-    ];
+    let image_grids =
+        [TileGrid::new(2, 2), TileGrid::new(4, 4), TileGrid::new(4, 8), TileGrid::new(8, 8)];
     let char_grids = [TileGrid::new(1, 2), TileGrid::new(1, 4), TileGrid::new(1, 8)];
 
     let shapes_data = shapes(480, 240, 32, 1001);

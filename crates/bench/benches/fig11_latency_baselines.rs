@@ -56,7 +56,15 @@ fn main() {
 
     print_table(
         "Figure 11 — latency: ADCNN (8 Conv nodes) vs single device vs remote cloud",
-        &["model", "ADCNN (ms)", "ADCNN-deep (ms)", "single (ms)", "cloud (ms)", "vs single", "vs cloud"],
+        &[
+            "model",
+            "ADCNN (ms)",
+            "ADCNN-deep (ms)",
+            "single (ms)",
+            "cloud (ms)",
+            "vs single",
+            "vs cloud",
+        ],
         &rows
             .iter()
             .map(|r| {

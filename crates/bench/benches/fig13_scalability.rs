@@ -5,8 +5,7 @@
 
 use adcnn_bench::{emit_json, print_table};
 use adcnn_netsim::power::{
-    conv_node_memory_bytes, node_energy, single_device_energy_per_image,
-    single_device_memory_bytes,
+    conv_node_memory_bytes, node_energy, single_device_energy_per_image, single_device_memory_bytes,
 };
 use adcnn_netsim::{AdcnnSim, AdcnnSimConfig};
 use adcnn_nn::cost::{model_time_s, DeviceProfile};
@@ -46,8 +45,7 @@ fn main() {
         let e = node_energy(&pi, busy, sim.total_time_s, sim.images.len());
         // memory: tiles held per node in steady state
         let tiles_held = sim.images.last().unwrap().alloc[0];
-        let mem =
-            conv_node_memory_bytes(&m, m.separable_prefix, 64, tiles_held) as f64 / 1e6;
+        let mem = conv_node_memory_bytes(&m, m.separable_prefix, 64, tiles_held) as f64 / 1e6;
         rows.push(Row {
             nodes: k,
             latency_ms: latency * 1e3,
@@ -66,7 +64,15 @@ fn main() {
             single_energy,
             single_mem
         ),
-        &["Conv nodes", "latency (ms)", "speedup", "deep speedup", "energy/img (J)", "node mem (MB)"],
+        &[
+            "Conv nodes",
+            "latency (ms)",
+            "speedup",
+            "deep latency (ms)",
+            "deep speedup",
+            "energy/img (J)",
+            "node mem (MB)",
+        ],
         &rows
             .iter()
             .map(|r| {
@@ -74,6 +80,7 @@ fn main() {
                     r.nodes.to_string(),
                     format!("{:.1}", r.latency_ms),
                     format!("{:.2}x", r.speedup),
+                    format!("{:.1}", r.deep_latency_ms),
                     format!("{:.2}x", r.deep_speedup),
                     format!("{:.2}", r.energy_per_image_j),
                     format!("{:.1}", r.node_memory_mb),

@@ -57,7 +57,15 @@ fn main() {
 
     print_table(
         "Figure 14 — ADCNN vs Neurosurgeon vs AOFL (paper: 2.8x / 1.6x on average)",
-        &["model", "ADCNN (ms)", "ADCNN-deep (ms)", "Neurosurgeon (ms)", "AOFL (ms)", "deep vs NS", "deep vs AOFL"],
+        &[
+            "model",
+            "ADCNN (ms)",
+            "ADCNN-deep (ms)",
+            "Neurosurgeon (ms)",
+            "AOFL (ms)",
+            "deep vs NS",
+            "deep vs AOFL",
+        ],
         &rows
             .iter()
             .map(|r| {

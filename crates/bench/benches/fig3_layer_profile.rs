@@ -27,10 +27,7 @@ fn main() {
         let first_four: f64 = rows.iter().take(4).map(|r| r.time_ms).sum();
         let panel = Panel {
             model: m.name.clone(),
-            rows: rows
-                .iter()
-                .map(|r| (r.label.clone(), r.time_ms, r.ifmap_kb))
-                .collect(),
+            rows: rows.iter().map(|r| (r.label.clone(), r.time_ms, r.ifmap_kb)).collect(),
             total_ms,
             first_four_fraction: first_four / total_ms,
         };

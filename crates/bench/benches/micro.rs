@@ -2,7 +2,9 @@
 //! convolution/gemm throughput, the compression codec, FDSP tile
 //! plumbing, and the scheduler inner loops.
 
-use adcnn_core::compress::{clip_and_compress_into, compress, CompressScratch, Quantizer, RleCodec};
+use adcnn_core::compress::{
+    clip_and_compress_into, compress, CompressScratch, Quantizer, RleCodec,
+};
 use adcnn_core::fdsp::TileGrid;
 use adcnn_core::sched::{StatsCollector, TileAllocator};
 use adcnn_nn::infer::InferScratch;
@@ -123,15 +125,12 @@ fn bench_tile_pipeline(c: &mut Criterion) {
 fn bench_compression(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(3);
     let n = 100_352; // one VGG16 tile boundary (512*28*28/4)
-    let xs: Vec<f32> = (0..n)
-        .map(|_| if rng.gen_bool(0.95) { 0.0 } else { rng.gen_range(0.0..1.0f32) })
-        .collect();
+    let xs: Vec<f32> =
+        (0..n).map(|_| if rng.gen_bool(0.95) { 0.0 } else { rng.gen_range(0.0..1.0f32) }).collect();
     let q = Quantizer::new(4, 1.0);
     let mut g = c.benchmark_group("compress");
     g.throughput(Throughput::Bytes((n * 4) as u64));
-    g.bench_function("pipeline_95pct_sparse", |bench| {
-        bench.iter(|| black_box(compress(&xs, q)))
-    });
+    g.bench_function("pipeline_95pct_sparse", |bench| bench.iter(|| black_box(compress(&xs, q))));
     let levels = q.quantize(&xs);
     let encoded = RleCodec.encode(&levels);
     g.bench_function("rle_decode", |bench| {

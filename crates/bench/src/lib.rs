@@ -14,10 +14,8 @@ use std::path::PathBuf;
 pub fn print_table<H: Display, C: Display>(title: &str, headers: &[H], rows: &[Vec<C>]) {
     println!("\n=== {title} ===");
     let headers: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
-    let rows: Vec<Vec<String>> = rows
-        .iter()
-        .map(|r| r.iter().map(|c| c.to_string()).collect())
-        .collect();
+    let rows: Vec<Vec<String>> =
+        rows.iter().map(|r| r.iter().map(|c| c.to_string()).collect()).collect();
     let cols = headers.len();
     let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
     for r in &rows {

@@ -328,11 +328,8 @@ pub fn wire_bits_estimate(elems: u64, sparsity: f64, _bits: u8) -> u64 {
     // nibbles (3 bits of length per varint nibble).
     let runs = (zeros * (1.0 - sparsity)).max(if zeros > 0.0 { 1.0 } else { 0.0 });
     let mean_run = if runs > 0.0 { zeros / runs } else { 0.0 };
-    let varint_nibbles = if mean_run <= 1.0 {
-        1.0
-    } else {
-        ((mean_run - 1.0).log2() / 3.0).floor() + 1.0
-    };
+    let varint_nibbles =
+        if mean_run <= 1.0 { 1.0 } else { ((mean_run - 1.0).log2() / 3.0).floor() + 1.0 };
     let nibbles = nonzero + runs * (1.0 + varint_nibbles);
     (nibbles * 4.0).ceil() as u64
 }

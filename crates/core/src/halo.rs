@@ -29,7 +29,13 @@ pub struct HaloConvOutput {
 /// an unpadded convolution on the extended tile, and contributes exactly
 /// its own region of the output. Only stride-1 convolutions are supported —
 /// the configuration the paper's §3.1 analysis covers.
-pub fn conv2d_halo(x: &Tensor, w: &Tensor, bias: &[f32], p: Conv2dParams, grid: TileGrid) -> HaloConvOutput {
+pub fn conv2d_halo(
+    x: &Tensor,
+    w: &Tensor,
+    bias: &[f32],
+    p: Conv2dParams,
+    grid: TileGrid,
+) -> HaloConvOutput {
     assert_eq!(p.stride, 1, "halo-exchange partitioning is defined for stride 1");
     assert_eq!(p.pad, p.kernel / 2, "halo-exchange partitioning expects same padding");
     let (n, _, h, wdt) = x.shape().nchw();
@@ -51,7 +57,8 @@ pub fn conv2d_halo(x: &Tensor, w: &Tensor, bias: &[f32], p: Conv2dParams, grid: 
         );
         // Halo elements that came from *neighbouring tiles* (i.e. are
         // inside the image but outside this tile) were transmitted.
-        let inside = |r: isize, c: isize| r >= 0 && c >= 0 && (r as usize) < h && (c as usize) < wdt;
+        let inside =
+            |r: isize, c: isize| r >= 0 && c >= 0 && (r as usize) < h && (c as usize) < wdt;
         let own = |r: isize, c: isize| {
             r >= rect.r0 as isize
                 && c >= rect.c0 as isize

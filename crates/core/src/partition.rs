@@ -6,8 +6,8 @@
 //! spatial-partition analysis and the AOFL baseline (fused-layer tiles with
 //! overlapped inputs) are built on.
 
-use adcnn_nn::zoo::ModelSpec;
 use crate::fdsp::TileGrid;
+use adcnn_nn::zoo::ModelSpec;
 use serde::{Deserialize, Serialize};
 
 /// The CNN partitioning strategies discussed in §3.
@@ -233,7 +233,9 @@ mod tests {
         let rows = compare_strategies(&zoo::vgg16(), 8);
         let by = |s: Strategy| rows.iter().find(|r| r.strategy == s).unwrap();
         assert_eq!(by(Strategy::Fdsp).prefix_comm_mbits, 0.0);
-        assert!(by(Strategy::Channel).prefix_comm_mbits > by(Strategy::SpatialHalo).prefix_comm_mbits);
+        assert!(
+            by(Strategy::Channel).prefix_comm_mbits > by(Strategy::SpatialHalo).prefix_comm_mbits
+        );
         assert!(by(Strategy::Fdsp).independent);
         assert!(!by(Strategy::SpatialHalo).independent);
     }

@@ -55,6 +55,15 @@ impl StatsCollector {
         self.s[k] = (1.0 - self.gamma) * self.s[k] + self.gamma * n;
     }
 
+    /// Eagerly fail node `k` (§6.3, strengthened): its estimate drops to
+    /// zero *immediately* instead of decaying over several images, so the
+    /// very next Algorithm 3 allocation assigns it nothing. Used when the
+    /// runtime positively observes death (task channel disconnected) rather
+    /// than inferring slowness from missed deadlines.
+    pub fn mark_failed(&mut self, k: usize) {
+        self.s[k] = 0.0;
+    }
+
     /// Current speed estimate `s_k` for node `k`.
     pub fn speed(&self, k: usize) -> f64 {
         self.s[k]
@@ -251,6 +260,26 @@ mod tests {
         let x = alloc.allocate(64, sc.speeds(), &mut rng);
         assert_eq!(x[1], 0);
         assert_eq!(x[0], 64);
+    }
+
+    #[test]
+    fn mark_failed_starves_node_immediately() {
+        // Eager death detection: one observation of a disconnect must zero
+        // the estimate at once, unlike the multi-image EWMA decay.
+        let mut sc = StatsCollector::new(3, 0.9);
+        for _ in 0..10 {
+            sc.record_image(&[8, 8, 8]);
+        }
+        sc.mark_failed(1);
+        assert_eq!(sc.speed(1), 0.0);
+        let alloc = TileAllocator::unbounded(3);
+        let mut rng = StdRng::seed_from_u64(11);
+        let x = alloc.allocate(16, sc.speeds(), &mut rng);
+        assert_eq!(x[1], 0, "{x:?}");
+        assert_eq!(x.iter().sum::<u32>(), 16);
+        // a recovered node re-enters through fresh observations
+        sc.record_node(1, 8.0);
+        assert!(sc.speed(1) > 0.0);
     }
 
     #[test]

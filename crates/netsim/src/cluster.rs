@@ -110,6 +110,12 @@ pub struct AdcnnSimConfig {
     pub pipeline: bool,
     /// Timeout interpretation.
     pub timer_policy: TimerPolicy,
+    /// Mirror of the runtime's tile lifecycle manager: when the
+    /// expected-makespan deadline fires, re-send the missing tiles to the
+    /// fastest live nodes (bounded rounds) before zero-filling. Only
+    /// meaningful with [`TimerPolicy::Deadline`]; `false` restores the
+    /// paper's pure zero-fill policy.
+    pub redispatch: bool,
     /// RNG seed (tile-allocation tie-breaking).
     pub seed: u64,
     /// Use Algorithms 2+3 (true) or a static equal split (false — the
@@ -139,6 +145,7 @@ impl AdcnnSimConfig {
             images: 100,
             pipeline: true,
             timer_policy: TimerPolicy::Deadline,
+            redispatch: true,
             seed: 42,
             adaptive: true,
         }
@@ -164,6 +171,11 @@ pub struct ImageStats {
     pub dropped: u32,
     /// Results that arrived after the suffix had started.
     pub late: u32,
+    /// Tile re-sends issued by the deadline-fired recovery rounds.
+    pub redispatched: u32,
+    /// Results discarded because another copy of the tile arrived first
+    /// (re-dispatch races are resolved first-arrival-wins).
+    pub duplicate: u32,
     /// Completion time (absolute simulation seconds).
     pub done_at: f64,
 }
@@ -181,9 +193,12 @@ pub struct SimSummary {
     pub mean_computation_s: f64,
     /// Per-Conv-node CPU busy seconds over the whole run.
     pub node_busy_s: Vec<f64>,
-    /// Total simulated time.
+    /// Total simulated time (completion of the last image).
     pub total_time_s: f64,
-    /// Fraction of total time the shared channel was busy.
+    /// Time the event queue drained — includes post-completion straggler
+    /// and re-dispatch-duplicate traffic still finishing on the nodes.
+    pub sim_end_s: f64,
+    /// Fraction of `sim_end_s` the shared channel was busy.
     pub channel_utilization: f64,
 }
 
@@ -198,17 +213,39 @@ impl SimSummary {
 }
 
 enum Ev {
-    Admit { img: usize },
+    Admit {
+        img: usize,
+    },
     /// Stream the next pending input tile of `img` onto the channel. Tiles
     /// go out one at a time so that result transfers interleave fairly with
     /// the next image's tile distribution (WiFi is packet-interleaved, not
     /// message-exclusive).
-    SendNext { img: usize },
-    TileArrive { img: usize, node: usize },
-    ComputeDone { img: usize, node: usize },
-    ResultArrive { img: usize, node: usize },
-    Timer { img: usize, snapshot: u64 },
-    SuffixDone { img: usize },
+    SendNext {
+        img: usize,
+    },
+    TileArrive {
+        img: usize,
+        node: usize,
+        tile: usize,
+        original: bool,
+    },
+    ComputeDone {
+        img: usize,
+        node: usize,
+        tile: usize,
+    },
+    ResultArrive {
+        img: usize,
+        node: usize,
+        tile: usize,
+    },
+    Timer {
+        img: usize,
+        snapshot: u64,
+    },
+    SuffixDone {
+        img: usize,
+    },
 }
 
 struct ImageState {
@@ -223,11 +260,26 @@ struct ImageState {
     send_busy: f64,
     result_busy: f64,
     results_per_node: Vec<u32>,
+    /// Per-node results that arrived within the Algorithm 2 measurement
+    /// window (before the first-armed deadline): late re-dispatch
+    /// deliveries credit `results_per_node` but not the node's rate.
+    timely_per_node: Vec<u32>,
     /// Arrival time of each node's latest in-time result (for the
     /// Algorithm 2 throughput estimate).
     last_result_at: Vec<f64>,
     /// Span used to (re-)arm the expected-makespan deadline.
     deadline_span: f64,
+    /// Observed first-result time, reused to size re-dispatch deadlines.
+    per_unit: f64,
+    /// Algorithm 2 measurement cutoff (the deadline as first armed).
+    cutoff: f64,
+    /// Current owner of each placed tile (index into `send_queue` order).
+    tile_owner: Vec<usize>,
+    /// First-arrival-wins dedup, the sim twin of the runtime's `got[]`.
+    tile_done: Vec<bool>,
+    redispatched: u32,
+    redispatch_rounds: u32,
+    duplicate: u32,
     results_total: u64,
     first_compute_start: f64,
     last_compute_end: f64,
@@ -262,21 +314,22 @@ impl AdcnnSim {
         let (oc, oh, ow) = model.block_inputs()[cfg.prefix];
         let tile_out_elems = ((oc * oh * ow) / d).max(1) as u64;
         let tile_out_bits = match cfg.compression {
-            Some(sparsity) => wire_bits_estimate(tile_out_elems, sparsity, cfg.quant_bits) + HEADER_BITS,
+            Some(sparsity) => {
+                wire_bits_estimate(tile_out_elems, sparsity, cfg.quant_bits) + HEADER_BITS
+            }
             None => tile_out_elems * 32 + HEADER_BITS,
         };
         let tile_work: Vec<f64> = cfg
             .nodes
             .iter()
-            .map(|n| tile_prefix_time_s(model, cfg.prefix, (cfg.grid.rows, cfg.grid.cols), &n.profile))
+            .map(|n| {
+                tile_prefix_time_s(model, cfg.prefix, (cfg.grid.rows, cfg.grid.cols), &n.profile)
+            })
             .collect();
         // Streaming the prefix weights is paid once per image per node, on
         // that node's first tile of the image.
-        let weight_load: Vec<f64> = cfg
-            .nodes
-            .iter()
-            .map(|n| prefix_weight_load_s(model, cfg.prefix, &n.profile))
-            .collect();
+        let weight_load: Vec<f64> =
+            cfg.nodes.iter().map(|n| prefix_weight_load_s(model, cfg.prefix, &n.profile)).collect();
         let mut node_loaded_img: Vec<usize> = vec![usize::MAX; k];
         // Central work: reassembly/decompression streams the gathered
         // results, then the suffix layers run.
@@ -320,11 +373,16 @@ impl AdcnnSim {
         }
 
         const FORCE: u64 = u64::MAX;
+        /// Re-dispatch rounds per image before zero-fill (the runtime's
+        /// `max_redispatch_rounds` default).
+        const MAX_REDISPATCH_ROUNDS: u32 = 2;
         let hard_timeout = (cfg.t_l_s * 20.0).max(1.0);
 
         queue.push(0.0, Ev::Admit { img: 0 });
 
+        let mut sim_end = 0.0f64;
         while let Some((now, ev)) = queue.pop() {
+            sim_end = sim_end.max(now);
             match ev {
                 Ev::Admit { img } => {
                     // Partition on the central CPU, then stream tiles out
@@ -350,19 +408,28 @@ impl AdcnnSim {
                             break;
                         }
                     }
+                    let placed = send_queue.len();
                     let st = ImageState {
                         admitted_at: now,
                         alloc: x.clone(),
                         tiles_total: x.iter().sum(),
                         tiles_arrived: 0,
+                        tile_owner: send_queue.clone(),
+                        tile_done: vec![false; placed],
                         send_queue,
                         send_pos: 0,
                         sent_done: part_done,
                         send_busy: 0.0,
                         result_busy: 0.0,
                         results_per_node: vec![0; k],
+                        timely_per_node: vec![0; k],
                         last_result_at: vec![0.0; k],
                         deadline_span: 0.0,
+                        per_unit: 0.0,
+                        cutoff: f64::INFINITY,
+                        redispatched: 0,
+                        redispatch_rounds: 0,
+                        duplicate: 0,
                         results_total: 0,
                         first_compute_start: f64::INFINITY,
                         last_compute_end: 0.0,
@@ -387,13 +454,17 @@ impl AdcnnSim {
                     if st.send_pos >= st.send_queue.len() {
                         continue;
                     }
-                    let node = st.send_queue[st.send_pos];
+                    let tile = st.send_pos;
+                    let node = st.send_queue[tile];
                     st.send_pos += 1;
                     let occ = cfg.link.occupancy_s(tile_in_bits);
                     let (_, send_end) = channel.acquire(now, occ);
                     st.send_busy += occ;
                     st.sent_done = st.sent_done.max(send_end);
-                    queue.push(send_end + cfg.link.latency_s, Ev::TileArrive { img, node });
+                    queue.push(
+                        send_end + cfg.link.latency_s,
+                        Ev::TileArrive { img, node, tile, original: true },
+                    );
                     if st.send_pos < st.send_queue.len() {
                         queue.push(send_end, Ev::SendNext { img });
                     } else {
@@ -401,7 +472,8 @@ impl AdcnnSim {
                         // timeout machinery.
                         match cfg.timer_policy {
                             TimerPolicy::AfterSend => {
-                                queue.push(send_end + cfg.t_l_s, Ev::Timer { img, snapshot: FORCE });
+                                queue
+                                    .push(send_end + cfg.t_l_s, Ev::Timer { img, snapshot: FORCE });
                             }
                             TimerPolicy::Deadline => {
                                 // Fallback in case no result ever arrives.
@@ -411,7 +483,7 @@ impl AdcnnSim {
                         }
                     }
                 }
-                Ev::TileArrive { img, node } => {
+                Ev::TileArrive { img, node, tile, original } => {
                     // The image may already have completed via the timeout
                     // (its suffix ran on the partial set); drop stragglers
                     // but still unblock the admission gate.
@@ -420,7 +492,9 @@ impl AdcnnSim {
                         try_admit!(queue, now);
                         continue;
                     };
-                    st.tiles_arrived += 1;
+                    if original {
+                        st.tiles_arrived += 1;
+                    }
                     let all_arrived = st.tiles_arrived == st.tiles_total;
                     let mut work = tile_work[node];
                     if node_loaded_img[node] != img {
@@ -430,16 +504,16 @@ impl AdcnnSim {
                     let (cs, ce) = node_cpus[node].run(now, work);
                     if ce.is_finite() {
                         st.first_compute_start = st.first_compute_start.min(cs);
-                        queue.push(ce, Ev::ComputeDone { img, node });
+                        queue.push(ce, Ev::ComputeDone { img, node, tile });
                     }
                     // Figure 9 pipelining: the next image becomes eligible
                     // once this one's tiles are all on their nodes.
-                    if all_arrived {
+                    if original && all_arrived {
                         gate = gate.max(img + 1);
                         try_admit!(queue, now);
                     }
                 }
-                Ev::ComputeDone { img, node } => {
+                Ev::ComputeDone { img, node, tile } => {
                     // The image may already be finished (its suffix ran on
                     // zero-filled inputs); the node still sends the result,
                     // which will be discarded on arrival.
@@ -448,9 +522,9 @@ impl AdcnnSim {
                     let occ = cfg.link.occupancy_s(tile_out_bits);
                     let (_, send_end) = channel.acquire(now, occ);
                     st.result_busy += occ;
-                    queue.push(send_end + cfg.link.latency_s, Ev::ResultArrive { img, node });
+                    queue.push(send_end + cfg.link.latency_s, Ev::ResultArrive { img, node, tile });
                 }
-                Ev::ResultArrive { img, node } => {
+                Ev::ResultArrive { img, node, tile } => {
                     let mut complete = false;
                     let mut arm_deadline = None;
                     {
@@ -459,10 +533,21 @@ impl AdcnnSim {
                         let Some(st) = img_states[img].as_mut() else { continue };
                         if st.suffix_started {
                             st.late += 1;
+                        } else if st.tile_done[tile] {
+                            // A re-dispatch race: some other copy of this
+                            // tile landed first.
+                            st.duplicate += 1;
                         } else {
+                            st.tile_done[tile] = true;
                             st.results_per_node[node] += 1;
                             let first = st.results_total == 0;
-                            st.last_result_at[node] = now;
+                            // Algorithm 2 window: results past the original
+                            // deadline (re-dispatch deliveries) count for
+                            // reassembly but not for the node's rate.
+                            if now <= st.cutoff {
+                                st.timely_per_node[node] += 1;
+                                st.last_result_at[node] = now;
+                            }
                             st.results_total += 1;
                             if st.results_total == st.tiles_total as u64 {
                                 complete = true;
@@ -474,16 +559,23 @@ impl AdcnnSim {
                                 let max_alloc =
                                     st.alloc.iter().copied().max().unwrap_or(1).max(1) as f64;
                                 let per_unit = (now - st.admitted_at).max(1e-4);
-                                let span =
-                                    ((max_alloc - 1.0) * per_unit * 1.25 + cfg.t_l_s).max(cfg.t_l_s);
+                                let span = ((max_alloc - 1.0) * per_unit * 1.25 + cfg.t_l_s)
+                                    .max(cfg.t_l_s);
                                 st.deadline_span = span;
+                                st.per_unit = per_unit;
+                                st.cutoff = now + span;
                                 arm_deadline = Some(now + span);
                             }
                         }
                     }
                     if complete {
                         Self::start_suffix(
-                            img, now, &mut img_states, &mut stats, &mut central_cpu, suffix_work,
+                            img,
+                            now,
+                            &mut img_states,
+                            &mut stats,
+                            &mut central_cpu,
+                            suffix_work,
                             &mut queue,
                         );
                     } else if let Some(at) = arm_deadline {
@@ -508,14 +600,66 @@ impl AdcnnSim {
                         queue.push(now + span, Ev::Timer { img, snapshot: FORCE });
                         continue;
                     }
-                    let fire = snapshot == FORCE
-                        || (snapshot == 0 && st.results_total == 0);
-                    if fire {
-                        Self::start_suffix(
-                            img, now, &mut img_states, &mut stats, &mut central_cpu, suffix_work,
-                            &mut queue,
-                        );
+                    let fire = snapshot == FORCE || (snapshot == 0 && st.results_total == 0);
+                    if !fire {
+                        continue;
                     }
+                    // Mirror of the runtime's lifecycle manager: before
+                    // zero-filling, re-send the missing tiles to the
+                    // fastest live nodes (first-arrival-wins dedup makes
+                    // the duplicates harmless), bounded rounds.
+                    if cfg.redispatch
+                        && cfg.timer_policy == TimerPolicy::Deadline
+                        && st.redispatch_rounds < MAX_REDISPATCH_ROUNDS
+                    {
+                        let missing: Vec<usize> =
+                            (0..st.tile_done.len()).filter(|&t| !st.tile_done[t]).collect();
+                        let mut candidates: Vec<usize> =
+                            (0..k).filter(|&n| !cfg.nodes[n].throttle.is_dead_at(now)).collect();
+                        candidates.sort_by(|&a, &b| {
+                            stats.speeds()[b].total_cmp(&stats.speeds()[a]).then(a.cmp(&b))
+                        });
+                        if !missing.is_empty() && !candidates.is_empty() {
+                            let st = img_states[img].as_mut().expect("state checked above");
+                            let mut last_send_end = now;
+                            for (i, &tile) in missing.iter().enumerate() {
+                                let mut dest = candidates[i % candidates.len()];
+                                if dest == st.tile_owner[tile] && candidates.len() > 1 {
+                                    dest = candidates[(i + 1) % candidates.len()];
+                                }
+                                st.tile_owner[tile] = dest;
+                                let occ = cfg.link.occupancy_s(tile_in_bits);
+                                let (_, send_end) = channel.acquire(last_send_end, occ);
+                                st.send_busy += occ;
+                                last_send_end = send_end;
+                                queue.push(
+                                    send_end + cfg.link.latency_s,
+                                    Ev::TileArrive { img, node: dest, tile, original: false },
+                                );
+                            }
+                            st.redispatched += missing.len() as u32;
+                            st.redispatch_rounds += 1;
+                            // Re-arm: expected time for the candidates to
+                            // absorb the re-sent tiles, same 25% slack +
+                            // T_L grace as the original deadline.
+                            let share = missing.len().div_ceil(candidates.len()) as f64;
+                            let span = (share * st.per_unit * 1.25 + cfg.t_l_s).max(cfg.t_l_s);
+                            queue.push(
+                                last_send_end + cfg.link.latency_s + span,
+                                Ev::Timer { img, snapshot: FORCE },
+                            );
+                            continue;
+                        }
+                    }
+                    Self::start_suffix(
+                        img,
+                        now,
+                        &mut img_states,
+                        &mut stats,
+                        &mut central_cpu,
+                        suffix_work,
+                        &mut queue,
+                    );
                 }
                 Ev::SuffixDone { img } => {
                     let st = img_states[img].take().expect("suffix for unknown image");
@@ -533,6 +677,8 @@ impl AdcnnSim {
                         alloc: st.alloc.clone(),
                         dropped: st.tiles_total - st.results_per_node.iter().sum::<u32>(),
                         late: st.late,
+                        redispatched: st.redispatched,
+                        duplicate: st.duplicate,
                         done_at: now,
                     });
                     completed += 1;
@@ -555,12 +701,9 @@ impl AdcnnSim {
             mean_transmission_s,
             mean_computation_s,
             node_busy_s: node_cpus.iter().map(|c| c.busy_total()).collect(),
-            channel_utilization: if total_time_s > 0.0 {
-                channel.busy_total() / total_time_s
-            } else {
-                0.0
-            },
+            channel_utilization: if sim_end > 0.0 { channel.busy_total() / sim_end } else { 0.0 },
             total_time_s,
+            sim_end_s: sim_end,
             images: finished,
         }
     }
@@ -587,9 +730,13 @@ impl AdcnnSim {
             // allocator's ratios, so any fixed constant works
             0.030
         };
-        for i in 0..st.results_per_node.len() {
+        for i in 0..st.timely_per_node.len() {
             if st.alloc[i] > 0 {
-                let delivered = st.results_per_node[i] as f64;
+                // Only in-window results count — a node that delivered via
+                // late re-dispatch rounds earned the reassembly credit but
+                // not a throughput reputation (crediting those arrivals
+                // poisons the estimate and starves healthy nodes).
+                let delivered = st.timely_per_node[i] as f64;
                 let elapsed = (st.last_result_at[i] - st.admitted_at).max(1e-6);
                 let rate = delivered / elapsed * t_l;
                 stats.record_node(i, if delivered > 0.0 { rate } else { 0.0 });
@@ -712,7 +859,8 @@ mod tests {
         let s = AdcnnSim::new(cfg).run();
         let early = &s.images[..25];
         let late = &s.images[45..];
-        let mean = |xs: &[ImageStats]| xs.iter().map(|i| i.latency_s).sum::<f64>() / xs.len() as f64;
+        let mean =
+            |xs: &[ImageStats]| xs.iter().map(|i| i.latency_s).sum::<f64>() / xs.len() as f64;
         let l_early = mean(early);
         let l_late = mean(late);
         assert!(l_late > l_early * 1.05, "no degradation visible: {l_early} -> {l_late}");
@@ -725,7 +873,10 @@ mod tests {
 
     #[test]
     fn dead_node_is_starved_and_images_still_complete() {
+        // Pure zero-fill policy (§6.3, re-dispatch disabled): a dead
+        // node's tiles are dropped until the statistics starve it.
         let mut cfg = quick_cfg(4, 30);
+        cfg.redispatch = false;
         cfg.nodes[3].throttle = ThrottleSchedule::throttle_at(0.0, 0.0);
         let s = AdcnnSim::new(cfg).run();
         assert_eq!(s.images.len(), 30);
@@ -734,6 +885,30 @@ mod tests {
         assert_eq!(final_alloc[3], 0, "{final_alloc:?}");
         // node 3's results never arrived -> early images record drops
         assert!(s.images.iter().any(|i| i.dropped > 0));
+        assert!(s.images.iter().all(|i| i.redispatched == 0));
+    }
+
+    #[test]
+    fn dead_node_recovers_via_redispatch() {
+        // Same dead node, lifecycle manager on: the missing tiles are
+        // re-sent to the live nodes, so no image loses a single tile, and
+        // the statistics still starve the dead node out.
+        let mut cfg = quick_cfg(4, 30);
+        cfg.nodes[3].throttle = ThrottleSchedule::throttle_at(0.0, 0.0);
+        let s = AdcnnSim::new(cfg).run();
+        assert_eq!(s.images.len(), 30);
+        assert!(
+            s.images.iter().any(|i| i.redispatched > 0),
+            "dead node's tiles were never re-dispatched"
+        );
+        assert!(
+            s.images.iter().all(|i| i.dropped == 0),
+            "re-dispatch must recover every tile: {:?}",
+            s.images.iter().map(|i| i.dropped).collect::<Vec<_>>()
+        );
+        let last = s.images.last().unwrap();
+        assert_eq!(last.alloc[3], 0, "{:?}", last.alloc);
+        assert_eq!(last.redispatched, 0, "steady state should not re-dispatch");
     }
 
     #[test]
@@ -813,8 +988,8 @@ mod hetero_tests {
         cfg.images = 10;
         cfg.pipeline = false;
         // tile_in_bits for VGG16 8x8 is ~75 kbit + header; cap node 0 at 3 tiles.
-        let tile_bits = cfg.model.input_wire_bits() / cfg.grid.tiles() as u64
-            + adcnn_core::wire::HEADER_BITS;
+        let tile_bits =
+            cfg.model.input_wire_bits() / cfg.grid.tiles() as u64 + adcnn_core::wire::HEADER_BITS;
         cfg.nodes[0].storage_bits = tile_bits * 3 + tile_bits / 2;
         let run = AdcnnSim::new(cfg).run();
         for img in &run.images {
@@ -840,13 +1015,16 @@ mod hetero_tests {
                 prop_assert!(img.latency_s > 0.0);
                 prop_assert!(img.latency_s >= img.suffix_s);
                 prop_assert_eq!(img.alloc.iter().sum::<u32>() as usize, 64);
-                // every dropped tile was allocated, and late arrivals are a
-                // subset of the drops (they missed the suffix start)
+                // every dropped tile was allocated; every late arrival is
+                // either a dropped tile's original or a re-dispatch copy,
+                // and duplicates only exist where a re-send happened
                 prop_assert!(img.dropped <= img.alloc.iter().sum::<u32>());
-                prop_assert!(img.late <= img.dropped);
+                prop_assert!(img.late <= img.dropped + img.redispatched);
+                prop_assert!(img.duplicate <= img.redispatched);
             }
             prop_assert!(run.channel_utilization >= 0.0 && run.channel_utilization <= 1.0);
-            prop_assert!(run.node_busy_s.iter().all(|&b| b >= 0.0 && b <= run.total_time_s + 1e-9));
+            prop_assert!(run.sim_end_s >= run.total_time_s);
+            prop_assert!(run.node_busy_s.iter().all(|&b| b >= 0.0 && b <= run.sim_end_s + 1e-9));
         }
     }
 }

@@ -26,10 +26,7 @@ impl<E> PartialOrd for Entry<E> {
 impl<E> Ord for Entry<E> {
     fn cmp(&self, other: &Self) -> Ordering {
         // BinaryHeap is a max-heap; invert to get earliest-first.
-        other
-            .time
-            .total_cmp(&self.time)
-            .then_with(|| other.seq.cmp(&self.seq))
+        other.time.total_cmp(&self.time).then_with(|| other.seq.cmp(&self.seq))
     }
 }
 
@@ -140,6 +137,13 @@ impl SpeedSchedule {
     /// Throttle to `mult` from time `t` onward.
     pub fn throttle_at(t: f64, mult: f64) -> Self {
         Self::from_points(vec![(t, mult)])
+    }
+
+    /// True if the node is dead (multiplier 0) at time `t` — such a node
+    /// can accept tiles but will never finish computing them, so it is
+    /// excluded from re-dispatch candidate selection.
+    pub fn is_dead_at(&self, t: f64) -> bool {
+        self.multiplier_at(t) <= 0.0
     }
 
     /// The multiplier in effect at time `t`.
@@ -269,6 +273,16 @@ mod tests {
         assert_eq!(s.finish_time(20.0, 4.0), 28.0);
         // straddling: 2s at full (8..10), then 3s of work at 0.5 = 6s
         assert_eq!(s.finish_time(8.0, 5.0), 16.0);
+    }
+
+    #[test]
+    fn schedule_death_is_observable() {
+        let s = SpeedSchedule::throttle_at(5.0, 0.0);
+        assert!(!s.is_dead_at(4.9));
+        assert!(s.is_dead_at(5.0));
+        let revived = SpeedSchedule::from_points(vec![(1.0, 0.0), (3.0, 0.5)]);
+        assert!(revived.is_dead_at(2.0));
+        assert!(!revived.is_dead_at(3.5));
     }
 
     #[test]

@@ -28,5 +28,7 @@ pub mod power;
 pub mod profiles;
 pub mod schemes;
 
-pub use cluster::{AdcnnSim, AdcnnSimConfig, ImageStats, SimNode, SimSummary, ThrottleSchedule, TimerPolicy};
+pub use cluster::{
+    AdcnnSim, AdcnnSimConfig, ImageStats, SimNode, SimSummary, ThrottleSchedule, TimerPolicy,
+};
 pub use profiles::LinkParams;

@@ -141,13 +141,7 @@ mod tests {
     fn impossible_floor_returns_none() {
         let cfg = base();
         let sep = cfg.model.separable_prefix;
-        let plan = plan_deployment(
-            &cfg,
-            &[TileGrid::new(2, 2)],
-            &[7],
-            0.999,
-            &oracle(sep),
-        );
+        let plan = plan_deployment(&cfg, &[TileGrid::new(2, 2)], &[7], 0.999, &oracle(sep));
         assert!(plan.chosen.is_none());
         assert!(!plan.candidates.is_empty());
     }

@@ -31,11 +31,7 @@ pub fn node_energy(dev: &DeviceProfile, busy_s: f64, total_s: f64, images: usize
     let busy = busy_s.min(total_s);
     let active_j = dev.active_power_w * busy;
     let idle_j = dev.idle_power_w * (total_s - busy).max(0.0);
-    EnergyReport {
-        active_j,
-        idle_j,
-        per_image_j: (active_j + idle_j) / images.max(1) as f64,
-    }
+    EnergyReport { active_j, idle_j, per_image_j: (active_j + idle_j) / images.max(1) as f64 }
 }
 
 /// Energy of the single-device scheme: the device is active for the whole

@@ -5,9 +5,7 @@
 
 use crate::profiles::LinkParams;
 use adcnn_core::partition::{fused_halo, fused_tile_flops, square_grid};
-use adcnn_nn::cost::{
-    fc_time_s, model_time_s, prefix_time_s, suffix_time_s, DeviceProfile,
-};
+use adcnn_nn::cost::{fc_time_s, model_time_s, prefix_time_s, suffix_time_s, DeviceProfile};
 use adcnn_nn::zoo::ModelSpec;
 use serde::{Deserialize, Serialize};
 
@@ -51,11 +49,7 @@ pub fn single_device(m: &ModelSpec, dev: &DeviceProfile) -> SchemeResult {
 
 /// Remote-cloud scheme: upload the input, infer on the cloud, download the
 /// result.
-pub fn remote_cloud(
-    m: &ModelSpec,
-    cloud: &DeviceProfile,
-    uplink: LinkParams,
-) -> SchemeResult {
+pub fn remote_cloud(m: &ModelSpec, cloud: &DeviceProfile, uplink: LinkParams) -> SchemeResult {
     let up = uplink.transfer_s(m.input_wire_bits());
     let down = uplink.transfer_s(output_bits(m));
     let compute = model_time_s(m, cloud);
@@ -121,12 +115,7 @@ pub fn neurosurgeon(
 /// needed, at the price of redundant overlap computation that grows with
 /// the fused depth. The remaining layers run on one device after a gather.
 /// The fused depth is chosen by exhaustive search, as in the paper.
-pub fn aofl(
-    m: &ModelSpec,
-    k: usize,
-    dev: &DeviceProfile,
-    link: LinkParams,
-) -> SchemeResult {
+pub fn aofl(m: &ModelSpec, k: usize, dev: &DeviceProfile, link: LinkParams) -> SchemeResult {
     assert!(k >= 1);
     let grid = square_grid(k);
     let mut best: Option<(usize, f64, f64, f64)> = None;
@@ -141,11 +130,10 @@ pub fn aofl(
         let scatter = link.occupancy_s(tile_bits) * k as f64 + link.latency_s;
         // parallel fused compute (overlap-inflated)
         let tile_flops = fused_tile_flops(m, 0, fuse, grid);
-        let mem_bytes: u64 = (0..fuse)
-            .map(|i| m.block_weight_bytes(i))
-            .sum::<u64>()
-            + tile_bits / 8;
-        let compute_tile = dev.layer_time_s(tile_flops, mem_bytes) + dev.layer_overhead_s * fuse as f64;
+        let mem_bytes: u64 =
+            (0..fuse).map(|i| m.block_weight_bytes(i)).sum::<u64>() + tile_bits / 8;
+        let compute_tile =
+            dev.layer_time_s(tile_flops, mem_bytes) + dev.layer_overhead_s * fuse as f64;
         // gather: raw (uncompressed) fused outputs back to the head device.
         let (oc, oh, ow) = dims[fuse];
         let out_bits = (oc * oh * ow) as u64 * 32;
@@ -219,11 +207,7 @@ mod tests {
         // the three models."
         let m = zoo::vgg16();
         let r = neurosurgeon(&m, &pi(), &v100(), LinkParams::cloud_uplink());
-        let split: usize = r
-            .detail
-            .trim_start_matches("split after block ")
-            .parse()
-            .unwrap();
+        let split: usize = r.detail.trim_start_matches("split after block ").parse().unwrap();
         assert!(split <= 4, "split {split} not early ({})", r.detail);
     }
 

@@ -131,10 +131,7 @@ pub fn prefix_time_s(m: &ModelSpec, prefix: usize, dev: &DeviceProfile) -> f64 {
 
 /// Time for blocks `[prefix, len)` plus FC on `dev`.
 pub fn suffix_time_s(m: &ModelSpec, prefix: usize, dev: &DeviceProfile) -> f64 {
-    (prefix..m.blocks.len())
-        .map(|i| block_time_s(m, i, dev))
-        .sum::<f64>()
-        + fc_time_s(m, dev)
+    (prefix..m.blocks.len()).map(|i| block_time_s(m, i, dev)).sum::<f64>() + fc_time_s(m, dev)
 }
 
 /// Whole-model single-device inference time.
@@ -195,11 +192,7 @@ pub struct LayerProfileRow {
 pub fn layer_profile(m: &ModelSpec, dev: &DeviceProfile) -> Vec<LayerProfileRow> {
     let mut rows = Vec::with_capacity(m.blocks.len() + 1);
     for (i, b) in m.blocks.iter().enumerate() {
-        let label = if b.pool.is_some() {
-            format!("L{}(P)", i + 1)
-        } else {
-            format!("L{}", i + 1)
-        };
+        let label = if b.pool.is_some() { format!("L{}(P)", i + 1) } else { format!("L{}", i + 1) };
         rows.push(LayerProfileRow {
             label,
             time_ms: block_time_s(m, i, dev) * 1e3,

@@ -197,10 +197,7 @@ mod tests {
         let mut s = InferScratch::new();
         let got = net.forward_infer_with(x, &mut s);
         assert_eq!(got.dims(), want.dims());
-        assert!(
-            got.to_tensor().approx_eq(&want, tol),
-            "forward_infer_with diverged from infer()"
-        );
+        assert!(got.to_tensor().approx_eq(&want, tol), "forward_infer_with diverged from infer()");
     }
 
     #[test]
@@ -241,15 +238,18 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(9);
         let mut net = Network::new(vec![
             Block::Residual {
-                body: vec![
-                    Layer::conv2d(3, 3, 3, Conv2dParams::same(3), &mut rng),
-                    Layer::Relu,
-                ],
+                body: vec![Layer::conv2d(3, 3, 3, Conv2dParams::same(3), &mut rng), Layer::Relu],
                 shortcut: vec![],
             },
             Block::Residual {
                 body: vec![Layer::conv2d(3, 6, 3, Conv2dParams::same(3), &mut rng)],
-                shortcut: vec![Layer::conv2d(3, 6, 1, Conv2dParams { kernel: 1, stride: 1, pad: 0 }, &mut rng)],
+                shortcut: vec![Layer::conv2d(
+                    3,
+                    6,
+                    1,
+                    Conv2dParams { kernel: 1, stride: 1, pad: 0 },
+                    &mut rng,
+                )],
             },
             Block::Seq(vec![Layer::GlobalAvgPool]),
         ]);
@@ -275,10 +275,7 @@ mod tests {
     fn range_split_matches_training_path_split() {
         let mut rng = StdRng::seed_from_u64(11);
         let mut net = Network::new(vec![
-            Block::Seq(vec![
-                Layer::conv2d(1, 3, 3, Conv2dParams::same(3), &mut rng),
-                Layer::Relu,
-            ]),
+            Block::Seq(vec![Layer::conv2d(1, 3, 3, Conv2dParams::same(3), &mut rng), Layer::Relu]),
             Block::Seq(vec![Layer::Flatten, Layer::linear(3 * 8 * 8, 4, &mut rng)]),
         ]);
         let x = Tensor::randn([1, 1, 8, 8], 1.0, &mut rng);

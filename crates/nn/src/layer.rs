@@ -317,7 +317,9 @@ impl Layer {
     /// Number of learnable scalars in this layer.
     pub fn param_count(&self) -> usize {
         match self {
-            Layer::Conv2d { w, b, .. } | Layer::Linear { w, b } => w.value.numel() + b.value.numel(),
+            Layer::Conv2d { w, b, .. } | Layer::Linear { w, b } => {
+                w.value.numel() + b.value.numel()
+            }
             Layer::BatchNorm { bn, .. } => 2 * bn.channels(),
             _ => 0,
         }
@@ -423,11 +425,13 @@ mod tests {
 
         let (y1, c1) = l.forward(&x1, true);
         l.backward(&c1, &Tensor::full(y1.shape().clone(), 1.0));
-        let g_after_one = if let Layer::Linear { w, .. } = &l { w.grad.clone() } else { unreachable!() };
+        let g_after_one =
+            if let Layer::Linear { w, .. } = &l { w.grad.clone() } else { unreachable!() };
 
         let (y2, c2) = l.forward(&x2, true);
         l.backward(&c2, &Tensor::full(y2.shape().clone(), 1.0));
-        let g_after_two = if let Layer::Linear { w, .. } = &l { w.grad.clone() } else { unreachable!() };
+        let g_after_two =
+            if let Layer::Linear { w, .. } = &l { w.grad.clone() } else { unreachable!() };
 
         // second pass must have added, not replaced
         assert!(!g_after_two.approx_eq(&g_after_one, 1e-9));

@@ -14,8 +14,8 @@
 pub mod cost;
 pub mod infer;
 pub mod layer;
-mod proptests;
 pub mod network;
+mod proptests;
 pub mod sgd;
 pub mod small;
 pub mod zoo;

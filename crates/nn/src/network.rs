@@ -81,13 +81,13 @@ impl Block {
     pub fn backward(&mut self, ctx: &BlockCtx, dy: &Tensor) -> Tensor {
         match (self, ctx) {
             (Block::Seq(layers), BlockCtx::Seq(ctxs)) => backward_seq(layers, ctxs, dy),
-            (Block::Residual { body, shortcut }, BlockCtx::Residual { body: bctx, shortcut: sctx }) => {
+            (
+                Block::Residual { body, shortcut },
+                BlockCtx::Residual { body: bctx, shortcut: sctx },
+            ) => {
                 let d_main = backward_seq(body, bctx, dy);
-                let d_skip = if shortcut.is_empty() {
-                    dy.clone()
-                } else {
-                    backward_seq(shortcut, sctx, dy)
-                };
+                let d_skip =
+                    if shortcut.is_empty() { dy.clone() } else { backward_seq(shortcut, sctx, dy) };
                 d_main.add(&d_skip)
             }
             _ => panic!("block/context mismatch"),
@@ -125,11 +125,9 @@ impl Block {
     pub fn param_count(&self) -> usize {
         match self {
             Block::Seq(layers) => layers.iter().map(Layer::param_count).sum(),
-            Block::Residual { body, shortcut } => body
-                .iter()
-                .chain(shortcut.iter())
-                .map(Layer::param_count)
-                .sum(),
+            Block::Residual { body, shortcut } => {
+                body.iter().chain(shortcut.iter()).map(Layer::param_count).sum()
+            }
         }
     }
 }

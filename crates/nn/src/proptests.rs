@@ -42,10 +42,7 @@ fn random_net(
         blocks.push(Block::Seq(layers));
         c_in = c_out;
     }
-    blocks.push(Block::Seq(vec![
-        Layer::Flatten,
-        Layer::linear(c_in * hw * hw, classes, &mut rng),
-    ]));
+    blocks.push(Block::Seq(vec![Layer::Flatten, Layer::linear(c_in * hw * hw, classes, &mut rng)]));
     (Network::new(blocks), hw)
 }
 

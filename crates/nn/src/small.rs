@@ -35,22 +35,14 @@ pub struct SmallModel {
 pub fn shapes_cnn(classes: usize, rng: &mut impl Rng) -> SmallModel {
     let same = Conv2dParams::same(3);
     let net = Network::new(vec![
-        Block::Seq(vec![
-            Layer::conv2d(3, 16, 3, same, rng),
-            Layer::batch_norm(16),
-            Layer::Relu,
-        ]),
+        Block::Seq(vec![Layer::conv2d(3, 16, 3, same, rng), Layer::batch_norm(16), Layer::Relu]),
         Block::Seq(vec![
             Layer::conv2d(16, 16, 3, same, rng),
             Layer::batch_norm(16),
             Layer::Relu,
             Layer::MaxPool(Pool2dParams::non_overlapping(2)),
         ]),
-        Block::Seq(vec![
-            Layer::conv2d(16, 32, 3, same, rng),
-            Layer::batch_norm(32),
-            Layer::Relu,
-        ]),
+        Block::Seq(vec![Layer::conv2d(16, 32, 3, same, rng), Layer::batch_norm(32), Layer::Relu]),
         Block::Seq(vec![
             Layer::conv2d(32, 32, 3, same, rng),
             Layer::batch_norm(32),
@@ -75,11 +67,7 @@ pub fn shapes_cnn(classes: usize, rng: &mut impl Rng) -> SmallModel {
 pub fn small_resnet(classes: usize, rng: &mut impl Rng) -> SmallModel {
     let same = Conv2dParams::same(3);
     let net = Network::new(vec![
-        Block::Seq(vec![
-            Layer::conv2d(3, 16, 3, same, rng),
-            Layer::batch_norm(16),
-            Layer::Relu,
-        ]),
+        Block::Seq(vec![Layer::conv2d(3, 16, 3, same, rng), Layer::batch_norm(16), Layer::Relu]),
         Block::Residual {
             body: vec![
                 Layer::conv2d(16, 16, 3, same, rng),
@@ -101,11 +89,7 @@ pub fn small_resnet(classes: usize, rng: &mut impl Rng) -> SmallModel {
             ],
             shortcut: vec![],
         },
-        Block::Seq(vec![
-            Layer::Relu,
-            Layer::GlobalAvgPool,
-            Layer::linear(16, classes, rng),
-        ]),
+        Block::Seq(vec![Layer::Relu, Layer::GlobalAvgPool, Layer::linear(16, classes, rng)]),
     ]);
     SmallModel {
         net,
@@ -130,16 +114,8 @@ pub fn small_charcnn(alphabet: usize, classes: usize, rng: &mut impl Rng) -> Sma
             Layer::batch_norm(32),
             Layer::Relu,
         ]),
-        Block::Seq(vec![
-            Layer::conv2d(32, 32, 3, same, rng),
-            Layer::batch_norm(32),
-            Layer::Relu,
-        ]),
-        Block::Seq(vec![
-            Layer::conv2d(32, 64, 3, down, rng),
-            Layer::batch_norm(64),
-            Layer::Relu,
-        ]),
+        Block::Seq(vec![Layer::conv2d(32, 32, 3, same, rng), Layer::batch_norm(32), Layer::Relu]),
+        Block::Seq(vec![Layer::conv2d(32, 64, 3, down, rng), Layer::batch_norm(64), Layer::Relu]),
         Block::Seq(vec![Layer::Flatten, Layer::linear(64 * 32, classes, rng)]),
     ]);
     SmallModel {
@@ -239,16 +215,8 @@ pub fn small_fcn(classes: usize, rng: &mut impl Rng) -> SmallModel {
     let same = Conv2dParams::same(3);
     let score = Conv2dParams { kernel: 1, stride: 1, pad: 0 };
     let net = Network::new(vec![
-        Block::Seq(vec![
-            Layer::conv2d(3, 16, 3, same, rng),
-            Layer::batch_norm(16),
-            Layer::Relu,
-        ]),
-        Block::Seq(vec![
-            Layer::conv2d(16, 16, 3, same, rng),
-            Layer::batch_norm(16),
-            Layer::Relu,
-        ]),
+        Block::Seq(vec![Layer::conv2d(3, 16, 3, same, rng), Layer::batch_norm(16), Layer::Relu]),
+        Block::Seq(vec![Layer::conv2d(16, 16, 3, same, rng), Layer::batch_norm(16), Layer::Relu]),
         Block::Seq(vec![
             Layer::conv2d(16, 32, 3, same, rng),
             Layer::batch_norm(32),

@@ -278,14 +278,12 @@ pub fn resnet18() -> ModelSpec {
         ConvSpec { in_c: 3, out_c: 64, kh: 7, kw: 7, stride: 2, pad_h: 3, pad_w: 3 },
         Some((2, 2)),
     )];
-    let stages: &[(usize, usize, usize)] = &[(64, 64, 2), (64, 128, 2), (128, 256, 2), (256, 512, 2)];
+    let stages: &[(usize, usize, usize)] =
+        &[(64, 64, 2), (64, 128, 2), (128, 256, 2), (256, 512, 2)];
     for (s, &(in_c, out_c, pairs)) in stages.iter().enumerate() {
         for p in 0..pairs {
-            let (c_in, stride) = if p == 0 {
-                (in_c, if s == 0 { 1 } else { 2 })
-            } else {
-                (out_c, 1)
-            };
+            let (c_in, stride) =
+                if p == 0 { (in_c, if s == 0 { 1 } else { 2 }) } else { (out_c, 1) };
             blocks.push(rblk(
                 &format!("res{}_{}a", s + 2, p + 1),
                 ConvSpec { in_c: c_in, out_c, kh: 3, kw: 3, stride, pad_h: 1, pad_w: 1 },
@@ -318,11 +316,8 @@ pub fn resnet34() -> ModelSpec {
         &[(64, 64, 3), (64, 128, 4), (128, 256, 6), (256, 512, 3)];
     for (s, &(in_c, out_c, pairs)) in stages.iter().enumerate() {
         for p in 0..pairs {
-            let (c_in, stride) = if p == 0 {
-                (in_c, if s == 0 { 1 } else { 2 })
-            } else {
-                (out_c, 1)
-            };
+            let (c_in, stride) =
+                if p == 0 { (in_c, if s == 0 { 1 } else { 2 }) } else { (out_c, 1) };
             blocks.push(rblk(
                 &format!("res{}_{}a", s + 2, p + 1),
                 ConvSpec { in_c: c_in, out_c, kh: 3, kw: 3, stride, pad_h: 1, pad_w: 1 },

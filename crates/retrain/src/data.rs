@@ -208,7 +208,14 @@ pub fn char_seqs(train: usize, test: usize, len: usize, seed: u64) -> Dataset {
 }
 
 /// Shuffle and split into train/test.
-fn split(x: Tensor, y: Vec<usize>, train: usize, test: usize, classes: usize, seed: u64) -> Dataset {
+fn split(
+    x: Tensor,
+    y: Vec<usize>,
+    train: usize,
+    test: usize,
+    classes: usize,
+    seed: u64,
+) -> Dataset {
     let total = train + test;
     assert_eq!(y.len(), total);
     let mut order: Vec<usize> = (0..total).collect();
@@ -300,11 +307,7 @@ mod tests {
         for i in 0..40 {
             // reconstruct symbol sequence
             let seq: Vec<usize> = (0..32)
-                .map(|p| {
-                    (0..CHAR_ALPHABET)
-                        .find(|&s| d.train_x.at(&[i, s, 0, p]) == 1.0)
-                        .unwrap()
-                })
+                .map(|p| (0..CHAR_ALPHABET).find(|&s| d.train_x.at(&[i, s, 0, p]) == 1.0).unwrap())
                 .collect();
             let has = |m: &[usize; 3]| (0..30).any(|p| seq[p..p + 3] == m[..]);
             let y = d.train_y[i];
@@ -325,10 +328,7 @@ mod tests {
         assert_eq!(bx.dims(), &[2, 3, 16, 16]);
         assert_eq!(by, vec![d.train_y[3], d.train_y[7]]);
         let stride = 3 * 16 * 16;
-        assert_eq!(
-            &bx.as_slice()[..stride],
-            &d.train_x.as_slice()[3 * stride..4 * stride]
-        );
+        assert_eq!(&bx.as_slice()[..stride], &d.train_x.as_slice()[3 * stride..4 * stride]);
     }
 
     #[test]

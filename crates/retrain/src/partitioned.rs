@@ -109,11 +109,8 @@ impl PartitionedModel {
             self.net.forward_range(x, 0..p, train)
         };
         // 2. reassemble
-        let mut boundary = if self.tiled() {
-            self.grid.unstack_assemble(&boundary_tiled)
-        } else {
-            boundary_tiled
-        };
+        let mut boundary =
+            if self.tiled() { self.grid.unstack_assemble(&boundary_tiled) } else { boundary_tiled };
         // 3. boundary compression ops
         let mut pre_crelu = None;
         if let Some(cr) = self.boundary_crelu {
@@ -139,10 +136,7 @@ impl PartitionedModel {
         // quantizer: straight-through (full-precision gradients, §4.4)
         // clipped ReLU: gate on the saved pre-activation
         if let Some(cr) = self.boundary_crelu {
-            let pre = ctx
-                .pre_crelu
-                .as_ref()
-                .expect("forward_train must be used before backward");
+            let pre = ctx.pre_crelu.as_ref().expect("forward_train must be used before backward");
             d = cr.backward(pre, &d);
         }
         // split the boundary gradient back into tiles

@@ -176,10 +176,7 @@ pub fn progressive_retrain(
     stages.push(StageReport { stage: "Quantization".into(), acc_before, acc_after, epochs });
 
     let final_accuracy = stages.last().unwrap().acc_after;
-    (
-        model,
-        ProgressiveReport { original_accuracy, final_accuracy, stages },
-    )
+    (model, ProgressiveReport { original_accuracy, final_accuracy, stages })
 }
 
 /// Ablation: apply every modification at once and retrain once (the
@@ -296,11 +293,7 @@ mod tests {
     fn stage_order_matches_algorithm_1() {
         let data = shapes(120, 60, 16, 22);
         let (original, _) = trained_original(22, &data);
-        let cfg = RetrainConfig {
-            tolerance: 0.05,
-            max_epochs_per_stage: 2,
-            ..Default::default()
-        };
+        let cfg = RetrainConfig { tolerance: 0.05, max_epochs_per_stage: 2, ..Default::default() };
         let (model, report) = progressive_retrain(original, &data, TileGrid::new(2, 2), &cfg);
         let names: Vec<&str> = report.stages.iter().map(|s| s.stage.as_str()).collect();
         assert_eq!(names, ["FDSP", "Clipped ReLU", "Quantization"]);
@@ -313,11 +306,7 @@ mod tests {
     fn direct_retrain_reports_single_stage() {
         let data = shapes(120, 60, 16, 23);
         let (original, _) = trained_original(23, &data);
-        let cfg = RetrainConfig {
-            tolerance: 0.05,
-            max_epochs_per_stage: 2,
-            ..Default::default()
-        };
+        let cfg = RetrainConfig { tolerance: 0.05, max_epochs_per_stage: 2, ..Default::default() };
         let (_, report) = direct_retrain(original, &data, TileGrid::new(2, 2), &cfg);
         assert_eq!(report.stages.len(), 1);
         assert!(report.final_accuracy > 0.0);
@@ -335,10 +324,8 @@ mod grid_search_tests {
     fn grid_search_meets_sparsity_and_keeps_model_intact() {
         let data = shapes(120, 60, 32, 31);
         let mut rng = StdRng::seed_from_u64(31);
-        let mut model = PartitionedModel::fdsp(
-            shapes_cnn(data.classes, &mut rng),
-            TileGrid::new(2, 2),
-        );
+        let mut model =
+            PartitionedModel::fdsp(shapes_cnn(data.classes, &mut rng), TileGrid::new(2, 2));
         let before = (model.boundary_crelu, model.boundary_quant);
         let cr = grid_search_crelu(&mut model, &data, 0.85);
         // the search must not leave candidate bounds installed

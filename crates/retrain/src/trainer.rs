@@ -2,10 +2,10 @@
 
 use crate::data::Dataset;
 use crate::partitioned::PartitionedModel;
+use adcnn_nn::Sgd;
 use adcnn_tensor::loss::{accuracy, softmax_cross_entropy};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use adcnn_nn::Sgd;
 
 /// Training-loop hyper-parameters.
 #[derive(Clone, Copy, Debug)]
@@ -241,10 +241,7 @@ pub fn train_dense(
 
 /// Held-out `(pixel accuracy, mean IoU)` of a dense model — the two FCN
 /// metrics the paper's Figure 10 reports.
-pub fn evaluate_dense(
-    model: &mut PartitionedModel,
-    data: &crate::data::SegDataset,
-) -> (f64, f64) {
+pub fn evaluate_dense(model: &mut PartitionedModel, data: &crate::data::SegDataset) -> (f64, f64) {
     use adcnn_tensor::loss::{mean_iou, pixel_accuracy};
     let n = data.test_len();
     let dims = data.test_x.dims().to_vec();
@@ -296,10 +293,8 @@ mod dense_tests {
         // boundary and still emits a full-resolution map.
         let data = shapes_seg(96, 32, 16, 83);
         let mut rng = StdRng::seed_from_u64(83);
-        let mut model = PartitionedModel::fdsp(
-            small_fcn_16(data.classes, &mut rng),
-            TileGrid::new(2, 2),
-        );
+        let mut model =
+            PartitionedModel::fdsp(small_fcn_16(data.classes, &mut rng), TileGrid::new(2, 2));
         let cfg = TrainConfig { epochs: 10, target_accuracy: 0.93, lr: 0.1, ..Default::default() };
         train_dense(&mut model, &data, &cfg);
         let (acc, iou) = evaluate_dense(&mut model, &data);

@@ -1,6 +1,15 @@
 //! The Central node (§6.1, Figure 8): input partition block, statistics
 //! collection block, and layer computation block, driving real worker
 //! threads.
+//!
+//! Beyond the paper's pure zero-fill failure policy (§6.3), this runtime
+//! implements a **tile lifecycle manager**: every tile is tracked from
+//! dispatch to arrival, and tiles that miss the expected-makespan deadline
+//! are speculatively *re-dispatched* to the fastest live workers before the
+//! hard timeout zero-fills them. Worker death is detected eagerly — a
+//! failed send on a worker's (bounded) task queue marks it dead in the
+//! Algorithm 2 statistics and reroutes the tile immediately — so a crashed
+//! node costs one deadline, not an accuracy loss. See DESIGN.md §10.
 
 use crate::worker::{
     spawn_worker, Compression, WorkerMsg, WorkerOptions, WorkerStats, WorkerStatsSnapshot,
@@ -14,7 +23,7 @@ use adcnn_nn::infer::InferScratch;
 use adcnn_nn::Network;
 use adcnn_retrain::PartitionedModel;
 use adcnn_tensor::Tensor;
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender, TrySendError};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::Arc;
@@ -27,7 +36,8 @@ pub struct RuntimeConfig {
     /// Timeout grace `T_L` (the paper uses 30 ms): once the first result
     /// lands, the Central node waits for the expected makespan
     /// (first-result time x the largest allocation, +25% slack) plus this
-    /// grace, then zero-fills the missing tiles.
+    /// grace, then re-dispatches (and ultimately zero-fills) the missing
+    /// tiles.
     pub t_l: Duration,
     /// Hard cap on the total wait for one image.
     pub hard_timeout: Duration,
@@ -35,6 +45,14 @@ pub struct RuntimeConfig {
     pub gamma: f64,
     /// Tile-allocation tie-break seed.
     pub seed: u64,
+    /// Depth of each worker's bounded task queue. A dead or wedged worker
+    /// can hold at most this many tiles hostage; further sends fail fast
+    /// and the tiles are rerouted to live workers.
+    pub task_queue_cap: usize,
+    /// Speculative re-dispatch rounds per image after the expected-makespan
+    /// deadline fires, before the remaining tiles are zero-filled (`0`
+    /// restores the paper's pure zero-fill policy).
+    pub max_redispatch_rounds: u32,
 }
 
 impl Default for RuntimeConfig {
@@ -44,6 +62,8 @@ impl Default for RuntimeConfig {
             hard_timeout: Duration::from_secs(5),
             gamma: 0.9,
             seed: 42,
+            task_queue_cap: 64,
+            max_redispatch_rounds: 2,
         }
     }
 }
@@ -57,10 +77,17 @@ pub struct InferOutcome {
     pub latency: Duration,
     /// Tiles allocated per worker.
     pub alloc: Vec<u32>,
-    /// Results received in time per worker.
+    /// Results received in time per worker (re-dispatched tiles credit the
+    /// worker that actually delivered them).
     pub received: Vec<u32>,
-    /// Tiles zero-filled after the timeout.
+    /// Tiles zero-filled after the timeout (legacy alias of `zero_filled`).
     pub dropped: u32,
+    /// Tiles zero-filled after every recovery attempt failed.
+    pub zero_filled: u32,
+    /// Re-dispatch sends issued after the expected-makespan deadline fired
+    /// (duplicate results are deduplicated by `TileKey`, so re-dispatch is
+    /// always safe).
+    pub redispatched: u32,
     /// Total compressed payload bits received (communication accounting).
     pub wire_bits: u64,
     /// Cumulative per-worker compute/compress timings (since launch),
@@ -68,12 +95,34 @@ pub struct InferOutcome {
     pub worker_stats: Vec<WorkerStatsSnapshot>,
 }
 
+/// Lifecycle state of one dispatched tile (Central-node view).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum TileSlot {
+    /// Last worker the tile was handed to (initial dispatch or re-dispatch).
+    At(usize),
+    /// No live worker accepted the send; retried at the next deadline.
+    Unplaced,
+    /// Unschedulable (storage caps / no live workers): zero-filled
+    /// immediately, never retried.
+    Abandoned,
+}
+
 /// A dispatched-but-not-yet-collected image.
 struct Pending {
     image_id: u64,
     alloc: Vec<u32>,
     start: Instant,
+    /// Input tiles, kept until collection completes so missed tiles can be
+    /// re-dispatched.
+    tiles: Vec<Tensor>,
+    /// Per-tile lifecycle state.
+    slots: Vec<TileSlot>,
 }
+
+/// Results that arrived while another image was being collected, stamped
+/// with their true arrival time (draining later must not inflate the
+/// Algorithm 2 rates or the makespan deadline).
+type Stash = Vec<(usize, TileResult, Instant)>;
 
 /// The live system: Central node state plus its worker threads.
 pub struct AdcnnRuntime {
@@ -87,6 +136,9 @@ pub struct AdcnnRuntime {
     infer_scratch: InferScratch,
     stats: StatsCollector,
     allocator: TileAllocator,
+    /// Workers whose task channel is still connected. Cleared on the first
+    /// failed send; a dead worker is never sent to again.
+    live: Vec<bool>,
     rng: StdRng,
     cfg: RuntimeConfig,
     next_image: u64,
@@ -113,10 +165,7 @@ impl AdcnnRuntime {
 
         // Probe the per-tile boundary dims with a zero tile.
         let (c, h, w) = model.input;
-        assert!(
-            h % grid.rows == 0 && w % grid.cols == 0,
-            "input {h}x{w} not divisible by {grid}"
-        );
+        assert!(h % grid.rows == 0 && w % grid.cols == 0, "input {h}x{w} not divisible by {grid}");
         let mut probe_net = prefix_net.clone();
         let probe = Tensor::zeros([1, c, h / grid.rows, w / grid.cols]);
         let n_prefix = probe_net.len();
@@ -138,7 +187,9 @@ impl AdcnnRuntime {
         let mut handles = Vec::with_capacity(k);
         let mut worker_stats = Vec::with_capacity(k);
         for (i, opts) in worker_opts.iter().enumerate() {
-            let (tx, rx) = unbounded();
+            // Bounded queues: a worker that stops draining can absorb at
+            // most `task_queue_cap` tiles before sends fail fast.
+            let (tx, rx) = bounded(cfg.task_queue_cap.max(1));
             let stats = Arc::new(WorkerStats::default());
             handles.push(spawn_worker(
                 i,
@@ -163,6 +214,7 @@ impl AdcnnRuntime {
             infer_scratch: InferScratch::new(),
             stats: StatsCollector::new(k, cfg.gamma),
             allocator: TileAllocator::unbounded(k),
+            live: vec![true; k],
             rng: StdRng::seed_from_u64(cfg.seed),
             cfg,
             next_image: 0,
@@ -181,6 +233,25 @@ impl AdcnnRuntime {
         self.stats.speeds()
     }
 
+    /// Which workers still have a connected task channel (supervision
+    /// view). A `false` entry is a positively-detected death, not merely a
+    /// slow node.
+    pub fn live_workers(&self) -> &[bool] {
+        &self.live
+    }
+
+    /// Replace the tile allocator (e.g. with per-worker storage caps, the
+    /// Equation 1 `M·x_k ≤ H_k` constraint). Panics if the allocator does
+    /// not cover exactly this runtime's workers.
+    pub fn set_allocator(&mut self, allocator: TileAllocator) {
+        assert_eq!(
+            allocator.storage_bits.len(),
+            self.workers(),
+            "allocator node count must match the worker count"
+        );
+        self.allocator = allocator;
+    }
+
     /// Snapshot the per-worker tile/compute/compress counters.
     pub fn worker_stats(&self) -> Vec<WorkerStatsSnapshot> {
         self.worker_stats.iter().map(|s| s.snapshot()).collect()
@@ -189,7 +260,7 @@ impl AdcnnRuntime {
     /// Run one image `[1, C, H, W]` through the distributed pipeline.
     pub fn infer(&mut self, x: &Tensor) -> InferOutcome {
         let pending = self.dispatch(x);
-        let mut stash = Vec::new();
+        let mut stash = Stash::new();
         self.collect(pending, &mut stash)
     }
 
@@ -198,7 +269,7 @@ impl AdcnnRuntime {
     /// Conv nodes never starve between images.
     pub fn infer_stream(&mut self, images: &[Tensor]) -> Vec<InferOutcome> {
         let mut out = Vec::with_capacity(images.len());
-        let mut stash: Vec<(usize, TileResult)> = Vec::new();
+        let mut stash = Stash::new();
         let mut window: std::collections::VecDeque<Pending> = Default::default();
         let mut next = 0usize;
         while out.len() < images.len() {
@@ -212,6 +283,77 @@ impl AdcnnRuntime {
         out
     }
 
+    /// Try to hand one tile to `node`'s bounded queue. On failure the task
+    /// is returned for rerouting; a disconnected channel additionally marks
+    /// the worker dead — speed 0 in the Algorithm 2 statistics — so the
+    /// very next allocation assigns it nothing.
+    fn send_to(&mut self, node: usize, task: TileTask) -> Result<(), TileTask> {
+        if !self.live[node] {
+            return Err(task);
+        }
+        match self.task_txs[node].try_send(WorkerMsg::Tile(task)) {
+            Ok(()) => Ok(()),
+            Err(TrySendError::Full(WorkerMsg::Tile(t))) => Err(t),
+            Err(TrySendError::Disconnected(WorkerMsg::Tile(t))) => {
+                self.live[node] = false;
+                self.stats.mark_failed(node);
+                Err(t)
+            }
+            Err(_) => unreachable!("only Tile messages are routed through send_to"),
+        }
+    }
+
+    /// Hand `task` to the fastest live worker that accepts it, preferring
+    /// anyone but `avoid` (the worker that already failed to deliver it).
+    /// Returns the accepting worker, or `None` if nobody could take it.
+    fn reroute(&mut self, mut task: TileTask, avoid: usize) -> Option<usize> {
+        let mut order: Vec<usize> = (0..self.workers()).filter(|&w| self.live[w]).collect();
+        order.sort_by(|&a, &b| self.stats.speed(b).total_cmp(&self.stats.speed(a)).then(a.cmp(&b)));
+        // Pass 0 tries everyone except `avoid`; pass 1 retries the field
+        // (including `avoid` — a lossy worker beats zero-fill).
+        for pass in 0..2 {
+            for &w in &order {
+                if pass == 0 && w == avoid {
+                    continue;
+                }
+                match self.send_to(w, task) {
+                    Ok(()) => return Some(w),
+                    Err(t) => task = t,
+                }
+            }
+        }
+        None
+    }
+
+    /// Re-send the `missing` tiles to the fastest live workers (speculative
+    /// recovery after a deadline miss). Returns how many were actually
+    /// queued.
+    fn redispatch(
+        &mut self,
+        image_id: u64,
+        missing: &[usize],
+        tiles: &[Tensor],
+        slots: &mut [TileSlot],
+    ) -> u32 {
+        let mut sent = 0u32;
+        for &t in missing {
+            let avoid = match slots[t] {
+                TileSlot::At(w) => w,
+                _ => usize::MAX,
+            };
+            let task =
+                TileTask { key: TileKey { image_id, tile_id: t as u32 }, tile: tiles[t].clone() };
+            match self.reroute(task, avoid) {
+                Some(w) => {
+                    slots[t] = TileSlot::At(w);
+                    sent += 1;
+                }
+                None => slots[t] = TileSlot::Unplaced,
+            }
+        }
+        sent
+    }
+
     /// Input partition block: extract tiles, allocate with Algorithm 3,
     /// push them to the workers. Returns the collection state.
     fn dispatch(&mut self, x: &Tensor) -> Pending {
@@ -220,85 +362,138 @@ impl AdcnnRuntime {
         let d = self.grid.tiles();
         let tiles = self.grid.extract(x);
         let alloc = self.allocator.allocate(d, self.stats.speeds(), &mut self.rng);
-        let mut assignment: Vec<usize> = Vec::with_capacity(d);
+        // Round-robin across nodes honoring the allocation counts. A
+        // storage-capped allocator may return Σ alloc < d: the shortfall is
+        // unschedulable and zero-fills immediately (the seed runtime spun
+        // forever here waiting for tiles no node could hold).
+        let placed: usize = alloc.iter().map(|&a| a as usize).sum::<usize>().min(d);
+        let mut slots = vec![TileSlot::Abandoned; d];
         {
-            // round-robin across nodes honoring the allocation counts
             let mut remaining = alloc.clone();
-            while assignment.len() < d {
+            let mut t = 0usize;
+            while t < placed {
                 for (node, rem) in remaining.iter_mut().enumerate() {
-                    if *rem > 0 {
+                    if *rem > 0 && t < placed {
                         *rem -= 1;
-                        assignment.push(node);
+                        slots[t] = TileSlot::At(node);
+                        t += 1;
                     }
                 }
             }
         }
-        for (t, tile) in tiles.into_iter().enumerate() {
-            let node = assignment[t];
-            let task = TileTask { key: TileKey { image_id, tile_id: t as u32 }, tile };
-            // A closed channel means the worker died; the timeout handles it.
-            let _ = self.task_txs[node].send(WorkerMsg::Tile(task));
+        for t in 0..d {
+            let TileSlot::At(node) = slots[t] else { continue };
+            let task =
+                TileTask { key: TileKey { image_id, tile_id: t as u32 }, tile: tiles[t].clone() };
+            if let Err(task) = self.send_to(node, task) {
+                // Worker dead or backlogged: reroute to the fastest live
+                // worker right now rather than waiting for a deadline.
+                slots[t] = match self.reroute(task, node) {
+                    Some(w) => TileSlot::At(w),
+                    None => TileSlot::Unplaced,
+                };
+            }
         }
-        Pending { image_id, alloc, start: Instant::now() }
+        if !self.live.iter().any(|&l| l) {
+            // Nobody can ever deliver these; don't wait for them.
+            for s in slots.iter_mut() {
+                if *s == TileSlot::Unplaced {
+                    *s = TileSlot::Abandoned;
+                }
+            }
+        }
+        Pending { image_id, alloc, start: Instant::now(), tiles, slots }
     }
 
     /// Statistics collection + reassembly + suffix for one dispatched
     /// image. Results belonging to later images land in `stash` (they are
     /// consumed when their image is collected); earlier-image stragglers
     /// are discarded.
-    fn collect(&mut self, pending: Pending, stash: &mut Vec<(usize, TileResult)>) -> InferOutcome {
-        let Pending { image_id, alloc, start } = pending;
+    fn collect(&mut self, pending: Pending, stash: &mut Stash) -> InferOutcome {
+        let Pending { image_id, alloc, start, tiles, mut slots } = pending;
         let d = self.grid.tiles();
         let k = self.workers();
+        let grid = self.grid;
         let (bc, bh, bw) = self.boundary;
         let (_, th, tw) = self.tile_out;
         let mut assembled = Tensor::zeros([1, bc, bh, bw]);
         let mut received = vec![0u32; k];
-        // Arrival time of each worker's latest result (Algorithm 2 rates).
+        // Algorithm 2 measures "results within the time limit": only
+        // results arriving before the first-armed makespan deadline count
+        // toward a worker's rate. Re-dispatched tiles delivered later still
+        // credit `received`, but must not poison the deliverer's speed
+        // estimate (that feedback loop starves healthy workers).
+        let mut timely = vec![0u32; k];
+        // Arrival time of each worker's latest timely result.
         let mut last_result_at: Vec<Option<Instant>> = vec![None; k];
-        // Expected-makespan deadline, armed by the first result.
+        // Measurement cutoff: the deadline as first armed.
+        let mut cutoff: Option<Instant> = None;
+        // Expected-makespan deadline, armed by the first result; fires
+        // re-dispatch rounds, then zero-fill.
         let mut deadline: Option<Instant> = None;
+        // Observed first-result time, reused to re-arm after re-dispatch.
+        let mut per_unit: Option<Duration> = None;
         let max_alloc = alloc.iter().copied().max().unwrap_or(1).max(1);
         let mut got = vec![false; d];
         let mut got_total = 0usize;
         let mut wire_bits = 0u64;
+        let mut redispatched = 0u32;
+        let mut rounds = 0u32;
 
+        // Paste one result into the boundary map. Duplicates (re-dispatch
+        // races) and undecodable payloads are skipped; `true` means the
+        // tile was newly credited.
         let paste = |res: &TileResult,
-                         worker: usize,
-                         got: &mut Vec<bool>,
-                         got_total: &mut usize,
-                         received: &mut Vec<u32>,
-                         wire_bits: &mut u64,
-                         assembled: &mut Tensor| {
+                     worker: usize,
+                     got: &mut Vec<bool>,
+                     got_total: &mut usize,
+                     received: &mut Vec<u32>,
+                     wire_bits: &mut u64,
+                     assembled: &mut Tensor|
+         -> bool {
             let t = res.key.tile_id as usize;
             if t >= d || got[t] {
-                return;
+                return false;
             }
             *wire_bits += res.wire_bits();
             if let Some(tensor) = res.to_tensor() {
-                let (gr, gc) = self.grid.tile_pos(t);
+                let (gr, gc) = grid.tile_pos(t);
                 assembled.paste_spatial(&tensor, gr * th, gc * tw);
                 got[t] = true;
                 *got_total += 1;
                 received[worker] += 1;
+                return true;
             }
+            false
         };
 
         // First drain any stashed results for this image (they arrived
-        // while a previous image was being collected).
+        // while a previous image was being collected). Their *stash-time*
+        // instant is authoritative: drain time would inflate the makespan
+        // deadline and deflate the Algorithm 2 speeds under pipelining.
         let mut i = 0;
         while i < stash.len() {
             if stash[i].1.key.image_id == image_id {
-                let (worker, res) = stash.remove(i);
-                let before = got_total;
-                paste(&res, worker, &mut got, &mut got_total, &mut received, &mut wire_bits, &mut assembled);
-                if got_total > before {
-                    let now = Instant::now();
-                    last_result_at[worker] = Some(now);
+                let (worker, res, at) = stash.remove(i);
+                if paste(
+                    &res,
+                    worker,
+                    &mut got,
+                    &mut got_total,
+                    &mut received,
+                    &mut wire_bits,
+                    &mut assembled,
+                ) {
                     if deadline.is_none() {
-                        let per_unit = now.duration_since(start);
+                        let pu = at.duration_since(start);
+                        per_unit = Some(pu);
                         deadline =
-                            Some(now + per_unit.mul_f64(1.25 * (max_alloc - 1) as f64) + self.cfg.t_l);
+                            Some(at + pu.mul_f64(1.25 * (max_alloc - 1) as f64) + self.cfg.t_l);
+                        cutoff = deadline;
+                    }
+                    if cutoff.is_none_or(|c| at <= c) {
+                        timely[worker] += 1;
+                        last_result_at[worker] = Some(at);
                     }
                 }
             } else {
@@ -306,43 +501,87 @@ impl AdcnnRuntime {
             }
         }
 
+        let abandoned = slots.iter().filter(|s| **s == TileSlot::Abandoned).count();
         let hard_deadline = Instant::now() + self.cfg.hard_timeout;
-        while got_total < d {
+        while got_total + abandoned < d {
             let limit = deadline.map_or(hard_deadline, |dl| dl.min(hard_deadline));
-            let wait = limit.saturating_duration_since(Instant::now());
-            if wait.is_zero() {
-                break;
+            let now = Instant::now();
+            if now >= limit {
+                // Deadline fired. Hard timeout or exhausted recovery
+                // budget → zero-fill; otherwise speculatively re-dispatch
+                // the missing tiles to the fastest live workers (the
+                // `got[]` dedup makes duplicate results harmless).
+                if limit >= hard_deadline || rounds >= self.cfg.max_redispatch_rounds {
+                    break;
+                }
+                let missing: Vec<usize> =
+                    (0..d).filter(|&t| !got[t] && slots[t] != TileSlot::Abandoned).collect();
+                if missing.is_empty() {
+                    break;
+                }
+                let sent = self.redispatch(image_id, &missing, &tiles, &mut slots);
+                rounds += 1;
+                redispatched += sent;
+                if sent == 0 {
+                    break; // nowhere live to send: zero-fill now
+                }
+                // Re-arm: expected time for the live workers to absorb the
+                // re-dispatched tiles, with the same 25% slack + T_L grace.
+                let pu = per_unit.unwrap_or(self.cfg.t_l);
+                let live_n = self.live.iter().filter(|&&l| l).count().max(1);
+                let share = missing.len().div_ceil(live_n);
+                deadline = Some(Instant::now() + pu.mul_f64(1.25 * share as f64) + self.cfg.t_l);
+                continue;
             }
-            match self.result_rx.recv_timeout(wait) {
+            match self.result_rx.recv_timeout(limit - now) {
                 Ok((worker, res)) => {
                     use std::cmp::Ordering;
                     match res.key.image_id.cmp(&image_id) {
                         Ordering::Less => continue, // straggler: discard
                         Ordering::Greater => {
-                            stash.push((worker, res)); // future image
+                            stash.push((worker, res, Instant::now())); // future image
                             continue;
                         }
                         Ordering::Equal => {
-                            let before = got_total;
-                            paste(
-                                &res, worker, &mut got, &mut got_total, &mut received,
-                                &mut wire_bits, &mut assembled,
-                            );
-                            if got_total > before {
+                            if paste(
+                                &res,
+                                worker,
+                                &mut got,
+                                &mut got_total,
+                                &mut received,
+                                &mut wire_bits,
+                                &mut assembled,
+                            ) {
                                 let now = Instant::now();
-                                last_result_at[worker] = Some(now);
                                 if deadline.is_none() {
-                                    let per_unit = now.duration_since(start);
+                                    let pu = now.duration_since(start);
+                                    per_unit = Some(pu);
                                     deadline = Some(
-                                        now + per_unit.mul_f64(1.25 * (max_alloc - 1) as f64)
+                                        now + pu.mul_f64(1.25 * (max_alloc - 1) as f64)
                                             + self.cfg.t_l,
                                     );
+                                    cutoff = deadline;
+                                }
+                                if cutoff.is_none_or(|c| now <= c) {
+                                    timely[worker] += 1;
+                                    last_result_at[worker] = Some(now);
                                 }
                             }
                         }
                     }
                 }
-                Err(_) => break, // idle gap: zero-fill the rest
+                Err(RecvTimeoutError::Timeout) => continue, // deadline handling above
+                Err(RecvTimeoutError::Disconnected) => {
+                    // Every worker thread has exited: nothing will ever
+                    // arrive again.
+                    for w in 0..k {
+                        if self.live[w] {
+                            self.live[w] = false;
+                            self.stats.mark_failed(w);
+                        }
+                    }
+                    break;
+                }
             }
         }
 
@@ -353,9 +592,9 @@ impl AdcnnRuntime {
         for node in 0..k {
             if alloc[node] > 0 {
                 let rate = match last_result_at[node] {
-                    Some(t) if received[node] > 0 => {
+                    Some(t) if timely[node] > 0 => {
                         let elapsed = t.duration_since(start).as_secs_f64().max(1e-6);
-                        received[node] as f64 / elapsed * self.cfg.t_l.as_secs_f64()
+                        timely[node] as f64 / elapsed * self.cfg.t_l.as_secs_f64()
                     }
                     _ => 0.0,
                 };
@@ -370,12 +609,15 @@ impl AdcnnRuntime {
             .suffix
             .forward_infer_range_with(&assembled, 0..n_suffix, &mut self.infer_scratch)
             .to_tensor();
+        let zero_filled = (d - got_total) as u32;
         InferOutcome {
             output,
             latency: start.elapsed(),
             alloc,
             received,
-            dropped: (d - got_total) as u32,
+            dropped: zero_filled,
+            zero_filled,
+            redispatched,
             wire_bits,
             worker_stats: self.worker_stats.iter().map(|s| s.snapshot()).collect(),
         }
@@ -428,11 +670,8 @@ mod tests {
         let grid = TileGrid::new(2, 2);
         let mut local = build_model(5, grid);
         let model = build_model(5, grid); // identical weights (same seed)
-        let mut rt = AdcnnRuntime::launch(
-            model,
-            &[WorkerOptions::default(); 3],
-            RuntimeConfig::default(),
-        );
+        let mut rt =
+            AdcnnRuntime::launch(model, &[WorkerOptions::default(); 3], RuntimeConfig::default());
         for s in 0..3 {
             let x = rand_image(100 + s);
             let want = local.infer(&x);
@@ -474,7 +713,10 @@ mod tests {
     }
 
     #[test]
-    fn failed_worker_is_tolerated_and_starved() {
+    fn failed_worker_tiles_recovered_by_redispatch_then_starved() {
+        // A worker that goes silent from tile 0 used to cost one image's
+        // worth of zero-filled tiles (§6.3); the lifecycle manager now
+        // recovers them through re-dispatch well before the hard timeout.
         let grid = TileGrid::new(4, 4);
         let model = build_model(9, grid);
         let opts = [
@@ -484,7 +726,14 @@ mod tests {
         let cfg = RuntimeConfig { t_l: Duration::from_millis(50), ..Default::default() };
         let mut rt = AdcnnRuntime::launch(model, &opts, cfg);
         let first = rt.infer(&rand_image(1));
-        assert!(first.dropped > 0, "dead worker's tiles should drop");
+        assert_eq!(first.dropped, 0, "re-dispatch should recover every tile");
+        assert_eq!(first.zero_filled, 0);
+        assert!(first.redispatched > 0, "dead worker's tiles must be re-dispatched");
+        assert!(
+            first.latency < cfg.hard_timeout / 2,
+            "recovery must not wait for the hard timeout: {:?}",
+            first.latency
+        );
         assert_eq!(first.output.dims()[0], 1); // output still produced
         for s in 2..6 {
             rt.infer(&rand_image(s));
@@ -492,6 +741,129 @@ mod tests {
         let last = rt.infer(&rand_image(99));
         assert_eq!(last.alloc[1], 0, "dead worker still allocated: {:?}", last.alloc);
         assert_eq!(last.dropped, 0, "steady state should not drop");
+        assert_eq!(last.redispatched, 0, "steady state should not re-dispatch");
+        rt.shutdown();
+    }
+
+    #[test]
+    fn zero_fill_fallback_when_redispatch_disabled() {
+        // `max_redispatch_rounds: 0` restores the paper's pure zero-fill
+        // policy: a silent worker's tiles are dropped, not recovered.
+        let grid = TileGrid::new(4, 4);
+        let model = build_model(9, grid);
+        let opts = [
+            WorkerOptions::default(),
+            WorkerOptions { fail_after_tiles: Some(0), ..Default::default() },
+        ];
+        let cfg = RuntimeConfig {
+            t_l: Duration::from_millis(50),
+            max_redispatch_rounds: 0,
+            ..Default::default()
+        };
+        let mut rt = AdcnnRuntime::launch(model, &opts, cfg);
+        let first = rt.infer(&rand_image(1));
+        assert!(first.dropped > 0, "zero-fill policy should drop the dead worker's tiles");
+        assert_eq!(first.redispatched, 0);
+        assert_eq!(first.dropped, first.zero_filled);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn worker_killed_mid_image_recovers_without_hard_timeout() {
+        // The fault-injection acceptance scenario: the worker processes a
+        // few tiles of the image, then dies. Its remaining tiles must come
+        // back through re-dispatch, not zero-fill.
+        let grid = TileGrid::new(4, 4);
+        let mut local = build_model(15, grid);
+        let model = build_model(15, grid);
+        let opts = [
+            WorkerOptions::default(),
+            WorkerOptions { fail_after_tiles: Some(3), ..Default::default() },
+        ];
+        let cfg = RuntimeConfig { t_l: Duration::from_millis(50), ..Default::default() };
+        let mut rt = AdcnnRuntime::launch(model, &opts, cfg);
+        let x = rand_image(7);
+        let want = local.infer(&x);
+        let out = rt.infer(&x);
+        assert_eq!(out.dropped, 0, "mid-image death must be recovered: {:?}", out.received);
+        assert!(out.redispatched > 0, "expected re-dispatched tiles");
+        assert!(out.latency < cfg.hard_timeout / 2, "recovery waited too long: {:?}", out.latency);
+        assert!(out.output.approx_eq(&want, 2e-3), "recovered output diverges");
+        rt.shutdown();
+    }
+
+    #[test]
+    fn disconnected_worker_detected_eagerly_and_rerouted() {
+        // `disconnect_on_fail` drops the worker's task channel; from the
+        // next dispatch on, sends fail fast, the worker is marked dead
+        // (speed 0) and its tiles are rerouted without any deadline.
+        let grid = TileGrid::new(4, 4);
+        let model = build_model(19, grid);
+        let opts = [
+            WorkerOptions::default(),
+            WorkerOptions {
+                fail_after_tiles: Some(2),
+                disconnect_on_fail: true,
+                ..Default::default()
+            },
+        ];
+        let cfg = RuntimeConfig { t_l: Duration::from_millis(50), ..Default::default() };
+        let mut rt = AdcnnRuntime::launch(model, &opts, cfg);
+        let first = rt.infer(&rand_image(1));
+        assert_eq!(first.dropped, 0, "death mid-image must be recovered");
+        // By the next image the disconnect has been observed: the worker
+        // is supervised out and everything routes to the live one.
+        let second = rt.infer(&rand_image(2));
+        assert_eq!(second.dropped, 0);
+        assert!(!rt.live_workers()[1], "disconnect not detected");
+        assert_eq!(rt.speeds()[1], 0.0, "dead worker's speed must be zeroed");
+        let third = rt.infer(&rand_image(3));
+        assert_eq!(third.alloc[1], 0, "dead worker still allocated: {:?}", third.alloc);
+        assert_eq!(third.redispatched, 0, "steady state needs no recovery");
+        rt.shutdown();
+    }
+
+    #[test]
+    fn corrupt_payloads_are_recovered_by_redispatch() {
+        // Every payload from worker 1 fails to decode; the tiles must be
+        // re-dispatched to worker 0 and the image completed cleanly.
+        let grid = TileGrid::new(2, 2);
+        let mut local = build_model(25, grid);
+        let model = build_model(25, grid);
+        let opts =
+            [WorkerOptions::default(), WorkerOptions { corrupt_prob: 1.0, ..Default::default() }];
+        let cfg = RuntimeConfig { t_l: Duration::from_millis(50), ..Default::default() };
+        let mut rt = AdcnnRuntime::launch(model, &opts, cfg);
+        let x = rand_image(9);
+        let want = local.infer(&x);
+        let out = rt.infer(&x);
+        assert_eq!(out.dropped, 0, "corrupt tiles must be recovered");
+        assert!(out.redispatched > 0);
+        assert!(out.output.approx_eq(&want, 2e-3));
+        rt.shutdown();
+    }
+
+    #[test]
+    fn storage_capped_dispatch_completes_without_hanging() {
+        // Regression: a storage-capped allocator returning Σ alloc < d made
+        // the seed's round-robin assignment loop spin forever. The
+        // shortfall must now zero-fill immediately.
+        let grid = TileGrid::new(4, 4); // d = 16
+        let model = build_model(33, grid);
+        let mut rt =
+            AdcnnRuntime::launch(model, &[WorkerOptions::default(); 2], RuntimeConfig::default());
+        // Each worker can hold 3 tiles: only 6 of 16 are schedulable.
+        rt.set_allocator(TileAllocator::with_storage(100, vec![300, 300]));
+        let out = rt.infer(&rand_image(3));
+        assert_eq!(out.alloc.iter().sum::<u32>(), 6);
+        assert_eq!(out.dropped, 10, "shortfall must be dropped: {:?}", out.alloc);
+        assert_eq!(out.zero_filled, 10);
+        assert_eq!(out.redispatched, 0, "unschedulable tiles must not be re-dispatched");
+        assert!(
+            out.latency < Duration::from_secs(2),
+            "storage shortfall must not stall: {:?}",
+            out.latency
+        );
         rt.shutdown();
     }
 
@@ -503,7 +875,7 @@ mod tests {
             AdcnnRuntime::launch(model, &[WorkerOptions::default(); 2], RuntimeConfig::default());
         let out = rt.infer(&rand_image(4));
         assert_eq!(out.worker_stats.len(), 2);
-        if out.dropped == 0 {
+        if out.dropped == 0 && out.redispatched == 0 {
             let total: u64 = out.worker_stats.iter().map(|s| s.tiles).sum();
             assert_eq!(total, 4, "every received tile must be counted");
             assert!(out.worker_stats.iter().any(|s| s.compute_ns > 0));
@@ -522,7 +894,8 @@ mod tests {
         let grid = TileGrid::new(2, 2);
         // Compressed model (tight clipped ReLU -> sparse)
         let model = build_model(11, grid);
-        let mut rt = AdcnnRuntime::launch(model, &[WorkerOptions::default(); 2], RuntimeConfig::default());
+        let mut rt =
+            AdcnnRuntime::launch(model, &[WorkerOptions::default(); 2], RuntimeConfig::default());
         let out = rt.infer(&rand_image(3));
         let raw_bits = (16 * 16 * 16 * 4) as u64 * 32; // boundary map at f32
         assert!(out.wire_bits > 0);
@@ -579,6 +952,28 @@ mod tests {
         }
         rt.shutdown();
     }
+
+    #[test]
+    fn lossy_worker_never_loses_tiles() {
+        // Per-tile drop probability on one worker: every swallowed result
+        // must come back through a re-dispatch round.
+        let grid = TileGrid::new(4, 4);
+        let model = build_model(37, grid);
+        let opts = [
+            WorkerOptions::default(),
+            WorkerOptions { drop_prob: 0.5, fault_seed: 3, ..Default::default() },
+        ];
+        let cfg = RuntimeConfig { t_l: Duration::from_millis(50), ..Default::default() };
+        let mut rt = AdcnnRuntime::launch(model, &opts, cfg);
+        let mut total_redispatched = 0u32;
+        for s in 0..4 {
+            let out = rt.infer(&rand_image(200 + s));
+            assert_eq!(out.dropped, 0, "lossy worker must be recovered, image {s}");
+            total_redispatched += out.redispatched;
+        }
+        assert!(total_redispatched > 0, "a 50% lossy worker must trigger recovery");
+        rt.shutdown();
+    }
 }
 
 #[cfg(test)]
@@ -609,13 +1004,19 @@ mod stream_tests {
         let grid = TileGrid::new(2, 2);
         let images = rand_images(6, 77);
         // sequential reference
-        let mut rt_seq =
-            AdcnnRuntime::launch(build_model(21, grid), &[WorkerOptions::default(); 3], RuntimeConfig::default());
+        let mut rt_seq = AdcnnRuntime::launch(
+            build_model(21, grid),
+            &[WorkerOptions::default(); 3],
+            RuntimeConfig::default(),
+        );
         let seq: Vec<Tensor> = images.iter().map(|x| rt_seq.infer(x).output).collect();
         rt_seq.shutdown();
         // streamed
-        let mut rt =
-            AdcnnRuntime::launch(build_model(21, grid), &[WorkerOptions::default(); 3], RuntimeConfig::default());
+        let mut rt = AdcnnRuntime::launch(
+            build_model(21, grid),
+            &[WorkerOptions::default(); 3],
+            RuntimeConfig::default(),
+        );
         let stream = rt.infer_stream(&images);
         rt.shutdown();
         assert_eq!(stream.len(), 6);
@@ -633,8 +1034,11 @@ mod stream_tests {
         let images = rand_images(8, 91);
         let mut local = build_model(23, grid);
         let want: Vec<Tensor> = images.iter().map(|x| local.infer(x)).collect();
-        let mut rt =
-            AdcnnRuntime::launch(build_model(23, grid), &[WorkerOptions::default(); 4], RuntimeConfig::default());
+        let mut rt = AdcnnRuntime::launch(
+            build_model(23, grid),
+            &[WorkerOptions::default(); 4],
+            RuntimeConfig::default(),
+        );
         let got = rt.infer_stream(&images);
         rt.shutdown();
         for (g, w) in got.iter().zip(&want) {
@@ -682,9 +1086,51 @@ mod stream_tests {
         let got = rt.infer_stream(&images);
         rt.shutdown();
         assert_eq!(got.len(), 8);
-        // early images drop tiles, the tail is clean
-        assert!(got.iter().any(|o| o.dropped > 0));
-        assert_eq!(got.last().unwrap().dropped, 0);
+        // the crash is absorbed by re-dispatch, never by zero-fill …
+        assert!(got.iter().all(|o| o.dropped == 0), "no image may lose tiles");
+        assert!(got.iter().any(|o| o.redispatched > 0), "the crash must trigger recovery");
+        // … and the statistics still starve the dead worker out
         assert_eq!(got.last().unwrap().alloc[1], 0);
+        assert_eq!(got.last().unwrap().redispatched, 0);
+    }
+
+    #[test]
+    fn stream_stays_correct_when_duplicates_race_stashed_originals() {
+        // A jittery-slow worker makes the deadline fire while its originals
+        // are still in flight: the duplicate (re-dispatched) results race
+        // the originals across consecutive pipelined images, and both can
+        // land in the stash of the *next* image's collection. Outputs must
+        // match the local model whenever nothing was zero-filled.
+        let grid = TileGrid::new(2, 2);
+        let images = rand_images(8, 57);
+        let mut local = build_model(47, grid);
+        let want: Vec<Tensor> = images.iter().map(|x| local.infer(x)).collect();
+        let workers = [
+            WorkerOptions::default(),
+            WorkerOptions {
+                artificial_delay: Duration::from_millis(20),
+                delay_jitter: Duration::from_millis(20),
+                fault_seed: 11,
+                ..Default::default()
+            },
+        ];
+        let cfg = RuntimeConfig { t_l: Duration::from_millis(10), ..Default::default() };
+        let mut rt = AdcnnRuntime::launch(build_model(47, grid), &workers, cfg);
+        let got = rt.infer_stream(&images);
+        rt.shutdown();
+        assert!(
+            got.iter().any(|o| o.redispatched > 0),
+            "scenario must actually exercise re-dispatch: {:?}",
+            got.iter().map(|o| o.redispatched).collect::<Vec<_>>()
+        );
+        for (i, (g, w)) in got.iter().zip(&want).enumerate() {
+            if g.dropped == 0 {
+                assert!(
+                    g.output.approx_eq(w, 2e-3),
+                    "image {i} diverged despite full tile set (redispatched {})",
+                    g.redispatched
+                );
+            }
+        }
     }
 }

@@ -11,18 +11,40 @@ use adcnn_nn::infer::InferScratch;
 use adcnn_nn::Network;
 use adcnn_tensor::activ::ClippedRelu;
 use crossbeam::channel::{Receiver, Sender};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 /// Behaviour knobs for one worker (heterogeneity / fault injection).
+///
+/// The fault modes compose: a worker can be slow *and* lossy *and* crash
+/// after `n` tiles, which is exactly the kind of edge device the re-dispatch
+/// machinery in [`crate::central`] exists to survive.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct WorkerOptions {
     /// Extra sleep per tile (simulates a slower device; §7.3 CPUlimit).
     pub artificial_delay: Duration,
     /// Stop responding after this many tiles (simulates a node crash).
     pub fail_after_tiles: Option<usize>,
+    /// If true, `fail_after_tiles` makes the thread *exit* — its task
+    /// channel disconnects, which the Central node detects eagerly on the
+    /// next send — instead of silently swallowing work.
+    pub disconnect_on_fail: bool,
+    /// Per-tile probability that the finished result is silently lost
+    /// (lossy wireless link / crashed send).
+    pub drop_prob: f64,
+    /// Extra uniform random delay in `[0, delay_jitter]` per tile
+    /// (contended channel / noisy neighbour).
+    pub delay_jitter: Duration,
+    /// Per-tile probability that the payload is corrupted in transit: the
+    /// result arrives but fails to decode at the Central node.
+    pub corrupt_prob: f64,
+    /// Seed for the fault-injection RNG (mixed with the worker id so
+    /// identically-configured workers fault independently).
+    pub fault_seed: u64,
 }
 
 /// Control messages from the Central node.
@@ -118,6 +140,9 @@ pub fn spawn_worker(
             let mut processed = 0usize;
             let mut scratch = InferScratch::new();
             let mut cs = CompressScratch::new();
+            let mut faults = StdRng::seed_from_u64(
+                opts.fault_seed ^ (worker_id as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            );
             while let Ok(msg) = tasks.recv() {
                 let task = match msg {
                     WorkerMsg::Tile(t) => t,
@@ -125,6 +150,12 @@ pub fn spawn_worker(
                 };
                 if let Some(limit) = opts.fail_after_tiles {
                     if processed >= limit {
+                        if opts.disconnect_on_fail {
+                            // Hard crash: exiting drops `tasks`, so the
+                            // Central node's next send fails fast and marks
+                            // this worker dead.
+                            break;
+                        }
                         // Crashed node: swallow work silently (the Central
                         // node's timeout + statistics handle it).
                         continue;
@@ -132,6 +163,9 @@ pub fn spawn_worker(
                 }
                 if !opts.artificial_delay.is_zero() {
                     std::thread::sleep(opts.artificial_delay);
+                }
+                if !opts.delay_jitter.is_zero() {
+                    std::thread::sleep(opts.delay_jitter.mul_f64(faults.gen::<f64>()));
                 }
                 let t0 = Instant::now();
                 let out = prefix.forward_infer_with(&task.tile, &mut scratch);
@@ -141,27 +175,38 @@ pub fn spawn_worker(
                 let shape = [dims[0], dims[1], dims[2], dims[3]];
                 let elems = out.numel();
                 let (encoded, quantizer) = match compression {
-                    Some(c) => {
-                        (clip_and_compress_into(out.as_slice(), c.crelu, c.quantizer, &mut cs), c.quantizer)
-                    }
+                    Some(c) => (
+                        clip_and_compress_into(out.as_slice(), c.crelu, c.quantizer, &mut cs),
+                        c.quantizer,
+                    ),
                     // Uncompressed mode still needs a wire quantizer (the
                     // nibble codec carries at most 4-bit levels); use the
                     // observed range. The quantizer clamps into [0, range],
                     // which subsumes the ReLU the seed path applied. This
                     // mode exists for comparisons only.
                     None => {
-                        let range = out
-                            .as_slice()
-                            .iter()
-                            .fold(0.0f32, |m, &v| m.max(v.abs()))
-                            .max(1e-6);
+                        let range =
+                            out.as_slice().iter().fold(0.0f32, |m, &v| m.max(v.abs())).max(1e-6);
                         let q = Quantizer::new(4, range);
                         (compress_into(out.as_slice(), q, &mut cs), q)
                     }
                 };
-                let result = make_result_from_parts(task.key, shape, elems, encoded, quantizer);
-                stats.record(t1.duration_since(t0), t1.elapsed());
+                // Timestamp *before* building the result: the per-shipped-
+                // tile payload copy is transport, not compression, and must
+                // not be billed to `compress_ns`.
+                let t2 = Instant::now();
+                let mut result = make_result_from_parts(task.key, shape, elems, encoded, quantizer);
+                stats.record(t1.duration_since(t0), t2.duration_since(t1));
                 processed += 1;
+                if opts.drop_prob > 0.0 && faults.gen_bool(opts.drop_prob) {
+                    continue; // the result vanishes on the "wire"
+                }
+                if opts.corrupt_prob > 0.0 && faults.gen_bool(opts.corrupt_prob) {
+                    // Truncate the payload: it arrives but fails to decode,
+                    // so the Central node must treat the tile as missing.
+                    let half = result.payload.payload.len() / 2;
+                    result.payload.payload = result.payload.payload.slice(0..half);
+                }
                 if results.send((worker_id, result)).is_err() {
                     break; // central gone
                 }
@@ -241,6 +286,86 @@ mod tests {
         // exactly one reply, then silence
         assert!(res_rx.recv_timeout(Duration::from_secs(5)).is_ok());
         assert!(res_rx.recv_timeout(Duration::from_millis(200)).is_err());
+        task_tx.send(WorkerMsg::Shutdown).unwrap();
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn disconnecting_worker_drops_its_task_channel() {
+        let (task_tx, task_rx) = unbounded();
+        let (res_tx, res_rx) = unbounded();
+        let opts = WorkerOptions {
+            fail_after_tiles: Some(1),
+            disconnect_on_fail: true,
+            ..Default::default()
+        };
+        let h = spawn_worker(
+            0,
+            tiny_prefix(4),
+            None,
+            opts,
+            task_rx,
+            res_tx,
+            Arc::new(WorkerStats::default()),
+        );
+        for i in 0..2u32 {
+            task_tx
+                .send(WorkerMsg::Tile(TileTask {
+                    key: TileKey { image_id: 0, tile_id: i },
+                    tile: Tensor::full([1, 1, 4, 4], 0.1),
+                }))
+                .unwrap();
+        }
+        assert!(res_rx.recv_timeout(Duration::from_secs(5)).is_ok());
+        h.join().unwrap(); // the thread exited on tile 2 …
+        assert!(task_tx.send(WorkerMsg::Shutdown).is_err()); // … and the channel is dead
+    }
+
+    #[test]
+    fn drop_prob_one_swallows_every_result_but_counts_work() {
+        let (task_tx, task_rx) = unbounded();
+        let (res_tx, res_rx) = unbounded();
+        let opts = WorkerOptions { drop_prob: 1.0, ..Default::default() };
+        let stats = Arc::new(WorkerStats::default());
+        let h = spawn_worker(0, tiny_prefix(5), None, opts, task_rx, res_tx, stats.clone());
+        for i in 0..3u32 {
+            task_tx
+                .send(WorkerMsg::Tile(TileTask {
+                    key: TileKey { image_id: 0, tile_id: i },
+                    tile: Tensor::full([1, 1, 4, 4], 0.2),
+                }))
+                .unwrap();
+        }
+        assert!(res_rx.recv_timeout(Duration::from_millis(500)).is_err());
+        assert_eq!(stats.snapshot().tiles, 3, "dropped results still burned compute");
+        task_tx.send(WorkerMsg::Shutdown).unwrap();
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn corrupt_prob_one_yields_undecodable_results() {
+        let (task_tx, task_rx) = unbounded();
+        let (res_tx, res_rx) = unbounded();
+        let cr = ClippedRelu::new(0.0, 1.0);
+        let comp = Compression { crelu: cr, quantizer: Quantizer::paper_default(cr) };
+        let opts = WorkerOptions { corrupt_prob: 1.0, ..Default::default() };
+        let h = spawn_worker(
+            0,
+            tiny_prefix(6),
+            Some(comp),
+            opts,
+            task_rx,
+            res_tx,
+            Arc::new(WorkerStats::default()),
+        );
+        task_tx
+            .send(WorkerMsg::Tile(TileTask {
+                key: TileKey { image_id: 0, tile_id: 0 },
+                tile: Tensor::full([1, 1, 4, 4], 0.5),
+            }))
+            .unwrap();
+        let (_, res) = res_rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert!(res.to_tensor().is_none(), "truncated payload must fail to decode");
         task_tx.send(WorkerMsg::Shutdown).unwrap();
         h.join().unwrap();
     }

@@ -53,11 +53,7 @@ impl Conv2dParams {
 #[inline]
 fn valid_out_range(k_off: usize, extent: usize, out: usize, p: Conv2dParams) -> (usize, usize) {
     let shift = k_off as isize - p.pad as isize;
-    let lo = if shift >= 0 {
-        0
-    } else {
-        ((-shift) as usize).div_ceil(p.stride).min(out)
-    };
+    let lo = if shift >= 0 { 0 } else { ((-shift) as usize).div_ceil(p.stride).min(out) };
     let max_s = extent as isize - 1 - shift;
     let hi = if max_s < 0 { lo } else { out.min((max_s as usize) / p.stride + 1).max(lo) };
     (lo, hi)
@@ -209,7 +205,19 @@ pub fn conv2d(input: &Tensor, weight: &Tensor, bias: &[f32], p: Conv2dParams) ->
     let body = |ni: usize, dst: &mut [f32]| {
         let img = &input.as_slice()[ni * in_stride..(ni + 1) * in_stride];
         CONV_TLS.with(|s| {
-            conv2d_image(img, ic, h, w, weight, oc, b, p, FusedAct::Identity, &mut s.borrow_mut(), dst)
+            conv2d_image(
+                img,
+                ic,
+                h,
+                w,
+                weight,
+                oc,
+                b,
+                p,
+                FusedAct::Identity,
+                &mut s.borrow_mut(),
+                dst,
+            )
         });
     };
     if n > 1 {
@@ -370,10 +378,7 @@ mod tests {
                                 for kj in 0..k {
                                     let si = (oi * p.stride + ki) as isize - p.pad as isize;
                                     let sj = (oj * p.stride + kj) as isize - p.pad as isize;
-                                    if si >= 0
-                                        && sj >= 0
-                                        && (si as usize) < h
-                                        && (sj as usize) < w
+                                    if si >= 0 && sj >= 0 && (si as usize) < h && (sj as usize) < w
                                     {
                                         acc += input.at(&[ni, ci, si as usize, sj as usize])
                                             * weight.at(&[co, ci, ki, kj]);
@@ -419,18 +424,18 @@ mod tests {
             let b: Vec<f32> = (0..oc).map(|i| i as f32 * 0.1).collect();
             let got = conv2d(&x, &wt, &b, p);
             let want = conv_naive(&x, &wt, &b, p);
-            assert!(got.approx_eq(&want, 1e-4), "mismatch for case {:?}", (n, ic, h, w, oc, k, s, pad));
+            assert!(
+                got.approx_eq(&want, 1e-4),
+                "mismatch for case {:?}",
+                (n, ic, h, w, oc, k, s, pad)
+            );
         }
     }
 
     #[test]
     fn conv2d_into_matches_conv2d() {
         let mut rng = StdRng::seed_from_u64(13);
-        let cases = [
-            (1, 3, 8, 8, 4, 3, 1, 1),
-            (2, 2, 9, 7, 3, 3, 2, 1),
-            (1, 3, 6, 6, 2, 1, 1, 0),
-        ];
+        let cases = [(1, 3, 8, 8, 4, 3, 1, 1), (2, 2, 9, 7, 3, 3, 2, 1), (1, 3, 6, 6, 2, 1, 1, 0)];
         let mut scratch = Scratch::new();
         let mut out = ActBuf::new();
         for (n, ic, h, w, oc, k, s, pad) in cases {
@@ -464,16 +469,7 @@ mod tests {
         let want = conv2d(&x, &wt, &b, p).map(|v| v.max(0.0));
         let mut scratch = Scratch::new();
         let mut out = ActBuf::new();
-        conv2d_into(
-            x.as_slice(),
-            (1, 3, 7, 7),
-            &wt,
-            &b,
-            p,
-            FusedAct::Relu,
-            &mut scratch,
-            &mut out,
-        );
+        conv2d_into(x.as_slice(), (1, 3, 7, 7), &wt, &b, p, FusedAct::Relu, &mut scratch, &mut out);
         assert!(out.to_tensor().approx_eq(&want, 1e-5));
     }
 
@@ -487,7 +483,16 @@ mod tests {
         assert_eq!(y.dims(), &[1, 2, 0, 0]);
         let mut scratch = Scratch::new();
         let mut out = ActBuf::new();
-        conv2d_into(x.as_slice(), (1, 2, 3, 3), &wt, &[], p, FusedAct::Relu, &mut scratch, &mut out);
+        conv2d_into(
+            x.as_slice(),
+            (1, 2, 3, 3),
+            &wt,
+            &[],
+            p,
+            FusedAct::Relu,
+            &mut scratch,
+            &mut out,
+        );
         assert_eq!(out.dims(), &[1, 2, 0, 0]);
     }
 

@@ -445,9 +445,7 @@ pub fn gemm_unpacked(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut
 
     let flops = m * n * k;
     if flops >= PAR_FLOP_THRESHOLD && m > 1 {
-        c.par_chunks_mut(n)
-            .enumerate()
-            .for_each(|(i, crow)| unpacked_row(i, k, n, a, b, crow));
+        c.par_chunks_mut(n).enumerate().for_each(|(i, crow)| unpacked_row(i, k, n, a, b, crow));
     } else {
         for (i, crow) in c.chunks_mut(n).enumerate() {
             unpacked_row(i, k, n, a, b, crow);
@@ -625,14 +623,9 @@ mod tests {
         // Shapes chosen to cross every blocking boundary: MR/NR remainders,
         // multiple KC blocks, and the single-row N-split path.
         let mut rng = StdRng::seed_from_u64(7);
-        for &(m, k, n) in &[
-            (1, 700, 300),
-            (3, 5, 9),
-            (4, 256, 8),
-            (5, 257, 9),
-            (13, 520, 33),
-            (16, 300, 64),
-        ] {
+        for &(m, k, n) in
+            &[(1, 700, 300), (3, 5, 9), (4, 256, 8), (5, 257, 9), (13, 520, 33), (16, 300, 64)]
+        {
             let a = rand_vec(m * k, &mut rng);
             let b = rand_vec(k * n, &mut rng);
             let mut c1 = vec![0.0; m * n];
@@ -652,11 +645,7 @@ mod tests {
         let a = rand_vec(m * k, &mut rng);
         let b = rand_vec(k * n, &mut rng);
         let bias: Vec<f32> = (0..m).map(|i| i as f32 * 0.1 - 0.2).collect();
-        for act in [
-            FusedAct::Identity,
-            FusedAct::Relu,
-            FusedAct::Clipped { lo: -0.5, hi: 0.8 },
-        ] {
+        for act in [FusedAct::Identity, FusedAct::Relu, FusedAct::Clipped { lo: -0.5, hi: 0.8 }] {
             let mut fused = vec![0.0; m * n];
             let mut scratch = Scratch::new();
             gemm_fused(m, k, n, &a, &b, &mut fused, Some(&bias), act, &mut scratch);

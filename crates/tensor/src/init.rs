@@ -36,12 +36,7 @@ mod tests {
         let w = kaiming_conv(64, 32, 3, &mut rng);
         let n = w.numel() as f64;
         let mean = w.sum() / n;
-        let var = w
-            .as_slice()
-            .iter()
-            .map(|&x| (x as f64 - mean).powi(2))
-            .sum::<f64>()
-            / n;
+        let var = w.as_slice().iter().map(|&x| (x as f64 - mean).powi(2)).sum::<f64>() / n;
         let expect = 2.0 / (32.0 * 9.0);
         assert!((var - expect).abs() / expect < 0.1, "var {var} expect {expect}");
     }

@@ -52,11 +52,7 @@ pub fn mse(pred: &Tensor, target: &Tensor) -> (f64, Tensor) {
     let mut loss = 0.0f64;
     let mut grad = Tensor::zeros(pred.dims());
     let scale = 2.0 / n as f32;
-    for ((g, &p), &t) in grad
-        .as_mut_slice()
-        .iter_mut()
-        .zip(pred.as_slice())
-        .zip(target.as_slice())
+    for ((g, &p), &t) in grad.as_mut_slice().iter_mut().zip(pred.as_slice()).zip(target.as_slice())
     {
         let d = p - t;
         loss += (d as f64) * (d as f64);

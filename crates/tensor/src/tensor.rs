@@ -147,10 +147,7 @@ impl Tensor {
 
     /// Elementwise map into a new tensor.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
-        Tensor {
-            shape: self.shape.clone(),
-            data: self.data.iter().map(|&x| f(x)).collect(),
-        }
+        Tensor { shape: self.shape.clone(), data: self.data.iter().map(|&x| f(x)).collect() }
     }
 
     /// Elementwise map in place.
@@ -165,12 +162,7 @@ impl Tensor {
         assert_eq!(self.shape, other.shape, "zip_map shape mismatch");
         Tensor {
             shape: self.shape.clone(),
-            data: self
-                .data
-                .iter()
-                .zip(&other.data)
-                .map(|(&a, &b)| f(a, b))
-                .collect(),
+            data: self.data.iter().zip(&other.data).map(|(&a, &b)| f(a, b)).collect(),
         }
     }
 
@@ -222,11 +214,7 @@ impl Tensor {
     /// (absolute or relative, whichever is looser).
     pub fn approx_eq(&self, other: &Tensor, tol: f32) -> bool {
         self.shape == other.shape
-            && self
-                .data
-                .iter()
-                .zip(&other.data)
-                .all(|(&a, &b)| crate::approx_eq(a, b, tol))
+            && self.data.iter().zip(&other.data).all(|(&a, &b)| crate::approx_eq(a, b, tol))
     }
 
     /// Extract a spatial crop `[rows, cols]` from a `[N,C,H,W]` tensor,
@@ -315,12 +303,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(7);
         let t = Tensor::randn([100, 100], 2.0, &mut rng);
         let mean = t.sum() / t.numel() as f64;
-        let var = t
-            .as_slice()
-            .iter()
-            .map(|&x| (x as f64 - mean).powi(2))
-            .sum::<f64>()
-            / t.numel() as f64;
+        let var =
+            t.as_slice().iter().map(|&x| (x as f64 - mean).powi(2)).sum::<f64>() / t.numel() as f64;
         assert!(mean.abs() < 0.05, "mean {mean}");
         assert!((var - 4.0).abs() < 0.15, "var {var}");
     }

@@ -29,10 +29,7 @@ fn gemm_ref(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32], b
 }
 
 fn max_rel_err(got: &[f32], want: &[f32]) -> f32 {
-    got.iter()
-        .zip(want)
-        .map(|(&g, &w)| (g - w).abs() / w.abs().max(1.0))
-        .fold(0.0, f32::max)
+    got.iter().zip(want).map(|(&g, &w)| (g - w).abs() / w.abs().max(1.0)).fold(0.0, f32::max)
 }
 
 #[test]
@@ -82,11 +79,8 @@ fn fused_gemm_matches_naive_plus_epilogue() {
         let a = rand_vec(&mut rng, m * k);
         let b = rand_vec(&mut rng, k * n);
         let bias = rand_vec(&mut rng, m);
-        let act = [
-            FusedAct::Identity,
-            FusedAct::Relu,
-            FusedAct::Clipped { lo: 0.2, hi: 1.4 },
-        ][trial % 3];
+        let act =
+            [FusedAct::Identity, FusedAct::Relu, FusedAct::Clipped { lo: 0.2, hi: 1.4 }][trial % 3];
         let mut want = vec![0.0f32; m * n];
         gemm_ref(m, k, n, &a, &b, &mut want, 0.0);
         for i in 0..m {
@@ -102,12 +96,7 @@ fn fused_gemm_matches_naive_plus_epilogue() {
 }
 
 /// Naive direct convolution (zero padding), the ground truth for conv2d.
-fn conv_ref(
-    x: &Tensor,
-    w: &Tensor,
-    bias: &[f32],
-    p: Conv2dParams,
-) -> Tensor {
+fn conv_ref(x: &Tensor, w: &Tensor, bias: &[f32], p: Conv2dParams) -> Tensor {
     let (n, ic, h, ww) = x.shape().nchw();
     let oc = w.dims()[0];
     let oh = p.out_dim(h);

@@ -50,12 +50,8 @@ fn main() {
     // Full pipeline convenience API + round trip.
     let compressed = clip_and_compress(ofmap.as_slice(), cr, 4);
     let decoded = decompress(&compressed).expect("decode");
-    let max_err = clipped
-        .as_slice()
-        .iter()
-        .zip(&decoded)
-        .map(|(a, b)| (a - b).abs())
-        .fold(0.0f32, f32::max);
+    let max_err =
+        clipped.as_slice().iter().zip(&decoded).map(|(a, b)| (a - b).abs()).fold(0.0f32, f32::max);
     println!(
         "[round trip] {} bits -> decode max error {:.4} (bound {:.4})",
         compressed.wire_bits(),

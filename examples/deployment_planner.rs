@@ -15,10 +15,7 @@ use adcnn::nn::zoo;
 
 fn main() {
     let name = std::env::args().nth(1).unwrap_or_else(|| "vgg16".to_string());
-    let floor: f64 = std::env::args()
-        .nth(2)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(0.92);
+    let floor: f64 = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(0.92);
     let model = zoo::by_name(&name).unwrap_or_else(|| {
         eprintln!("unknown model {name:?}");
         std::process::exit(1);
@@ -34,22 +31,19 @@ fn main() {
     // blocks global-context layers). A real deployment would tabulate this
     // from Algorithm 1 retraining runs (see the fig10 bench).
     let oracle = move |grid: TileGrid, prefix: usize| -> f64 {
-        0.95 - 0.0006 * grid.tiles() as f64
-            - 0.015 * prefix.saturating_sub(sep) as f64
+        0.95 - 0.0006 * grid.tiles() as f64 - 0.015 * prefix.saturating_sub(sep) as f64
     };
 
-    let grids = [
-        TileGrid::new(2, 2),
-        TileGrid::new(4, 4),
-        TileGrid::new(4, 8),
-        TileGrid::new(8, 8),
-    ];
-    let prefixes: Vec<usize> = [sep / 2, sep, (sep + blocks) / 2, blocks]
-        .into_iter()
-        .filter(|&p| p > 0)
-        .collect();
+    let grids =
+        [TileGrid::new(2, 2), TileGrid::new(4, 4), TileGrid::new(4, 8), TileGrid::new(8, 8)];
+    let prefixes: Vec<usize> =
+        [sep / 2, sep, (sep + blocks) / 2, blocks].into_iter().filter(|&p| p > 0).collect();
 
-    println!("planning {name} over {} grids x {:?} prefixes, accuracy floor {floor}", grids.len(), prefixes);
+    println!(
+        "planning {name} over {} grids x {:?} prefixes, accuracy floor {floor}",
+        grids.len(),
+        prefixes
+    );
     let plan = plan_deployment(&cfg, &grids, &prefixes, floor, &oracle);
 
     println!("\n  grid   prefix   latency (ms)   accuracy   feasible");
@@ -66,7 +60,10 @@ fn main() {
     match &plan.chosen {
         Some(c) => println!(
             "\nchosen: {} tiles, split after block {} -> {:.1} ms at accuracy {:.3}",
-            c.grid, c.prefix, c.latency_s * 1e3, c.accuracy
+            c.grid,
+            c.prefix,
+            c.latency_s * 1e3,
+            c.accuracy
         ),
         None => println!("\nno configuration meets the accuracy floor {floor}"),
     }

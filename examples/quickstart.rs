@@ -47,12 +47,8 @@ fn main() {
         prefix_scale: (2, 2),
     };
     let grid = TileGrid::new(4, 4);
-    let (retrained, prog) = progressive_retrain(
-        original_model,
-        &data,
-        grid,
-        &RetrainConfig::default(),
-    );
+    let (retrained, prog) =
+        progressive_retrain(original_model, &data, grid, &RetrainConfig::default());
     for s in &prog.stages {
         println!(
             "      {:<14} acc {:.1}% -> {:.1}% in {} epoch(s)",
@@ -71,11 +67,8 @@ fn main() {
     // 3. Launch the distributed runtime: 4 Conv-node worker threads + the
     //    Central node in this thread.
     println!("[3/4] launching the ADCNN runtime with 4 Conv nodes…");
-    let mut runtime = AdcnnRuntime::launch(
-        retrained,
-        &[WorkerOptions::default(); 4],
-        RuntimeConfig::default(),
-    );
+    let mut runtime =
+        AdcnnRuntime::launch(retrained, &[WorkerOptions::default(); 4], RuntimeConfig::default());
 
     // 4. Serve the test set tile-by-tile across the cluster.
     println!("[4/4] serving {} test images…", data.test_len().min(32));

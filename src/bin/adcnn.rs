@@ -122,9 +122,8 @@ fn compress_cmd(sparsity: Option<&String>) {
     }
     let mut rng = StdRng::seed_from_u64(0);
     let n = 100_000usize;
-    let xs: Vec<f32> = (0..n)
-        .map(|_| if rng.gen_bool(s) { 0.0 } else { rng.gen_range(0.05f32..1.0) })
-        .collect();
+    let xs: Vec<f32> =
+        (0..n).map(|_| if rng.gen_bool(s) { 0.0 } else { rng.gen_range(0.05f32..1.0) }).collect();
     let c = compress(&xs, Quantizer::new(4, 1.0));
     println!(
         "{n} activations at sparsity {s}: {} bytes on the wire ({:.4}x of f32, {:.1}x reduction)",

@@ -84,7 +84,8 @@ fn retrained_model_serves_correctly_on_cluster() {
     assert!(report.final_accuracy > 0.7, "retraining failed: {report:?}");
 
     let local_acc = evaluate(&mut retrained, &data);
-    let mut rt = AdcnnRuntime::launch(retrained, &[WorkerOptions::default(); 3], RuntimeConfig::default());
+    let mut rt =
+        AdcnnRuntime::launch(retrained, &[WorkerOptions::default(); 3], RuntimeConfig::default());
     let dims = data.test_x.dims().to_vec();
     let stride: usize = dims[1..].iter().product();
     let mut correct = 0usize;
@@ -108,6 +109,53 @@ fn retrained_model_serves_correctly_on_cluster() {
         (dist_acc - local_acc).abs() < 0.15,
         "distributed accuracy {dist_acc} far from local {local_acc}"
     );
+}
+
+/// A trained model served by a cluster whose worker dies mid-stream: the
+/// tile lifecycle manager must recover every tile through re-dispatch (no
+/// zero-fill, no accuracy cliff), well before the hard timeout, and the
+/// supervisor must starve the dead worker out of subsequent allocations.
+#[test]
+fn cluster_survives_worker_death_without_losing_tiles() {
+    let mut rng = StdRng::seed_from_u64(91);
+    let cr = ClippedRelu::new(0.0, 2.0);
+    let build = |rng: &mut StdRng| {
+        PartitionedModel::fdsp(shapes_cnn(6, rng), TileGrid::new(4, 4))
+            .with_crelu(cr)
+            .with_quant(QuantizeSte::new(4, cr.range()))
+    };
+    let mut local = build(&mut StdRng::seed_from_u64(91));
+    let model = build(&mut StdRng::seed_from_u64(91));
+    // Worker 1 dies after three tiles; worker 2 after ten.
+    let opts = [
+        WorkerOptions::default(),
+        WorkerOptions { fail_after_tiles: Some(3), ..Default::default() },
+        WorkerOptions { fail_after_tiles: Some(10), ..Default::default() },
+    ];
+    let cfg = RuntimeConfig { t_l: std::time::Duration::from_millis(50), ..Default::default() };
+    let mut rt = AdcnnRuntime::launch(model, &opts, cfg);
+    let images: Vec<Tensor> =
+        (0..8).map(|_| Tensor::randn([1, 3, 32, 32], 0.5, &mut rng)).collect();
+    let want: Vec<Tensor> = images.iter().map(|x| local.infer(x)).collect();
+    let start = std::time::Instant::now();
+    let got = rt.infer_stream(&images);
+    let elapsed = start.elapsed();
+    assert!(got.iter().all(|o| o.dropped == 0 && o.zero_filled == 0), "tiles were lost");
+    assert!(got.iter().any(|o| o.redispatched > 0), "deaths must trigger re-dispatch");
+    for (g, w) in got.iter().zip(&want) {
+        assert!(g.output.approx_eq(w, 2e-3), "recovered output diverged from local model");
+    }
+    // Recovery must come from the deadline machinery, not the hard timeout.
+    assert!(
+        elapsed < cfg.hard_timeout,
+        "stream of 8 images took {elapsed:?}; recovery waited for the hard timeout"
+    );
+    // Supervision: both dead workers end up starved and no longer needed.
+    let last = got.last().unwrap();
+    assert_eq!(last.alloc[1], 0, "dead worker 1 still allocated: {:?}", last.alloc);
+    assert_eq!(last.alloc[2], 0, "dead worker 2 still allocated: {:?}", last.alloc);
+    assert_eq!(last.redispatched, 0, "steady state should not need recovery");
+    rt.shutdown();
 }
 
 /// The §4 pipeline is lossless for level values and bounded-error for

@@ -156,10 +156,7 @@ fn claim_adaptation_restores_losslessness() {
     let fixed = AdcnnSim::new(static_cfg).run();
 
     let tail_drops = |r: &adcnn::netsim::SimSummary| {
-        r.images[r.images.len() - 10..]
-            .iter()
-            .map(|i| i.dropped as u64)
-            .sum::<u64>()
+        r.images[r.images.len() - 10..].iter().map(|i| i.dropped as u64).sum::<u64>()
     };
     assert_eq!(tail_drops(&adaptive), 0, "adaptive cluster still dropping");
     assert!(tail_drops(&fixed) > 0, "static control unexpectedly lossless");
@@ -182,10 +179,6 @@ fn claim_table2_ratios_match() {
         let s = model_sparsity(&m.name);
         let got = wire_bits_estimate(elems, s, 4) as f64 / (elems as f64 * 32.0);
         let want = table2_ratio(&m.name);
-        assert!(
-            (got - want).abs() / want < 0.2,
-            "{}: ratio {got} vs paper {want}",
-            m.name
-        );
+        assert!((got - want).abs() / want < 0.2, "{}: ratio {got} vs paper {want}", m.name);
     }
 }
