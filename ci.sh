@@ -7,8 +7,10 @@ cd "$(dirname "$0")"
 echo "==> cargo fmt --check"
 cargo fmt --check
 
-echo "==> cargo build --release"
-cargo build --release
+echo "==> cargo build --release --all-targets --examples"
+# --all-targets keeps benches/tests/examples compiling, not just the libs:
+# the examples are documentation that must not rot.
+cargo build --release --all-targets --examples
 
 echo "==> cargo test -q"
 cargo test -q

@@ -23,17 +23,22 @@
 //!   payload), §6.1.
 //! - [`sched`] — Algorithm 2 (EWMA statistics collection) and Algorithm 3
 //!   (greedy min-makespan tile allocation with storage constraints).
+//! - [`lifecycle`] — the clock-agnostic, sans-IO tile-lifecycle state
+//!   machine (§6.3 timeout/zero-fill policy plus speculative re-dispatch)
+//!   driven by both the real runtime and the network simulator.
 
 pub mod channel_part;
 pub mod compress;
 pub mod fdsp;
 pub mod halo;
+pub mod lifecycle;
 pub mod partition;
 pub mod sched;
 pub mod wire;
 
 pub use compress::{CompressScratch, Quantizer, RleCodec};
 pub use fdsp::TileGrid;
+pub use lifecycle::{LifecyclePolicy, TileLifecycle, TimerPolicy};
 pub use sched::{StatsCollector, TileAllocator};
 
 /// Re-export of the clipped ReLU activation the compression pipeline starts

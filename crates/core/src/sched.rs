@@ -146,14 +146,22 @@ impl TileAllocator {
                     let pick = ties[rng.gen_range(0..ties.len())];
                     x[pick] += 1;
                 }
-                // All live nodes are out of storage: fall back to any node
+                // All live nodes are out of storage: fall back to nodes
                 // with capacity (even failed ones) so tiles are not lost;
-                // if truly nothing has room, stop.
+                // spread the overflow across them — the least-loaded node
+                // first, largest remaining capacity on ties — instead of
+                // piling everything onto the lowest index. If truly
+                // nothing has room, stop.
                 None => {
-                    if let Some(node) = (0..k).find(|&n| (x[n] as u64) < self.cap(n)) {
-                        x[node] += 1;
-                    } else {
-                        break;
+                    let fallback =
+                        (0..k).filter(|&n| (x[n] as u64) < self.cap(n)).min_by(|&a, &b| {
+                            x[a].cmp(&x[b])
+                                .then((self.cap(b) - x[b] as u64).cmp(&(self.cap(a) - x[a] as u64)))
+                                .then(a.cmp(&b))
+                        });
+                    match fallback {
+                        Some(node) => x[node] += 1,
+                        None => break,
                     }
                 }
             }
@@ -345,6 +353,25 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(6);
         let x = alloc.allocate(64, &[1.0, 1.0], &mut rng);
         assert_eq!(x.iter().sum::<u32>(), 6);
+    }
+
+    #[test]
+    fn storage_fallback_spreads_across_nodes_with_capacity() {
+        // Regression: when every *live* node is out of storage, the
+        // overflow used to pile onto the lowest-index node with capacity
+        // until it filled. It must spread across all nodes with room.
+        let alloc = TileAllocator::with_storage(100, vec![600, 600, 600]);
+        let mut rng = StdRng::seed_from_u64(9);
+        // No live node at all: the entire demand goes through the fallback.
+        let x = alloc.allocate(9, &[0.0, 0.0, 0.0], &mut rng);
+        assert_eq!(x, vec![3, 3, 3], "fallback did not spread: {x:?}");
+        // One live node with 2 slots, two failed nodes with plenty: the
+        // live node fills first, the overflow splits across the rest.
+        let alloc = TileAllocator::with_storage(100, vec![200, 600, 600]);
+        let x = alloc.allocate(10, &[1.0, 0.0, 0.0], &mut rng);
+        assert_eq!(x[0], 2, "live node must fill to its cap first: {x:?}");
+        assert_eq!(x[1] + x[2], 8);
+        assert!(x[1].abs_diff(x[2]) <= 1, "overflow not spread: {x:?}");
     }
 
     #[test]

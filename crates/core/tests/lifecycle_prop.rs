@@ -1,0 +1,156 @@
+//! Property tests for the sans-IO tile-lifecycle state machine: for
+//! arbitrary event interleavings,
+//!
+//! - every tile ends in exactly one terminal state (accepted once, or
+//!   zero-filled/abandoned — never both, never neither),
+//! - re-dispatch rounds never exceed `max_redispatch_rounds`,
+//! - no action is emitted after image completion.
+//!
+//! The event stream is decoded from flat integer/float/bool vectors (not
+//! composite strategies) so the test runs against any proptest-compatible
+//! sampler.
+
+use adcnn_core::lifecycle::{
+    Action, Event, LifecycleCounters, LifecyclePolicy, TileLifecycle, TimerPolicy,
+};
+use proptest::prelude::*;
+
+/// Decode one raw sample into an event. `kind` selects the variant; `at`
+/// is scaled into a plausible window per variant; `idx` picks tiles and
+/// workers.
+fn decode_event(kind: usize, at: f64, idx: usize, ok: bool, d: usize, k: usize) -> Event {
+    match kind % 6 {
+        0 => Event::TileDelivered { tile: idx % d },
+        1 => Event::SendComplete { at: at * 0.1 },
+        2 => Event::ResultArrived { at: at * 0.5, tile: idx % d, worker: idx % k, ok },
+        3 => Event::DeadlineFired { at: at * 6.0 },
+        4 => Event::WorkerDied { worker: idx % k },
+        _ => Event::SendRejected { tile: idx % d, worker: idx % k },
+    }
+}
+
+/// Accepted/zero-filled tiles observed in the action stream.
+#[derive(Default)]
+struct Observed {
+    accepts: Vec<usize>,
+    zero_filled: Vec<usize>,
+    complete: usize,
+}
+
+fn observe(acts: &[Action], obs: &mut Observed) {
+    for a in acts {
+        match a {
+            Action::Accept { tile, .. } => obs.accepts.push(*tile),
+            Action::ZeroFill { tiles } => obs.zero_filled.extend_from_slice(tiles),
+            Action::Complete => obs.complete += 1,
+            _ => {}
+        }
+    }
+}
+
+fn check_terminal(d: usize, obs: &Observed, c: &LifecycleCounters) {
+    // Each tile was accepted at most once, and never both accepted and
+    // zero-filled.
+    let mut accepted = vec![false; d];
+    for &t in &obs.accepts {
+        assert!(!accepted[t], "tile {t} accepted twice");
+        accepted[t] = true;
+    }
+    for &t in &obs.zero_filled {
+        assert!(!accepted[t], "tile {t} both accepted and zero-filled");
+    }
+    // Every tile is accounted for exactly once: accepted, or counted in
+    // zero_filled (which includes the abandoned shortfall).
+    assert_eq!(
+        obs.accepts.len() + c.zero_filled as usize,
+        d,
+        "tiles not conserved: {} accepted + {} zero-filled != {d}",
+        obs.accepts.len(),
+        c.zero_filled
+    );
+    assert_eq!(obs.complete, 1, "Complete must be emitted exactly once");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn lifecycle_invariants_hold_for_arbitrary_interleavings(
+        k in 1usize..5,
+        d in 1usize..10,
+        raw_alloc in proptest::collection::vec(0u32..4, 4..5),
+        raw_speeds in proptest::collection::vec(0.0..2.0f64, 4..5),
+        timer_idx in 0usize..3,
+        rounds in 0u32..4,
+        n_steps in 0usize..40,
+        kinds in proptest::collection::vec(0usize..6, 40..41),
+        ats in proptest::collection::vec(0.0..1.0f64, 40..41),
+        idxs in proptest::collection::vec(0usize..16, 40..41),
+        oks in proptest::collection::vec(any::<bool>(), 40..41),
+    ) {
+        // Build alloc/speeds of length k, with Σ alloc <= d (the Algorithm
+        // 3 contract: the shortfall under storage caps is abandoned).
+        let mut alloc: Vec<u32> = (0..k).map(|i| raw_alloc[i % raw_alloc.len()]).collect();
+        let mut total: u32 = alloc.iter().sum();
+        while total > d as u32 {
+            for a in alloc.iter_mut() {
+                if total > d as u32 && *a > 0 {
+                    *a -= 1;
+                    total -= 1;
+                }
+            }
+        }
+        let speeds: Vec<f64> = (0..k).map(|i| raw_speeds[i % raw_speeds.len()]).collect();
+        let live = vec![true; k];
+        let timer =
+            [TimerPolicy::AfterSend, TimerPolicy::Deadline, TimerPolicy::WaitAll][timer_idx];
+        let policy = LifecyclePolicy {
+            max_redispatch_rounds: rounds,
+            timer,
+            hard_timeout: 5.0,
+            ..Default::default()
+        };
+
+        let (mut lc, acts) = TileLifecycle::begin(policy, 0.0, d, &alloc, &speeds, &live);
+        let mut obs = Observed::default();
+        observe(&acts, &mut obs);
+
+        for i in 0..n_steps {
+            let ev = decode_event(kinds[i], ats[i], idxs[i], oks[i], d, k);
+            let was_complete = lc.is_complete();
+            let acts = lc.handle(ev);
+            if was_complete {
+                prop_assert!(acts.is_empty(), "action emitted after completion: {acts:?}");
+            }
+            observe(&acts, &mut obs);
+            prop_assert!(
+                lc.counters().rounds <= policy.max_redispatch_rounds,
+                "rounds {} > max {}",
+                lc.counters().rounds,
+                policy.max_redispatch_rounds
+            );
+        }
+
+        // Close the image out: firing at the hard deadline always finishes
+        // (past that instant nothing is recoverable).
+        if !lc.is_complete() {
+            let acts = lc.handle(Event::DeadlineFired { at: lc.hard_deadline() });
+            observe(&acts, &mut obs);
+        }
+        prop_assert!(lc.is_complete(), "hard deadline must complete the image");
+        check_terminal(d, &obs, lc.counters());
+
+        // And the machine stays silent forever after.
+        for ev in [
+            Event::DeadlineFired { at: lc.hard_deadline() + 1.0 },
+            Event::SendComplete { at: 9.0 },
+            Event::Abort,
+            Event::SendRejected { tile: 0, worker: 0 },
+            // late results are counted but must not produce actions
+            Event::ResultArrived { at: 9.0, tile: 0, worker: 0, ok: true },
+        ] {
+            prop_assert!(lc.handle(ev).is_empty(), "action after completion: {ev:?}");
+        }
+        prop_assert!(lc.counters().rounds <= policy.max_redispatch_rounds);
+    }
+}

@@ -15,14 +15,27 @@
 //! 4. the tiles of image `i+1` are already in flight while image `i`
 //!    computes (Figure 9's overlap), unless pipelining is disabled.
 //!
+//! All tile-lifecycle *decisions* — deadlines, re-dispatch, zero-fill,
+//! the Algorithm 2 measurement cutoff — come from the shared sans-IO
+//! state machine, [`adcnn_core::lifecycle::TileLifecycle`], the exact
+//! code the real runtime (`adcnn-runtime`) drives. This module is the
+//! simulated-time *driver*: it feeds the machine its own event
+//! timestamps directly (the machine's abstract seconds ARE simulated
+//! seconds), turns [`Action`]s into modeled channel transfers and event
+//! pushes, and never cancels timers (the machine ignores stale ones).
+//! Because both drivers share one machine, a deployment plan validated in
+//! this simulator executes under the same decision logic on the real
+//! system. See DESIGN.md §11 for the policy/mechanism split.
+//!
 //! **Timeout-policy substitution.** The paper arms a `T_L = 30 ms` timer
 //! when an image's tiles finish sending; taken literally that deadline
 //! expires long before any honest Conv-node computation (~15 ms/tile × 8
-//! tiles) can return, zero-filling everything. The default here is an
-//! *expected-makespan deadline*: when the first result lands, the Central
-//! node extrapolates how long the slowest node's whole batch should take
-//! (observed first-result time × its largest allocation, plus 25% slack
-//! and `T_L` grace) and zero-fills whatever misses that deadline. Healthy
+//! tiles) can return, zero-filling everything. The default
+//! [`LifecyclePolicy`] uses an *expected-makespan deadline* instead: when
+//! the first result lands, the Central node extrapolates how long the
+//! slowest node's whole batch should take (observed first-result time ×
+//! its largest allocation × `policy.slack`, plus `T_L` grace) and
+//! re-dispatches, then zero-fills, whatever misses that deadline. Healthy
 //! clusters are lossless at any per-tile cost; nodes materially slower
 //! than the cluster's pace miss the deadline and starve out of the
 //! Algorithm 2 statistics exactly as §6.3 describes. The literal reading
@@ -32,6 +45,7 @@ use crate::engine::{EventQueue, FifoResource, SpeedSchedule, ThrottledCpu};
 use crate::profiles::LinkParams;
 use adcnn_core::compress::wire_bits_estimate;
 use adcnn_core::fdsp::TileGrid;
+use adcnn_core::lifecycle::{Action, Event, TileLifecycle};
 use adcnn_core::sched::{StatsCollector, TileAllocator};
 use adcnn_core::wire::HEADER_BITS;
 use adcnn_nn::cost::{prefix_weight_load_s, suffix_time_s, tile_prefix_time_s, DeviceProfile};
@@ -39,6 +53,10 @@ use adcnn_nn::zoo::ModelSpec;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
+
+/// Re-export: the shared lifecycle knobs and timer interpretations, the
+/// same types `adcnn-runtime` consumes.
+pub use adcnn_core::lifecycle::{LifecyclePolicy, TimerPolicy};
 
 /// Re-export: a per-node CPU speed schedule (CPUlimit-style throttling).
 pub type ThrottleSchedule = SpeedSchedule;
@@ -65,20 +83,6 @@ impl SimNode {
     }
 }
 
-/// When does the Central node stop waiting for intermediate results?
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
-pub enum TimerPolicy {
-    /// Paper text, literally: `T_L` after the image's tiles finished
-    /// sending.
-    AfterSend,
-    /// Default: wait until the expected-makespan deadline extrapolated
-    /// from the first result (see the module docs for why).
-    Deadline,
-    /// Never zero-fill; wait for every result (hangs on dead nodes —
-    /// only for controlled comparisons).
-    WaitAll,
-}
-
 /// Full configuration of one simulation run.
 #[derive(Clone, Debug)]
 pub struct AdcnnSimConfig {
@@ -94,8 +98,12 @@ pub struct AdcnnSimConfig {
     pub central: DeviceProfile,
     /// The shared wireless channel.
     pub link: LinkParams,
-    /// Timeout constant `T_L` (seconds); the paper uses 30 ms.
-    pub t_l_s: f64,
+    /// The shared tile-lifecycle policy (`T_L`, deadline slack,
+    /// re-dispatch rounds, hard timeout, timer interpretation) — the same
+    /// struct the real runtime embeds in its `RuntimeConfig`. Set
+    /// `policy.max_redispatch_rounds = 0` for the paper's pure zero-fill
+    /// behaviour (§6.3).
+    pub policy: LifecyclePolicy,
     /// Algorithm 2 decay γ; the paper uses 0.9.
     pub gamma: f64,
     /// Intermediate-result sparsity from the §4 pipeline; `None` sends raw
@@ -108,14 +116,6 @@ pub struct AdcnnSimConfig {
     /// Overlap communication of image `i+1` with computation of image `i`
     /// (Figure 9). Disable for the pipelining ablation.
     pub pipeline: bool,
-    /// Timeout interpretation.
-    pub timer_policy: TimerPolicy,
-    /// Mirror of the runtime's tile lifecycle manager: when the
-    /// expected-makespan deadline fires, re-send the missing tiles to the
-    /// fastest live nodes (bounded rounds) before zero-filling. Only
-    /// meaningful with [`TimerPolicy::Deadline`]; `false` restores the
-    /// paper's pure zero-fill policy.
-    pub redispatch: bool,
     /// RNG seed (tile-allocation tie-breaking).
     pub seed: u64,
     /// Use Algorithms 2+3 (true) or a static equal split (false — the
@@ -125,8 +125,9 @@ pub struct AdcnnSimConfig {
 
 impl AdcnnSimConfig {
     /// The paper's §7.2 testbed: `k` Pi Conv nodes + a Pi Central node on
-    /// 87.72 Mbps WiFi, `T_L = 30 ms`, `γ = 0.9`, model-calibrated
-    /// compression, the model's default grid and separable prefix.
+    /// 87.72 Mbps WiFi, the default [`LifecyclePolicy`] (`T_L = 30 ms`,
+    /// `γ = 0.9`), model-calibrated compression, the model's default grid
+    /// and separable prefix.
     pub fn paper_testbed(model: ModelSpec, k: usize) -> Self {
         let grid = TileGrid::new(model.default_grid.0, model.default_grid.1);
         let prefix = model.separable_prefix;
@@ -138,14 +139,12 @@ impl AdcnnSimConfig {
             nodes: (0..k).map(|_| SimNode::pi()).collect(),
             central: DeviceProfile::raspberry_pi3(),
             link: LinkParams::wifi_fast(),
-            t_l_s: 0.030,
+            policy: LifecyclePolicy::default(),
             gamma: 0.9,
             compression: Some(sparsity),
             quant_bits: 4,
             images: 100,
             pipeline: true,
-            timer_policy: TimerPolicy::Deadline,
-            redispatch: true,
             seed: 42,
             adaptive: true,
         }
@@ -239,53 +238,39 @@ enum Ev {
         node: usize,
         tile: usize,
     },
+    /// A timer the driver armed. The lifecycle machine decides whether it
+    /// is live or stale — the driver never cancels timers.
     Timer {
         img: usize,
-        snapshot: u64,
     },
     SuffixDone {
         img: usize,
     },
 }
 
+/// Driver-side bookkeeping for one in-flight image. Everything that is a
+/// *decision* (tile ownership, dedup, deadlines, re-dispatch rounds,
+/// drop/late/duplicate counters) lives in `lc`; this struct only tracks
+/// the modeled transport and the measurement surface.
 struct ImageState {
     admitted_at: f64,
-    alloc: Vec<u32>,
+    lc: TileLifecycle,
+    /// Tiles placed by the allocator (`Σ alloc`).
     tiles_total: u32,
+    /// Original tiles that reached their node — the Figure 9 admission
+    /// gate (image `i+1` is eligible once image `i`'s tiles are on their
+    /// nodes).
     tiles_arrived: u32,
-    /// Destination node of each not-yet-sent tile, round-robin order.
-    send_queue: Vec<usize>,
+    /// `(tile, destination)` of each not-yet-sent tile, in the machine's
+    /// round-robin dispatch order.
+    send_queue: Vec<(usize, usize)>,
     send_pos: usize,
     sent_done: f64,
     send_busy: f64,
     result_busy: f64,
-    results_per_node: Vec<u32>,
-    /// Per-node results that arrived within the Algorithm 2 measurement
-    /// window (before the first-armed deadline): late re-dispatch
-    /// deliveries credit `results_per_node` but not the node's rate.
-    timely_per_node: Vec<u32>,
-    /// Arrival time of each node's latest in-time result (for the
-    /// Algorithm 2 throughput estimate).
-    last_result_at: Vec<f64>,
-    /// Span used to (re-)arm the expected-makespan deadline.
-    deadline_span: f64,
-    /// Observed first-result time, reused to size re-dispatch deadlines.
-    per_unit: f64,
-    /// Algorithm 2 measurement cutoff (the deadline as first armed).
-    cutoff: f64,
-    /// Current owner of each placed tile (index into `send_queue` order).
-    tile_owner: Vec<usize>,
-    /// First-arrival-wins dedup, the sim twin of the runtime's `got[]`.
-    tile_done: Vec<bool>,
-    redispatched: u32,
-    redispatch_rounds: u32,
-    duplicate: u32,
-    results_total: u64,
     first_compute_start: f64,
     last_compute_end: f64,
-    suffix_started: bool,
     suffix_s: f64,
-    late: u32,
 }
 
 /// The simulator. Construct with a config, call [`AdcnnSim::run`].
@@ -372,90 +357,94 @@ impl AdcnnSim {
             };
         }
 
-        const FORCE: u64 = u64::MAX;
-        /// Re-dispatch rounds per image before zero-fill (the runtime's
-        /// `max_redispatch_rounds` default).
-        const MAX_REDISPATCH_ROUNDS: u32 = 2;
-        let hard_timeout = (cfg.t_l_s * 20.0).max(1.0);
-
         queue.push(0.0, Ev::Admit { img: 0 });
 
         let mut sim_end = 0.0f64;
         while let Some((now, ev)) = queue.pop() {
+            // Timers for completed images (hard-timeout fallbacks, stale
+            // re-arms) are pure driver artifacts: they must neither reach
+            // the machine nor stretch the simulated horizon.
+            if let Ev::Timer { img } = ev {
+                match img_states[img].as_ref() {
+                    None => continue,
+                    Some(st) if st.lc.is_complete() => continue,
+                    _ => {}
+                }
+            }
             sim_end = sim_end.max(now);
             match ev {
                 Ev::Admit { img } => {
                     // Partition on the central CPU, then stream tiles out
-                    // one at a time, round-robin across nodes.
+                    // one at a time in the machine's round-robin placement
+                    // order.
                     let (_, part_done) = central_cpu.run(now, partition_work);
                     let x = if cfg.adaptive {
                         allocator.allocate(d, stats.speeds(), &mut rng)
                     } else {
                         adcnn_core::sched::allocate_round_robin(d, k)
                     };
-                    let mut send_queue = Vec::with_capacity(d);
-                    let mut remaining = x.clone();
-                    loop {
-                        let mut any = false;
-                        for (node, rem) in remaining.iter_mut().enumerate() {
-                            if *rem > 0 {
-                                *rem -= 1;
-                                any = true;
-                                send_queue.push(node);
-                            }
-                        }
-                        if !any {
-                            break;
-                        }
-                    }
-                    let placed = send_queue.len();
+                    let live: Vec<bool> =
+                        (0..k).map(|n| !cfg.nodes[n].throttle.is_dead_at(now)).collect();
+                    let (lc, acts) =
+                        TileLifecycle::begin(cfg.policy, now, d, &x, stats.speeds(), &live);
+                    let send_queue: Vec<(usize, usize)> = acts
+                        .iter()
+                        .filter_map(|a| match a {
+                            Action::Dispatch { tile, to } => Some((*tile, *to)),
+                            _ => None,
+                        })
+                        .collect();
+                    let tiles_total = send_queue.len() as u32;
                     let st = ImageState {
                         admitted_at: now,
-                        alloc: x.clone(),
-                        tiles_total: x.iter().sum(),
+                        lc,
+                        tiles_total,
                         tiles_arrived: 0,
-                        tile_owner: send_queue.clone(),
-                        tile_done: vec![false; placed],
                         send_queue,
                         send_pos: 0,
                         sent_done: part_done,
                         send_busy: 0.0,
                         result_busy: 0.0,
-                        results_per_node: vec![0; k],
-                        timely_per_node: vec![0; k],
-                        last_result_at: vec![0.0; k],
-                        deadline_span: 0.0,
-                        per_unit: 0.0,
-                        cutoff: f64::INFINITY,
-                        redispatched: 0,
-                        redispatch_rounds: 0,
-                        duplicate: 0,
-                        results_total: 0,
                         first_compute_start: f64::INFINITY,
                         last_compute_end: 0.0,
-                        suffix_started: false,
                         suffix_s: 0.0,
-                        late: 0,
                     };
-                    if st.tiles_total == 0 {
+                    img_states[img] = Some(st);
+                    if tiles_total == 0 {
                         // Nothing allocatable (all nodes dead/out of
-                        // storage): suffix runs on zeros immediately, and
-                        // the pipeline must not stall waiting for arrivals.
-                        queue.push(part_done, Ev::Timer { img, snapshot: FORCE });
+                        // storage): the machine completes on SendComplete,
+                        // the suffix runs on zeros, and the pipeline must
+                        // not stall waiting for arrivals.
+                        let st = img_states[img].as_mut().expect("just inserted");
+                        let acts = st.lc.handle(Event::SendComplete { at: part_done });
                         gate = gate.max(img + 1);
                         try_admit!(queue, part_done);
+                        for act in acts {
+                            match act {
+                                Action::RecordRate { worker, rate } => {
+                                    stats.record_node(worker, rate)
+                                }
+                                Action::Complete => Self::start_suffix(
+                                    img,
+                                    part_done,
+                                    &mut img_states,
+                                    &mut central_cpu,
+                                    suffix_work,
+                                    &mut queue,
+                                ),
+                                _ => {}
+                            }
+                        }
                     } else {
                         queue.push(part_done, Ev::SendNext { img });
                     }
-                    img_states[img] = Some(st);
                 }
                 Ev::SendNext { img } => {
                     let Some(st) = img_states[img].as_mut() else { continue };
                     if st.send_pos >= st.send_queue.len() {
                         continue;
                     }
-                    let tile = st.send_pos;
-                    let node = st.send_queue[tile];
+                    let (tile, node) = st.send_queue[st.send_pos];
                     st.send_pos += 1;
                     let occ = cfg.link.occupancy_s(tile_in_bits);
                     let (_, send_end) = channel.acquire(now, occ);
@@ -468,18 +457,20 @@ impl AdcnnSim {
                     if st.send_pos < st.send_queue.len() {
                         queue.push(send_end, Ev::SendNext { img });
                     } else {
-                        // All tiles of this image are on the wire: arm the
-                        // timeout machinery.
-                        match cfg.timer_policy {
-                            TimerPolicy::AfterSend => {
-                                queue
-                                    .push(send_end + cfg.t_l_s, Ev::Timer { img, snapshot: FORCE });
+                        // All tiles of this image are on the wire: tell the
+                        // machine and arm whatever timers it asks for.
+                        let acts = st.lc.handle(Event::SendComplete { at: send_end });
+                        for act in acts {
+                            if let Action::ArmDeadline { span } = act {
+                                queue.push(send_end + span, Ev::Timer { img });
                             }
-                            TimerPolicy::Deadline => {
-                                // Fallback in case no result ever arrives.
-                                queue.push(send_end + hard_timeout, Ev::Timer { img, snapshot: 0 });
-                            }
-                            TimerPolicy::WaitAll => {}
+                        }
+                        if cfg.policy.timer == TimerPolicy::Deadline {
+                            // Fallback in case no result ever arrives: the
+                            // machine's hard timeout, as a real event. The
+                            // machine ignores it when it lands stale.
+                            let st = img_states[img].as_ref().expect("state exists");
+                            queue.push(st.lc.hard_deadline(), Ev::Timer { img });
                         }
                     }
                 }
@@ -494,6 +485,7 @@ impl AdcnnSim {
                     };
                     if original {
                         st.tiles_arrived += 1;
+                        st.lc.handle(Event::TileDelivered { tile });
                     }
                     let all_arrived = st.tiles_arrived == st.tiles_total;
                     let mut work = tile_work[node];
@@ -525,47 +517,27 @@ impl AdcnnSim {
                     queue.push(send_end + cfg.link.latency_s, Ev::ResultArrive { img, node, tile });
                 }
                 Ev::ResultArrive { img, node, tile } => {
+                    // Results for an image whose record is already gone are
+                    // stragglers past the timeout: discard. Anything else —
+                    // fresh, duplicate, late — is the machine's call.
+                    let Some(st) = img_states[img].as_mut() else { continue };
+                    let acts = st.lc.handle(Event::ResultArrived {
+                        at: now,
+                        tile,
+                        worker: node,
+                        ok: true,
+                    });
                     let mut complete = false;
-                    let mut arm_deadline = None;
-                    {
-                        // Results for an already-completed image are
-                        // stragglers past the timeout: discard.
-                        let Some(st) = img_states[img].as_mut() else { continue };
-                        if st.suffix_started {
-                            st.late += 1;
-                        } else if st.tile_done[tile] {
-                            // A re-dispatch race: some other copy of this
-                            // tile landed first.
-                            st.duplicate += 1;
-                        } else {
-                            st.tile_done[tile] = true;
-                            st.results_per_node[node] += 1;
-                            let first = st.results_total == 0;
-                            // Algorithm 2 window: results past the original
-                            // deadline (re-dispatch deliveries) count for
-                            // reassembly but not for the node's rate.
-                            if now <= st.cutoff {
-                                st.timely_per_node[node] += 1;
-                                st.last_result_at[node] = now;
+                    for act in acts {
+                        match act {
+                            // Accept carries no payload to paste in a
+                            // simulation; ZeroFill likewise models nothing.
+                            Action::ArmDeadline { span } => {
+                                queue.push(now + span, Ev::Timer { img })
                             }
-                            st.results_total += 1;
-                            if st.results_total == st.tiles_total as u64 {
-                                complete = true;
-                            } else if first && cfg.timer_policy == TimerPolicy::Deadline {
-                                // Expected-makespan deadline: the slowest
-                                // node's whole batch should take about
-                                // max_alloc x the first-result time; give
-                                // 25% slack plus T_L grace.
-                                let max_alloc =
-                                    st.alloc.iter().copied().max().unwrap_or(1).max(1) as f64;
-                                let per_unit = (now - st.admitted_at).max(1e-4);
-                                let span = ((max_alloc - 1.0) * per_unit * 1.25 + cfg.t_l_s)
-                                    .max(cfg.t_l_s);
-                                st.deadline_span = span;
-                                st.per_unit = per_unit;
-                                st.cutoff = now + span;
-                                arm_deadline = Some(now + span);
-                            }
+                            Action::RecordRate { worker, rate } => stats.record_node(worker, rate),
+                            Action::Complete => complete = true,
+                            _ => {}
                         }
                     }
                     if complete {
@@ -573,96 +545,72 @@ impl AdcnnSim {
                             img,
                             now,
                             &mut img_states,
-                            &mut stats,
                             &mut central_cpu,
                             suffix_work,
                             &mut queue,
                         );
-                    } else if let Some(at) = arm_deadline {
-                        queue.push(at, Ev::Timer { img, snapshot: FORCE });
                     }
                 }
-                Ev::Timer { img, snapshot } => {
-                    let st = match img_states[img].as_ref() {
-                        Some(s) => s,
-                        None => continue,
-                    };
-                    if st.suffix_started {
-                        continue;
+                Ev::Timer { img } => {
+                    let st = img_states[img].as_mut().expect("checked at loop top");
+                    // Feed positively-observed deaths before judging the
+                    // deadline — the sim's equivalent of the runtime's
+                    // disconnect detection — so the machine never picks a
+                    // dead node as a re-dispatch target.
+                    for n in 0..k {
+                        if cfg.nodes[n].throttle.is_dead_at(now) {
+                            st.lc.handle(Event::WorkerDied { worker: n });
+                        }
                     }
-                    // While input tiles are still in flight the deadline
-                    // cannot be judged: re-arm with the same span.
-                    if snapshot == FORCE
-                        && st.tiles_arrived < st.tiles_total
-                        && cfg.timer_policy == TimerPolicy::Deadline
-                    {
-                        let span = st.deadline_span.max(cfg.t_l_s);
-                        queue.push(now + span, Ev::Timer { img, snapshot: FORCE });
-                        continue;
-                    }
-                    let fire = snapshot == FORCE || (snapshot == 0 && st.results_total == 0);
-                    if !fire {
-                        continue;
-                    }
-                    // Mirror of the runtime's lifecycle manager: before
-                    // zero-filling, re-send the missing tiles to the
-                    // fastest live nodes (first-arrival-wins dedup makes
-                    // the duplicates harmless), bounded rounds.
-                    if cfg.redispatch
-                        && cfg.timer_policy == TimerPolicy::Deadline
-                        && st.redispatch_rounds < MAX_REDISPATCH_ROUNDS
-                    {
-                        let missing: Vec<usize> =
-                            (0..st.tile_done.len()).filter(|&t| !st.tile_done[t]).collect();
-                        let mut candidates: Vec<usize> =
-                            (0..k).filter(|&n| !cfg.nodes[n].throttle.is_dead_at(now)).collect();
-                        candidates.sort_by(|&a, &b| {
-                            stats.speeds()[b].total_cmp(&stats.speeds()[a]).then(a.cmp(&b))
-                        });
-                        if !missing.is_empty() && !candidates.is_empty() {
-                            let st = img_states[img].as_mut().expect("state checked above");
-                            let mut last_send_end = now;
-                            for (i, &tile) in missing.iter().enumerate() {
-                                let mut dest = candidates[i % candidates.len()];
-                                if dest == st.tile_owner[tile] && candidates.len() > 1 {
-                                    dest = candidates[(i + 1) % candidates.len()];
-                                }
-                                st.tile_owner[tile] = dest;
+                    let acts = st.lc.handle(Event::DeadlineFired { at: now });
+                    let mut last_send_end = now;
+                    let mut redispatched_any = false;
+                    let mut arm_span = None;
+                    let mut complete = false;
+                    for act in acts {
+                        match act {
+                            Action::Redispatch { tile, to } => {
                                 let occ = cfg.link.occupancy_s(tile_in_bits);
                                 let (_, send_end) = channel.acquire(last_send_end, occ);
                                 st.send_busy += occ;
                                 last_send_end = send_end;
+                                redispatched_any = true;
                                 queue.push(
                                     send_end + cfg.link.latency_s,
-                                    Ev::TileArrive { img, node: dest, tile, original: false },
+                                    Ev::TileArrive { img, node: to, tile, original: false },
                                 );
                             }
-                            st.redispatched += missing.len() as u32;
-                            st.redispatch_rounds += 1;
-                            // Re-arm: expected time for the candidates to
-                            // absorb the re-sent tiles, same 25% slack +
-                            // T_L grace as the original deadline.
-                            let share = missing.len().div_ceil(candidates.len()) as f64;
-                            let span = (share * st.per_unit * 1.25 + cfg.t_l_s).max(cfg.t_l_s);
-                            queue.push(
-                                last_send_end + cfg.link.latency_s + span,
-                                Ev::Timer { img, snapshot: FORCE },
-                            );
-                            continue;
+                            Action::ArmDeadline { span } => arm_span = Some(span),
+                            Action::RecordRate { worker, rate } => stats.record_node(worker, rate),
+                            Action::Complete => complete = true,
+                            _ => {}
                         }
                     }
-                    Self::start_suffix(
-                        img,
-                        now,
-                        &mut img_states,
-                        &mut stats,
-                        &mut central_cpu,
-                        suffix_work,
-                        &mut queue,
-                    );
+                    if let Some(span) = arm_span {
+                        // After a re-dispatch round the clock starts when
+                        // the re-sent tiles clear the channel; the machine
+                        // treats the later firing as valid (never stale).
+                        let at = if redispatched_any {
+                            last_send_end + cfg.link.latency_s + span
+                        } else {
+                            now + span
+                        };
+                        queue.push(at, Ev::Timer { img });
+                    }
+                    if complete {
+                        Self::start_suffix(
+                            img,
+                            now,
+                            &mut img_states,
+                            &mut central_cpu,
+                            suffix_work,
+                            &mut queue,
+                        );
+                    }
                 }
                 Ev::SuffixDone { img } => {
                     let st = img_states[img].take().expect("suffix for unknown image");
+                    let c = st.lc.counters();
                     let conv_compute = if st.first_compute_start.is_finite() {
                         (st.last_compute_end - st.first_compute_start).max(0.0)
                     } else {
@@ -674,11 +622,13 @@ impl AdcnnSim {
                         result_busy_s: st.result_busy,
                         conv_compute_s: conv_compute,
                         suffix_s: st.suffix_s,
-                        alloc: st.alloc.clone(),
-                        dropped: st.tiles_total - st.results_per_node.iter().sum::<u32>(),
-                        late: st.late,
-                        redispatched: st.redispatched,
-                        duplicate: st.duplicate,
+                        alloc: st.lc.alloc().to_vec(),
+                        // Allocated-but-never-arrived (the historical
+                        // definition): abandoned shortfall is excluded.
+                        dropped: c.zero_filled - c.abandoned,
+                        late: c.late,
+                        redispatched: c.redispatched,
+                        duplicate: c.duplicate,
                         done_at: now,
                     });
                     completed += 1;
@@ -708,44 +658,45 @@ impl AdcnnSim {
         }
     }
 
-    #[allow(clippy::too_many_arguments)]
+    /// Run the Central-node suffix for a completed image. The Algorithm 2
+    /// rate observations were already folded in via the machine's
+    /// [`Action::RecordRate`] actions.
     fn start_suffix(
         img: usize,
         now: f64,
         img_states: &mut [Option<ImageState>],
-        stats: &mut StatsCollector,
         central_cpu: &mut ThrottledCpu,
         suffix_work: f64,
         queue: &mut EventQueue<Ev>,
     ) {
         let st = img_states[img].as_mut().expect("suffix for unknown image");
-        st.suffix_started = true;
-        // Algorithm 2: record each node's throughput — in-time results per
-        // elapsed second, scaled by T_L so the unit matches the paper's
-        // "results within the time limit". Nodes that were assigned no
-        // tiles keep their previous estimate (recording 0 for them would
-        // permanently starve a node that was merely skipped this image).
-        let t_l = {
-            // the collector has no access to cfg; the scale cancels in the
-            // allocator's ratios, so any fixed constant works
-            0.030
-        };
-        for i in 0..st.timely_per_node.len() {
-            if st.alloc[i] > 0 {
-                // Only in-window results count — a node that delivered via
-                // late re-dispatch rounds earned the reassembly credit but
-                // not a throughput reputation (crediting those arrivals
-                // poisons the estimate and starves healthy nodes).
-                let delivered = st.timely_per_node[i] as f64;
-                let elapsed = (st.last_result_at[i] - st.admitted_at).max(1e-6);
-                let rate = delivered / elapsed * t_l;
-                stats.record_node(i, if delivered > 0.0 { rate } else { 0.0 });
-            }
-        }
         let (s, e) = central_cpu.run(now, suffix_work);
         st.suffix_s = e - s;
         queue.push(e, Ev::SuffixDone { img });
     }
+}
+
+/// Replay an abstract event trace through the simulator's *time mapping*
+/// and the shared lifecycle machine, returning the Debug-formatted
+/// decision sequence. The simulator feeds event timestamps to the machine
+/// verbatim (abstract seconds ARE simulated seconds), so this is the
+/// identity mapping — the cross-driver differential test asserts the
+/// sequence is byte-identical to the runtime driver's
+/// (`adcnn_runtime::central::replay_lifecycle_trace`).
+pub fn replay_lifecycle_trace(
+    policy: LifecyclePolicy,
+    d: usize,
+    alloc: &[u32],
+    speeds: &[f64],
+    live: &[bool],
+    trace: &[Event],
+) -> Vec<String> {
+    let (mut lc, acts) = TileLifecycle::begin(policy, 0.0, d, alloc, speeds, live);
+    let mut out: Vec<String> = acts.iter().map(|a| format!("{a:?}")).collect();
+    for ev in trace {
+        out.extend(lc.handle(*ev).iter().map(|a| format!("{a:?}")));
+    }
+    out
 }
 
 #[cfg(test)]
@@ -876,7 +827,7 @@ mod tests {
         // Pure zero-fill policy (§6.3, re-dispatch disabled): a dead
         // node's tiles are dropped until the statistics starve it.
         let mut cfg = quick_cfg(4, 30);
-        cfg.redispatch = false;
+        cfg.policy.max_redispatch_rounds = 0;
         cfg.nodes[3].throttle = ThrottleSchedule::throttle_at(0.0, 0.0);
         let s = AdcnnSim::new(cfg).run();
         assert_eq!(s.images.len(), 30);
@@ -890,7 +841,7 @@ mod tests {
 
     #[test]
     fn dead_node_recovers_via_redispatch() {
-        // Same dead node, lifecycle manager on: the missing tiles are
+        // Same dead node, lifecycle recovery on: the missing tiles are
         // re-sent to the live nodes, so no image loses a single tile, and
         // the statistics still starve the dead node out.
         let mut cfg = quick_cfg(4, 30);
@@ -942,7 +893,7 @@ mod tests {
         // (see module docs) — verify it at least completes and that the
         // idle-gap default is strictly better on accuracy-relevant drops.
         let mut cfg = quick_cfg(4, 5);
-        cfg.timer_policy = TimerPolicy::AfterSend;
+        cfg.policy.timer = TimerPolicy::AfterSend;
         let literal = AdcnnSim::new(cfg).run();
         let drops: u32 = literal.images.iter().map(|i| i.dropped).sum();
         assert!(drops > 0, "expected the literal timer to drop results");

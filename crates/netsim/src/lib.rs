@@ -29,6 +29,7 @@ pub mod profiles;
 pub mod schemes;
 
 pub use cluster::{
-    AdcnnSim, AdcnnSimConfig, ImageStats, SimNode, SimSummary, ThrottleSchedule, TimerPolicy,
+    replay_lifecycle_trace, AdcnnSim, AdcnnSimConfig, ImageStats, LifecyclePolicy, SimNode,
+    SimSummary, ThrottleSchedule, TimerPolicy,
 };
 pub use profiles::LinkParams;

@@ -2,20 +2,33 @@
 //! collection block, and layer computation block, driving real worker
 //! threads.
 //!
-//! Beyond the paper's pure zero-fill failure policy (§6.3), this runtime
-//! implements a **tile lifecycle manager**: every tile is tracked from
-//! dispatch to arrival, and tiles that miss the expected-makespan deadline
-//! are speculatively *re-dispatched* to the fastest live workers before the
-//! hard timeout zero-fills them. Worker death is detected eagerly — a
-//! failed send on a worker's (bounded) task queue marks it dead in the
-//! Algorithm 2 statistics and reroutes the tile immediately — so a crashed
-//! node costs one deadline, not an accuracy loss. See DESIGN.md §10.
+//! All tile-lifecycle *decisions* — the expected-makespan deadline,
+//! speculative re-dispatch rounds, zero-fill, duplicate handling and the
+//! Algorithm 2 measurement cutoff — live in the shared sans-IO state
+//! machine, [`adcnn_core::lifecycle::TileLifecycle`]. This module is the
+//! wall-clock *driver*: it maps `Instant`s onto the machine's abstract
+//! seconds (via a per-runtime epoch), crossbeam channel sends onto
+//! [`Dispatch`](adcnn_core::lifecycle::Action::Dispatch)/
+//! [`Redispatch`](adcnn_core::lifecycle::Action::Redispatch) actions, and
+//! `recv_timeout` onto the machine's `next_deadline()`. The network
+//! simulator (`adcnn-netsim`) drives the *same* machine from simulated
+//! timestamps, so simulated and real scheduling decisions cannot drift.
+//! See DESIGN.md §11 for the policy/mechanism split and §10 for the
+//! lifecycle policy itself.
+//!
+//! Worker death is detected eagerly — a failed send on a worker's
+//! (bounded) task queue marks it dead in the Algorithm 2 statistics and
+//! feeds [`WorkerDied`](adcnn_core::lifecycle::Event::WorkerDied)/
+//! [`SendRejected`](adcnn_core::lifecycle::Event::SendRejected) back into
+//! the machine, which reroutes the tile immediately — so a crashed node
+//! costs one deadline, not an accuracy loss.
 
 use crate::worker::{
     spawn_worker, Compression, WorkerMsg, WorkerOptions, WorkerStats, WorkerStatsSnapshot,
 };
 use adcnn_core::compress::Quantizer;
 use adcnn_core::fdsp::TileGrid;
+use adcnn_core::lifecycle::{Action, Event, LifecyclePolicy, TileLifecycle};
 use adcnn_core::sched::{StatsCollector, TileAllocator};
 use adcnn_core::wire::{TileKey, TileResult, TileTask};
 use adcnn_core::ClippedRelu;
@@ -30,17 +43,15 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-/// Central-node configuration.
+/// Central-node configuration: the shared [`LifecyclePolicy`] (deadline
+/// slack, `T_L`, re-dispatch rounds, hard timeout, timer interpretation)
+/// plus the runtime-only transport/statistics knobs.
 #[derive(Clone, Copy, Debug)]
 pub struct RuntimeConfig {
-    /// Timeout grace `T_L` (the paper uses 30 ms): once the first result
-    /// lands, the Central node waits for the expected makespan
-    /// (first-result time x the largest allocation, +25% slack) plus this
-    /// grace, then re-dispatches (and ultimately zero-fills) the missing
-    /// tiles.
-    pub t_l: Duration,
-    /// Hard cap on the total wait for one image.
-    pub hard_timeout: Duration,
+    /// The shared tile-lifecycle policy — identical in meaning to the
+    /// simulator's copy in `AdcnnSimConfig`, so a plan validated there
+    /// runs under the same decisions here.
+    pub policy: LifecyclePolicy,
     /// Algorithm 2 decay γ.
     pub gamma: f64,
     /// Tile-allocation tie-break seed.
@@ -49,21 +60,25 @@ pub struct RuntimeConfig {
     /// can hold at most this many tiles hostage; further sends fail fast
     /// and the tiles are rerouted to live workers.
     pub task_queue_cap: usize,
-    /// Speculative re-dispatch rounds per image after the expected-makespan
-    /// deadline fires, before the remaining tiles are zero-filled (`0`
-    /// restores the paper's pure zero-fill policy).
-    pub max_redispatch_rounds: u32,
 }
 
 impl Default for RuntimeConfig {
     fn default() -> Self {
         RuntimeConfig {
-            t_l: Duration::from_millis(30),
-            hard_timeout: Duration::from_secs(5),
+            policy: LifecyclePolicy::default(),
             gamma: 0.9,
             seed: 42,
             task_queue_cap: 64,
-            max_redispatch_rounds: 2,
+        }
+    }
+}
+
+impl RuntimeConfig {
+    /// Convenience: the default config with a different `T_L` grace.
+    pub fn with_t_l(t_l: Duration) -> Self {
+        RuntimeConfig {
+            policy: LifecyclePolicy { t_l: t_l.as_secs_f64(), ..Default::default() },
+            ..Default::default()
         }
     }
 }
@@ -80,7 +95,8 @@ pub struct InferOutcome {
     /// Results received in time per worker (re-dispatched tiles credit the
     /// worker that actually delivered them).
     pub received: Vec<u32>,
-    /// Tiles zero-filled after the timeout (legacy alias of `zero_filled`).
+    /// Tiles zero-filled after the timeout.
+    #[deprecated(note = "use `zero_filled` (and `redispatched`) instead")]
     pub dropped: u32,
     /// Tiles zero-filled after every recovery attempt failed.
     pub zero_filled: u32,
@@ -95,28 +111,13 @@ pub struct InferOutcome {
     pub worker_stats: Vec<WorkerStatsSnapshot>,
 }
 
-/// Lifecycle state of one dispatched tile (Central-node view).
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-enum TileSlot {
-    /// Last worker the tile was handed to (initial dispatch or re-dispatch).
-    At(usize),
-    /// No live worker accepted the send; retried at the next deadline.
-    Unplaced,
-    /// Unschedulable (storage caps / no live workers): zero-filled
-    /// immediately, never retried.
-    Abandoned,
-}
-
-/// A dispatched-but-not-yet-collected image.
+/// A dispatched-but-not-yet-collected image: the input tiles (kept so
+/// missed tiles can be re-dispatched) plus its lifecycle state machine.
 struct Pending {
     image_id: u64,
-    alloc: Vec<u32>,
     start: Instant,
-    /// Input tiles, kept until collection completes so missed tiles can be
-    /// re-dispatched.
     tiles: Vec<Tensor>,
-    /// Per-tile lifecycle state.
-    slots: Vec<TileSlot>,
+    lc: TileLifecycle,
 }
 
 /// Results that arrived while another image was being collected, stamped
@@ -142,6 +143,10 @@ pub struct AdcnnRuntime {
     rng: StdRng,
     cfg: RuntimeConfig,
     next_image: u64,
+    /// Origin of the machine's abstract time axis: every `Instant` is
+    /// expressed as seconds since this epoch before it reaches the
+    /// lifecycle machine.
+    epoch: Instant,
     /// Assembled boundary map dims `(C, H, W)`.
     boundary: (usize, usize, usize),
     /// Per-tile boundary dims `(C, h, w)`.
@@ -218,6 +223,7 @@ impl AdcnnRuntime {
             rng: StdRng::seed_from_u64(cfg.seed),
             cfg,
             next_image: 0,
+            epoch: Instant::now(),
             boundary,
             tile_out,
         }
@@ -283,6 +289,11 @@ impl AdcnnRuntime {
         out
     }
 
+    /// `Instant` → the machine's abstract seconds.
+    fn rel(&self, at: Instant) -> f64 {
+        at.duration_since(self.epoch).as_secs_f64()
+    }
+
     /// Try to hand one tile to `node`'s bounded queue. On failure the task
     /// is returned for rerouting; a disconnected channel additionally marks
     /// the worker dead — speed 0 in the Algorithm 2 statistics — so the
@@ -303,106 +314,117 @@ impl AdcnnRuntime {
         }
     }
 
-    /// Hand `task` to the fastest live worker that accepts it, preferring
-    /// anyone but `avoid` (the worker that already failed to deliver it).
-    /// Returns the accepting worker, or `None` if nobody could take it.
-    fn reroute(&mut self, mut task: TileTask, avoid: usize) -> Option<usize> {
-        let mut order: Vec<usize> = (0..self.workers()).filter(|&w| self.live[w]).collect();
-        order.sort_by(|&a, &b| self.stats.speed(b).total_cmp(&self.stats.speed(a)).then(a.cmp(&b)));
-        // Pass 0 tries everyone except `avoid`; pass 1 retries the field
-        // (including `avoid` — a lossy worker beats zero-fill).
-        for pass in 0..2 {
-            for &w in &order {
-                if pass == 0 && w == avoid {
+    /// Execute machine actions against the real transport. Sends that the
+    /// transport refuses are fed back as [`Event::SendRejected`] (after
+    /// [`Event::WorkerDied`] when the refusal revealed a disconnect), and
+    /// the machine's follow-up actions join the worklist, until it drains.
+    fn drive(
+        &mut self,
+        lc: &mut TileLifecycle,
+        acts: Vec<Action>,
+        image_id: u64,
+        tiles: &[Tensor],
+    ) {
+        let mut queue: std::collections::VecDeque<Action> = acts.into();
+        while let Some(act) = queue.pop_front() {
+            let (tile, to, original) = match act {
+                Action::Dispatch { tile, to } => (tile, to, true),
+                Action::Redispatch { tile, to } => (tile, to, false),
+                Action::RecordRate { worker, rate } => {
+                    self.stats.record_node(worker, rate);
                     continue;
                 }
-                match self.send_to(w, task) {
-                    Ok(()) => return Some(w),
-                    Err(t) => task = t,
+                // Timers are derived from `next_deadline()` in the collect
+                // loop; zero-fill needs no work (the boundary map starts
+                // zeroed); Accept is pasted where the result was decoded.
+                Action::ArmDeadline { .. }
+                | Action::ZeroFill { .. }
+                | Action::Complete
+                | Action::Accept { .. } => continue,
+            };
+            let task = TileTask {
+                key: TileKey { image_id, tile_id: tile as u32 },
+                tile: tiles[tile].clone(),
+            };
+            match self.send_to(to, task) {
+                Ok(()) => {
+                    if original {
+                        // A queue handoff is "delivered" for the runtime:
+                        // there is no modeled transit.
+                        lc.handle(Event::TileDelivered { tile });
+                    }
+                }
+                Err(_) => {
+                    if !self.live[to] {
+                        lc.handle(Event::WorkerDied { worker: to });
+                    }
+                    queue.extend(lc.handle(Event::SendRejected { tile, worker: to }));
                 }
             }
         }
-        None
     }
 
-    /// Re-send the `missing` tiles to the fastest live workers (speculative
-    /// recovery after a deadline miss). Returns how many were actually
-    /// queued.
-    fn redispatch(
+    /// Feed one of this image's results into the machine: account wire
+    /// bits, decode, paste on [`Action::Accept`], run everything else.
+    #[allow(clippy::too_many_arguments)]
+    fn ingest(
         &mut self,
+        lc: &mut TileLifecycle,
         image_id: u64,
-        missing: &[usize],
         tiles: &[Tensor],
-        slots: &mut [TileSlot],
-    ) -> u32 {
-        let mut sent = 0u32;
-        for &t in missing {
-            let avoid = match slots[t] {
-                TileSlot::At(w) => w,
-                _ => usize::MAX,
-            };
-            let task =
-                TileTask { key: TileKey { image_id, tile_id: t as u32 }, tile: tiles[t].clone() };
-            match self.reroute(task, avoid) {
-                Some(w) => {
-                    slots[t] = TileSlot::At(w);
-                    sent += 1;
-                }
-                None => slots[t] = TileSlot::Unplaced,
+        worker: usize,
+        res: &TileResult,
+        at: f64,
+        assembled: &mut Tensor,
+        wire_bits: &mut u64,
+    ) {
+        let tile = res.key.tile_id as usize;
+        let mut decoded = None;
+        let ok = if lc.tile_open(tile) {
+            *wire_bits += res.wire_bits();
+            decoded = res.to_tensor();
+            decoded.is_some()
+        } else {
+            true // duplicate or late: the machine counts it, nothing to decode
+        };
+        let acts = lc.handle(Event::ResultArrived { at, tile, worker, ok });
+        let mut rest = Vec::with_capacity(acts.len());
+        for act in acts {
+            if let Action::Accept { tile: t, .. } = act {
+                let (_, th, tw) = self.tile_out;
+                let tensor = decoded.take().expect("Accept without a decoded payload");
+                let (gr, gc) = self.grid.tile_pos(t);
+                assembled.paste_spatial(&tensor, gr * th, gc * tw);
+            } else {
+                rest.push(act);
             }
         }
-        sent
+        self.drive(lc, rest, image_id, tiles);
     }
 
     /// Input partition block: extract tiles, allocate with Algorithm 3,
-    /// push them to the workers. Returns the collection state.
+    /// start the lifecycle machine and push its initial dispatch batch to
+    /// the workers. Returns the collection state.
     fn dispatch(&mut self, x: &Tensor) -> Pending {
         let image_id = self.next_image;
         self.next_image += 1;
         let d = self.grid.tiles();
         let tiles = self.grid.extract(x);
         let alloc = self.allocator.allocate(d, self.stats.speeds(), &mut self.rng);
-        // Round-robin across nodes honoring the allocation counts. A
-        // storage-capped allocator may return Σ alloc < d: the shortfall is
-        // unschedulable and zero-fills immediately (the seed runtime spun
-        // forever here waiting for tiles no node could hold).
-        let placed: usize = alloc.iter().map(|&a| a as usize).sum::<usize>().min(d);
-        let mut slots = vec![TileSlot::Abandoned; d];
-        {
-            let mut remaining = alloc.clone();
-            let mut t = 0usize;
-            while t < placed {
-                for (node, rem) in remaining.iter_mut().enumerate() {
-                    if *rem > 0 && t < placed {
-                        *rem -= 1;
-                        slots[t] = TileSlot::At(node);
-                        t += 1;
-                    }
-                }
-            }
-        }
-        for t in 0..d {
-            let TileSlot::At(node) = slots[t] else { continue };
-            let task =
-                TileTask { key: TileKey { image_id, tile_id: t as u32 }, tile: tiles[t].clone() };
-            if let Err(task) = self.send_to(node, task) {
-                // Worker dead or backlogged: reroute to the fastest live
-                // worker right now rather than waiting for a deadline.
-                slots[t] = match self.reroute(task, node) {
-                    Some(w) => TileSlot::At(w),
-                    None => TileSlot::Unplaced,
-                };
-            }
-        }
-        if !self.live.iter().any(|&l| l) {
-            // Nobody can ever deliver these; don't wait for them.
-            for s in slots.iter_mut() {
-                if *s == TileSlot::Unplaced {
-                    *s = TileSlot::Abandoned;
-                }
-            }
-        }
-        Pending { image_id, alloc, start: Instant::now(), tiles, slots }
+        let start = Instant::now();
+        let (mut lc, acts) = TileLifecycle::begin(
+            self.cfg.policy,
+            self.rel(start),
+            d,
+            &alloc,
+            self.stats.speeds(),
+            &self.live,
+        );
+        self.drive(&mut lc, acts, image_id, &tiles);
+        let at = self.rel(Instant::now());
+        let acts = lc.handle(Event::SendComplete { at });
+        self.drive(&mut lc, acts, image_id, &tiles);
+        Pending { image_id, start, tiles, lc }
     }
 
     /// Statistics collection + reassembly + suffix for one dispatched
@@ -410,62 +432,11 @@ impl AdcnnRuntime {
     /// consumed when their image is collected); earlier-image stragglers
     /// are discarded.
     fn collect(&mut self, pending: Pending, stash: &mut Stash) -> InferOutcome {
-        let Pending { image_id, alloc, start, tiles, mut slots } = pending;
-        let d = self.grid.tiles();
+        let Pending { image_id, start, tiles, mut lc } = pending;
         let k = self.workers();
-        let grid = self.grid;
         let (bc, bh, bw) = self.boundary;
-        let (_, th, tw) = self.tile_out;
         let mut assembled = Tensor::zeros([1, bc, bh, bw]);
-        let mut received = vec![0u32; k];
-        // Algorithm 2 measures "results within the time limit": only
-        // results arriving before the first-armed makespan deadline count
-        // toward a worker's rate. Re-dispatched tiles delivered later still
-        // credit `received`, but must not poison the deliverer's speed
-        // estimate (that feedback loop starves healthy workers).
-        let mut timely = vec![0u32; k];
-        // Arrival time of each worker's latest timely result.
-        let mut last_result_at: Vec<Option<Instant>> = vec![None; k];
-        // Measurement cutoff: the deadline as first armed.
-        let mut cutoff: Option<Instant> = None;
-        // Expected-makespan deadline, armed by the first result; fires
-        // re-dispatch rounds, then zero-fill.
-        let mut deadline: Option<Instant> = None;
-        // Observed first-result time, reused to re-arm after re-dispatch.
-        let mut per_unit: Option<Duration> = None;
-        let max_alloc = alloc.iter().copied().max().unwrap_or(1).max(1);
-        let mut got = vec![false; d];
-        let mut got_total = 0usize;
         let mut wire_bits = 0u64;
-        let mut redispatched = 0u32;
-        let mut rounds = 0u32;
-
-        // Paste one result into the boundary map. Duplicates (re-dispatch
-        // races) and undecodable payloads are skipped; `true` means the
-        // tile was newly credited.
-        let paste = |res: &TileResult,
-                     worker: usize,
-                     got: &mut Vec<bool>,
-                     got_total: &mut usize,
-                     received: &mut Vec<u32>,
-                     wire_bits: &mut u64,
-                     assembled: &mut Tensor|
-         -> bool {
-            let t = res.key.tile_id as usize;
-            if t >= d || got[t] {
-                return false;
-            }
-            *wire_bits += res.wire_bits();
-            if let Some(tensor) = res.to_tensor() {
-                let (gr, gc) = grid.tile_pos(t);
-                assembled.paste_spatial(&tensor, gr * th, gc * tw);
-                got[t] = true;
-                *got_total += 1;
-                received[worker] += 1;
-                return true;
-            }
-            false
-        };
 
         // First drain any stashed results for this image (they arrived
         // while a previous image was being collected). Their *stash-time*
@@ -474,99 +445,55 @@ impl AdcnnRuntime {
         let mut i = 0;
         while i < stash.len() {
             if stash[i].1.key.image_id == image_id {
-                let (worker, res, at) = stash.remove(i);
-                if paste(
-                    &res,
+                let (worker, res, when) = stash.remove(i);
+                let at = self.rel(when);
+                self.ingest(
+                    &mut lc,
+                    image_id,
+                    &tiles,
                     worker,
-                    &mut got,
-                    &mut got_total,
-                    &mut received,
-                    &mut wire_bits,
+                    &res,
+                    at,
                     &mut assembled,
-                ) {
-                    if deadline.is_none() {
-                        let pu = at.duration_since(start);
-                        per_unit = Some(pu);
-                        deadline =
-                            Some(at + pu.mul_f64(1.25 * (max_alloc - 1) as f64) + self.cfg.t_l);
-                        cutoff = deadline;
-                    }
-                    if cutoff.is_none_or(|c| at <= c) {
-                        timely[worker] += 1;
-                        last_result_at[worker] = Some(at);
-                    }
-                }
+                    &mut wire_bits,
+                );
             } else {
                 i += 1;
             }
         }
 
-        let abandoned = slots.iter().filter(|s| **s == TileSlot::Abandoned).count();
-        let hard_deadline = Instant::now() + self.cfg.hard_timeout;
-        while got_total + abandoned < d {
-            let limit = deadline.map_or(hard_deadline, |dl| dl.min(hard_deadline));
+        while !lc.is_complete() {
+            // The machine owns the deadline arithmetic; the driver only
+            // turns `next_deadline()` into a `recv_timeout` budget.
+            let limit = self.epoch + Duration::from_secs_f64(lc.next_deadline());
             let now = Instant::now();
             if now >= limit {
-                // Deadline fired. Hard timeout or exhausted recovery
-                // budget → zero-fill; otherwise speculatively re-dispatch
-                // the missing tiles to the fastest live workers (the
-                // `got[]` dedup makes duplicate results harmless).
-                if limit >= hard_deadline || rounds >= self.cfg.max_redispatch_rounds {
-                    break;
-                }
-                let missing: Vec<usize> =
-                    (0..d).filter(|&t| !got[t] && slots[t] != TileSlot::Abandoned).collect();
-                if missing.is_empty() {
-                    break;
-                }
-                let sent = self.redispatch(image_id, &missing, &tiles, &mut slots);
-                rounds += 1;
-                redispatched += sent;
-                if sent == 0 {
-                    break; // nowhere live to send: zero-fill now
-                }
-                // Re-arm: expected time for the live workers to absorb the
-                // re-dispatched tiles, with the same 25% slack + T_L grace.
-                let pu = per_unit.unwrap_or(self.cfg.t_l);
-                let live_n = self.live.iter().filter(|&&l| l).count().max(1);
-                let share = missing.len().div_ceil(live_n);
-                deadline = Some(Instant::now() + pu.mul_f64(1.25 * share as f64) + self.cfg.t_l);
+                // `max` guards the f64↔Duration roundtrip: the machine
+                // must never see a fire time before its own deadline.
+                let at = self.rel(now).max(lc.next_deadline());
+                let acts = lc.handle(Event::DeadlineFired { at });
+                self.drive(&mut lc, acts, image_id, &tiles);
                 continue;
             }
             match self.result_rx.recv_timeout(limit - now) {
                 Ok((worker, res)) => {
                     use std::cmp::Ordering;
+                    let when = Instant::now();
                     match res.key.image_id.cmp(&image_id) {
                         Ordering::Less => continue, // straggler: discard
-                        Ordering::Greater => {
-                            stash.push((worker, res, Instant::now())); // future image
-                            continue;
-                        }
+                        Ordering::Greater => stash.push((worker, res, when)), // future image
                         Ordering::Equal => {
-                            if paste(
-                                &res,
+                            let at = self.rel(when);
+                            self.ingest(
+                                &mut lc,
+                                image_id,
+                                &tiles,
                                 worker,
-                                &mut got,
-                                &mut got_total,
-                                &mut received,
-                                &mut wire_bits,
+                                &res,
+                                at,
                                 &mut assembled,
-                            ) {
-                                let now = Instant::now();
-                                if deadline.is_none() {
-                                    let pu = now.duration_since(start);
-                                    per_unit = Some(pu);
-                                    deadline = Some(
-                                        now + pu.mul_f64(1.25 * (max_alloc - 1) as f64)
-                                            + self.cfg.t_l,
-                                    );
-                                    cutoff = deadline;
-                                }
-                                if cutoff.is_none_or(|c| now <= c) {
-                                    timely[worker] += 1;
-                                    last_result_at[worker] = Some(now);
-                                }
-                            }
+                                &mut wire_bits,
+                            );
                         }
                     }
                 }
@@ -578,27 +505,12 @@ impl AdcnnRuntime {
                         if self.live[w] {
                             self.live[w] = false;
                             self.stats.mark_failed(w);
+                            lc.handle(Event::WorkerDied { worker: w });
                         }
                     }
-                    break;
+                    let acts = lc.handle(Event::Abort);
+                    self.drive(&mut lc, acts, image_id, &tiles);
                 }
-            }
-        }
-
-        // Algorithm 2 update: per-node throughput — in-time results per
-        // elapsed second, scaled by T_L to match the paper's "results
-        // within the time limit" unit. Nodes with no work this image keep
-        // their previous estimate.
-        for node in 0..k {
-            if alloc[node] > 0 {
-                let rate = match last_result_at[node] {
-                    Some(t) if timely[node] > 0 => {
-                        let elapsed = t.duration_since(start).as_secs_f64().max(1e-6);
-                        timely[node] as f64 / elapsed * self.cfg.t_l.as_secs_f64()
-                    }
-                    _ => 0.0,
-                };
-                self.stats.record_node(node, rate);
             }
         }
 
@@ -609,15 +521,16 @@ impl AdcnnRuntime {
             .suffix
             .forward_infer_range_with(&assembled, 0..n_suffix, &mut self.infer_scratch)
             .to_tensor();
-        let zero_filled = (d - got_total) as u32;
+        let c = lc.counters();
+        #[allow(deprecated)] // `dropped` is kept as an alias of `zero_filled`
         InferOutcome {
             output,
             latency: start.elapsed(),
-            alloc,
-            received,
-            dropped: zero_filled,
-            zero_filled,
-            redispatched,
+            alloc: lc.alloc().to_vec(),
+            received: c.received.clone(),
+            dropped: c.zero_filled,
+            zero_filled: c.zero_filled,
+            redispatched: c.redispatched,
             wire_bits,
             worker_stats: self.worker_stats.iter().map(|s| s.snapshot()).collect(),
         }
@@ -643,6 +556,44 @@ impl Drop for AdcnnRuntime {
             let _ = h.join();
         }
     }
+}
+
+/// Replay an abstract event trace through the runtime's *time mapping* and
+/// the shared lifecycle machine, returning the Debug-formatted decision
+/// sequence. Every timestamp makes the same journey it makes in
+/// production: abstract seconds → an `Instant` offset from an epoch → back
+/// to abstract seconds at the machine boundary. The cross-driver
+/// differential test asserts this sequence is byte-identical to the
+/// simulator driver's (`adcnn_netsim::replay_lifecycle_trace`).
+pub fn replay_lifecycle_trace(
+    policy: LifecyclePolicy,
+    d: usize,
+    alloc: &[u32],
+    speeds: &[f64],
+    live: &[bool],
+    trace: &[Event],
+) -> Vec<String> {
+    let epoch = Instant::now();
+    // The production mapping, both directions (ns-grain, so millisecond
+    // trace timestamps survive the roundtrip bit-exactly).
+    let roundtrip = |at: f64| -> f64 {
+        let instant = epoch + Duration::from_secs_f64(at);
+        instant.duration_since(epoch).as_secs_f64()
+    };
+    let (mut lc, acts) = TileLifecycle::begin(policy, roundtrip(0.0), d, alloc, speeds, live);
+    let mut out: Vec<String> = acts.iter().map(|a| format!("{a:?}")).collect();
+    for ev in trace {
+        let ev = match *ev {
+            Event::SendComplete { at } => Event::SendComplete { at: roundtrip(at) },
+            Event::ResultArrived { at, tile, worker, ok } => {
+                Event::ResultArrived { at: roundtrip(at), tile, worker, ok }
+            }
+            Event::DeadlineFired { at } => Event::DeadlineFired { at: roundtrip(at) },
+            other => other,
+        };
+        out.extend(lc.handle(ev).iter().map(|a| format!("{a:?}")));
+    }
+    out
 }
 
 #[cfg(test)]
@@ -676,7 +627,7 @@ mod tests {
             let x = rand_image(100 + s);
             let want = local.infer(&x);
             let out = rt.infer(&x);
-            assert_eq!(out.dropped, 0, "dropped tiles: {:?}", out.received);
+            assert_eq!(out.zero_filled, 0, "dropped tiles: {:?}", out.received);
             assert!(
                 out.output.approx_eq(&want, 2e-3),
                 "distributed output diverges from local model"
@@ -696,7 +647,7 @@ mod tests {
             WorkerOptions::default(),
             WorkerOptions { artificial_delay: Duration::from_millis(100), ..Default::default() },
         ];
-        let cfg = RuntimeConfig { t_l: Duration::from_millis(50), ..Default::default() };
+        let cfg = RuntimeConfig::with_t_l(Duration::from_millis(50));
         let mut rt = AdcnnRuntime::launch(model, &opts, cfg);
         let mut last_alloc = vec![0u32; 3];
         for s in 0..6 {
@@ -715,7 +666,7 @@ mod tests {
     #[test]
     fn failed_worker_tiles_recovered_by_redispatch_then_starved() {
         // A worker that goes silent from tile 0 used to cost one image's
-        // worth of zero-filled tiles (§6.3); the lifecycle manager now
+        // worth of zero-filled tiles (§6.3); the lifecycle machine now
         // recovers them through re-dispatch well before the hard timeout.
         let grid = TileGrid::new(4, 4);
         let model = build_model(9, grid);
@@ -723,14 +674,13 @@ mod tests {
             WorkerOptions::default(),
             WorkerOptions { fail_after_tiles: Some(0), ..Default::default() },
         ];
-        let cfg = RuntimeConfig { t_l: Duration::from_millis(50), ..Default::default() };
+        let cfg = RuntimeConfig::with_t_l(Duration::from_millis(50));
         let mut rt = AdcnnRuntime::launch(model, &opts, cfg);
         let first = rt.infer(&rand_image(1));
-        assert_eq!(first.dropped, 0, "re-dispatch should recover every tile");
-        assert_eq!(first.zero_filled, 0);
+        assert_eq!(first.zero_filled, 0, "re-dispatch should recover every tile");
         assert!(first.redispatched > 0, "dead worker's tiles must be re-dispatched");
         assert!(
-            first.latency < cfg.hard_timeout / 2,
+            first.latency.as_secs_f64() < cfg.policy.hard_timeout / 2.0,
             "recovery must not wait for the hard timeout: {:?}",
             first.latency
         );
@@ -740,12 +690,13 @@ mod tests {
         }
         let last = rt.infer(&rand_image(99));
         assert_eq!(last.alloc[1], 0, "dead worker still allocated: {:?}", last.alloc);
-        assert_eq!(last.dropped, 0, "steady state should not drop");
+        assert_eq!(last.zero_filled, 0, "steady state should not drop");
         assert_eq!(last.redispatched, 0, "steady state should not re-dispatch");
         rt.shutdown();
     }
 
     #[test]
+    #[allow(deprecated)] // exercises the `dropped` alias on purpose
     fn zero_fill_fallback_when_redispatch_disabled() {
         // `max_redispatch_rounds: 0` restores the paper's pure zero-fill
         // policy: a silent worker's tiles are dropped, not recovered.
@@ -755,16 +706,13 @@ mod tests {
             WorkerOptions::default(),
             WorkerOptions { fail_after_tiles: Some(0), ..Default::default() },
         ];
-        let cfg = RuntimeConfig {
-            t_l: Duration::from_millis(50),
-            max_redispatch_rounds: 0,
-            ..Default::default()
-        };
+        let mut cfg = RuntimeConfig::with_t_l(Duration::from_millis(50));
+        cfg.policy.max_redispatch_rounds = 0;
         let mut rt = AdcnnRuntime::launch(model, &opts, cfg);
         let first = rt.infer(&rand_image(1));
-        assert!(first.dropped > 0, "zero-fill policy should drop the dead worker's tiles");
+        assert!(first.zero_filled > 0, "zero-fill policy should drop the dead worker's tiles");
         assert_eq!(first.redispatched, 0);
-        assert_eq!(first.dropped, first.zero_filled);
+        assert_eq!(first.dropped, first.zero_filled, "legacy alias must track zero_filled");
         rt.shutdown();
     }
 
@@ -780,14 +728,18 @@ mod tests {
             WorkerOptions::default(),
             WorkerOptions { fail_after_tiles: Some(3), ..Default::default() },
         ];
-        let cfg = RuntimeConfig { t_l: Duration::from_millis(50), ..Default::default() };
+        let cfg = RuntimeConfig::with_t_l(Duration::from_millis(50));
         let mut rt = AdcnnRuntime::launch(model, &opts, cfg);
         let x = rand_image(7);
         let want = local.infer(&x);
         let out = rt.infer(&x);
-        assert_eq!(out.dropped, 0, "mid-image death must be recovered: {:?}", out.received);
+        assert_eq!(out.zero_filled, 0, "mid-image death must be recovered: {:?}", out.received);
         assert!(out.redispatched > 0, "expected re-dispatched tiles");
-        assert!(out.latency < cfg.hard_timeout / 2, "recovery waited too long: {:?}", out.latency);
+        assert!(
+            out.latency.as_secs_f64() < cfg.policy.hard_timeout / 2.0,
+            "recovery waited too long: {:?}",
+            out.latency
+        );
         assert!(out.output.approx_eq(&want, 2e-3), "recovered output diverges");
         rt.shutdown();
     }
@@ -807,14 +759,14 @@ mod tests {
                 ..Default::default()
             },
         ];
-        let cfg = RuntimeConfig { t_l: Duration::from_millis(50), ..Default::default() };
+        let cfg = RuntimeConfig::with_t_l(Duration::from_millis(50));
         let mut rt = AdcnnRuntime::launch(model, &opts, cfg);
         let first = rt.infer(&rand_image(1));
-        assert_eq!(first.dropped, 0, "death mid-image must be recovered");
+        assert_eq!(first.zero_filled, 0, "death mid-image must be recovered");
         // By the next image the disconnect has been observed: the worker
         // is supervised out and everything routes to the live one.
         let second = rt.infer(&rand_image(2));
-        assert_eq!(second.dropped, 0);
+        assert_eq!(second.zero_filled, 0);
         assert!(!rt.live_workers()[1], "disconnect not detected");
         assert_eq!(rt.speeds()[1], 0.0, "dead worker's speed must be zeroed");
         let third = rt.infer(&rand_image(3));
@@ -832,12 +784,12 @@ mod tests {
         let model = build_model(25, grid);
         let opts =
             [WorkerOptions::default(), WorkerOptions { corrupt_prob: 1.0, ..Default::default() }];
-        let cfg = RuntimeConfig { t_l: Duration::from_millis(50), ..Default::default() };
+        let cfg = RuntimeConfig::with_t_l(Duration::from_millis(50));
         let mut rt = AdcnnRuntime::launch(model, &opts, cfg);
         let x = rand_image(9);
         let want = local.infer(&x);
         let out = rt.infer(&x);
-        assert_eq!(out.dropped, 0, "corrupt tiles must be recovered");
+        assert_eq!(out.zero_filled, 0, "corrupt tiles must be recovered");
         assert!(out.redispatched > 0);
         assert!(out.output.approx_eq(&want, 2e-3));
         rt.shutdown();
@@ -856,8 +808,7 @@ mod tests {
         rt.set_allocator(TileAllocator::with_storage(100, vec![300, 300]));
         let out = rt.infer(&rand_image(3));
         assert_eq!(out.alloc.iter().sum::<u32>(), 6);
-        assert_eq!(out.dropped, 10, "shortfall must be dropped: {:?}", out.alloc);
-        assert_eq!(out.zero_filled, 10);
+        assert_eq!(out.zero_filled, 10, "shortfall must be dropped: {:?}", out.alloc);
         assert_eq!(out.redispatched, 0, "unschedulable tiles must not be re-dispatched");
         assert!(
             out.latency < Duration::from_secs(2),
@@ -875,7 +826,7 @@ mod tests {
             AdcnnRuntime::launch(model, &[WorkerOptions::default(); 2], RuntimeConfig::default());
         let out = rt.infer(&rand_image(4));
         assert_eq!(out.worker_stats.len(), 2);
-        if out.dropped == 0 && out.redispatched == 0 {
+        if out.zero_filled == 0 && out.redispatched == 0 {
             let total: u64 = out.worker_stats.iter().map(|s| s.tiles).sum();
             assert_eq!(total, 4, "every received tile must be counted");
             assert!(out.worker_stats.iter().any(|s| s.compute_ns > 0));
@@ -917,7 +868,7 @@ mod tests {
             WorkerOptions::default(),
             WorkerOptions { artificial_delay: Duration::from_millis(30), ..Default::default() },
         ];
-        let cfg = RuntimeConfig { t_l: Duration::from_millis(10), ..Default::default() };
+        let cfg = RuntimeConfig::with_t_l(Duration::from_millis(10));
         let mut rt = AdcnnRuntime::launch(model, &opts, cfg);
         let mut local = build_model(13, grid);
         let x = rand_image(42);
@@ -931,7 +882,7 @@ mod tests {
             rt.infer(&x);
         }
         let out = rt.infer(&x);
-        if out.dropped == 0 {
+        if out.zero_filled == 0 {
             assert!(out.output.approx_eq(&want, 2e-3));
         }
         rt.shutdown();
@@ -963,12 +914,12 @@ mod tests {
             WorkerOptions::default(),
             WorkerOptions { drop_prob: 0.5, fault_seed: 3, ..Default::default() },
         ];
-        let cfg = RuntimeConfig { t_l: Duration::from_millis(50), ..Default::default() };
+        let cfg = RuntimeConfig::with_t_l(Duration::from_millis(50));
         let mut rt = AdcnnRuntime::launch(model, &opts, cfg);
         let mut total_redispatched = 0u32;
         for s in 0..4 {
             let out = rt.infer(&rand_image(200 + s));
-            assert_eq!(out.dropped, 0, "lossy worker must be recovered, image {s}");
+            assert_eq!(out.zero_filled, 0, "lossy worker must be recovered, image {s}");
             total_redispatched += out.redispatched;
         }
         assert!(total_redispatched > 0, "a 50% lossy worker must trigger recovery");
@@ -1021,7 +972,7 @@ mod stream_tests {
         rt.shutdown();
         assert_eq!(stream.len(), 6);
         for (s, r) in stream.iter().zip(&seq) {
-            assert_eq!(s.dropped, 0);
+            assert_eq!(s.zero_filled, 0);
             assert!(s.output.approx_eq(r, 1e-4), "streamed output diverged");
         }
     }
@@ -1042,7 +993,7 @@ mod stream_tests {
         let got = rt.infer_stream(&images);
         rt.shutdown();
         for (g, w) in got.iter().zip(&want) {
-            assert_eq!(g.dropped, 0);
+            assert_eq!(g.zero_filled, 0);
             assert!(g.output.approx_eq(w, 2e-3));
         }
     }
@@ -1059,7 +1010,7 @@ mod stream_tests {
             WorkerOptions { artificial_delay: Duration::from_millis(15), ..Default::default() },
             WorkerOptions { artificial_delay: Duration::from_millis(15), ..Default::default() },
         ];
-        let cfg = RuntimeConfig { t_l: Duration::from_millis(50), ..Default::default() };
+        let cfg = RuntimeConfig::with_t_l(Duration::from_millis(50));
         let mut rt = AdcnnRuntime::launch(model, &workers, cfg);
         let images = rand_images(8, 17);
         let got = rt.infer_stream(&images);
@@ -1081,13 +1032,13 @@ mod stream_tests {
             WorkerOptions::default(),
             WorkerOptions { fail_after_tiles: Some(2), ..Default::default() },
         ];
-        let cfg = RuntimeConfig { t_l: Duration::from_millis(40), ..Default::default() };
+        let cfg = RuntimeConfig::with_t_l(Duration::from_millis(40));
         let mut rt = AdcnnRuntime::launch(build_model(29, grid), &workers, cfg);
         let got = rt.infer_stream(&images);
         rt.shutdown();
         assert_eq!(got.len(), 8);
         // the crash is absorbed by re-dispatch, never by zero-fill …
-        assert!(got.iter().all(|o| o.dropped == 0), "no image may lose tiles");
+        assert!(got.iter().all(|o| o.zero_filled == 0), "no image may lose tiles");
         assert!(got.iter().any(|o| o.redispatched > 0), "the crash must trigger recovery");
         // … and the statistics still starve the dead worker out
         assert_eq!(got.last().unwrap().alloc[1], 0);
@@ -1114,7 +1065,7 @@ mod stream_tests {
                 ..Default::default()
             },
         ];
-        let cfg = RuntimeConfig { t_l: Duration::from_millis(10), ..Default::default() };
+        let cfg = RuntimeConfig::with_t_l(Duration::from_millis(10));
         let mut rt = AdcnnRuntime::launch(build_model(47, grid), &workers, cfg);
         let got = rt.infer_stream(&images);
         rt.shutdown();
@@ -1124,7 +1075,7 @@ mod stream_tests {
             got.iter().map(|o| o.redispatched).collect::<Vec<_>>()
         );
         for (i, (g, w)) in got.iter().zip(&want).enumerate() {
-            if g.dropped == 0 {
+            if g.zero_filled == 0 {
                 assert!(
                     g.output.approx_eq(w, 2e-3),
                     "image {i} diverged despite full tile set (redispatched {})",

@@ -13,5 +13,6 @@
 pub mod central;
 pub mod worker;
 
+pub use adcnn_core::lifecycle::{LifecyclePolicy, TimerPolicy};
 pub use central::{AdcnnRuntime, InferOutcome, RuntimeConfig};
 pub use worker::{WorkerOptions, WorkerStats, WorkerStatsSnapshot};

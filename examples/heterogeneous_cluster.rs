@@ -35,15 +35,15 @@ fn main() {
         WorkerOptions { artificial_delay: Duration::from_millis(90), ..Default::default() },
         WorkerOptions { fail_after_tiles: Some(12), ..Default::default() },
     ];
-    let cfg = RuntimeConfig { t_l: Duration::from_millis(40), ..Default::default() };
+    let cfg = RuntimeConfig::with_t_l(Duration::from_millis(40));
     let mut rt = AdcnnRuntime::launch(model, &workers, cfg);
 
     let data = shapes(1, 24, 32, 9);
     let dims = data.test_x.dims().to_vec();
     let stride: usize = dims[1..].iter().product();
 
-    println!("img | alloc (n0 n1 n2 n3) | received      | dropped | speeds s_k");
-    println!("----+---------------------+---------------+---------+-----------");
+    println!("img | alloc (n0 n1 n2 n3) | received      | zeroed | speeds s_k");
+    println!("----+---------------------+---------------+--------+-----------");
     for i in 0..24.min(data.test_len()) {
         let img = Tensor::from_vec(
             [1, dims[1], dims[2], dims[3]],
@@ -52,7 +52,7 @@ fn main() {
         let out = rt.infer(&img);
         let speeds: Vec<String> = rt.speeds().iter().map(|s| format!("{s:.1}")).collect();
         println!(
-            "{i:>3} | {:>4} {:>4} {:>4} {:>4} | {:>3} {:>3} {:>3} {:>3} | {:>7} | {}",
+            "{i:>3} | {:>4} {:>4} {:>4} {:>4} | {:>3} {:>3} {:>3} {:>3} | {:>6} | {}",
             out.alloc[0],
             out.alloc[1],
             out.alloc[2],
@@ -61,7 +61,7 @@ fn main() {
             out.received[1],
             out.received[2],
             out.received[3],
-            out.dropped,
+            out.zero_filled,
             speeds.join(" ")
         );
     }

@@ -82,7 +82,7 @@ fn main() {
             data.test_x.as_slice()[i * stride..(i + 1) * stride].to_vec(),
         );
         let out = runtime.infer(&img);
-        assert_eq!(out.dropped, 0, "healthy cluster must not drop tiles");
+        assert_eq!(out.zero_filled, 0, "healthy cluster must not drop tiles");
         if accuracy(&out.output, &[data.test_y[i]]) > 0.5 {
             correct += 1;
         }

@@ -96,7 +96,7 @@ fn retrained_model_serves_correctly_on_cluster() {
             data.test_x.as_slice()[i * stride..(i + 1) * stride].to_vec(),
         );
         let out = rt.infer(&img);
-        assert_eq!(out.dropped, 0);
+        assert_eq!(out.zero_filled, 0);
         let row = out.output.as_slice();
         let pred = (0..row.len()).max_by(|&a, &b| row[a].total_cmp(&row[b])).unwrap();
         if pred == data.test_y[i] {
@@ -132,7 +132,7 @@ fn cluster_survives_worker_death_without_losing_tiles() {
         WorkerOptions { fail_after_tiles: Some(3), ..Default::default() },
         WorkerOptions { fail_after_tiles: Some(10), ..Default::default() },
     ];
-    let cfg = RuntimeConfig { t_l: std::time::Duration::from_millis(50), ..Default::default() };
+    let cfg = RuntimeConfig::with_t_l(std::time::Duration::from_millis(50));
     let mut rt = AdcnnRuntime::launch(model, &opts, cfg);
     let images: Vec<Tensor> =
         (0..8).map(|_| Tensor::randn([1, 3, 32, 32], 0.5, &mut rng)).collect();
@@ -140,14 +140,14 @@ fn cluster_survives_worker_death_without_losing_tiles() {
     let start = std::time::Instant::now();
     let got = rt.infer_stream(&images);
     let elapsed = start.elapsed();
-    assert!(got.iter().all(|o| o.dropped == 0 && o.zero_filled == 0), "tiles were lost");
+    assert!(got.iter().all(|o| o.zero_filled == 0), "tiles were lost");
     assert!(got.iter().any(|o| o.redispatched > 0), "deaths must trigger re-dispatch");
     for (g, w) in got.iter().zip(&want) {
         assert!(g.output.approx_eq(w, 2e-3), "recovered output diverged from local model");
     }
     // Recovery must come from the deadline machinery, not the hard timeout.
     assert!(
-        elapsed < cfg.hard_timeout,
+        elapsed.as_secs_f64() < cfg.policy.hard_timeout,
         "stream of 8 images took {elapsed:?}; recovery waited for the hard timeout"
     );
     // Supervision: both dead workers end up starved and no longer needed.

@@ -1,0 +1,166 @@
+//! Differential test for the sans-IO tile lifecycle: replay identical
+//! event traces through the runtime driver's time mapping
+//! (`Instant`-roundtripped abstract seconds) and the simulator driver's
+//! (identity), and assert the decision sequences — dispatch/re-dispatch
+//! targets, zero-fill sets, rate-update attribution, completion — are
+//! byte-identical. This is the contract that makes a deployment plan
+//! validated in `adcnn-netsim` trustworthy on `adcnn-runtime`: both sides
+//! drive the same `adcnn_core::lifecycle::TileLifecycle`, and neither
+//! side's clock plumbing may perturb a single decision.
+//!
+//! Trace timestamps are millisecond-grain so the runtime's
+//! `f64 → Duration → f64` roundtrip is bit-exact.
+
+use adcnn_core::lifecycle::{Event, LifecyclePolicy, TimerPolicy};
+
+fn policy() -> LifecyclePolicy {
+    LifecyclePolicy { t_l: 0.030, ..Default::default() }
+}
+
+/// Replay through both drivers and assert byte-identical decisions.
+fn assert_identical(
+    policy: LifecyclePolicy,
+    d: usize,
+    alloc: &[u32],
+    speeds: &[f64],
+    live: &[bool],
+    trace: &[Event],
+) -> Vec<String> {
+    let rt = adcnn_runtime::central::replay_lifecycle_trace(policy, d, alloc, speeds, live, trace);
+    let sim = adcnn_netsim::replay_lifecycle_trace(policy, d, alloc, speeds, live, trace);
+    assert_eq!(rt, sim, "runtime and simulator drivers disagree on a decision sequence");
+    assert!(!rt.is_empty(), "a non-trivial trace must produce decisions");
+    rt
+}
+
+#[test]
+fn healthy_completion_is_identical() {
+    let trace = [
+        Event::TileDelivered { tile: 0 },
+        Event::TileDelivered { tile: 1 },
+        Event::TileDelivered { tile: 2 },
+        Event::TileDelivered { tile: 3 },
+        Event::SendComplete { at: 0.004 },
+        Event::ResultArrived { at: 0.020, tile: 0, worker: 0, ok: true },
+        Event::ResultArrived { at: 0.021, tile: 1, worker: 1, ok: true },
+        Event::ResultArrived { at: 0.030, tile: 2, worker: 0, ok: true },
+        Event::ResultArrived { at: 0.032, tile: 3, worker: 1, ok: true },
+    ];
+    let log = assert_identical(policy(), 4, &[2, 2], &[1.0, 1.0], &[true, true], &trace);
+    // dispatch round-robin, one Accept per tile, rates for both, Complete
+    assert_eq!(log.iter().filter(|l| l.starts_with("Dispatch")).count(), 4);
+    assert_eq!(log.iter().filter(|l| l.starts_with("Accept")).count(), 4);
+    assert_eq!(log.iter().filter(|l| l.starts_with("RecordRate")).count(), 2);
+    assert_eq!(log.last().unwrap(), "Complete");
+}
+
+#[test]
+fn dead_worker_redispatch_then_zero_fill_is_identical() {
+    // Worker 0 never answers; the deadline re-dispatches its tiles to
+    // worker 1, one recovery succeeds, the next deadline zero-fills the
+    // rest. Deadline times are computed from the policy formula so the
+    // machine treats them as live, not stale.
+    let p = LifecyclePolicy { max_redispatch_rounds: 1, ..policy() };
+    // first result at 10 ms → span = pu*slack*(max_alloc-1) + t_l
+    let dl1 = 0.010 + 0.010 * p.slack + p.t_l;
+    // re-dispatch of 2 tiles to 1 candidate → span = pu*slack*2 + t_l
+    let dl2 = dl1 + 0.010 * p.slack * 2.0 + p.t_l;
+    let trace = [
+        Event::TileDelivered { tile: 0 },
+        Event::TileDelivered { tile: 1 },
+        Event::TileDelivered { tile: 2 },
+        Event::TileDelivered { tile: 3 },
+        Event::SendComplete { at: 0.004 },
+        Event::ResultArrived { at: 0.010, tile: 1, worker: 1, ok: true },
+        Event::ResultArrived { at: 0.012, tile: 3, worker: 1, ok: true },
+        Event::WorkerDied { worker: 0 },
+        Event::DeadlineFired { at: dl1 },
+        Event::ResultArrived { at: dl1 + 0.005, tile: 0, worker: 1, ok: true },
+        Event::DeadlineFired { at: dl2 },
+    ];
+    let log = assert_identical(p, 4, &[2, 2], &[1.0, 5.0], &[true, true], &trace);
+    assert_eq!(log.iter().filter(|l| l.starts_with("Redispatch")).count(), 2);
+    assert!(log.iter().any(|l| l.starts_with("ZeroFill")), "{log:?}");
+    assert_eq!(log.last().unwrap(), "Complete");
+}
+
+#[test]
+fn send_rejection_reroute_is_identical() {
+    // Worker 2's queue refuses both of its tiles; they must hop to the
+    // fastest untried live workers in the same order on both drivers.
+    let trace = [
+        Event::SendRejected { tile: 2, worker: 2 },
+        Event::SendRejected { tile: 5, worker: 2 },
+        Event::SendComplete { at: 0.003 },
+        Event::ResultArrived { at: 0.011, tile: 0, worker: 0, ok: true },
+        Event::ResultArrived { at: 0.012, tile: 1, worker: 1, ok: true },
+        Event::ResultArrived { at: 0.013, tile: 2, worker: 1, ok: true },
+        Event::ResultArrived { at: 0.014, tile: 3, worker: 0, ok: true },
+        Event::ResultArrived { at: 0.015, tile: 4, worker: 1, ok: true },
+        Event::ResultArrived { at: 0.016, tile: 5, worker: 1, ok: true },
+    ];
+    let log =
+        assert_identical(policy(), 6, &[2, 2, 2], &[1.0, 2.0, 0.5], &[true, true, true], &trace);
+    // the two rejected tiles are re-dispatched as fresh Dispatch actions
+    assert_eq!(log.iter().filter(|l| l.starts_with("Dispatch")).count(), 8);
+    assert_eq!(log.last().unwrap(), "Complete");
+}
+
+#[test]
+fn duplicate_and_corrupt_handling_is_identical() {
+    let trace = [
+        Event::TileDelivered { tile: 0 },
+        Event::TileDelivered { tile: 1 },
+        Event::SendComplete { at: 0.002 },
+        // corrupt first copy: tile stays open
+        Event::ResultArrived { at: 0.010, tile: 0, worker: 0, ok: false },
+        // good copy accepted
+        Event::ResultArrived { at: 0.014, tile: 0, worker: 0, ok: true },
+        // duplicate from the other worker: counted, no action
+        Event::ResultArrived { at: 0.015, tile: 0, worker: 1, ok: true },
+        Event::ResultArrived { at: 0.016, tile: 1, worker: 1, ok: true },
+    ];
+    let log = assert_identical(policy(), 2, &[1, 1], &[1.0, 1.0], &[true, true], &trace);
+    assert_eq!(log.iter().filter(|l| l.starts_with("Accept")).count(), 2);
+    assert_eq!(log.last().unwrap(), "Complete");
+}
+
+#[test]
+fn after_send_and_wait_all_policies_are_identical() {
+    // AfterSend: T_L fires before anything returns → everything zero-fills.
+    let p = LifecyclePolicy { timer: TimerPolicy::AfterSend, ..policy() };
+    let trace = [
+        Event::SendComplete { at: 0.005 },
+        Event::DeadlineFired { at: 0.035 },
+        Event::ResultArrived { at: 0.040, tile: 0, worker: 0, ok: true }, // late
+    ];
+    let log = assert_identical(p, 2, &[1, 1], &[1.0, 1.0], &[true, true], &trace);
+    assert!(log.iter().any(|l| l.starts_with("ZeroFill")));
+
+    // WaitAll: a pre-hard-timeout fire is ignored; the hard timeout closes.
+    let p = LifecyclePolicy { timer: TimerPolicy::WaitAll, hard_timeout: 2.0, ..policy() };
+    let trace = [
+        Event::SendComplete { at: 0.005 },
+        Event::ResultArrived { at: 0.020, tile: 0, worker: 0, ok: true },
+        Event::DeadlineFired { at: 1.0 }, // ignored: WaitAll never arms
+        Event::DeadlineFired { at: 2.0 }, // the hard timeout
+    ];
+    let log = assert_identical(p, 2, &[1, 1], &[1.0, 1.0], &[true, true], &trace);
+    assert!(log.iter().any(|l| l.starts_with("ZeroFill")));
+    assert_eq!(log.last().unwrap(), "Complete");
+}
+
+#[test]
+fn storage_shortfall_and_abort_are_identical() {
+    // Σ alloc = 2 < d = 4 (storage caps): the shortfall is abandoned; an
+    // abort then zero-fills whatever is still open.
+    let trace = [
+        Event::SendComplete { at: 0.002 },
+        Event::ResultArrived { at: 0.010, tile: 0, worker: 0, ok: true },
+        Event::Abort,
+    ];
+    let log = assert_identical(policy(), 4, &[1, 1], &[1.0, 1.0], &[true, true], &trace);
+    assert_eq!(log.iter().filter(|l| l.starts_with("Dispatch")).count(), 2);
+    assert!(log.iter().any(|l| l.starts_with("ZeroFill")));
+    assert_eq!(log.last().unwrap(), "Complete");
+}
