@@ -18,6 +18,12 @@ cargo test -q
 echo "==> cargo clippy -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> quickstart smoke run"
+# The README's front-door example must actually run end to end (train →
+# retrain → distributed serve); QUICKSTART_SMOKE shrinks the budgets so
+# this finishes in seconds.
+QUICKSTART_SMOKE=1 cargo run --release --example quickstart >/dev/null
+
 echo "==> record GEMM baseline (results/BENCH_gemm.json)"
 # The micro bench's custom main records the packed-vs-seed speedup before
 # the criterion groups run.

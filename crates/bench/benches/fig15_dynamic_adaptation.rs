@@ -6,9 +6,11 @@
 //! 5/5/3/3).
 
 use adcnn_bench::{emit_json, print_table};
-use adcnn_netsim::{AdcnnSim, AdcnnSimConfig, ThrottleSchedule};
+use adcnn_core::obs::{MetricsSink, MetricsSnapshot};
+use adcnn_netsim::{AdcnnSim, AdcnnSimConfig, SinkHandle, ThrottleSchedule};
 use adcnn_nn::zoo;
 use serde::Serialize;
+use std::sync::Arc;
 
 #[derive(Serialize)]
 struct Output {
@@ -26,6 +28,7 @@ struct Output {
     steady_redispatched_per_image_static: f64,
     static_latency_ms: f64,
     timeline: Vec<(usize, f64)>,
+    metrics: MetricsSnapshot,
 }
 
 fn main() {
@@ -34,13 +37,20 @@ fn main() {
     let throttle_img = 50usize;
 
     // First pass at full speed to find the wall-clock time of image 50.
-    let mut warm = AdcnnSimConfig::paper_testbed(m.clone(), 8);
-    warm.images = images;
-    warm.pipeline = false;
+    let warm = AdcnnSimConfig::builder(m.clone(), 8)
+        .images(images)
+        .pipeline(false)
+        .build()
+        .expect("valid sim config");
     let warm_run = AdcnnSim::new(warm.clone()).run();
     let t_half = warm_run.images[throttle_img].done_at;
 
+    // The adaptive run carries a MetricsSink so the emitted record includes
+    // the run's full observability counters/histograms alongside the
+    // figure's latency numbers.
+    let metrics = Arc::new(MetricsSink::new());
     let mut cfg = warm;
+    cfg.sink = SinkHandle::new(metrics.clone());
     for i in 4..6 {
         cfg.nodes[i].throttle = ThrottleSchedule::throttle_at(t_half, 0.45);
     }
@@ -49,8 +59,11 @@ fn main() {
     }
     let run = AdcnnSim::new(cfg.clone()).run();
     // No-adaptation control: identical throttling, static equal allocation.
+    // Drop the sink so the control run does not pollute the adaptive
+    // run's counters.
     let mut static_cfg = cfg;
     static_cfg.adaptive = false;
+    static_cfg.sink = SinkHandle::null();
     let static_run = AdcnnSim::new(static_cfg).run();
 
     let mean = |range: std::ops::Range<usize>| {
@@ -112,6 +125,22 @@ fn main() {
          straggler costs recovery latency instead of accuracy; Algorithms 2+3 \
          eliminate even that steady-state recovery traffic"
     );
+    let snap = metrics.snapshot();
+    println!(
+        "observability (adaptive run): {} tiles dispatched + {} re-dispatched, {} arrived \
+         ({} late, {} zero-filled); {} deadlines fired; {} rate updates; mean compute \
+         {:.1} us, mean transfer {:.1} us over {} spans",
+        snap.tiles_dispatched,
+        snap.tiles_redispatched,
+        snap.tiles_arrived,
+        snap.tiles_late,
+        snap.tiles_zero_filled,
+        snap.deadlines_fired,
+        snap.rate_updates,
+        snap.compute_us.mean().unwrap_or(0.0),
+        snap.transfer_us.mean().unwrap_or(0.0),
+        snap.compute_us.count,
+    );
     emit_json(
         "fig15_dynamic_adaptation",
         &Output {
@@ -129,6 +158,7 @@ fn main() {
             steady_redispatched_per_image_static: steady_re_static,
             static_latency_ms: static_lat,
             timeline,
+            metrics: snap,
         },
     );
 }

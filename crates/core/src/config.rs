@@ -1,0 +1,212 @@
+//! Typed configuration validation shared by every public config surface.
+//!
+//! The builders (`LifecyclePolicy::builder()` here,
+//! `RuntimeConfig::builder()` / `WorkerOptions::builder()` in
+//! `adcnn-runtime`, `AdcnnSimConfig::builder()` in `adcnn-netsim`)
+//! reject nonsense at construction time with a [`ConfigError`] instead
+//! of letting a zero timer or a sub-unity slack factor wedge a run.
+//! Config structs keep public fields and working `Default` impls —
+//! builders are the validated front door, not a lockout — and the
+//! drivers re-validate at launch so a hand-mutated config fails just as
+//! loudly.
+
+use crate::lifecycle::{LifecyclePolicy, TimerPolicy};
+
+/// A config value that cannot produce a meaningful run.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ConfigError {
+    /// `t_l` must be positive: it is both the T_L timer and the
+    /// rate-normalization unit of Algorithm 2.
+    NonPositiveTl(f64),
+    /// `slack < 1.0` would arm deadlines *before* the expected
+    /// makespan, re-dispatching tiles that are merely on schedule.
+    SlackBelowOne(f64),
+    /// The hard timeout bounds every image's lifetime; zero or negative
+    /// means no image can complete.
+    NonPositiveHardTimeout(f64),
+    /// A zero-capacity task queue rejects every send.
+    ZeroTaskQueueCap,
+    /// EWMA gamma must lie in (0, 1]: 0 never learns, >1 oscillates.
+    GammaOutOfRange(f64),
+    /// The wire codec packs {2, 4, 8}-bit lanes; other widths have no
+    /// packed representation.
+    UnsupportedQuantBits(u32),
+    /// A simulation of zero images has no summary.
+    ZeroImages,
+    /// The partition point must put at least one block on the Conv nodes
+    /// and cannot exceed the network depth.
+    PrefixOutOfRange { prefix: usize, blocks: usize },
+    /// At least one worker/node is required to place tiles.
+    NoWorkers,
+    /// A probability field (drop/corrupt) must lie in [0, 1].
+    ProbabilityOutOfRange { field: &'static str, value: f64 },
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::NonPositiveTl(v) => {
+                write!(f, "t_l must be > 0 (got {v})")
+            }
+            ConfigError::SlackBelowOne(v) => {
+                write!(f, "slack must be >= 1.0 so deadlines trail the expected makespan (got {v})")
+            }
+            ConfigError::NonPositiveHardTimeout(v) => {
+                write!(f, "hard_timeout must be > 0 (got {v})")
+            }
+            ConfigError::ZeroTaskQueueCap => {
+                write!(f, "task_queue_cap must be >= 1")
+            }
+            ConfigError::GammaOutOfRange(v) => {
+                write!(f, "gamma must be in (0, 1] (got {v})")
+            }
+            ConfigError::UnsupportedQuantBits(v) => {
+                write!(f, "quantizer bit-width must be one of {{2, 4, 8}} (got {v})")
+            }
+            ConfigError::ZeroImages => {
+                write!(f, "images must be >= 1")
+            }
+            ConfigError::PrefixOutOfRange { prefix, blocks } => {
+                write!(f, "prefix {prefix} must be in 1..={blocks} to split the network")
+            }
+            ConfigError::NoWorkers => {
+                write!(f, "at least one worker/node is required")
+            }
+            ConfigError::ProbabilityOutOfRange { field, value } => {
+                write!(f, "{field} must be in [0, 1] (got {value})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Validate a probability-like field.
+pub fn check_probability(field: &'static str, value: f64) -> Result<(), ConfigError> {
+    if !(0.0..=1.0).contains(&value) || value.is_nan() {
+        return Err(ConfigError::ProbabilityOutOfRange { field, value });
+    }
+    Ok(())
+}
+
+impl LifecyclePolicy {
+    /// Start building a validated policy from the defaults.
+    pub fn builder() -> LifecyclePolicyBuilder {
+        LifecyclePolicyBuilder { policy: LifecyclePolicy::default() }
+    }
+
+    /// Check the invariants the builder enforces; drivers call this at
+    /// launch so hand-mutated configs fail just as loudly.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        // NaN fails closed on every bound.
+        if self.t_l.is_nan() || self.t_l <= 0.0 {
+            return Err(ConfigError::NonPositiveTl(self.t_l));
+        }
+        if self.slack.is_nan() || self.slack < 1.0 {
+            return Err(ConfigError::SlackBelowOne(self.slack));
+        }
+        if self.hard_timeout.is_nan() || self.hard_timeout <= 0.0 {
+            return Err(ConfigError::NonPositiveHardTimeout(self.hard_timeout));
+        }
+        Ok(())
+    }
+}
+
+/// Builder for [`LifecyclePolicy`]; see [`LifecyclePolicy::builder`].
+#[derive(Clone, Debug)]
+pub struct LifecyclePolicyBuilder {
+    policy: LifecyclePolicy,
+}
+
+impl LifecyclePolicyBuilder {
+    /// Base timer T_L, in seconds.
+    pub fn t_l(mut self, seconds: f64) -> Self {
+        self.policy.t_l = seconds;
+        self
+    }
+
+    /// Deadline slack factor over the expected makespan.
+    pub fn slack(mut self, slack: f64) -> Self {
+        self.policy.slack = slack;
+        self
+    }
+
+    /// Speculative re-dispatch rounds before zero-filling (0 disables
+    /// recovery).
+    pub fn max_redispatch_rounds(mut self, rounds: u32) -> Self {
+        self.policy.max_redispatch_rounds = rounds;
+        self
+    }
+
+    /// Absolute per-image lifetime bound, in seconds.
+    pub fn hard_timeout(mut self, seconds: f64) -> Self {
+        self.policy.hard_timeout = seconds;
+        self
+    }
+
+    /// When the recovery timer arms.
+    pub fn timer(mut self, timer: TimerPolicy) -> Self {
+        self.policy.timer = timer;
+        self
+    }
+
+    /// Validate and produce the policy.
+    pub fn build(self) -> Result<LifecyclePolicy, ConfigError> {
+        self.policy.validate()?;
+        Ok(self.policy)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_defaults_pass() {
+        let p = LifecyclePolicy::builder().build().unwrap();
+        assert_eq!(p, LifecyclePolicy::default());
+    }
+
+    #[test]
+    fn builder_rejects_nonsense() {
+        assert_eq!(
+            LifecyclePolicy::builder().t_l(0.0).build(),
+            Err(ConfigError::NonPositiveTl(0.0))
+        );
+        assert_eq!(
+            LifecyclePolicy::builder().slack(0.9).build(),
+            Err(ConfigError::SlackBelowOne(0.9))
+        );
+        assert_eq!(
+            LifecyclePolicy::builder().hard_timeout(-1.0).build(),
+            Err(ConfigError::NonPositiveHardTimeout(-1.0))
+        );
+        // NaN fails closed
+        assert!(LifecyclePolicy::builder().t_l(f64::NAN).build().is_err());
+    }
+
+    #[test]
+    fn builder_sets_every_field() {
+        let p = LifecyclePolicy::builder()
+            .t_l(0.050)
+            .slack(1.5)
+            .max_redispatch_rounds(3)
+            .hard_timeout(9.0)
+            .timer(TimerPolicy::AfterSend)
+            .build()
+            .unwrap();
+        assert_eq!(p.t_l, 0.050);
+        assert_eq!(p.slack, 1.5);
+        assert_eq!(p.max_redispatch_rounds, 3);
+        assert_eq!(p.hard_timeout, 9.0);
+        assert_eq!(p.timer, TimerPolicy::AfterSend);
+    }
+
+    #[test]
+    fn errors_display_the_offending_value() {
+        let msg = ConfigError::SlackBelowOne(0.5).to_string();
+        assert!(msg.contains("0.5"), "{msg}");
+        let msg = ConfigError::UnsupportedQuantBits(3).to_string();
+        assert!(msg.contains('3'), "{msg}");
+    }
+}

@@ -26,19 +26,30 @@
 //! - [`lifecycle`] — the clock-agnostic, sans-IO tile-lifecycle state
 //!   machine (§6.3 timeout/zero-fill policy plus speculative re-dispatch)
 //!   driven by both the real runtime and the network simulator.
+//! - [`obs`] — structured observability: the zero-cost-when-disabled
+//!   [`obs::EventSink`] layer both drivers mirror lifecycle decisions
+//!   into, with metrics and Chrome-trace sinks built in.
+//! - [`config`] — typed validation ([`config::ConfigError`]) behind the
+//!   builder-based config surface of every crate in the workspace.
 
 pub mod channel_part;
 pub mod compress;
+pub mod config;
 pub mod fdsp;
 pub mod halo;
 pub mod lifecycle;
+pub mod obs;
 pub mod partition;
 pub mod sched;
 pub mod wire;
 
 pub use compress::{CompressScratch, Quantizer, RleCodec};
+pub use config::ConfigError;
 pub use fdsp::TileGrid;
 pub use lifecycle::{LifecyclePolicy, TileLifecycle, TimerPolicy};
+pub use obs::{
+    ChromeTraceSink, EventSink, MetricsSink, MetricsSnapshot, NullSink, ObsEvent, SinkHandle,
+};
 pub use sched::{StatsCollector, TileAllocator};
 
 /// Re-export of the clipped ReLU activation the compression pipeline starts

@@ -32,6 +32,7 @@
 //! completion. Shared knobs live in [`LifecyclePolicy`] — including the
 //! deadline slack factor that both old copies hard-coded as `1.25`.
 
+use crate::obs::{ObsEvent, SinkHandle};
 use serde::{Deserialize, Serialize};
 
 /// Comparison epsilon for abstract timestamps (well below both the
@@ -58,7 +59,7 @@ pub enum TimerPolicy {
 /// The shared tile-lifecycle knobs — one home for the constants that were
 /// previously duplicated (and already drifting) between `RuntimeConfig`
 /// and `AdcnnSimConfig`.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
 pub struct LifecyclePolicy {
     /// Timeout grace `T_L` in seconds (the paper uses 30 ms): added on top
     /// of the extrapolated makespan before the deadline fires, and the
@@ -224,6 +225,15 @@ pub struct TileLifecycle {
     last_result_at: Vec<Option<f64>>,
     counters: LifecycleCounters,
     complete: bool,
+    /// Image id stamped on every emitted [`ObsEvent`].
+    image: u64,
+    /// Observability sink; the default (from [`TileLifecycle::begin`]) is
+    /// the null handle, under which events are never even constructed.
+    sink: SinkHandle,
+    /// High-water mark of observed time, used to timestamp events that
+    /// arrive without their own clock reading ([`Event::WorkerDied`],
+    /// [`Event::SendRejected`], [`Event::Abort`]).
+    now: f64,
 }
 
 impl TileLifecycle {
@@ -239,6 +249,24 @@ impl TileLifecycle {
         alloc: &[u32],
         speeds: &[f64],
         live: &[bool],
+    ) -> (Self, Vec<Action>) {
+        Self::begin_observed(policy, at, d, alloc, speeds, live, 0, SinkHandle::null())
+    }
+
+    /// [`TileLifecycle::begin`] with observability: every decision this
+    /// machine takes for image `image` is mirrored into `sink` as a
+    /// structured [`ObsEvent`] (constructed only when the sink is
+    /// enabled).
+    #[allow(clippy::too_many_arguments)]
+    pub fn begin_observed(
+        policy: LifecyclePolicy,
+        at: f64,
+        d: usize,
+        alloc: &[u32],
+        speeds: &[f64],
+        live: &[bool],
+        image: u64,
+        sink: SinkHandle,
     ) -> (Self, Vec<Action>) {
         let k = alloc.len();
         assert_eq!(speeds.len(), k, "speeds/alloc length mismatch");
@@ -288,11 +316,26 @@ impl TileLifecycle {
             },
             complete: false,
             slots,
+            image,
+            sink,
+            now: at,
         };
+        lc.sink.emit_with(|| ObsEvent::ImageStart {
+            at,
+            image,
+            tiles: d as u32,
+            placed: placed as u32,
+        });
         let mut actions = Vec::with_capacity(placed);
         for t in 0..d {
             if let TileSlot::At(node) = lc.slots[t] {
                 lc.sent += 1;
+                lc.sink.emit_with(|| ObsEvent::TileDispatch {
+                    at,
+                    image,
+                    tile: t as u32,
+                    worker: node as u32,
+                });
                 actions.push(Action::Dispatch { tile: t, to: node });
             }
         }
@@ -310,13 +353,27 @@ impl TileLifecycle {
                 }
                 Vec::new()
             }
-            Event::SendComplete { at } => self.on_send_complete(at),
-            Event::ResultArrived { at, tile, worker, ok } => self.on_result(at, tile, worker, ok),
-            Event::DeadlineFired { at } => self.on_deadline(at),
+            Event::SendComplete { at } => {
+                self.now = self.now.max(at);
+                self.on_send_complete(at)
+            }
+            Event::ResultArrived { at, tile, worker, ok } => {
+                self.now = self.now.max(at);
+                self.on_result(at, tile, worker, ok)
+            }
+            Event::DeadlineFired { at } => {
+                self.now = self.now.max(at);
+                self.on_deadline(at)
+            }
             Event::WorkerDied { worker } => {
-                if worker < self.k {
+                if worker < self.k && self.live[worker] {
                     self.live[worker] = false;
                     self.speeds[worker] = 0.0;
+                    self.sink.emit_with(|| ObsEvent::WorkerDead {
+                        at: self.now,
+                        image: self.image,
+                        worker: worker as u32,
+                    });
                 }
                 Vec::new()
             }
@@ -402,6 +459,7 @@ impl TileLifecycle {
             self.deadline = Some(at + span);
             self.cutoff = Some(at + span);
             self.last_span = span;
+            self.sink.emit_with(|| ObsEvent::DeadlineArmed { at, image: self.image, span });
             acts.push(Action::ArmDeadline { span });
         }
         acts
@@ -410,26 +468,57 @@ impl TileLifecycle {
     fn on_result(&mut self, at: f64, tile: usize, worker: usize, ok: bool) -> Vec<Action> {
         if self.complete {
             self.counters.late += 1;
+            self.sink.emit_with(|| ObsEvent::TileLate {
+                at,
+                image: self.image,
+                tile: tile as u32,
+                worker: worker as u32,
+            });
             return Vec::new();
         }
         if tile >= self.d || worker >= self.k {
             return Vec::new();
         }
         self.progress[worker] = true;
-        self.suspect[worker] = false;
+        if self.suspect[worker] {
+            self.suspect[worker] = false;
+            self.sink.emit_with(|| ObsEvent::WorkerCleared {
+                at,
+                image: self.image,
+                worker: worker as u32,
+            });
+        }
         if self.got[tile] {
             self.counters.duplicate += 1;
+            self.sink.emit_with(|| ObsEvent::TileDuplicate {
+                at,
+                image: self.image,
+                tile: tile as u32,
+                worker: worker as u32,
+            });
             return Vec::new();
         }
         if !ok {
             // Undecodable payload: the tile stays open so a re-dispatch
             // round can recover it.
             self.counters.corrupt += 1;
+            self.sink.emit_with(|| ObsEvent::TileCorrupt {
+                at,
+                image: self.image,
+                tile: tile as u32,
+                worker: worker as u32,
+            });
             return Vec::new();
         }
         self.got[tile] = true;
         self.got_total += 1;
         self.counters.received[worker] += 1;
+        self.sink.emit_with(|| ObsEvent::TileArrival {
+            at,
+            image: self.image,
+            tile: tile as u32,
+            worker: worker as u32,
+        });
         let mut acts = vec![Action::Accept { tile, from: worker }];
         let completing = self.terminal();
         if self.deadline.is_none() && self.policy.timer == TimerPolicy::Deadline {
@@ -443,6 +532,7 @@ impl TileLifecycle {
             self.cutoff = Some(at + span);
             self.last_span = span;
             if !completing {
+                self.sink.emit_with(|| ObsEvent::DeadlineArmed { at, image: self.image, span });
                 acts.push(Action::ArmDeadline { span });
             }
         }
@@ -467,6 +557,7 @@ impl TileLifecycle {
         if at + EPS < self.next_deadline() {
             return Vec::new();
         }
+        self.sink.emit_with(|| ObsEvent::DeadlineFired { at, image: self.image });
         let missing = self.missing();
         let mut acts = Vec::new();
         if missing.is_empty() {
@@ -482,6 +573,7 @@ impl TileLifecycle {
             if self.delivered < self.sent {
                 let span = self.last_span.max(self.policy.t_l);
                 self.deadline = Some(at + span);
+                self.sink.emit_with(|| ObsEvent::DeadlineArmed { at, image: self.image, span });
                 return vec![Action::ArmDeadline { span }];
             }
             // A worker holding a missing tile that has produced *nothing*
@@ -490,8 +582,13 @@ impl TileLifecycle {
             // too. A straggler keeps delivering and stays trusted.
             for &t in &missing {
                 if let TileSlot::At(owner) = self.slots[t] {
-                    if !self.progress[owner] {
+                    if !self.progress[owner] && !self.suspect[owner] {
                         self.suspect[owner] = true;
+                        self.sink.emit_with(|| ObsEvent::WorkerSuspect {
+                            at,
+                            image: self.image,
+                            worker: owner as u32,
+                        });
                     }
                 }
             }
@@ -513,6 +610,13 @@ impl TileLifecycle {
                     self.slots[t] = TileSlot::At(dest);
                     self.attempted[t] = vec![false; self.k];
                     self.counters.redispatched += 1;
+                    self.sink.emit_with(|| ObsEvent::TileRedispatch {
+                        at,
+                        image: self.image,
+                        tile: t as u32,
+                        worker: dest as u32,
+                        round: self.counters.rounds,
+                    });
                     acts.push(Action::Redispatch { tile: t, to: dest });
                 }
                 // Re-arm: expected time for the candidates to absorb the
@@ -522,6 +626,7 @@ impl TileLifecycle {
                 let span = pu * self.policy.slack * share as f64 + self.policy.t_l;
                 self.last_span = span;
                 self.deadline = Some(at + span);
+                self.sink.emit_with(|| ObsEvent::DeadlineArmed { at, image: self.image, span });
                 acts.push(Action::ArmDeadline { span });
                 return acts;
             }
@@ -552,9 +657,22 @@ impl TileLifecycle {
                 self.slots[tile] = TileSlot::At(w);
                 if redispatching {
                     self.counters.redispatched += 1;
+                    self.sink.emit_with(|| ObsEvent::TileRedispatch {
+                        at: self.now,
+                        image: self.image,
+                        tile: tile as u32,
+                        worker: w as u32,
+                        round: self.counters.rounds,
+                    });
                     vec![Action::Redispatch { tile, to: w }]
                 } else {
                     self.sent += 1;
+                    self.sink.emit_with(|| ObsEvent::TileDispatch {
+                        at: self.now,
+                        image: self.image,
+                        tile: tile as u32,
+                        worker: w as u32,
+                    });
                     vec![Action::Dispatch { tile, to: w }]
                 }
             }
@@ -603,6 +721,20 @@ impl TileLifecycle {
     fn finish(&mut self, missing: Vec<usize>, acts: &mut Vec<Action>) {
         debug_assert!(!self.complete);
         self.counters.zero_filled = (self.d - self.got_total) as u32;
+        if self.sink.enabled() {
+            // One event per zero-filled tile (including never-placed
+            // abandoned ones), so the metrics counter reconciles with
+            // `counters.zero_filled` exactly.
+            for t in 0..self.d {
+                if !self.got[t] {
+                    self.sink.emit_with(|| ObsEvent::TileZeroFill {
+                        at: self.now,
+                        image: self.image,
+                        tile: t as u32,
+                    });
+                }
+            }
+        }
         if !missing.is_empty() {
             acts.push(Action::ZeroFill { tiles: missing });
         }
@@ -613,6 +745,13 @@ impl TileLifecycle {
                 // node.
                 continue;
             }
+            if !self.live[node] {
+                // A positively-dead worker gets no rate observation at
+                // all: the driver already called `mark_failed`, and a
+                // stale "timely before it died" rate would resurrect the
+                // estimate of a node that cannot serve.
+                continue;
+            }
             let rate = match self.last_result_at[node] {
                 Some(t) if self.counters.timely[node] > 0 => {
                     let elapsed = (t - self.start).max(1e-6);
@@ -620,8 +759,21 @@ impl TileLifecycle {
                 }
                 _ => 0.0,
             };
+            self.sink.emit_with(|| ObsEvent::RateUpdate {
+                at: self.now,
+                image: self.image,
+                worker: node as u32,
+                rate,
+            });
             acts.push(Action::RecordRate { worker: node, rate });
         }
+        self.sink.emit_with(|| ObsEvent::ImageFinish {
+            at: self.now,
+            image: self.image,
+            latency: self.now - self.start,
+            zero_filled: self.counters.zero_filled,
+            redispatched: self.counters.redispatched,
+        });
         acts.push(Action::Complete);
         self.complete = true;
     }
@@ -834,6 +986,82 @@ mod tests {
         assert!(acts.contains(&Action::ZeroFill { tiles: vec![1, 2] }));
         assert!(lc.is_complete());
         assert_eq!(lc.counters().zero_filled, 2);
+    }
+
+    #[test]
+    fn dead_workers_get_no_rate_observation() {
+        // Worker 0 delivers one timely result, then is positively
+        // observed dead. Its stale "timely before it died" rate must NOT
+        // come out as a RecordRate — the driver already mark_failed'd it,
+        // and a blend from the pre-failure rate would resurrect it.
+        let p = LifecyclePolicy { max_redispatch_rounds: 1, ..policy() };
+        let (mut lc, _) = TileLifecycle::begin(p, 0.0, 4, &[2, 2], &[1.0, 1.0], &[true; 2]);
+        for t in 0..4 {
+            lc.handle(Event::TileDelivered { tile: t });
+        }
+        lc.handle(Event::SendComplete { at: 0.0 });
+        lc.handle(Event::ResultArrived { at: 0.010, tile: 0, worker: 0, ok: true });
+        lc.handle(Event::ResultArrived { at: 0.011, tile: 1, worker: 1, ok: true });
+        lc.handle(Event::ResultArrived { at: 0.012, tile: 3, worker: 1, ok: true });
+        lc.handle(Event::WorkerDied { worker: 0 });
+        // tile 2 recovers on worker 1, completing the image
+        lc.handle(Event::DeadlineFired { at: lc.next_deadline() });
+        let acts = lc.handle(Event::ResultArrived {
+            at: lc.next_deadline(),
+            tile: 2,
+            worker: 1,
+            ok: true,
+        });
+        assert!(lc.is_complete());
+        let rates: Vec<usize> = acts
+            .iter()
+            .filter_map(|a| match a {
+                Action::RecordRate { worker, .. } => Some(*worker),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(rates, vec![1], "only the live worker may produce a rate observation");
+        assert_eq!(lc.counters().timely[0], 1, "the pre-death result was timely, yet suppressed");
+    }
+
+    #[test]
+    fn observed_run_emits_reconciling_events() {
+        use crate::obs::{EventSink, ObsEvent, RecordingSink, SinkHandle};
+        use std::sync::Arc;
+        let rec = Arc::new(RecordingSink::new());
+        let sink = SinkHandle::new(rec.clone() as Arc<dyn EventSink>);
+        let p = LifecyclePolicy { max_redispatch_rounds: 1, ..policy() };
+        let (mut lc, _) =
+            TileLifecycle::begin_observed(p, 0.0, 4, &[2, 2], &[1.0, 5.0], &[true; 2], 7, sink);
+        for t in 0..4 {
+            lc.handle(Event::TileDelivered { tile: t });
+        }
+        lc.handle(Event::SendComplete { at: 0.0 });
+        lc.handle(Event::ResultArrived { at: 0.010, tile: 1, worker: 1, ok: true });
+        lc.handle(Event::ResultArrived { at: 0.012, tile: 3, worker: 1, ok: true });
+        lc.handle(Event::DeadlineFired { at: lc.next_deadline() });
+        lc.handle(Event::DeadlineFired { at: lc.next_deadline() });
+        assert!(lc.is_complete());
+        let evs = rec.events();
+        let count = |k: &str| evs.iter().filter(|e| e.kind() == k).count() as u32;
+        assert_eq!(count("image_start"), 1);
+        assert_eq!(count("image_finish"), 1);
+        assert_eq!(count("tile_dispatch"), 4);
+        assert_eq!(count("tile_redispatch"), lc.counters().redispatched);
+        assert_eq!(count("tile_arrival"), 2);
+        assert_eq!(count("tile_zero_fill"), lc.counters().zero_filled);
+        assert_eq!(count("worker_suspect"), 1, "silent worker 0 must be flagged");
+        // every event carries the image id it was begun with
+        assert!(evs.iter().all(|e| match e {
+            ObsEvent::ImageStart { image, .. } | ObsEvent::ImageFinish { image, .. } => *image == 7,
+            _ => true,
+        }));
+        // the finish event restates the counters exactly
+        let fin = evs.iter().find(|e| e.kind() == "image_finish").unwrap();
+        if let ObsEvent::ImageFinish { zero_filled, redispatched, .. } = fin {
+            assert_eq!(*zero_filled, lc.counters().zero_filled);
+            assert_eq!(*redispatched, lc.counters().redispatched);
+        }
     }
 
     #[test]

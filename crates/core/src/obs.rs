@@ -1,0 +1,848 @@
+//! Structured observability: a zero-cost-when-disabled event-sink layer
+//! for the tile lifecycle.
+//!
+//! Every decision the sans-IO [`TileLifecycle`](crate::lifecycle)
+//! machine takes — and every timed step the drivers measure around it
+//! (per-tile compute, compression, transfer) — can be mirrored into an
+//! [`EventSink`] as a structured [`ObsEvent`]. Both drivers (the real
+//! runtime in `adcnn-runtime` and the discrete-event simulator in
+//! `adcnn-netsim`) thread the same sink through the same machine, so a
+//! wall-clock run and a simulated run produce the **same event schema**:
+//! a trace captured from either loads into the same tooling.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Zero cost when disabled.** Emission goes through
+//!    [`SinkHandle::emit_with`], which takes a closure; when no sink is
+//!    installed (or the sink reports `enabled() == false`) the closure
+//!    never runs, so the event is never even constructed. [`ObsEvent`]
+//!    is `Copy` and all-scalar — no variant owns a heap allocation — so
+//!    an *enabled* sink still sees no per-event allocation on the hot
+//!    path (`tests/alloc_steady_state.rs` proves the [`NullSink`] case).
+//! 2. **Counters reconcile.** The [`MetricsSink`] counters are defined
+//!    so they add up against the per-image outcome: one `TileZeroFill`
+//!    per zero-filled tile, one `TileArrival` per accepted tile, one
+//!    `TileDispatch`/`TileRedispatch` per send attempt (including
+//!    transport-bounced retries, which also re-attempt).
+//! 3. **Time is the driver's time.** `at` is in the driver's abstract
+//!    seconds — wall-clock seconds since the runtime's epoch, or
+//!    simulated seconds — exactly the axis the lifecycle machine runs
+//!    on. Span events (`TileCompute`, `TileCompress`, `TileTransfer`)
+//!    carry the span *end* in `at` and the length in `dur`.
+
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// One structured observation. All variants are plain scalars (`Copy`),
+/// so emitting never allocates; multi-tile outcomes (zero-fill sets)
+/// emit one event per tile.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum ObsEvent {
+    /// An image's tiles were allocated and its lifecycle began.
+    /// `placed ≤ tiles` under storage caps.
+    ImageStart { at: f64, image: u64, tiles: u32, placed: u32 },
+    /// The image completed (every tile arrived or was zero-filled).
+    ImageFinish { at: f64, image: u64, latency: f64, zero_filled: u32, redispatched: u32 },
+    /// A round-0 send attempt of `tile` to `worker`.
+    TileDispatch { at: f64, image: u64, tile: u32, worker: u32 },
+    /// A recovery send attempt in re-dispatch round `round`.
+    TileRedispatch { at: f64, image: u64, tile: u32, worker: u32, round: u32 },
+    /// A fresh, decodable result was accepted from `worker`.
+    TileArrival { at: f64, image: u64, tile: u32, worker: u32 },
+    /// A result for an already-satisfied tile was discarded.
+    TileDuplicate { at: f64, image: u64, tile: u32, worker: u32 },
+    /// A result arrived after its image completed.
+    TileLate { at: f64, image: u64, tile: u32, worker: u32 },
+    /// A result arrived but failed to decode; the tile stays open.
+    TileCorrupt { at: f64, image: u64, tile: u32, worker: u32 },
+    /// The tile missed every recovery attempt and was zero-filled.
+    TileZeroFill { at: f64, image: u64, tile: u32 },
+    /// The expected-makespan deadline (or `T_L` timer) was armed to fire
+    /// `span` seconds after `at`.
+    DeadlineArmed { at: f64, image: u64, span: f64 },
+    /// A live (non-stale) deadline fired.
+    DeadlineFired { at: f64, image: u64 },
+    /// The driver positively observed `worker`'s death.
+    WorkerDead { at: f64, image: u64, worker: u32 },
+    /// `worker` held a missing tile at a deadline without delivering
+    /// anything since the previous round (§6.3 silent-fault rule).
+    WorkerSuspect { at: f64, image: u64, worker: u32 },
+    /// A previously suspect `worker` produced evidence of life.
+    WorkerCleared { at: f64, image: u64, worker: u32 },
+    /// An Algorithm 2 EWMA observation was folded in for `worker`.
+    RateUpdate { at: f64, image: u64, worker: u32, rate: f64 },
+    /// Prefix-network forward for one tile took `dur` seconds, ending at
+    /// `at`.
+    TileCompute { at: f64, image: u64, tile: u32, worker: u32, dur: f64 },
+    /// Clip + quantize + RLE for one tile: `dur` seconds ending at `at`,
+    /// `bytes` on the wire, `ratio` = wire bits / raw f32 bits.
+    TileCompress { at: f64, image: u64, tile: u32, worker: u32, dur: f64, bytes: u64, ratio: f64 },
+    /// A modeled or measured transfer of one tile's payload, `dur`
+    /// seconds ending at `at`.
+    TileTransfer { at: f64, image: u64, tile: u32, worker: u32, dur: f64 },
+}
+
+impl ObsEvent {
+    /// Stable event-type name (the cross-driver schema the differential
+    /// test compares).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ObsEvent::ImageStart { .. } => "image_start",
+            ObsEvent::ImageFinish { .. } => "image_finish",
+            ObsEvent::TileDispatch { .. } => "tile_dispatch",
+            ObsEvent::TileRedispatch { .. } => "tile_redispatch",
+            ObsEvent::TileArrival { .. } => "tile_arrival",
+            ObsEvent::TileDuplicate { .. } => "tile_duplicate",
+            ObsEvent::TileLate { .. } => "tile_late",
+            ObsEvent::TileCorrupt { .. } => "tile_corrupt",
+            ObsEvent::TileZeroFill { .. } => "tile_zero_fill",
+            ObsEvent::DeadlineArmed { .. } => "deadline_armed",
+            ObsEvent::DeadlineFired { .. } => "deadline_fired",
+            ObsEvent::WorkerDead { .. } => "worker_dead",
+            ObsEvent::WorkerSuspect { .. } => "worker_suspect",
+            ObsEvent::WorkerCleared { .. } => "worker_cleared",
+            ObsEvent::RateUpdate { .. } => "rate_update",
+            ObsEvent::TileCompute { .. } => "tile_compute",
+            ObsEvent::TileCompress { .. } => "tile_compress",
+            ObsEvent::TileTransfer { .. } => "tile_transfer",
+        }
+    }
+
+    /// The event's payload as a JSON object (used for Chrome-trace
+    /// `args`; all fields are numbers, so no escaping is required).
+    pub fn args_json(&self) -> String {
+        match *self {
+            ObsEvent::ImageStart { image, tiles, placed, .. } => {
+                format!(r#"{{"image":{image},"tiles":{tiles},"placed":{placed}}}"#)
+            }
+            ObsEvent::ImageFinish { image, latency, zero_filled, redispatched, .. } => format!(
+                r#"{{"image":{image},"latency":{latency},"zero_filled":{zero_filled},"redispatched":{redispatched}}}"#
+            ),
+            ObsEvent::TileDispatch { image, tile, worker, .. }
+            | ObsEvent::TileArrival { image, tile, worker, .. }
+            | ObsEvent::TileDuplicate { image, tile, worker, .. }
+            | ObsEvent::TileLate { image, tile, worker, .. }
+            | ObsEvent::TileCorrupt { image, tile, worker, .. } => {
+                format!(r#"{{"image":{image},"tile":{tile},"worker":{worker}}}"#)
+            }
+            ObsEvent::TileRedispatch { image, tile, worker, round, .. } => {
+                format!(r#"{{"image":{image},"tile":{tile},"worker":{worker},"round":{round}}}"#)
+            }
+            ObsEvent::TileZeroFill { image, tile, .. } => {
+                format!(r#"{{"image":{image},"tile":{tile}}}"#)
+            }
+            ObsEvent::DeadlineArmed { image, span, .. } => {
+                format!(r#"{{"image":{image},"span":{span}}}"#)
+            }
+            ObsEvent::DeadlineFired { image, .. } => format!(r#"{{"image":{image}}}"#),
+            ObsEvent::WorkerDead { image, worker, .. }
+            | ObsEvent::WorkerSuspect { image, worker, .. }
+            | ObsEvent::WorkerCleared { image, worker, .. } => {
+                format!(r#"{{"image":{image},"worker":{worker}}}"#)
+            }
+            ObsEvent::RateUpdate { image, worker, rate, .. } => {
+                format!(r#"{{"image":{image},"worker":{worker},"rate":{rate}}}"#)
+            }
+            ObsEvent::TileCompute { image, tile, worker, dur, .. }
+            | ObsEvent::TileTransfer { image, tile, worker, dur, .. } => {
+                format!(r#"{{"image":{image},"tile":{tile},"worker":{worker},"dur":{dur}}}"#)
+            }
+            ObsEvent::TileCompress { image, tile, worker, dur, bytes, ratio, .. } => format!(
+                r#"{{"image":{image},"tile":{tile},"worker":{worker},"dur":{dur},"bytes":{bytes},"ratio":{ratio}}}"#
+            ),
+        }
+    }
+
+    /// The event's timestamp on the driver's time axis.
+    pub fn at(&self) -> f64 {
+        match *self {
+            ObsEvent::ImageStart { at, .. }
+            | ObsEvent::ImageFinish { at, .. }
+            | ObsEvent::TileDispatch { at, .. }
+            | ObsEvent::TileRedispatch { at, .. }
+            | ObsEvent::TileArrival { at, .. }
+            | ObsEvent::TileDuplicate { at, .. }
+            | ObsEvent::TileLate { at, .. }
+            | ObsEvent::TileCorrupt { at, .. }
+            | ObsEvent::TileZeroFill { at, .. }
+            | ObsEvent::DeadlineArmed { at, .. }
+            | ObsEvent::DeadlineFired { at, .. }
+            | ObsEvent::WorkerDead { at, .. }
+            | ObsEvent::WorkerSuspect { at, .. }
+            | ObsEvent::WorkerCleared { at, .. }
+            | ObsEvent::RateUpdate { at, .. }
+            | ObsEvent::TileCompute { at, .. }
+            | ObsEvent::TileCompress { at, .. }
+            | ObsEvent::TileTransfer { at, .. } => at,
+        }
+    }
+}
+
+/// Where structured events go. Implementations must be cheap and
+/// thread-safe: workers emit from their own threads concurrently with
+/// the Central node.
+pub trait EventSink: Send + Sync {
+    /// Consume one event.
+    fn emit(&self, ev: &ObsEvent);
+
+    /// Gate for [`SinkHandle::emit_with`]: when `false`, events for this
+    /// sink are never even constructed. Defaults to `true`.
+    fn enabled(&self) -> bool {
+        true
+    }
+}
+
+/// A shareable, optionally-absent sink. The default (and
+/// [`SinkHandle::null()`]) holds **no** sink at all — no allocation, and
+/// `emit_with` compiles down to a branch on `None`.
+#[derive(Clone, Default)]
+pub struct SinkHandle(Option<Arc<dyn EventSink>>);
+
+impl SinkHandle {
+    /// Wrap a shared sink.
+    pub fn new(sink: Arc<dyn EventSink>) -> Self {
+        SinkHandle(Some(sink))
+    }
+
+    /// Wrap an owned sink (convenience over [`SinkHandle::new`]).
+    pub fn of(sink: impl EventSink + 'static) -> Self {
+        SinkHandle(Some(Arc::new(sink)))
+    }
+
+    /// The disabled handle: events are never constructed.
+    pub fn null() -> Self {
+        SinkHandle(None)
+    }
+
+    /// True when a sink is installed and reports itself enabled.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        matches!(&self.0, Some(s) if s.enabled())
+    }
+
+    /// Emit the event produced by `f`, constructing it only if an
+    /// enabled sink is installed. This is the only emission path the
+    /// lifecycle machine and the drivers use, which is what makes the
+    /// disabled case free.
+    #[inline]
+    pub fn emit_with(&self, f: impl FnOnce() -> ObsEvent) {
+        if let Some(sink) = &self.0 {
+            if sink.enabled() {
+                sink.emit(&f());
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for SinkHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.0 {
+            Some(s) => write!(f, "SinkHandle(installed, enabled={})", s.enabled()),
+            None => write!(f, "SinkHandle(none)"),
+        }
+    }
+}
+
+/// A sink that discards everything and reports itself disabled, so
+/// `emit_with` never constructs an event. Exists to *prove* the
+/// disabled-path cost (see `tests/alloc_steady_state.rs`); prefer
+/// [`SinkHandle::null()`] in configs.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NullSink;
+
+impl EventSink for NullSink {
+    fn emit(&self, _ev: &ObsEvent) {}
+
+    fn enabled(&self) -> bool {
+        false
+    }
+}
+
+/// Number of log2 buckets in a [`Histogram`] (covers 1 µs … ~35 min).
+const HIST_BUCKETS: usize = 32;
+
+/// Lock-free fixed-bucket histogram: bucket `b` counts values `v` (in
+/// µs or bytes) with `2^(b-1) ≤ v < 2^b`; bucket 0 counts `v == 0`.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HIST_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    /// Record one value (relaxed atomics: counters, not synchronization).
+    pub fn record(&self, v: u64) {
+        let b = (u64::BITS - v.leading_zeros()).min(HIST_BUCKETS as u32 - 1) as usize;
+        self.buckets[b].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Plain-value snapshot.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect(),
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Serializable copy of a [`Histogram`].
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// Log2 bucket counts (`buckets[b]` holds `2^(b-1) ≤ v < 2^b`).
+    pub buckets: Vec<u64>,
+    /// Total values recorded.
+    pub count: u64,
+    /// Sum of recorded values.
+    pub sum: u64,
+}
+
+impl HistogramSnapshot {
+    /// Mean recorded value, if anything was recorded.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum as f64 / self.count as f64)
+    }
+}
+
+/// Lock-free metrics aggregation: per-event-type counters plus
+/// fixed-bucket histograms for durations, sizes and image latency.
+/// Share one instance across a whole run and [`MetricsSink::snapshot`]
+/// it whenever a consistent-enough view is needed.
+#[derive(Debug, Default)]
+pub struct MetricsSink {
+    images_started: AtomicU64,
+    images_finished: AtomicU64,
+    tiles_dispatched: AtomicU64,
+    tiles_redispatched: AtomicU64,
+    tiles_arrived: AtomicU64,
+    tiles_duplicate: AtomicU64,
+    tiles_late: AtomicU64,
+    tiles_corrupt: AtomicU64,
+    tiles_zero_filled: AtomicU64,
+    deadlines_armed: AtomicU64,
+    deadlines_fired: AtomicU64,
+    workers_died: AtomicU64,
+    workers_suspected: AtomicU64,
+    workers_cleared: AtomicU64,
+    rate_updates: AtomicU64,
+    compressed_bytes: AtomicU64,
+    compute_us: Histogram,
+    compress_us: Histogram,
+    transfer_us: Histogram,
+    image_latency_us: Histogram,
+    compressed_tile_bytes: Histogram,
+}
+
+/// Seconds → whole microseconds (the histogram unit).
+fn us(seconds: f64) -> u64 {
+    (seconds * 1e6).max(0.0) as u64
+}
+
+impl MetricsSink {
+    /// A fresh, zeroed sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Plain-value, serde-serializable snapshot of every counter and
+    /// histogram.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let c = |a: &AtomicU64| a.load(Ordering::Relaxed);
+        MetricsSnapshot {
+            images_started: c(&self.images_started),
+            images_finished: c(&self.images_finished),
+            tiles_dispatched: c(&self.tiles_dispatched),
+            tiles_redispatched: c(&self.tiles_redispatched),
+            tiles_arrived: c(&self.tiles_arrived),
+            tiles_duplicate: c(&self.tiles_duplicate),
+            tiles_late: c(&self.tiles_late),
+            tiles_corrupt: c(&self.tiles_corrupt),
+            tiles_zero_filled: c(&self.tiles_zero_filled),
+            deadlines_armed: c(&self.deadlines_armed),
+            deadlines_fired: c(&self.deadlines_fired),
+            workers_died: c(&self.workers_died),
+            workers_suspected: c(&self.workers_suspected),
+            workers_cleared: c(&self.workers_cleared),
+            rate_updates: c(&self.rate_updates),
+            compressed_bytes: c(&self.compressed_bytes),
+            compute_us: self.compute_us.snapshot(),
+            compress_us: self.compress_us.snapshot(),
+            transfer_us: self.transfer_us.snapshot(),
+            image_latency_us: self.image_latency_us.snapshot(),
+            compressed_tile_bytes: self.compressed_tile_bytes.snapshot(),
+        }
+    }
+}
+
+impl EventSink for MetricsSink {
+    fn emit(&self, ev: &ObsEvent) {
+        match *ev {
+            ObsEvent::ImageStart { .. } => {
+                self.images_started.fetch_add(1, Ordering::Relaxed);
+            }
+            ObsEvent::ImageFinish { latency, .. } => {
+                self.images_finished.fetch_add(1, Ordering::Relaxed);
+                self.image_latency_us.record(us(latency));
+            }
+            ObsEvent::TileDispatch { .. } => {
+                self.tiles_dispatched.fetch_add(1, Ordering::Relaxed);
+            }
+            ObsEvent::TileRedispatch { .. } => {
+                self.tiles_redispatched.fetch_add(1, Ordering::Relaxed);
+            }
+            ObsEvent::TileArrival { .. } => {
+                self.tiles_arrived.fetch_add(1, Ordering::Relaxed);
+            }
+            ObsEvent::TileDuplicate { .. } => {
+                self.tiles_duplicate.fetch_add(1, Ordering::Relaxed);
+            }
+            ObsEvent::TileLate { .. } => {
+                self.tiles_late.fetch_add(1, Ordering::Relaxed);
+            }
+            ObsEvent::TileCorrupt { .. } => {
+                self.tiles_corrupt.fetch_add(1, Ordering::Relaxed);
+            }
+            ObsEvent::TileZeroFill { .. } => {
+                self.tiles_zero_filled.fetch_add(1, Ordering::Relaxed);
+            }
+            ObsEvent::DeadlineArmed { .. } => {
+                self.deadlines_armed.fetch_add(1, Ordering::Relaxed);
+            }
+            ObsEvent::DeadlineFired { .. } => {
+                self.deadlines_fired.fetch_add(1, Ordering::Relaxed);
+            }
+            ObsEvent::WorkerDead { .. } => {
+                self.workers_died.fetch_add(1, Ordering::Relaxed);
+            }
+            ObsEvent::WorkerSuspect { .. } => {
+                self.workers_suspected.fetch_add(1, Ordering::Relaxed);
+            }
+            ObsEvent::WorkerCleared { .. } => {
+                self.workers_cleared.fetch_add(1, Ordering::Relaxed);
+            }
+            ObsEvent::RateUpdate { .. } => {
+                self.rate_updates.fetch_add(1, Ordering::Relaxed);
+            }
+            ObsEvent::TileCompute { dur, .. } => {
+                self.compute_us.record(us(dur));
+            }
+            ObsEvent::TileCompress { dur, bytes, .. } => {
+                self.compress_us.record(us(dur));
+                self.compressed_bytes.fetch_add(bytes, Ordering::Relaxed);
+                self.compressed_tile_bytes.record(bytes);
+            }
+            ObsEvent::TileTransfer { dur, .. } => {
+                self.transfer_us.record(us(dur));
+            }
+        }
+    }
+}
+
+/// Serializable copy of a [`MetricsSink`]. Counters reconcile against
+/// the per-image outcome: `tiles_zero_filled == Σ zero_filled`,
+/// `tiles_redispatched == Σ redispatched` (absent transport bounces),
+/// `tiles_arrived == Σ (tiles − zero_filled)`.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Images whose lifecycle began.
+    pub images_started: u64,
+    /// Images that completed.
+    pub images_finished: u64,
+    /// Round-0 send attempts.
+    pub tiles_dispatched: u64,
+    /// Recovery send attempts.
+    pub tiles_redispatched: u64,
+    /// Accepted (fresh, decodable) results.
+    pub tiles_arrived: u64,
+    /// Discarded duplicate results.
+    pub tiles_duplicate: u64,
+    /// Results that arrived after image completion.
+    pub tiles_late: u64,
+    /// Results that failed to decode.
+    pub tiles_corrupt: u64,
+    /// Tiles zero-filled.
+    pub tiles_zero_filled: u64,
+    /// Deadline timers armed.
+    pub deadlines_armed: u64,
+    /// Live deadline firings.
+    pub deadlines_fired: u64,
+    /// Positively-observed worker deaths.
+    pub workers_died: u64,
+    /// Silent-fault suspicions raised.
+    pub workers_suspected: u64,
+    /// Suspicions cleared by evidence of life.
+    pub workers_cleared: u64,
+    /// Algorithm 2 EWMA observations folded in.
+    pub rate_updates: u64,
+    /// Total compressed payload bytes shipped.
+    pub compressed_bytes: u64,
+    /// Per-tile prefix compute time, µs.
+    pub compute_us: HistogramSnapshot,
+    /// Per-tile clip/quantize/RLE time, µs.
+    pub compress_us: HistogramSnapshot,
+    /// Per-tile transfer time, µs.
+    pub transfer_us: HistogramSnapshot,
+    /// End-to-end image latency, µs.
+    pub image_latency_us: HistogramSnapshot,
+    /// Per-tile compressed payload size, bytes.
+    pub compressed_tile_bytes: HistogramSnapshot,
+}
+
+impl MetricsSnapshot {
+    /// Render as JSON by hand — the same field names and shape serde
+    /// emits — so metrics export works without a serializer dependency
+    /// (the sinks' contract throughout this module).
+    pub fn to_json(&self) -> String {
+        fn hist(h: &HistogramSnapshot) -> String {
+            let buckets: Vec<String> = h.buckets.iter().map(|b| b.to_string()).collect();
+            format!(
+                "{{\"buckets\":[{}],\"count\":{},\"sum\":{}}}",
+                buckets.join(","),
+                h.count,
+                h.sum
+            )
+        }
+        format!(
+            "{{\"images_started\":{},\"images_finished\":{},\"tiles_dispatched\":{},\
+             \"tiles_redispatched\":{},\"tiles_arrived\":{},\"tiles_duplicate\":{},\
+             \"tiles_late\":{},\"tiles_corrupt\":{},\"tiles_zero_filled\":{},\
+             \"deadlines_armed\":{},\"deadlines_fired\":{},\"workers_died\":{},\
+             \"workers_suspected\":{},\"workers_cleared\":{},\"rate_updates\":{},\
+             \"compressed_bytes\":{},\"compute_us\":{},\"compress_us\":{},\
+             \"transfer_us\":{},\"image_latency_us\":{},\"compressed_tile_bytes\":{}}}",
+            self.images_started,
+            self.images_finished,
+            self.tiles_dispatched,
+            self.tiles_redispatched,
+            self.tiles_arrived,
+            self.tiles_duplicate,
+            self.tiles_late,
+            self.tiles_corrupt,
+            self.tiles_zero_filled,
+            self.deadlines_armed,
+            self.deadlines_fired,
+            self.workers_died,
+            self.workers_suspected,
+            self.workers_cleared,
+            self.rate_updates,
+            self.compressed_bytes,
+            hist(&self.compute_us),
+            hist(&self.compress_us),
+            hist(&self.transfer_us),
+            hist(&self.image_latency_us),
+            hist(&self.compressed_tile_bytes),
+        )
+    }
+}
+
+/// Records events verbatim for inspection; Chrome-trace export turns the
+/// compute/compress/transfer spans into one track per worker, loadable
+/// in `chrome://tracing` or <https://ui.perfetto.dev>.
+#[derive(Debug, Default)]
+pub struct ChromeTraceSink {
+    events: Mutex<Vec<ObsEvent>>,
+}
+
+impl ChromeTraceSink {
+    /// A fresh, empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Copy of everything recorded so far.
+    pub fn events(&self) -> Vec<ObsEvent> {
+        self.events.lock().expect("trace sink poisoned").clone()
+    }
+
+    /// Render the recorded events as Chrome trace JSON (the
+    /// `traceEvents` object format): complete (`ph: "X"`) events for the
+    /// compute/compress/transfer spans on one track per worker, instant
+    /// (`ph: "i"`) events for lifecycle decisions — image and deadline
+    /// events on the Central track (tid 0), per-worker events on their
+    /// worker's track. The JSON is written by hand (keys and numbers
+    /// only, nothing needs escaping) so the sink carries no serializer
+    /// dependency.
+    pub fn to_json(&self) -> String {
+        let events = self.events.lock().expect("trace sink poisoned");
+        let mut out: Vec<String> = Vec::with_capacity(events.len() + 8);
+        let mut seen_workers: Vec<u32> = Vec::new();
+        out.push(
+            r#"{"name":"thread_name","ph":"M","pid":0,"tid":0,"args":{"name":"central"}}"#
+                .to_string(),
+        );
+        // Trace timestamps are µs at fixed ns precision (raw f64 Display
+        // would leak artifacts like 6000.000000000001 into the file); the
+        // finite-guard keeps the file loadable even if a driver ever
+        // emits a degenerate span.
+        let us = |s: f64| format!("{:.3}", if s.is_finite() { s * 1e6 } else { 0.0 });
+        for ev in events.iter() {
+            let worker = match *ev {
+                ObsEvent::TileDispatch { worker, .. }
+                | ObsEvent::TileRedispatch { worker, .. }
+                | ObsEvent::TileArrival { worker, .. }
+                | ObsEvent::TileDuplicate { worker, .. }
+                | ObsEvent::TileLate { worker, .. }
+                | ObsEvent::TileCorrupt { worker, .. }
+                | ObsEvent::WorkerDead { worker, .. }
+                | ObsEvent::WorkerSuspect { worker, .. }
+                | ObsEvent::WorkerCleared { worker, .. }
+                | ObsEvent::RateUpdate { worker, .. }
+                | ObsEvent::TileCompute { worker, .. }
+                | ObsEvent::TileCompress { worker, .. }
+                | ObsEvent::TileTransfer { worker, .. } => Some(worker),
+                _ => None,
+            };
+            let tid = match worker {
+                Some(w) => {
+                    if !seen_workers.contains(&w) {
+                        seen_workers.push(w);
+                        out.push(format!(
+                            r#"{{"name":"thread_name","ph":"M","pid":0,"tid":{},"args":{{"name":"worker {w}"}}}}"#,
+                            w + 1
+                        ));
+                    }
+                    w + 1
+                }
+                None => 0,
+            };
+            match *ev {
+                ObsEvent::TileCompute { at, image, tile, dur, .. } => out.push(format!(
+                    r#"{{"name":"compute","cat":"tile","ph":"X","ts":{},"dur":{},"pid":0,"tid":{tid},"args":{{"image":{image},"tile":{tile}}}}}"#,
+                    us(at - dur),
+                    us(dur),
+                )),
+                ObsEvent::TileCompress { at, image, tile, dur, bytes, ratio, .. } => {
+                    out.push(format!(
+                        r#"{{"name":"compress","cat":"tile","ph":"X","ts":{},"dur":{},"pid":0,"tid":{tid},"args":{{"image":{image},"tile":{tile},"bytes":{bytes},"ratio":{}}}}}"#,
+                        us(at - dur),
+                        us(dur),
+                        if ratio.is_finite() { ratio } else { 0.0 },
+                    ))
+                }
+                ObsEvent::TileTransfer { at, image, tile, dur, .. } => out.push(format!(
+                    r#"{{"name":"transfer","cat":"tile","ph":"X","ts":{},"dur":{},"pid":0,"tid":{tid},"args":{{"image":{image},"tile":{tile}}}}}"#,
+                    us(at - dur),
+                    us(dur),
+                )),
+                other => out.push(format!(
+                    r#"{{"name":"{}","cat":"lifecycle","ph":"i","ts":{},"pid":0,"tid":{tid},"s":"t","args":{}}}"#,
+                    other.kind(),
+                    us(other.at()),
+                    other.args_json(),
+                )),
+            }
+        }
+        format!(r#"{{"traceEvents":[{}],"displayTimeUnit":"ms"}}"#, out.join(","))
+    }
+
+    /// Write the Chrome trace JSON to `path`.
+    pub fn write_json(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+}
+
+impl EventSink for ChromeTraceSink {
+    fn emit(&self, ev: &ObsEvent) {
+        self.events.lock().expect("trace sink poisoned").push(*ev);
+    }
+}
+
+/// Test helper: records every event verbatim.
+#[derive(Debug, Default)]
+pub struct RecordingSink {
+    events: Mutex<Vec<ObsEvent>>,
+}
+
+impl RecordingSink {
+    /// A fresh, empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Copy of everything recorded so far.
+    pub fn events(&self) -> Vec<ObsEvent> {
+        self.events.lock().expect("recording sink poisoned").clone()
+    }
+
+    /// The recorded event-type sequence.
+    pub fn kinds(&self) -> Vec<&'static str> {
+        self.events().iter().map(|e| e.kind()).collect()
+    }
+}
+
+impl EventSink for RecordingSink {
+    fn emit(&self, ev: &ObsEvent) {
+        self.events.lock().expect("recording sink poisoned").push(*ev);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_handle_never_constructs_events() {
+        let sink = SinkHandle::null();
+        assert!(!sink.enabled());
+        sink.emit_with(|| panic!("closure must not run for a null handle"));
+        let null = SinkHandle::of(NullSink);
+        assert!(!null.enabled());
+        null.emit_with(|| panic!("closure must not run for a disabled sink"));
+    }
+
+    #[test]
+    fn metrics_sink_counts_and_buckets() {
+        let m = Arc::new(MetricsSink::new());
+        let h = SinkHandle::new(m.clone());
+        assert!(h.enabled());
+        h.emit_with(|| ObsEvent::ImageStart { at: 0.0, image: 0, tiles: 4, placed: 4 });
+        for t in 0..3u32 {
+            h.emit_with(|| ObsEvent::TileDispatch { at: 0.0, image: 0, tile: t, worker: 0 });
+            h.emit_with(|| ObsEvent::TileArrival { at: 0.01, image: 0, tile: t, worker: 0 });
+        }
+        h.emit_with(|| ObsEvent::TileZeroFill { at: 0.05, image: 0, tile: 3 });
+        h.emit_with(|| ObsEvent::TileCompress {
+            at: 0.02,
+            image: 0,
+            tile: 0,
+            worker: 0,
+            dur: 0.001,
+            bytes: 300,
+            ratio: 0.12,
+        });
+        h.emit_with(|| ObsEvent::ImageFinish {
+            at: 0.05,
+            image: 0,
+            latency: 0.05,
+            zero_filled: 1,
+            redispatched: 0,
+        });
+        let s = m.snapshot();
+        assert_eq!(s.images_started, 1);
+        assert_eq!(s.images_finished, 1);
+        assert_eq!(s.tiles_dispatched, 3);
+        assert_eq!(s.tiles_arrived, 3);
+        assert_eq!(s.tiles_zero_filled, 1);
+        assert_eq!(s.compressed_bytes, 300);
+        assert_eq!(s.compress_us.count, 1);
+        assert_eq!(s.compress_us.sum, 1000);
+        assert_eq!(s.image_latency_us.count, 1);
+        // 50_000 µs lands in bucket 16 (2^15 ≤ v < 2^16)
+        assert_eq!(s.image_latency_us.buckets[16], 1);
+
+        let json = s.to_json();
+        assert_balanced_json(&json);
+        for field in ["\"tiles_dispatched\":3", "\"compressed_bytes\":300", "\"compute_us\":{"] {
+            assert!(json.contains(field), "{field} missing from {json}");
+        }
+    }
+
+    /// Minimal structural JSON check: balanced braces/brackets outside
+    /// strings, and no trailing garbage. Enough to catch a malformed
+    /// hand-written trace without a JSON parser dependency.
+    fn assert_balanced_json(s: &str) {
+        let (mut depth, mut in_str, mut esc) = (0i64, false, false);
+        for c in s.chars() {
+            if in_str {
+                if esc {
+                    esc = false;
+                } else if c == '\\' {
+                    esc = true;
+                } else if c == '"' {
+                    in_str = false;
+                }
+                continue;
+            }
+            match c {
+                '"' => in_str = true,
+                '{' | '[' => depth += 1,
+                '}' | ']' => depth -= 1,
+                _ => {}
+            }
+            assert!(depth >= 0, "unbalanced close in {s}");
+        }
+        assert_eq!(depth, 0, "unbalanced JSON: {s}");
+        assert!(!in_str, "unterminated string in {s}");
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_json_with_worker_tracks() {
+        let t = Arc::new(ChromeTraceSink::new());
+        let h = SinkHandle::new(t.clone());
+        h.emit_with(|| ObsEvent::ImageStart { at: 0.0, image: 0, tiles: 2, placed: 2 });
+        h.emit_with(|| ObsEvent::TileCompute {
+            at: 0.010,
+            image: 0,
+            tile: 0,
+            worker: 1,
+            dur: 0.004,
+        });
+        h.emit_with(|| ObsEvent::TileCompress {
+            at: 0.011,
+            image: 0,
+            tile: 0,
+            worker: 1,
+            dur: 0.001,
+            bytes: 120,
+            ratio: 0.25,
+        });
+        let json = t.to_json();
+        assert_balanced_json(&json);
+        assert!(json.starts_with(r#"{"traceEvents":["#));
+        // spans are complete events on worker 1's track (tid 2), with
+        // ts = (at - dur) in µs
+        assert!(
+            json.contains(
+                r#""name":"compute","cat":"tile","ph":"X","ts":6000.000,"dur":4000.000,"pid":0,"tid":2"#
+            ),
+            "{json}"
+        );
+        assert!(json.contains(r#""name":"compress"#));
+        assert!(json.contains(r#""bytes":120"#));
+        // lifecycle decisions are instants; image events sit on the
+        // central track
+        assert!(
+            json.contains(
+                r#""name":"image_start","cat":"lifecycle","ph":"i","ts":0.000,"pid":0,"tid":0"#
+            ),
+            "{json}"
+        );
+        // both tracks are named
+        assert!(json.contains(
+            r#"{"name":"thread_name","ph":"M","pid":0,"tid":0,"args":{"name":"central"}}"#
+        ));
+        assert!(json.contains(r#""args":{"name":"worker 1"}"#));
+    }
+
+    #[test]
+    fn histogram_buckets_are_log2() {
+        let h = Histogram::default();
+        h.record(0); // bucket 0
+        h.record(1); // bucket 1
+        h.record(2); // bucket 2
+        h.record(3); // bucket 2
+        h.record(1024); // bucket 11
+        let s = h.snapshot();
+        assert_eq!(s.count, 5);
+        assert_eq!(s.sum, 1030);
+        assert_eq!(s.buckets[0], 1);
+        assert_eq!(s.buckets[1], 1);
+        assert_eq!(s.buckets[2], 2);
+        assert_eq!(s.buckets[11], 1);
+        assert_eq!(s.mean(), Some(206.0));
+    }
+}

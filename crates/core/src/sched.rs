@@ -22,6 +22,14 @@ pub struct StatsCollector {
     /// Decay parameter γ ∈ (0, 1].
     pub gamma: f64,
     s: Vec<f64>,
+    /// Nodes whose estimate was zeroed by [`StatsCollector::mark_failed`]
+    /// and have not produced a fresh positive observation since. While
+    /// flagged, zero observations keep the estimate pinned at zero, and
+    /// the first positive observation *restarts* the estimate from that
+    /// measured sample instead of blending it with the stale pre-failure
+    /// history.
+    #[serde(default)]
+    failed: Vec<bool>,
 }
 
 impl StatsCollector {
@@ -30,7 +38,7 @@ impl StatsCollector {
     pub fn new(k: usize, gamma: f64) -> Self {
         assert!(k > 0, "need at least one Conv node");
         assert!(gamma > 0.0 && gamma <= 1.0, "gamma must be in (0, 1]");
-        StatsCollector { gamma, s: vec![1.0; k] }
+        StatsCollector { gamma, s: vec![1.0; k], failed: vec![false; k] }
     }
 
     /// Number of Conv nodes tracked.
@@ -42,8 +50,8 @@ impl StatsCollector {
     /// intermediate results received from node `k` within `T_L`.
     pub fn record_image(&mut self, counts: &[u32]) {
         assert_eq!(counts.len(), self.s.len(), "count vector length mismatch");
-        for (s, &n) in self.s.iter_mut().zip(counts) {
-            *s = (1.0 - self.gamma) * *s + self.gamma * n as f64;
+        for (k, &n) in counts.iter().enumerate() {
+            self.record_node(k, n as f64);
         }
     }
 
@@ -52,6 +60,18 @@ impl StatsCollector {
     /// there is no observation to fold in for the rest).
     pub fn record_node(&mut self, k: usize, n: f64) {
         assert!(n >= 0.0, "negative count");
+        if self.failed(k) {
+            // A node that was positively observed dead: nothing short of a
+            // fresh positive observation may move its estimate, and that
+            // observation *restarts* the EWMA rather than blending — the
+            // pre-failure history describes a machine that no longer
+            // exists (it crashed, restarted, or was rescheduled).
+            if n > 0.0 {
+                self.s[k] = n;
+                self.failed[k] = false;
+            }
+            return;
+        }
         self.s[k] = (1.0 - self.gamma) * self.s[k] + self.gamma * n;
     }
 
@@ -59,9 +79,22 @@ impl StatsCollector {
     /// zero *immediately* instead of decaying over several images, so the
     /// very next Algorithm 3 allocation assigns it nothing. Used when the
     /// runtime positively observes death (task channel disconnected) rather
-    /// than inferring slowness from missed deadlines.
+    /// than inferring slowness from missed deadlines. Until the node
+    /// produces a fresh positive observation, late stragglers recorded for
+    /// it cannot resurrect the estimate.
     pub fn mark_failed(&mut self, k: usize) {
         self.s[k] = 0.0;
+        if self.failed.len() < self.s.len() {
+            // deserialized pre-flag snapshot: the vector defaults empty
+            self.failed.resize(self.s.len(), false);
+        }
+        self.failed[k] = true;
+    }
+
+    /// True while node `k` is flagged failed (guards against a
+    /// deserialized pre-flag snapshot with an empty vector).
+    fn failed(&self, k: usize) -> bool {
+        self.failed.get(k).copied().unwrap_or(false)
     }
 
     /// Current speed estimate `s_k` for node `k`.
@@ -288,6 +321,42 @@ mod tests {
         // a recovered node re-enters through fresh observations
         sc.record_node(1, 8.0);
         assert!(sc.speed(1) > 0.0);
+    }
+
+    #[test]
+    fn late_stragglers_cannot_resurrect_a_failed_node() {
+        // Regression: a result that was in flight when the node died used
+        // to blend the stale pre-failure rate back into the estimate, so
+        // Algorithm 3 kept assigning tiles to a corpse.
+        let mut sc = StatsCollector::new(2, 0.9);
+        for _ in 0..10 {
+            sc.record_image(&[8, 8]);
+        }
+        sc.mark_failed(1);
+        assert_eq!(sc.speed(1), 0.0);
+        // late straggler counted as zero timely results: stays pinned
+        sc.record_node(1, 0.0);
+        sc.record_image(&[8, 0]);
+        assert_eq!(sc.speed(1), 0.0, "zero observations must not unpin a failed node");
+        // the healthy node keeps learning normally meanwhile
+        assert!((sc.speed(0) - 8.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn recovery_restarts_from_the_measured_sample() {
+        // A cleared node restarts from what was actually measured, not a
+        // blend with the pre-failure history (the machine that produced
+        // that history is gone).
+        let mut sc = StatsCollector::new(2, 0.9);
+        for _ in 0..10 {
+            sc.record_image(&[8, 8]);
+        }
+        sc.mark_failed(1);
+        sc.record_node(1, 3.0);
+        assert_eq!(sc.speed(1), 3.0, "recovery must restart from the sample");
+        // subsequent observations blend normally again
+        sc.record_node(1, 5.0);
+        assert!((sc.speed(1) - (0.1 * 3.0 + 0.9 * 5.0)).abs() < 1e-9);
     }
 
     #[test]

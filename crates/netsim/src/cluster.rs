@@ -44,8 +44,10 @@
 use crate::engine::{EventQueue, FifoResource, SpeedSchedule, ThrottledCpu};
 use crate::profiles::LinkParams;
 use adcnn_core::compress::wire_bits_estimate;
+use adcnn_core::config::ConfigError;
 use adcnn_core::fdsp::TileGrid;
 use adcnn_core::lifecycle::{Action, Event, TileLifecycle};
+use adcnn_core::obs::{ObsEvent, RecordingSink, SinkHandle};
 use adcnn_core::sched::{StatsCollector, TileAllocator};
 use adcnn_core::wire::HEADER_BITS;
 use adcnn_nn::cost::{prefix_weight_load_s, suffix_time_s, tile_prefix_time_s, DeviceProfile};
@@ -121,6 +123,11 @@ pub struct AdcnnSimConfig {
     /// Use Algorithms 2+3 (true) or a static equal split (false — the
     /// no-adaptation control for the Figure 15 experiment).
     pub adaptive: bool,
+    /// Structured-event sink the simulated driver mirrors lifecycle
+    /// decisions and modeled compute/transfer spans into — the same
+    /// schema the real runtime emits. The default
+    /// ([`SinkHandle::null()`]) never even constructs events.
+    pub sink: SinkHandle,
 }
 
 impl AdcnnSimConfig {
@@ -147,7 +154,137 @@ impl AdcnnSimConfig {
             pipeline: true,
             seed: 42,
             adaptive: true,
+            sink: SinkHandle::null(),
         }
+    }
+
+    /// Start building a validated config from the §7.2 testbed defaults.
+    pub fn builder(model: ModelSpec, k: usize) -> AdcnnSimConfigBuilder {
+        AdcnnSimConfigBuilder { cfg: Self::paper_testbed(model, k) }
+    }
+
+    /// Check the invariants the builder enforces; [`AdcnnSim::new`]
+    /// re-validates so a hand-mutated config fails just as loudly.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        self.policy.validate()?;
+        if self.nodes.is_empty() {
+            return Err(ConfigError::NoWorkers);
+        }
+        if !(self.gamma > 0.0 && self.gamma <= 1.0) {
+            return Err(ConfigError::GammaOutOfRange(self.gamma));
+        }
+        if !matches!(self.quant_bits, 2 | 4 | 8) {
+            return Err(ConfigError::UnsupportedQuantBits(self.quant_bits as u32));
+        }
+        if self.images == 0 {
+            return Err(ConfigError::ZeroImages);
+        }
+        let blocks = self.model.blocks.len();
+        if self.prefix == 0 || self.prefix > blocks {
+            return Err(ConfigError::PrefixOutOfRange { prefix: self.prefix, blocks });
+        }
+        Ok(())
+    }
+}
+
+/// Builder for [`AdcnnSimConfig`]; see [`AdcnnSimConfig::builder`].
+/// Starts from [`AdcnnSimConfig::paper_testbed`] and validates on
+/// [`AdcnnSimConfigBuilder::build`].
+#[derive(Clone, Debug)]
+pub struct AdcnnSimConfigBuilder {
+    cfg: AdcnnSimConfig,
+}
+
+impl AdcnnSimConfigBuilder {
+    /// FDSP grid (the testbed default is the model's preferred grid).
+    pub fn grid(mut self, grid: TileGrid) -> Self {
+        self.cfg.grid = grid;
+        self
+    }
+
+    /// Separable layer blocks executed on Conv nodes.
+    pub fn prefix(mut self, prefix: usize) -> Self {
+        self.cfg.prefix = prefix;
+        self
+    }
+
+    /// Replace the Conv-node roster.
+    pub fn nodes(mut self, nodes: Vec<SimNode>) -> Self {
+        self.cfg.nodes = nodes;
+        self
+    }
+
+    /// The Central node's hardware.
+    pub fn central(mut self, central: DeviceProfile) -> Self {
+        self.cfg.central = central;
+        self
+    }
+
+    /// The shared wireless channel.
+    pub fn link(mut self, link: LinkParams) -> Self {
+        self.cfg.link = link;
+        self
+    }
+
+    /// Replace the whole lifecycle policy (e.g. one validated by
+    /// [`LifecyclePolicy::builder`](adcnn_core::lifecycle::LifecyclePolicy::builder)).
+    pub fn policy(mut self, policy: LifecyclePolicy) -> Self {
+        self.cfg.policy = policy;
+        self
+    }
+
+    /// Algorithm 2 decay γ.
+    pub fn gamma(mut self, gamma: f64) -> Self {
+        self.cfg.gamma = gamma;
+        self
+    }
+
+    /// Intermediate-result sparsity (`None` sends raw 32-bit floats).
+    pub fn compression(mut self, sparsity: Option<f64>) -> Self {
+        self.cfg.compression = sparsity;
+        self
+    }
+
+    /// Quantizer bit width (one of {2, 4, 8}).
+    pub fn quant_bits(mut self, bits: u8) -> Self {
+        self.cfg.quant_bits = bits;
+        self
+    }
+
+    /// Input images to stream through.
+    pub fn images(mut self, images: usize) -> Self {
+        self.cfg.images = images;
+        self
+    }
+
+    /// Overlap image `i+1`'s communication with image `i`'s computation.
+    pub fn pipeline(mut self, pipeline: bool) -> Self {
+        self.cfg.pipeline = pipeline;
+        self
+    }
+
+    /// Tile-allocation tie-break seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.cfg.seed = seed;
+        self
+    }
+
+    /// Use Algorithms 2+3 (true) or a static equal split (false).
+    pub fn adaptive(mut self, adaptive: bool) -> Self {
+        self.cfg.adaptive = adaptive;
+        self
+    }
+
+    /// Install a structured-event sink.
+    pub fn sink(mut self, sink: SinkHandle) -> Self {
+        self.cfg.sink = sink;
+        self
+    }
+
+    /// Validate and produce the config.
+    pub fn build(self) -> Result<AdcnnSimConfig, ConfigError> {
+        self.cfg.validate()?;
+        Ok(self.cfg)
     }
 }
 
@@ -279,11 +416,12 @@ pub struct AdcnnSim {
 }
 
 impl AdcnnSim {
-    /// Wrap a configuration.
+    /// Wrap a configuration (re-validating it, so a hand-mutated struct
+    /// fails as loudly as a builder misuse).
     pub fn new(cfg: AdcnnSimConfig) -> Self {
-        assert!(!cfg.nodes.is_empty(), "need at least one Conv node");
-        assert!(cfg.prefix > 0 && cfg.prefix <= cfg.model.blocks.len(), "bad prefix");
-        assert!(cfg.images > 0, "need at least one image");
+        if let Err(e) = cfg.validate() {
+            panic!("invalid AdcnnSimConfig: {e}");
+        }
         AdcnnSim { cfg }
     }
 
@@ -385,8 +523,16 @@ impl AdcnnSim {
                     };
                     let live: Vec<bool> =
                         (0..k).map(|n| !cfg.nodes[n].throttle.is_dead_at(now)).collect();
-                    let (lc, acts) =
-                        TileLifecycle::begin(cfg.policy, now, d, &x, stats.speeds(), &live);
+                    let (lc, acts) = TileLifecycle::begin_observed(
+                        cfg.policy,
+                        now,
+                        d,
+                        &x,
+                        stats.speeds(),
+                        &live,
+                        img as u64,
+                        cfg.sink.clone(),
+                    );
                     let send_queue: Vec<(usize, usize)> = acts
                         .iter()
                         .filter_map(|a| match a {
@@ -421,7 +567,9 @@ impl AdcnnSim {
                         try_admit!(queue, part_done);
                         for act in acts {
                             match act {
-                                Action::RecordRate { worker, rate } => {
+                                Action::RecordRate { worker, rate }
+                                    if !cfg.nodes[worker].throttle.is_dead_at(part_done) =>
+                                {
                                     stats.record_node(worker, rate)
                                 }
                                 Action::Complete => Self::start_suffix(
@@ -497,6 +645,13 @@ impl AdcnnSim {
                     if ce.is_finite() {
                         st.first_compute_start = st.first_compute_start.min(cs);
                         queue.push(ce, Ev::ComputeDone { img, node, tile });
+                        cfg.sink.emit_with(|| ObsEvent::TileCompute {
+                            at: ce,
+                            image: img as u64,
+                            tile: tile as u32,
+                            worker: node as u32,
+                            dur: ce - cs,
+                        });
                     }
                     // Figure 9 pipelining: the next image becomes eligible
                     // once this one's tiles are all on their nodes.
@@ -515,6 +670,13 @@ impl AdcnnSim {
                     let (_, send_end) = channel.acquire(now, occ);
                     st.result_busy += occ;
                     queue.push(send_end + cfg.link.latency_s, Ev::ResultArrive { img, node, tile });
+                    cfg.sink.emit_with(|| ObsEvent::TileTransfer {
+                        at: send_end + cfg.link.latency_s,
+                        image: img as u64,
+                        tile: tile as u32,
+                        worker: node as u32,
+                        dur: occ,
+                    });
                 }
                 Ev::ResultArrive { img, node, tile } => {
                     // Results for an image whose record is already gone are
@@ -535,7 +697,11 @@ impl AdcnnSim {
                             Action::ArmDeadline { span } => {
                                 queue.push(now + span, Ev::Timer { img })
                             }
-                            Action::RecordRate { worker, rate } => stats.record_node(worker, rate),
+                            Action::RecordRate { worker, rate }
+                                if !cfg.nodes[worker].throttle.is_dead_at(now) =>
+                            {
+                                stats.record_node(worker, rate)
+                            }
                             Action::Complete => complete = true,
                             _ => {}
                         }
@@ -556,10 +722,15 @@ impl AdcnnSim {
                     // Feed positively-observed deaths before judging the
                     // deadline — the sim's equivalent of the runtime's
                     // disconnect detection — so the machine never picks a
-                    // dead node as a re-dispatch target.
+                    // dead node as a re-dispatch target. The statistics are
+                    // told too (the runtime's `mark_failed` on disconnect):
+                    // the lifecycle machine suppresses rate observations
+                    // for dead nodes, so starvation must come from here,
+                    // not from stale measurements.
                     for n in 0..k {
                         if cfg.nodes[n].throttle.is_dead_at(now) {
                             st.lc.handle(Event::WorkerDied { worker: n });
+                            stats.mark_failed(n);
                         }
                     }
                     let acts = st.lc.handle(Event::DeadlineFired { at: now });
@@ -581,7 +752,11 @@ impl AdcnnSim {
                                 );
                             }
                             Action::ArmDeadline { span } => arm_span = Some(span),
-                            Action::RecordRate { worker, rate } => stats.record_node(worker, rate),
+                            Action::RecordRate { worker, rate }
+                                if !cfg.nodes[worker].throttle.is_dead_at(now) =>
+                            {
+                                stats.record_node(worker, rate)
+                            }
                             Action::Complete => complete = true,
                             _ => {}
                         }
@@ -697,6 +872,37 @@ pub fn replay_lifecycle_trace(
         out.extend(lc.handle(*ev).iter().map(|a| format!("{a:?}")));
     }
     out
+}
+
+/// Like [`replay_lifecycle_trace`], but returns the Debug-formatted
+/// sequence of structured [`ObsEvent`]s the lifecycle machine emitted
+/// while replaying — the observability schema rather than the decision
+/// stream. Timestamps are fed verbatim (the identity mapping); the
+/// cross-driver differential test asserts the sequence is byte-identical
+/// to the runtime driver's (`adcnn_runtime::central::replay_lifecycle_events`).
+pub fn replay_lifecycle_events(
+    policy: LifecyclePolicy,
+    d: usize,
+    alloc: &[u32],
+    speeds: &[f64],
+    live: &[bool],
+    trace: &[Event],
+) -> Vec<String> {
+    let rec = std::sync::Arc::new(RecordingSink::new());
+    let (mut lc, _) = TileLifecycle::begin_observed(
+        policy,
+        0.0,
+        d,
+        alloc,
+        speeds,
+        live,
+        0,
+        SinkHandle::new(rec.clone()),
+    );
+    for ev in trace {
+        lc.handle(*ev);
+    }
+    rec.events().iter().map(|e| format!("{e:?}")).collect()
 }
 
 #[cfg(test)]

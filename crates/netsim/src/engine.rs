@@ -61,11 +61,13 @@ impl<E> EventQueue<E> {
     }
 
     /// Number of pending events.
+    #[allow(dead_code)] // crate-internal API completeness; used by tests
     pub fn len(&self) -> usize {
         self.heap.len()
     }
 
     /// True if nothing is scheduled.
+    #[allow(dead_code)]
     pub fn is_empty(&self) -> bool {
         self.heap.is_empty()
     }
@@ -98,6 +100,7 @@ impl FifoResource {
     }
 
     /// Time the resource becomes free.
+    #[allow(dead_code)] // crate-internal API completeness; used by tests
     pub fn free_at(&self) -> f64 {
         self.free_at
     }

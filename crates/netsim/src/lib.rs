@@ -9,7 +9,9 @@
 //! are modeled instead of executed.
 //!
 //! Modules:
-//! - [`engine`] — minimal event queue, FIFO resources, throttleable CPUs.
+//! - `engine` (crate-internal) — minimal event queue, FIFO resources,
+//!   throttleable CPUs; its one public-facing type is re-exported as
+//!   [`ThrottleSchedule`].
 //! - [`profiles`] — calibrated bandwidths, device profiles and per-model
 //!   compression sparsities (Table 2).
 //! - [`cluster`] — the ADCNN Central + Conv-node cluster simulation
@@ -22,14 +24,17 @@
 //!   §7.2 closing suggestion, as an API).
 
 pub mod cluster;
-pub mod engine;
+pub(crate) mod engine;
 pub mod planner;
 pub mod power;
 pub mod profiles;
 pub mod schemes;
 
+pub use adcnn_core::config::ConfigError;
+pub use adcnn_core::obs::SinkHandle;
 pub use cluster::{
-    replay_lifecycle_trace, AdcnnSim, AdcnnSimConfig, ImageStats, LifecyclePolicy, SimNode,
-    SimSummary, ThrottleSchedule, TimerPolicy,
+    replay_lifecycle_events, replay_lifecycle_trace, AdcnnSim, AdcnnSimConfig,
+    AdcnnSimConfigBuilder, ImageStats, LifecyclePolicy, SimNode, SimSummary, ThrottleSchedule,
+    TimerPolicy,
 };
 pub use profiles::LinkParams;

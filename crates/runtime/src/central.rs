@@ -27,8 +27,10 @@ use crate::worker::{
     spawn_worker, Compression, WorkerMsg, WorkerOptions, WorkerStats, WorkerStatsSnapshot,
 };
 use adcnn_core::compress::Quantizer;
+use adcnn_core::config::ConfigError;
 use adcnn_core::fdsp::TileGrid;
-use adcnn_core::lifecycle::{Action, Event, LifecyclePolicy, TileLifecycle};
+use adcnn_core::lifecycle::{Action, Event, LifecyclePolicy, TileLifecycle, TimerPolicy};
+use adcnn_core::obs::{RecordingSink, SinkHandle};
 use adcnn_core::sched::{StatsCollector, TileAllocator};
 use adcnn_core::wire::{TileKey, TileResult, TileTask};
 use adcnn_core::ClippedRelu;
@@ -45,8 +47,9 @@ use std::time::{Duration, Instant};
 
 /// Central-node configuration: the shared [`LifecyclePolicy`] (deadline
 /// slack, `T_L`, re-dispatch rounds, hard timeout, timer interpretation)
-/// plus the runtime-only transport/statistics knobs.
-#[derive(Clone, Copy, Debug)]
+/// plus the runtime-only transport/statistics knobs and the observability
+/// sink both the Central node and its workers emit into.
+#[derive(Clone, Debug)]
 pub struct RuntimeConfig {
     /// The shared tile-lifecycle policy — identical in meaning to the
     /// simulator's copy in `AdcnnSimConfig`, so a plan validated there
@@ -60,6 +63,10 @@ pub struct RuntimeConfig {
     /// can hold at most this many tiles hostage; further sends fail fast
     /// and the tiles are rerouted to live workers.
     pub task_queue_cap: usize,
+    /// Structured-event sink shared by the lifecycle machine and the
+    /// worker threads. The default ([`SinkHandle::null()`]) never even
+    /// constructs events.
+    pub sink: SinkHandle,
 }
 
 impl Default for RuntimeConfig {
@@ -69,17 +76,107 @@ impl Default for RuntimeConfig {
             gamma: 0.9,
             seed: 42,
             task_queue_cap: 64,
+            sink: SinkHandle::null(),
         }
     }
 }
 
 impl RuntimeConfig {
-    /// Convenience: the default config with a different `T_L` grace.
-    pub fn with_t_l(t_l: Duration) -> Self {
-        RuntimeConfig {
-            policy: LifecyclePolicy { t_l: t_l.as_secs_f64(), ..Default::default() },
-            ..Default::default()
+    /// Start building a validated config from the defaults.
+    pub fn builder() -> RuntimeConfigBuilder {
+        RuntimeConfigBuilder { cfg: RuntimeConfig::default() }
+    }
+
+    /// Check the invariants the builder enforces;
+    /// [`AdcnnRuntime::launch`] re-validates so a hand-mutated config
+    /// fails just as loudly.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        self.policy.validate()?;
+        if !(self.gamma > 0.0 && self.gamma <= 1.0) {
+            return Err(ConfigError::GammaOutOfRange(self.gamma));
         }
+        if self.task_queue_cap == 0 {
+            return Err(ConfigError::ZeroTaskQueueCap);
+        }
+        Ok(())
+    }
+}
+
+/// Builder for [`RuntimeConfig`]; see [`RuntimeConfig::builder`]. The
+/// lifecycle-policy knobs are inlined (with `Duration` ergonomics for the
+/// time-valued ones) so most callers never touch the nested struct.
+#[derive(Clone, Debug)]
+pub struct RuntimeConfigBuilder {
+    cfg: RuntimeConfig,
+}
+
+impl RuntimeConfigBuilder {
+    /// Replace the whole lifecycle policy (e.g. one validated by
+    /// [`LifecyclePolicy::builder`]).
+    pub fn policy(mut self, policy: LifecyclePolicy) -> Self {
+        self.cfg.policy = policy;
+        self
+    }
+
+    /// Base timer `T_L`.
+    pub fn t_l(mut self, t_l: Duration) -> Self {
+        self.cfg.policy.t_l = t_l.as_secs_f64();
+        self
+    }
+
+    /// Deadline slack factor over the expected makespan.
+    pub fn slack(mut self, slack: f64) -> Self {
+        self.cfg.policy.slack = slack;
+        self
+    }
+
+    /// Speculative re-dispatch rounds before zero-filling (0 disables
+    /// recovery).
+    pub fn max_redispatch_rounds(mut self, rounds: u32) -> Self {
+        self.cfg.policy.max_redispatch_rounds = rounds;
+        self
+    }
+
+    /// Absolute per-image lifetime bound.
+    pub fn hard_timeout(mut self, timeout: Duration) -> Self {
+        self.cfg.policy.hard_timeout = timeout.as_secs_f64();
+        self
+    }
+
+    /// When the recovery timer arms.
+    pub fn timer(mut self, timer: TimerPolicy) -> Self {
+        self.cfg.policy.timer = timer;
+        self
+    }
+
+    /// Algorithm 2 decay γ.
+    pub fn gamma(mut self, gamma: f64) -> Self {
+        self.cfg.gamma = gamma;
+        self
+    }
+
+    /// Tile-allocation tie-break seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.cfg.seed = seed;
+        self
+    }
+
+    /// Depth of each worker's bounded task queue.
+    pub fn task_queue_cap(mut self, cap: usize) -> Self {
+        self.cfg.task_queue_cap = cap;
+        self
+    }
+
+    /// Install a structured-event sink.
+    pub fn sink(mut self, sink: SinkHandle) -> Self {
+        self.cfg.sink = sink;
+        self
+    }
+
+    /// Validate and produce the config.
+    pub fn build(self) -> Result<RuntimeConfig, ConfigError> {
+        self.cfg.validate()?;
+        Ok(self.cfg)
     }
 }
 
@@ -95,9 +192,6 @@ pub struct InferOutcome {
     /// Results received in time per worker (re-dispatched tiles credit the
     /// worker that actually delivered them).
     pub received: Vec<u32>,
-    /// Tiles zero-filled after the timeout.
-    #[deprecated(note = "use `zero_filled` (and `redispatched`) instead")]
-    pub dropped: u32,
     /// Tiles zero-filled after every recovery attempt failed.
     pub zero_filled: u32,
     /// Re-dispatch sends issued after the expected-makespan deadline fired
@@ -163,6 +257,14 @@ impl AdcnnRuntime {
         cfg: RuntimeConfig,
     ) -> Self {
         assert!(!worker_opts.is_empty(), "need at least one worker");
+        if let Err(e) = cfg.validate() {
+            panic!("invalid RuntimeConfig: {e}");
+        }
+        for (i, opts) in worker_opts.iter().enumerate() {
+            if let Err(e) = opts.validate() {
+                panic!("invalid WorkerOptions for worker {i}: {e}");
+            }
+        }
         let k = worker_opts.len();
         let grid = model.grid;
         let prefix_net = Network::new(model.net.blocks[..model.prefix].to_vec());
@@ -187,6 +289,10 @@ impl AdcnnRuntime {
             ),
         });
 
+        // The epoch — origin of the abstract time axis — must exist before
+        // the workers do: they stamp their compute/compress spans against
+        // it, and a span must never predate the axis.
+        let epoch = Instant::now();
         let (result_tx, result_rx) = unbounded();
         let mut task_txs = Vec::with_capacity(k);
         let mut handles = Vec::with_capacity(k);
@@ -204,6 +310,8 @@ impl AdcnnRuntime {
                 rx,
                 result_tx.clone(),
                 stats.clone(),
+                cfg.sink.clone(),
+                epoch,
             ));
             task_txs.push(tx);
             worker_stats.push(stats);
@@ -223,7 +331,7 @@ impl AdcnnRuntime {
             rng: StdRng::seed_from_u64(cfg.seed),
             cfg,
             next_image: 0,
-            epoch: Instant::now(),
+            epoch,
             boundary,
             tile_out,
         }
@@ -331,7 +439,14 @@ impl AdcnnRuntime {
                 Action::Dispatch { tile, to } => (tile, to, true),
                 Action::Redispatch { tile, to } => (tile, to, false),
                 Action::RecordRate { worker, rate } => {
-                    self.stats.record_node(worker, rate);
+                    // The machine only observes deaths it was told about;
+                    // the driver may have marked the worker failed (e.g. on
+                    // a disconnect discovered for another image) after this
+                    // measurement window opened. A stale observation would
+                    // resurrect a starved node's EWMA.
+                    if self.live[worker] {
+                        self.stats.record_node(worker, rate);
+                    }
                     continue;
                 }
                 // Timers are derived from `next_deadline()` in the collect
@@ -412,13 +527,15 @@ impl AdcnnRuntime {
         let tiles = self.grid.extract(x);
         let alloc = self.allocator.allocate(d, self.stats.speeds(), &mut self.rng);
         let start = Instant::now();
-        let (mut lc, acts) = TileLifecycle::begin(
+        let (mut lc, acts) = TileLifecycle::begin_observed(
             self.cfg.policy,
             self.rel(start),
             d,
             &alloc,
             self.stats.speeds(),
             &self.live,
+            image_id,
+            self.cfg.sink.clone(),
         );
         self.drive(&mut lc, acts, image_id, &tiles);
         let at = self.rel(Instant::now());
@@ -522,13 +639,11 @@ impl AdcnnRuntime {
             .forward_infer_range_with(&assembled, 0..n_suffix, &mut self.infer_scratch)
             .to_tensor();
         let c = lc.counters();
-        #[allow(deprecated)] // `dropped` is kept as an alias of `zero_filled`
         InferOutcome {
             output,
             latency: start.elapsed(),
             alloc: lc.alloc().to_vec(),
             received: c.received.clone(),
-            dropped: c.zero_filled,
             zero_filled: c.zero_filled,
             redispatched: c.redispatched,
             wire_bits,
@@ -596,6 +711,50 @@ pub fn replay_lifecycle_trace(
     out
 }
 
+/// Like [`replay_lifecycle_trace`], but returns the Debug-formatted
+/// sequence of structured [`ObsEvent`](adcnn_core::obs::ObsEvent)s the
+/// lifecycle machine emitted while replaying — the observability schema
+/// rather than the decision stream. The cross-driver differential test
+/// asserts this sequence is byte-identical to the simulator driver's
+/// (`adcnn_netsim::replay_lifecycle_events`).
+pub fn replay_lifecycle_events(
+    policy: LifecyclePolicy,
+    d: usize,
+    alloc: &[u32],
+    speeds: &[f64],
+    live: &[bool],
+    trace: &[Event],
+) -> Vec<String> {
+    let epoch = Instant::now();
+    let roundtrip = |at: f64| -> f64 {
+        let instant = epoch + Duration::from_secs_f64(at);
+        instant.duration_since(epoch).as_secs_f64()
+    };
+    let rec = Arc::new(RecordingSink::new());
+    let (mut lc, _) = TileLifecycle::begin_observed(
+        policy,
+        roundtrip(0.0),
+        d,
+        alloc,
+        speeds,
+        live,
+        0,
+        SinkHandle::new(rec.clone()),
+    );
+    for ev in trace {
+        let ev = match *ev {
+            Event::SendComplete { at } => Event::SendComplete { at: roundtrip(at) },
+            Event::ResultArrived { at, tile, worker, ok } => {
+                Event::ResultArrived { at: roundtrip(at), tile, worker, ok }
+            }
+            Event::DeadlineFired { at } => Event::DeadlineFired { at: roundtrip(at) },
+            other => other,
+        };
+        lc.handle(ev);
+    }
+    rec.events().iter().map(|e| format!("{e:?}")).collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -614,6 +773,50 @@ mod tests {
     fn rand_image(seed: u64) -> Tensor {
         let mut rng = StdRng::seed_from_u64(seed);
         Tensor::randn([1, 3, 32, 32], 0.5, &mut rng)
+    }
+
+    /// The default config with a different `T_L` grace (the old
+    /// `RuntimeConfig::with_t_l` shorthand, through the builder).
+    fn cfg_t_l(ms: u64) -> RuntimeConfig {
+        RuntimeConfig::builder().t_l(Duration::from_millis(ms)).build().unwrap()
+    }
+
+    #[test]
+    fn builder_validates_and_surfaces_typed_errors() {
+        let cfg = RuntimeConfig::builder()
+            .t_l(Duration::from_millis(25))
+            .slack(2.0)
+            .max_redispatch_rounds(1)
+            .hard_timeout(Duration::from_secs(3))
+            .timer(TimerPolicy::AfterSend)
+            .gamma(0.8)
+            .seed(7)
+            .task_queue_cap(16)
+            .build()
+            .unwrap();
+        assert_eq!(cfg.policy.t_l, 0.025);
+        assert_eq!(cfg.policy.slack, 2.0);
+        assert_eq!(cfg.policy.max_redispatch_rounds, 1);
+        assert_eq!(cfg.policy.hard_timeout, 3.0);
+        assert_eq!(cfg.policy.timer, TimerPolicy::AfterSend);
+        assert_eq!((cfg.gamma, cfg.seed, cfg.task_queue_cap), (0.8, 7, 16));
+        assert!(!cfg.sink.enabled());
+        assert_eq!(
+            RuntimeConfig::builder().gamma(0.0).build().unwrap_err(),
+            ConfigError::GammaOutOfRange(0.0)
+        );
+        assert_eq!(
+            RuntimeConfig::builder().gamma(1.5).build().unwrap_err(),
+            ConfigError::GammaOutOfRange(1.5)
+        );
+        assert_eq!(
+            RuntimeConfig::builder().task_queue_cap(0).build().unwrap_err(),
+            ConfigError::ZeroTaskQueueCap
+        );
+        assert_eq!(
+            RuntimeConfig::builder().slack(0.5).build().unwrap_err(),
+            ConfigError::SlackBelowOne(0.5)
+        );
     }
 
     #[test]
@@ -647,8 +850,7 @@ mod tests {
             WorkerOptions::default(),
             WorkerOptions { artificial_delay: Duration::from_millis(100), ..Default::default() },
         ];
-        let cfg = RuntimeConfig::with_t_l(Duration::from_millis(50));
-        let mut rt = AdcnnRuntime::launch(model, &opts, cfg);
+        let mut rt = AdcnnRuntime::launch(model, &opts, cfg_t_l(50));
         let mut last_alloc = vec![0u32; 3];
         for s in 0..6 {
             let out = rt.infer(&rand_image(s));
@@ -674,8 +876,8 @@ mod tests {
             WorkerOptions::default(),
             WorkerOptions { fail_after_tiles: Some(0), ..Default::default() },
         ];
-        let cfg = RuntimeConfig::with_t_l(Duration::from_millis(50));
-        let mut rt = AdcnnRuntime::launch(model, &opts, cfg);
+        let cfg = cfg_t_l(50);
+        let mut rt = AdcnnRuntime::launch(model, &opts, cfg.clone());
         let first = rt.infer(&rand_image(1));
         assert_eq!(first.zero_filled, 0, "re-dispatch should recover every tile");
         assert!(first.redispatched > 0, "dead worker's tiles must be re-dispatched");
@@ -696,7 +898,6 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)] // exercises the `dropped` alias on purpose
     fn zero_fill_fallback_when_redispatch_disabled() {
         // `max_redispatch_rounds: 0` restores the paper's pure zero-fill
         // policy: a silent worker's tiles are dropped, not recovered.
@@ -706,13 +907,15 @@ mod tests {
             WorkerOptions::default(),
             WorkerOptions { fail_after_tiles: Some(0), ..Default::default() },
         ];
-        let mut cfg = RuntimeConfig::with_t_l(Duration::from_millis(50));
-        cfg.policy.max_redispatch_rounds = 0;
+        let cfg = RuntimeConfig::builder()
+            .t_l(Duration::from_millis(50))
+            .max_redispatch_rounds(0)
+            .build()
+            .unwrap();
         let mut rt = AdcnnRuntime::launch(model, &opts, cfg);
         let first = rt.infer(&rand_image(1));
         assert!(first.zero_filled > 0, "zero-fill policy should drop the dead worker's tiles");
         assert_eq!(first.redispatched, 0);
-        assert_eq!(first.dropped, first.zero_filled, "legacy alias must track zero_filled");
         rt.shutdown();
     }
 
@@ -728,8 +931,8 @@ mod tests {
             WorkerOptions::default(),
             WorkerOptions { fail_after_tiles: Some(3), ..Default::default() },
         ];
-        let cfg = RuntimeConfig::with_t_l(Duration::from_millis(50));
-        let mut rt = AdcnnRuntime::launch(model, &opts, cfg);
+        let cfg = cfg_t_l(50);
+        let mut rt = AdcnnRuntime::launch(model, &opts, cfg.clone());
         let x = rand_image(7);
         let want = local.infer(&x);
         let out = rt.infer(&x);
@@ -759,8 +962,7 @@ mod tests {
                 ..Default::default()
             },
         ];
-        let cfg = RuntimeConfig::with_t_l(Duration::from_millis(50));
-        let mut rt = AdcnnRuntime::launch(model, &opts, cfg);
+        let mut rt = AdcnnRuntime::launch(model, &opts, cfg_t_l(50));
         let first = rt.infer(&rand_image(1));
         assert_eq!(first.zero_filled, 0, "death mid-image must be recovered");
         // By the next image the disconnect has been observed: the worker
@@ -784,8 +986,7 @@ mod tests {
         let model = build_model(25, grid);
         let opts =
             [WorkerOptions::default(), WorkerOptions { corrupt_prob: 1.0, ..Default::default() }];
-        let cfg = RuntimeConfig::with_t_l(Duration::from_millis(50));
-        let mut rt = AdcnnRuntime::launch(model, &opts, cfg);
+        let mut rt = AdcnnRuntime::launch(model, &opts, cfg_t_l(50));
         let x = rand_image(9);
         let want = local.infer(&x);
         let out = rt.infer(&x);
@@ -868,8 +1069,7 @@ mod tests {
             WorkerOptions::default(),
             WorkerOptions { artificial_delay: Duration::from_millis(30), ..Default::default() },
         ];
-        let cfg = RuntimeConfig::with_t_l(Duration::from_millis(10));
-        let mut rt = AdcnnRuntime::launch(model, &opts, cfg);
+        let mut rt = AdcnnRuntime::launch(model, &opts, cfg_t_l(10));
         let mut local = build_model(13, grid);
         let x = rand_image(42);
         let want = local.infer(&x);
@@ -914,8 +1114,7 @@ mod tests {
             WorkerOptions::default(),
             WorkerOptions { drop_prob: 0.5, fault_seed: 3, ..Default::default() },
         ];
-        let cfg = RuntimeConfig::with_t_l(Duration::from_millis(50));
-        let mut rt = AdcnnRuntime::launch(model, &opts, cfg);
+        let mut rt = AdcnnRuntime::launch(model, &opts, cfg_t_l(50));
         let mut total_redispatched = 0u32;
         for s in 0..4 {
             let out = rt.infer(&rand_image(200 + s));
@@ -948,6 +1147,10 @@ mod stream_tests {
     fn rand_images(n: usize, seed: u64) -> Vec<Tensor> {
         let mut rng = StdRng::seed_from_u64(seed);
         (0..n).map(|_| Tensor::randn([1, 3, 32, 32], 0.5, &mut rng)).collect()
+    }
+
+    fn cfg_t_l(ms: u64) -> RuntimeConfig {
+        RuntimeConfig::builder().t_l(Duration::from_millis(ms)).build().unwrap()
     }
 
     #[test]
@@ -1010,8 +1213,7 @@ mod stream_tests {
             WorkerOptions { artificial_delay: Duration::from_millis(15), ..Default::default() },
             WorkerOptions { artificial_delay: Duration::from_millis(15), ..Default::default() },
         ];
-        let cfg = RuntimeConfig::with_t_l(Duration::from_millis(50));
-        let mut rt = AdcnnRuntime::launch(model, &workers, cfg);
+        let mut rt = AdcnnRuntime::launch(model, &workers, cfg_t_l(50));
         let images = rand_images(8, 17);
         let got = rt.infer_stream(&images);
         let last = got.last().unwrap();
@@ -1032,8 +1234,7 @@ mod stream_tests {
             WorkerOptions::default(),
             WorkerOptions { fail_after_tiles: Some(2), ..Default::default() },
         ];
-        let cfg = RuntimeConfig::with_t_l(Duration::from_millis(40));
-        let mut rt = AdcnnRuntime::launch(build_model(29, grid), &workers, cfg);
+        let mut rt = AdcnnRuntime::launch(build_model(29, grid), &workers, cfg_t_l(40));
         let got = rt.infer_stream(&images);
         rt.shutdown();
         assert_eq!(got.len(), 8);
@@ -1065,8 +1266,7 @@ mod stream_tests {
                 ..Default::default()
             },
         ];
-        let cfg = RuntimeConfig::with_t_l(Duration::from_millis(10));
-        let mut rt = AdcnnRuntime::launch(build_model(47, grid), &workers, cfg);
+        let mut rt = AdcnnRuntime::launch(build_model(47, grid), &workers, cfg_t_l(10));
         let got = rt.infer_stream(&images);
         rt.shutdown();
         assert!(

@@ -13,6 +13,8 @@
 pub mod central;
 pub mod worker;
 
+pub use adcnn_core::config::ConfigError;
 pub use adcnn_core::lifecycle::{LifecyclePolicy, TimerPolicy};
-pub use central::{AdcnnRuntime, InferOutcome, RuntimeConfig};
-pub use worker::{WorkerOptions, WorkerStats, WorkerStatsSnapshot};
+pub use adcnn_core::obs::SinkHandle;
+pub use central::{AdcnnRuntime, InferOutcome, RuntimeConfig, RuntimeConfigBuilder};
+pub use worker::{WorkerOptions, WorkerOptionsBuilder, WorkerStats, WorkerStatsSnapshot};

@@ -6,6 +6,8 @@
 //! clipped-ReLU + quantize + RLE pipeline, and sends [`TileResult`]s back.
 
 use adcnn_core::compress::{clip_and_compress_into, compress_into, CompressScratch, Quantizer};
+use adcnn_core::config::{check_probability, ConfigError};
+use adcnn_core::obs::{ObsEvent, SinkHandle};
 use adcnn_core::wire::{make_result_from_parts, TileResult, TileTask};
 use adcnn_nn::infer::InferScratch;
 use adcnn_nn::Network;
@@ -45,6 +47,76 @@ pub struct WorkerOptions {
     /// Seed for the fault-injection RNG (mixed with the worker id so
     /// identically-configured workers fault independently).
     pub fault_seed: u64,
+}
+
+impl WorkerOptions {
+    /// Start building validated options from the defaults.
+    pub fn builder() -> WorkerOptionsBuilder {
+        WorkerOptionsBuilder { opts: WorkerOptions::default() }
+    }
+
+    /// Check the invariants the builder enforces; `AdcnnRuntime::launch`
+    /// re-validates so a hand-mutated struct fails just as loudly.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        check_probability("drop_prob", self.drop_prob)?;
+        check_probability("corrupt_prob", self.corrupt_prob)
+    }
+}
+
+/// Builder for [`WorkerOptions`]; see [`WorkerOptions::builder`].
+#[derive(Clone, Debug)]
+pub struct WorkerOptionsBuilder {
+    opts: WorkerOptions,
+}
+
+impl WorkerOptionsBuilder {
+    /// Extra sleep per tile.
+    pub fn artificial_delay(mut self, d: Duration) -> Self {
+        self.opts.artificial_delay = d;
+        self
+    }
+
+    /// Stop responding after this many tiles.
+    pub fn fail_after_tiles(mut self, n: usize) -> Self {
+        self.opts.fail_after_tiles = Some(n);
+        self
+    }
+
+    /// Exit (disconnecting the task channel) instead of going silent.
+    pub fn disconnect_on_fail(mut self, yes: bool) -> Self {
+        self.opts.disconnect_on_fail = yes;
+        self
+    }
+
+    /// Per-tile probability that the result is silently lost.
+    pub fn drop_prob(mut self, p: f64) -> Self {
+        self.opts.drop_prob = p;
+        self
+    }
+
+    /// Extra uniform random delay in `[0, jitter]` per tile.
+    pub fn delay_jitter(mut self, jitter: Duration) -> Self {
+        self.opts.delay_jitter = jitter;
+        self
+    }
+
+    /// Per-tile probability that the payload fails to decode.
+    pub fn corrupt_prob(mut self, p: f64) -> Self {
+        self.opts.corrupt_prob = p;
+        self
+    }
+
+    /// Fault-injection RNG seed.
+    pub fn fault_seed(mut self, seed: u64) -> Self {
+        self.opts.fault_seed = seed;
+        self
+    }
+
+    /// Validate and produce the options.
+    pub fn build(self) -> Result<WorkerOptions, ConfigError> {
+        self.opts.validate()?;
+        Ok(self.opts)
+    }
 }
 
 /// Control messages from the Central node.
@@ -124,8 +196,12 @@ impl WorkerStatsSnapshot {
 /// `prefix` is the worker's clone of the separable blocks; results go to
 /// `results` tagged with `worker_id`. The thread owns one [`InferScratch`]
 /// and one [`CompressScratch`], so its steady-state tile loop performs zero
-/// heap allocation up to the final per-result payload copy.
-pub fn spawn_worker(
+/// heap allocation up to the final per-result payload copy. Per-tile
+/// compute/compress spans are mirrored into `sink` with timestamps
+/// relative to `epoch` — the same time axis the Central node's lifecycle
+/// events use.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn spawn_worker(
     worker_id: usize,
     prefix: Network,
     compression: Option<Compression>,
@@ -133,6 +209,8 @@ pub fn spawn_worker(
     tasks: Receiver<WorkerMsg>,
     results: Sender<(usize, TileResult)>,
     stats: Arc<WorkerStats>,
+    sink: SinkHandle,
+    epoch: Instant,
 ) -> JoinHandle<()> {
     std::thread::Builder::new()
         .name(format!("conv-node-{worker_id}"))
@@ -197,6 +275,25 @@ pub fn spawn_worker(
                 let t2 = Instant::now();
                 let mut result = make_result_from_parts(task.key, shape, elems, encoded, quantizer);
                 stats.record(t1.duration_since(t0), t2.duration_since(t1));
+                sink.emit_with(|| ObsEvent::TileCompute {
+                    at: t1.duration_since(epoch).as_secs_f64(),
+                    image: task.key.image_id,
+                    tile: task.key.tile_id,
+                    worker: worker_id as u32,
+                    dur: t1.duration_since(t0).as_secs_f64(),
+                });
+                sink.emit_with(|| {
+                    let bits = result.wire_bits();
+                    ObsEvent::TileCompress {
+                        at: t2.duration_since(epoch).as_secs_f64(),
+                        image: task.key.image_id,
+                        tile: task.key.tile_id,
+                        worker: worker_id as u32,
+                        dur: t2.duration_since(t1).as_secs_f64(),
+                        bytes: bits / 8,
+                        ratio: bits as f64 / (elems as f64 * 32.0),
+                    }
+                });
                 processed += 1;
                 if opts.drop_prob > 0.0 && faults.gen_bool(opts.drop_prob) {
                     continue; // the result vanishes on the "wire"
@@ -248,6 +345,8 @@ mod tests {
             task_rx,
             res_tx,
             stats.clone(),
+            SinkHandle::null(),
+            Instant::now(),
         );
 
         let tile = Tensor::full([1, 1, 4, 4], 0.5);
@@ -273,7 +372,17 @@ mod tests {
         let (res_tx, res_rx) = unbounded();
         let opts = WorkerOptions { fail_after_tiles: Some(1), ..Default::default() };
         let stats = Arc::new(WorkerStats::default());
-        let h = spawn_worker(0, tiny_prefix(2), None, opts, task_rx, res_tx, stats.clone());
+        let h = spawn_worker(
+            0,
+            tiny_prefix(2),
+            None,
+            opts,
+            task_rx,
+            res_tx,
+            stats.clone(),
+            SinkHandle::null(),
+            Instant::now(),
+        );
 
         for i in 0..3u32 {
             task_tx
@@ -307,6 +416,8 @@ mod tests {
             task_rx,
             res_tx,
             Arc::new(WorkerStats::default()),
+            SinkHandle::null(),
+            Instant::now(),
         );
         for i in 0..2u32 {
             task_tx
@@ -327,7 +438,17 @@ mod tests {
         let (res_tx, res_rx) = unbounded();
         let opts = WorkerOptions { drop_prob: 1.0, ..Default::default() };
         let stats = Arc::new(WorkerStats::default());
-        let h = spawn_worker(0, tiny_prefix(5), None, opts, task_rx, res_tx, stats.clone());
+        let h = spawn_worker(
+            0,
+            tiny_prefix(5),
+            None,
+            opts,
+            task_rx,
+            res_tx,
+            stats.clone(),
+            SinkHandle::null(),
+            Instant::now(),
+        );
         for i in 0..3u32 {
             task_tx
                 .send(WorkerMsg::Tile(TileTask {
@@ -357,6 +478,8 @@ mod tests {
             task_rx,
             res_tx,
             Arc::new(WorkerStats::default()),
+            SinkHandle::null(),
+            Instant::now(),
         );
         task_tx
             .send(WorkerMsg::Tile(TileTask {
@@ -371,6 +494,78 @@ mod tests {
     }
 
     #[test]
+    fn options_builder_validates_probabilities() {
+        let opts = WorkerOptions::builder()
+            .artificial_delay(Duration::from_millis(5))
+            .fail_after_tiles(3)
+            .disconnect_on_fail(true)
+            .drop_prob(0.25)
+            .delay_jitter(Duration::from_millis(2))
+            .corrupt_prob(0.5)
+            .fault_seed(7)
+            .build()
+            .unwrap();
+        assert_eq!(opts.fail_after_tiles, Some(3));
+        assert!(opts.disconnect_on_fail);
+        assert_eq!(opts.drop_prob, 0.25);
+        assert!(matches!(
+            WorkerOptions::builder().drop_prob(1.5).build(),
+            Err(ConfigError::ProbabilityOutOfRange { field: "drop_prob", .. })
+        ));
+        assert!(matches!(
+            WorkerOptions::builder().corrupt_prob(-0.1).build(),
+            Err(ConfigError::ProbabilityOutOfRange { field: "corrupt_prob", .. })
+        ));
+        assert!(WorkerOptions::builder().drop_prob(f64::NAN).build().is_err());
+    }
+
+    #[test]
+    fn worker_mirrors_compute_and_compress_spans() {
+        use adcnn_core::obs::RecordingSink;
+        let (task_tx, task_rx) = unbounded();
+        let (res_tx, res_rx) = unbounded();
+        let rec = Arc::new(RecordingSink::new());
+        let epoch = Instant::now();
+        let h = spawn_worker(
+            2,
+            tiny_prefix(8),
+            None,
+            WorkerOptions::default(),
+            task_rx,
+            res_tx,
+            Arc::new(WorkerStats::default()),
+            SinkHandle::new(rec.clone()),
+            epoch,
+        );
+        task_tx
+            .send(WorkerMsg::Tile(TileTask {
+                key: TileKey { image_id: 4, tile_id: 1 },
+                tile: Tensor::full([1, 1, 4, 4], 0.5),
+            }))
+            .unwrap();
+        let _ = res_rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        task_tx.send(WorkerMsg::Shutdown).unwrap();
+        h.join().unwrap();
+        let events = rec.events();
+        assert_eq!(rec.kinds(), vec!["tile_compute", "tile_compress"]);
+        for ev in &events {
+            match *ev {
+                ObsEvent::TileCompute { at, image, tile, worker, dur } => {
+                    assert_eq!((image, tile, worker), (4, 1, 2));
+                    assert!(at >= dur && dur >= 0.0);
+                }
+                ObsEvent::TileCompress { image, tile, worker, dur, bytes, ratio, .. } => {
+                    assert_eq!((image, tile, worker), (4, 1, 2));
+                    assert!(dur >= 0.0);
+                    assert!(bytes > 0);
+                    assert!(ratio > 0.0 && ratio <= 1.0, "ratio {ratio}");
+                }
+                other => panic!("unexpected event {other:?}"),
+            }
+        }
+    }
+
+    #[test]
     fn worker_exits_when_central_drops() {
         let (task_tx, task_rx) = unbounded();
         let (res_tx, res_rx) = unbounded();
@@ -382,6 +577,8 @@ mod tests {
             task_rx,
             res_tx,
             Arc::new(WorkerStats::default()),
+            SinkHandle::null(),
+            Instant::now(),
         );
         drop(res_rx);
         task_tx

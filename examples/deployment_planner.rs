@@ -23,8 +23,7 @@ fn main() {
 
     let sep = model.separable_prefix;
     let blocks = model.blocks.len();
-    let mut cfg = AdcnnSimConfig::paper_testbed(model, 8);
-    cfg.images = 10;
+    let cfg = AdcnnSimConfig::builder(model, 8).images(10).build().expect("valid sim config");
 
     // A Figure-10-shaped accuracy oracle: mild degradation per tile, a
     // steeper penalty for splitting past the separable region (where FDSP

@@ -31,9 +31,11 @@ fn main() {
     let v100 = DeviceProfile::cloud_v100();
 
     // ADCNN on 8 simulated Pi Conv nodes.
-    let mut cfg = AdcnnSimConfig::paper_testbed(model.clone(), 8);
-    cfg.images = 30;
-    cfg.pipeline = false;
+    let cfg = AdcnnSimConfig::builder(model.clone(), 8)
+        .images(30)
+        .pipeline(false)
+        .build()
+        .expect("valid sim config");
     let run = AdcnnSim::new(cfg).run();
     println!("\nADCNN (8 Conv nodes, 87.72 Mbps WiFi):");
     println!("  latency        {:>8.1} ms", run.steady_latency_s() * 1e3);

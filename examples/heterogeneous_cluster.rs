@@ -8,14 +8,16 @@
 //! ```
 
 use adcnn::core::fdsp::TileGrid;
+use adcnn::core::obs::ChromeTraceSink;
 use adcnn::core::ClippedRelu;
 use adcnn::nn::layer::QuantizeSte;
 use adcnn::nn::small::shapes_cnn;
 use adcnn::retrain::data::{shapes, SHAPE_CLASSES};
 use adcnn::retrain::PartitionedModel;
-use adcnn::runtime::{AdcnnRuntime, RuntimeConfig, WorkerOptions};
+use adcnn::runtime::{AdcnnRuntime, RuntimeConfig, SinkHandle, WorkerOptions};
 use adcnn::tensor::Tensor;
 use rand::{rngs::StdRng, SeedableRng};
+use std::sync::Arc;
 use std::time::Duration;
 
 fn main() {
@@ -35,7 +37,14 @@ fn main() {
         WorkerOptions { artificial_delay: Duration::from_millis(90), ..Default::default() },
         WorkerOptions { fail_after_tiles: Some(12), ..Default::default() },
     ];
-    let cfg = RuntimeConfig::with_t_l(Duration::from_millis(40));
+    // Record a Chrome/Perfetto trace of the whole run: compute/compress
+    // spans on one track per worker, lifecycle decisions as instants.
+    let trace = Arc::new(ChromeTraceSink::new());
+    let cfg = RuntimeConfig::builder()
+        .t_l(Duration::from_millis(40))
+        .sink(SinkHandle::new(trace.clone()))
+        .build()
+        .expect("valid runtime config");
     let mut rt = AdcnnRuntime::launch(model, &workers, cfg);
 
     let data = shapes(1, 24, 32, 9);
@@ -77,4 +86,13 @@ fn main() {
          exactly the §7.3 behaviour."
     );
     rt.shutdown();
+
+    let trace_path = "results/heterogeneous_cluster_trace.json";
+    match trace.write_json(trace_path) {
+        Ok(()) => println!(
+            "wrote {} trace events to {trace_path} (open in chrome://tracing or ui.perfetto.dev)",
+            trace.events().len()
+        ),
+        Err(e) => eprintln!("could not write {trace_path}: {e}"),
+    }
 }

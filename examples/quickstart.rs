@@ -17,17 +17,23 @@ use adcnn::tensor::loss::accuracy;
 use rand::{rngs::StdRng, SeedableRng};
 
 fn main() {
+    // QUICKSTART_SMOKE=1 (the CI gate) shrinks data and epoch budgets so
+    // the whole tour — train, retrain, serve — runs in seconds; the
+    // pipeline exercised is identical.
+    let smoke = std::env::var_os("QUICKSTART_SMOKE").is_some();
+
     // 1. A synthetic image-classification task (see DESIGN.md for why this
     //    substitutes for Caltech101/ImageNet) and a small CNN.
     println!("[1/4] generating data and training the original model…");
-    let data = shapes(480, 240, 32, 7);
+    let data = if smoke { shapes(96, 48, 32, 7) } else { shapes(480, 240, 32, 7) };
     let mut rng = StdRng::seed_from_u64(1);
     let model = shapes_cnn(SHAPE_CLASSES, &mut rng);
     let mut original = PartitionedModel::unpartitioned(model);
+    let epochs = if smoke { 4 } else { 30 };
     let report = train(
         &mut original,
         &data,
-        &TrainConfig { epochs: 30, target_accuracy: 0.95, ..Default::default() },
+        &TrainConfig { epochs, target_accuracy: 0.95, ..Default::default() },
     );
     println!(
         "      original accuracy: {:.1}% after {} epochs",
@@ -47,8 +53,12 @@ fn main() {
         prefix_scale: (2, 2),
     };
     let grid = TileGrid::new(4, 4);
-    let (retrained, prog) =
-        progressive_retrain(original_model, &data, grid, &RetrainConfig::default());
+    let retrain_cfg = if smoke {
+        RetrainConfig { max_epochs_per_stage: 1, ..Default::default() }
+    } else {
+        RetrainConfig::default()
+    };
+    let (retrained, prog) = progressive_retrain(original_model, &data, grid, &retrain_cfg);
     for s in &prog.stages {
         println!(
             "      {:<14} acc {:.1}% -> {:.1}% in {} epoch(s)",
@@ -71,12 +81,13 @@ fn main() {
         AdcnnRuntime::launch(retrained, &[WorkerOptions::default(); 4], RuntimeConfig::default());
 
     // 4. Serve the test set tile-by-tile across the cluster.
-    println!("[4/4] serving {} test images…", data.test_len().min(32));
+    let serve = data.test_len().min(if smoke { 8 } else { 32 });
+    println!("[4/4] serving {serve} test images…");
     let mut correct = 0usize;
     let mut total = 0usize;
     let dims = data.test_x.dims().to_vec();
     let stride: usize = dims[1..].iter().product();
-    for i in 0..data.test_len().min(32) {
+    for i in 0..serve {
         let img = adcnn::tensor::Tensor::from_vec(
             [1, dims[1], dims[2], dims[3]],
             data.test_x.as_slice()[i * stride..(i + 1) * stride].to_vec(),

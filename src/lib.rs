@@ -25,3 +25,28 @@ pub use adcnn_nn as nn;
 pub use adcnn_retrain as retrain;
 pub use adcnn_runtime as runtime;
 pub use adcnn_tensor as tensor;
+
+/// One-import surface for the common user-facing types.
+///
+/// ```
+/// use adcnn::prelude::*;
+///
+/// let cfg = RuntimeConfig::builder().gamma(0.5).build().unwrap();
+/// assert_eq!(cfg.gamma, 0.5);
+/// ```
+pub mod prelude {
+    pub use adcnn_core::config::ConfigError;
+    pub use adcnn_core::fdsp::TileGrid;
+    pub use adcnn_core::lifecycle::{LifecyclePolicy, TimerPolicy};
+    pub use adcnn_core::obs::{
+        ChromeTraceSink, EventSink, MetricsSink, MetricsSnapshot, NullSink, ObsEvent, SinkHandle,
+    };
+    pub use adcnn_netsim::cluster::{AdcnnSim, AdcnnSimConfig, AdcnnSimConfigBuilder, SimSummary};
+    pub use adcnn_nn::zoo::{alexnet, resnet18, resnet34, vgg16, yolo, ModelSpec};
+    pub use adcnn_retrain::PartitionedModel;
+    pub use adcnn_runtime::central::{
+        AdcnnRuntime, InferOutcome, RuntimeConfig, RuntimeConfigBuilder,
+    };
+    pub use adcnn_runtime::worker::{WorkerOptions, WorkerOptionsBuilder};
+    pub use adcnn_tensor::Tensor;
+}

@@ -101,6 +101,63 @@ fn steady_state_tile_loop_is_allocation_free() {
     );
 }
 
+/// The observability layer's zero-cost-when-disabled contract, proven at
+/// the allocator: the exact hot loop of the first test, now emitting the
+/// worker's per-tile `TileCompute`/`TileCompress` events through a
+/// disabled [`NullSink`] handle, must still hit the allocator zero times.
+/// (`emit_with` never runs the constructor closure when the sink is
+/// disabled, so the events cost a branch, not an allocation.)
+#[test]
+fn steady_state_tile_loop_with_null_sink_is_allocation_free() {
+    use adcnn::core::obs::{NullSink, ObsEvent, SinkHandle};
+
+    let mut rng = StdRng::seed_from_u64(44);
+    let net = prefix_net(&mut rng);
+    let tile = Tensor::randn([1, 3, 16, 16], 0.5, &mut rng);
+    let cr = ClippedRelu::new(0.1, 1.1);
+    let q = Quantizer::paper_default(cr);
+
+    let sink = SinkHandle::of(NullSink);
+    assert!(!sink.enabled());
+
+    let mut scratch = InferScratch::new();
+    let mut cs = CompressScratch::new();
+    for _ in 0..3 {
+        let out = net.forward_infer_with(&tile, &mut scratch);
+        let _ = clip_and_compress_into(out.as_slice(), cr, q, &mut cs);
+    }
+
+    let before = allocs();
+    for i in 0..10u64 {
+        let out = net.forward_infer_with(&tile, &mut scratch);
+        let elems = out.numel();
+        let enc = clip_and_compress_into(out.as_slice(), cr, q, &mut cs);
+        assert!(!enc.is_empty());
+        sink.emit_with(|| ObsEvent::TileCompute {
+            at: i as f64 * 1e-3,
+            image: 0,
+            tile: i as u32,
+            worker: 0,
+            dur: 1e-3,
+        });
+        sink.emit_with(|| ObsEvent::TileCompress {
+            at: i as f64 * 1e-3,
+            image: 0,
+            tile: i as u32,
+            worker: 0,
+            dur: 1e-4,
+            bytes: enc.len() as u64,
+            ratio: (enc.len() as u64 * 8) as f64 / (elems as f64 * 32.0),
+        });
+    }
+    let hot_path_allocs = allocs() - before;
+    assert_eq!(
+        hot_path_allocs, 0,
+        "a disabled sink must keep the hot path allocation-free (got {hot_path_allocs} \
+         allocations over 10 tiles)"
+    );
+}
+
 #[test]
 fn wire_boundary_allocations_are_bounded() {
     let mut rng = StdRng::seed_from_u64(43);

@@ -132,8 +132,11 @@ fn cluster_survives_worker_death_without_losing_tiles() {
         WorkerOptions { fail_after_tiles: Some(3), ..Default::default() },
         WorkerOptions { fail_after_tiles: Some(10), ..Default::default() },
     ];
-    let cfg = RuntimeConfig::with_t_l(std::time::Duration::from_millis(50));
-    let mut rt = AdcnnRuntime::launch(model, &opts, cfg);
+    let cfg = RuntimeConfig::builder()
+        .t_l(std::time::Duration::from_millis(50))
+        .build()
+        .expect("valid runtime config");
+    let mut rt = AdcnnRuntime::launch(model, &opts, cfg.clone());
     let images: Vec<Tensor> =
         (0..8).map(|_| Tensor::randn([1, 3, 32, 32], 0.5, &mut rng)).collect();
     let want: Vec<Tensor> = images.iter().map(|x| local.infer(x)).collect();
@@ -156,6 +159,79 @@ fn cluster_survives_worker_death_without_losing_tiles() {
     assert_eq!(last.alloc[2], 0, "dead worker 2 still allocated: {:?}", last.alloc);
     assert_eq!(last.redispatched, 0, "steady state should not need recovery");
     rt.shutdown();
+}
+
+/// Every counter a `MetricsSink` accumulates must reconcile exactly with
+/// the per-image `InferOutcome`s the caller saw — under fault injection
+/// (a worker death plus a corrupting worker), not just on the happy path.
+/// The metrics pipeline and the API results are two views of the same
+/// run; if they drift, one of them is lying.
+#[test]
+fn metrics_snapshot_reconciles_with_infer_outcomes_under_faults() {
+    use adcnn::core::obs::MetricsSink;
+    use adcnn::runtime::SinkHandle;
+    use std::sync::Arc;
+
+    let cr = ClippedRelu::new(0.0, 2.0);
+    let model =
+        PartitionedModel::fdsp(shapes_cnn(6, &mut StdRng::seed_from_u64(17)), TileGrid::new(4, 4))
+            .with_crelu(cr)
+            .with_quant(QuantizeSte::new(4, cr.range()));
+    let opts = [
+        WorkerOptions::default(),
+        WorkerOptions::builder().fail_after_tiles(5).disconnect_on_fail(true).build().unwrap(),
+        WorkerOptions::builder().corrupt_prob(0.3).fault_seed(99).build().unwrap(),
+    ];
+    let metrics = Arc::new(MetricsSink::new());
+    let cfg = RuntimeConfig::builder()
+        .t_l(std::time::Duration::from_millis(40))
+        .sink(SinkHandle::new(metrics.clone()))
+        .build()
+        .unwrap();
+    let mut rt = AdcnnRuntime::launch(model, &opts, cfg);
+    let mut rng = StdRng::seed_from_u64(18);
+    let images: Vec<Tensor> =
+        (0..6).map(|_| Tensor::randn([1, 3, 32, 32], 0.5, &mut rng)).collect();
+    let got = rt.infer_stream(&images);
+    rt.shutdown();
+
+    let snap = metrics.snapshot();
+    let n = images.len() as u64;
+    let d = 16u64; // 4x4 grid
+    assert_eq!(snap.images_started, n);
+    assert_eq!(snap.images_finished, n);
+    assert_eq!(snap.image_latency_us.count, n);
+
+    let received: u64 = got.iter().map(|o| o.received.iter().map(|&r| r as u64).sum::<u64>()).sum();
+    let zero_filled: u64 = got.iter().map(|o| o.zero_filled as u64).sum();
+    let redispatched: u64 = got.iter().map(|o| o.redispatched as u64).sum();
+    assert_eq!(snap.tiles_arrived, received);
+    assert_eq!(snap.tiles_zero_filled, zero_filled);
+    // The event stream records every recovery *send attempt*; the outcome
+    // counter nets out attempts whose send was rejected (a dead worker's
+    // closed queue) before the tile was re-routed.
+    assert!(
+        snap.tiles_redispatched >= redispatched,
+        "{} redispatch events < {redispatched} net redispatches",
+        snap.tiles_redispatched
+    );
+    // Every tile is accounted for exactly once: accepted or zero-filled.
+    assert_eq!(snap.tiles_arrived + snap.tiles_zero_filled, n * d);
+    // Round-0 dispatches cover every tile; send rejections re-route as
+    // fresh dispatches, so the count can only exceed n*d.
+    assert!(snap.tiles_dispatched >= n * d, "{} dispatches", snap.tiles_dispatched);
+
+    // The injected faults actually showed up in the metrics stream.
+    assert!(snap.workers_died >= 1, "worker death not observed");
+    assert!(snap.tiles_corrupt > 0, "corruption not observed");
+    assert!(redispatched > 0, "death must force re-dispatch");
+
+    // Worker-side spans: one compute + one compress per computed tile, and
+    // every accepted result was computed by someone.
+    assert_eq!(snap.compute_us.count, snap.compress_us.count);
+    assert!(snap.compute_us.count >= snap.tiles_arrived);
+    assert!(snap.compressed_bytes > 0);
+    assert!(snap.compute_us.mean().unwrap_or(0.0) > 0.0);
 }
 
 /// The §4 pipeline is lossless for level values and bounded-error for

@@ -33,6 +33,76 @@ fn assert_identical(
     rt
 }
 
+/// Replay through both drivers' observability plumbing and assert the
+/// emitted `ObsEvent` sequences (schema, ordering, every field) are
+/// byte-identical. A trace viewer or metrics pipeline built against one
+/// driver must read the other without translation.
+fn assert_identical_events(
+    policy: LifecyclePolicy,
+    d: usize,
+    alloc: &[u32],
+    speeds: &[f64],
+    live: &[bool],
+    trace: &[Event],
+) -> Vec<String> {
+    let rt = adcnn_runtime::central::replay_lifecycle_events(policy, d, alloc, speeds, live, trace);
+    let sim = adcnn_netsim::replay_lifecycle_events(policy, d, alloc, speeds, live, trace);
+    assert_eq!(rt, sim, "runtime and simulator emit different observability event sequences");
+    assert!(!rt.is_empty(), "a non-trivial trace must emit events");
+    rt
+}
+
+#[test]
+fn healthy_trace_emits_identical_event_sequences() {
+    let trace = [
+        Event::TileDelivered { tile: 0 },
+        Event::TileDelivered { tile: 1 },
+        Event::SendComplete { at: 0.004 },
+        Event::ResultArrived { at: 0.020, tile: 0, worker: 0, ok: true },
+        Event::ResultArrived { at: 0.021, tile: 1, worker: 1, ok: true },
+    ];
+    let events = assert_identical_events(policy(), 2, &[1, 1], &[1.0, 1.0], &[true, true], &trace);
+    assert!(events[0].starts_with("ImageStart"), "{events:?}");
+    assert_eq!(events.iter().filter(|e| e.starts_with("TileDispatch")).count(), 2);
+    assert_eq!(events.iter().filter(|e| e.starts_with("TileArrival")).count(), 2);
+    assert_eq!(events.iter().filter(|e| e.starts_with("RateUpdate")).count(), 2);
+    assert!(events.last().unwrap().starts_with("ImageFinish"), "{events:?}");
+}
+
+#[test]
+fn faulty_trace_emits_identical_event_sequences() {
+    // Same scenario as `dead_worker_redispatch_then_zero_fill_is_identical`:
+    // a death, a recovery round, a zero-fill — the full fault taxonomy must
+    // come out of both drivers in the same order with the same fields.
+    let p = LifecyclePolicy { max_redispatch_rounds: 1, ..policy() };
+    let dl1 = 0.010 + 0.010 * p.slack + p.t_l;
+    let dl2 = dl1 + 0.010 * p.slack * 2.0 + p.t_l;
+    let trace = [
+        Event::TileDelivered { tile: 0 },
+        Event::TileDelivered { tile: 1 },
+        Event::TileDelivered { tile: 2 },
+        Event::TileDelivered { tile: 3 },
+        Event::SendComplete { at: 0.004 },
+        Event::ResultArrived { at: 0.010, tile: 1, worker: 1, ok: true },
+        Event::ResultArrived { at: 0.012, tile: 3, worker: 1, ok: true },
+        Event::WorkerDied { worker: 0 },
+        Event::DeadlineFired { at: dl1 },
+        // Timestamps between the deadlines are literals (not float sums):
+        // the event stream carries `at` fields, so every time must survive
+        // the runtime's nanosecond-grain Duration roundtrip bit-exactly.
+        Event::ResultArrived { at: 0.055, tile: 0, worker: 1, ok: true },
+        Event::DeadlineFired { at: dl2 },
+        // one corrupt straggler after completion: Late, not Accept
+        Event::ResultArrived { at: 0.110, tile: 2, worker: 0, ok: false },
+    ];
+    let events = assert_identical_events(p, 4, &[2, 2], &[1.0, 5.0], &[true, true], &trace);
+    for kind in
+        ["WorkerDead", "DeadlineFired", "TileRedispatch", "TileZeroFill", "TileLate", "ImageFinish"]
+    {
+        assert!(events.iter().any(|e| e.starts_with(kind)), "missing {kind}: {events:?}");
+    }
+}
+
 #[test]
 fn healthy_completion_is_identical() {
     let trace = [

@@ -13,10 +13,7 @@ fn latency(cfg: AdcnnSimConfig) -> f64 {
 }
 
 fn base_cfg(model: adcnn::nn::zoo::ModelSpec, k: usize) -> AdcnnSimConfig {
-    let mut cfg = AdcnnSimConfig::paper_testbed(model, k);
-    cfg.images = 20;
-    cfg.pipeline = false;
-    cfg
+    AdcnnSimConfig::builder(model, k).images(20).pipeline(false).build().expect("valid sim config")
 }
 
 /// Figure 11: ADCNN beats the single-device scheme. At the paper's stated
