@@ -24,10 +24,23 @@ echo "==> quickstart smoke run"
 # this finishes in seconds.
 QUICKSTART_SMOKE=1 cargo run --release --example quickstart >/dev/null
 
+echo "==> forensic observability smoke run (heterogeneous_cluster)"
+# The example attaches the full sink stack (Chrome trace + metrics +
+# attribution + flight recorder) and asserts the forensic/attribution JSON
+# it emits under results/ is well-formed before writing it.
+cargo run --release --example heterogeneous_cluster >/dev/null
+
 echo "==> record GEMM baseline (results/BENCH_gemm.json)"
 # The micro bench's custom main records the packed-vs-seed speedup before
 # the criterion groups run.
 cargo bench -p adcnn-bench --bench micro >/dev/null
 cat results/BENCH_gemm.json
+
+echo "==> record runtime baseline (results/BENCH_runtime.json)"
+# Figure 15's harness runs with attribution + the flight recorder tee'd in
+# and flattens the adaptive run's MetricsSnapshot into the stable perf
+# trajectory schema.
+cargo bench -p adcnn-bench --bench fig15_dynamic_adaptation >/dev/null
+cat results/BENCH_runtime.json
 
 echo "==> CI OK"

@@ -7,10 +7,26 @@
 
 use adcnn_bench::{emit_json, print_table};
 use adcnn_core::obs::{MetricsSink, MetricsSnapshot};
+use adcnn_core::report::{AttributionAggregate, AttributionSink, FlightRecorderSink, Reporter};
 use adcnn_netsim::{AdcnnSim, AdcnnSimConfig, SinkHandle, ThrottleSchedule};
 use adcnn_nn::zoo;
 use serde::Serialize;
 use std::sync::Arc;
+
+/// The stable flat schema `results/BENCH_runtime.json` accumulates across
+/// PRs — the runtime perf trajectory, read straight off the adaptive
+/// run's [`MetricsSnapshot`]. Field names are load-bearing: downstream
+/// tooling diffs them release over release.
+#[derive(Serialize)]
+struct RuntimeBench {
+    images: u64,
+    images_per_s: f64,
+    p50_latency_us: f64,
+    p99_latency_us: f64,
+    zero_fill_rate: f64,
+    redispatch_rate: f64,
+    compressed_bytes_per_tile: f64,
+}
 
 #[derive(Serialize)]
 struct Output {
@@ -29,6 +45,8 @@ struct Output {
     static_latency_ms: f64,
     timeline: Vec<(usize, f64)>,
     metrics: MetricsSnapshot,
+    attribution: AttributionAggregate,
+    forensic_dumps: usize,
 }
 
 fn main() {
@@ -45,12 +63,16 @@ fn main() {
     let warm_run = AdcnnSim::new(warm.clone()).run();
     let t_half = warm_run.images[throttle_img].done_at;
 
-    // The adaptive run carries a MetricsSink so the emitted record includes
-    // the run's full observability counters/histograms alongside the
-    // figure's latency numbers.
+    // The adaptive run carries the full forensic-observability stack —
+    // metrics + per-image attribution + flight recorder, tee'd onto one
+    // handle — so the emitted record includes the run's counters and
+    // histograms, the Table 3 phase aggregate, and the anomaly dumps the
+    // throttling provokes, alongside the figure's latency numbers.
     let metrics = Arc::new(MetricsSink::new());
+    let attribution = Arc::new(AttributionSink::with_retention(images));
+    let recorder = Arc::new(FlightRecorderSink::new(4096));
     let mut cfg = warm;
-    cfg.sink = SinkHandle::new(metrics.clone());
+    cfg.sink = SinkHandle::new(metrics.clone()).tee(attribution.clone()).tee(recorder.clone());
     for i in 4..6 {
         cfg.nodes[i].throttle = ThrottleSchedule::throttle_at(t_half, 0.45);
     }
@@ -141,6 +163,34 @@ fn main() {
         snap.transfer_us.mean().unwrap_or(0.0),
         snap.compute_us.count,
     );
+    // Live-reporting view of the same snapshot (rates over simulated time),
+    // plus the attribution/forensics the throttled phase produced.
+    let live = Reporter::new().sample(&snap, run.sim_end_s);
+    println!("{}", live.line());
+    let agg = attribution.aggregate();
+    let dumps = recorder.reports();
+    println!(
+        "attribution: {} images folded, mean latency {:.1} ms, critical-path queue/compute/\
+         transfer {:.1}/{:.1}/{:.1} ms total; {} forensic dumps filed",
+        agg.images,
+        agg.mean_latency_s().unwrap_or(0.0) * 1e3,
+        agg.queue_wait_s * 1e3,
+        agg.compute_s * 1e3,
+        agg.transfer_s * 1e3,
+        dumps.len(),
+    );
+    emit_json(
+        "BENCH_runtime",
+        &RuntimeBench {
+            images: live.images,
+            images_per_s: live.images_per_s,
+            p50_latency_us: live.p50_latency_us.unwrap_or(0.0),
+            p99_latency_us: live.p99_latency_us.unwrap_or(0.0),
+            zero_fill_rate: live.zero_fill_rate,
+            redispatch_rate: live.redispatch_rate,
+            compressed_bytes_per_tile: snap.compressed_tile_bytes.mean().unwrap_or(0.0),
+        },
+    );
     emit_json(
         "fig15_dynamic_adaptation",
         &Output {
@@ -159,6 +209,8 @@ fn main() {
             static_latency_ms: static_lat,
             timeline,
             metrics: snap,
+            attribution: agg,
+            forensic_dumps: dumps.len(),
         },
     );
 }

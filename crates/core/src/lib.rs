@@ -29,6 +29,9 @@
 //! - [`obs`] — structured observability: the zero-cost-when-disabled
 //!   [`obs::EventSink`] layer both drivers mirror lifecycle decisions
 //!   into, with metrics and Chrome-trace sinks built in.
+//! - [`report`] — forensic observability on top of [`obs`]: per-image
+//!   critical-path attribution, a lock-free flight recorder with
+//!   anomaly dumps, Prometheus exposition and live metrics reporting.
 //! - [`config`] — typed validation ([`config::ConfigError`]) behind the
 //!   builder-based config surface of every crate in the workspace.
 
@@ -40,6 +43,7 @@ pub mod halo;
 pub mod lifecycle;
 pub mod obs;
 pub mod partition;
+pub mod report;
 pub mod sched;
 pub mod wire;
 
@@ -49,6 +53,11 @@ pub use fdsp::TileGrid;
 pub use lifecycle::{LifecyclePolicy, TileLifecycle, TimerPolicy};
 pub use obs::{
     ChromeTraceSink, EventSink, MetricsSink, MetricsSnapshot, NullSink, ObsEvent, SinkHandle,
+    TeeSink,
+};
+pub use report::{
+    AttributionAggregate, AttributionSink, FlightRecorderSink, ForensicReport, ImageReport,
+    Reporter, ReporterSample, TileReport,
 };
 pub use sched::{StatsCollector, TileAllocator};
 

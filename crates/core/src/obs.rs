@@ -34,6 +34,161 @@ use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
+/// Hand-rolled JSON formatting shared by every serde-free emitter in
+/// this crate — [`ObsEvent::args_json`], [`MetricsSnapshot::to_json`],
+/// [`ChromeTraceSink::to_json`], and the report types in
+/// [`crate::report`]. One escape routine, one finite-float rule, one
+/// object builder, so the emitters cannot drift apart on the corner
+/// cases (quotes in strings, NaN durations).
+pub mod json {
+    /// Append `s` to `out` JSON-escaped (without surrounding quotes).
+    pub fn escape_into(out: &mut String, s: &str) {
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    out.push_str(&format!("\\u{:04x}", c as u32));
+                }
+                c => out.push(c),
+            }
+        }
+    }
+
+    /// `s` as a quoted, escaped JSON string literal.
+    pub fn string(s: &str) -> String {
+        let mut out = String::with_capacity(s.len() + 2);
+        out.push('"');
+        escape_into(&mut out, s);
+        out.push('"');
+        out
+    }
+
+    /// A float as a JSON number. JSON has no NaN/Infinity, so
+    /// non-finite values render as `0` rather than poisoning the
+    /// document.
+    pub fn num(v: f64) -> String {
+        if v.is_finite() {
+            format!("{v}")
+        } else {
+            "0".to_string()
+        }
+    }
+
+    /// Render pre-formatted JSON values as a JSON array.
+    pub fn array(items: impl IntoIterator<Item = String>) -> String {
+        let mut out = String::from("[");
+        for (i, item) in items.into_iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&item);
+        }
+        out.push(']');
+        out
+    }
+
+    /// Incremental `{...}` object builder; fields appear in insertion
+    /// order.
+    #[derive(Debug, Default)]
+    pub struct Obj {
+        buf: String,
+    }
+
+    impl Obj {
+        /// An empty object.
+        pub fn new() -> Self {
+            Obj { buf: String::from("{") }
+        }
+
+        fn key(&mut self, k: &str) {
+            if self.buf.len() > 1 {
+                self.buf.push(',');
+            }
+            self.buf.push('"');
+            escape_into(&mut self.buf, k);
+            self.buf.push_str("\":");
+        }
+
+        /// Add an unsigned-integer field.
+        pub fn u64(mut self, k: &str, v: u64) -> Self {
+            self.key(k);
+            self.buf.push_str(&v.to_string());
+            self
+        }
+
+        /// Add a float field (non-finite renders as `0`).
+        pub fn f64(mut self, k: &str, v: f64) -> Self {
+            self.key(k);
+            self.buf.push_str(&num(v));
+            self
+        }
+
+        /// Add an escaped string field.
+        pub fn str(mut self, k: &str, v: &str) -> Self {
+            self.key(k);
+            self.buf.push_str(&string(v));
+            self
+        }
+
+        /// Add a boolean field.
+        pub fn bool(mut self, k: &str, v: bool) -> Self {
+            self.key(k);
+            self.buf.push_str(if v { "true" } else { "false" });
+            self
+        }
+
+        /// Add a pre-rendered JSON value (nested object/array) verbatim.
+        pub fn raw(mut self, k: &str, v: impl AsRef<str>) -> Self {
+            self.key(k);
+            self.buf.push_str(v.as_ref());
+            self
+        }
+
+        /// Close and return the object.
+        pub fn finish(mut self) -> String {
+            self.buf.push('}');
+            self.buf
+        }
+    }
+
+    /// Structural well-formedness check: balanced braces/brackets
+    /// outside strings and no unterminated string, honoring escapes.
+    /// Not a parser — enough to catch a malformed hand-written document
+    /// without a JSON dependency; shared by the unit tests and the
+    /// example smoke checks wired into CI.
+    pub fn is_well_formed(s: &str) -> bool {
+        let (mut depth, mut in_str, mut esc) = (0i64, false, false);
+        for c in s.chars() {
+            if in_str {
+                if esc {
+                    esc = false;
+                } else if c == '\\' {
+                    esc = true;
+                } else if c == '"' {
+                    in_str = false;
+                }
+                continue;
+            }
+            match c {
+                '"' => in_str = true,
+                '{' | '[' => depth += 1,
+                '}' | ']' => {
+                    depth -= 1;
+                    if depth < 0 {
+                        return false;
+                    }
+                }
+                _ => {}
+            }
+        }
+        depth == 0 && !in_str
+    }
+}
+
 /// One structured observation. All variants are plain scalars (`Copy`),
 /// so emitting never allocates; multi-tile outcomes (zero-fill sets)
 /// emit one event per tile.
@@ -110,47 +265,129 @@ impl ObsEvent {
     }
 
     /// The event's payload as a JSON object (used for Chrome-trace
-    /// `args`; all fields are numbers, so no escaping is required).
+    /// `args`), rendered through the shared [`json`] helpers.
     pub fn args_json(&self) -> String {
+        use json::Obj;
         match *self {
-            ObsEvent::ImageStart { image, tiles, placed, .. } => {
-                format!(r#"{{"image":{image},"tiles":{tiles},"placed":{placed}}}"#)
-            }
-            ObsEvent::ImageFinish { image, latency, zero_filled, redispatched, .. } => format!(
-                r#"{{"image":{image},"latency":{latency},"zero_filled":{zero_filled},"redispatched":{redispatched}}}"#
-            ),
+            ObsEvent::ImageStart { image, tiles, placed, .. } => Obj::new()
+                .u64("image", image)
+                .u64("tiles", tiles.into())
+                .u64("placed", placed.into())
+                .finish(),
+            ObsEvent::ImageFinish { image, latency, zero_filled, redispatched, .. } => Obj::new()
+                .u64("image", image)
+                .f64("latency", latency)
+                .u64("zero_filled", zero_filled.into())
+                .u64("redispatched", redispatched.into())
+                .finish(),
             ObsEvent::TileDispatch { image, tile, worker, .. }
             | ObsEvent::TileArrival { image, tile, worker, .. }
             | ObsEvent::TileDuplicate { image, tile, worker, .. }
             | ObsEvent::TileLate { image, tile, worker, .. }
-            | ObsEvent::TileCorrupt { image, tile, worker, .. } => {
-                format!(r#"{{"image":{image},"tile":{tile},"worker":{worker}}}"#)
-            }
-            ObsEvent::TileRedispatch { image, tile, worker, round, .. } => {
-                format!(r#"{{"image":{image},"tile":{tile},"worker":{worker},"round":{round}}}"#)
-            }
+            | ObsEvent::TileCorrupt { image, tile, worker, .. } => Obj::new()
+                .u64("image", image)
+                .u64("tile", tile.into())
+                .u64("worker", worker.into())
+                .finish(),
+            ObsEvent::TileRedispatch { image, tile, worker, round, .. } => Obj::new()
+                .u64("image", image)
+                .u64("tile", tile.into())
+                .u64("worker", worker.into())
+                .u64("round", round.into())
+                .finish(),
             ObsEvent::TileZeroFill { image, tile, .. } => {
-                format!(r#"{{"image":{image},"tile":{tile}}}"#)
+                Obj::new().u64("image", image).u64("tile", tile.into()).finish()
             }
             ObsEvent::DeadlineArmed { image, span, .. } => {
-                format!(r#"{{"image":{image},"span":{span}}}"#)
+                Obj::new().u64("image", image).f64("span", span).finish()
             }
-            ObsEvent::DeadlineFired { image, .. } => format!(r#"{{"image":{image}}}"#),
+            ObsEvent::DeadlineFired { image, .. } => Obj::new().u64("image", image).finish(),
             ObsEvent::WorkerDead { image, worker, .. }
             | ObsEvent::WorkerSuspect { image, worker, .. }
             | ObsEvent::WorkerCleared { image, worker, .. } => {
-                format!(r#"{{"image":{image},"worker":{worker}}}"#)
+                Obj::new().u64("image", image).u64("worker", worker.into()).finish()
             }
-            ObsEvent::RateUpdate { image, worker, rate, .. } => {
-                format!(r#"{{"image":{image},"worker":{worker},"rate":{rate}}}"#)
-            }
+            ObsEvent::RateUpdate { image, worker, rate, .. } => Obj::new()
+                .u64("image", image)
+                .u64("worker", worker.into())
+                .f64("rate", rate)
+                .finish(),
             ObsEvent::TileCompute { image, tile, worker, dur, .. }
-            | ObsEvent::TileTransfer { image, tile, worker, dur, .. } => {
-                format!(r#"{{"image":{image},"tile":{tile},"worker":{worker},"dur":{dur}}}"#)
-            }
-            ObsEvent::TileCompress { image, tile, worker, dur, bytes, ratio, .. } => format!(
-                r#"{{"image":{image},"tile":{tile},"worker":{worker},"dur":{dur},"bytes":{bytes},"ratio":{ratio}}}"#
-            ),
+            | ObsEvent::TileTransfer { image, tile, worker, dur, .. } => Obj::new()
+                .u64("image", image)
+                .u64("tile", tile.into())
+                .u64("worker", worker.into())
+                .f64("dur", dur)
+                .finish(),
+            ObsEvent::TileCompress { image, tile, worker, dur, bytes, ratio, .. } => Obj::new()
+                .u64("image", image)
+                .u64("tile", tile.into())
+                .u64("worker", worker.into())
+                .f64("dur", dur)
+                .u64("bytes", bytes)
+                .f64("ratio", ratio)
+                .finish(),
+        }
+    }
+
+    /// The image the event belongs to (every variant carries one).
+    pub fn image(&self) -> u64 {
+        match *self {
+            ObsEvent::ImageStart { image, .. }
+            | ObsEvent::ImageFinish { image, .. }
+            | ObsEvent::TileDispatch { image, .. }
+            | ObsEvent::TileRedispatch { image, .. }
+            | ObsEvent::TileArrival { image, .. }
+            | ObsEvent::TileDuplicate { image, .. }
+            | ObsEvent::TileLate { image, .. }
+            | ObsEvent::TileCorrupt { image, .. }
+            | ObsEvent::TileZeroFill { image, .. }
+            | ObsEvent::DeadlineArmed { image, .. }
+            | ObsEvent::DeadlineFired { image, .. }
+            | ObsEvent::WorkerDead { image, .. }
+            | ObsEvent::WorkerSuspect { image, .. }
+            | ObsEvent::WorkerCleared { image, .. }
+            | ObsEvent::RateUpdate { image, .. }
+            | ObsEvent::TileCompute { image, .. }
+            | ObsEvent::TileCompress { image, .. }
+            | ObsEvent::TileTransfer { image, .. } => image,
+        }
+    }
+
+    /// The tile the event concerns, for tile-scoped variants.
+    pub fn tile(&self) -> Option<u32> {
+        match *self {
+            ObsEvent::TileDispatch { tile, .. }
+            | ObsEvent::TileRedispatch { tile, .. }
+            | ObsEvent::TileArrival { tile, .. }
+            | ObsEvent::TileDuplicate { tile, .. }
+            | ObsEvent::TileLate { tile, .. }
+            | ObsEvent::TileCorrupt { tile, .. }
+            | ObsEvent::TileZeroFill { tile, .. }
+            | ObsEvent::TileCompute { tile, .. }
+            | ObsEvent::TileCompress { tile, .. }
+            | ObsEvent::TileTransfer { tile, .. } => Some(tile),
+            _ => None,
+        }
+    }
+
+    /// The worker the event concerns, for worker-scoped variants.
+    pub fn worker(&self) -> Option<u32> {
+        match *self {
+            ObsEvent::TileDispatch { worker, .. }
+            | ObsEvent::TileRedispatch { worker, .. }
+            | ObsEvent::TileArrival { worker, .. }
+            | ObsEvent::TileDuplicate { worker, .. }
+            | ObsEvent::TileLate { worker, .. }
+            | ObsEvent::TileCorrupt { worker, .. }
+            | ObsEvent::WorkerDead { worker, .. }
+            | ObsEvent::WorkerSuspect { worker, .. }
+            | ObsEvent::WorkerCleared { worker, .. }
+            | ObsEvent::RateUpdate { worker, .. }
+            | ObsEvent::TileCompute { worker, .. }
+            | ObsEvent::TileCompress { worker, .. }
+            | ObsEvent::TileTransfer { worker, .. } => Some(worker),
+            _ => None,
         }
     }
 
@@ -233,6 +470,17 @@ impl SinkHandle {
             }
         }
     }
+
+    /// A handle feeding both this handle's sink (if any) and `extra`.
+    /// A null handle tees to just `extra`; otherwise the two are
+    /// wrapped in a [`TeeSink`], whose `enabled()` is the OR of its
+    /// children — so teeing disabled sinks keeps the zero-cost path.
+    pub fn tee(&self, extra: Arc<dyn EventSink>) -> SinkHandle {
+        match &self.0 {
+            None => SinkHandle(Some(extra)),
+            Some(s) => SinkHandle(Some(Arc::new(TeeSink::new(vec![s.clone(), extra])))),
+        }
+    }
 }
 
 impl std::fmt::Debug for SinkHandle {
@@ -256,6 +504,43 @@ impl EventSink for NullSink {
 
     fn enabled(&self) -> bool {
         false
+    }
+}
+
+/// Fan-out sink: forwards every event to each *enabled* child, so
+/// metrics + trace + attribution + flight recorder can all observe one
+/// run. Reports itself enabled only while some child is, which
+/// preserves the zero-cost-when-disabled guarantee — a tee of disabled
+/// sinks never even constructs the event (`tests/alloc_steady_state.rs`
+/// covers this path).
+pub struct TeeSink {
+    children: Vec<Arc<dyn EventSink>>,
+}
+
+impl TeeSink {
+    /// Fan out to `children` (emit order = vector order).
+    pub fn new(children: Vec<Arc<dyn EventSink>>) -> Self {
+        TeeSink { children }
+    }
+}
+
+impl std::fmt::Debug for TeeSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "TeeSink({} children, enabled={})", self.children.len(), self.enabled())
+    }
+}
+
+impl EventSink for TeeSink {
+    fn emit(&self, ev: &ObsEvent) {
+        for c in &self.children {
+            if c.enabled() {
+                c.emit(ev);
+            }
+        }
+    }
+
+    fn enabled(&self) -> bool {
+        self.children.iter().any(|c| c.enabled())
     }
 }
 
@@ -315,6 +600,51 @@ impl HistogramSnapshot {
     /// Mean recorded value, if anything was recorded.
     pub fn mean(&self) -> Option<f64> {
         (self.count > 0).then(|| self.sum as f64 / self.count as f64)
+    }
+
+    /// Interpolated quantile estimate (`0.0 ≤ q ≤ 1.0`): find the
+    /// bucket holding the `q·count`-th recorded value and interpolate
+    /// linearly inside its `[2^(b-1), 2^b)` range (bucket 0 holds only
+    /// zeros). The log2 buckets bound the error at one bucket width,
+    /// so the estimate is within 2× of the true order statistic.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let target = q.clamp(0.0, 1.0) * self.count as f64;
+        let mut cum = 0u64;
+        for (b, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            let prev = cum as f64;
+            cum += n;
+            if cum as f64 >= target {
+                if b == 0 {
+                    return Some(0.0);
+                }
+                let lo = 2f64.powi(b as i32 - 1);
+                let hi = 2f64.powi(b as i32);
+                let frac = ((target - prev) / n as f64).clamp(0.0, 1.0);
+                return Some(lo + frac * (hi - lo));
+            }
+        }
+        None // unreachable while count == Σ buckets; defensive
+    }
+
+    /// Interpolated median.
+    pub fn p50(&self) -> Option<f64> {
+        self.quantile(0.50)
+    }
+
+    /// Interpolated 90th percentile.
+    pub fn p90(&self) -> Option<f64> {
+        self.quantile(0.90)
+    }
+
+    /// Interpolated 99th percentile.
+    pub fn p99(&self) -> Option<f64> {
+        self.quantile(0.99)
     }
 }
 
@@ -505,47 +835,39 @@ pub struct MetricsSnapshot {
 impl MetricsSnapshot {
     /// Render as JSON by hand — the same field names and shape serde
     /// emits — so metrics export works without a serializer dependency
-    /// (the sinks' contract throughout this module).
+    /// (the sinks' contract throughout this module). Built on the
+    /// shared [`json`] helpers.
     pub fn to_json(&self) -> String {
         fn hist(h: &HistogramSnapshot) -> String {
-            let buckets: Vec<String> = h.buckets.iter().map(|b| b.to_string()).collect();
-            format!(
-                "{{\"buckets\":[{}],\"count\":{},\"sum\":{}}}",
-                buckets.join(","),
-                h.count,
-                h.sum
-            )
+            json::Obj::new()
+                .raw("buckets", json::array(h.buckets.iter().map(|b| b.to_string())))
+                .u64("count", h.count)
+                .u64("sum", h.sum)
+                .finish()
         }
-        format!(
-            "{{\"images_started\":{},\"images_finished\":{},\"tiles_dispatched\":{},\
-             \"tiles_redispatched\":{},\"tiles_arrived\":{},\"tiles_duplicate\":{},\
-             \"tiles_late\":{},\"tiles_corrupt\":{},\"tiles_zero_filled\":{},\
-             \"deadlines_armed\":{},\"deadlines_fired\":{},\"workers_died\":{},\
-             \"workers_suspected\":{},\"workers_cleared\":{},\"rate_updates\":{},\
-             \"compressed_bytes\":{},\"compute_us\":{},\"compress_us\":{},\
-             \"transfer_us\":{},\"image_latency_us\":{},\"compressed_tile_bytes\":{}}}",
-            self.images_started,
-            self.images_finished,
-            self.tiles_dispatched,
-            self.tiles_redispatched,
-            self.tiles_arrived,
-            self.tiles_duplicate,
-            self.tiles_late,
-            self.tiles_corrupt,
-            self.tiles_zero_filled,
-            self.deadlines_armed,
-            self.deadlines_fired,
-            self.workers_died,
-            self.workers_suspected,
-            self.workers_cleared,
-            self.rate_updates,
-            self.compressed_bytes,
-            hist(&self.compute_us),
-            hist(&self.compress_us),
-            hist(&self.transfer_us),
-            hist(&self.image_latency_us),
-            hist(&self.compressed_tile_bytes),
-        )
+        json::Obj::new()
+            .u64("images_started", self.images_started)
+            .u64("images_finished", self.images_finished)
+            .u64("tiles_dispatched", self.tiles_dispatched)
+            .u64("tiles_redispatched", self.tiles_redispatched)
+            .u64("tiles_arrived", self.tiles_arrived)
+            .u64("tiles_duplicate", self.tiles_duplicate)
+            .u64("tiles_late", self.tiles_late)
+            .u64("tiles_corrupt", self.tiles_corrupt)
+            .u64("tiles_zero_filled", self.tiles_zero_filled)
+            .u64("deadlines_armed", self.deadlines_armed)
+            .u64("deadlines_fired", self.deadlines_fired)
+            .u64("workers_died", self.workers_died)
+            .u64("workers_suspected", self.workers_suspected)
+            .u64("workers_cleared", self.workers_cleared)
+            .u64("rate_updates", self.rate_updates)
+            .u64("compressed_bytes", self.compressed_bytes)
+            .raw("compute_us", hist(&self.compute_us))
+            .raw("compress_us", hist(&self.compress_us))
+            .raw("transfer_us", hist(&self.transfer_us))
+            .raw("image_latency_us", hist(&self.image_latency_us))
+            .raw("compressed_tile_bytes", hist(&self.compressed_tile_bytes))
+            .finish()
     }
 }
 
@@ -577,18 +899,37 @@ impl ChromeTraceSink {
     /// only, nothing needs escaping) so the sink carries no serializer
     /// dependency.
     pub fn to_json(&self) -> String {
+        use json::Obj;
         let events = self.events.lock().expect("trace sink poisoned");
         let mut out: Vec<String> = Vec::with_capacity(events.len() + 8);
         let mut seen_workers: Vec<u32> = Vec::new();
-        out.push(
-            r#"{"name":"thread_name","ph":"M","pid":0,"tid":0,"args":{"name":"central"}}"#
-                .to_string(),
-        );
+        let thread_meta = |tid: u64, name: &str| {
+            Obj::new()
+                .str("name", "thread_name")
+                .str("ph", "M")
+                .u64("pid", 0)
+                .u64("tid", tid)
+                .raw("args", Obj::new().str("name", name).finish())
+                .finish()
+        };
+        out.push(thread_meta(0, "central"));
         // Trace timestamps are µs at fixed ns precision (raw f64 Display
         // would leak artifacts like 6000.000000000001 into the file); the
         // finite-guard keeps the file loadable even if a driver ever
         // emits a degenerate span.
         let us = |s: f64| format!("{:.3}", if s.is_finite() { s * 1e6 } else { 0.0 });
+        let span = |name: &str, ts: String, dur: String, tid: u64, args: String| {
+            Obj::new()
+                .str("name", name)
+                .str("cat", "tile")
+                .str("ph", "X")
+                .raw("ts", ts)
+                .raw("dur", dur)
+                .u64("pid", 0)
+                .u64("tid", tid)
+                .raw("args", args)
+                .finish()
+        };
         for ev in events.iter() {
             let worker = match *ev {
                 ObsEvent::TileDispatch { worker, .. }
@@ -610,43 +951,56 @@ impl ChromeTraceSink {
                 Some(w) => {
                     if !seen_workers.contains(&w) {
                         seen_workers.push(w);
-                        out.push(format!(
-                            r#"{{"name":"thread_name","ph":"M","pid":0,"tid":{},"args":{{"name":"worker {w}"}}}}"#,
-                            w + 1
-                        ));
+                        out.push(thread_meta(u64::from(w) + 1, &format!("worker {w}")));
                     }
-                    w + 1
+                    u64::from(w) + 1
                 }
                 None => 0,
             };
             match *ev {
-                ObsEvent::TileCompute { at, image, tile, dur, .. } => out.push(format!(
-                    r#"{{"name":"compute","cat":"tile","ph":"X","ts":{},"dur":{},"pid":0,"tid":{tid},"args":{{"image":{image},"tile":{tile}}}}}"#,
+                ObsEvent::TileCompute { at, image, tile, dur, .. } => out.push(span(
+                    "compute",
                     us(at - dur),
                     us(dur),
+                    tid,
+                    Obj::new().u64("image", image).u64("tile", tile.into()).finish(),
                 )),
                 ObsEvent::TileCompress { at, image, tile, dur, bytes, ratio, .. } => {
-                    out.push(format!(
-                        r#"{{"name":"compress","cat":"tile","ph":"X","ts":{},"dur":{},"pid":0,"tid":{tid},"args":{{"image":{image},"tile":{tile},"bytes":{bytes},"ratio":{}}}}}"#,
+                    out.push(span(
+                        "compress",
                         us(at - dur),
                         us(dur),
-                        if ratio.is_finite() { ratio } else { 0.0 },
+                        tid,
+                        Obj::new()
+                            .u64("image", image)
+                            .u64("tile", tile.into())
+                            .u64("bytes", bytes)
+                            .f64("ratio", ratio)
+                            .finish(),
                     ))
                 }
-                ObsEvent::TileTransfer { at, image, tile, dur, .. } => out.push(format!(
-                    r#"{{"name":"transfer","cat":"tile","ph":"X","ts":{},"dur":{},"pid":0,"tid":{tid},"args":{{"image":{image},"tile":{tile}}}}}"#,
+                ObsEvent::TileTransfer { at, image, tile, dur, .. } => out.push(span(
+                    "transfer",
                     us(at - dur),
                     us(dur),
+                    tid,
+                    Obj::new().u64("image", image).u64("tile", tile.into()).finish(),
                 )),
-                other => out.push(format!(
-                    r#"{{"name":"{}","cat":"lifecycle","ph":"i","ts":{},"pid":0,"tid":{tid},"s":"t","args":{}}}"#,
-                    other.kind(),
-                    us(other.at()),
-                    other.args_json(),
-                )),
+                other => out.push(
+                    Obj::new()
+                        .str("name", other.kind())
+                        .str("cat", "lifecycle")
+                        .str("ph", "i")
+                        .raw("ts", us(other.at()))
+                        .u64("pid", 0)
+                        .u64("tid", tid)
+                        .str("s", "t")
+                        .raw("args", other.args_json())
+                        .finish(),
+                ),
             }
         }
-        format!(r#"{{"traceEvents":[{}],"displayTimeUnit":"ms"}}"#, out.join(","))
+        Obj::new().raw("traceEvents", json::array(out)).str("displayTimeUnit", "ms").finish()
     }
 
     /// Write the Chrome trace JSON to `path`.
@@ -751,32 +1105,117 @@ mod tests {
         }
     }
 
-    /// Minimal structural JSON check: balanced braces/brackets outside
-    /// strings, and no trailing garbage. Enough to catch a malformed
-    /// hand-written trace without a JSON parser dependency.
+    /// Structural JSON check, now shared with production code (the
+    /// example smoke checks run it in CI): see [`json::is_well_formed`].
     fn assert_balanced_json(s: &str) {
-        let (mut depth, mut in_str, mut esc) = (0i64, false, false);
-        for c in s.chars() {
-            if in_str {
-                if esc {
-                    esc = false;
-                } else if c == '\\' {
-                    esc = true;
-                } else if c == '"' {
-                    in_str = false;
-                }
-                continue;
-            }
-            match c {
-                '"' => in_str = true,
-                '{' | '[' => depth += 1,
-                '}' | ']' => depth -= 1,
-                _ => {}
-            }
-            assert!(depth >= 0, "unbalanced close in {s}");
+        assert!(json::is_well_formed(s), "malformed JSON: {s}");
+    }
+
+    #[test]
+    fn json_helpers_escape_and_validate() {
+        assert_eq!(json::string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json::string("\u{1}"), "\"\\u0001\"");
+        assert_eq!(json::num(f64::NAN), "0");
+        assert_eq!(json::num(f64::INFINITY), "0");
+        assert_eq!(json::num(0.25), "0.25");
+        let obj = json::Obj::new()
+            .str("name", "quote \" backslash \\ tab \t newline \n")
+            .f64("x", 1.5)
+            .f64("bad", f64::NAN)
+            .raw("arr", json::array((0..3).map(|i| i.to_string())))
+            .finish();
+        assert_balanced_json(&obj);
+        assert!(obj.contains(r#""x":1.5"#));
+        assert!(obj.contains(r#""bad":0"#));
+        assert!(obj.contains(r#""arr":[0,1,2]"#));
+        assert!(obj.contains(r#"quote \" backslash \\ tab \t newline \n"#));
+        // strings with braces/quotes must not confuse the checker
+        assert!(json::is_well_formed(&json::string("deep { [ \" nesting")));
+        assert!(!json::is_well_formed("{\"unterminated"));
+        assert!(!json::is_well_formed("[1,2}}"));
+        assert!(!json::is_well_formed("{\"k\":1"));
+    }
+
+    #[test]
+    fn args_json_stays_well_formed_for_every_variant() {
+        let evs = [
+            ObsEvent::ImageStart { at: 0.0, image: 1, tiles: 4, placed: 3 },
+            ObsEvent::ImageFinish {
+                at: 1.0,
+                image: 1,
+                latency: f64::NAN, // non-finite must not poison the JSON
+                zero_filled: 1,
+                redispatched: 2,
+            },
+            ObsEvent::TileRedispatch { at: 0.5, image: 1, tile: 2, worker: 3, round: 1 },
+            ObsEvent::RateUpdate { at: 0.5, image: 1, worker: 0, rate: f64::INFINITY },
+            ObsEvent::TileCompress {
+                at: 0.5,
+                image: 1,
+                tile: 0,
+                worker: 0,
+                dur: 0.001,
+                bytes: 12,
+                ratio: 0.5,
+            },
+        ];
+        for ev in evs {
+            let j = ev.args_json();
+            assert_balanced_json(&j);
+            assert!(!j.contains("NaN") && !j.contains("inf"), "{j}");
         }
-        assert_eq!(depth, 0, "unbalanced JSON: {s}");
-        assert!(!in_str, "unterminated string in {s}");
+    }
+
+    #[test]
+    fn quantiles_interpolate_within_log2_buckets() {
+        let close = |a: Option<f64>, b: f64| {
+            let a = a.expect("quantile of non-empty histogram");
+            assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+        };
+        // 100 values of 1000 all land in bucket 10 = [512, 1024)
+        let h = Histogram::default();
+        for _ in 0..100 {
+            h.record(1000);
+        }
+        let s = h.snapshot();
+        close(s.p50(), 768.0); // 512 + 0.50·512
+        close(s.p90(), 972.8); // 512 + 0.90·512
+        close(s.p99(), 1018.88); // 512 + 0.99·512
+        close(s.quantile(0.0), 512.0);
+
+        // half zeros, half 100s (bucket 7 = [64, 128))
+        let h = Histogram::default();
+        for _ in 0..50 {
+            h.record(0);
+            h.record(100);
+        }
+        let s = h.snapshot();
+        close(s.p50(), 0.0);
+        close(s.p90(), 115.2); // 64 + 0.8·64: the 40th of 50 in-bucket
+        assert_eq!(HistogramSnapshot::default().p50(), None);
+    }
+
+    #[test]
+    fn tee_fans_out_and_stays_disabled_when_children_are() {
+        let m = Arc::new(MetricsSink::new());
+        let r = Arc::new(RecordingSink::new());
+        let h = SinkHandle::new(m.clone()).tee(r.clone());
+        assert!(h.enabled());
+        h.emit_with(|| ObsEvent::ImageStart { at: 0.0, image: 7, tiles: 1, placed: 1 });
+        assert_eq!(m.snapshot().images_started, 1);
+        assert_eq!(r.kinds(), vec!["image_start"]);
+
+        // teeing onto a null handle installs just the extra sink
+        let h2 = SinkHandle::null().tee(r.clone());
+        assert!(h2.enabled());
+        h2.emit_with(|| ObsEvent::DeadlineFired { at: 0.1, image: 7 });
+        assert_eq!(r.events().len(), 2);
+
+        // a tee of disabled children reports disabled: emit_with never
+        // constructs the event
+        let t = SinkHandle::of(TeeSink::new(vec![Arc::new(NullSink), Arc::new(NullSink)]));
+        assert!(!t.enabled());
+        t.emit_with(|| panic!("disabled tee must not construct events"));
     }
 
     #[test]

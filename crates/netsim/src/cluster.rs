@@ -666,6 +666,19 @@ impl AdcnnSim {
                     // which will be discarded on arrival.
                     let Some(st) = img_states[img].as_mut() else { continue };
                     st.last_compute_end = st.last_compute_end.max(now);
+                    // The §4 pipeline is modeled analytically (its time is
+                    // folded into the compute span), but the byte count is
+                    // real modeled data: emit it so byte-accounting sinks
+                    // see the same schema the runtime's workers emit.
+                    cfg.sink.emit_with(|| ObsEvent::TileCompress {
+                        at: now,
+                        image: img as u64,
+                        tile: tile as u32,
+                        worker: node as u32,
+                        dur: 0.0,
+                        bytes: tile_out_bits / 8,
+                        ratio: tile_out_bits as f64 / (tile_out_elems as f64 * 32.0),
+                    });
                     let occ = cfg.link.occupancy_s(tile_out_bits);
                     let (_, send_end) = channel.acquire(now, occ);
                     st.result_busy += occ;
@@ -903,6 +916,39 @@ pub fn replay_lifecycle_events(
         lc.handle(*ev);
     }
     rec.events().iter().map(|e| format!("{e:?}")).collect()
+}
+
+/// Like [`replay_lifecycle_events`], but folds the replayed events through
+/// an [`AttributionSink`](adcnn_core::report::AttributionSink) and returns
+/// the resulting [`ImageReport`](adcnn_core::report::ImageReport) as its
+/// canonical JSON — the critical-path decision the attribution layer makes
+/// from the simulator's identity time mapping. The cross-driver
+/// differential test asserts this is byte-identical to the runtime
+/// driver's (`adcnn_runtime::central::replay_lifecycle_report`). `None` if
+/// the trace never finished the image.
+pub fn replay_lifecycle_report(
+    policy: LifecyclePolicy,
+    d: usize,
+    alloc: &[u32],
+    speeds: &[f64],
+    live: &[bool],
+    trace: &[Event],
+) -> Option<String> {
+    let attr = std::sync::Arc::new(adcnn_core::report::AttributionSink::new());
+    let (mut lc, _) = TileLifecycle::begin_observed(
+        policy,
+        0.0,
+        d,
+        alloc,
+        speeds,
+        live,
+        0,
+        SinkHandle::new(attr.clone()),
+    );
+    for ev in trace {
+        lc.handle(*ev);
+    }
+    attr.report_for(0).map(|r| r.to_json())
 }
 
 #[cfg(test)]

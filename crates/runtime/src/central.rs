@@ -31,6 +31,7 @@ use adcnn_core::config::ConfigError;
 use adcnn_core::fdsp::TileGrid;
 use adcnn_core::lifecycle::{Action, Event, LifecyclePolicy, TileLifecycle, TimerPolicy};
 use adcnn_core::obs::{RecordingSink, SinkHandle};
+use adcnn_core::report::{AttributionSink, ImageReport};
 use adcnn_core::sched::{StatsCollector, TileAllocator};
 use adcnn_core::wire::{TileKey, TileResult, TileTask};
 use adcnn_core::ClippedRelu;
@@ -67,6 +68,11 @@ pub struct RuntimeConfig {
     /// worker threads. The default ([`SinkHandle::null()`]) never even
     /// constructs events.
     pub sink: SinkHandle,
+    /// Optional per-image critical-path attribution. When set, the sink is
+    /// tee'd into the attribution fold and every [`InferOutcome`] carries
+    /// its [`ImageReport`]; the handle stays shared so the caller can also
+    /// pull the run aggregate.
+    pub attribution: Option<Arc<AttributionSink>>,
 }
 
 impl Default for RuntimeConfig {
@@ -77,6 +83,7 @@ impl Default for RuntimeConfig {
             seed: 42,
             task_queue_cap: 64,
             sink: SinkHandle::null(),
+            attribution: None,
         }
     }
 }
@@ -173,6 +180,13 @@ impl RuntimeConfigBuilder {
         self
     }
 
+    /// Attach per-image critical-path attribution. Keep a clone of the
+    /// `Arc` to read the run aggregate after the fact.
+    pub fn attribution(mut self, attribution: Arc<AttributionSink>) -> Self {
+        self.cfg.attribution = Some(attribution);
+        self
+    }
+
     /// Validate and produce the config.
     pub fn build(self) -> Result<RuntimeConfig, ConfigError> {
         self.cfg.validate()?;
@@ -203,6 +217,9 @@ pub struct InferOutcome {
     /// Cumulative per-worker compute/compress timings (since launch),
     /// snapshotted when this image finished.
     pub worker_stats: Vec<WorkerStatsSnapshot>,
+    /// Per-image critical-path attribution, present when
+    /// [`RuntimeConfig::attribution`] was set at launch.
+    pub report: Option<ImageReport>,
 }
 
 /// A dispatched-but-not-yet-collected image: the input tiles (kept so
@@ -236,6 +253,9 @@ pub struct AdcnnRuntime {
     live: Vec<bool>,
     rng: StdRng,
     cfg: RuntimeConfig,
+    /// The effective event sink: `cfg.sink` tee'd with the attribution
+    /// fold when one is configured.
+    sink: SinkHandle,
     next_image: u64,
     /// Origin of the machine's abstract time axis: every `Instant` is
     /// expressed as seconds since this epoch before it reaches the
@@ -293,6 +313,13 @@ impl AdcnnRuntime {
         // the workers do: they stamp their compute/compress spans against
         // it, and a span must never predate the axis.
         let epoch = Instant::now();
+        // Attribution rides the same event stream as any user sink: tee it
+        // in once, so the lifecycle machine and every worker share one
+        // effective sink (still `null` when neither is configured).
+        let sink = match &cfg.attribution {
+            Some(attr) => cfg.sink.tee(attr.clone()),
+            None => cfg.sink.clone(),
+        };
         let (result_tx, result_rx) = unbounded();
         let mut task_txs = Vec::with_capacity(k);
         let mut handles = Vec::with_capacity(k);
@@ -310,7 +337,7 @@ impl AdcnnRuntime {
                 rx,
                 result_tx.clone(),
                 stats.clone(),
-                cfg.sink.clone(),
+                sink.clone(),
                 epoch,
             ));
             task_txs.push(tx);
@@ -329,6 +356,7 @@ impl AdcnnRuntime {
             allocator: TileAllocator::unbounded(k),
             live: vec![true; k],
             rng: StdRng::seed_from_u64(cfg.seed),
+            sink,
             cfg,
             next_image: 0,
             epoch,
@@ -535,7 +563,7 @@ impl AdcnnRuntime {
             self.stats.speeds(),
             &self.live,
             image_id,
-            self.cfg.sink.clone(),
+            self.sink.clone(),
         );
         self.drive(&mut lc, acts, image_id, &tiles);
         let at = self.rel(Instant::now());
@@ -648,6 +676,7 @@ impl AdcnnRuntime {
             redispatched: c.redispatched,
             wire_bits,
             worker_stats: self.worker_stats.iter().map(|s| s.snapshot()).collect(),
+            report: self.cfg.attribution.as_ref().and_then(|a| a.report_for(image_id)),
         }
     }
 
@@ -753,6 +782,51 @@ pub fn replay_lifecycle_events(
         lc.handle(ev);
     }
     rec.events().iter().map(|e| format!("{e:?}")).collect()
+}
+
+/// Like [`replay_lifecycle_events`], but folds the replayed events through
+/// an [`AttributionSink`] and returns the resulting [`ImageReport`] as its
+/// canonical JSON — the critical-path decision the attribution layer makes
+/// from the runtime driver's time mapping. The cross-driver differential
+/// test asserts this is byte-identical to the simulator driver's
+/// (`adcnn_netsim::replay_lifecycle_report`). `None` if the trace never
+/// finished the image.
+pub fn replay_lifecycle_report(
+    policy: LifecyclePolicy,
+    d: usize,
+    alloc: &[u32],
+    speeds: &[f64],
+    live: &[bool],
+    trace: &[Event],
+) -> Option<String> {
+    let epoch = Instant::now();
+    let roundtrip = |at: f64| -> f64 {
+        let instant = epoch + Duration::from_secs_f64(at);
+        instant.duration_since(epoch).as_secs_f64()
+    };
+    let attr = Arc::new(AttributionSink::new());
+    let (mut lc, _) = TileLifecycle::begin_observed(
+        policy,
+        roundtrip(0.0),
+        d,
+        alloc,
+        speeds,
+        live,
+        0,
+        SinkHandle::new(attr.clone()),
+    );
+    for ev in trace {
+        let ev = match *ev {
+            Event::SendComplete { at } => Event::SendComplete { at: roundtrip(at) },
+            Event::ResultArrived { at, tile, worker, ok } => {
+                Event::ResultArrived { at: roundtrip(at), tile, worker, ok }
+            }
+            Event::DeadlineFired { at } => Event::DeadlineFired { at: roundtrip(at) },
+            other => other,
+        };
+        lc.handle(ev);
+    }
+    attr.report_for(0).map(|r| r.to_json())
 }
 
 #[cfg(test)]

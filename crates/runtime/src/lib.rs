@@ -16,5 +16,6 @@ pub mod worker;
 pub use adcnn_core::config::ConfigError;
 pub use adcnn_core::lifecycle::{LifecyclePolicy, TimerPolicy};
 pub use adcnn_core::obs::SinkHandle;
+pub use adcnn_core::report::{AttributionSink, FlightRecorderSink, ImageReport};
 pub use central::{AdcnnRuntime, InferOutcome, RuntimeConfig, RuntimeConfigBuilder};
 pub use worker::{WorkerOptions, WorkerOptionsBuilder, WorkerStats, WorkerStatsSnapshot};

@@ -6,10 +6,13 @@
 //! cargo run --release --example edge_simulation [vgg16|resnet34|yolo|fcn|charcnn]
 //! ```
 
+use adcnn::core::obs::{MetricsSink, SinkHandle};
+use adcnn::core::report::Reporter;
 use adcnn::netsim::schemes::{aofl, neurosurgeon, remote_cloud, single_device};
 use adcnn::netsim::{AdcnnSim, AdcnnSimConfig, LinkParams};
 use adcnn::nn::cost::DeviceProfile;
 use adcnn::nn::zoo;
+use std::sync::Arc;
 
 fn main() {
     let name = std::env::args().nth(1).unwrap_or_else(|| "vgg16".to_string());
@@ -30,10 +33,14 @@ fn main() {
     let pi = DeviceProfile::raspberry_pi3();
     let v100 = DeviceProfile::cloud_v100();
 
-    // ADCNN on 8 simulated Pi Conv nodes.
+    // ADCNN on 8 simulated Pi Conv nodes, with the metrics sink attached —
+    // the simulator emits the same observability schema as the real
+    // runtime, so the same Reporter/Prometheus plumbing reads it.
+    let metrics = Arc::new(MetricsSink::new());
     let cfg = AdcnnSimConfig::builder(model.clone(), 8)
         .images(30)
         .pipeline(false)
+        .sink(SinkHandle::new(metrics.clone()))
         .build()
         .expect("valid sim config");
     let run = AdcnnSim::new(cfg).run();
@@ -42,6 +49,8 @@ fn main() {
     println!("  transmission   {:>8.1} ms", run.mean_transmission_s * 1e3);
     println!("  computation    {:>8.1} ms", run.mean_computation_s * 1e3);
     println!("  channel load   {:>8.1} %", run.channel_utilization * 100.0);
+    let live = Reporter::new().sample(&metrics.snapshot(), run.sim_end_s);
+    println!("  live view      {}", live.line());
 
     println!("\nbaselines:");
     for r in [

@@ -40,6 +40,11 @@ pub mod prelude {
     pub use adcnn_core::lifecycle::{LifecyclePolicy, TimerPolicy};
     pub use adcnn_core::obs::{
         ChromeTraceSink, EventSink, MetricsSink, MetricsSnapshot, NullSink, ObsEvent, SinkHandle,
+        TeeSink,
+    };
+    pub use adcnn_core::report::{
+        AttributionAggregate, AttributionSink, FlightRecorderSink, ForensicReport, ImageReport,
+        Reporter, ReporterSample, TileReport,
     };
     pub use adcnn_netsim::cluster::{AdcnnSim, AdcnnSimConfig, AdcnnSimConfigBuilder, SimSummary};
     pub use adcnn_nn::zoo::{alexnet, resnet18, resnet34, vgg16, yolo, ModelSpec};

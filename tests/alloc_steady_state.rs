@@ -158,6 +158,53 @@ fn steady_state_tile_loop_with_null_sink_is_allocation_free() {
     );
 }
 
+/// The fan-out path must preserve the contract: a [`TeeSink`] whose
+/// children are all disabled reports itself disabled, so a `SinkHandle`
+/// wrapping it never runs the event constructor — the tee adds a branch,
+/// not an allocation, to the hot loop.
+#[test]
+fn steady_state_tile_loop_with_disabled_tee_is_allocation_free() {
+    use adcnn::core::obs::{NullSink, ObsEvent, SinkHandle, TeeSink};
+    use std::sync::Arc;
+
+    let mut rng = StdRng::seed_from_u64(45);
+    let net = prefix_net(&mut rng);
+    let tile = Tensor::randn([1, 3, 16, 16], 0.5, &mut rng);
+    let cr = ClippedRelu::new(0.1, 1.1);
+    let q = Quantizer::paper_default(cr);
+
+    let tee = TeeSink::new(vec![Arc::new(NullSink) as _, Arc::new(NullSink) as _]);
+    let sink = SinkHandle::of(tee);
+    assert!(!sink.enabled(), "a tee of disabled sinks must be disabled");
+
+    let mut scratch = InferScratch::new();
+    let mut cs = CompressScratch::new();
+    for _ in 0..3 {
+        let out = net.forward_infer_with(&tile, &mut scratch);
+        let _ = clip_and_compress_into(out.as_slice(), cr, q, &mut cs);
+    }
+
+    let before = allocs();
+    for i in 0..10u64 {
+        let out = net.forward_infer_with(&tile, &mut scratch);
+        let enc = clip_and_compress_into(out.as_slice(), cr, q, &mut cs);
+        assert!(!enc.is_empty());
+        sink.emit_with(|| ObsEvent::TileCompute {
+            at: i as f64 * 1e-3,
+            image: 0,
+            tile: i as u32,
+            worker: 0,
+            dur: 1e-3,
+        });
+    }
+    let hot_path_allocs = allocs() - before;
+    assert_eq!(
+        hot_path_allocs, 0,
+        "a tee of disabled sinks must keep the hot path allocation-free (got \
+         {hot_path_allocs} allocations over 10 tiles)"
+    );
+}
+
 #[test]
 fn wire_boundary_allocations_are_bounded() {
     let mut rng = StdRng::seed_from_u64(43);

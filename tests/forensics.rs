@@ -1,0 +1,151 @@
+//! End-to-end forensic-observability contract, on both drivers:
+//!
+//! (a) every zero-filled tile in a fault-injected run yields a
+//!     [`ForensicReport`](adcnn::core::report::ForensicReport) naming the
+//!     tile, its owning worker, the re-dispatch rounds consumed and the
+//!     deadline/timer values in force, and
+//! (b) the per-image attribution phase sums are within tolerance of the
+//!     measured wall-clock image latency (the lifecycle span excludes the
+//!     Central suffix forward, which the drivers account separately).
+
+use adcnn::core::fdsp::TileGrid;
+use adcnn::core::obs::{json, SinkHandle};
+use adcnn::core::report::{Anomaly, AttributionSink, FlightRecorderSink, ImageReport};
+use adcnn::core::ClippedRelu;
+use adcnn::netsim::{AdcnnSim, AdcnnSimConfig, ThrottleSchedule};
+use adcnn::nn::layer::QuantizeSte;
+use adcnn::nn::small::shapes_cnn;
+use adcnn::nn::zoo;
+use adcnn::retrain::PartitionedModel;
+use adcnn::runtime::{AdcnnRuntime, RuntimeConfig, WorkerOptions};
+use adcnn::tensor::Tensor;
+use rand::{rngs::StdRng, SeedableRng};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn build_model(seed: u64, grid: TileGrid) -> PartitionedModel {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let cr = ClippedRelu::new(0.0, 2.0);
+    PartitionedModel::fdsp(shapes_cnn(6, &mut rng), grid)
+        .with_crelu(cr)
+        .with_quant(QuantizeSte::new(4, cr.range()))
+}
+
+fn rand_image(seed: u64) -> Tensor {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Tensor::randn([1, 3, 32, 32], 0.5, &mut rng)
+}
+
+/// Shared per-report checks: every zero-filled tile must map to a
+/// well-formed forensic dump naming tile / owner / rounds / deadline.
+fn check_forensics(report: &ImageReport, recorder: &FlightRecorderSink, owner: u32) {
+    for t in report.tiles.iter().filter(|t| t.zero_filled) {
+        let f = recorder
+            .report_for_tile(report.image, t.tile)
+            .unwrap_or_else(|| panic!("zero-filled tile {} has no forensic dump", t.tile));
+        assert_eq!(f.trigger, Anomaly::ZeroFill);
+        assert_eq!(f.image, report.image);
+        assert_eq!(f.tile, Some(t.tile));
+        assert_eq!(f.worker, Some(owner), "dump must name the owning worker");
+        assert_eq!(f.rounds, t.rounds, "dump must name the re-dispatch rounds consumed");
+        assert!(f.deadline_at.is_some(), "dump must carry the deadline in force");
+        assert!(f.deadline_span.is_some(), "dump must carry the timer span in force");
+        assert!(!f.events.is_empty(), "dump must snapshot the surrounding events");
+        let js = f.to_json();
+        assert!(json::is_well_formed(&js), "malformed forensic JSON: {js}");
+    }
+}
+
+/// The critical tile's phase decomposition plus merge must reproduce the
+/// image latency exactly when the critical tile went out in round 0 (no
+/// re-dispatch in these zero-fill runs).
+fn check_decomposition(report: &ImageReport) {
+    let crit = report.critical().expect("finished image must name a critical tile");
+    assert_eq!(crit.rounds, 0, "zero-fill runs never re-dispatch");
+    let attributed = crit.total_s() + report.merge_s;
+    assert!(
+        (attributed - report.latency_s).abs() < 1e-6,
+        "phase sums ({attributed}) must reproduce the image latency ({})",
+        report.latency_s
+    );
+}
+
+#[test]
+fn runtime_zero_fills_yield_forensics_and_consistent_attribution() {
+    // The paper's pure zero-fill policy with a silent worker: every one of
+    // worker 1's tiles is dropped at the deadline.
+    let grid = TileGrid::new(4, 4);
+    let model = build_model(9, grid);
+    let opts = [
+        WorkerOptions::default(),
+        WorkerOptions { fail_after_tiles: Some(0), ..Default::default() },
+    ];
+    let recorder = Arc::new(FlightRecorderSink::new(1024));
+    let attr = Arc::new(AttributionSink::new());
+    let cfg = RuntimeConfig::builder()
+        .t_l(Duration::from_millis(50))
+        .max_redispatch_rounds(0)
+        .sink(SinkHandle::new(recorder.clone()))
+        .attribution(attr.clone())
+        .build()
+        .unwrap();
+    let mut rt = AdcnnRuntime::launch(model, &opts, cfg);
+    let out = rt.infer(&rand_image(1));
+    rt.shutdown();
+
+    assert!(out.zero_filled > 0, "fault injection must actually drop tiles");
+    let report = out.report.expect("attribution was enabled");
+    assert_eq!(report.zero_filled, out.zero_filled);
+    let zf = report.tiles.iter().filter(|t| t.zero_filled).count() as u32;
+    assert_eq!(zf, out.zero_filled, "report must name every zero-filled tile");
+
+    check_forensics(&report, &recorder, 1);
+    check_decomposition(&report);
+
+    // The lifecycle latency is the wall-clock latency minus the Central
+    // suffix forward (plus scheduling noise): never larger, close below.
+    let wall = out.latency.as_secs_f64();
+    assert!(report.latency_s <= wall + 1e-6, "{} > {wall}", report.latency_s);
+    assert!(wall - report.latency_s < 0.5, "attribution lost {}s", wall - report.latency_s);
+
+    // The same image is retrievable from the shared sink handle, and the
+    // run aggregate folded it.
+    assert_eq!(attr.report_for(report.image), Some(report));
+    assert_eq!(attr.aggregate().zero_filled, out.zero_filled as u64);
+}
+
+#[test]
+fn netsim_zero_fills_yield_forensics_and_consistent_attribution() {
+    // Same contract over the simulator: node 3 dies at t=0 under the pure
+    // zero-fill policy, in virtual time.
+    let mut cfg = AdcnnSimConfig::paper_testbed(zoo::vgg16(), 4);
+    cfg.images = 6;
+    cfg.pipeline = false;
+    cfg.policy.max_redispatch_rounds = 0;
+    cfg.nodes[3].throttle = ThrottleSchedule::throttle_at(0.0, 0.0);
+    let recorder = Arc::new(FlightRecorderSink::new(4096));
+    let attr = Arc::new(AttributionSink::new());
+    cfg.sink = SinkHandle::new(recorder.clone()).tee(attr.clone());
+    let s = AdcnnSim::new(cfg).run();
+
+    assert!(s.images.iter().any(|i| i.dropped > 0), "dead node must cause drops");
+    let reports = attr.reports();
+    assert_eq!(reports.len(), 6, "one report per simulated image");
+    for (report, img) in reports.iter().zip(&s.images) {
+        let zf = report.tiles.iter().filter(|t| t.zero_filled).count() as u32;
+        assert_eq!(zf, img.dropped, "image {}: report must name every drop", report.image);
+        check_forensics(report, &recorder, 3);
+        if zf > 0 {
+            check_decomposition(report);
+        }
+        // Simulated wall clock = lifecycle span + Central suffix.
+        assert!(report.latency_s <= img.latency_s + 1e-9);
+        assert!(
+            img.latency_s - report.latency_s <= img.suffix_s + 1e-6,
+            "image {}: unattributed gap {} exceeds the suffix {}",
+            report.image,
+            img.latency_s - report.latency_s,
+            img.suffix_s
+        );
+    }
+}

@@ -52,6 +52,27 @@ fn assert_identical_events(
     rt
 }
 
+/// Replay through both drivers' attribution plumbing and assert the
+/// per-image critical-path reports — phase decomposition, critical tile,
+/// dominant phase — are byte-identical as canonical JSON. A Table 3
+/// breakdown computed against the simulator must be the breakdown the
+/// runtime would have reported for the same trace.
+fn assert_identical_report(
+    policy: LifecyclePolicy,
+    d: usize,
+    alloc: &[u32],
+    speeds: &[f64],
+    live: &[bool],
+    trace: &[Event],
+) -> String {
+    let rt = adcnn_runtime::central::replay_lifecycle_report(policy, d, alloc, speeds, live, trace);
+    let sim = adcnn_netsim::replay_lifecycle_report(policy, d, alloc, speeds, live, trace);
+    assert_eq!(rt, sim, "runtime and simulator drivers disagree on an ImageReport");
+    let report = rt.expect("trace must finish the image and yield a report");
+    assert!(adcnn_core::obs::json::is_well_formed(&report), "malformed report JSON: {report}");
+    report
+}
+
 #[test]
 fn healthy_trace_emits_identical_event_sequences() {
     let trace = [
@@ -101,6 +122,52 @@ fn faulty_trace_emits_identical_event_sequences() {
     {
         assert!(events.iter().any(|e| e.starts_with(kind)), "missing {kind}: {events:?}");
     }
+}
+
+#[test]
+fn healthy_trace_produces_identical_image_reports() {
+    let trace = [
+        Event::TileDelivered { tile: 0 },
+        Event::TileDelivered { tile: 1 },
+        Event::SendComplete { at: 0.004 },
+        Event::ResultArrived { at: 0.020, tile: 0, worker: 0, ok: true },
+        Event::ResultArrived { at: 0.021, tile: 1, worker: 1, ok: true },
+    ];
+    let report = assert_identical_report(policy(), 2, &[1, 1], &[1.0, 1.0], &[true, true], &trace);
+    // Tile 1 arrives last: it is the critical path on both drivers.
+    assert!(report.contains("\"critical_tile\":1"), "{report}");
+    assert!(report.contains("\"zero_filled\":0"), "{report}");
+}
+
+#[test]
+fn faulty_trace_produces_identical_image_reports() {
+    // The fault taxonomy trace: a death, a recovery round, a zero-fill.
+    // The attribution layer must make the same critical-path call — the
+    // zero-filled tile's open wait dominates — on both drivers.
+    let p = LifecyclePolicy { max_redispatch_rounds: 1, ..policy() };
+    let dl1 = 0.010 + 0.010 * p.slack + p.t_l;
+    let dl2 = dl1 + 0.010 * p.slack * 2.0 + p.t_l;
+    let trace = [
+        Event::TileDelivered { tile: 0 },
+        Event::TileDelivered { tile: 1 },
+        Event::TileDelivered { tile: 2 },
+        Event::TileDelivered { tile: 3 },
+        Event::SendComplete { at: 0.004 },
+        Event::ResultArrived { at: 0.010, tile: 1, worker: 1, ok: true },
+        Event::ResultArrived { at: 0.012, tile: 3, worker: 1, ok: true },
+        Event::WorkerDied { worker: 0 },
+        Event::DeadlineFired { at: dl1 },
+        Event::ResultArrived { at: 0.055, tile: 0, worker: 1, ok: true },
+        Event::DeadlineFired { at: dl2 },
+        Event::ResultArrived { at: 0.110, tile: 2, worker: 0, ok: false },
+    ];
+    let report = assert_identical_report(p, 4, &[2, 2], &[1.0, 5.0], &[true, true], &trace);
+    assert!(report.contains("\"zero_filled\":1"), "{report}");
+    assert!(report.contains("\"redispatched\":2"), "{report}");
+    // Tile 2 never came back: the zero-fill at dl2 closes the image, and
+    // its open queue wait is the dominant phase.
+    assert!(report.contains("\"critical_tile\":2"), "{report}");
+    assert!(report.contains("\"dominant_phase\":\"queue_wait\""), "{report}");
 }
 
 #[test]
