@@ -36,11 +36,16 @@ echo "==> record GEMM baseline (results/BENCH_gemm.json)"
 cargo bench -p adcnn-bench --bench micro >/dev/null
 cat results/BENCH_gemm.json
 
-echo "==> record runtime baseline (results/BENCH_runtime.json)"
+echo "==> record runtime baseline + pipeline depth sweep (results/BENCH_runtime.json)"
 # Figure 15's harness runs with attribution + the flight recorder tee'd in
 # and flattens the adaptive run's MetricsSnapshot into the stable perf
-# trajectory schema.
+# trajectory schema (flat fields = depth 1), then sweeps the admission
+# window over depths 1/2/4/8 on the serving cluster into `depth_sweep`.
+# The bench itself asserts depth-4 throughput >= 2.5x depth 1 at a flat
+# p99 and unchanged zero-fill rate, and fails if the emitted JSON is not
+# well formed per obs::json::is_well_formed.
 cargo bench -p adcnn-bench --bench fig15_dynamic_adaptation >/dev/null
+grep -q '"depth_sweep"' results/BENCH_runtime.json
 cat results/BENCH_runtime.json
 
 echo "==> CI OK"

@@ -49,7 +49,7 @@ fn gamma_ablation(out: &mut Ablations) {
     for gamma in [0.3, 0.9, 0.99] {
         let mut cfg = AdcnnSimConfig::paper_testbed(m.clone(), 8);
         cfg.images = 80;
-        cfg.pipeline = false;
+        cfg.pipeline_depth = 1;
         cfg.gamma = gamma;
         let warm = AdcnnSim::new(cfg.clone()).run();
         let t_half = warm.images[40].done_at;
@@ -120,10 +120,10 @@ fn encoding_ablation(out: &mut Ablations) {
 
 fn pipelining_ablation(out: &mut Ablations) {
     let m = zoo::vgg16();
-    for (name, pipeline) in [("pipelined (Fig 9)", true), ("serial", false)] {
+    for (name, depth) in [("serial", 1), ("pipelined (Fig 9)", 2), ("deep (depth 4)", 4)] {
         let mut cfg = AdcnnSimConfig::paper_testbed(m.clone(), 8);
         cfg.images = 30;
-        cfg.pipeline = pipeline;
+        cfg.pipeline_depth = depth;
         let run = AdcnnSim::new(cfg).run();
         let throughput = run.images.len() as f64 / run.total_time_s;
         out.pipelining.push((name.to_string(), throughput));

@@ -32,7 +32,7 @@ fn main() {
     for m in zoo::all_models() {
         let mut cfg = AdcnnSimConfig::paper_testbed(m.clone(), 8);
         cfg.images = 40;
-        cfg.pipeline = false; // per-image latency, not pipelined throughput
+        cfg.pipeline_depth = 1; // per-image latency, not pipelined throughput
         let sim = AdcnnSim::new(cfg.clone()).run();
         let adcnn = sim.steady_latency_s();
         // System upper bound: distribute every conv block (only FC / the

@@ -19,7 +19,7 @@ struct Row {
 fn run(model: &adcnn_nn::zoo::ModelSpec, link: LinkParams, pruned: bool) -> f64 {
     let mut cfg = AdcnnSimConfig::paper_testbed(model.clone(), 8);
     cfg.images = 30;
-    cfg.pipeline = false;
+    cfg.pipeline_depth = 1;
     cfg.link = link;
     if !pruned {
         cfg.compression = None;

@@ -34,7 +34,7 @@ fn main() {
     for k in [2usize, 4, 6, 8] {
         let mut cfg = AdcnnSimConfig::paper_testbed(m.clone(), k);
         cfg.images = 30;
-        cfg.pipeline = false;
+        cfg.pipeline_depth = 1;
         let sim = AdcnnSim::new(cfg.clone()).run();
         let latency = sim.steady_latency_s();
         let mut deep = cfg;

@@ -31,7 +31,7 @@ fn main() {
     for m in [zoo::yolo(), zoo::vgg16(), zoo::resnet34()] {
         let mut cfg = AdcnnSimConfig::paper_testbed(m.clone(), 8);
         cfg.images = 30;
-        cfg.pipeline = false;
+        cfg.pipeline_depth = 1;
         let adcnn = AdcnnSim::new(cfg.clone()).run().steady_latency_s();
         // Deep split: distribute every conv block. AOFL itself fuses 10+
         // layers when profitable, so the apples-to-apples ADCNN point is

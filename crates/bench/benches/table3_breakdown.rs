@@ -21,7 +21,7 @@ fn main() {
     let m = zoo::vgg16();
     let mut cfg = AdcnnSimConfig::paper_testbed(m.clone(), 8);
     cfg.images = 40;
-    cfg.pipeline = false;
+    cfg.pipeline_depth = 1;
     let sim = AdcnnSim::new(cfg).run();
     let single = single_device(&m, &DeviceProfile::raspberry_pi3());
     let cloud = remote_cloud(&m, &DeviceProfile::cloud_v100(), LinkParams::cloud_uplink());

@@ -40,6 +40,10 @@ pub enum ConfigError {
     NoWorkers,
     /// A probability field (drop/corrupt) must lie in [0, 1].
     ProbabilityOutOfRange { field: &'static str, value: f64 },
+    /// A pipeline of depth zero can never admit an image.
+    ZeroPipelineDepth,
+    /// A zero-capacity intake queue rejects every submit.
+    ZeroIntakeCap,
 }
 
 impl std::fmt::Display for ConfigError {
@@ -74,6 +78,12 @@ impl std::fmt::Display for ConfigError {
             }
             ConfigError::ProbabilityOutOfRange { field, value } => {
                 write!(f, "{field} must be in [0, 1] (got {value})")
+            }
+            ConfigError::ZeroPipelineDepth => {
+                write!(f, "pipeline_depth must be >= 1")
+            }
+            ConfigError::ZeroIntakeCap => {
+                write!(f, "intake_cap must be >= 1")
             }
         }
     }

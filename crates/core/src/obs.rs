@@ -236,6 +236,14 @@ pub enum ObsEvent {
     /// A modeled or measured transfer of one tile's payload, `dur`
     /// seconds ending at `at`.
     TileTransfer { at: f64, image: u64, tile: u32, worker: u32, dur: f64 },
+    /// The admission pipeline accepted `image` into flight after
+    /// `queue_wait` seconds in the intake queue; `inflight` is the
+    /// in-flight depth *including* this image. Driver-emitted (never by
+    /// the lifecycle), so differential decision traces are unaffected.
+    ImageAdmitted { at: f64, image: u64, queue_wait: f64, inflight: u32 },
+    /// The image left flight (its handle was resolved); `inflight` is
+    /// the depth *after* removal. Driver-emitted.
+    ImageRetired { at: f64, image: u64, inflight: u32 },
 }
 
 impl ObsEvent {
@@ -261,6 +269,8 @@ impl ObsEvent {
             ObsEvent::TileCompute { .. } => "tile_compute",
             ObsEvent::TileCompress { .. } => "tile_compress",
             ObsEvent::TileTransfer { .. } => "tile_transfer",
+            ObsEvent::ImageAdmitted { .. } => "image_admitted",
+            ObsEvent::ImageRetired { .. } => "image_retired",
         }
     }
 
@@ -327,6 +337,14 @@ impl ObsEvent {
                 .u64("bytes", bytes)
                 .f64("ratio", ratio)
                 .finish(),
+            ObsEvent::ImageAdmitted { image, queue_wait, inflight, .. } => Obj::new()
+                .u64("image", image)
+                .f64("queue_wait", queue_wait)
+                .u64("inflight", inflight.into())
+                .finish(),
+            ObsEvent::ImageRetired { image, inflight, .. } => {
+                Obj::new().u64("image", image).u64("inflight", inflight.into()).finish()
+            }
         }
     }
 
@@ -350,7 +368,9 @@ impl ObsEvent {
             | ObsEvent::RateUpdate { image, .. }
             | ObsEvent::TileCompute { image, .. }
             | ObsEvent::TileCompress { image, .. }
-            | ObsEvent::TileTransfer { image, .. } => image,
+            | ObsEvent::TileTransfer { image, .. }
+            | ObsEvent::ImageAdmitted { image, .. }
+            | ObsEvent::ImageRetired { image, .. } => image,
         }
     }
 
@@ -411,7 +431,9 @@ impl ObsEvent {
             | ObsEvent::RateUpdate { at, .. }
             | ObsEvent::TileCompute { at, .. }
             | ObsEvent::TileCompress { at, .. }
-            | ObsEvent::TileTransfer { at, .. } => at,
+            | ObsEvent::TileTransfer { at, .. }
+            | ObsEvent::ImageAdmitted { at, .. }
+            | ObsEvent::ImageRetired { at, .. } => at,
         }
     }
 }
@@ -670,11 +692,14 @@ pub struct MetricsSink {
     workers_cleared: AtomicU64,
     rate_updates: AtomicU64,
     compressed_bytes: AtomicU64,
+    images_admitted: AtomicU64,
+    inflight_depth: AtomicU64,
     compute_us: Histogram,
     compress_us: Histogram,
     transfer_us: Histogram,
     image_latency_us: Histogram,
     compressed_tile_bytes: Histogram,
+    queue_wait_us: Histogram,
 }
 
 /// Seconds → whole microseconds (the histogram unit).
@@ -709,11 +734,14 @@ impl MetricsSink {
             workers_cleared: c(&self.workers_cleared),
             rate_updates: c(&self.rate_updates),
             compressed_bytes: c(&self.compressed_bytes),
+            images_admitted: c(&self.images_admitted),
+            inflight_depth: c(&self.inflight_depth),
             compute_us: self.compute_us.snapshot(),
             compress_us: self.compress_us.snapshot(),
             transfer_us: self.transfer_us.snapshot(),
             image_latency_us: self.image_latency_us.snapshot(),
             compressed_tile_bytes: self.compressed_tile_bytes.snapshot(),
+            queue_wait_us: self.queue_wait_us.snapshot(),
         }
     }
 }
@@ -778,6 +806,14 @@ impl EventSink for MetricsSink {
             ObsEvent::TileTransfer { dur, .. } => {
                 self.transfer_us.record(us(dur));
             }
+            ObsEvent::ImageAdmitted { queue_wait, inflight, .. } => {
+                self.images_admitted.fetch_add(1, Ordering::Relaxed);
+                self.queue_wait_us.record(us(queue_wait));
+                self.inflight_depth.store(inflight.into(), Ordering::Relaxed);
+            }
+            ObsEvent::ImageRetired { inflight, .. } => {
+                self.inflight_depth.store(inflight.into(), Ordering::Relaxed);
+            }
         }
     }
 }
@@ -820,6 +856,10 @@ pub struct MetricsSnapshot {
     pub rate_updates: u64,
     /// Total compressed payload bytes shipped.
     pub compressed_bytes: u64,
+    /// Images admitted into the pipeline.
+    pub images_admitted: u64,
+    /// In-flight depth gauge: last observed concurrent-image count.
+    pub inflight_depth: u64,
     /// Per-tile prefix compute time, µs.
     pub compute_us: HistogramSnapshot,
     /// Per-tile clip/quantize/RLE time, µs.
@@ -830,6 +870,8 @@ pub struct MetricsSnapshot {
     pub image_latency_us: HistogramSnapshot,
     /// Per-tile compressed payload size, bytes.
     pub compressed_tile_bytes: HistogramSnapshot,
+    /// Intake-queue wait before admission, µs.
+    pub queue_wait_us: HistogramSnapshot,
 }
 
 impl MetricsSnapshot {
@@ -862,11 +904,14 @@ impl MetricsSnapshot {
             .u64("workers_cleared", self.workers_cleared)
             .u64("rate_updates", self.rate_updates)
             .u64("compressed_bytes", self.compressed_bytes)
+            .u64("images_admitted", self.images_admitted)
+            .u64("inflight_depth", self.inflight_depth)
             .raw("compute_us", hist(&self.compute_us))
             .raw("compress_us", hist(&self.compress_us))
             .raw("transfer_us", hist(&self.transfer_us))
             .raw("image_latency_us", hist(&self.image_latency_us))
             .raw("compressed_tile_bytes", hist(&self.compressed_tile_bytes))
+            .raw("queue_wait_us", hist(&self.queue_wait_us))
             .finish()
     }
 }
@@ -1112,6 +1157,36 @@ mod tests {
     }
 
     #[test]
+    fn admission_events_drive_gauge_and_queue_wait_histogram() {
+        let m = Arc::new(MetricsSink::new());
+        let h = SinkHandle::new(m.clone());
+        h.emit_with(|| ObsEvent::ImageAdmitted { at: 0.0, image: 0, queue_wait: 0.0, inflight: 1 });
+        h.emit_with(|| ObsEvent::ImageAdmitted {
+            at: 0.1,
+            image: 1,
+            queue_wait: 0.050,
+            inflight: 2,
+        });
+        let s = m.snapshot();
+        assert_eq!(s.images_admitted, 2);
+        assert_eq!(s.inflight_depth, 2, "gauge tracks the latest admission");
+        assert_eq!(s.queue_wait_us.count, 2);
+        // 50_000 µs lands in bucket 16 (2^15 ≤ v < 2^16)
+        assert_eq!(s.queue_wait_us.buckets[16], 1);
+
+        h.emit_with(|| ObsEvent::ImageRetired { at: 0.2, image: 0, inflight: 1 });
+        let s = m.snapshot();
+        assert_eq!(s.inflight_depth, 1, "retirement lowers the gauge");
+        assert_eq!(s.queue_wait_us.count, 2, "retirement records no wait");
+
+        let json = s.to_json();
+        assert_balanced_json(&json);
+        for field in ["\"images_admitted\":2", "\"inflight_depth\":1", "\"queue_wait_us\":{"] {
+            assert!(json.contains(field), "{field} missing from {json}");
+        }
+    }
+
+    #[test]
     fn json_helpers_escape_and_validate() {
         assert_eq!(json::string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
         assert_eq!(json::string("\u{1}"), "\"\\u0001\"");
@@ -1158,11 +1233,15 @@ mod tests {
                 bytes: 12,
                 ratio: 0.5,
             },
+            ObsEvent::ImageAdmitted { at: 0.1, image: 1, queue_wait: f64::NAN, inflight: 3 },
+            ObsEvent::ImageRetired { at: 0.9, image: 1, inflight: 2 },
         ];
         for ev in evs {
             let j = ev.args_json();
             assert_balanced_json(&j);
-            assert!(!j.contains("NaN") && !j.contains("inf"), "{j}");
+            // Value-position check: a leaked non-finite renders as `:inf` /
+            // `:-inf` / `:NaN` (the `inflight` key itself contains "inf").
+            assert!(!j.contains("NaN") && !j.contains(":inf") && !j.contains(":-inf"), "{j}");
         }
     }
 

@@ -663,6 +663,15 @@ fn encode(ev: &ObsEvent) -> [u64; SLOT_WORDS] {
             w[3] = pack(tile, worker);
             w[4] = dur.to_bits();
         }
+        ObsEvent::ImageAdmitted { queue_wait, inflight, .. } => {
+            w[0] = 18;
+            w[3] = pack(NONE32, inflight);
+            w[4] = queue_wait.to_bits();
+        }
+        ObsEvent::ImageRetired { inflight, .. } => {
+            w[0] = 19;
+            w[3] = pack(NONE32, inflight);
+        }
     }
     w
 }
@@ -706,6 +715,8 @@ fn decode(w: &[u64; SLOT_WORDS]) -> Option<ObsEvent> {
             ratio: f64::from_bits(w[6]),
         },
         17 => ObsEvent::TileTransfer { at, image, tile: lo, worker: hi, dur: f64::from_bits(w[4]) },
+        18 => ObsEvent::ImageAdmitted { at, image, queue_wait: f64::from_bits(w[4]), inflight: hi },
+        19 => ObsEvent::ImageRetired { at, image, inflight: hi },
         _ => return None,
     })
 }
@@ -1088,6 +1099,11 @@ impl MetricsSnapshot {
         counter("workers_cleared_total", self.workers_cleared);
         counter("rate_updates_total", self.rate_updates);
         counter("compressed_bytes_total", self.compressed_bytes);
+        counter("images_admitted_total", self.images_admitted);
+        out.push_str(&format!(
+            "# TYPE adcnn_inflight_depth gauge\nadcnn_inflight_depth {}\n",
+            self.inflight_depth
+        ));
         let mut histogram = |name: &str, h: &HistogramSnapshot| {
             out.push_str(&format!("# TYPE adcnn_{name} histogram\n"));
             let mut cum = 0u64;
@@ -1107,6 +1123,7 @@ impl MetricsSnapshot {
         histogram("transfer_us", &self.transfer_us);
         histogram("image_latency_us", &self.image_latency_us);
         histogram("compressed_tile_bytes", &self.compressed_tile_bytes);
+        histogram("queue_wait_us", &self.queue_wait_us);
         out
     }
 }
@@ -1129,6 +1146,10 @@ pub struct ReporterSample {
     pub zero_fill_rate: f64,
     /// Re-dispatch attempts / round-0 dispatches.
     pub redispatch_rate: f64,
+    /// In-flight depth gauge at sample time.
+    pub inflight_depth: u64,
+    /// Interpolated median intake-queue wait (µs) over the interval.
+    pub p50_queue_wait_us: Option<f64>,
 }
 
 impl ReporterSample {
@@ -1136,12 +1157,14 @@ impl ReporterSample {
     pub fn line(&self) -> String {
         let q = |v: Option<f64>| v.map_or_else(|| "-".to_string(), |x| format!("{x:.0}"));
         format!(
-            "{:7.1} img/s | p50 {:>8} µs | p99 {:>8} µs | zero-fill {:5.2}% | redispatch {:5.2}%",
+            "{:7.1} img/s | p50 {:>8} µs | p99 {:>8} µs | zero-fill {:5.2}% | redispatch {:5.2}% | in-flight {:>2} | queue p50 {:>8} µs",
             self.images_per_s,
             q(self.p50_latency_us),
             q(self.p99_latency_us),
             self.zero_fill_rate * 100.0,
             self.redispatch_rate * 100.0,
+            self.inflight_depth,
+            q(self.p50_queue_wait_us),
         )
     }
 }
@@ -1188,6 +1211,7 @@ impl Reporter {
         let zero_filled = d(snap.tiles_zero_filled, self.prev.tiles_zero_filled);
         let dispatched = d(snap.tiles_dispatched, self.prev.tiles_dispatched);
         let redispatched = d(snap.tiles_redispatched, self.prev.tiles_redispatched);
+        let queue_wait = hist_delta(&snap.queue_wait_us, &self.prev.queue_wait_us);
         let sample = ReporterSample {
             elapsed_s,
             images,
@@ -1196,6 +1220,8 @@ impl Reporter {
             p99_latency_us: latency.p99(),
             zero_fill_rate: zero_filled as f64 / (zero_filled + arrived).max(1) as f64,
             redispatch_rate: redispatched as f64 / dispatched.max(1) as f64,
+            inflight_depth: snap.inflight_depth,
+            p50_queue_wait_us: queue_wait.p50(),
         };
         self.prev = snap.clone();
         sample
@@ -1388,6 +1414,8 @@ mod tests {
                 ratio: 0.125,
             },
             ObsEvent::TileTransfer { at: 0.9, image: 1, tile: 3, worker: 0, dur: 0.05 },
+            ObsEvent::ImageAdmitted { at: 0.4, image: 1, queue_wait: 0.025, inflight: 4 },
+            ObsEvent::ImageRetired { at: 1.5, image: 1, inflight: 3 },
         ];
         for ev in evs {
             assert_eq!(decode(&encode(&ev)), Some(ev));
@@ -1476,9 +1504,19 @@ mod tests {
             worker: 0,
             dur: 0.007,
         });
+        h.emit_with(|| ObsEvent::ImageAdmitted {
+            at: 0.0,
+            image: 0,
+            queue_wait: 0.001,
+            inflight: 1,
+        });
         let text = m.snapshot().to_prometheus();
         assert!(text.contains("# TYPE adcnn_images_started_total counter"));
         assert!(text.contains("adcnn_images_started_total 1\n"));
+        assert!(text.contains("# TYPE adcnn_inflight_depth gauge"));
+        assert!(text.contains("adcnn_inflight_depth 1\n"));
+        assert!(text.contains("adcnn_images_admitted_total 1\n"));
+        assert!(text.contains("adcnn_queue_wait_us_count 1\n"));
         // 3000 µs and 7000 µs land in buckets 12 and 13; cumulative
         // counts must be monotone and end at the total
         assert!(text.contains("adcnn_compute_us_bucket{le=\"4095\"} 1\n"), "{text}");

@@ -13,7 +13,9 @@
 //! 3. the Central node reassembles, zero-filling results that miss the
 //!    timeout, runs the suffix layers, and emits the output;
 //! 4. the tiles of image `i+1` are already in flight while image `i`
-//!    computes (Figure 9's overlap), unless pipelining is disabled.
+//!    computes (Figure 9's overlap) — up to `pipeline_depth` images at
+//!    once, mirroring the runtime's admission queue (depth 1 disables
+//!    the overlap).
 //!
 //! All tile-lifecycle *decisions* — deadlines, re-dispatch, zero-fill,
 //! the Algorithm 2 measurement cutoff — come from the shared sans-IO
@@ -115,9 +117,11 @@ pub struct AdcnnSimConfig {
     pub quant_bits: u8,
     /// Input images to stream through.
     pub images: usize,
-    /// Overlap communication of image `i+1` with computation of image `i`
-    /// (Figure 9). Disable for the pipelining ablation.
-    pub pipeline: bool,
+    /// Maximum images in flight at once — the simulated mirror of the
+    /// runtime's `pipeline_depth`. Depth 1 disables the Figure 9 overlap
+    /// (the pipelining ablation); 2 is the classic one-image-ahead
+    /// window; higher depths model the runtime's deeper admission queue.
+    pub pipeline_depth: usize,
     /// RNG seed (tile-allocation tie-breaking).
     pub seed: u64,
     /// Use Algorithms 2+3 (true) or a static equal split (false — the
@@ -151,7 +155,7 @@ impl AdcnnSimConfig {
             compression: Some(sparsity),
             quant_bits: 4,
             images: 100,
-            pipeline: true,
+            pipeline_depth: 2,
             seed: 42,
             adaptive: true,
             sink: SinkHandle::null(),
@@ -178,6 +182,9 @@ impl AdcnnSimConfig {
         }
         if self.images == 0 {
             return Err(ConfigError::ZeroImages);
+        }
+        if self.pipeline_depth == 0 {
+            return Err(ConfigError::ZeroPipelineDepth);
         }
         let blocks = self.model.blocks.len();
         if self.prefix == 0 || self.prefix > blocks {
@@ -257,9 +264,9 @@ impl AdcnnSimConfigBuilder {
         self
     }
 
-    /// Overlap image `i+1`'s communication with image `i`'s computation.
-    pub fn pipeline(mut self, pipeline: bool) -> Self {
-        self.cfg.pipeline = pipeline;
+    /// Maximum images in flight at once (1 disables the Figure 9 overlap).
+    pub fn pipeline_depth(mut self, depth: usize) -> Self {
+        self.cfg.pipeline_depth = depth;
         self
     }
 
@@ -476,13 +483,18 @@ impl AdcnnSim {
         let mut img_states: Vec<Option<ImageState>> = (0..cfg.images).map(|_| None).collect();
         let mut finished: Vec<ImageStats> = Vec::with_capacity(cfg.images);
 
-        // Admission control: at most `window` images in flight (2 with
-        // Figure 9 pipelining, 1 without), and image i+1 only becomes
-        // eligible once image i's tiles have all reached their nodes.
-        let window = if cfg.pipeline { 2usize } else { 1 };
+        // Admission control: at most `pipeline_depth` images in flight —
+        // the simulated mirror of the runtime's admission queue — and
+        // image i+1 only becomes eligible once image i's tiles have all
+        // reached their nodes (the Figure 9 gate).
+        let window = cfg.pipeline_depth;
         let mut next_admit = 1usize;
         let mut gate = 0usize;
         let mut completed = 0usize;
+        // In-flight gauge mirrored into ImageAdmitted/ImageRetired. The
+        // simulator's source is closed-loop (an image is generated the
+        // moment it can be admitted), so queue_wait is identically 0.
+        let mut inflight_now = 0usize;
         macro_rules! try_admit {
             ($queue:expr, $now:expr) => {
                 while next_admit < cfg.images
@@ -515,6 +527,16 @@ impl AdcnnSim {
                     // Partition on the central CPU, then stream tiles out
                     // one at a time in the machine's round-robin placement
                     // order.
+                    inflight_now += 1;
+                    // Driver-emitted (never by the lifecycle), before the
+                    // machine's own ImageStart — the same ordering the
+                    // runtime's collector uses.
+                    cfg.sink.emit_with(|| ObsEvent::ImageAdmitted {
+                        at: now,
+                        image: img as u64,
+                        queue_wait: 0.0,
+                        inflight: inflight_now as u32,
+                    });
                     let (_, part_done) = central_cpu.run(now, partition_work);
                     let x = if cfg.adaptive {
                         allocator.allocate(d, stats.speeds(), &mut rng)
@@ -820,6 +842,12 @@ impl AdcnnSim {
                         done_at: now,
                     });
                     completed += 1;
+                    inflight_now -= 1;
+                    cfg.sink.emit_with(|| ObsEvent::ImageRetired {
+                        at: now,
+                        image: img as u64,
+                        inflight: inflight_now as u32,
+                    });
                     try_admit!(queue, now);
                 }
             }
@@ -887,6 +915,35 @@ pub fn replay_lifecycle_trace(
     out
 }
 
+/// Multi-image [`replay_lifecycle_trace`]: one lifecycle machine per entry
+/// of `allocs` (all begun at time 0, in order), driven by an interleaved
+/// trace of `(image_index, event)` pairs — the pipeline's concurrency
+/// shape with the transport abstracted away. Decision lines are prefixed
+/// `[i] ` with the owning image index. Timestamps are fed verbatim (the
+/// identity mapping); the cross-driver differential test asserts the
+/// sequence is byte-identical to the runtime driver's
+/// (`adcnn_runtime::central::replay_lifecycle_trace_multi`).
+pub fn replay_lifecycle_trace_multi(
+    policy: LifecyclePolicy,
+    d: usize,
+    allocs: &[Vec<u32>],
+    speeds: &[f64],
+    live: &[bool],
+    trace: &[(usize, Event)],
+) -> Vec<String> {
+    let mut machines = Vec::with_capacity(allocs.len());
+    let mut out = Vec::new();
+    for (i, alloc) in allocs.iter().enumerate() {
+        let (lc, acts) = TileLifecycle::begin(policy, 0.0, d, alloc, speeds, live);
+        out.extend(acts.iter().map(|a| format!("[{i}] {a:?}")));
+        machines.push(lc);
+    }
+    for (img, ev) in trace {
+        out.extend(machines[*img].handle(*ev).iter().map(|a| format!("[{img}] {a:?}")));
+    }
+    out
+}
+
 /// Like [`replay_lifecycle_trace`], but returns the Debug-formatted
 /// sequence of structured [`ObsEvent`]s the lifecycle machine emitted
 /// while replaying — the observability schema rather than the decision
@@ -914,6 +971,41 @@ pub fn replay_lifecycle_events(
     );
     for ev in trace {
         lc.handle(*ev);
+    }
+    rec.events().iter().map(|e| format!("{e:?}")).collect()
+}
+
+/// Multi-image [`replay_lifecycle_events`]: one machine per entry of
+/// `allocs` (image ids are the indices), all emitting into one shared
+/// recording sink, driven by an interleaved `(image_index, event)` trace.
+/// The recorded stream is the pipeline's interleaved observability schema;
+/// the cross-driver differential test asserts it is byte-identical to the
+/// runtime driver's (`adcnn_runtime::central::replay_lifecycle_events_multi`).
+pub fn replay_lifecycle_events_multi(
+    policy: LifecyclePolicy,
+    d: usize,
+    allocs: &[Vec<u32>],
+    speeds: &[f64],
+    live: &[bool],
+    trace: &[(usize, Event)],
+) -> Vec<String> {
+    let rec = std::sync::Arc::new(RecordingSink::new());
+    let mut machines = Vec::with_capacity(allocs.len());
+    for (i, alloc) in allocs.iter().enumerate() {
+        let (lc, _) = TileLifecycle::begin_observed(
+            policy,
+            0.0,
+            d,
+            alloc,
+            speeds,
+            live,
+            i as u64,
+            SinkHandle::new(rec.clone()),
+        );
+        machines.push(lc);
+    }
+    for (img, ev) in trace {
+        machines[*img].handle(*ev);
     }
     rec.events().iter().map(|e| format!("{e:?}")).collect()
 }
@@ -963,7 +1055,7 @@ mod tests {
         // Latency-measuring tests run unpipelined so per-image latency is
         // not inflated by queueing behind the central-node bottleneck
         // (pipelining is exercised explicitly where throughput matters).
-        cfg.pipeline = false;
+        cfg.pipeline_depth = 1;
         cfg
     }
 
@@ -1117,15 +1209,60 @@ mod tests {
     #[test]
     fn pipelining_improves_throughput() {
         let mut piped_cfg = quick_cfg(8, 12);
-        piped_cfg.pipeline = true;
+        piped_cfg.pipeline_depth = 2;
+        let mut deep_cfg = quick_cfg(8, 12);
+        deep_cfg.pipeline_depth = 4;
         let serial = quick_cfg(8, 12);
         let piped = AdcnnSim::new(piped_cfg).run();
+        let deep = AdcnnSim::new(deep_cfg).run();
         let unpiped = AdcnnSim::new(serial).run();
         assert!(
             piped.total_time_s < unpiped.total_time_s,
             "pipelining did not help: {} vs {}",
             piped.total_time_s,
             unpiped.total_time_s
+        );
+        // A deeper window can only admit earlier, never later.
+        assert!(
+            deep.total_time_s <= piped.total_time_s + 1e-9,
+            "deeper pipeline regressed throughput: {} vs {}",
+            deep.total_time_s,
+            piped.total_time_s
+        );
+    }
+
+    #[test]
+    fn admission_events_mirror_runtime_schema() {
+        // The simulator emits the same ImageAdmitted/ImageRetired pipeline
+        // events as the runtime's collector: one pair per image, inflight
+        // bounded by the window, queue_wait identically 0 (closed-loop
+        // source).
+        let rec = std::sync::Arc::new(RecordingSink::new());
+        let mut cfg = quick_cfg(4, 6);
+        cfg.pipeline_depth = 3;
+        cfg.sink = SinkHandle::new(rec.clone());
+        AdcnnSim::new(cfg).run();
+        let evs = rec.events();
+        let admitted: Vec<u32> = evs
+            .iter()
+            .filter_map(|e| match e {
+                ObsEvent::ImageAdmitted { inflight, queue_wait, .. } => {
+                    assert_eq!(*queue_wait, 0.0, "closed-loop source never queues");
+                    Some(*inflight)
+                }
+                _ => None,
+            })
+            .collect();
+        let retired = evs.iter().filter(|e| matches!(e, ObsEvent::ImageRetired { .. })).count();
+        assert_eq!(admitted.len(), 6);
+        assert_eq!(retired, 6);
+        assert!(
+            admitted.iter().all(|&i| i >= 1 && i <= 3),
+            "inflight gauge out of window: {admitted:?}"
+        );
+        assert!(
+            admitted.iter().any(|&i| i > 1),
+            "depth 3 should actually overlap images: {admitted:?}"
         );
     }
 
@@ -1165,7 +1302,7 @@ mod hetero_tests {
     fn mixed_device_cluster_shifts_load_to_the_accelerator() {
         let mut cfg = AdcnnSimConfig::paper_testbed(zoo::vgg16(), 4);
         cfg.images = 25;
-        cfg.pipeline = false;
+        cfg.pipeline_depth = 1;
         let all_pi = AdcnnSim::new(cfg.clone()).run();
 
         cfg.nodes[0].profile = DeviceProfile::jetson_nano();
@@ -1189,7 +1326,7 @@ mod hetero_tests {
         // Equation 1's M·x_k <= H_k inside the full simulation.
         let mut cfg = AdcnnSimConfig::paper_testbed(zoo::vgg16(), 4);
         cfg.images = 10;
-        cfg.pipeline = false;
+        cfg.pipeline_depth = 1;
         // tile_in_bits for VGG16 8x8 is ~75 kbit + header; cap node 0 at 3 tiles.
         let tile_bits =
             cfg.model.input_wire_bits() / cfg.grid.tiles() as u64 + adcnn_core::wire::HEADER_BITS;
@@ -1211,7 +1348,7 @@ mod hetero_tests {
             let mut cfg = AdcnnSimConfig::paper_testbed(zoo::vgg16(), k);
             cfg.images = images;
             cfg.seed = seed;
-            cfg.pipeline = seed % 2 == 0;
+            cfg.pipeline_depth = if seed % 2 == 0 { 2 } else { 1 };
             let run = AdcnnSim::new(cfg).run();
             prop_assert_eq!(run.images.len(), images);
             for img in &run.images {

@@ -34,8 +34,9 @@ pub use adcnn_core::config::ConfigError;
 pub use adcnn_core::obs::SinkHandle;
 pub use adcnn_core::report::{AttributionSink, FlightRecorderSink, ImageReport};
 pub use cluster::{
-    replay_lifecycle_events, replay_lifecycle_report, replay_lifecycle_trace, AdcnnSim,
-    AdcnnSimConfig, AdcnnSimConfigBuilder, ImageStats, LifecyclePolicy, SimNode, SimSummary,
-    ThrottleSchedule, TimerPolicy,
+    replay_lifecycle_events, replay_lifecycle_events_multi, replay_lifecycle_report,
+    replay_lifecycle_trace, replay_lifecycle_trace_multi, AdcnnSim, AdcnnSimConfig,
+    AdcnnSimConfigBuilder, ImageStats, LifecyclePolicy, SimNode, SimSummary, ThrottleSchedule,
+    TimerPolicy,
 };
 pub use profiles::LinkParams;

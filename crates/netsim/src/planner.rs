@@ -62,7 +62,7 @@ pub fn plan_deployment(
             cfg.grid = grid;
             cfg.prefix = prefix;
             cfg.images = cfg.images.clamp(5, 15);
-            cfg.pipeline = false;
+            cfg.pipeline_depth = 1;
             let latency_s = AdcnnSim::new(cfg).run().steady_latency_s();
             let accuracy = oracle(grid, prefix);
             candidates.push(Candidate {

@@ -36,6 +36,13 @@ impl LinkParams {
         LinkParams { bandwidth_bps: 61.30e6, latency_s: 20e-3, per_message_overhead_s: 0.2 }
     }
 
+    /// A Wi-Fi 6 access point at a conservative 120 Mbps effective
+    /// throughput — the serving-cluster link used by the pipeline depth
+    /// sweep, beyond the paper's 802.11ac testbed.
+    pub fn wifi6() -> Self {
+        LinkParams { bandwidth_bps: 120.0e6, latency_s: 1.5e-3, per_message_overhead_s: 0.0 }
+    }
+
     /// Serialization time for a message of `bits` (channel occupancy;
     /// excludes latency and per-message overhead).
     pub fn occupancy_s(&self, bits: u64) -> f64 {

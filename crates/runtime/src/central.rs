@@ -1,6 +1,6 @@
 //! The Central node (§6.1, Figure 8): input partition block, statistics
 //! collection block, and layer computation block, driving real worker
-//! threads.
+//! threads behind a pipelined admission queue.
 //!
 //! All tile-lifecycle *decisions* — the expected-makespan deadline,
 //! speculative re-dispatch rounds, zero-fill, duplicate handling and the
@@ -13,8 +13,24 @@
 //! `recv_timeout` onto the machine's `next_deadline()`. The network
 //! simulator (`adcnn-netsim`) drives the *same* machine from simulated
 //! timestamps, so simulated and real scheduling decisions cannot drift.
-//! See DESIGN.md §11 for the policy/mechanism split and §10 for the
-//! lifecycle policy itself.
+//! See DESIGN.md §11 for the policy/mechanism split, §10 for the
+//! lifecycle policy itself, and §14 for the pipeline architecture.
+//!
+//! # Pipeline
+//!
+//! Caller threads [`submit`](AdcnnRuntime::submit) images into a bounded
+//! intake queue ([`RuntimeConfig::intake_cap`]; a full queue blocks the
+//! submitter — backpressure, not an unbounded buffer) and receive an
+//! [`InferHandle`] per image. A single collector thread admits up to
+//! [`RuntimeConfig::pipeline_depth`] images in flight at once — each
+//! owning its own [`TileLifecycle`] instance — demultiplexes the shared
+//! worker result channel by image id to the owning lifecycle, and
+//! resolves each handle with its own image's [`InferOutcome`] the moment
+//! that image completes, regardless of submission order (out-of-order
+//! completion). [`infer`](AdcnnRuntime::infer) and
+//! [`infer_stream`](AdcnnRuntime::infer_stream) are thin wrappers over
+//! `submit`/`wait`: the pipeline is the only lifecycle driver in the
+//! runtime.
 //!
 //! Worker death is detected eagerly — a failed send on a worker's
 //! (bounded) task queue marks it dead in the Algorithm 2 statistics and
@@ -30,7 +46,7 @@ use adcnn_core::compress::Quantizer;
 use adcnn_core::config::ConfigError;
 use adcnn_core::fdsp::TileGrid;
 use adcnn_core::lifecycle::{Action, Event, LifecyclePolicy, TileLifecycle, TimerPolicy};
-use adcnn_core::obs::{RecordingSink, SinkHandle};
+use adcnn_core::obs::{ObsEvent, RecordingSink, SinkHandle};
 use adcnn_core::report::{AttributionSink, ImageReport};
 use adcnn_core::sched::{StatsCollector, TileAllocator};
 use adcnn_core::wire::{TileKey, TileResult, TileTask};
@@ -39,9 +55,13 @@ use adcnn_nn::infer::InferScratch;
 use adcnn_nn::Network;
 use adcnn_retrain::PartitionedModel;
 use adcnn_tensor::Tensor;
-use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender, TrySendError};
+use crossbeam::channel::{
+    bounded, unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError, TrySendError,
+};
+use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -64,6 +84,19 @@ pub struct RuntimeConfig {
     /// can hold at most this many tiles hostage; further sends fail fast
     /// and the tiles are rerouted to live workers.
     pub task_queue_cap: usize,
+    /// Maximum images in flight at once, each with its own
+    /// [`TileLifecycle`]. The default of 1 is the paper's
+    /// dispatch-merge-dispatch loop (and keeps re-dispatch recovery as
+    /// strong as the serial runtime: no concurrent image drains a faulty
+    /// worker between an image's dispatch and its recovery rounds); 2
+    /// matches the Figure 9 pipelining window (image `i+1` dispatched
+    /// before image `i` merges); higher depths trade per-image latency
+    /// for sustained images/s.
+    pub pipeline_depth: usize,
+    /// Capacity of the admission queue between `submit` callers and the
+    /// collector. A full queue blocks `submit` (backpressure) and makes
+    /// `try_submit` return `None`.
+    pub intake_cap: usize,
     /// Structured-event sink shared by the lifecycle machine and the
     /// worker threads. The default ([`SinkHandle::null()`]) never even
     /// constructs events.
@@ -82,6 +115,8 @@ impl Default for RuntimeConfig {
             gamma: 0.9,
             seed: 42,
             task_queue_cap: 64,
+            pipeline_depth: 1,
+            intake_cap: 16,
             sink: SinkHandle::null(),
             attribution: None,
         }
@@ -104,6 +139,12 @@ impl RuntimeConfig {
         }
         if self.task_queue_cap == 0 {
             return Err(ConfigError::ZeroTaskQueueCap);
+        }
+        if self.pipeline_depth == 0 {
+            return Err(ConfigError::ZeroPipelineDepth);
+        }
+        if self.intake_cap == 0 {
+            return Err(ConfigError::ZeroIntakeCap);
         }
         Ok(())
     }
@@ -174,6 +215,18 @@ impl RuntimeConfigBuilder {
         self
     }
 
+    /// Maximum images in flight at once.
+    pub fn pipeline_depth(mut self, depth: usize) -> Self {
+        self.cfg.pipeline_depth = depth;
+        self
+    }
+
+    /// Capacity of the admission queue (backpressure bound).
+    pub fn intake_cap(mut self, cap: usize) -> Self {
+        self.cfg.intake_cap = cap;
+        self
+    }
+
     /// Install a structured-event sink.
     pub fn sink(mut self, sink: SinkHandle) -> Self {
         self.cfg.sink = sink;
@@ -199,7 +252,14 @@ impl RuntimeConfigBuilder {
 pub struct InferOutcome {
     /// The network output (logits / dense map).
     pub output: Tensor,
-    /// Wall-clock end-to-end latency.
+    /// The image id this outcome belongs to (matches
+    /// [`InferHandle::image`]).
+    pub image: u64,
+    /// Time spent waiting in the admission queue before the collector
+    /// admitted the image.
+    pub queued: Duration,
+    /// Wall-clock end-to-end latency from admission to merge (excludes
+    /// `queued`, so it is comparable across pipeline depths).
     pub latency: Duration,
     /// Tiles allocated per worker.
     pub alloc: Vec<u32>,
@@ -222,41 +282,93 @@ pub struct InferOutcome {
     pub report: Option<ImageReport>,
 }
 
-/// A dispatched-but-not-yet-collected image: the input tiles (kept so
-/// missed tiles can be re-dispatched) plus its lifecycle state machine.
-struct Pending {
+/// One image waiting in the admission queue: the input plus the reply
+/// channel its [`InferHandle`] waits on.
+struct Submission {
     image_id: u64,
+    x: Tensor,
+    queued_at: Instant,
+    reply: Sender<InferOutcome>,
+}
+
+/// A claim on one submitted image's future [`InferOutcome`]. Handles
+/// resolve out of order: each waits only for its own image, not for
+/// earlier submissions.
+#[derive(Debug)]
+pub struct InferHandle {
+    image_id: u64,
+    rx: Receiver<InferOutcome>,
+}
+
+impl InferHandle {
+    /// The image id this handle will resolve with
+    /// ([`InferOutcome::image`] on the delivered outcome is equal).
+    pub fn image(&self) -> u64 {
+        self.image_id
+    }
+
+    /// Block until this image completes. Exactly one outcome is ever
+    /// delivered per handle; dropping the handle instead discards the
+    /// outcome without stalling the pipeline.
+    pub fn wait(self) -> InferOutcome {
+        self.rx.recv().expect("collector thread exited before resolving this image")
+    }
+}
+
+/// State shared between submitter threads, accessor methods and the
+/// collector thread.
+struct Shared {
+    /// Algorithm 2 statistics (EWMA speeds). The collector updates them
+    /// per result; accessors snapshot them.
+    stats: Mutex<StatsCollector>,
+    /// Algorithm 3 allocator; replaceable at runtime via
+    /// [`AdcnnRuntime::set_allocator`].
+    allocator: Mutex<TileAllocator>,
+    /// Workers whose task channel is still connected. Cleared on the first
+    /// failed send; a dead worker is never sent to again.
+    live: Vec<AtomicBool>,
+    /// Images currently admitted (gauge mirrored by
+    /// [`ObsEvent::ImageAdmitted`]/[`ObsEvent::ImageRetired`]).
+    inflight: AtomicUsize,
+    /// Submissions sitting in the admission queue.
+    queued: AtomicUsize,
+}
+
+/// An admitted image: its input tiles (kept so missed tiles can be
+/// re-dispatched), its own lifecycle machine, and its partially assembled
+/// boundary map.
+struct InFlight {
+    image_id: u64,
+    queued_at: Instant,
     start: Instant,
     tiles: Vec<Tensor>,
     lc: TileLifecycle,
+    assembled: Tensor,
+    wire_bits: u64,
+    reply: Sender<InferOutcome>,
 }
 
-/// Results that arrived while another image was being collected, stamped
-/// with their true arrival time (draining later must not inflate the
-/// Algorithm 2 rates or the makespan deadline).
-type Stash = Vec<(usize, TileResult, Instant)>;
-
-/// The live system: Central node state plus its worker threads.
-pub struct AdcnnRuntime {
+/// The collector thread: the single lifecycle driver in the runtime. It
+/// admits images from the intake queue (up to `depth` at once),
+/// demultiplexes worker results by image id, turns the earliest
+/// `next_deadline()` across all in-flight images into a `recv_timeout`
+/// budget, and resolves each image's reply channel on completion.
+struct Collector {
     grid: TileGrid,
     suffix: Network,
-    task_txs: Vec<Sender<WorkerMsg>>,
-    result_rx: Receiver<(usize, TileResult)>,
-    handles: Vec<JoinHandle<()>>,
-    worker_stats: Vec<Arc<WorkerStats>>,
     /// Reusable buffers for the suffix-network forward.
     infer_scratch: InferScratch,
-    stats: StatsCollector,
-    allocator: TileAllocator,
-    /// Workers whose task channel is still connected. Cleared on the first
-    /// failed send; a dead worker is never sent to again.
-    live: Vec<bool>,
+    task_txs: Vec<Sender<WorkerMsg>>,
+    result_rx: Receiver<(usize, TileResult)>,
+    worker_stats: Vec<Arc<WorkerStats>>,
+    shared: Arc<Shared>,
     rng: StdRng,
-    cfg: RuntimeConfig,
-    /// The effective event sink: `cfg.sink` tee'd with the attribution
+    policy: LifecyclePolicy,
+    depth: usize,
+    attribution: Option<Arc<AttributionSink>>,
+    /// The effective event sink: the user sink tee'd with the attribution
     /// fold when one is configured.
     sink: SinkHandle,
-    next_image: u64,
     /// Origin of the machine's abstract time axis: every `Instant` is
     /// expressed as seconds since this epoch before it reaches the
     /// lifecycle machine.
@@ -265,12 +377,349 @@ pub struct AdcnnRuntime {
     boundary: (usize, usize, usize),
     /// Per-tile boundary dims `(C, h, w)`.
     tile_out: (usize, usize, usize),
+    intake_rx: Receiver<Submission>,
+}
+
+impl Collector {
+    /// `Instant` → the machine's abstract seconds.
+    fn rel(&self, at: Instant) -> f64 {
+        at.duration_since(self.epoch).as_secs_f64()
+    }
+
+    /// Try to hand one tile to `node`'s bounded queue. On failure the task
+    /// is returned for rerouting; a disconnected channel additionally marks
+    /// the worker dead — speed 0 in the Algorithm 2 statistics — so the
+    /// very next allocation assigns it nothing.
+    fn send_to(&mut self, node: usize, task: TileTask) -> Result<(), TileTask> {
+        if !self.shared.live[node].load(Ordering::Relaxed) {
+            return Err(task);
+        }
+        match self.task_txs[node].try_send(WorkerMsg::Tile(task)) {
+            Ok(()) => Ok(()),
+            Err(TrySendError::Full(WorkerMsg::Tile(t))) => Err(t),
+            Err(TrySendError::Disconnected(WorkerMsg::Tile(t))) => {
+                self.shared.live[node].store(false, Ordering::Relaxed);
+                self.shared.stats.lock().mark_failed(node);
+                Err(t)
+            }
+            Err(_) => unreachable!("only Tile messages are routed through send_to"),
+        }
+    }
+
+    /// Execute machine actions against the real transport. Sends that the
+    /// transport refuses are fed back as [`Event::SendRejected`] (after
+    /// [`Event::WorkerDied`] when the refusal revealed a disconnect), and
+    /// the machine's follow-up actions join the worklist, until it drains.
+    fn drive(
+        &mut self,
+        lc: &mut TileLifecycle,
+        acts: Vec<Action>,
+        image_id: u64,
+        tiles: &[Tensor],
+    ) {
+        let mut queue: std::collections::VecDeque<Action> = acts.into();
+        while let Some(act) = queue.pop_front() {
+            let (tile, to, original) = match act {
+                Action::Dispatch { tile, to } => (tile, to, true),
+                Action::Redispatch { tile, to } => (tile, to, false),
+                Action::RecordRate { worker, rate } => {
+                    // The machine only observes deaths it was told about;
+                    // the driver may have marked the worker failed (e.g. on
+                    // a disconnect discovered for another image) after this
+                    // measurement window opened. A stale observation would
+                    // resurrect a starved node's EWMA.
+                    if self.shared.live[worker].load(Ordering::Relaxed) {
+                        self.shared.stats.lock().record_node(worker, rate);
+                    }
+                    continue;
+                }
+                // Timers are derived from `next_deadline()` in the run
+                // loop; zero-fill needs no work (the boundary map starts
+                // zeroed); Accept is pasted where the result was decoded.
+                Action::ArmDeadline { .. }
+                | Action::ZeroFill { .. }
+                | Action::Complete
+                | Action::Accept { .. } => continue,
+            };
+            let task = TileTask {
+                key: TileKey { image_id, tile_id: tile as u32 },
+                tile: tiles[tile].clone(),
+            };
+            match self.send_to(to, task) {
+                Ok(()) => {
+                    if original {
+                        // A queue handoff is "delivered" for the runtime:
+                        // there is no modeled transit.
+                        lc.handle(Event::TileDelivered { tile });
+                    }
+                }
+                Err(_) => {
+                    if !self.shared.live[to].load(Ordering::Relaxed) {
+                        lc.handle(Event::WorkerDied { worker: to });
+                    }
+                    queue.extend(lc.handle(Event::SendRejected { tile, worker: to }));
+                }
+            }
+        }
+    }
+
+    /// Input partition block for one admitted image: extract tiles,
+    /// allocate with Algorithm 3, start its lifecycle machine and push the
+    /// initial dispatch batch to the workers.
+    fn admit(&mut self, sub: Submission, inflight_now: usize) -> InFlight {
+        let Submission { image_id, x, queued_at, reply } = sub;
+        let d = self.grid.tiles();
+        let tiles = self.grid.extract(&x);
+        let speeds = self.shared.stats.lock().speeds().to_vec();
+        let live: Vec<bool> = self.shared.live.iter().map(|l| l.load(Ordering::Relaxed)).collect();
+        let alloc = self.shared.allocator.lock().allocate(d, &speeds, &mut self.rng);
+        let start = Instant::now();
+        let queue_wait = start.duration_since(queued_at).as_secs_f64();
+        let depth_now = inflight_now + 1;
+        self.shared.inflight.store(depth_now, Ordering::Relaxed);
+        // Driver-emitted (never by the lifecycle), before the machine's
+        // own ImageStart: admission is a pipeline fact, not a decision.
+        let at = self.rel(start);
+        self.sink.emit_with(|| ObsEvent::ImageAdmitted {
+            at,
+            image: image_id,
+            queue_wait,
+            inflight: depth_now as u32,
+        });
+        let (mut lc, acts) = TileLifecycle::begin_observed(
+            self.policy,
+            at,
+            d,
+            &alloc,
+            &speeds,
+            &live,
+            image_id,
+            self.sink.clone(),
+        );
+        self.drive(&mut lc, acts, image_id, &tiles);
+        let at = self.rel(Instant::now());
+        let acts = lc.handle(Event::SendComplete { at });
+        self.drive(&mut lc, acts, image_id, &tiles);
+        let (bc, bh, bw) = self.boundary;
+        InFlight {
+            image_id,
+            queued_at,
+            start,
+            tiles,
+            lc,
+            assembled: Tensor::zeros([1, bc, bh, bw]),
+            wire_bits: 0,
+            reply,
+        }
+    }
+
+    /// Feed one of an image's results into its machine: account wire
+    /// bits, decode, paste on [`Action::Accept`], run everything else.
+    fn ingest(&mut self, inf: &mut InFlight, worker: usize, res: &TileResult, at: f64) {
+        let InFlight {
+            image_id, ref tiles, ref mut lc, ref mut assembled, ref mut wire_bits, ..
+        } = *inf;
+        let tile = res.key.tile_id as usize;
+        let mut decoded = None;
+        let ok = if lc.tile_open(tile) {
+            *wire_bits += res.wire_bits();
+            decoded = res.to_tensor();
+            decoded.is_some()
+        } else {
+            true // duplicate or late: the machine counts it, nothing to decode
+        };
+        let acts = lc.handle(Event::ResultArrived { at, tile, worker, ok });
+        let mut rest = Vec::with_capacity(acts.len());
+        for act in acts {
+            if let Action::Accept { tile: t, .. } = act {
+                let (_, th, tw) = self.tile_out;
+                let tensor = decoded.take().expect("Accept without a decoded payload");
+                let (gr, gc) = self.grid.tile_pos(t);
+                assembled.paste_spatial(&tensor, gr * th, gc * tw);
+            } else {
+                rest.push(act);
+            }
+        }
+        self.drive(lc, rest, image_id, tiles);
+    }
+
+    /// Layer computation block + handle resolution for one completed
+    /// image: run the suffix network and deliver the outcome.
+    fn finish(&mut self, inf: InFlight, remaining: usize) {
+        let InFlight { image_id, queued_at, start, lc, assembled, wire_bits, reply, .. } = inf;
+        let n_suffix = self.suffix.len();
+        let output = self
+            .suffix
+            .forward_infer_range_with(&assembled, 0..n_suffix, &mut self.infer_scratch)
+            .to_tensor();
+        self.shared.inflight.store(remaining, Ordering::Relaxed);
+        let at = self.rel(Instant::now());
+        self.sink.emit_with(|| ObsEvent::ImageRetired {
+            at,
+            image: image_id,
+            inflight: remaining as u32,
+        });
+        let c = lc.counters();
+        let outcome = InferOutcome {
+            output,
+            image: image_id,
+            queued: start.duration_since(queued_at),
+            latency: start.elapsed(),
+            alloc: lc.alloc().to_vec(),
+            received: c.received.clone(),
+            zero_filled: c.zero_filled,
+            redispatched: c.redispatched,
+            wire_bits,
+            worker_stats: self.worker_stats.iter().map(|s| s.snapshot()).collect(),
+            report: self.attribution.as_ref().and_then(|a| a.report_for(image_id)),
+        };
+        // `bounded(1)` reply never blocks; a dropped handle just discards.
+        let _ = reply.send(outcome);
+    }
+
+    /// Every worker thread has exited: nothing will ever arrive again.
+    /// Mark the whole cluster dead and abort every in-flight image (the
+    /// machine zero-fills what is still open); the sweep in the run loop
+    /// retires them.
+    fn abort_all(&mut self, inflight: &mut [InFlight]) {
+        let k = self.shared.live.len();
+        {
+            let mut stats = self.shared.stats.lock();
+            for w in 0..k {
+                if self.shared.live[w].swap(false, Ordering::Relaxed) {
+                    stats.mark_failed(w);
+                }
+            }
+        }
+        for inf in inflight.iter_mut() {
+            let InFlight { image_id, ref tiles, ref mut lc, .. } = *inf;
+            // WorkerDied and Abort are idempotent in the machine, so
+            // feeding every image the full death list is safe.
+            for w in 0..k {
+                lc.handle(Event::WorkerDied { worker: w });
+            }
+            let acts = lc.handle(Event::Abort);
+            self.drive(lc, acts, image_id, tiles);
+        }
+    }
+
+    /// The collector loop. Exits when the intake channel disconnects
+    /// (runtime shutdown) *and* every admitted image has been retired, so
+    /// shutdown never strands a handle.
+    fn run(mut self) {
+        let mut inflight: Vec<InFlight> = Vec::new();
+        let mut intake_open = true;
+        loop {
+            // Admission: fill up to `depth`. Block only when idle —
+            // otherwise in-flight deadlines must keep being serviced.
+            while intake_open && inflight.len() < self.depth {
+                if inflight.is_empty() {
+                    match self.intake_rx.recv() {
+                        Ok(sub) => {
+                            self.shared.queued.fetch_sub(1, Ordering::Relaxed);
+                            let inf = self.admit(sub, inflight.len());
+                            inflight.push(inf);
+                        }
+                        Err(_) => {
+                            intake_open = false;
+                            break;
+                        }
+                    }
+                } else {
+                    match self.intake_rx.try_recv() {
+                        Ok(sub) => {
+                            self.shared.queued.fetch_sub(1, Ordering::Relaxed);
+                            let inf = self.admit(sub, inflight.len());
+                            inflight.push(inf);
+                        }
+                        Err(TryRecvError::Empty) => break,
+                        Err(TryRecvError::Disconnected) => {
+                            intake_open = false;
+                            break;
+                        }
+                    }
+                }
+            }
+
+            // Retire every completed image (admission can complete an
+            // image synchronously when all its sends fail, and ingest /
+            // deadline handling below completes them asynchronously).
+            let mut i = 0;
+            while i < inflight.len() {
+                if inflight[i].lc.is_complete() {
+                    let done = inflight.swap_remove(i);
+                    self.finish(done, inflight.len());
+                } else {
+                    i += 1;
+                }
+            }
+
+            if inflight.is_empty() {
+                if !intake_open {
+                    return;
+                }
+                continue;
+            }
+
+            // The machines own the deadline arithmetic; the driver only
+            // turns the *earliest* `next_deadline()` across all in-flight
+            // images into a `recv_timeout` budget.
+            let (idx, limit) = inflight
+                .iter()
+                .enumerate()
+                .map(|(i, f)| (i, self.epoch + Duration::from_secs_f64(f.lc.next_deadline())))
+                .min_by_key(|e| e.1)
+                .expect("inflight is non-empty");
+            let now = Instant::now();
+            if now >= limit {
+                let inf = &mut inflight[idx];
+                // `max` guards the f64↔Duration roundtrip: the machine
+                // must never see a fire time before its own deadline.
+                let at = self.rel(now).max(inf.lc.next_deadline());
+                let InFlight { image_id, ref tiles, ref mut lc, .. } = *inf;
+                let acts = lc.handle(Event::DeadlineFired { at });
+                self.drive(lc, acts, image_id, tiles);
+                continue;
+            }
+            match self.result_rx.recv_timeout(limit - now) {
+                Ok((worker, res)) => {
+                    let when = Instant::now();
+                    // Demultiplex by image id to the owning lifecycle. A
+                    // miss is a straggler from an already-retired image
+                    // (every result originates from a tile this collector
+                    // dispatched): discard.
+                    if let Some(pos) = inflight.iter().position(|f| f.image_id == res.key.image_id)
+                    {
+                        let at = self.rel(when);
+                        self.ingest(&mut inflight[pos], worker, &res, at);
+                    }
+                }
+                Err(RecvTimeoutError::Timeout) => continue, // deadline handling above
+                Err(RecvTimeoutError::Disconnected) => {
+                    self.abort_all(&mut inflight);
+                }
+            }
+        }
+    }
+}
+
+/// The live system: the pipeline front-end plus its worker threads and
+/// the collector thread.
+pub struct AdcnnRuntime {
+    /// `Some` until shutdown; dropping it is the collector's stop signal.
+    intake_tx: Option<Sender<Submission>>,
+    collector: Option<JoinHandle<()>>,
+    task_txs: Vec<Sender<WorkerMsg>>,
+    handles: Vec<JoinHandle<()>>,
+    worker_stats: Vec<Arc<WorkerStats>>,
+    shared: Arc<Shared>,
+    next_image: AtomicU64,
 }
 
 impl AdcnnRuntime {
     /// Split a (retrained) [`PartitionedModel`] into Conv-node prefixes and
-    /// the Central suffix, and launch one worker thread per entry of
-    /// `worker_opts`.
+    /// the Central suffix, launch one worker thread per entry of
+    /// `worker_opts`, and start the collector thread.
     pub fn launch(
         model: PartitionedModel,
         worker_opts: &[WorkerOptions],
@@ -344,24 +793,45 @@ impl AdcnnRuntime {
             worker_stats.push(stats);
         }
 
-        AdcnnRuntime {
+        let shared = Arc::new(Shared {
+            stats: Mutex::new(StatsCollector::new(k, cfg.gamma)),
+            allocator: Mutex::new(TileAllocator::unbounded(k)),
+            live: (0..k).map(|_| AtomicBool::new(true)).collect(),
+            inflight: AtomicUsize::new(0),
+            queued: AtomicUsize::new(0),
+        });
+        let (intake_tx, intake_rx) = bounded(cfg.intake_cap);
+        let collector = Collector {
             grid,
             suffix,
-            task_txs,
-            result_rx,
-            handles,
-            worker_stats,
             infer_scratch: InferScratch::new(),
-            stats: StatsCollector::new(k, cfg.gamma),
-            allocator: TileAllocator::unbounded(k),
-            live: vec![true; k],
+            task_txs: task_txs.clone(),
+            result_rx,
+            worker_stats: worker_stats.clone(),
+            shared: shared.clone(),
             rng: StdRng::seed_from_u64(cfg.seed),
+            policy: cfg.policy,
+            depth: cfg.pipeline_depth,
+            attribution: cfg.attribution.clone(),
             sink,
-            cfg,
-            next_image: 0,
             epoch,
             boundary,
             tile_out,
+            intake_rx,
+        };
+        let collector = std::thread::Builder::new()
+            .name("adcnn-collector".into())
+            .spawn(move || collector.run())
+            .expect("failed to spawn collector thread");
+
+        AdcnnRuntime {
+            intake_tx: Some(intake_tx),
+            collector: Some(collector),
+            task_txs,
+            handles,
+            worker_stats,
+            shared,
+            next_image: AtomicU64::new(0),
         }
     }
 
@@ -370,28 +840,30 @@ impl AdcnnRuntime {
         self.task_txs.len()
     }
 
-    /// Current Algorithm 2 speed estimates.
-    pub fn speeds(&self) -> &[f64] {
-        self.stats.speeds()
+    /// Snapshot of the Algorithm 2 speed estimates. Owned because the
+    /// collector thread updates them concurrently.
+    pub fn speeds(&self) -> Vec<f64> {
+        self.shared.stats.lock().speeds().to_vec()
     }
 
     /// Which workers still have a connected task channel (supervision
     /// view). A `false` entry is a positively-detected death, not merely a
     /// slow node.
-    pub fn live_workers(&self) -> &[bool] {
-        &self.live
+    pub fn live_workers(&self) -> Vec<bool> {
+        self.shared.live.iter().map(|l| l.load(Ordering::Relaxed)).collect()
     }
 
     /// Replace the tile allocator (e.g. with per-worker storage caps, the
-    /// Equation 1 `M·x_k ≤ H_k` constraint). Panics if the allocator does
-    /// not cover exactly this runtime's workers.
+    /// Equation 1 `M·x_k ≤ H_k` constraint). Takes effect from the next
+    /// admission. Panics if the allocator does not cover exactly this
+    /// runtime's workers.
     pub fn set_allocator(&mut self, allocator: TileAllocator) {
         assert_eq!(
             allocator.storage_bits.len(),
             self.workers(),
             "allocator node count must match the worker count"
         );
-        self.allocator = allocator;
+        *self.shared.allocator.lock() = allocator;
     }
 
     /// Snapshot the per-worker tile/compute/compress counters.
@@ -399,306 +871,93 @@ impl AdcnnRuntime {
         self.worker_stats.iter().map(|s| s.snapshot()).collect()
     }
 
+    /// Images currently admitted by the collector (0 ..= `pipeline_depth`).
+    pub fn in_flight(&self) -> usize {
+        self.shared.inflight.load(Ordering::Relaxed)
+    }
+
+    /// Submissions waiting in the admission queue (0 ..= `intake_cap`).
+    pub fn queued(&self) -> usize {
+        self.shared.queued.load(Ordering::Relaxed)
+    }
+
+    /// Submit one image `[1, C, H, W]` to the pipeline, blocking while the
+    /// admission queue is at `intake_cap` (backpressure). The returned
+    /// handle resolves when *this* image completes, independent of other
+    /// submissions.
+    pub fn submit(&self, x: &Tensor) -> InferHandle {
+        let image_id = self.next_image.fetch_add(1, Ordering::Relaxed);
+        let (reply_tx, reply_rx) = bounded(1);
+        let sub = Submission { image_id, x: x.clone(), queued_at: Instant::now(), reply: reply_tx };
+        // Count before the send: the collector decrements as it pops, and
+        // the gauge must never observe a pop before its push.
+        self.shared.queued.fetch_add(1, Ordering::Relaxed);
+        self.intake_tx
+            .as_ref()
+            .expect("runtime already shut down")
+            .send(sub)
+            .expect("collector thread exited");
+        InferHandle { image_id, rx: reply_rx }
+    }
+
+    /// Non-blocking [`submit`](Self::submit): `None` when the admission
+    /// queue is at `intake_cap`.
+    pub fn try_submit(&self, x: &Tensor) -> Option<InferHandle> {
+        let image_id = self.next_image.fetch_add(1, Ordering::Relaxed);
+        let (reply_tx, reply_rx) = bounded(1);
+        let sub = Submission { image_id, x: x.clone(), queued_at: Instant::now(), reply: reply_tx };
+        self.shared.queued.fetch_add(1, Ordering::Relaxed);
+        match self.intake_tx.as_ref().expect("runtime already shut down").try_send(sub) {
+            Ok(()) => Some(InferHandle { image_id, rx: reply_rx }),
+            Err(TrySendError::Full(_)) => {
+                self.shared.queued.fetch_sub(1, Ordering::Relaxed);
+                None
+            }
+            Err(TrySendError::Disconnected(_)) => panic!("collector thread exited"),
+        }
+    }
+
     /// Run one image `[1, C, H, W]` through the distributed pipeline.
+    /// Wrapper over [`submit`](Self::submit)/[`InferHandle::wait`].
     pub fn infer(&mut self, x: &Tensor) -> InferOutcome {
-        let pending = self.dispatch(x);
-        let mut stash = Stash::new();
-        self.collect(pending, &mut stash)
+        self.submit(x).wait()
     }
 
-    /// Run a stream of images with Figure 9 pipelining: the tiles of image
-    /// `i+1` are dispatched before image `i`'s results are collected, so
-    /// Conv nodes never starve between images.
+    /// Run a stream of images with Figure 9 pipelining: all images are
+    /// submitted up front (the admission queue and `pipeline_depth` bound
+    /// how many proceed at once) and the outcomes are returned in input
+    /// order. Wrapper over [`submit`](Self::submit)/[`InferHandle::wait`].
     pub fn infer_stream(&mut self, images: &[Tensor]) -> Vec<InferOutcome> {
-        let mut out = Vec::with_capacity(images.len());
-        let mut stash = Stash::new();
-        let mut window: std::collections::VecDeque<Pending> = Default::default();
-        let mut next = 0usize;
-        while out.len() < images.len() {
-            while next < images.len() && window.len() < 2 {
-                window.push_back(self.dispatch(&images[next]));
-                next += 1;
-            }
-            let pending = window.pop_front().expect("window non-empty");
-            out.push(self.collect(pending, &mut stash));
-        }
-        out
+        let handles: Vec<InferHandle> = images.iter().map(|x| self.submit(x)).collect();
+        handles.into_iter().map(InferHandle::wait).collect()
     }
 
-    /// `Instant` → the machine's abstract seconds.
-    fn rel(&self, at: Instant) -> f64 {
-        at.duration_since(self.epoch).as_secs_f64()
-    }
-
-    /// Try to hand one tile to `node`'s bounded queue. On failure the task
-    /// is returned for rerouting; a disconnected channel additionally marks
-    /// the worker dead — speed 0 in the Algorithm 2 statistics — so the
-    /// very next allocation assigns it nothing.
-    fn send_to(&mut self, node: usize, task: TileTask) -> Result<(), TileTask> {
-        if !self.live[node] {
-            return Err(task);
+    /// Idempotent teardown: stop intake, drain the collector (every
+    /// outstanding handle resolves), then stop and join the workers.
+    fn close(&mut self) {
+        drop(self.intake_tx.take());
+        if let Some(h) = self.collector.take() {
+            let _ = h.join();
         }
-        match self.task_txs[node].try_send(WorkerMsg::Tile(task)) {
-            Ok(()) => Ok(()),
-            Err(TrySendError::Full(WorkerMsg::Tile(t))) => Err(t),
-            Err(TrySendError::Disconnected(WorkerMsg::Tile(t))) => {
-                self.live[node] = false;
-                self.stats.mark_failed(node);
-                Err(t)
-            }
-            Err(_) => unreachable!("only Tile messages are routed through send_to"),
-        }
-    }
-
-    /// Execute machine actions against the real transport. Sends that the
-    /// transport refuses are fed back as [`Event::SendRejected`] (after
-    /// [`Event::WorkerDied`] when the refusal revealed a disconnect), and
-    /// the machine's follow-up actions join the worklist, until it drains.
-    fn drive(
-        &mut self,
-        lc: &mut TileLifecycle,
-        acts: Vec<Action>,
-        image_id: u64,
-        tiles: &[Tensor],
-    ) {
-        let mut queue: std::collections::VecDeque<Action> = acts.into();
-        while let Some(act) = queue.pop_front() {
-            let (tile, to, original) = match act {
-                Action::Dispatch { tile, to } => (tile, to, true),
-                Action::Redispatch { tile, to } => (tile, to, false),
-                Action::RecordRate { worker, rate } => {
-                    // The machine only observes deaths it was told about;
-                    // the driver may have marked the worker failed (e.g. on
-                    // a disconnect discovered for another image) after this
-                    // measurement window opened. A stale observation would
-                    // resurrect a starved node's EWMA.
-                    if self.live[worker] {
-                        self.stats.record_node(worker, rate);
-                    }
-                    continue;
-                }
-                // Timers are derived from `next_deadline()` in the collect
-                // loop; zero-fill needs no work (the boundary map starts
-                // zeroed); Accept is pasted where the result was decoded.
-                Action::ArmDeadline { .. }
-                | Action::ZeroFill { .. }
-                | Action::Complete
-                | Action::Accept { .. } => continue,
-            };
-            let task = TileTask {
-                key: TileKey { image_id, tile_id: tile as u32 },
-                tile: tiles[tile].clone(),
-            };
-            match self.send_to(to, task) {
-                Ok(()) => {
-                    if original {
-                        // A queue handoff is "delivered" for the runtime:
-                        // there is no modeled transit.
-                        lc.handle(Event::TileDelivered { tile });
-                    }
-                }
-                Err(_) => {
-                    if !self.live[to] {
-                        lc.handle(Event::WorkerDied { worker: to });
-                    }
-                    queue.extend(lc.handle(Event::SendRejected { tile, worker: to }));
-                }
-            }
-        }
-    }
-
-    /// Feed one of this image's results into the machine: account wire
-    /// bits, decode, paste on [`Action::Accept`], run everything else.
-    #[allow(clippy::too_many_arguments)]
-    fn ingest(
-        &mut self,
-        lc: &mut TileLifecycle,
-        image_id: u64,
-        tiles: &[Tensor],
-        worker: usize,
-        res: &TileResult,
-        at: f64,
-        assembled: &mut Tensor,
-        wire_bits: &mut u64,
-    ) {
-        let tile = res.key.tile_id as usize;
-        let mut decoded = None;
-        let ok = if lc.tile_open(tile) {
-            *wire_bits += res.wire_bits();
-            decoded = res.to_tensor();
-            decoded.is_some()
-        } else {
-            true // duplicate or late: the machine counts it, nothing to decode
-        };
-        let acts = lc.handle(Event::ResultArrived { at, tile, worker, ok });
-        let mut rest = Vec::with_capacity(acts.len());
-        for act in acts {
-            if let Action::Accept { tile: t, .. } = act {
-                let (_, th, tw) = self.tile_out;
-                let tensor = decoded.take().expect("Accept without a decoded payload");
-                let (gr, gc) = self.grid.tile_pos(t);
-                assembled.paste_spatial(&tensor, gr * th, gc * tw);
-            } else {
-                rest.push(act);
-            }
-        }
-        self.drive(lc, rest, image_id, tiles);
-    }
-
-    /// Input partition block: extract tiles, allocate with Algorithm 3,
-    /// start the lifecycle machine and push its initial dispatch batch to
-    /// the workers. Returns the collection state.
-    fn dispatch(&mut self, x: &Tensor) -> Pending {
-        let image_id = self.next_image;
-        self.next_image += 1;
-        let d = self.grid.tiles();
-        let tiles = self.grid.extract(x);
-        let alloc = self.allocator.allocate(d, self.stats.speeds(), &mut self.rng);
-        let start = Instant::now();
-        let (mut lc, acts) = TileLifecycle::begin_observed(
-            self.cfg.policy,
-            self.rel(start),
-            d,
-            &alloc,
-            self.stats.speeds(),
-            &self.live,
-            image_id,
-            self.sink.clone(),
-        );
-        self.drive(&mut lc, acts, image_id, &tiles);
-        let at = self.rel(Instant::now());
-        let acts = lc.handle(Event::SendComplete { at });
-        self.drive(&mut lc, acts, image_id, &tiles);
-        Pending { image_id, start, tiles, lc }
-    }
-
-    /// Statistics collection + reassembly + suffix for one dispatched
-    /// image. Results belonging to later images land in `stash` (they are
-    /// consumed when their image is collected); earlier-image stragglers
-    /// are discarded.
-    fn collect(&mut self, pending: Pending, stash: &mut Stash) -> InferOutcome {
-        let Pending { image_id, start, tiles, mut lc } = pending;
-        let k = self.workers();
-        let (bc, bh, bw) = self.boundary;
-        let mut assembled = Tensor::zeros([1, bc, bh, bw]);
-        let mut wire_bits = 0u64;
-
-        // First drain any stashed results for this image (they arrived
-        // while a previous image was being collected). Their *stash-time*
-        // instant is authoritative: drain time would inflate the makespan
-        // deadline and deflate the Algorithm 2 speeds under pipelining.
-        let mut i = 0;
-        while i < stash.len() {
-            if stash[i].1.key.image_id == image_id {
-                let (worker, res, when) = stash.remove(i);
-                let at = self.rel(when);
-                self.ingest(
-                    &mut lc,
-                    image_id,
-                    &tiles,
-                    worker,
-                    &res,
-                    at,
-                    &mut assembled,
-                    &mut wire_bits,
-                );
-            } else {
-                i += 1;
-            }
-        }
-
-        while !lc.is_complete() {
-            // The machine owns the deadline arithmetic; the driver only
-            // turns `next_deadline()` into a `recv_timeout` budget.
-            let limit = self.epoch + Duration::from_secs_f64(lc.next_deadline());
-            let now = Instant::now();
-            if now >= limit {
-                // `max` guards the f64↔Duration roundtrip: the machine
-                // must never see a fire time before its own deadline.
-                let at = self.rel(now).max(lc.next_deadline());
-                let acts = lc.handle(Event::DeadlineFired { at });
-                self.drive(&mut lc, acts, image_id, &tiles);
-                continue;
-            }
-            match self.result_rx.recv_timeout(limit - now) {
-                Ok((worker, res)) => {
-                    use std::cmp::Ordering;
-                    let when = Instant::now();
-                    match res.key.image_id.cmp(&image_id) {
-                        Ordering::Less => continue, // straggler: discard
-                        Ordering::Greater => stash.push((worker, res, when)), // future image
-                        Ordering::Equal => {
-                            let at = self.rel(when);
-                            self.ingest(
-                                &mut lc,
-                                image_id,
-                                &tiles,
-                                worker,
-                                &res,
-                                at,
-                                &mut assembled,
-                                &mut wire_bits,
-                            );
-                        }
-                    }
-                }
-                Err(RecvTimeoutError::Timeout) => continue, // deadline handling above
-                Err(RecvTimeoutError::Disconnected) => {
-                    // Every worker thread has exited: nothing will ever
-                    // arrive again.
-                    for w in 0..k {
-                        if self.live[w] {
-                            self.live[w] = false;
-                            self.stats.mark_failed(w);
-                            lc.handle(Event::WorkerDied { worker: w });
-                        }
-                    }
-                    let acts = lc.handle(Event::Abort);
-                    self.drive(&mut lc, acts, image_id, &tiles);
-                }
-            }
-        }
-
-        // Layer computation block: the rest of the network, through the
-        // allocation-free inference path with runtime-owned scratch.
-        let n_suffix = self.suffix.len();
-        let output = self
-            .suffix
-            .forward_infer_range_with(&assembled, 0..n_suffix, &mut self.infer_scratch)
-            .to_tensor();
-        let c = lc.counters();
-        InferOutcome {
-            output,
-            latency: start.elapsed(),
-            alloc: lc.alloc().to_vec(),
-            received: c.received.clone(),
-            zero_filled: c.zero_filled,
-            redispatched: c.redispatched,
-            wire_bits,
-            worker_stats: self.worker_stats.iter().map(|s| s.snapshot()).collect(),
-            report: self.cfg.attribution.as_ref().and_then(|a| a.report_for(image_id)),
-        }
-    }
-
-    /// Stop all workers and join their threads.
-    pub fn shutdown(mut self) {
         for tx in &self.task_txs {
             let _ = tx.send(WorkerMsg::Shutdown);
         }
         for h in self.handles.drain(..) {
             let _ = h.join();
         }
+    }
+
+    /// Stop the collector and all workers and join their threads. Every
+    /// already-submitted image is still completed and its handle resolved
+    /// before the threads exit.
+    pub fn shutdown(mut self) {
+        self.close();
     }
 }
 
 impl Drop for AdcnnRuntime {
     fn drop(&mut self) {
-        for tx in &self.task_txs {
-            let _ = tx.send(WorkerMsg::Shutdown);
-        }
-        for h in self.handles.drain(..) {
-            let _ = h.join();
-        }
+        self.close();
     }
 }
 
@@ -736,6 +995,47 @@ pub fn replay_lifecycle_trace(
             other => other,
         };
         out.extend(lc.handle(ev).iter().map(|a| format!("{a:?}")));
+    }
+    out
+}
+
+/// Multi-image [`replay_lifecycle_trace`]: one lifecycle machine per entry
+/// of `allocs` (all begun at time 0, in order), driven by an interleaved
+/// trace of `(image_index, event)` pairs — the pipeline's concurrency
+/// shape with the transport abstracted away. Decision lines are prefixed
+/// `[i] ` with the owning image index. The cross-driver differential test
+/// asserts this sequence is byte-identical to the simulator driver's
+/// (`adcnn_netsim::replay_lifecycle_trace_multi`).
+pub fn replay_lifecycle_trace_multi(
+    policy: LifecyclePolicy,
+    d: usize,
+    allocs: &[Vec<u32>],
+    speeds: &[f64],
+    live: &[bool],
+    trace: &[(usize, Event)],
+) -> Vec<String> {
+    let epoch = Instant::now();
+    let roundtrip = |at: f64| -> f64 {
+        let instant = epoch + Duration::from_secs_f64(at);
+        instant.duration_since(epoch).as_secs_f64()
+    };
+    let mut machines = Vec::with_capacity(allocs.len());
+    let mut out = Vec::new();
+    for (i, alloc) in allocs.iter().enumerate() {
+        let (lc, acts) = TileLifecycle::begin(policy, roundtrip(0.0), d, alloc, speeds, live);
+        out.extend(acts.iter().map(|a| format!("[{i}] {a:?}")));
+        machines.push(lc);
+    }
+    for (img, ev) in trace {
+        let ev = match *ev {
+            Event::SendComplete { at } => Event::SendComplete { at: roundtrip(at) },
+            Event::ResultArrived { at, tile, worker, ok } => {
+                Event::ResultArrived { at: roundtrip(at), tile, worker, ok }
+            }
+            Event::DeadlineFired { at } => Event::DeadlineFired { at: roundtrip(at) },
+            other => other,
+        };
+        out.extend(machines[*img].handle(ev).iter().map(|a| format!("[{img}] {a:?}")));
     }
     out
 }
@@ -780,6 +1080,54 @@ pub fn replay_lifecycle_events(
             other => other,
         };
         lc.handle(ev);
+    }
+    rec.events().iter().map(|e| format!("{e:?}")).collect()
+}
+
+/// Multi-image [`replay_lifecycle_events`]: one machine per entry of
+/// `allocs` (image ids are the indices), all emitting into one shared
+/// recording sink, driven by an interleaved `(image_index, event)` trace.
+/// The recorded stream is the pipeline's interleaved observability schema;
+/// the cross-driver differential test asserts it is byte-identical to the
+/// simulator driver's (`adcnn_netsim::replay_lifecycle_events_multi`).
+pub fn replay_lifecycle_events_multi(
+    policy: LifecyclePolicy,
+    d: usize,
+    allocs: &[Vec<u32>],
+    speeds: &[f64],
+    live: &[bool],
+    trace: &[(usize, Event)],
+) -> Vec<String> {
+    let epoch = Instant::now();
+    let roundtrip = |at: f64| -> f64 {
+        let instant = epoch + Duration::from_secs_f64(at);
+        instant.duration_since(epoch).as_secs_f64()
+    };
+    let rec = Arc::new(RecordingSink::new());
+    let mut machines = Vec::with_capacity(allocs.len());
+    for (i, alloc) in allocs.iter().enumerate() {
+        let (lc, _) = TileLifecycle::begin_observed(
+            policy,
+            roundtrip(0.0),
+            d,
+            alloc,
+            speeds,
+            live,
+            i as u64,
+            SinkHandle::new(rec.clone()),
+        );
+        machines.push(lc);
+    }
+    for (img, ev) in trace {
+        let ev = match *ev {
+            Event::SendComplete { at } => Event::SendComplete { at: roundtrip(at) },
+            Event::ResultArrived { at, tile, worker, ok } => {
+                Event::ResultArrived { at: roundtrip(at), tile, worker, ok }
+            }
+            Event::DeadlineFired { at } => Event::DeadlineFired { at: roundtrip(at) },
+            other => other,
+        };
+        machines[*img].handle(ev);
     }
     rec.events().iter().map(|e| format!("{e:?}")).collect()
 }
@@ -866,6 +1214,8 @@ mod tests {
             .gamma(0.8)
             .seed(7)
             .task_queue_cap(16)
+            .pipeline_depth(4)
+            .intake_cap(8)
             .build()
             .unwrap();
         assert_eq!(cfg.policy.t_l, 0.025);
@@ -874,6 +1224,7 @@ mod tests {
         assert_eq!(cfg.policy.hard_timeout, 3.0);
         assert_eq!(cfg.policy.timer, TimerPolicy::AfterSend);
         assert_eq!((cfg.gamma, cfg.seed, cfg.task_queue_cap), (0.8, 7, 16));
+        assert_eq!((cfg.pipeline_depth, cfg.intake_cap), (4, 8));
         assert!(!cfg.sink.enabled());
         assert_eq!(
             RuntimeConfig::builder().gamma(0.0).build().unwrap_err(),
@@ -886,6 +1237,14 @@ mod tests {
         assert_eq!(
             RuntimeConfig::builder().task_queue_cap(0).build().unwrap_err(),
             ConfigError::ZeroTaskQueueCap
+        );
+        assert_eq!(
+            RuntimeConfig::builder().pipeline_depth(0).build().unwrap_err(),
+            ConfigError::ZeroPipelineDepth
+        );
+        assert_eq!(
+            RuntimeConfig::builder().intake_cap(0).build().unwrap_err(),
+            ConfigError::ZeroIntakeCap
         );
         assert_eq!(
             RuntimeConfig::builder().slack(0.5).build().unwrap_err(),
@@ -1324,8 +1683,7 @@ mod stream_tests {
     fn stream_stays_correct_when_duplicates_race_stashed_originals() {
         // A jittery-slow worker makes the deadline fire while its originals
         // are still in flight: the duplicate (re-dispatched) results race
-        // the originals across consecutive pipelined images, and both can
-        // land in the stash of the *next* image's collection. Outputs must
+        // the originals across consecutive pipelined images. Outputs must
         // match the local model whenever nothing was zero-filled.
         let grid = TileGrid::new(2, 2);
         let images = rand_images(8, 57);
@@ -1356,6 +1714,148 @@ mod stream_tests {
                     g.redispatched
                 );
             }
+        }
+    }
+}
+
+#[cfg(test)]
+mod pipeline_tests {
+    use super::*;
+    use adcnn_core::fdsp::TileGrid;
+    use adcnn_core::ClippedRelu;
+    use adcnn_nn::layer::QuantizeSte;
+    use adcnn_nn::small::shapes_cnn;
+    use adcnn_retrain::PartitionedModel;
+    use proptest::prelude::*;
+    use rand::seq::SliceRandom;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn build_model(seed: u64, grid: TileGrid) -> PartitionedModel {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cr = ClippedRelu::new(0.0, 2.0);
+        PartitionedModel::fdsp(shapes_cnn(6, &mut rng), grid)
+            .with_crelu(cr)
+            .with_quant(QuantizeSte::new(4, cr.range()))
+    }
+
+    fn rand_images(n: usize, seed: u64) -> Vec<Tensor> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| Tensor::randn([1, 3, 32, 32], 0.5, &mut rng)).collect()
+    }
+
+    #[test]
+    fn backpressure_blocks_at_exactly_intake_cap() {
+        // Depth 1 with slow workers wedges the collector on image 0, so
+        // the intake queue fills deterministically: exactly `intake_cap`
+        // submissions are accepted, the next is rejected.
+        let grid = TileGrid::new(2, 2);
+        let model = build_model(61, grid);
+        let opts = [
+            WorkerOptions { artificial_delay: Duration::from_millis(100), ..Default::default() },
+            WorkerOptions { artificial_delay: Duration::from_millis(100), ..Default::default() },
+        ];
+        let cfg = RuntimeConfig::builder().pipeline_depth(1).intake_cap(3).build().unwrap();
+        let rt = AdcnnRuntime::launch(model, &opts, cfg);
+        let images = rand_images(5, 33);
+        let h0 = rt.submit(&images[0]);
+        // Wait until image 0 is admitted: from here the collector holds it
+        // in flight for >= 200 ms (4 tiles x 100 ms over 2 workers) and
+        // never pops the intake queue (depth 1).
+        while rt.in_flight() < 1 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let mut handles = vec![h0];
+        for x in &images[1..4] {
+            handles.push(rt.try_submit(x).expect("queue below intake_cap must accept"));
+        }
+        assert_eq!(rt.queued(), 3, "admission queue must hold exactly intake_cap");
+        assert!(rt.try_submit(&images[4]).is_none(), "submit beyond intake_cap must be rejected");
+        for (i, h) in handles.into_iter().enumerate() {
+            assert_eq!(h.image(), i as u64);
+            let out = h.wait();
+            assert_eq!(out.image, i as u64, "handle resolved with another image's outcome");
+            assert_eq!(out.output.dims(), &[1, 6]);
+        }
+        rt.shutdown();
+    }
+
+    #[test]
+    fn pipeline_drains_and_gauges_return_to_zero() {
+        let grid = TileGrid::new(2, 2);
+        let model = build_model(63, grid);
+        let cfg = RuntimeConfig::builder().pipeline_depth(4).build().unwrap();
+        let rt = AdcnnRuntime::launch(model, &[WorkerOptions::default(); 2], cfg);
+        let images = rand_images(8, 44);
+        let handles: Vec<InferHandle> = images.iter().map(|x| rt.submit(x)).collect();
+        for (i, h) in handles.into_iter().enumerate() {
+            let out = h.wait();
+            assert_eq!(out.image, i as u64);
+            assert_eq!(out.zero_filled, 0);
+            assert!(out.queued >= Duration::ZERO);
+        }
+        // The last finish stored the gauge before resolving its handle.
+        assert_eq!(rt.in_flight(), 0);
+        assert_eq!(rt.queued(), 0);
+        rt.shutdown();
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(6))]
+
+        /// Random submit/complete interleavings — depth, worker faults
+        /// (silent death mid-flight, lossy links, jitter) and the order
+        /// handles are waited on all derive from the seed. Every handle
+        /// must resolve exactly once with its *own* image's result.
+        #[test]
+        fn random_interleavings_resolve_each_handle_with_its_own_image(seed in 0u64..1000) {
+            let grid = TileGrid::new(2, 2);
+            let mut dice = StdRng::seed_from_u64(seed);
+            let depth = 1 + dice.gen_range(0..4usize);
+            let faulty = WorkerOptions {
+                fail_after_tiles: if dice.gen_bool(0.3) {
+                    Some(dice.gen_range(0..6usize))
+                } else {
+                    None
+                },
+                artificial_delay: Duration::from_millis(dice.gen_range(0..20u64)),
+                delay_jitter: Duration::from_millis(dice.gen_range(0..10u64)),
+                drop_prob: if dice.gen_bool(0.3) { 0.3 } else { 0.0 },
+                fault_seed: seed,
+                ..Default::default()
+            };
+            let cfg = RuntimeConfig::builder()
+                .t_l(Duration::from_millis(20))
+                .pipeline_depth(depth)
+                .intake_cap(8)
+                .build()
+                .unwrap();
+            let mut local = build_model(71, grid);
+            let rt = AdcnnRuntime::launch(
+                build_model(71, grid),
+                &[WorkerOptions::default(), faulty],
+                cfg,
+            );
+            let images = rand_images(6, 1000 + seed);
+            let want: Vec<Tensor> = images.iter().map(|x| local.infer(x)).collect();
+            let mut handles: Vec<InferHandle> = images.iter().map(|x| rt.submit(x)).collect();
+            // Wait out of submission order: completion is out-of-order too.
+            handles.shuffle(&mut dice);
+            let mut seen = [false; 6];
+            for h in handles {
+                let id = h.image();
+                let out = h.wait();
+                prop_assert_eq!(out.image, id, "handle resolved with another image's outcome");
+                prop_assert!(!seen[id as usize], "image {} resolved twice", id);
+                seen[id as usize] = true;
+                if out.zero_filled == 0 {
+                    prop_assert!(
+                        out.output.approx_eq(&want[id as usize], 2e-3),
+                        "image {} produced another image's output", id
+                    );
+                }
+            }
+            prop_assert!(seen.iter().all(|s| *s), "every handle must resolve");
+            rt.shutdown();
         }
     }
 }

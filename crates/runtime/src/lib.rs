@@ -17,5 +17,5 @@ pub use adcnn_core::config::ConfigError;
 pub use adcnn_core::lifecycle::{LifecyclePolicy, TimerPolicy};
 pub use adcnn_core::obs::SinkHandle;
 pub use adcnn_core::report::{AttributionSink, FlightRecorderSink, ImageReport};
-pub use central::{AdcnnRuntime, InferOutcome, RuntimeConfig, RuntimeConfigBuilder};
+pub use central::{AdcnnRuntime, InferHandle, InferOutcome, RuntimeConfig, RuntimeConfigBuilder};
 pub use worker::{WorkerOptions, WorkerOptionsBuilder, WorkerStats, WorkerStatsSnapshot};

@@ -39,7 +39,7 @@ fn main() {
     let metrics = Arc::new(MetricsSink::new());
     let cfg = AdcnnSimConfig::builder(model.clone(), 8)
         .images(30)
-        .pipeline(false)
+        .pipeline_depth(1)
         .sink(SinkHandle::new(metrics.clone()))
         .build()
         .expect("valid sim config");

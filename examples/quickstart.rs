@@ -75,24 +75,35 @@ fn main() {
     );
 
     // 3. Launch the distributed runtime: 4 Conv-node worker threads + the
-    //    Central node in this thread.
-    println!("[3/4] launching the ADCNN runtime with 4 Conv nodes…");
-    let mut runtime =
-        AdcnnRuntime::launch(retrained, &[WorkerOptions::default(); 4], RuntimeConfig::default());
+    //    Central node in this thread, with two images in flight so the
+    //    suffix of image i overlaps the tile fan-out of image i+1 (the
+    //    paper's Figure 9 pipelining).
+    println!("[3/4] launching the ADCNN runtime with 4 Conv nodes (pipeline depth 2)…");
+    let cfg = RuntimeConfig::builder().pipeline_depth(2).build().expect("valid runtime config");
+    let runtime = AdcnnRuntime::launch(retrained, &[WorkerOptions::default(); 4], cfg);
 
-    // 4. Serve the test set tile-by-tile across the cluster.
+    // 4. Serve the test set across the cluster: submit every image up
+    //    front (the bounded admission queue applies backpressure), then
+    //    resolve each handle — outcomes carry their own image id, so
+    //    completion order does not matter.
     let serve = data.test_len().min(if smoke { 8 } else { 32 });
     println!("[4/4] serving {serve} test images…");
     let mut correct = 0usize;
     let mut total = 0usize;
     let dims = data.test_x.dims().to_vec();
     let stride: usize = dims[1..].iter().product();
-    for i in 0..serve {
-        let img = adcnn::tensor::Tensor::from_vec(
-            [1, dims[1], dims[2], dims[3]],
-            data.test_x.as_slice()[i * stride..(i + 1) * stride].to_vec(),
-        );
-        let out = runtime.infer(&img);
+    let handles: Vec<_> = (0..serve)
+        .map(|i| {
+            let img = adcnn::tensor::Tensor::from_vec(
+                [1, dims[1], dims[2], dims[3]],
+                data.test_x.as_slice()[i * stride..(i + 1) * stride].to_vec(),
+            );
+            runtime.submit(&img)
+        })
+        .collect();
+    for (i, h) in handles.into_iter().enumerate() {
+        let out = h.wait();
+        assert_eq!(out.image as usize, i, "handles resolve to their own image");
         assert_eq!(out.zero_filled, 0, "healthy cluster must not drop tiles");
         if accuracy(&out.output, &[data.test_y[i]]) > 0.5 {
             correct += 1;

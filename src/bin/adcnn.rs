@@ -72,7 +72,7 @@ fn simulate(name: Option<&String>, nodes: Option<&String>) {
     let k: usize = nodes.and_then(|s| s.parse().ok()).unwrap_or(8);
     let mut cfg = AdcnnSimConfig::paper_testbed(m.clone(), k);
     cfg.images = 30;
-    cfg.pipeline = false;
+    cfg.pipeline_depth = 1;
     let run = AdcnnSim::new(cfg).run();
     let pi = DeviceProfile::raspberry_pi3();
     let v100 = DeviceProfile::cloud_v100();

@@ -50,7 +50,7 @@ pub mod prelude {
     pub use adcnn_nn::zoo::{alexnet, resnet18, resnet34, vgg16, yolo, ModelSpec};
     pub use adcnn_retrain::PartitionedModel;
     pub use adcnn_runtime::central::{
-        AdcnnRuntime, InferOutcome, RuntimeConfig, RuntimeConfigBuilder,
+        AdcnnRuntime, InferHandle, InferOutcome, RuntimeConfig, RuntimeConfigBuilder,
     };
     pub use adcnn_runtime::worker::{WorkerOptions, WorkerOptionsBuilder};
     pub use adcnn_tensor::Tensor;

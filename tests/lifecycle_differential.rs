@@ -287,6 +287,99 @@ fn after_send_and_wait_all_policies_are_identical() {
     assert_eq!(log.last().unwrap(), "Complete");
 }
 
+/// Replay an interleaved multi-image trace — `(image, event)` pairs, the
+/// shape the pipelined collector demultiplexes — through both drivers and
+/// assert the tagged decision sequences are byte-identical.
+fn assert_identical_multi(
+    policy: LifecyclePolicy,
+    d: usize,
+    allocs: &[Vec<u32>],
+    speeds: &[f64],
+    live: &[bool],
+    trace: &[(usize, Event)],
+) -> Vec<String> {
+    let rt = adcnn_runtime::central::replay_lifecycle_trace_multi(
+        policy, d, allocs, speeds, live, trace,
+    );
+    let sim = adcnn_netsim::replay_lifecycle_trace_multi(policy, d, allocs, speeds, live, trace);
+    assert_eq!(rt, sim, "runtime and simulator drivers disagree on a multi-image trace");
+    assert!(!rt.is_empty(), "a non-trivial multi-image trace must produce decisions");
+    rt
+}
+
+#[test]
+fn interleaved_multi_image_trace_is_identical() {
+    // Two images in flight at once, their events interleaved the way the
+    // pipelined collector sees them: image 1's dispatches land while image
+    // 0 is still waiting on results, image 0 loses a worker and zero-fills
+    // while image 1 completes cleanly. Every decision must stay attributed
+    // to its own machine on both drivers — no cross-image bleed.
+    let p = LifecyclePolicy { max_redispatch_rounds: 0, ..policy() };
+    let dl0 = 0.010 + 0.010 * p.slack + p.t_l;
+    let trace: Vec<(usize, Event)> = vec![
+        (0, Event::TileDelivered { tile: 0 }),
+        (0, Event::TileDelivered { tile: 1 }),
+        (0, Event::SendComplete { at: 0.002 }),
+        (1, Event::TileDelivered { tile: 0 }),
+        (1, Event::TileDelivered { tile: 1 }),
+        (1, Event::SendComplete { at: 0.004 }),
+        (0, Event::ResultArrived { at: 0.010, tile: 0, worker: 0, ok: true }),
+        (1, Event::ResultArrived { at: 0.011, tile: 0, worker: 0, ok: true }),
+        (0, Event::WorkerDied { worker: 1 }),
+        (1, Event::ResultArrived { at: 0.013, tile: 1, worker: 1, ok: true }),
+        (0, Event::DeadlineFired { at: dl0 }),
+    ];
+    let log =
+        assert_identical_multi(p, 2, &[vec![1, 1], vec![1, 1]], &[1.0, 1.0], &[true, true], &trace);
+    // Image 0 zero-fills its lost tile; image 1 never does.
+    assert!(log.iter().any(|l| l.starts_with("[0] ZeroFill")), "{log:?}");
+    assert!(!log.iter().any(|l| l.starts_with("[1] ZeroFill")), "{log:?}");
+    assert_eq!(log.iter().filter(|l| l.ends_with("Complete")).count(), 2, "{log:?}");
+}
+
+#[test]
+fn interleaved_multi_image_events_are_identical() {
+    // Same interleaving through the observability plumbing: the shared
+    // sink sees both images' events tagged with the right image id, in the
+    // same order, from both drivers.
+    let trace: Vec<(usize, Event)> = vec![
+        (0, Event::TileDelivered { tile: 0 }),
+        (0, Event::TileDelivered { tile: 1 }),
+        (0, Event::SendComplete { at: 0.002 }),
+        (1, Event::TileDelivered { tile: 0 }),
+        (1, Event::TileDelivered { tile: 1 }),
+        (1, Event::SendComplete { at: 0.004 }),
+        (1, Event::ResultArrived { at: 0.010, tile: 0, worker: 0, ok: true }),
+        (0, Event::ResultArrived { at: 0.011, tile: 0, worker: 0, ok: true }),
+        (1, Event::ResultArrived { at: 0.012, tile: 1, worker: 1, ok: true }),
+        (0, Event::ResultArrived { at: 0.013, tile: 1, worker: 1, ok: true }),
+    ];
+    let rt = adcnn_runtime::central::replay_lifecycle_events_multi(
+        policy(),
+        2,
+        &[vec![1, 1], vec![1, 1]],
+        &[1.0, 1.0],
+        &[true, true],
+        &trace,
+    );
+    let sim = adcnn_netsim::replay_lifecycle_events_multi(
+        policy(),
+        2,
+        &[vec![1, 1], vec![1, 1]],
+        &[1.0, 1.0],
+        &[true, true],
+        &trace,
+    );
+    assert_eq!(rt, sim, "drivers emit different multi-image observability sequences");
+    // Both images start, both finish, and image 1 finishes first (its last
+    // result lands at 0.012, before image 0's at 0.013).
+    assert_eq!(rt.iter().filter(|e| e.starts_with("ImageStart")).count(), 2, "{rt:?}");
+    let finishes: Vec<&String> = rt.iter().filter(|e| e.starts_with("ImageFinish")).collect();
+    assert_eq!(finishes.len(), 2, "{rt:?}");
+    assert!(finishes[0].contains("image: 1"), "out-of-order completion lost: {finishes:?}");
+    assert!(finishes[1].contains("image: 0"), "out-of-order completion lost: {finishes:?}");
+}
+
 #[test]
 fn storage_shortfall_and_abort_are_identical() {
     // Σ alloc = 2 < d = 4 (storage caps): the shortfall is abandoned; an

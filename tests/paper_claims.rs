@@ -13,7 +13,11 @@ fn latency(cfg: AdcnnSimConfig) -> f64 {
 }
 
 fn base_cfg(model: adcnn::nn::zoo::ModelSpec, k: usize) -> AdcnnSimConfig {
-    AdcnnSimConfig::builder(model, k).images(20).pipeline(false).build().expect("valid sim config")
+    AdcnnSimConfig::builder(model, k)
+        .images(20)
+        .pipeline_depth(1)
+        .build()
+        .expect("valid sim config")
 }
 
 /// Figure 11: ADCNN beats the single-device scheme. At the paper's stated
