@@ -7,13 +7,15 @@ cd "$(dirname "$0")"
 echo "==> cargo fmt --check"
 cargo fmt --check
 
-echo "==> cargo build --release --all-targets --examples"
+echo "==> cargo build --release --workspace --all-targets --examples"
 # --all-targets keeps benches/tests/examples compiling, not just the libs:
-# the examples are documentation that must not rot.
-cargo build --release --all-targets --examples
+# the examples are documentation that must not rot. --workspace reaches
+# every member (the root is also a package, so the default would be the
+# facade alone) — it is what builds the adcnn-conv-worker binary.
+cargo build --release --workspace --all-targets --examples
 
-echo "==> cargo test -q"
-cargo test -q
+echo "==> cargo test --workspace -q"
+cargo test --workspace -q
 
 echo "==> cargo clippy -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
@@ -46,6 +48,20 @@ echo "==> record runtime baseline + pipeline depth sweep (results/BENCH_runtime.
 # well formed per obs::json::is_well_formed.
 cargo bench -p adcnn-bench --bench fig15_dynamic_adaptation >/dev/null
 grep -q '"depth_sweep"' results/BENCH_runtime.json
+
+echo "==> multi-process worker smoke run (real TCP, kill -9 recovery)"
+# The worker binary must build and a real multi-process cluster must
+# serve bit-identically to the in-process runtime, survive a kill -9 by
+# re-dispatch, and accept a replacement process into the vacant slot.
+test -x target/release/adcnn-conv-worker
+MULTI_PROCESS_SMOKE=1 cargo run --release --example multi_process >/dev/null
+
+echo "==> record loopback-TCP transport overhead (results/BENCH_runtime.json)"
+# Runs after fig15 (which rewrites the file wholesale): the same serving
+# cluster in-process vs. over real loopback sockets at the same pipeline
+# depth, merged into the stable schema as `loopback_tcp`.
+cargo bench -p adcnn-bench --bench transport_loopback >/dev/null
+grep -q '"loopback_tcp"' results/BENCH_runtime.json
 cat results/BENCH_runtime.json
 
 echo "==> CI OK"

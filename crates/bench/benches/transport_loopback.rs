@@ -1,0 +1,157 @@
+//! Loopback-TCP transport overhead: the same serving cluster run twice —
+//! Conv workers as in-process threads vs. real sockets through the
+//! transport layer — at the same pipeline depth, on the same images.
+//!
+//! Appends a `loopback_tcp` entry to the stable
+//! `results/BENCH_runtime.json` schema (the flat fields written by
+//! `fig15_dynamic_adaptation` stay untouched): images/s and p50/p99
+//! latency for both modes, plus the throughput ratio. The entry is merged
+//! with the hand-rolled `adcnn_core::obs::json` builder so the document
+//! stays one self-contained object.
+
+use adcnn_bench::{print_table, results_dir};
+use adcnn_core::fdsp::TileGrid;
+use adcnn_core::obs::json::{self, Obj};
+use adcnn_runtime::transport::{spawn_loopback_worker, Endpoint, RemoteModelSpec, WorkerListener};
+use adcnn_runtime::{AdcnnRuntime, RuntimeConfig, WorkerOptions};
+use adcnn_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fs;
+use std::time::{Duration, Instant};
+
+const WORKERS: usize = 4;
+const DEPTH: usize = 2;
+const IMAGES: usize = 60;
+
+struct Measured {
+    images_per_s: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+    zero_filled: u64,
+}
+
+fn spec() -> RemoteModelSpec {
+    RemoteModelSpec::paper_default(6, 5, TileGrid::new(2, 2))
+}
+
+fn config() -> RuntimeConfig {
+    RuntimeConfig::builder().pipeline_depth(DEPTH).build().expect("valid config")
+}
+
+fn images() -> Vec<Tensor> {
+    let mut rng = StdRng::seed_from_u64(7);
+    (0..IMAGES).map(|_| Tensor::randn([1, 3, 32, 32], 0.5, &mut rng)).collect()
+}
+
+fn measure(rt: &mut AdcnnRuntime, images: &[Tensor]) -> Measured {
+    // Warm-up outside the window: first-touch allocation and the EWMA
+    // settling are not transport effects.
+    for x in &images[..WORKERS.min(images.len())] {
+        rt.infer(x);
+    }
+    let t0 = Instant::now();
+    let outcomes = rt.infer_stream(images);
+    let wall = t0.elapsed();
+    let mut lat: Vec<f64> = outcomes.iter().map(|o| o.latency.as_secs_f64() * 1e3).collect();
+    lat.sort_by(|a, b| a.total_cmp(b));
+    let pct = |p: f64| lat[((lat.len() - 1) as f64 * p).round() as usize];
+    Measured {
+        images_per_s: images.len() as f64 / wall.as_secs_f64(),
+        p50_ms: pct(0.50),
+        p99_ms: pct(0.99),
+        zero_filled: outcomes.iter().map(|o| o.zero_filled as u64).sum(),
+    }
+}
+
+fn run_in_process(images: &[Tensor]) -> Measured {
+    let mut rt =
+        AdcnnRuntime::launch(spec().build(), &[WorkerOptions::default(); WORKERS], config());
+    let m = measure(&mut rt, images);
+    rt.shutdown();
+    m
+}
+
+fn run_loopback_tcp(images: &[Tensor]) -> Measured {
+    let listener = WorkerListener::bind(&Endpoint::parse("tcp://127.0.0.1:0").unwrap()).unwrap();
+    let endpoint = listener.endpoint().clone();
+    let workers: Vec<_> = (0..WORKERS).map(|_| spawn_loopback_worker(endpoint.clone())).collect();
+    let mut rt =
+        AdcnnRuntime::launch_remote(spec(), WORKERS, config(), listener, Duration::from_secs(10))
+            .expect("loopback workers failed to join");
+    let m = measure(&mut rt, images);
+    rt.shutdown();
+    for w in workers {
+        w.join().expect("worker thread").expect("worker exited cleanly");
+    }
+    m
+}
+
+/// Merge `"loopback_tcp": entry` into `results/BENCH_runtime.json`,
+/// preserving whatever the fig15 harness wrote. The entry is always the
+/// last key, so a re-run replaces the previous one in place.
+fn merge_into_bench_runtime(entry: &str) {
+    let path = results_dir().join("BENCH_runtime.json");
+    let mut doc = match fs::read_to_string(&path) {
+        Ok(existing) if json::is_well_formed(&existing) => existing.trim_end().to_string(),
+        _ => String::from("{}"),
+    };
+    if let Some(i) = doc.find("\"loopback_tcp\"") {
+        doc.truncate(i);
+        doc = doc.trim_end().trim_end_matches(',').trim_end().to_string();
+    } else {
+        doc = doc.strip_suffix('}').expect("BENCH_runtime.json is a JSON object").to_string();
+        doc = doc.trim_end().to_string();
+    }
+    let sep = if doc.ends_with('{') { "" } else { "," };
+    let merged = format!("{doc}{sep}\n  \"loopback_tcp\": {entry}\n}}");
+    assert!(json::is_well_formed(&merged), "malformed merged BENCH_runtime.json:\n{merged}");
+    fs::write(&path, merged).expect("write BENCH_runtime.json");
+    println!("[merged loopback_tcp into {path:?}]");
+}
+
+fn main() {
+    let images = images();
+    let local = run_in_process(&images);
+    let tcp = run_loopback_tcp(&images);
+    assert_eq!(local.zero_filled, 0, "clean in-process run must not zero-fill");
+    assert_eq!(tcp.zero_filled, 0, "clean loopback run must not zero-fill");
+
+    let fmt = |m: &Measured| {
+        vec![
+            format!("{:.1}", m.images_per_s),
+            format!("{:.2}", m.p50_ms),
+            format!("{:.2}", m.p99_ms),
+        ]
+    };
+    print_table(
+        &format!("loopback TCP vs in-process ({WORKERS} workers, depth {DEPTH}, {IMAGES} images)"),
+        &["mode", "images/s", "p50 ms", "p99 ms"],
+        &[
+            {
+                let mut r = vec!["in-process".to_string()];
+                r.extend(fmt(&local));
+                r
+            },
+            {
+                let mut r = vec!["loopback-tcp".to_string()];
+                r.extend(fmt(&tcp));
+                r
+            },
+        ],
+    );
+
+    let entry = Obj::new()
+        .u64("workers", WORKERS as u64)
+        .u64("pipeline_depth", DEPTH as u64)
+        .u64("images", IMAGES as u64)
+        .f64("images_per_s", tcp.images_per_s)
+        .f64("p50_latency_ms", tcp.p50_ms)
+        .f64("p99_latency_ms", tcp.p99_ms)
+        .f64("in_process_images_per_s", local.images_per_s)
+        .f64("in_process_p50_latency_ms", local.p50_ms)
+        .f64("in_process_p99_latency_ms", local.p99_ms)
+        .f64("throughput_vs_in_process", tcp.images_per_s / local.images_per_s)
+        .finish();
+    merge_into_bench_runtime(&entry);
+}

@@ -248,6 +248,13 @@ pub fn compress(xs: &[f32], quantizer: Quantizer) -> Compressed {
 
 /// Invert [`compress`] up to quantization error.
 pub fn decompress(c: &Compressed) -> Option<Vec<f32>> {
+    // Defense in depth for payloads that arrived over a real wire: the
+    // declared element count sizes the decode buffer, so cap it before
+    // allocating (`TileResult::to_tensor` re-checks it against the shape,
+    // but this function is also a public entry point).
+    if c.elems > crate::wire::MAX_TILE_ELEMS {
+        return None;
+    }
     let levels = RleCodec.decode(&c.payload, c.elems)?;
     Some(c.quantizer.dequantize(&levels))
 }

@@ -97,6 +97,21 @@ impl StatsCollector {
         self.failed.get(k).copied().unwrap_or(false)
     }
 
+    /// A previously-failed node positively rejoined (transport reconnect):
+    /// restart its estimate from the fresh-join prior — the same `1.0`
+    /// every node starts with — so the next allocation assigns it work
+    /// again. This is *not* the stale-result path [`Self::mark_failed`]
+    /// guards against: a reconnect is a positive liveness observation of a
+    /// (possibly restarted) machine, so the pre-failure EWMA stays
+    /// discarded and the estimate re-converges from measurements, exactly
+    /// like a worker that just joined. No-op for nodes not flagged failed.
+    pub fn rejoin(&mut self, k: usize) {
+        if self.failed(k) {
+            self.s[k] = 1.0;
+            self.failed[k] = false;
+        }
+    }
+
     /// Current speed estimate `s_k` for node `k`.
     pub fn speed(&self, k: usize) -> f64 {
         self.s[k]
@@ -357,6 +372,29 @@ mod tests {
         // subsequent observations blend normally again
         sc.record_node(1, 5.0);
         assert!((sc.speed(1) - (0.1 * 3.0 + 0.9 * 5.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rejoin_restarts_from_the_fresh_join_prior() {
+        // A transport reconnect is a positive liveness observation: the
+        // node re-enters allocation at the uniform prior, without its
+        // pre-failure history and without waiting to be handed work it
+        // would never receive at speed 0.
+        let mut sc = StatsCollector::new(2, 0.9);
+        for _ in 0..10 {
+            sc.record_image(&[8, 8]);
+        }
+        sc.mark_failed(1);
+        assert_eq!(sc.speed(1), 0.0);
+        sc.rejoin(1);
+        assert_eq!(sc.speed(1), 1.0, "rejoin restarts at the fresh-join prior");
+        // measurements blend normally from there (flag cleared)
+        sc.record_node(1, 5.0);
+        assert!((sc.speed(1) - (0.1 * 1.0 + 0.9 * 5.0)).abs() < 1e-9);
+        // rejoin on a healthy node is a no-op
+        let before = sc.speed(0);
+        sc.rejoin(0);
+        assert_eq!(sc.speed(0), before);
     }
 
     #[test]

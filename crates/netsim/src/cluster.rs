@@ -1257,7 +1257,7 @@ mod tests {
         assert_eq!(admitted.len(), 6);
         assert_eq!(retired, 6);
         assert!(
-            admitted.iter().all(|&i| i >= 1 && i <= 3),
+            admitted.iter().all(|&i| (1..=3).contains(&i)),
             "inflight gauge out of window: {admitted:?}"
         );
         assert!(

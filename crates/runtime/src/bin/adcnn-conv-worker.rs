@@ -1,0 +1,62 @@
+//! Standalone Conv-node worker process.
+//!
+//! Connects to a Central node ([`adcnn_runtime::AdcnnRuntime::launch_remote`])
+//! at the given endpoint, handshakes, rebuilds its separable prefix from
+//! the model spec in the `WELCOME` frame, and serves tiles until the
+//! Central node shuts it down or the connection closes. One process per
+//! Conv node — `kill -9` this process and the lifecycle manager recovers
+//! its in-flight tiles by re-dispatch.
+
+use adcnn_runtime::transport::{run_worker_retry, Endpoint};
+use std::process::ExitCode;
+use std::time::Duration;
+
+const USAGE: &str = "usage: adcnn-conv-worker --connect <tcp://host:port | uds:///path> \
+                     [--retries <n>]";
+
+fn main() -> ExitCode {
+    let mut endpoint = None;
+    let mut retries: u32 = 50;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--connect" => match args.next().as_deref().map(Endpoint::parse) {
+                Some(Ok(ep)) => endpoint = Some(ep),
+                Some(Err(e)) => {
+                    eprintln!("adcnn-conv-worker: {e}");
+                    return ExitCode::FAILURE;
+                }
+                None => {
+                    eprintln!("adcnn-conv-worker: --connect needs an endpoint\n{USAGE}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--retries" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => retries = n,
+                None => {
+                    eprintln!("adcnn-conv-worker: --retries needs a number\n{USAGE}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("adcnn-conv-worker: unknown argument '{other}'\n{USAGE}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let Some(endpoint) = endpoint else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    match run_worker_retry(&endpoint, retries, Duration::from_millis(100)) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("adcnn-conv-worker: {endpoint}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

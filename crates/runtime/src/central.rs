@@ -39,10 +39,12 @@
 //! the machine, which reroutes the tile immediately — so a crashed node
 //! costs one deadline, not an accuracy loss.
 
+use crate::transport::{
+    prefix_and_compression, RemoteCluster, RemoteModelSpec, TransportHooks, WorkerListener,
+};
 use crate::worker::{
     spawn_worker, Compression, WorkerMsg, WorkerOptions, WorkerStats, WorkerStatsSnapshot,
 };
-use adcnn_core::compress::Quantizer;
 use adcnn_core::config::ConfigError;
 use adcnn_core::fdsp::TileGrid;
 use adcnn_core::lifecycle::{Action, Event, LifecyclePolicy, TileLifecycle, TimerPolicy};
@@ -50,7 +52,6 @@ use adcnn_core::obs::{ObsEvent, RecordingSink, SinkHandle};
 use adcnn_core::report::{AttributionSink, ImageReport};
 use adcnn_core::sched::{StatsCollector, TileAllocator};
 use adcnn_core::wire::{TileKey, TileResult, TileTask};
-use adcnn_core::ClippedRelu;
 use adcnn_nn::infer::InferScratch;
 use adcnn_nn::Network;
 use adcnn_retrain::PartitionedModel;
@@ -703,8 +704,38 @@ impl Collector {
     }
 }
 
-/// The live system: the pipeline front-end plus its worker threads and
-/// the collector thread.
+/// Model geometry and pipeline pieces shared by the in-process and remote
+/// launch paths: the Conv-side prefix (with its boundary compression) and
+/// the Central-side suffix, plus the probed boundary-map dimensions.
+struct SplitModel {
+    grid: TileGrid,
+    prefix: Network,
+    suffix: Network,
+    compression: Option<Compression>,
+    tile_out: (usize, usize, usize),
+    boundary: (usize, usize, usize),
+}
+
+/// Split a model into its Conv/Central halves and probe the per-tile
+/// boundary dims with a zero tile.
+fn split_model(model: &PartitionedModel) -> SplitModel {
+    let grid = model.grid;
+    let (prefix, compression) = prefix_and_compression(model);
+    let suffix = Network::new(model.net.blocks[model.prefix..].to_vec());
+    let (c, h, w) = model.input;
+    assert!(h % grid.rows == 0 && w % grid.cols == 0, "input {h}x{w} not divisible by {grid}");
+    let mut probe_net = prefix.clone();
+    let probe = Tensor::zeros([1, c, h / grid.rows, w / grid.cols]);
+    let n_prefix = probe_net.len();
+    let (out, _) = probe_net.forward_range(&probe, 0..n_prefix, false);
+    let (_, oc, oh, ow) = out.shape().nchw();
+    let tile_out = (oc, oh, ow);
+    let boundary = (oc, oh * grid.rows, ow * grid.cols);
+    SplitModel { grid, prefix, suffix, compression, tile_out, boundary }
+}
+
+/// The live system: the pipeline front-end plus its worker threads (or
+/// remote-worker supervisors) and the collector thread.
 pub struct AdcnnRuntime {
     /// `Some` until shutdown; dropping it is the collector's stop signal.
     intake_tx: Option<Sender<Submission>>,
@@ -713,6 +744,10 @@ pub struct AdcnnRuntime {
     handles: Vec<JoinHandle<()>>,
     worker_stats: Vec<Arc<WorkerStats>>,
     shared: Arc<Shared>,
+    /// `Some` when launched via [`launch_remote`](Self::launch_remote):
+    /// the acceptor half of the transport (the per-slot supervisors are
+    /// `handles`).
+    transport: Option<RemoteCluster>,
     next_image: AtomicU64,
 }
 
@@ -735,28 +770,7 @@ impl AdcnnRuntime {
             }
         }
         let k = worker_opts.len();
-        let grid = model.grid;
-        let prefix_net = Network::new(model.net.blocks[..model.prefix].to_vec());
-        let suffix = Network::new(model.net.blocks[model.prefix..].to_vec());
-
-        // Probe the per-tile boundary dims with a zero tile.
-        let (c, h, w) = model.input;
-        assert!(h % grid.rows == 0 && w % grid.cols == 0, "input {h}x{w} not divisible by {grid}");
-        let mut probe_net = prefix_net.clone();
-        let probe = Tensor::zeros([1, c, h / grid.rows, w / grid.cols]);
-        let n_prefix = probe_net.len();
-        let (out, _) = probe_net.forward_range(&probe, 0..n_prefix, false);
-        let (_, oc, oh, ow) = out.shape().nchw();
-        let tile_out = (oc, oh, ow);
-        let boundary = (oc, oh * grid.rows, ow * grid.cols);
-
-        let compression = model.boundary_crelu.map(|cr: ClippedRelu| Compression {
-            crelu: cr,
-            quantizer: Quantizer::new(
-                model.boundary_quant.map(|q| q.bits).unwrap_or(4),
-                cr.range(),
-            ),
-        });
+        let sm = split_model(&model);
 
         // The epoch — origin of the abstract time axis — must exist before
         // the workers do: they stamp their compute/compress spans against
@@ -780,8 +794,8 @@ impl AdcnnRuntime {
             let stats = Arc::new(WorkerStats::default());
             handles.push(spawn_worker(
                 i,
-                prefix_net.clone(),
-                compression,
+                sm.prefix.clone(),
+                sm.compression,
                 *opts,
                 rx,
                 result_tx.clone(),
@@ -802,8 +816,8 @@ impl AdcnnRuntime {
         });
         let (intake_tx, intake_rx) = bounded(cfg.intake_cap);
         let collector = Collector {
-            grid,
-            suffix,
+            grid: sm.grid,
+            suffix: sm.suffix,
             infer_scratch: InferScratch::new(),
             task_txs: task_txs.clone(),
             result_rx,
@@ -815,8 +829,8 @@ impl AdcnnRuntime {
             attribution: cfg.attribution.clone(),
             sink,
             epoch,
-            boundary,
-            tile_out,
+            boundary: sm.boundary,
+            tile_out: sm.tile_out,
             intake_rx,
         };
         let collector = std::thread::Builder::new()
@@ -831,8 +845,144 @@ impl AdcnnRuntime {
             handles,
             worker_stats,
             shared,
+            transport: None,
             next_image: AtomicU64::new(0),
         }
+    }
+
+    /// Launch the Central node with `workers` *remote* Conv-node slots
+    /// behind `listener`, instead of in-process threads. Worker processes
+    /// (`adcnn-conv-worker --connect <endpoint>`) connect, handshake, and
+    /// rebuild the model from `spec` — deterministic by seed, so their
+    /// tiles are byte-identical to in-process workers'.
+    ///
+    /// Blocks until all `workers` slots have a connected worker or
+    /// `join_timeout` elapses (error). After launch, supervision is live:
+    /// a worker process that dies (even `kill -9`) is marked failed — its
+    /// in-flight tiles recover through the lifecycle's re-dispatch
+    /// machinery — and a reconnecting process rejoins its slot as a fresh
+    /// worker. The collector, dispatch and deadline paths are *exactly*
+    /// the ones [`launch`](Self::launch) uses; only the transport behind
+    /// the channel seams differs. See DESIGN.md §15.
+    pub fn launch_remote(
+        spec: RemoteModelSpec,
+        workers: usize,
+        cfg: RuntimeConfig,
+        listener: WorkerListener,
+        join_timeout: Duration,
+    ) -> std::io::Result<Self> {
+        assert!(workers > 0, "need at least one worker");
+        if let Err(e) = cfg.validate() {
+            panic!("invalid RuntimeConfig: {e}");
+        }
+        let model = spec.build();
+        let sm = split_model(&model);
+        let k = workers;
+        let epoch = Instant::now();
+        let sink = match &cfg.attribution {
+            Some(attr) => cfg.sink.tee(attr.clone()),
+            None => cfg.sink.clone(),
+        };
+        let (result_tx, result_rx) = unbounded();
+        let worker_stats: Vec<Arc<WorkerStats>> =
+            (0..k).map(|_| Arc::new(WorkerStats::default())).collect();
+        let shared = Arc::new(Shared {
+            stats: Mutex::new(StatsCollector::new(k, cfg.gamma)),
+            allocator: Mutex::new(TileAllocator::unbounded(k)),
+            // A slot is dead until a worker joins it: nothing may be
+            // allocated or dispatched to an empty slot.
+            live: (0..k).map(|_| AtomicBool::new(false)).collect(),
+            inflight: AtomicUsize::new(0),
+            queued: AtomicUsize::new(0),
+        });
+        let hooks = TransportHooks {
+            on_up: {
+                let shared = shared.clone();
+                Arc::new(move |w: usize| {
+                    // A (re)connect is a fresh join: restore the EWMA to
+                    // the fresh-join prior *before* the slot becomes
+                    // allocatable, so the first allocation after a rejoin
+                    // treats the worker as new — never resumes the dead
+                    // incarnation's statistics.
+                    shared.stats.lock().rejoin(w);
+                    shared.live[w].store(true, Ordering::Relaxed);
+                })
+            },
+            on_down: {
+                let shared = shared.clone();
+                Arc::new(move |w: usize| {
+                    // Same guard as a disconnected in-process channel: the
+                    // first detection wins, later ones are no-ops.
+                    if shared.live[w].swap(false, Ordering::Relaxed) {
+                        shared.stats.lock().mark_failed(w);
+                    }
+                })
+            },
+        };
+        let (cluster, task_txs, handles) = RemoteCluster::start(
+            listener,
+            spec,
+            k,
+            cfg.task_queue_cap.max(1),
+            result_tx,
+            worker_stats.clone(),
+            sink.clone(),
+            epoch,
+            hooks,
+        )?;
+        // Join barrier: every slot must be up before the runtime exists,
+        // so callers never race their first submit against the handshake.
+        let deadline = Instant::now() + join_timeout;
+        while shared.live.iter().any(|l| !l.load(Ordering::Relaxed)) {
+            if Instant::now() >= deadline {
+                let joined = shared.live.iter().filter(|l| l.load(Ordering::Relaxed)).count();
+                for tx in &task_txs {
+                    let _ = tx.send(WorkerMsg::Shutdown);
+                }
+                for h in handles {
+                    let _ = h.join();
+                }
+                drop(cluster); // stops and joins the acceptor
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::TimedOut,
+                    format!("only {joined}/{k} workers joined within {join_timeout:?}"),
+                ));
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let (intake_tx, intake_rx) = bounded(cfg.intake_cap);
+        let collector = Collector {
+            grid: sm.grid,
+            suffix: sm.suffix,
+            infer_scratch: InferScratch::new(),
+            task_txs: task_txs.clone(),
+            result_rx,
+            worker_stats: worker_stats.clone(),
+            shared: shared.clone(),
+            rng: StdRng::seed_from_u64(cfg.seed),
+            policy: cfg.policy,
+            depth: cfg.pipeline_depth,
+            attribution: cfg.attribution.clone(),
+            sink,
+            epoch,
+            boundary: sm.boundary,
+            tile_out: sm.tile_out,
+            intake_rx,
+        };
+        let collector = std::thread::Builder::new()
+            .name("adcnn-collector".into())
+            .spawn(move || collector.run())
+            .expect("failed to spawn collector thread");
+        Ok(AdcnnRuntime {
+            intake_tx: Some(intake_tx),
+            collector: Some(collector),
+            task_txs,
+            handles,
+            worker_stats,
+            shared,
+            transport: Some(cluster),
+            next_image: AtomicU64::new(0),
+        })
     }
 
     /// Number of workers.
@@ -942,8 +1092,14 @@ impl AdcnnRuntime {
         for tx in &self.task_txs {
             let _ = tx.send(WorkerMsg::Shutdown);
         }
+        // In-process: joins the worker threads. Remote: joins the slot
+        // supervisors, which forward the shutdown to their connected
+        // worker processes first.
         for h in self.handles.drain(..) {
             let _ = h.join();
+        }
+        if let Some(mut t) = self.transport.take() {
+            t.stop();
         }
     }
 
@@ -1180,6 +1336,7 @@ pub fn replay_lifecycle_report(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use adcnn_core::ClippedRelu;
     use adcnn_nn::layer::QuantizeSte;
     use adcnn_nn::small::shapes_cnn;
     use rand::{rngs::StdRng, Rng, SeedableRng};

@@ -8,9 +8,14 @@
 //!
 //! Workers are OS threads standing in for edge devices; per-worker
 //! artificial delays and failure injection reproduce the heterogeneity and
-//! fault-tolerance scenarios of §7.3 in-process.
+//! fault-tolerance scenarios of §7.3 in-process. Alternatively
+//! [`central::AdcnnRuntime::launch_remote`] serves the same scheduler over
+//! a real transport ([`transport`]): Conv workers as separate OS processes
+//! (`adcnn-conv-worker`) connected by length-prefixed TCP or Unix-domain
+//! sockets, with `kill -9` recovery by re-dispatch.
 
 pub mod central;
+pub mod transport;
 pub mod worker;
 
 pub use adcnn_core::config::ConfigError;
@@ -18,4 +23,5 @@ pub use adcnn_core::lifecycle::{LifecyclePolicy, TimerPolicy};
 pub use adcnn_core::obs::SinkHandle;
 pub use adcnn_core::report::{AttributionSink, FlightRecorderSink, ImageReport};
 pub use central::{AdcnnRuntime, InferHandle, InferOutcome, RuntimeConfig, RuntimeConfigBuilder};
+pub use transport::{run_worker, Endpoint, RemoteModelSpec, WorkerListener};
 pub use worker::{WorkerOptions, WorkerOptionsBuilder, WorkerStats, WorkerStatsSnapshot};

@@ -1,0 +1,1222 @@
+//! Real network transport: Conv workers as separate OS processes.
+//!
+//! Everything below the Central node's `Sender`/`Receiver` seams. The
+//! collector in [`crate::central`] still hands [`WorkerMsg`]s to per-worker
+//! bounded channels and drains one shared result channel; this module
+//! bridges those channels to length-prefixed frames over TCP or Unix-domain
+//! sockets, so dispatch, deadlines, re-dispatch and zero-fill are untouched
+//! — the lifecycle machine cannot tell a thread from a process. See
+//! DESIGN.md §15.
+//!
+//! # Framing
+//!
+//! Every message is `[u32 LE length][u8 tag][body]`, where `length` counts
+//! the tag byte plus the body and is capped by [`MAX_FRAME_BYTES`] —
+//! reading a frame can never allocate more than the cap, and the body
+//! decoders ([`TileTask::decode`], [`TileResult::decode`]) are the hardened
+//! checked-arithmetic paths, so a corrupt or hostile peer can cost at most
+//! one connection, never a panic or an OOM.
+//!
+//! # Handshake
+//!
+//! A worker connects and sends `HELLO {magic, version, caps}`. The
+//! acceptor validates it, picks a free worker slot, and the slot's
+//! supervisor replies `WELCOME {worker_id, model spec}`. The
+//! [`RemoteModelSpec`] is deterministic-by-seed: both sides rebuild
+//! identical weights (the paper stores the separable-block filter weights
+//! in the Conv nodes, §6.1 — shipping the generating seed is the
+//! reproduction's equivalent), so a freshly exec'd process computes
+//! bit-identical tiles to an in-process worker thread.
+//!
+//! # Supervision
+//!
+//! One supervisor thread per worker slot owns that slot's task `Receiver`
+//! *persistently* — across disconnects — so the Central node's channel
+//! seam never breaks. While a slot is down its supervisor discards stale
+//! tiles (the lifecycle already re-dispatched or zero-filled them: a tile
+//! must never be computed twice from one queue handoff). On disconnect the
+//! `on_down` hook marks the worker failed (speed 0, like a disconnected
+//! channel in the in-process runtime); a reconnect is a *fresh join* — the
+//! `on_up` hook restores the EWMA to the fresh-join prior via
+//! [`StatsCollector::rejoin`](adcnn_core::sched::StatsCollector::rejoin).
+//! A connection generation counter guards the demux: a reader whose
+//! generation has been superseded stops forwarding, so a result from a
+//! dead connection can neither double-count a tile nor resurrect the dead
+//! worker's statistics.
+
+use crate::worker::{process_tile, Compression, WorkerMsg, WorkerStats};
+use adcnn_core::compress::{CompressScratch, Quantizer};
+use adcnn_core::fdsp::TileGrid;
+use adcnn_core::lifecycle::{Event, LifecyclePolicy, TileLifecycle};
+use adcnn_core::obs::{ObsEvent, SinkHandle};
+use adcnn_core::wire::{TileResult, TileTask};
+use adcnn_core::ClippedRelu;
+use adcnn_nn::infer::InferScratch;
+use adcnn_nn::layer::QuantizeSte;
+use adcnn_nn::small::shapes_cnn;
+use adcnn_nn::Network;
+use adcnn_retrain::PartitionedModel;
+use bytes::BytesMut;
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender, TrySendError};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fmt;
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, TcpListener, TcpStream};
+#[cfg(unix)]
+use std::os::unix::net::{UnixListener, UnixStream};
+#[cfg(unix)]
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Frame magic in `HELLO` ("ADCN").
+pub const MAGIC: u32 = 0x4144_434E;
+/// Wire protocol version; bumped on any frame-layout change.
+pub const PROTOCOL_VERSION: u32 = 1;
+/// Hard cap on one frame's declared length (tag + body). Large enough for
+/// a [`MAX_TILE_ELEMS`](adcnn_core::wire::MAX_TILE_ELEMS)-element f32 tile
+/// plus headers, small enough that a hostile length word cannot OOM the
+/// receiver.
+pub const MAX_FRAME_BYTES: usize = (1 << 26) + 4096;
+
+/// Worker → Central greeting: `{magic, version, caps}`.
+pub const TAG_HELLO: u8 = 1;
+/// Central → worker slot assignment: `{worker_id, RemoteModelSpec}`.
+pub const TAG_WELCOME: u8 = 2;
+/// Central → worker tile dispatch: a [`TileTask`] body.
+pub const TAG_TASK: u8 = 3;
+/// Worker → Central result: `{compute_ns, compress_ns, TileResult}`.
+pub const TAG_RESULT: u8 = 4;
+/// Central → worker clean stop (also sent to connections with no free
+/// slot).
+pub const TAG_SHUTDOWN: u8 = 5;
+/// A serialized lifecycle [`Event`] (loopback differential replay).
+pub const TAG_EVENT: u8 = 6;
+
+// ---------------------------------------------------------------------------
+// Little-endian cursor helpers (frame bodies only; tensors go through the
+// hardened decoders in `adcnn_core::wire`).
+
+fn rd_u8(b: &mut &[u8]) -> Option<u8> {
+    let (&v, rest) = b.split_first()?;
+    *b = rest;
+    Some(v)
+}
+
+fn rd_u32(b: &mut &[u8]) -> Option<u32> {
+    let (head, rest) = b.split_at_checked(4)?;
+    *b = rest;
+    Some(u32::from_le_bytes(head.try_into().unwrap()))
+}
+
+fn rd_u64(b: &mut &[u8]) -> Option<u64> {
+    let (head, rest) = b.split_at_checked(8)?;
+    *b = rest;
+    Some(u64::from_le_bytes(head.try_into().unwrap()))
+}
+
+fn rd_f32(b: &mut &[u8]) -> Option<f32> {
+    rd_u32(b).map(f32::from_bits)
+}
+
+fn rd_f64(b: &mut &[u8]) -> Option<f64> {
+    rd_u64(b).map(f64::from_bits)
+}
+
+// ---------------------------------------------------------------------------
+// Framing
+
+/// Write one `[len][tag][body]` frame and flush it.
+pub fn write_frame<W: Write>(w: &mut W, tag: u8, body: &[u8]) -> io::Result<()> {
+    let len = 1 + body.len();
+    if len > MAX_FRAME_BYTES {
+        return Err(io::Error::new(io::ErrorKind::InvalidInput, "frame exceeds MAX_FRAME_BYTES"));
+    }
+    // One buffered write per frame: small frames must not straddle
+    // segments, and the flush keeps latency off the Nagle path.
+    let mut buf = Vec::with_capacity(4 + len);
+    buf.extend_from_slice(&(len as u32).to_le_bytes());
+    buf.push(tag);
+    buf.extend_from_slice(body);
+    w.write_all(&buf)?;
+    w.flush()
+}
+
+/// Read one frame. `Ok(None)` is a clean EOF *between* frames; EOF inside
+/// a frame is an error. A declared length of zero (no tag byte) or above
+/// [`MAX_FRAME_BYTES`] is rejected before any allocation.
+pub fn read_frame<R: Read>(r: &mut R) -> io::Result<Option<(u8, Vec<u8>)>> {
+    let mut len_buf = [0u8; 4];
+    // Hand-rolled first read so a clean close at a frame boundary is
+    // distinguishable from a mid-frame truncation.
+    let mut got = 0;
+    while got < 4 {
+        match r.read(&mut len_buf[got..]) {
+            Ok(0) if got == 0 => return Ok(None),
+            Ok(0) => {
+                return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "EOF inside frame header"))
+            }
+            Ok(n) => got += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    let len = u32::from_le_bytes(len_buf) as usize;
+    if len == 0 || len > MAX_FRAME_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length {len} out of bounds"),
+        ));
+    }
+    let mut frame = vec![0u8; len];
+    r.read_exact(&mut frame)?;
+    let tag = frame[0];
+    frame.remove(0);
+    Ok(Some((tag, frame)))
+}
+
+/// Encode the `HELLO` body.
+pub fn encode_hello(caps: u32) -> Vec<u8> {
+    let mut b = Vec::with_capacity(12);
+    b.extend_from_slice(&MAGIC.to_le_bytes());
+    b.extend_from_slice(&PROTOCOL_VERSION.to_le_bytes());
+    b.extend_from_slice(&caps.to_le_bytes());
+    b
+}
+
+/// Decode and validate a `HELLO` body; returns the capability bits.
+pub fn decode_hello(mut b: &[u8]) -> Option<u32> {
+    let magic = rd_u32(&mut b)?;
+    let version = rd_u32(&mut b)?;
+    let caps = rd_u32(&mut b)?;
+    (magic == MAGIC && version == PROTOCOL_VERSION).then_some(caps)
+}
+
+/// Encode a `WELCOME` body: the assigned worker id plus the model spec.
+pub fn encode_welcome(worker_id: u32, spec: &RemoteModelSpec) -> Vec<u8> {
+    let mut b = Vec::with_capacity(40);
+    b.extend_from_slice(&worker_id.to_le_bytes());
+    spec.encode_into(&mut b);
+    b
+}
+
+/// Decode a `WELCOME` body.
+pub fn decode_welcome(mut b: &[u8]) -> Option<(u32, RemoteModelSpec)> {
+    let worker_id = rd_u32(&mut b)?;
+    let spec = RemoteModelSpec::decode(&mut b)?;
+    Some((worker_id, spec))
+}
+
+/// Encode a `RESULT` body: observed compute/compress nanoseconds, then the
+/// result itself in the canonical wire layout.
+pub fn encode_result_body(res: &TileResult, compute_ns: u64, compress_ns: u64) -> BytesMut {
+    let mut buf = BytesMut::new();
+    buf.extend_from_slice(&compute_ns.to_le_bytes());
+    buf.extend_from_slice(&compress_ns.to_le_bytes());
+    res.encode_into(&mut buf);
+    buf
+}
+
+/// Decode a `RESULT` body; `None` on a structurally unreadable frame (a
+/// readable header with a corrupt *payload* still decodes — the lifecycle
+/// machine owns that case).
+pub fn decode_result_body(mut b: &[u8]) -> Option<(u64, u64, TileResult)> {
+    let compute_ns = rd_u64(&mut b)?;
+    let compress_ns = rd_u64(&mut b)?;
+    let res = TileResult::decode(b)?;
+    Some((compute_ns, compress_ns, res))
+}
+
+// ---------------------------------------------------------------------------
+// Lifecycle-event codec (loopback differential replay)
+
+/// Serialize a lifecycle [`Event`] (f64s as bit patterns, so timestamps
+/// survive the wire bit-exactly).
+pub fn encode_event(ev: &Event) -> Vec<u8> {
+    let mut b = Vec::with_capacity(32);
+    match *ev {
+        Event::TileDelivered { tile } => {
+            b.push(0);
+            b.extend_from_slice(&(tile as u64).to_le_bytes());
+        }
+        Event::SendComplete { at } => {
+            b.push(1);
+            b.extend_from_slice(&at.to_bits().to_le_bytes());
+        }
+        Event::ResultArrived { at, tile, worker, ok } => {
+            b.push(2);
+            b.extend_from_slice(&at.to_bits().to_le_bytes());
+            b.extend_from_slice(&(tile as u64).to_le_bytes());
+            b.extend_from_slice(&(worker as u64).to_le_bytes());
+            b.push(ok as u8);
+        }
+        Event::DeadlineFired { at } => {
+            b.push(3);
+            b.extend_from_slice(&at.to_bits().to_le_bytes());
+        }
+        Event::WorkerDied { worker } => {
+            b.push(4);
+            b.extend_from_slice(&(worker as u64).to_le_bytes());
+        }
+        Event::SendRejected { tile, worker } => {
+            b.push(5);
+            b.extend_from_slice(&(tile as u64).to_le_bytes());
+            b.extend_from_slice(&(worker as u64).to_le_bytes());
+        }
+        Event::Abort => b.push(6),
+    }
+    b
+}
+
+/// Deserialize a lifecycle [`Event`]; `None` on truncation or an unknown
+/// discriminant.
+pub fn decode_event(mut b: &[u8]) -> Option<Event> {
+    let ev = match rd_u8(&mut b)? {
+        0 => Event::TileDelivered { tile: rd_u64(&mut b)? as usize },
+        1 => Event::SendComplete { at: rd_f64(&mut b)? },
+        2 => Event::ResultArrived {
+            at: rd_f64(&mut b)?,
+            tile: rd_u64(&mut b)? as usize,
+            worker: rd_u64(&mut b)? as usize,
+            ok: rd_u8(&mut b)? != 0,
+        },
+        3 => Event::DeadlineFired { at: rd_f64(&mut b)? },
+        4 => Event::WorkerDied { worker: rd_u64(&mut b)? as usize },
+        5 => {
+            Event::SendRejected { tile: rd_u64(&mut b)? as usize, worker: rd_u64(&mut b)? as usize }
+        }
+        6 => Event::Abort,
+        _ => return None,
+    };
+    b.is_empty().then_some(ev)
+}
+
+// ---------------------------------------------------------------------------
+// Endpoints, connections, listeners
+
+/// Where workers connect: `tcp://host:port` or (Unix only) `uds:///path`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Endpoint {
+    /// TCP; the string is a `host:port` socket address.
+    Tcp(String),
+    /// Unix-domain socket path.
+    #[cfg(unix)]
+    Uds(PathBuf),
+}
+
+impl Endpoint {
+    /// Parse an endpoint URL.
+    pub fn parse(s: &str) -> Result<Endpoint, String> {
+        if let Some(addr) = s.strip_prefix("tcp://") {
+            if addr.is_empty() {
+                return Err(format!("endpoint '{s}' has an empty address"));
+            }
+            return Ok(Endpoint::Tcp(addr.to_string()));
+        }
+        #[cfg(unix)]
+        if let Some(path) = s.strip_prefix("uds://") {
+            if path.is_empty() {
+                return Err(format!("endpoint '{s}' has an empty path"));
+            }
+            return Ok(Endpoint::Uds(PathBuf::from(path)));
+        }
+        Err(format!("endpoint '{s}' must start with tcp:// or uds://"))
+    }
+}
+
+impl fmt::Display for Endpoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Endpoint::Tcp(addr) => write!(f, "tcp://{addr}"),
+            #[cfg(unix)]
+            Endpoint::Uds(path) => write!(f, "uds://{}", path.display()),
+        }
+    }
+}
+
+/// One accepted or dialed connection, transport-agnostic.
+pub enum Conn {
+    /// A TCP stream (`TCP_NODELAY` set: tile latencies sit under the
+    /// lifecycle's `T_L`, so delayed ACKs are not acceptable).
+    Tcp(TcpStream),
+    /// A Unix-domain stream.
+    #[cfg(unix)]
+    Uds(UnixStream),
+}
+
+impl Conn {
+    /// Dial `endpoint` once.
+    pub fn connect(endpoint: &Endpoint) -> io::Result<Conn> {
+        match endpoint {
+            Endpoint::Tcp(addr) => {
+                let s = TcpStream::connect(addr.as_str())?;
+                s.set_nodelay(true)?;
+                Ok(Conn::Tcp(s))
+            }
+            #[cfg(unix)]
+            Endpoint::Uds(path) => Ok(Conn::Uds(UnixStream::connect(path)?)),
+        }
+    }
+
+    /// Dial with retries (a worker process typically races the listener).
+    pub fn connect_retry(endpoint: &Endpoint, attempts: u32, delay: Duration) -> io::Result<Conn> {
+        let mut last = None;
+        for _ in 0..attempts.max(1) {
+            match Conn::connect(endpoint) {
+                Ok(c) => return Ok(c),
+                Err(e) => last = Some(e),
+            }
+            std::thread::sleep(delay);
+        }
+        Err(last.unwrap_or_else(|| io::Error::other("no connect attempts")))
+    }
+
+    fn try_clone(&self) -> io::Result<Conn> {
+        match self {
+            Conn::Tcp(s) => s.try_clone().map(Conn::Tcp),
+            #[cfg(unix)]
+            Conn::Uds(s) => s.try_clone().map(Conn::Uds),
+        }
+    }
+
+    fn shutdown(&self) -> io::Result<()> {
+        match self {
+            Conn::Tcp(s) => s.shutdown(Shutdown::Both),
+            #[cfg(unix)]
+            Conn::Uds(s) => s.shutdown(Shutdown::Both),
+        }
+    }
+
+    fn set_read_timeout(&self, d: Option<Duration>) -> io::Result<()> {
+        match self {
+            Conn::Tcp(s) => s.set_read_timeout(d),
+            #[cfg(unix)]
+            Conn::Uds(s) => s.set_read_timeout(d),
+        }
+    }
+}
+
+impl Read for Conn {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Conn::Tcp(s) => s.read(buf),
+            #[cfg(unix)]
+            Conn::Uds(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Conn {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            Conn::Tcp(s) => s.write(buf),
+            #[cfg(unix)]
+            Conn::Uds(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            Conn::Tcp(s) => s.flush(),
+            #[cfg(unix)]
+            Conn::Uds(s) => s.flush(),
+        }
+    }
+}
+
+enum ListenerInner {
+    Tcp(TcpListener),
+    #[cfg(unix)]
+    Uds(UnixListener, PathBuf),
+}
+
+/// A bound listener workers connect to. For `tcp://…:0` the resolved
+/// endpoint (with the kernel-assigned port) is available from
+/// [`endpoint`](WorkerListener::endpoint) — pass *that* to the worker
+/// processes. Removes its socket file on drop (UDS).
+pub struct WorkerListener {
+    inner: ListenerInner,
+    endpoint: Endpoint,
+}
+
+impl WorkerListener {
+    /// Bind `endpoint`. A stale UDS socket file (a previous run that never
+    /// cleaned up) is removed and the bind retried once.
+    pub fn bind(endpoint: &Endpoint) -> io::Result<WorkerListener> {
+        match endpoint {
+            Endpoint::Tcp(addr) => {
+                let l = TcpListener::bind(addr.as_str())?;
+                let actual = l.local_addr()?;
+                Ok(WorkerListener {
+                    inner: ListenerInner::Tcp(l),
+                    endpoint: Endpoint::Tcp(actual.to_string()),
+                })
+            }
+            #[cfg(unix)]
+            Endpoint::Uds(path) => {
+                let l = match UnixListener::bind(path) {
+                    Ok(l) => l,
+                    Err(e) if e.kind() == io::ErrorKind::AddrInUse => {
+                        std::fs::remove_file(path)?;
+                        UnixListener::bind(path)?
+                    }
+                    Err(e) => return Err(e),
+                };
+                Ok(WorkerListener {
+                    inner: ListenerInner::Uds(l, path.clone()),
+                    endpoint: endpoint.clone(),
+                })
+            }
+        }
+    }
+
+    /// The resolved endpoint (actual port for `tcp://…:0`).
+    pub fn endpoint(&self) -> &Endpoint {
+        &self.endpoint
+    }
+
+    fn set_nonblocking(&self, yes: bool) -> io::Result<()> {
+        match &self.inner {
+            ListenerInner::Tcp(l) => l.set_nonblocking(yes),
+            #[cfg(unix)]
+            ListenerInner::Uds(l, _) => l.set_nonblocking(yes),
+        }
+    }
+
+    /// Non-blocking accept: `Ok(None)` when nothing is pending.
+    fn accept(&self) -> io::Result<Option<Conn>> {
+        match &self.inner {
+            ListenerInner::Tcp(l) => match l.accept() {
+                Ok((s, _)) => {
+                    s.set_nonblocking(false)?;
+                    s.set_nodelay(true)?;
+                    Ok(Some(Conn::Tcp(s)))
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => Ok(None),
+                Err(e) => Err(e),
+            },
+            #[cfg(unix)]
+            ListenerInner::Uds(l, _) => match l.accept() {
+                Ok((s, _)) => {
+                    s.set_nonblocking(false)?;
+                    Ok(Some(Conn::Uds(s)))
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => Ok(None),
+                Err(e) => Err(e),
+            },
+        }
+    }
+}
+
+impl Drop for WorkerListener {
+    fn drop(&mut self) {
+        #[cfg(unix)]
+        if let ListenerInner::Uds(_, path) = &self.inner {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Model spec
+
+/// Everything a worker process needs to rebuild its half of the model,
+/// carried in the `WELCOME` frame. Both sides call [`build`](Self::build):
+/// the weights are deterministic in `seed`, so the Central's suffix and
+/// every worker's prefix come from the *same* model without shipping
+/// tensors.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RemoteModelSpec {
+    /// Classifier width of the generated [`shapes_cnn`] model.
+    pub classes: usize,
+    /// Weight-generation seed.
+    pub seed: u64,
+    /// FDSP grid rows.
+    pub grid_rows: usize,
+    /// FDSP grid columns.
+    pub grid_cols: usize,
+    /// Boundary clipped-ReLU `(lo, hi)`; `None` disables boundary
+    /// compression (comparison mode).
+    pub crelu: Option<(f32, f32)>,
+    /// Boundary quantizer bit width (used when `crelu` is set).
+    pub quant_bits: u8,
+}
+
+impl RemoteModelSpec {
+    /// The paper-default spec: 4-bit quantization over a `[0, 2]` clipped
+    /// ReLU at the boundary.
+    pub fn paper_default(classes: usize, seed: u64, grid: TileGrid) -> Self {
+        RemoteModelSpec {
+            classes,
+            seed,
+            grid_rows: grid.rows,
+            grid_cols: grid.cols,
+            crelu: Some((0.0, 2.0)),
+            quant_bits: 4,
+        }
+    }
+
+    /// Rebuild the partitioned model this spec describes.
+    pub fn build(&self) -> PartitionedModel {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let grid = TileGrid::new(self.grid_rows, self.grid_cols);
+        let mut m = PartitionedModel::fdsp(shapes_cnn(self.classes, &mut rng), grid);
+        if let Some((lo, hi)) = self.crelu {
+            let cr = ClippedRelu::new(lo, hi);
+            m = m.with_crelu(cr).with_quant(QuantizeSte::new(self.quant_bits, cr.range()));
+        }
+        m
+    }
+
+    /// Serialize into `buf`.
+    pub fn encode_into(&self, buf: &mut Vec<u8>) {
+        buf.extend_from_slice(&(self.classes as u32).to_le_bytes());
+        buf.extend_from_slice(&self.seed.to_le_bytes());
+        buf.extend_from_slice(&(self.grid_rows as u32).to_le_bytes());
+        buf.extend_from_slice(&(self.grid_cols as u32).to_le_bytes());
+        match self.crelu {
+            Some((lo, hi)) => {
+                buf.push(1);
+                buf.extend_from_slice(&lo.to_bits().to_le_bytes());
+                buf.extend_from_slice(&hi.to_bits().to_le_bytes());
+            }
+            None => {
+                buf.push(0);
+                buf.extend_from_slice(&[0u8; 8]);
+            }
+        }
+        buf.push(self.quant_bits);
+    }
+
+    /// Deserialize, advancing `b` past the spec.
+    pub fn decode(b: &mut &[u8]) -> Option<RemoteModelSpec> {
+        let classes = rd_u32(b)? as usize;
+        let seed = rd_u64(b)?;
+        let grid_rows = rd_u32(b)? as usize;
+        let grid_cols = rd_u32(b)? as usize;
+        let has_crelu = rd_u8(b)?;
+        let lo = rd_f32(b)?;
+        let hi = rd_f32(b)?;
+        let quant_bits = rd_u8(b)?;
+        if classes == 0 || grid_rows == 0 || grid_cols == 0 {
+            return None;
+        }
+        let crelu = match has_crelu {
+            0 => None,
+            1 if lo.is_finite() && hi.is_finite() && lo < hi => Some((lo, hi)),
+            _ => return None,
+        };
+        if crelu.is_some() && !(1..=8).contains(&quant_bits) {
+            return None;
+        }
+        Some(RemoteModelSpec { classes, seed, grid_rows, grid_cols, crelu, quant_bits })
+    }
+}
+
+/// Split a model into the worker-side prefix network and its boundary
+/// compression — the same formula `AdcnnRuntime::launch` applies, so a
+/// remote worker's pipeline is byte-identical to an in-process thread's.
+pub(crate) fn prefix_and_compression(model: &PartitionedModel) -> (Network, Option<Compression>) {
+    let prefix = Network::new(model.net.blocks[..model.prefix].to_vec());
+    let compression = model.boundary_crelu.map(|cr| Compression {
+        crelu: cr,
+        quantizer: Quantizer::new(model.boundary_quant.map(|q| q.bits).unwrap_or(4), cr.range()),
+    });
+    (prefix, compression)
+}
+
+// ---------------------------------------------------------------------------
+// Central side: acceptor + per-slot supervisors
+
+/// Callbacks into the Central node's shared state, fired by slot
+/// supervisors on connection state changes.
+pub(crate) struct TransportHooks {
+    /// A worker connected (or reconnected) to this slot: fresh join.
+    pub on_up: Arc<dyn Fn(usize) + Send + Sync>,
+    /// This slot's connection died: mark the worker failed.
+    pub on_down: Arc<dyn Fn(usize) + Send + Sync>,
+}
+
+struct Slot {
+    conn_tx: Sender<Conn>,
+    up: Arc<AtomicBool>,
+}
+
+/// The Central node's transport half: the acceptor thread plus one
+/// supervisor thread per worker slot. The supervisors double as the
+/// runtime's worker "handles": they exit on [`WorkerMsg::Shutdown`], after
+/// forwarding it to a connected worker process.
+pub(crate) struct RemoteCluster {
+    stop: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+}
+
+/// What [`RemoteCluster::start`] hands back to `launch_remote`: the
+/// cluster handle, the per-slot task senders (the collector's dispatch
+/// seam) and the supervisor join handles.
+pub(crate) type ClusterSeams = (RemoteCluster, Vec<Sender<WorkerMsg>>, Vec<JoinHandle<()>>);
+
+impl RemoteCluster {
+    /// Bind the channel seams and start the acceptor and supervisors.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn start(
+        listener: WorkerListener,
+        spec: RemoteModelSpec,
+        workers: usize,
+        task_queue_cap: usize,
+        result_tx: Sender<(usize, TileResult)>,
+        worker_stats: Vec<Arc<WorkerStats>>,
+        sink: SinkHandle,
+        epoch: Instant,
+        hooks: TransportHooks,
+    ) -> io::Result<ClusterSeams> {
+        assert_eq!(worker_stats.len(), workers);
+        listener.set_nonblocking(true)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let mut slots = Vec::with_capacity(workers);
+        let mut task_txs = Vec::with_capacity(workers);
+        let mut handles = Vec::with_capacity(workers);
+        for (slot_id, stats) in worker_stats.into_iter().enumerate() {
+            // Capacity 1: at most one accepted connection can wait for a
+            // slot's supervisor, so a reconnect storm cannot queue up.
+            let (conn_tx, conn_rx) = bounded::<Conn>(1);
+            let (task_tx, task_rx) = bounded(task_queue_cap.max(1));
+            let up = Arc::new(AtomicBool::new(false));
+            slots.push(Slot { conn_tx, up: up.clone() });
+            task_txs.push(task_tx);
+            let result_tx = result_tx.clone();
+            let sink = sink.clone();
+            let on_up = hooks.on_up.clone();
+            let on_down = hooks.on_down.clone();
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("conv-slot-{slot_id}"))
+                    .spawn(move || {
+                        supervise_slot(
+                            slot_id, spec, conn_rx, task_rx, result_tx, stats, sink, epoch, up,
+                            on_up, on_down,
+                        )
+                    })
+                    .expect("failed to spawn slot supervisor"),
+            );
+        }
+        let acceptor = {
+            let stop = stop.clone();
+            std::thread::Builder::new()
+                .name("adcnn-acceptor".into())
+                .spawn(move || acceptor_loop(listener, slots, stop))
+                .expect("failed to spawn acceptor thread")
+        };
+        Ok((RemoteCluster { stop, acceptor: Some(acceptor) }, task_txs, handles))
+    }
+
+    /// Stop accepting connections and join the acceptor (supervisors are
+    /// joined by the runtime through their handles).
+    pub(crate) fn stop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for RemoteCluster {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn acceptor_loop(listener: WorkerListener, slots: Vec<Slot>, stop: Arc<AtomicBool>) {
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok(Some(conn)) => admit_connection(conn, &slots),
+            Ok(None) => std::thread::sleep(Duration::from_millis(10)),
+            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+    // `listener` drops here: UDS socket file removed.
+}
+
+/// Validate a new connection's `HELLO` and hand it to a free slot; refuse
+/// (with a best-effort `SHUTDOWN`) when every slot is occupied.
+fn admit_connection(mut conn: Conn, slots: &[Slot]) {
+    // Bound the handshake: a connection that never sends HELLO must not
+    // wedge the acceptor.
+    if conn.set_read_timeout(Some(Duration::from_secs(1))).is_err() {
+        return;
+    }
+    let ok = matches!(
+        read_frame(&mut conn),
+        Ok(Some((TAG_HELLO, body))) if decode_hello(&body).is_some()
+    );
+    if !ok || conn.set_read_timeout(None).is_err() {
+        return; // drop: not a worker speaking our protocol
+    }
+    let mut conn = conn;
+    for slot in slots {
+        if slot.up.load(Ordering::SeqCst) {
+            continue;
+        }
+        match slot.conn_tx.try_send(conn) {
+            Ok(()) => return,
+            Err(TrySendError::Full(c)) | Err(TrySendError::Disconnected(c)) => conn = c,
+        }
+    }
+    let _ = write_frame(&mut conn, TAG_SHUTDOWN, &[]);
+}
+
+/// One worker slot's supervisor: owns the task `Receiver` persistently,
+/// bridges it to whatever connection currently backs the slot, and fires
+/// the up/down hooks. Exits only on [`WorkerMsg::Shutdown`] or when the
+/// runtime drops its channel seams.
+#[allow(clippy::too_many_arguments)]
+fn supervise_slot(
+    slot: usize,
+    spec: RemoteModelSpec,
+    conn_rx: Receiver<Conn>,
+    task_rx: Receiver<WorkerMsg>,
+    result_tx: Sender<(usize, TileResult)>,
+    stats: Arc<WorkerStats>,
+    sink: SinkHandle,
+    epoch: Instant,
+    up: Arc<AtomicBool>,
+    on_up: Arc<dyn Fn(usize) + Send + Sync>,
+    on_down: Arc<dyn Fn(usize) + Send + Sync>,
+) {
+    // Connection generation: readers capture the value at spawn and stop
+    // forwarding the moment it moves on, so a superseded connection's
+    // results can never reach the demux (no double-counting, no EWMA
+    // resurrection for a worker the lifecycle already buried).
+    let generation = Arc::new(AtomicU64::new(0));
+    loop {
+        // --- down: wait for a connection, discarding stale tiles. The
+        // lifecycle already recovered them (send_to refuses dead workers;
+        // anything still queued predates the death) — a tile handed to a
+        // dead slot must never be computed on reconnect.
+        let mut conn = loop {
+            match conn_rx.recv_timeout(Duration::from_millis(20)) {
+                Ok(c) => break c,
+                Err(RecvTimeoutError::Timeout) => loop {
+                    match task_rx.try_recv() {
+                        Ok(WorkerMsg::Tile(_)) => continue,
+                        Ok(WorkerMsg::Shutdown) => return,
+                        Err(_) => break,
+                    }
+                },
+                Err(RecvTimeoutError::Disconnected) => return,
+            }
+        };
+        let my_gen = generation.fetch_add(1, Ordering::SeqCst) + 1;
+        if write_frame(&mut conn, TAG_WELCOME, &encode_welcome(slot as u32, &spec)).is_err() {
+            continue;
+        }
+        let reader_conn = match conn.try_clone() {
+            Ok(c) => c,
+            Err(_) => continue,
+        };
+        let dead = Arc::new(AtomicBool::new(false));
+        let reader = {
+            let generation = generation.clone();
+            let dead = dead.clone();
+            let result_tx = result_tx.clone();
+            let stats = stats.clone();
+            let sink = sink.clone();
+            std::thread::Builder::new()
+                .name(format!("conv-slot-{slot}-rx"))
+                .spawn(move || {
+                    reader_loop(
+                        reader_conn,
+                        slot,
+                        my_gen,
+                        generation,
+                        dead,
+                        result_tx,
+                        stats,
+                        sink,
+                        epoch,
+                    )
+                })
+                .expect("failed to spawn slot reader")
+        };
+        on_up(slot);
+        up.store(true, Ordering::SeqCst);
+
+        // --- up: writer loop. The 20ms timeout bounds how long a silent
+        // disconnect (reader EOF with no traffic) goes unnoticed.
+        let mut shutting_down = false;
+        loop {
+            if dead.load(Ordering::SeqCst) {
+                break;
+            }
+            match task_rx.recv_timeout(Duration::from_millis(20)) {
+                Ok(WorkerMsg::Tile(task)) => {
+                    let mut buf = BytesMut::new();
+                    task.encode_into(&mut buf);
+                    if write_frame(&mut conn, TAG_TASK, &buf).is_err() {
+                        break;
+                    }
+                }
+                Ok(WorkerMsg::Shutdown) => {
+                    let _ = write_frame(&mut conn, TAG_SHUTDOWN, &[]);
+                    shutting_down = true;
+                    break;
+                }
+                Err(RecvTimeoutError::Timeout) => continue,
+                Err(RecvTimeoutError::Disconnected) => {
+                    shutting_down = true;
+                    break;
+                }
+            }
+        }
+
+        // --- teardown: supersede the reader *first* (so nothing more is
+        // forwarded), then unblock and join it.
+        generation.fetch_add(1, Ordering::SeqCst);
+        let _ = conn.shutdown();
+        let _ = reader.join();
+        up.store(false, Ordering::SeqCst);
+        if shutting_down {
+            return;
+        }
+        on_down(slot);
+    }
+}
+
+/// Drain `RESULT` frames from one connection into the shared result
+/// channel, mirroring worker-side compute/compress spans into the stats
+/// and the event sink at arrival time. Exits on EOF, error, a protocol
+/// violation, or generation supersession; flags `dead` so the supervisor's
+/// writer loop notices.
+#[allow(clippy::too_many_arguments)]
+fn reader_loop(
+    mut conn: Conn,
+    slot: usize,
+    my_gen: u64,
+    generation: Arc<AtomicU64>,
+    dead: Arc<AtomicBool>,
+    result_tx: Sender<(usize, TileResult)>,
+    stats: Arc<WorkerStats>,
+    sink: SinkHandle,
+    epoch: Instant,
+) {
+    // Anything else out of read_frame — clean EOF, mid-frame truncation,
+    // socket error, or a frame this direction never carries — ends the
+    // connection.
+    while let Ok(Some((TAG_RESULT, body))) = read_frame(&mut conn) {
+        let Some((compute_ns, compress_ns, res)) = decode_result_body(&body) else {
+            break; // structurally unreadable: protocol violation
+        };
+        if generation.load(Ordering::SeqCst) != my_gen {
+            break; // superseded: this connection's results no longer count
+        }
+        let now = Instant::now();
+        stats.record(Duration::from_nanos(compute_ns), Duration::from_nanos(compress_ns));
+        let at = now.duration_since(epoch).as_secs_f64();
+        sink.emit_with(|| ObsEvent::TileCompute {
+            at,
+            image: res.key.image_id,
+            tile: res.key.tile_id,
+            worker: slot as u32,
+            dur: Duration::from_nanos(compute_ns).as_secs_f64(),
+        });
+        sink.emit_with(|| {
+            let bits = res.wire_bits();
+            ObsEvent::TileCompress {
+                at,
+                image: res.key.image_id,
+                tile: res.key.tile_id,
+                worker: slot as u32,
+                dur: Duration::from_nanos(compress_ns).as_secs_f64(),
+                bytes: bits / 8,
+                ratio: bits as f64 / (res.payload.elems as f64 * 32.0),
+            }
+        });
+        if result_tx.send((slot, res)).is_err() {
+            break; // runtime gone
+        }
+    }
+    dead.store(true, Ordering::SeqCst);
+}
+
+// ---------------------------------------------------------------------------
+// Worker side
+
+/// Connect to a Central node at `endpoint` and serve tiles until it sends
+/// `SHUTDOWN` or closes the connection. This is the whole Conv-node
+/// process: handshake, rebuild the prefix from the [`RemoteModelSpec`] in
+/// the `WELCOME`, then a `TASK` → [`process_tile`] → `RESULT` loop sharing
+/// the in-process workers' exact compute path.
+pub fn run_worker(endpoint: &Endpoint) -> io::Result<()> {
+    let conn = Conn::connect(endpoint)?;
+    run_worker_on(conn)
+}
+
+/// [`run_worker`] with connect retries (worker processes usually race the
+/// Central node's listener at startup).
+pub fn run_worker_retry(endpoint: &Endpoint, attempts: u32, delay: Duration) -> io::Result<()> {
+    let conn = Conn::connect_retry(endpoint, attempts, delay)?;
+    run_worker_on(conn)
+}
+
+fn run_worker_on(mut conn: Conn) -> io::Result<()> {
+    let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_string());
+    write_frame(&mut conn, TAG_HELLO, &encode_hello(0))?;
+    let (tag, body) = read_frame(&mut conn)?
+        .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "closed before WELCOME"))?;
+    if tag == TAG_SHUTDOWN {
+        return Ok(()); // no free slot: a clean refusal, not an error
+    }
+    if tag != TAG_WELCOME {
+        return Err(bad("expected WELCOME"));
+    }
+    let (_worker_id, spec) = decode_welcome(&body).ok_or_else(|| bad("unreadable WELCOME"))?;
+    let model = spec.build();
+    let (prefix, compression) = prefix_and_compression(&model);
+    let mut scratch = InferScratch::new();
+    let mut cs = CompressScratch::new();
+    loop {
+        match read_frame(&mut conn)? {
+            None | Some((TAG_SHUTDOWN, _)) => return Ok(()),
+            Some((TAG_TASK, body)) => {
+                let task = TileTask::decode(&body).ok_or_else(|| bad("unreadable TASK"))?;
+                let (res, compute, compress) =
+                    process_tile(&prefix, compression, &task, &mut scratch, &mut cs);
+                let out =
+                    encode_result_body(&res, compute.as_nanos() as u64, compress.as_nanos() as u64);
+                write_frame(&mut conn, TAG_RESULT, &out)?;
+            }
+            Some(_) => return Err(bad("unexpected frame tag")),
+        }
+    }
+}
+
+/// Run a worker on a thread inside this process, over a *real* socket —
+/// loopback transport with in-process lifetimes (tests and benches).
+pub fn spawn_loopback_worker(endpoint: Endpoint) -> JoinHandle<io::Result<()>> {
+    std::thread::Builder::new()
+        .name("loopback-conv-worker".into())
+        .spawn(move || run_worker_retry(&endpoint, 100, Duration::from_millis(20)))
+        .expect("failed to spawn loopback worker thread")
+}
+
+// ---------------------------------------------------------------------------
+// Loopback differential replay
+
+/// Replay an abstract lifecycle trace with the events carried over a real
+/// loopback TCP socket: a sender thread serializes each event into an
+/// `EVENT` frame; this side decodes and feeds the machine through the
+/// runtime driver's exact `Instant` roundtrip. The differential test
+/// asserts the decision sequence is byte-identical to
+/// [`crate::central::replay_lifecycle_trace`] and the simulator's — i.e.
+/// the wire neither reorders nor perturbs a single decision.
+pub fn replay_lifecycle_trace_loopback(
+    policy: LifecyclePolicy,
+    d: usize,
+    alloc: &[u32],
+    speeds: &[f64],
+    live: &[bool],
+    trace: &[Event],
+) -> Vec<String> {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().expect("loopback addr");
+    let events: Vec<Event> = trace.to_vec();
+    let sender = std::thread::spawn(move || {
+        let mut conn = TcpStream::connect(addr).expect("connect loopback");
+        conn.set_nodelay(true).expect("nodelay");
+        for ev in &events {
+            write_frame(&mut conn, TAG_EVENT, &encode_event(ev)).expect("send event frame");
+        }
+        // Dropping the stream sends FIN: a clean end-of-trace.
+    });
+    let (mut conn, _) = listener.accept().expect("accept loopback");
+    let epoch = Instant::now();
+    let roundtrip = |at: f64| -> f64 {
+        let instant = epoch + Duration::from_secs_f64(at);
+        instant.duration_since(epoch).as_secs_f64()
+    };
+    let (mut lc, acts) = TileLifecycle::begin(policy, roundtrip(0.0), d, alloc, speeds, live);
+    let mut out: Vec<String> = acts.iter().map(|a| format!("{a:?}")).collect();
+    while let Some((tag, body)) = read_frame(&mut conn).expect("read event frame") {
+        assert_eq!(tag, TAG_EVENT, "unexpected frame tag {tag} in replay stream");
+        let ev = decode_event(&body).expect("undecodable event frame");
+        let ev = match ev {
+            Event::SendComplete { at } => Event::SendComplete { at: roundtrip(at) },
+            Event::ResultArrived { at, tile, worker, ok } => {
+                Event::ResultArrived { at: roundtrip(at), tile, worker, ok }
+            }
+            Event::DeadlineFired { at } => Event::DeadlineFired { at: roundtrip(at) },
+            other => other,
+        };
+        out.extend(lc.handle(ev).iter().map(|a| format!("{a:?}")));
+    }
+    sender.join().expect("sender thread panicked");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adcnn_core::wire::TileKey;
+    use adcnn_tensor::Tensor;
+
+    #[test]
+    fn endpoint_parse_display_roundtrip() {
+        let t = Endpoint::parse("tcp://127.0.0.1:9000").unwrap();
+        assert_eq!(t, Endpoint::Tcp("127.0.0.1:9000".into()));
+        assert_eq!(t.to_string(), "tcp://127.0.0.1:9000");
+        #[cfg(unix)]
+        {
+            let u = Endpoint::parse("uds:///tmp/adcnn.sock").unwrap();
+            assert_eq!(u, Endpoint::Uds(PathBuf::from("/tmp/adcnn.sock")));
+            assert_eq!(u.to_string(), "uds:///tmp/adcnn.sock");
+        }
+        assert!(Endpoint::parse("http://x").is_err());
+        assert!(Endpoint::parse("tcp://").is_err());
+        assert!(Endpoint::parse("").is_err());
+    }
+
+    #[test]
+    fn frame_roundtrip_and_clean_eof() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, TAG_TASK, b"hello").unwrap();
+        write_frame(&mut wire, TAG_SHUTDOWN, b"").unwrap();
+        let mut r = &wire[..];
+        assert_eq!(read_frame(&mut r).unwrap(), Some((TAG_TASK, b"hello".to_vec())));
+        assert_eq!(read_frame(&mut r).unwrap(), Some((TAG_SHUTDOWN, Vec::new())));
+        assert_eq!(read_frame(&mut r).unwrap(), None, "clean EOF between frames");
+    }
+
+    #[test]
+    fn frame_rejects_oversized_and_zero_lengths() {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&(MAX_FRAME_BYTES as u32 + 1).to_le_bytes());
+        assert!(read_frame(&mut &wire[..]).is_err(), "over-cap length must not allocate");
+        let zero = 0u32.to_le_bytes();
+        assert!(read_frame(&mut &zero[..]).is_err(), "zero length has no tag byte");
+        // EOF inside the header is an error, not a clean close.
+        let partial = [1u8, 0];
+        assert!(read_frame(&mut &partial[..]).is_err());
+    }
+
+    #[test]
+    fn hello_welcome_roundtrip() {
+        assert_eq!(decode_hello(&encode_hello(7)), Some(7));
+        let mut bad = encode_hello(0);
+        bad[0] ^= 0xFF; // wrong magic
+        assert_eq!(decode_hello(&bad), None);
+        let spec = RemoteModelSpec::paper_default(6, 42, TileGrid::new(2, 2));
+        let welcome = encode_welcome(3, &spec);
+        assert_eq!(decode_welcome(&welcome), Some((3, spec)));
+        assert_eq!(decode_welcome(&welcome[..welcome.len() - 1]), None, "truncated");
+    }
+
+    #[test]
+    fn spec_codec_rejects_out_of_domain_values() {
+        let mut spec = RemoteModelSpec::paper_default(6, 1, TileGrid::new(2, 2));
+        spec.crelu = Some((2.0, 0.0)); // lo >= hi
+        let mut b = Vec::new();
+        spec.encode_into(&mut b);
+        assert_eq!(RemoteModelSpec::decode(&mut &b[..]), None);
+        let mut spec = RemoteModelSpec::paper_default(6, 1, TileGrid::new(2, 2));
+        spec.quant_bits = 0;
+        let mut b = Vec::new();
+        spec.encode_into(&mut b);
+        assert_eq!(RemoteModelSpec::decode(&mut &b[..]), None);
+        // No compression: quant_bits is unconstrained and preserved.
+        let spec = RemoteModelSpec {
+            classes: 4,
+            seed: 9,
+            grid_rows: 1,
+            grid_cols: 2,
+            crelu: None,
+            quant_bits: 0,
+        };
+        let mut b = Vec::new();
+        spec.encode_into(&mut b);
+        assert_eq!(RemoteModelSpec::decode(&mut &b[..]), Some(spec));
+    }
+
+    #[test]
+    fn spec_builds_identical_models_on_both_sides() {
+        let spec = RemoteModelSpec::paper_default(6, 11, TileGrid::new(2, 2));
+        let central_side = spec.build();
+        let worker_side = spec.build();
+        let (prefix_a, comp_a) = prefix_and_compression(&central_side);
+        let (prefix_b, comp_b) = prefix_and_compression(&worker_side);
+        let x = Tensor::full([1, 3, 16, 16], 0.3);
+        let ya = prefix_a.clone().forward_range(&x, 0..prefix_a.len(), false).0;
+        let yb = prefix_b.clone().forward_range(&x, 0..prefix_b.len(), false).0;
+        assert!(ya.approx_eq(&yb, 0.0), "same seed must rebuild identical weights");
+        let (ca, cb) = (comp_a.unwrap(), comp_b.unwrap());
+        assert_eq!(
+            (ca.quantizer.bits, ca.quantizer.range),
+            (cb.quantizer.bits, cb.quantizer.range)
+        );
+    }
+
+    #[test]
+    fn event_codec_roundtrips_every_variant() {
+        let evs = [
+            Event::TileDelivered { tile: 3 },
+            Event::SendComplete { at: 0.12345678901234 },
+            Event::ResultArrived { at: 1.5, tile: 7, worker: 2, ok: false },
+            Event::ResultArrived { at: 2.25, tile: 0, worker: 0, ok: true },
+            Event::DeadlineFired { at: 9.875 },
+            Event::WorkerDied { worker: 5 },
+            Event::SendRejected { tile: 1, worker: 4 },
+            Event::Abort,
+        ];
+        for ev in &evs {
+            assert_eq!(decode_event(&encode_event(ev)), Some(*ev), "{ev:?}");
+        }
+        assert_eq!(decode_event(&[99]), None, "unknown discriminant");
+        assert_eq!(decode_event(&encode_event(&evs[2])[..5]), None, "truncated");
+        let mut padded = encode_event(&Event::Abort);
+        padded.push(0);
+        assert_eq!(decode_event(&padded), None, "trailing bytes rejected");
+    }
+
+    #[test]
+    fn result_body_roundtrips_timing_and_payload() {
+        let key = TileKey { image_id: 8, tile_id: 1 };
+        let t = Tensor::full([1, 2, 4, 4], 0.5);
+        let q = Quantizer::new(4, 2.0);
+        let compressed = adcnn_core::compress::compress(t.as_slice(), q);
+        let res =
+            adcnn_core::wire::make_result_from_parts(key, [1, 2, 4, 4], 32, &compressed.payload, q);
+        let body = encode_result_body(&res, 1234, 567);
+        let (compute_ns, compress_ns, back) = decode_result_body(&body).unwrap();
+        assert_eq!((compute_ns, compress_ns), (1234, 567));
+        assert_eq!(back.key, key);
+        assert_eq!(back.to_tensor().unwrap().as_slice(), res.to_tensor().unwrap().as_slice());
+        assert!(decode_result_body(&body[..10]).is_none(), "truncated timing header");
+    }
+
+    #[test]
+    fn loopback_replay_matches_the_central_driver() {
+        let policy = LifecyclePolicy { t_l: 0.030, ..Default::default() };
+        let alloc = [2u32, 2];
+        let speeds = [1.0, 1.0];
+        let live = [true, true];
+        let trace = vec![
+            Event::TileDelivered { tile: 0 },
+            Event::TileDelivered { tile: 1 },
+            Event::TileDelivered { tile: 2 },
+            Event::TileDelivered { tile: 3 },
+            Event::SendComplete { at: 0.001 },
+            Event::ResultArrived { at: 0.010, tile: 0, worker: 0, ok: true },
+            Event::ResultArrived { at: 0.012, tile: 2, worker: 1, ok: true },
+            Event::DeadlineFired { at: 0.080 },
+            Event::ResultArrived { at: 0.090, tile: 1, worker: 0, ok: true },
+            Event::ResultArrived { at: 0.095, tile: 3, worker: 0, ok: true },
+        ];
+        let over_wire = replay_lifecycle_trace_loopback(policy, 4, &alloc, &speeds, &live, &trace);
+        let in_process =
+            crate::central::replay_lifecycle_trace(policy, 4, &alloc, &speeds, &live, &trace);
+        assert_eq!(over_wire, in_process, "the wire must not perturb a single decision");
+        assert!(!over_wire.is_empty());
+    }
+}

@@ -191,6 +191,48 @@ impl WorkerStatsSnapshot {
     }
 }
 
+/// Run one tile through the Conv-node pipeline: prefix forward in the
+/// reusable scratch, boundary compression, result assembly. Returns the
+/// result plus the (compute, compress) durations for stats/observability.
+///
+/// This is the single tile-processing path: the in-process worker threads
+/// ([`spawn_worker`]) and the remote worker loop
+/// ([`crate::transport::run_worker`]) both call it, so a tile produces a
+/// byte-identical [`TileResult`] no matter which transport carried it.
+pub(crate) fn process_tile(
+    prefix: &Network,
+    compression: Option<Compression>,
+    task: &TileTask,
+    scratch: &mut InferScratch,
+    cs: &mut CompressScratch,
+) -> (TileResult, Duration, Duration) {
+    let t0 = Instant::now();
+    let out = prefix.forward_infer_with(&task.tile, scratch);
+    let t1 = Instant::now();
+    let dims = out.dims();
+    assert_eq!(dims.len(), 4, "tile results are [1,C,H,W]");
+    let shape = [dims[0], dims[1], dims[2], dims[3]];
+    let elems = out.numel();
+    let (encoded, quantizer) = match compression {
+        Some(c) => (clip_and_compress_into(out.as_slice(), c.crelu, c.quantizer, cs), c.quantizer),
+        // Uncompressed mode still needs a wire quantizer (the nibble codec
+        // carries at most 4-bit levels); use the observed range. The
+        // quantizer clamps into [0, range], which subsumes the ReLU the
+        // seed path applied. This mode exists for comparisons only.
+        None => {
+            let range = out.as_slice().iter().fold(0.0f32, |m, &v| m.max(v.abs())).max(1e-6);
+            let q = Quantizer::new(4, range);
+            (compress_into(out.as_slice(), q, cs), q)
+        }
+    };
+    // Timestamp *before* building the result: the per-shipped-tile payload
+    // copy is transport, not compression, and must not be billed to
+    // `compress_ns`.
+    let t2 = Instant::now();
+    let result = make_result_from_parts(task.key, shape, elems, encoded, quantizer);
+    (result, t1.duration_since(t0), t2.duration_since(t1))
+}
+
 /// Spawn a Conv-node worker thread.
 ///
 /// `prefix` is the worker's clone of the separable blocks; results go to
@@ -245,51 +287,26 @@ pub(crate) fn spawn_worker(
                 if !opts.delay_jitter.is_zero() {
                     std::thread::sleep(opts.delay_jitter.mul_f64(faults.gen::<f64>()));
                 }
-                let t0 = Instant::now();
-                let out = prefix.forward_infer_with(&task.tile, &mut scratch);
-                let t1 = Instant::now();
-                let dims = out.dims();
-                assert_eq!(dims.len(), 4, "tile results are [1,C,H,W]");
-                let shape = [dims[0], dims[1], dims[2], dims[3]];
-                let elems = out.numel();
-                let (encoded, quantizer) = match compression {
-                    Some(c) => (
-                        clip_and_compress_into(out.as_slice(), c.crelu, c.quantizer, &mut cs),
-                        c.quantizer,
-                    ),
-                    // Uncompressed mode still needs a wire quantizer (the
-                    // nibble codec carries at most 4-bit levels); use the
-                    // observed range. The quantizer clamps into [0, range],
-                    // which subsumes the ReLU the seed path applied. This
-                    // mode exists for comparisons only.
-                    None => {
-                        let range =
-                            out.as_slice().iter().fold(0.0f32, |m, &v| m.max(v.abs())).max(1e-6);
-                        let q = Quantizer::new(4, range);
-                        (compress_into(out.as_slice(), q, &mut cs), q)
-                    }
-                };
-                // Timestamp *before* building the result: the per-shipped-
-                // tile payload copy is transport, not compression, and must
-                // not be billed to `compress_ns`.
-                let t2 = Instant::now();
-                let mut result = make_result_from_parts(task.key, shape, elems, encoded, quantizer);
-                stats.record(t1.duration_since(t0), t2.duration_since(t1));
+                let (mut result, compute, compress) =
+                    process_tile(&prefix, compression, &task, &mut scratch, &mut cs);
+                let done = Instant::now();
+                stats.record(compute, compress);
                 sink.emit_with(|| ObsEvent::TileCompute {
-                    at: t1.duration_since(epoch).as_secs_f64(),
+                    at: (done - compress).duration_since(epoch).as_secs_f64(),
                     image: task.key.image_id,
                     tile: task.key.tile_id,
                     worker: worker_id as u32,
-                    dur: t1.duration_since(t0).as_secs_f64(),
+                    dur: compute.as_secs_f64(),
                 });
                 sink.emit_with(|| {
                     let bits = result.wire_bits();
+                    let elems = result.payload.elems;
                     ObsEvent::TileCompress {
-                        at: t2.duration_since(epoch).as_secs_f64(),
+                        at: done.duration_since(epoch).as_secs_f64(),
                         image: task.key.image_id,
                         tile: task.key.tile_id,
                         worker: worker_id as u32,
-                        dur: t2.duration_since(t1).as_secs_f64(),
+                        dur: compress.as_secs_f64(),
                         bytes: bits / 8,
                         ratio: bits as f64 / (elems as f64 * 32.0),
                     }

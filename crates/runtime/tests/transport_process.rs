@@ -1,0 +1,334 @@
+//! End-to-end transport tests: Conv workers as real OS processes (or raw
+//! sockets) behind `AdcnnRuntime::launch_remote`. The first suite where
+//! `kill -9` of an actual process — not an injected fault flag — is
+//! recovered by the lifecycle manager.
+
+use adcnn_core::fdsp::TileGrid;
+use adcnn_runtime::transport::{
+    decode_welcome, encode_hello, read_frame, spawn_loopback_worker, write_frame, Endpoint,
+    RemoteModelSpec, WorkerListener, TAG_HELLO, TAG_RESULT, TAG_TASK, TAG_WELCOME,
+};
+use adcnn_runtime::{AdcnnRuntime, RuntimeConfig, WorkerOptions};
+use adcnn_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::net::TcpStream;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+const WORKER_BIN: &str = env!("CARGO_BIN_EXE_adcnn-conv-worker");
+
+fn spec() -> RemoteModelSpec {
+    RemoteModelSpec::paper_default(6, 5, TileGrid::new(2, 2))
+}
+
+fn rand_image(seed: u64) -> Tensor {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Tensor::randn([1, 3, 32, 32], 0.5, &mut rng)
+}
+
+fn bind_loopback() -> WorkerListener {
+    WorkerListener::bind(&Endpoint::parse("tcp://127.0.0.1:0").unwrap()).unwrap()
+}
+
+fn spawn_worker_process(endpoint: &Endpoint) -> Child {
+    Command::new(WORKER_BIN)
+        .args(["--connect", &endpoint.to_string()])
+        .stdin(Stdio::null())
+        .spawn()
+        .expect("spawn adcnn-conv-worker")
+}
+
+fn wait_for_live(rt: &AdcnnRuntime, want: &[bool], timeout: Duration) {
+    let deadline = Instant::now() + timeout;
+    while rt.live_workers() != want {
+        assert!(
+            Instant::now() < deadline,
+            "live_workers stuck at {:?}, want {want:?}",
+            rt.live_workers()
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+/// The multi-process runtime must be indistinguishable from the in-process
+/// one: same spec, same images, bit-identical outputs (no zero-fill on
+/// either side means both assembled the same boundary map).
+#[test]
+fn multi_process_loopback_matches_in_process() {
+    let listener = bind_loopback();
+    let endpoint = listener.endpoint().clone();
+    let mut workers: Vec<Child> = (0..2).map(|_| spawn_worker_process(&endpoint)).collect();
+    let mut remote = AdcnnRuntime::launch_remote(
+        spec(),
+        2,
+        RuntimeConfig::default(),
+        listener,
+        Duration::from_secs(10),
+    )
+    .expect("workers must join");
+    let mut local = AdcnnRuntime::launch(
+        spec().build(),
+        &[WorkerOptions::default(); 2],
+        RuntimeConfig::default(),
+    );
+    for s in 0..3 {
+        let x = rand_image(200 + s);
+        let want = local.infer(&x);
+        let got = remote.infer(&x);
+        assert_eq!(want.zero_filled, 0);
+        assert_eq!(got.zero_filled, 0, "received {:?}", got.received);
+        assert_eq!(
+            got.output.as_slice(),
+            want.output.as_slice(),
+            "remote output must be bit-identical to in-process"
+        );
+    }
+    local.shutdown();
+    remote.shutdown();
+    for w in &mut workers {
+        let status = w.wait().expect("worker wait");
+        assert!(status.success(), "worker exited {status:?}");
+    }
+}
+
+/// `kill -9` a worker process mid-stream: every image still completes with
+/// `zero_filled == 0` (re-dispatch recovers the dead worker's tiles) and
+/// well before the hard timeout; then a *new* process rejoins the slot as
+/// a fresh worker and serves traffic again.
+#[test]
+fn kill_dash_nine_recovers_by_redispatch_then_rejoins() {
+    let listener = bind_loopback();
+    let endpoint = listener.endpoint().clone();
+    let mut victim = spawn_worker_process(&endpoint);
+    let mut peer = spawn_worker_process(&endpoint);
+    let cfg = RuntimeConfig::builder().hard_timeout(Duration::from_secs(5)).build().unwrap();
+    let mut rt =
+        AdcnnRuntime::launch_remote(spec(), 2, cfg, listener, Duration::from_secs(10)).unwrap();
+    let mut local = AdcnnRuntime::launch(
+        spec().build(),
+        &[WorkerOptions::default(); 2],
+        RuntimeConfig::default(),
+    );
+
+    // Warm-up: both workers serving.
+    let out = rt.infer(&rand_image(300));
+    assert_eq!(out.zero_filled, 0);
+
+    // SIGKILL one real OS process. No flags, no cooperation: the reader
+    // sees EOF, the supervisor marks the slot down, the lifecycle
+    // re-dispatches. We don't know which slot each process took, so kill
+    // `victim` and derive the slot from the supervision view.
+    victim.kill().expect("kill -9 worker");
+    victim.wait().expect("reap worker");
+    let deadline = Instant::now() + Duration::from_secs(5);
+    let dead_slot = loop {
+        let live = rt.live_workers();
+        if let Some(slot) = live.iter().position(|l| !l) {
+            break slot;
+        }
+        assert!(Instant::now() < deadline, "worker death never detected");
+        std::thread::sleep(Duration::from_millis(10));
+    };
+    assert_eq!(rt.speeds()[dead_slot], 0.0, "dead worker must be marked failed");
+
+    // Mid-stream recovery: images keep completing, nothing zero-filled,
+    // latency bounded far below the 5s hard timeout.
+    for s in 0..4 {
+        let x = rand_image(310 + s);
+        let want = local.infer(&x);
+        let got = rt.infer(&x);
+        assert_eq!(got.zero_filled, 0, "tile lost to a kill -9 (received {:?})", got.received);
+        assert!(
+            got.latency < Duration::from_secs(5),
+            "recovery took {:?}, the hard timeout",
+            got.latency
+        );
+        assert_eq!(got.output.as_slice(), want.output.as_slice());
+        assert_eq!(got.received[dead_slot], 0, "a dead process cannot deliver results");
+    }
+
+    // A fresh process takes over the slot: fresh join, not a resurrection
+    // — the EWMA restarts at the fresh-join prior, not the dead
+    // incarnation's last estimate.
+    let mut replacement = spawn_worker_process(&endpoint);
+    wait_for_live(&rt, &[true, true], Duration::from_secs(5));
+    assert_eq!(rt.speeds()[dead_slot], 1.0, "rejoin must restart from the fresh-join prior");
+
+    // Prove the rejoined slot really is allocatable: kill the survivor so
+    // the replacement is the only live worker, and it must carry whole
+    // images alone.
+    peer.kill().expect("kill peer");
+    peer.wait().expect("reap peer");
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while rt.live_workers().iter().filter(|l| **l).count() != 1 {
+        assert!(Instant::now() < deadline, "peer death never detected");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert!(rt.live_workers()[dead_slot], "the replacement slot must still be live");
+    for s in 0..2 {
+        let x = rand_image(320 + s);
+        let want = local.infer(&x);
+        let got = rt.infer(&x);
+        assert_eq!(got.zero_filled, 0);
+        assert_eq!(got.output.as_slice(), want.output.as_slice());
+        assert!(got.received[dead_slot] > 0, "the rejoined worker never served a tile");
+    }
+
+    local.shutdown();
+    rt.shutdown();
+    replacement.wait().expect("replacement wait");
+}
+
+/// A worker that accepts tiles and never answers: its tiles are recovered
+/// by re-dispatch (zero_filled == 0, nothing credited to it), its stale
+/// results for an already-retired image are discarded at the demux, and
+/// after it disconnects a reconnect joins fresh — the failed EWMA is
+/// *not* resurrected.
+#[test]
+fn silent_worker_stale_results_and_reconnect_semantics() {
+    let listener = bind_loopback();
+    let endpoint = listener.endpoint().clone();
+    let tcp_addr = match &endpoint {
+        Endpoint::Tcp(addr) => addr.clone(),
+        #[cfg(unix)]
+        other => panic!("expected tcp endpoint, got {other}"),
+    };
+    // Slot A: a real loopback worker thread. Slot B: a hand-driven raw
+    // socket so the test controls exactly when (and whether) it replies.
+    let honest = spawn_loopback_worker(endpoint.clone());
+    let mut manual = TcpStream::connect(tcp_addr.as_str()).unwrap();
+    manual.set_nodelay(true).unwrap();
+    // HELLO goes out before launch (the acceptor reads it once the cluster
+    // starts); the WELCOME can only be read *after* launch_remote brings
+    // the supervisors up.
+    write_frame(&mut manual, TAG_HELLO, &encode_hello(0)).unwrap();
+
+    let mut rt = AdcnnRuntime::launch_remote(
+        spec(),
+        2,
+        RuntimeConfig::default(),
+        listener,
+        Duration::from_secs(10),
+    )
+    .unwrap();
+
+    manual.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    let (tag, body) = read_frame(&mut manual).unwrap().expect("welcome");
+    assert_eq!(tag, TAG_WELCOME);
+    let (manual_slot, welcomed_spec) = decode_welcome(&body).expect("decodable welcome");
+    let manual_slot = manual_slot as usize;
+    assert_eq!(welcomed_spec, spec(), "handshake must carry the launch spec");
+
+    // One image. The manual worker swallows its tiles; the deadline fires
+    // and every one of them is re-dispatched to the honest worker.
+    let out = rt.infer(&rand_image(400));
+    assert_eq!(out.zero_filled, 0, "re-dispatch must recover the silent worker's tiles");
+    assert!(out.redispatched > 0, "nothing was re-dispatched?");
+    assert_eq!(out.received[manual_slot], 0, "a silent worker can't be credited");
+    let mut stolen = Vec::new();
+    while let Ok(Some((TAG_TASK, body))) = read_frame(&mut manual) {
+        stolen.push(body);
+        if stolen.len() >= out.alloc[manual_slot] as usize {
+            break;
+        }
+    }
+    assert!(!stolen.is_empty(), "the silent worker was never allocated a tile");
+
+    // Disconnect: positively-detected death, speed 0.
+    drop(manual);
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while rt.live_workers()[manual_slot] {
+        assert!(Instant::now() < deadline, "disconnect never detected");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert_eq!(rt.speeds()[manual_slot], 0.0);
+
+    // Reconnect and immediately push results for the *retired* image's
+    // tiles down the new connection. They must route through the
+    // late/duplicate handling (the image is gone — discarded at the
+    // demux), not double-count or corrupt a later image.
+    let mut manual = TcpStream::connect(tcp_addr.as_str()).unwrap();
+    manual.set_nodelay(true).unwrap();
+    manual.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    write_frame(&mut manual, TAG_HELLO, &encode_hello(0)).unwrap();
+    let (tag, _) = read_frame(&mut manual).unwrap().expect("second welcome");
+    assert_eq!(tag, TAG_WELCOME);
+    wait_for_live(&rt, &[true, true], Duration::from_secs(5));
+    assert_eq!(
+        rt.speeds()[manual_slot],
+        1.0,
+        "reconnect is a fresh join: the failed EWMA must restart at the prior, not resurrect"
+    );
+    for body in &stolen {
+        let task = adcnn_core::wire::TileTask::decode(body).expect("stolen task decodes");
+        // The payload never reaches the suffix (its image is retired, so
+        // the demux drops it), it only has to be wire-valid: a tiny
+        // well-formed result keyed to the stolen tile.
+        let q = adcnn_core::compress::Quantizer::new(4, 2.0);
+        let compressed = adcnn_core::compress::compress(&[0.0f32; 4], q);
+        let res = adcnn_core::wire::make_result_from_parts(
+            task.key,
+            [1, 1, 2, 2],
+            4,
+            &compressed.payload,
+            q,
+        );
+        let frame = adcnn_runtime::transport::encode_result_body(&res, 1000, 100);
+        write_frame(&mut manual, TAG_RESULT, &frame).unwrap();
+    }
+    // The speeds must not move: stale results for a retired image never
+    // reach the statistics (RecordRate only fires at image completion,
+    // and no image is in flight).
+    std::thread::sleep(Duration::from_millis(100));
+    assert_eq!(rt.speeds()[manual_slot], 1.0, "stale results resurrected the EWMA");
+
+    // The runtime still works; the manual worker now answers nothing
+    // again, so its allocation keeps flowing to the honest worker.
+    let out = rt.infer(&rand_image(401));
+    assert_eq!(out.zero_filled, 0);
+
+    drop(manual);
+    rt.shutdown();
+    honest.join().unwrap().unwrap();
+}
+
+/// Unix-domain-socket transport end to end (worker thread over a real UDS
+/// connection).
+#[cfg(unix)]
+#[test]
+fn uds_loopback_smoke() {
+    let path = std::env::temp_dir().join(format!("adcnn-uds-{}.sock", std::process::id()));
+    let listener = WorkerListener::bind(&Endpoint::Uds(path.clone())).unwrap();
+    let endpoint = listener.endpoint().clone();
+    let worker = spawn_loopback_worker(endpoint);
+    let mut rt = AdcnnRuntime::launch_remote(
+        spec(),
+        1,
+        RuntimeConfig::default(),
+        listener,
+        Duration::from_secs(10),
+    )
+    .unwrap();
+    let out = rt.infer(&rand_image(500));
+    assert_eq!(out.zero_filled, 0);
+    rt.shutdown();
+    worker.join().unwrap().unwrap();
+    assert!(!path.exists(), "UDS socket file must be cleaned up");
+}
+
+/// The join barrier fails loudly when workers never show up.
+#[test]
+fn launch_remote_times_out_without_workers() {
+    let listener = bind_loopback();
+    match AdcnnRuntime::launch_remote(
+        spec(),
+        2,
+        RuntimeConfig::default(),
+        listener,
+        Duration::from_millis(200),
+    ) {
+        Err(err) => assert_eq!(err.kind(), std::io::ErrorKind::TimedOut),
+        Ok(_) => panic!("launch_remote succeeded with no workers connected"),
+    }
+}

@@ -1,0 +1,134 @@
+//! Multi-process ADCNN: Conv-node workers as real OS processes over
+//! loopback TCP, with a `kill -9` recovery demo.
+//!
+//! The Central node binds a listener, spawns worker *processes* (this
+//! same binary re-executed in the `worker` role — the standalone
+//! `adcnn-conv-worker` binary works identically), and serves images. The
+//! demo then SIGKILLs one worker mid-stream and shows the lifecycle
+//! manager recovering its tiles by re-dispatch — `zero_filled` stays 0 —
+//! and a freshly spawned process rejoining the vacant slot.
+//!
+//! ```sh
+//! cargo run --release --example multi_process
+//! ```
+
+use adcnn::core::fdsp::TileGrid;
+use adcnn::prelude::*;
+use adcnn::runtime::transport::run_worker_retry;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+fn main() {
+    // Worker role: `multi_process worker tcp://127.0.0.1:PORT`. The child
+    // connects, handshakes, rebuilds the model prefix from the WELCOME
+    // spec, and serves tiles until shut down.
+    let args: Vec<String> = std::env::args().collect();
+    if args.len() == 3 && args[1] == "worker" {
+        let endpoint = Endpoint::parse(&args[2]).expect("bad worker endpoint");
+        if let Err(e) = run_worker_retry(&endpoint, 50, Duration::from_millis(100)) {
+            eprintln!("worker {endpoint}: {e}");
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    let smoke = std::env::var_os("MULTI_PROCESS_SMOKE").is_some();
+    let images = if smoke { 4 } else { 12 };
+    let spec = RemoteModelSpec::paper_default(6, 5, TileGrid::new(2, 2));
+
+    // 1. Bind and spawn three worker processes against the ephemeral port.
+    println!("[1/4] spawning 3 Conv-node worker processes over loopback TCP…");
+    let listener = WorkerListener::bind(&Endpoint::parse("tcp://127.0.0.1:0").unwrap()).unwrap();
+    let endpoint = listener.endpoint().clone();
+    let mut children: Vec<Child> = (0..3).map(|_| spawn_worker(&endpoint)).collect();
+    let mut rt = AdcnnRuntime::launch_remote(
+        spec,
+        3,
+        RuntimeConfig::default(),
+        listener,
+        Duration::from_secs(10),
+    )
+    .expect("workers failed to join");
+    println!("      joined: {:?} at {endpoint}", rt.live_workers());
+
+    // An in-process reference cluster on the identical model: remote
+    // serving must be bit-identical to it, image for image.
+    let mut reference = AdcnnRuntime::launch(
+        spec.build(),
+        &[WorkerOptions::default(); 3],
+        RuntimeConfig::default(),
+    );
+
+    // 2. Serve; every output must match the in-process reference exactly.
+    println!("[2/4] serving {images} images, checking against the in-process runtime…");
+    let mut rng = StdRng::seed_from_u64(42);
+    for i in 0..images {
+        let x = Tensor::randn([1, 3, 32, 32], 0.5, &mut rng);
+        let want = reference.infer(&x);
+        let got = rt.infer(&x);
+        assert_eq!(got.output.as_slice(), want.output.as_slice(), "image {i} diverged");
+        assert_eq!(got.zero_filled, 0);
+    }
+    println!("      {images} images bit-identical to in-process serving");
+
+    // 3. kill -9 one worker process and keep serving. The reader thread
+    //    sees the connection die, the slot is marked failed, and every
+    //    in-flight tile is recovered by re-dispatch — no zero-fill, no
+    //    hard timeout.
+    println!("[3/4] kill -9 one worker mid-stream…");
+    children[0].kill().expect("kill worker");
+    children[0].wait().expect("reap worker");
+    let t0 = Instant::now();
+    let mut worst = Duration::ZERO;
+    for i in 0..images {
+        let x = Tensor::randn([1, 3, 32, 32], 0.5, &mut rng);
+        let want = reference.infer(&x);
+        let got = rt.infer(&x);
+        assert_eq!(got.output.as_slice(), want.output.as_slice(), "post-kill image {i} diverged");
+        assert_eq!(got.zero_filled, 0, "a tile was lost to the kill");
+        worst = worst.max(got.latency);
+    }
+    println!(
+        "      {images} images survived (worst latency {:.1} ms, detection+redispatch {:.0} ms)",
+        worst.as_secs_f64() * 1e3,
+        t0.elapsed().as_secs_f64() * 1e3
+    );
+    println!("      live: {:?}  speeds: {:?}", rt.live_workers(), round3(&rt.speeds()));
+
+    // 4. A replacement process connects to the same endpoint and takes
+    //    over the vacant slot as a *fresh* worker: EWMA restarts at the
+    //    fresh-join prior instead of resurrecting the dead incarnation.
+    println!("[4/4] spawning a replacement worker for the vacant slot…");
+    children.push(spawn_worker(&endpoint));
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while rt.live_workers().iter().any(|l| !*l) {
+        assert!(Instant::now() < deadline, "replacement never joined");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    println!("      rejoined: live {:?}  speeds {:?}", rt.live_workers(), round3(&rt.speeds()));
+    let x = Tensor::randn([1, 3, 32, 32], 0.5, &mut rng);
+    let want = reference.infer(&x);
+    let got = rt.infer(&x);
+    assert_eq!(got.output.as_slice(), want.output.as_slice());
+
+    reference.shutdown();
+    rt.shutdown();
+    for mut c in children.drain(1..) {
+        c.wait().expect("worker wait");
+    }
+    println!("done: multi-process serving, kill -9 recovery and rejoin all verified");
+}
+
+fn spawn_worker(endpoint: &Endpoint) -> Child {
+    Command::new(std::env::current_exe().expect("current_exe"))
+        .args(["worker", &endpoint.to_string()])
+        .stdin(Stdio::null())
+        .spawn()
+        .expect("spawn worker process")
+}
+
+fn round3(xs: &[f64]) -> Vec<f64> {
+    xs.iter().map(|x| (x * 1e3).round() / 1e3).collect()
+}

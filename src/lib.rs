@@ -52,6 +52,7 @@ pub mod prelude {
     pub use adcnn_runtime::central::{
         AdcnnRuntime, InferHandle, InferOutcome, RuntimeConfig, RuntimeConfigBuilder,
     };
+    pub use adcnn_runtime::transport::{Endpoint, RemoteModelSpec, WorkerListener};
     pub use adcnn_runtime::worker::{WorkerOptions, WorkerOptionsBuilder};
     pub use adcnn_tensor::Tensor;
 }

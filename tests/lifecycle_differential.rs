@@ -17,7 +17,12 @@ fn policy() -> LifecyclePolicy {
     LifecyclePolicy { t_l: 0.030, ..Default::default() }
 }
 
-/// Replay through both drivers and assert byte-identical decisions.
+/// Replay through all three drivers and assert byte-identical decisions:
+/// the runtime's in-process driver, the simulator's, and the runtime
+/// driver fed through a real loopback-TCP connection (the trace is
+/// serialized as length-prefixed `EVENT` frames, decoded on the far side,
+/// and `Instant`-roundtripped exactly like live transport results). A
+/// socket in the event path may not perturb a single decision.
 fn assert_identical(
     policy: LifecyclePolicy,
     d: usize,
@@ -29,6 +34,10 @@ fn assert_identical(
     let rt = adcnn_runtime::central::replay_lifecycle_trace(policy, d, alloc, speeds, live, trace);
     let sim = adcnn_netsim::replay_lifecycle_trace(policy, d, alloc, speeds, live, trace);
     assert_eq!(rt, sim, "runtime and simulator drivers disagree on a decision sequence");
+    let tcp = adcnn_runtime::transport::replay_lifecycle_trace_loopback(
+        policy, d, alloc, speeds, live, trace,
+    );
+    assert_eq!(rt, tcp, "a loopback-TCP event transport perturbed the decision sequence");
     assert!(!rt.is_empty(), "a non-trivial trace must produce decisions");
     rt
 }
