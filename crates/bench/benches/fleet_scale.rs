@@ -1,0 +1,443 @@
+//! Fleet-scale netsim benchmark: throughput, latency quantiles and
+//! zero-fill across cluster sizes (16 → 256 Conv nodes) and offered load,
+//! plus a churn-on multi-tenant scenario and a bounded-memory
+//! million-request run. Emits `results/BENCH_netsim.json`.
+//!
+//! The document is built with `adcnn_core::obs::json` (not serde), so the
+//! emitted file is identical no matter which serde backs the workspace.
+//! The top-level `fleet` key is load-bearing: ci.sh greps for it.
+//!
+//! `FLEET_SMOKE=1` shrinks every scenario to a seconds-of-wall-time smoke
+//! (the ci.sh entry): the 64-node / 2-model / churn-on scenario still runs
+//! ~50k virtual requests.
+
+use adcnn_bench::{emit_raw_json, print_table, results_dir};
+use adcnn_core::fdsp::TileGrid;
+use adcnn_core::obs::json::{self, array, Obj};
+use adcnn_netsim::{ArrivalSpec, ChurnPlan, FleetConfig, FleetSim, SimNode, TenantSpec};
+use adcnn_nn::cost::DeviceProfile;
+use adcnn_nn::zoo;
+use std::time::Instant;
+
+/// One cluster size in the closed-loop VGG16 sweep.
+struct SizePoint {
+    nodes: usize,
+    requests: usize,
+    throughput_rps: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+    zero_fill_rate: f64,
+    channel_utilization: f64,
+    wall_ms: f64,
+}
+
+impl SizePoint {
+    fn to_json(&self) -> String {
+        Obj::new()
+            .u64("nodes", self.nodes as u64)
+            .u64("requests", self.requests as u64)
+            .f64("throughput_rps", self.throughput_rps)
+            .f64("p50_ms", self.p50_ms)
+            .f64("p99_ms", self.p99_ms)
+            .f64("zero_fill_rate", self.zero_fill_rate)
+            .f64("channel_utilization", self.channel_utilization)
+            .f64("wall_ms", self.wall_ms)
+            .finish()
+    }
+}
+
+/// One offered-load level in the Poisson sweep at fixed cluster size.
+struct LoadPoint {
+    load_factor: f64,
+    offered_rps: f64,
+    throughput_rps: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+    mean_queue_wait_ms: f64,
+    zero_fill_rate: f64,
+}
+
+impl LoadPoint {
+    fn to_json(&self) -> String {
+        Obj::new()
+            .f64("load_factor", self.load_factor)
+            .f64("offered_rps", self.offered_rps)
+            .f64("throughput_rps", self.throughput_rps)
+            .f64("p50_ms", self.p50_ms)
+            .f64("p99_ms", self.p99_ms)
+            .f64("mean_queue_wait_ms", self.mean_queue_wait_ms)
+            .f64("zero_fill_rate", self.zero_fill_rate)
+            .finish()
+    }
+}
+
+/// Two models sharing a churning 64-node cluster under open-loop load.
+struct TenantScenario {
+    nodes: usize,
+    requests_total: u64,
+    churn: bool,
+    events_processed: u64,
+    peak_events_pending: u64,
+    throughput_rps: f64,
+    p99_ms: f64,
+    tenants: Vec<TenantPoint>,
+    wall_ms: f64,
+}
+
+struct TenantPoint {
+    name: String,
+    weight: f64,
+    requests: u64,
+    p50_ms: f64,
+    p99_ms: f64,
+    mean_queue_wait_ms: f64,
+    zero_fill_rate: f64,
+}
+
+impl TenantScenario {
+    fn to_json(&self) -> String {
+        Obj::new()
+            .u64("nodes", self.nodes as u64)
+            .u64("requests_total", self.requests_total)
+            .bool("churn", self.churn)
+            .u64("events_processed", self.events_processed)
+            .u64("peak_events_pending", self.peak_events_pending)
+            .f64("throughput_rps", self.throughput_rps)
+            .f64("p99_ms", self.p99_ms)
+            .raw(
+                "tenants",
+                array(self.tenants.iter().map(|t| {
+                    Obj::new()
+                        .str("name", &t.name)
+                        .f64("weight", t.weight)
+                        .u64("requests", t.requests)
+                        .f64("p50_ms", t.p50_ms)
+                        .f64("p99_ms", t.p99_ms)
+                        .f64("mean_queue_wait_ms", t.mean_queue_wait_ms)
+                        .f64("zero_fill_rate", t.zero_fill_rate)
+                        .finish()
+                })),
+            )
+            .f64("wall_ms", self.wall_ms)
+            .finish()
+    }
+}
+
+/// Million-request run with per-image retention off: peak RSS stays flat,
+/// the streaming aggregates carry the whole latency surface.
+struct MemoryRun {
+    requests: usize,
+    events_processed: u64,
+    peak_events_pending: u64,
+    retained_images: usize,
+    peak_rss_mib: Option<f64>,
+    wall_ms: f64,
+}
+
+impl MemoryRun {
+    fn to_json(&self) -> String {
+        Obj::new()
+            .u64("requests", self.requests as u64)
+            .u64("events_processed", self.events_processed)
+            .u64("peak_events_pending", self.peak_events_pending)
+            .u64("retained_images", self.retained_images as u64)
+            .raw("peak_rss_mib", self.peak_rss_mib.map_or("null".into(), |m| format!("{m:.1}")))
+            .f64("wall_ms", self.wall_ms)
+            .finish()
+    }
+}
+
+fn pis(k: usize) -> Vec<SimNode> {
+    (0..k).map(|_| SimNode::pi()).collect()
+}
+
+fn ms(s: Option<f64>) -> f64 {
+    s.unwrap_or(0.0) * 1e3
+}
+
+/// Peak resident set (VmHWM) of this process, MiB, where /proc exists.
+fn peak_rss_mib() -> Option<f64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: f64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb / 1024.0)
+}
+
+fn size_point(nodes: usize, requests: usize) -> SizePoint {
+    let mut tenant = TenantSpec::new(zoo::vgg16());
+    tenant.requests = requests;
+    // 16×16 tiles so even the 256-node fleet has one tile per node; a
+    // V100-class central keeps the suffix stage off the critical path so
+    // the sweep measures the Conv fleet, not the aggregator.
+    tenant.grid = TileGrid::new(16, 16);
+    let mut cfg = FleetConfig::new(pis(nodes), vec![tenant]);
+    cfg.central = DeviceProfile::cloud_v100();
+    cfg.pipeline_depth = 4;
+    let wall = Instant::now();
+    let fs = FleetSim::new(cfg).run();
+    let wall_ms = wall.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(fs.completed as usize, requests);
+    SizePoint {
+        nodes,
+        requests,
+        throughput_rps: fs.throughput_rps(),
+        p50_ms: ms(fs.p50_latency_s()),
+        p99_ms: ms(fs.p99_latency_s()),
+        zero_fill_rate: fs.zero_fill_rate(),
+        channel_utilization: fs.channel_utilization,
+        wall_ms,
+    }
+}
+
+fn load_point(nodes: usize, requests: usize, capacity_rps: f64, load: f64) -> LoadPoint {
+    let offered = capacity_rps * load;
+    let mut tenant = TenantSpec::new(zoo::vgg16());
+    tenant.requests = requests;
+    tenant.grid = TileGrid::new(16, 16);
+    tenant.arrivals = ArrivalSpec::Poisson { rate_per_s: offered };
+    let mut cfg = FleetConfig::new(pis(nodes), vec![tenant]);
+    cfg.central = DeviceProfile::cloud_v100();
+    cfg.pipeline_depth = 4;
+    let fs = FleetSim::new(cfg).run();
+    assert_eq!(fs.completed as usize, requests);
+    let t = &fs.tenants[0];
+    LoadPoint {
+        load_factor: load,
+        offered_rps: offered,
+        throughput_rps: fs.throughput_rps(),
+        p50_ms: ms(fs.p50_latency_s()),
+        p99_ms: ms(fs.p99_latency_s()),
+        mean_queue_wait_ms: t.mean_queue_wait_s() * 1e3,
+        zero_fill_rate: fs.zero_fill_rate(),
+    }
+}
+
+/// The headline scenario (and ci.sh's smoke): 64 nodes, two models at 2:1
+/// weights under Poisson load, join/leave churn plus a diurnal capacity
+/// curve on every node.
+fn multi_tenant(requests_each: usize) -> TenantScenario {
+    let nodes_n = 64;
+    // Calibrate offered load against the churn-free closed-loop capacity
+    // so the open-loop scenario is busy but stable.
+    let mut cal = TenantSpec::new(zoo::vgg16());
+    cal.grid = TileGrid::new(4, 4);
+    cal.requests = 2_000;
+    let mut cal_cfg = FleetConfig::new(pis(nodes_n), vec![cal]);
+    cal_cfg.pipeline_depth = 4;
+    let capacity = FleetSim::new(cal_cfg).run().throughput_rps();
+
+    let mut a = TenantSpec::new(zoo::vgg16());
+    a.grid = TileGrid::new(4, 4);
+    a.weight = 2.0;
+    a.requests = requests_each;
+    a.arrivals = ArrivalSpec::Poisson { rate_per_s: capacity * 0.6 };
+    let mut b = TenantSpec::new(zoo::resnet34());
+    b.grid = TileGrid::new(4, 4);
+    b.weight = 1.0;
+    b.requests = requests_each;
+    b.arrivals = ArrivalSpec::Poisson { rate_per_s: capacity * 0.3 };
+
+    let horizon = requests_each as f64 / (capacity * 0.3) * 1.5;
+    let mut nodes = pis(nodes_n);
+    ChurnPlan::new(horizon, 2024)
+        .join_leave(horizon / 8.0, horizon / 40.0)
+        .diurnal(horizon / 4.0, 0.5)
+        .apply(&mut nodes);
+
+    let mut cfg = FleetConfig::new(nodes, vec![a, b]);
+    cfg.pipeline_depth = 4;
+    cfg.seed = 7;
+    let wall = Instant::now();
+    let fs = FleetSim::new(cfg).run();
+    let wall_ms = wall.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(fs.completed as usize, 2 * requests_each);
+
+    TenantScenario {
+        nodes: nodes_n,
+        requests_total: fs.completed,
+        churn: true,
+        events_processed: fs.events_processed,
+        peak_events_pending: fs.peak_events_pending,
+        throughput_rps: fs.throughput_rps(),
+        p99_ms: ms(fs.p99_latency_s()),
+        tenants: fs
+            .tenants
+            .iter()
+            .map(|t| TenantPoint {
+                name: t.name.clone(),
+                weight: t.weight,
+                requests: t.requests,
+                p50_ms: ms(t.p50_latency_s()),
+                p99_ms: ms(t.p99_latency_s()),
+                mean_queue_wait_ms: t.mean_queue_wait_s() * 1e3,
+                zero_fill_rate: t.zero_fill_rate(),
+            })
+            .collect(),
+        wall_ms,
+    }
+}
+
+fn bounded_memory(requests: usize) -> MemoryRun {
+    let mut tenant = TenantSpec::new(zoo::vgg16());
+    tenant.grid = TileGrid::new(2, 2);
+    tenant.requests = requests;
+    let mut cfg = FleetConfig::new(pis(4), vec![tenant]);
+    cfg.pipeline_depth = 4;
+    // retain_images defaults to 0: no per-image records at all.
+    let wall = Instant::now();
+    let fs = FleetSim::new(cfg).run();
+    let wall_ms = wall.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(fs.completed as usize, requests);
+    assert!(fs.retained.is_empty(), "retention off must keep no per-image records");
+    assert_eq!(fs.latency_us.count as usize, requests, "aggregates must see every request");
+    let rss = peak_rss_mib();
+    if let Some(mib) = rss {
+        assert!(
+            mib < 512.0,
+            "peak RSS {mib:.0} MiB — per-request state is leaking into the {requests}-request run"
+        );
+    }
+    MemoryRun {
+        requests,
+        events_processed: fs.events_processed,
+        peak_events_pending: fs.peak_events_pending,
+        retained_images: fs.retained.len(),
+        peak_rss_mib: rss,
+        wall_ms,
+    }
+}
+
+fn main() {
+    let smoke = std::env::var("FLEET_SMOKE").is_ok();
+    let (size_req, load_req, mt_each, mem_req) =
+        if smoke { (300, 400, 25_000, 100_000) } else { (1_200, 1_500, 60_000, 1_000_000) };
+
+    let sizes = [16usize, 64, 128, 256];
+    let size_sweep: Vec<SizePoint> = sizes.iter().map(|&k| size_point(k, size_req)).collect();
+    print_table(
+        "Fleet size sweep — closed-loop VGG16, depth 4",
+        &["nodes", "req/s", "p50 (ms)", "p99 (ms)", "zero-fill", "chan util", "wall (ms)"],
+        &size_sweep
+            .iter()
+            .map(|p| {
+                vec![
+                    p.nodes.to_string(),
+                    format!("{:.2}", p.throughput_rps),
+                    format!("{:.1}", p.p50_ms),
+                    format!("{:.1}", p.p99_ms),
+                    format!("{:.4}", p.zero_fill_rate),
+                    format!("{:.3}", p.channel_utilization),
+                    format!("{:.0}", p.wall_ms),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    for p in &size_sweep {
+        assert!(p.throughput_rps > 0.0);
+        assert!(p.p99_ms >= p.p50_ms, "p99 {} < p50 {} at k={}", p.p99_ms, p.p50_ms, p.nodes);
+        assert!(
+            p.zero_fill_rate < 0.01,
+            "healthy closed-loop cluster dropped tiles: {} at k={}",
+            p.zero_fill_rate,
+            p.nodes
+        );
+    }
+    // Scaling up a link-shared fleet must never cost throughput.
+    assert!(
+        size_sweep.last().unwrap().throughput_rps >= size_sweep[0].throughput_rps * 0.95,
+        "throughput regressed as the fleet grew"
+    );
+
+    // Offered-load sweep at 64 nodes, rates anchored to measured capacity.
+    let capacity = size_sweep[1].throughput_rps;
+    let load_sweep: Vec<LoadPoint> =
+        [0.5, 0.8, 1.0, 1.2].iter().map(|&l| load_point(64, load_req, capacity, l)).collect();
+    print_table(
+        "Offered-load sweep — 64 nodes, Poisson arrivals",
+        &["load", "offered r/s", "served r/s", "p50 (ms)", "p99 (ms)", "queue wait (ms)"],
+        &load_sweep
+            .iter()
+            .map(|p| {
+                vec![
+                    format!("{:.1}x", p.load_factor),
+                    format!("{:.2}", p.offered_rps),
+                    format!("{:.2}", p.throughput_rps),
+                    format!("{:.1}", p.p50_ms),
+                    format!("{:.1}", p.p99_ms),
+                    format!("{:.1}", p.mean_queue_wait_ms),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    let (under, over) = (&load_sweep[0], &load_sweep[3]);
+    assert!(
+        over.mean_queue_wait_ms > under.mean_queue_wait_ms,
+        "overload must queue more than underload: {} vs {}",
+        over.mean_queue_wait_ms,
+        under.mean_queue_wait_ms
+    );
+
+    let mt = multi_tenant(mt_each);
+    print_table(
+        "Multi-tenant churn scenario — 64 nodes, join/leave + diurnal",
+        &["tenant", "weight", "requests", "p50 (ms)", "p99 (ms)", "queue wait (ms)", "zero-fill"],
+        &mt.tenants
+            .iter()
+            .map(|t| {
+                vec![
+                    t.name.clone(),
+                    format!("{:.0}", t.weight),
+                    t.requests.to_string(),
+                    format!("{:.1}", t.p50_ms),
+                    format!("{:.1}", t.p99_ms),
+                    format!("{:.1}", t.mean_queue_wait_ms),
+                    format!("{:.4}", t.zero_fill_rate),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    println!(
+        "multi-tenant: {} requests over {} nodes (churn {}), {} events ({} peak pending), \
+         {:.2} req/s, p99 {:.1} ms, wall {:.1} s",
+        mt.requests_total,
+        mt.nodes,
+        if mt.churn { "on" } else { "off" },
+        mt.events_processed,
+        mt.peak_events_pending,
+        mt.throughput_rps,
+        mt.p99_ms,
+        mt.wall_ms / 1e3,
+    );
+
+    let mem = bounded_memory(mem_req);
+    println!(
+        "bounded memory: {} requests, {} events ({} peak pending), {} retained, \
+         peak RSS {} MiB, {:.1} s wall",
+        mem.requests,
+        mem.events_processed,
+        mem.peak_events_pending,
+        mem.retained_images,
+        mem.peak_rss_mib.map_or("n/a".into(), |m| format!("{m:.0}")),
+        mem.wall_ms / 1e3,
+    );
+
+    let doc = Obj::new()
+        .raw(
+            "fleet",
+            Obj::new()
+                .bool("smoke", smoke)
+                .raw("size_sweep", array(size_sweep.iter().map(|p| p.to_json())))
+                .raw("load_sweep", array(load_sweep.iter().map(|p| p.to_json())))
+                .raw("multi_tenant", mt.to_json())
+                .raw("bounded_memory", mem.to_json())
+                .finish(),
+        )
+        .finish();
+    // The emitted record is machine-read downstream: fail the bench (and
+    // ci.sh with it) if the JSON on disk is not well formed.
+    assert!(json::is_well_formed(&doc), "malformed fleet document:\n{doc}");
+    emit_raw_json("BENCH_netsim", &doc);
+    let written = std::fs::read_to_string(results_dir().join("BENCH_netsim.json"))
+        .expect("BENCH_netsim.json was just written");
+    assert!(json::is_well_formed(&written), "malformed BENCH_netsim.json:\n{written}");
+}

@@ -57,6 +57,16 @@ pub fn emit_json<T: Serialize>(name: &str, value: &T) {
     println!("[written {path:?}]");
 }
 
+/// Write a pre-rendered JSON document to `results/<name>.json`.
+///
+/// For harnesses that build their document with `adcnn_core::obs::json`
+/// instead of serde — same destination and logging as [`emit_json`].
+pub fn emit_raw_json(name: &str, json: &str) {
+    let path = results_dir().join(format!("{name}.json"));
+    fs::write(&path, json).expect("write experiment json");
+    println!("[written {path:?}]");
+}
+
 /// Format seconds as milliseconds with 1 decimal.
 pub fn ms(s: f64) -> String {
     format!("{:.1}", s * 1e3)

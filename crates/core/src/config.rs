@@ -44,6 +44,17 @@ pub enum ConfigError {
     ZeroPipelineDepth,
     /// A zero-capacity intake queue rejects every submit.
     ZeroIntakeCap,
+    /// An open-loop arrival process needs a positive rate.
+    NonPositiveArrivalRate(f64),
+    /// A bursty arrival process needs positive mean dwell times in both
+    /// states.
+    NonPositiveDwell(f64),
+    /// A replayed arrival trace must be time-sorted and nonnegative.
+    UnsortedArrivalTrace,
+    /// A tenant's fair-share weight must be positive and finite.
+    NonPositiveTenantWeight(f64),
+    /// A fleet simulation needs at least one tenant.
+    NoTenants,
 }
 
 impl std::fmt::Display for ConfigError {
@@ -84,6 +95,21 @@ impl std::fmt::Display for ConfigError {
             }
             ConfigError::ZeroIntakeCap => {
                 write!(f, "intake_cap must be >= 1")
+            }
+            ConfigError::NonPositiveArrivalRate(v) => {
+                write!(f, "arrival rate must be > 0 (got {v})")
+            }
+            ConfigError::NonPositiveDwell(v) => {
+                write!(f, "MMPP mean dwell times must be > 0 (got {v})")
+            }
+            ConfigError::UnsortedArrivalTrace => {
+                write!(f, "arrival trace must be time-sorted and nonnegative")
+            }
+            ConfigError::NonPositiveTenantWeight(v) => {
+                write!(f, "tenant weight must be positive and finite (got {v})")
+            }
+            ConfigError::NoTenants => {
+                write!(f, "at least one tenant is required")
             }
         }
     }

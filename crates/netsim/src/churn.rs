@@ -1,0 +1,209 @@
+//! Node churn: join/leave schedules and diurnal speed curves, layered on
+//! the existing [`ThrottleSchedule`](crate::ThrottleSchedule)
+//! (`SpeedSchedule`) mechanism.
+//!
+//! A [`ChurnPlan`] is a *generator* of per-node speed schedules: a diurnal
+//! capacity curve (edge nodes share CPUs with foreground workloads that
+//! follow the day), an exponential up/down join/leave process (nodes
+//! disappear and return), or both composed. The plan is seeded — node `n`
+//! of a plan always gets the same schedule — and purely additive: it
+//! *composes* with whatever throttle a node already has (multipliers
+//! multiply), so operator-injected faults like
+//! `ThrottleSchedule::throttle_at(t, 0.0)` stack with churn instead of
+//! being overwritten.
+//!
+//! Death and revival are what the fleet driver consumes: each schedule's
+//! `dead_transitions` become churn events that maintain an indexed
+//! dead-set instead of re-walking every node's schedule at every timer,
+//! and a revived node re-enters Algorithm 2 through the same fresh-join
+//! prior the real runtime applies on reconnect.
+
+use crate::cluster::SimNode;
+use crate::engine::SpeedSchedule;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Seeded generator of per-node churn schedules. Build one with
+/// [`ChurnPlan::new`], add layers, then [`ChurnPlan::apply`] it to a
+/// roster (or ask for a single node's schedule with
+/// [`ChurnPlan::schedule_for`]).
+#[derive(Clone, Debug)]
+pub struct ChurnPlan {
+    horizon_s: f64,
+    seed: u64,
+    diurnal: Option<(f64, f64)>,
+    join_leave: Option<(f64, f64)>,
+}
+
+/// Samples per diurnal period: the piecewise-constant approximation of
+/// the raised-cosine day curve ("hourly" at 24).
+const DIURNAL_STEPS: usize = 24;
+
+impl ChurnPlan {
+    /// An empty plan covering `[0, horizon_s)` of virtual time. `seed`
+    /// (with the node index) fully determines every schedule.
+    pub fn new(horizon_s: f64, seed: u64) -> Self {
+        assert!(horizon_s > 0.0, "horizon must be positive");
+        ChurnPlan { horizon_s, seed, diurnal: None, join_leave: None }
+    }
+
+    /// Layer a diurnal speed curve: capacity swings between full speed at
+    /// the peak and `trough` (in `(0, 1]`) at the valley over `period_s`,
+    /// as a raised cosine sampled at [`DIURNAL_STEPS`] points per period.
+    /// Each node gets a seeded random phase so the fleet's valleys do not
+    /// all align (no thundering-herd artifact).
+    pub fn diurnal(mut self, period_s: f64, trough: f64) -> Self {
+        assert!(period_s > 0.0, "period must be positive");
+        assert!(trough > 0.0 && trough <= 1.0, "trough must be in (0, 1]");
+        self.diurnal = Some((period_s, trough));
+        self
+    }
+
+    /// Layer an exponential join/leave process: each node alternates
+    /// between up (mean `mean_up_s`) and down (mean `mean_down_s`)
+    /// periods; down means multiplier 0, i.e. dead until it rejoins.
+    /// Nodes start up.
+    pub fn join_leave(mut self, mean_up_s: f64, mean_down_s: f64) -> Self {
+        assert!(mean_up_s > 0.0 && mean_down_s > 0.0, "mean dwell times must be positive");
+        self.join_leave = Some((mean_up_s, mean_down_s));
+        self
+    }
+
+    /// The churn schedule this plan assigns to node `node` — deterministic
+    /// in `(seed, node)`, independent of how many nodes exist.
+    pub fn schedule_for(&self, node: usize) -> SpeedSchedule {
+        // Distinct, well-separated streams per node: splitmix-style odd
+        // multiplier keeps node streams uncorrelated under the stub and
+        // the real StdRng alike.
+        let node_seed = self.seed ^ (node as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let mut rng = StdRng::seed_from_u64(node_seed);
+        let mut sched = SpeedSchedule::constant();
+        if let Some((period, trough)) = self.diurnal {
+            sched = sched.compose(&self.diurnal_schedule(period, trough, &mut rng));
+        }
+        if let Some((up, down)) = self.join_leave {
+            sched = sched.compose(&self.join_leave_schedule(up, down, &mut rng));
+        }
+        sched
+    }
+
+    /// Compose every node's churn schedule into the roster's existing
+    /// throttles (operator faults stack with churn).
+    pub fn apply(&self, nodes: &mut [SimNode]) {
+        for (n, node) in nodes.iter_mut().enumerate() {
+            node.throttle = node.throttle.compose(&self.schedule_for(n));
+        }
+    }
+
+    fn diurnal_schedule(&self, period: f64, trough: f64, rng: &mut StdRng) -> SpeedSchedule {
+        let phase: f64 = rng.gen_range(0.0..period);
+        let step = period / DIURNAL_STEPS as f64;
+        let steps_total = (self.horizon_s / step).ceil() as usize + 1;
+        let mut points = Vec::with_capacity(steps_total);
+        for i in 0..steps_total {
+            let t = i as f64 * step;
+            // Raised cosine: 1.0 at phase 0, `trough` half a period later.
+            let x = (t + phase) / period * std::f64::consts::TAU;
+            let mult = trough + (1.0 - trough) * (0.5 + 0.5 * x.cos());
+            points.push((t, mult));
+        }
+        SpeedSchedule::from_points(points)
+    }
+
+    fn join_leave_schedule(&self, up: f64, down: f64, rng: &mut StdRng) -> SpeedSchedule {
+        let mut points = Vec::new();
+        let mut t = 0.0;
+        let exp = |rng: &mut StdRng, mean: f64| {
+            let u: f64 = rng.gen();
+            -mean * (1.0 - u).ln()
+        };
+        loop {
+            t += exp(rng, up);
+            if t >= self.horizon_s {
+                break;
+            }
+            let dead_until = t + exp(rng, down);
+            points.push((t, 0.0));
+            if dead_until >= self.horizon_s {
+                break;
+            }
+            points.push((dead_until, 1.0));
+            t = dead_until;
+        }
+        SpeedSchedule::from_points(points)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_is_deterministic_per_node() {
+        let p = ChurnPlan::new(1000.0, 42).diurnal(100.0, 0.3).join_leave(200.0, 20.0);
+        let a = p.schedule_for(3);
+        let b = p.schedule_for(3);
+        for &t in &[0.0, 17.0, 99.5, 512.0, 999.0] {
+            assert_eq!(a.multiplier_at(t), b.multiplier_at(t));
+        }
+        // distinct nodes get distinct streams
+        let c = p.schedule_for(4);
+        let differs =
+            (0..100).any(|i| a.multiplier_at(i as f64 * 10.0) != c.multiplier_at(i as f64 * 10.0));
+        assert!(differs, "nodes 3 and 4 got identical churn");
+    }
+
+    #[test]
+    fn diurnal_stays_within_trough_and_peak() {
+        let p = ChurnPlan::new(500.0, 7).diurnal(100.0, 0.25);
+        let s = p.schedule_for(0);
+        for i in 0..500 {
+            let m = s.multiplier_at(i as f64);
+            assert!(
+                (0.25..=1.0 + 1e-12).contains(&m),
+                "multiplier {m} outside [trough, 1] at t={i}"
+            );
+        }
+        // the curve actually moves
+        let lo = (0..500).map(|i| s.multiplier_at(i as f64)).fold(f64::INFINITY, f64::min);
+        let hi = (0..500).map(|i| s.multiplier_at(i as f64)).fold(0.0, f64::max);
+        assert!(hi - lo > 0.5, "diurnal curve is flat: {lo}..{hi}");
+        // a pure diurnal plan never kills a node
+        assert!(s.dead_transitions().is_empty());
+    }
+
+    #[test]
+    fn join_leave_produces_death_and_revival() {
+        let p = ChurnPlan::new(10_000.0, 11).join_leave(100.0, 30.0);
+        // across a fleet, someone must die and someone must revive
+        let mut deaths = 0;
+        let mut revivals = 0;
+        for n in 0..16 {
+            for (_, dead) in p.schedule_for(n).dead_transitions() {
+                if dead {
+                    deaths += 1;
+                } else {
+                    revivals += 1;
+                }
+            }
+        }
+        assert!(deaths > 0, "no node ever left");
+        assert!(revivals > 0, "no node ever rejoined");
+        assert!(revivals <= deaths, "revival without a preceding death");
+    }
+
+    #[test]
+    fn apply_composes_with_existing_faults() {
+        let p = ChurnPlan::new(100.0, 5).diurnal(50.0, 0.5);
+        let mut nodes = vec![SimNode::pi(), SimNode::pi()];
+        // operator kills node 1 at t=10 — churn must not resurrect it
+        nodes[1].throttle = SpeedSchedule::throttle_at(10.0, 0.0);
+        p.apply(&mut nodes);
+        assert!(nodes[1].throttle.is_dead_at(10.0));
+        assert!(nodes[1].throttle.is_dead_at(99.0));
+        assert!(!nodes[0].throttle.is_dead_at(99.0));
+        // node 0 carries the diurnal curve
+        let flat = (0..100).all(|i| nodes[0].throttle.multiplier_at(i as f64) == 1.0);
+        assert!(!flat, "churn was not applied");
+    }
+}

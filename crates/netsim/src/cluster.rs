@@ -20,14 +20,18 @@
 //! All tile-lifecycle *decisions* — deadlines, re-dispatch, zero-fill,
 //! the Algorithm 2 measurement cutoff — come from the shared sans-IO
 //! state machine, [`adcnn_core::lifecycle::TileLifecycle`], the exact
-//! code the real runtime (`adcnn-runtime`) drives. This module is the
-//! simulated-time *driver*: it feeds the machine its own event
-//! timestamps directly (the machine's abstract seconds ARE simulated
-//! seconds), turns [`Action`]s into modeled channel transfers and event
-//! pushes, and never cancels timers (the machine ignores stale ones).
-//! Because both drivers share one machine, a deployment plan validated in
-//! this simulator executes under the same decision logic on the real
-//! system. See DESIGN.md §11 for the policy/mechanism split.
+//! code the real runtime (`adcnn-runtime`) drives. The simulated-time
+//! *driver* lives in [`crate::fleet`]: it feeds the machine its own
+//! event timestamps directly (the machine's abstract seconds ARE
+//! simulated seconds), turns actions into modeled channel transfers and
+//! event pushes, and never cancels timers (the machine ignores stale
+//! ones). [`AdcnnSim`] is the single-model front door: a thin wrapper
+//! that runs a one-tenant, closed-loop, full-retention fleet and
+//! reshapes the result into the historical [`SimSummary`]. Because both
+//! drivers share one machine, a deployment plan validated in this
+//! simulator executes under the same decision logic on the real system.
+//! See DESIGN.md §11 for the policy/mechanism split and §16 for the
+//! fleet engine.
 //!
 //! **Timeout-policy substitution.** The paper arms a `T_L = 30 ms` timer
 //! when an image's tiles finish sending; taken literally that deadline
@@ -43,19 +47,17 @@
 //! Algorithm 2 statistics exactly as §6.3 describes. The literal reading
 //! remains available as [`TimerPolicy::AfterSend`] for comparison.
 
-use crate::engine::{EventQueue, FifoResource, SpeedSchedule, ThrottledCpu};
+use crate::arrivals::ArrivalSpec;
+use crate::engine::SpeedSchedule;
+use crate::fleet::{FleetConfig, FleetSim};
 use crate::profiles::LinkParams;
-use adcnn_core::compress::wire_bits_estimate;
+use crate::tenancy::TenantSpec;
 use adcnn_core::config::ConfigError;
 use adcnn_core::fdsp::TileGrid;
-use adcnn_core::lifecycle::{Action, Event, TileLifecycle};
-use adcnn_core::obs::{ObsEvent, RecordingSink, SinkHandle};
-use adcnn_core::sched::{StatsCollector, TileAllocator};
-use adcnn_core::wire::HEADER_BITS;
-use adcnn_nn::cost::{prefix_weight_load_s, suffix_time_s, tile_prefix_time_s, DeviceProfile};
+use adcnn_core::lifecycle::{Event, TileLifecycle};
+use adcnn_core::obs::{HistogramSnapshot, RecordingSink, SinkHandle};
+use adcnn_nn::cost::DeviceProfile;
 use adcnn_nn::zoo::ModelSpec;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
 /// Re-export: the shared lifecycle knobs and timer interpretations, the
@@ -343,6 +345,12 @@ pub struct SimSummary {
     pub sim_end_s: f64,
     /// Fraction of `sim_end_s` the shared channel was busy.
     pub channel_utilization: f64,
+    /// Streaming log2 histogram of end-to-end latencies, microseconds —
+    /// the fleet engine's O(1)-memory aggregate, maintained even when
+    /// per-image retention is disabled. Quantiles read from it are
+    /// accurate to within one histogram bucket (a factor of 2).
+    #[serde(default)]
+    pub latency_hist_us: HistogramSnapshot,
 }
 
 impl SimSummary {
@@ -353,68 +361,18 @@ impl SimSummary {
         let tail = &self.images[half..];
         tail.iter().map(|i| i.latency_s).sum::<f64>() / tail.len().max(1) as f64
     }
-}
 
-enum Ev {
-    Admit {
-        img: usize,
-    },
-    /// Stream the next pending input tile of `img` onto the channel. Tiles
-    /// go out one at a time so that result transfers interleave fairly with
-    /// the next image's tile distribution (WiFi is packet-interleaved, not
-    /// message-exclusive).
-    SendNext {
-        img: usize,
-    },
-    TileArrive {
-        img: usize,
-        node: usize,
-        tile: usize,
-        original: bool,
-    },
-    ComputeDone {
-        img: usize,
-        node: usize,
-        tile: usize,
-    },
-    ResultArrive {
-        img: usize,
-        node: usize,
-        tile: usize,
-    },
-    /// A timer the driver armed. The lifecycle machine decides whether it
-    /// is live or stale — the driver never cancels timers.
-    Timer {
-        img: usize,
-    },
-    SuffixDone {
-        img: usize,
-    },
-}
+    /// Streaming median latency, seconds (within one histogram bucket of
+    /// the exact sorted-latency median).
+    pub fn p50_latency_s(&self) -> Option<f64> {
+        self.latency_hist_us.p50().map(|us| us / 1e6)
+    }
 
-/// Driver-side bookkeeping for one in-flight image. Everything that is a
-/// *decision* (tile ownership, dedup, deadlines, re-dispatch rounds,
-/// drop/late/duplicate counters) lives in `lc`; this struct only tracks
-/// the modeled transport and the measurement surface.
-struct ImageState {
-    admitted_at: f64,
-    lc: TileLifecycle,
-    /// Tiles placed by the allocator (`Σ alloc`).
-    tiles_total: u32,
-    /// Original tiles that reached their node — the Figure 9 admission
-    /// gate (image `i+1` is eligible once image `i`'s tiles are on their
-    /// nodes).
-    tiles_arrived: u32,
-    /// `(tile, destination)` of each not-yet-sent tile, in the machine's
-    /// round-robin dispatch order.
-    send_queue: Vec<(usize, usize)>,
-    send_pos: usize,
-    sent_done: f64,
-    send_busy: f64,
-    result_busy: f64,
-    first_compute_start: f64,
-    last_compute_end: f64,
-    suffix_s: f64,
+    /// Streaming p99 latency, seconds (within one histogram bucket of the
+    /// exact sorted-latency p99).
+    pub fn p99_latency_s(&self) -> Option<f64> {
+        self.latency_hist_us.p99().map(|us| us / 1e6)
+    }
 }
 
 /// The simulator. Construct with a config, call [`AdcnnSim::run`].
@@ -433,462 +391,61 @@ impl AdcnnSim {
     }
 
     /// Execute the full run and return the summary.
+    ///
+    /// Since the fleet refactor this is a thin wrapper: the run executes
+    /// as a one-tenant, closed-loop, no-churn [`FleetSim`] with full
+    /// per-image retention, and the streaming fleet aggregates are
+    /// reshaped into the historical summary. The decision trace, every
+    /// timestamp, and every statistic are byte-identical to the
+    /// pre-refactor monolithic loop (pinned by the golden differential
+    /// tests in `tests/fleet_differential.rs`).
     pub fn run(&self) -> SimSummary {
         let cfg = &self.cfg;
-        let k = cfg.nodes.len();
-        let d = cfg.grid.tiles();
-        let model = &cfg.model;
-
-        // --- precomputed sizes and works -------------------------------
-        let tile_in_bits = model.input_wire_bits() / d as u64 + HEADER_BITS;
-        let (oc, oh, ow) = model.block_inputs()[cfg.prefix];
-        let tile_out_elems = ((oc * oh * ow) / d).max(1) as u64;
-        let tile_out_bits = match cfg.compression {
-            Some(sparsity) => {
-                wire_bits_estimate(tile_out_elems, sparsity, cfg.quant_bits) + HEADER_BITS
-            }
-            None => tile_out_elems * 32 + HEADER_BITS,
+        let tenant = TenantSpec {
+            name: cfg.model.name.clone(),
+            model: cfg.model.clone(),
+            grid: cfg.grid,
+            prefix: cfg.prefix,
+            policy: cfg.policy,
+            gamma: cfg.gamma,
+            compression: cfg.compression,
+            quant_bits: cfg.quant_bits,
+            adaptive: cfg.adaptive,
+            weight: 1.0,
+            arrivals: ArrivalSpec::ClosedLoop,
+            requests: cfg.images,
         };
-        let tile_work: Vec<f64> = cfg
-            .nodes
-            .iter()
-            .map(|n| {
-                tile_prefix_time_s(model, cfg.prefix, (cfg.grid.rows, cfg.grid.cols), &n.profile)
-            })
-            .collect();
-        // Streaming the prefix weights is paid once per image per node, on
-        // that node's first tile of the image.
-        let weight_load: Vec<f64> =
-            cfg.nodes.iter().map(|n| prefix_weight_load_s(model, cfg.prefix, &n.profile)).collect();
-        let mut node_loaded_img: Vec<usize> = vec![usize::MAX; k];
-        // Central work: reassembly/decompression streams the gathered
-        // results, then the suffix layers run.
-        let gather_bytes = (tile_out_bits * d as u64) / 8 + (oc * oh * ow) as u64 * 4;
-        let suffix_work = suffix_time_s(model, cfg.prefix, &cfg.central)
-            + gather_bytes as f64 / cfg.central.mem_bytes_per_sec;
-        let partition_work = model.input_bits() as f64 / 8.0 / cfg.central.mem_bytes_per_sec;
-
-        // --- live state --------------------------------------------------
-        let mut queue: EventQueue<Ev> = EventQueue::new();
-        let mut channel = FifoResource::new();
-        let mut central_cpu = ThrottledCpu::new(SpeedSchedule::constant());
-        let mut node_cpus: Vec<ThrottledCpu> =
-            cfg.nodes.iter().map(|n| ThrottledCpu::new(n.throttle.clone())).collect();
-        let mut stats = StatsCollector::new(k, cfg.gamma);
-        let allocator = TileAllocator::with_storage(
-            tile_in_bits.max(1),
-            cfg.nodes.iter().map(|n| n.storage_bits).collect(),
-        );
-        let mut rng = StdRng::seed_from_u64(cfg.seed);
-        let mut img_states: Vec<Option<ImageState>> = (0..cfg.images).map(|_| None).collect();
-        let mut finished: Vec<ImageStats> = Vec::with_capacity(cfg.images);
-
-        // Admission control: at most `pipeline_depth` images in flight —
-        // the simulated mirror of the runtime's admission queue — and
-        // image i+1 only becomes eligible once image i's tiles have all
-        // reached their nodes (the Figure 9 gate).
-        let window = cfg.pipeline_depth;
-        let mut next_admit = 1usize;
-        let mut gate = 0usize;
-        let mut completed = 0usize;
-        // In-flight gauge mirrored into ImageAdmitted/ImageRetired. The
-        // simulator's source is closed-loop (an image is generated the
-        // moment it can be admitted), so queue_wait is identically 0.
-        let mut inflight_now = 0usize;
-        macro_rules! try_admit {
-            ($queue:expr, $now:expr) => {
-                while next_admit < cfg.images
-                    && next_admit <= gate
-                    && next_admit - completed < window
-                {
-                    $queue.push($now, Ev::Admit { img: next_admit });
-                    next_admit += 1;
-                }
-            };
-        }
-
-        queue.push(0.0, Ev::Admit { img: 0 });
-
-        let mut sim_end = 0.0f64;
-        while let Some((now, ev)) = queue.pop() {
-            // Timers for completed images (hard-timeout fallbacks, stale
-            // re-arms) are pure driver artifacts: they must neither reach
-            // the machine nor stretch the simulated horizon.
-            if let Ev::Timer { img } = ev {
-                match img_states[img].as_ref() {
-                    None => continue,
-                    Some(st) if st.lc.is_complete() => continue,
-                    _ => {}
-                }
-            }
-            sim_end = sim_end.max(now);
-            match ev {
-                Ev::Admit { img } => {
-                    // Partition on the central CPU, then stream tiles out
-                    // one at a time in the machine's round-robin placement
-                    // order.
-                    inflight_now += 1;
-                    // Driver-emitted (never by the lifecycle), before the
-                    // machine's own ImageStart — the same ordering the
-                    // runtime's collector uses.
-                    cfg.sink.emit_with(|| ObsEvent::ImageAdmitted {
-                        at: now,
-                        image: img as u64,
-                        queue_wait: 0.0,
-                        inflight: inflight_now as u32,
-                    });
-                    let (_, part_done) = central_cpu.run(now, partition_work);
-                    let x = if cfg.adaptive {
-                        allocator.allocate(d, stats.speeds(), &mut rng)
-                    } else {
-                        adcnn_core::sched::allocate_round_robin(d, k)
-                    };
-                    let live: Vec<bool> =
-                        (0..k).map(|n| !cfg.nodes[n].throttle.is_dead_at(now)).collect();
-                    let (lc, acts) = TileLifecycle::begin_observed(
-                        cfg.policy,
-                        now,
-                        d,
-                        &x,
-                        stats.speeds(),
-                        &live,
-                        img as u64,
-                        cfg.sink.clone(),
-                    );
-                    let send_queue: Vec<(usize, usize)> = acts
-                        .iter()
-                        .filter_map(|a| match a {
-                            Action::Dispatch { tile, to } => Some((*tile, *to)),
-                            _ => None,
-                        })
-                        .collect();
-                    let tiles_total = send_queue.len() as u32;
-                    let st = ImageState {
-                        admitted_at: now,
-                        lc,
-                        tiles_total,
-                        tiles_arrived: 0,
-                        send_queue,
-                        send_pos: 0,
-                        sent_done: part_done,
-                        send_busy: 0.0,
-                        result_busy: 0.0,
-                        first_compute_start: f64::INFINITY,
-                        last_compute_end: 0.0,
-                        suffix_s: 0.0,
-                    };
-                    img_states[img] = Some(st);
-                    if tiles_total == 0 {
-                        // Nothing allocatable (all nodes dead/out of
-                        // storage): the machine completes on SendComplete,
-                        // the suffix runs on zeros, and the pipeline must
-                        // not stall waiting for arrivals.
-                        let st = img_states[img].as_mut().expect("just inserted");
-                        let acts = st.lc.handle(Event::SendComplete { at: part_done });
-                        gate = gate.max(img + 1);
-                        try_admit!(queue, part_done);
-                        for act in acts {
-                            match act {
-                                Action::RecordRate { worker, rate }
-                                    if !cfg.nodes[worker].throttle.is_dead_at(part_done) =>
-                                {
-                                    stats.record_node(worker, rate)
-                                }
-                                Action::Complete => Self::start_suffix(
-                                    img,
-                                    part_done,
-                                    &mut img_states,
-                                    &mut central_cpu,
-                                    suffix_work,
-                                    &mut queue,
-                                ),
-                                _ => {}
-                            }
-                        }
-                    } else {
-                        queue.push(part_done, Ev::SendNext { img });
-                    }
-                }
-                Ev::SendNext { img } => {
-                    let Some(st) = img_states[img].as_mut() else { continue };
-                    if st.send_pos >= st.send_queue.len() {
-                        continue;
-                    }
-                    let (tile, node) = st.send_queue[st.send_pos];
-                    st.send_pos += 1;
-                    let occ = cfg.link.occupancy_s(tile_in_bits);
-                    let (_, send_end) = channel.acquire(now, occ);
-                    st.send_busy += occ;
-                    st.sent_done = st.sent_done.max(send_end);
-                    queue.push(
-                        send_end + cfg.link.latency_s,
-                        Ev::TileArrive { img, node, tile, original: true },
-                    );
-                    if st.send_pos < st.send_queue.len() {
-                        queue.push(send_end, Ev::SendNext { img });
-                    } else {
-                        // All tiles of this image are on the wire: tell the
-                        // machine and arm whatever timers it asks for.
-                        let acts = st.lc.handle(Event::SendComplete { at: send_end });
-                        for act in acts {
-                            if let Action::ArmDeadline { span } = act {
-                                queue.push(send_end + span, Ev::Timer { img });
-                            }
-                        }
-                        if cfg.policy.timer == TimerPolicy::Deadline {
-                            // Fallback in case no result ever arrives: the
-                            // machine's hard timeout, as a real event. The
-                            // machine ignores it when it lands stale.
-                            let st = img_states[img].as_ref().expect("state exists");
-                            queue.push(st.lc.hard_deadline(), Ev::Timer { img });
-                        }
-                    }
-                }
-                Ev::TileArrive { img, node, tile, original } => {
-                    // The image may already have completed via the timeout
-                    // (its suffix ran on the partial set); drop stragglers
-                    // but still unblock the admission gate.
-                    let Some(st) = img_states[img].as_mut() else {
-                        gate = gate.max(img + 1);
-                        try_admit!(queue, now);
-                        continue;
-                    };
-                    if original {
-                        st.tiles_arrived += 1;
-                        st.lc.handle(Event::TileDelivered { tile });
-                    }
-                    let all_arrived = st.tiles_arrived == st.tiles_total;
-                    let mut work = tile_work[node];
-                    if node_loaded_img[node] != img {
-                        node_loaded_img[node] = img;
-                        work += weight_load[node];
-                    }
-                    let (cs, ce) = node_cpus[node].run(now, work);
-                    if ce.is_finite() {
-                        st.first_compute_start = st.first_compute_start.min(cs);
-                        queue.push(ce, Ev::ComputeDone { img, node, tile });
-                        cfg.sink.emit_with(|| ObsEvent::TileCompute {
-                            at: ce,
-                            image: img as u64,
-                            tile: tile as u32,
-                            worker: node as u32,
-                            dur: ce - cs,
-                        });
-                    }
-                    // Figure 9 pipelining: the next image becomes eligible
-                    // once this one's tiles are all on their nodes.
-                    if original && all_arrived {
-                        gate = gate.max(img + 1);
-                        try_admit!(queue, now);
-                    }
-                }
-                Ev::ComputeDone { img, node, tile } => {
-                    // The image may already be finished (its suffix ran on
-                    // zero-filled inputs); the node still sends the result,
-                    // which will be discarded on arrival.
-                    let Some(st) = img_states[img].as_mut() else { continue };
-                    st.last_compute_end = st.last_compute_end.max(now);
-                    // The §4 pipeline is modeled analytically (its time is
-                    // folded into the compute span), but the byte count is
-                    // real modeled data: emit it so byte-accounting sinks
-                    // see the same schema the runtime's workers emit.
-                    cfg.sink.emit_with(|| ObsEvent::TileCompress {
-                        at: now,
-                        image: img as u64,
-                        tile: tile as u32,
-                        worker: node as u32,
-                        dur: 0.0,
-                        bytes: tile_out_bits / 8,
-                        ratio: tile_out_bits as f64 / (tile_out_elems as f64 * 32.0),
-                    });
-                    let occ = cfg.link.occupancy_s(tile_out_bits);
-                    let (_, send_end) = channel.acquire(now, occ);
-                    st.result_busy += occ;
-                    queue.push(send_end + cfg.link.latency_s, Ev::ResultArrive { img, node, tile });
-                    cfg.sink.emit_with(|| ObsEvent::TileTransfer {
-                        at: send_end + cfg.link.latency_s,
-                        image: img as u64,
-                        tile: tile as u32,
-                        worker: node as u32,
-                        dur: occ,
-                    });
-                }
-                Ev::ResultArrive { img, node, tile } => {
-                    // Results for an image whose record is already gone are
-                    // stragglers past the timeout: discard. Anything else —
-                    // fresh, duplicate, late — is the machine's call.
-                    let Some(st) = img_states[img].as_mut() else { continue };
-                    let acts = st.lc.handle(Event::ResultArrived {
-                        at: now,
-                        tile,
-                        worker: node,
-                        ok: true,
-                    });
-                    let mut complete = false;
-                    for act in acts {
-                        match act {
-                            // Accept carries no payload to paste in a
-                            // simulation; ZeroFill likewise models nothing.
-                            Action::ArmDeadline { span } => {
-                                queue.push(now + span, Ev::Timer { img })
-                            }
-                            Action::RecordRate { worker, rate }
-                                if !cfg.nodes[worker].throttle.is_dead_at(now) =>
-                            {
-                                stats.record_node(worker, rate)
-                            }
-                            Action::Complete => complete = true,
-                            _ => {}
-                        }
-                    }
-                    if complete {
-                        Self::start_suffix(
-                            img,
-                            now,
-                            &mut img_states,
-                            &mut central_cpu,
-                            suffix_work,
-                            &mut queue,
-                        );
-                    }
-                }
-                Ev::Timer { img } => {
-                    let st = img_states[img].as_mut().expect("checked at loop top");
-                    // Feed positively-observed deaths before judging the
-                    // deadline — the sim's equivalent of the runtime's
-                    // disconnect detection — so the machine never picks a
-                    // dead node as a re-dispatch target. The statistics are
-                    // told too (the runtime's `mark_failed` on disconnect):
-                    // the lifecycle machine suppresses rate observations
-                    // for dead nodes, so starvation must come from here,
-                    // not from stale measurements.
-                    for n in 0..k {
-                        if cfg.nodes[n].throttle.is_dead_at(now) {
-                            st.lc.handle(Event::WorkerDied { worker: n });
-                            stats.mark_failed(n);
-                        }
-                    }
-                    let acts = st.lc.handle(Event::DeadlineFired { at: now });
-                    let mut last_send_end = now;
-                    let mut redispatched_any = false;
-                    let mut arm_span = None;
-                    let mut complete = false;
-                    for act in acts {
-                        match act {
-                            Action::Redispatch { tile, to } => {
-                                let occ = cfg.link.occupancy_s(tile_in_bits);
-                                let (_, send_end) = channel.acquire(last_send_end, occ);
-                                st.send_busy += occ;
-                                last_send_end = send_end;
-                                redispatched_any = true;
-                                queue.push(
-                                    send_end + cfg.link.latency_s,
-                                    Ev::TileArrive { img, node: to, tile, original: false },
-                                );
-                            }
-                            Action::ArmDeadline { span } => arm_span = Some(span),
-                            Action::RecordRate { worker, rate }
-                                if !cfg.nodes[worker].throttle.is_dead_at(now) =>
-                            {
-                                stats.record_node(worker, rate)
-                            }
-                            Action::Complete => complete = true,
-                            _ => {}
-                        }
-                    }
-                    if let Some(span) = arm_span {
-                        // After a re-dispatch round the clock starts when
-                        // the re-sent tiles clear the channel; the machine
-                        // treats the later firing as valid (never stale).
-                        let at = if redispatched_any {
-                            last_send_end + cfg.link.latency_s + span
-                        } else {
-                            now + span
-                        };
-                        queue.push(at, Ev::Timer { img });
-                    }
-                    if complete {
-                        Self::start_suffix(
-                            img,
-                            now,
-                            &mut img_states,
-                            &mut central_cpu,
-                            suffix_work,
-                            &mut queue,
-                        );
-                    }
-                }
-                Ev::SuffixDone { img } => {
-                    let st = img_states[img].take().expect("suffix for unknown image");
-                    let c = st.lc.counters();
-                    let conv_compute = if st.first_compute_start.is_finite() {
-                        (st.last_compute_end - st.first_compute_start).max(0.0)
-                    } else {
-                        0.0
-                    };
-                    finished.push(ImageStats {
-                        latency_s: now - st.admitted_at,
-                        send_busy_s: st.send_busy,
-                        result_busy_s: st.result_busy,
-                        conv_compute_s: conv_compute,
-                        suffix_s: st.suffix_s,
-                        alloc: st.lc.alloc().to_vec(),
-                        // Allocated-but-never-arrived (the historical
-                        // definition): abandoned shortfall is excluded.
-                        dropped: c.zero_filled - c.abandoned,
-                        late: c.late,
-                        redispatched: c.redispatched,
-                        duplicate: c.duplicate,
-                        done_at: now,
-                    });
-                    completed += 1;
-                    inflight_now -= 1;
-                    cfg.sink.emit_with(|| ObsEvent::ImageRetired {
-                        at: now,
-                        image: img as u64,
-                        inflight: inflight_now as u32,
-                    });
-                    try_admit!(queue, now);
-                }
-            }
-        }
-
-        assert_eq!(finished.len(), cfg.images, "not every image completed");
-        finished.sort_by(|a, b| a.done_at.total_cmp(&b.done_at));
-        let n = finished.len() as f64;
-        let mean_latency_s = finished.iter().map(|i| i.latency_s).sum::<f64>() / n;
-        let mean_transmission_s =
-            finished.iter().map(|i| i.send_busy_s + i.result_busy_s).sum::<f64>() / n;
-        let mean_computation_s =
-            finished.iter().map(|i| i.conv_compute_s + i.suffix_s).sum::<f64>() / n;
-        let total_time_s = finished.last().map(|i| i.done_at).unwrap_or(0.0);
+        let fleet = FleetConfig {
+            nodes: cfg.nodes.clone(),
+            central: cfg.central.clone(),
+            link: cfg.link,
+            tenants: vec![tenant],
+            pipeline_depth: cfg.pipeline_depth,
+            seed: cfg.seed,
+            retain_images: cfg.images,
+            sink: cfg.sink.clone(),
+        };
+        let fs = FleetSim::new(fleet).run();
+        let mut images: Vec<ImageStats> = fs.retained.into_iter().map(|(_, s)| s).collect();
+        // Completion order is already nondecreasing in done_at; the sort
+        // is kept for the documented contract (stable, so a no-op).
+        images.sort_by(|a, b| a.done_at.total_cmp(&b.done_at));
+        let t = &fs.tenants[0];
+        // The streaming sums were folded in completion order, so these
+        // divisions reproduce the historical post-run folds bit-for-bit.
+        let n = images.len() as f64;
+        let total_time_s = images.last().map(|i| i.done_at).unwrap_or(0.0);
         SimSummary {
-            mean_latency_s,
-            mean_transmission_s,
-            mean_computation_s,
-            node_busy_s: node_cpus.iter().map(|c| c.busy_total()).collect(),
-            channel_utilization: if sim_end > 0.0 { channel.busy_total() / sim_end } else { 0.0 },
+            mean_latency_s: t.latency_sum_s / n,
+            mean_transmission_s: t.transmission_sum_s / n,
+            mean_computation_s: t.computation_sum_s / n,
+            node_busy_s: fs.node_busy_s,
             total_time_s,
-            sim_end_s: sim_end,
-            images: finished,
+            sim_end_s: fs.sim_end_s,
+            channel_utilization: fs.channel_utilization,
+            latency_hist_us: fs.latency_us,
+            images,
         }
-    }
-
-    /// Run the Central-node suffix for a completed image. The Algorithm 2
-    /// rate observations were already folded in via the machine's
-    /// [`Action::RecordRate`] actions.
-    fn start_suffix(
-        img: usize,
-        now: f64,
-        img_states: &mut [Option<ImageState>],
-        central_cpu: &mut ThrottledCpu,
-        suffix_work: f64,
-        queue: &mut EventQueue<Ev>,
-    ) {
-        let st = img_states[img].as_mut().expect("suffix for unknown image");
-        let (s, e) = central_cpu.run(now, suffix_work);
-        st.suffix_s = e - s;
-        queue.push(e, Ev::SuffixDone { img });
     }
 }
 
@@ -1046,6 +603,7 @@ pub fn replay_lifecycle_report(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use adcnn_core::obs::ObsEvent;
     use adcnn_nn::cost::model_time_s;
     use adcnn_nn::zoo;
 

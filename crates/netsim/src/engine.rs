@@ -61,13 +61,11 @@ impl<E> EventQueue<E> {
     }
 
     /// Number of pending events.
-    #[allow(dead_code)] // crate-internal API completeness; used by tests
     pub fn len(&self) -> usize {
         self.heap.len()
     }
 
     /// True if nothing is scheduled.
-    #[allow(dead_code)]
     pub fn is_empty(&self) -> bool {
         self.heap.is_empty()
     }
@@ -75,11 +73,14 @@ impl<E> EventQueue<E> {
 
 /// A serially-shared FIFO resource (the half-duplex WiFi channel, a CPU
 /// without preemption). Callers must acquire in nondecreasing `now` order —
-/// which the event loop guarantees.
+/// which the event loop guarantees, and a `debug_assert!` enforces: an
+/// out-of-order acquire would silently model a transfer that starts in the
+/// past, so new drivers must fail loudly instead.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct FifoResource {
     free_at: f64,
     busy_total: f64,
+    last_now: f64,
 }
 
 impl FifoResource {
@@ -91,6 +92,30 @@ impl FifoResource {
     /// Occupy the resource for `duration` starting no earlier than `now`.
     /// Returns `(start, end)`.
     pub fn acquire(&mut self, now: f64, duration: f64) -> (f64, f64) {
+        debug_assert!(
+            now >= self.last_now,
+            "FifoResource acquired out of order: now={now} after now={}",
+            self.last_now
+        );
+        self.last_now = now;
+        self.occupy(now, duration)
+    }
+
+    /// Occupy the resource for `duration` starting no earlier than `at`,
+    /// where `at` may lie in the future (a pre-booked chained transfer,
+    /// e.g. a re-dispatch round sending tile after tile). Does not advance
+    /// the monotonicity clock, so events still pending at earlier
+    /// timestamps can keep acquiring through [`FifoResource::acquire`].
+    pub fn acquire_queued(&mut self, at: f64, duration: f64) -> (f64, f64) {
+        debug_assert!(
+            at >= self.last_now,
+            "FifoResource pre-booked in the past: at={at} before now={}",
+            self.last_now
+        );
+        self.occupy(at, duration)
+    }
+
+    fn occupy(&mut self, now: f64, duration: f64) -> (f64, f64) {
         assert!(duration >= 0.0, "negative duration");
         let start = now.max(self.free_at);
         let end = start + duration;
@@ -147,6 +172,40 @@ impl SpeedSchedule {
     /// excluded from re-dispatch candidate selection.
     pub fn is_dead_at(&self, t: f64) -> bool {
         self.multiplier_at(t) <= 0.0
+    }
+
+    /// Layer another schedule on top of this one: the composed multiplier
+    /// at any time is the *product* of the two. This is how churn plans
+    /// stack — a diurnal speed curve composed with a join/leave schedule
+    /// composed with an operator-injected fault — without any layer
+    /// knowing about the others.
+    pub fn compose(&self, other: &SpeedSchedule) -> SpeedSchedule {
+        let mut times: Vec<f64> =
+            self.points.iter().chain(other.points.iter()).map(|&(from, _)| from).collect();
+        times.sort_by(f64::total_cmp);
+        times.dedup();
+        let points = times
+            .into_iter()
+            .map(|t| (t, self.multiplier_at(t) * other.multiplier_at(t)))
+            .collect();
+        SpeedSchedule { points }
+    }
+
+    /// The times at which `is_dead_at` flips, with the state it flips *to*
+    /// (`true` = dies, `false` = revives), in time order. The fleet driver
+    /// turns these into churn events so the hot loop maintains an indexed
+    /// dead-set instead of re-walking every node's schedule at every timer.
+    pub fn dead_transitions(&self) -> Vec<(f64, bool)> {
+        let mut out = Vec::new();
+        let mut dead = false; // multiplier is 1.0 before the first point
+        for &(from, mult) in &self.points {
+            let now_dead = mult <= 0.0;
+            if now_dead != dead {
+                out.push((from, now_dead));
+                dead = now_dead;
+            }
+        }
+        out
     }
 
     /// The multiplier in effect at time `t`.
@@ -327,5 +386,115 @@ mod tests {
     #[should_panic]
     fn schedule_rejects_unsorted() {
         SpeedSchedule::from_points(vec![(5.0, 0.5), (1.0, 1.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "FifoResource acquired out of order")]
+    fn fifo_resource_rejects_time_travel() {
+        let mut r = FifoResource::new();
+        r.acquire(5.0, 1.0);
+        // An event loop must never acquire at an earlier `now` than a
+        // previous acquire — this models a transfer starting in the past.
+        r.acquire(4.0, 1.0);
+    }
+
+    #[test]
+    fn schedule_compose_is_pointwise_product() {
+        let a = SpeedSchedule::throttle_at(10.0, 0.5);
+        let b = SpeedSchedule::from_points(vec![(5.0, 0.8), (20.0, 0.0)]);
+        let c = a.compose(&b);
+        for &t in &[0.0, 4.9, 5.0, 9.9, 10.0, 19.9, 20.0, 100.0] {
+            assert_eq!(c.multiplier_at(t), a.multiplier_at(t) * b.multiplier_at(t), "at t={t}");
+        }
+        // composition with the identity is the identity
+        let id = SpeedSchedule::constant();
+        for &t in &[0.0, 7.0, 15.0, 30.0] {
+            assert_eq!(a.compose(&id).multiplier_at(t), a.multiplier_at(t));
+        }
+    }
+
+    #[test]
+    fn schedule_dead_transitions_track_is_dead() {
+        let s = SpeedSchedule::from_points(vec![(1.0, 0.5), (2.0, 0.0), (4.0, 0.0), (6.0, 1.0)]);
+        assert_eq!(s.dead_transitions(), vec![(2.0, true), (6.0, false)]);
+        assert!(SpeedSchedule::constant().dead_transitions().is_empty());
+        assert_eq!(SpeedSchedule::throttle_at(0.0, 0.0).dead_transitions(), vec![(0.0, true)]);
+    }
+}
+
+#[cfg(test)]
+mod queue_props {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Pops are globally nondecreasing in time, and FIFO within equal
+        /// timestamps (the seq tiebreak): the determinism contract every
+        /// driver builds on.
+        #[test]
+        fn prop_pops_ordered_and_fifo_on_ties(
+            times in proptest::collection::vec(0u32..50, 1..200),
+        ) {
+            let mut q = EventQueue::new();
+            prop_assert!(q.is_empty());
+            for (i, &t) in times.iter().enumerate() {
+                q.push(t as f64, i);
+            }
+            prop_assert_eq!(q.len(), times.len());
+            let mut popped = Vec::with_capacity(times.len());
+            while let Some((t, id)) = q.pop() {
+                popped.push((t, id));
+            }
+            prop_assert!(q.is_empty());
+            prop_assert_eq!(q.len(), 0);
+            prop_assert_eq!(popped.len(), times.len());
+            for w in popped.windows(2) {
+                let ((t0, id0), (t1, id1)) = (w[0], w[1]);
+                prop_assert!(t0 <= t1, "time went backwards: {t0} -> {t1}");
+                if t0 == t1 {
+                    // equal timestamps pop in insertion order
+                    prop_assert!(id0 < id1, "FIFO violated at t={t0}: {id0} before {id1}");
+                }
+            }
+            // every pushed event came back exactly once
+            let mut ids: Vec<usize> = popped.iter().map(|&(_, id)| id).collect();
+            ids.sort_unstable();
+            prop_assert_eq!(ids, (0..times.len()).collect::<Vec<_>>());
+        }
+
+        /// Interleaved push/pop keeps `len` exact and never reorders what
+        /// is already due.
+        #[test]
+        fn prop_len_tracks_interleaved_ops(
+            // 0..20 => push with that time offset; 20..40 => pop
+            ops in proptest::collection::vec(0u32..40, 1..100),
+        ) {
+            let mut q = EventQueue::new();
+            let mut expected_len = 0usize;
+            let mut last_popped = f64::NEG_INFINITY;
+            let mut max_pushed = f64::NEG_INFINITY;
+            for (i, &op) in ops.iter().enumerate() {
+                let (t, do_pop) = (op % 20, op >= 20);
+                if do_pop {
+                    match q.pop() {
+                        Some((pt, _)) => {
+                            expected_len -= 1;
+                            prop_assert!(pt <= max_pushed);
+                            last_popped = last_popped.max(pt);
+                        }
+                        None => prop_assert_eq!(expected_len, 0),
+                    }
+                } else {
+                    // pushes at or after the last popped time, as an event
+                    // loop would issue them
+                    let at = last_popped.max(0.0) + t as f64;
+                    q.push(at, i);
+                    max_pushed = max_pushed.max(at);
+                    expected_len += 1;
+                }
+                prop_assert_eq!(q.len(), expected_len);
+                prop_assert_eq!(q.is_empty(), expected_len == 0);
+            }
+        }
     }
 }

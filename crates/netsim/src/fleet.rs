@@ -1,0 +1,1009 @@
+//! The fleet driver: a multi-tenant, churn-aware, trace-driven
+//! generalization of the historical single-model `AdcnnSim` event loop.
+//!
+//! One [`FleetConfig`] holds one shared cluster — Conv nodes, the
+//! half-duplex channel, the Central node — and N [`TenantSpec`]s, each a
+//! model with its own FDSP partition, lifecycle policy, Algorithm 2
+//! statistics, compression parameters, and request stream
+//! ([`ArrivalSpec`]). A weighted-fair stride scheduler arbitrates the
+//! shared admission window between backlogged tenants.
+//!
+//! ## Scale discipline
+//!
+//! The loop is O(events · log events) with state indexed by id:
+//!
+//! - in-flight images live in a `HashMap` keyed by the global admission
+//!   id (never scanned, only probed);
+//! - node deaths are maintained as a sorted dead-set fed by *churn
+//!   events* precomputed from each node's speed schedule, so timers touch
+//!   O(dead) nodes instead of re-walking every schedule;
+//! - per-image statistics fold into streaming aggregates (log2
+//!   histograms + running sums) the moment an image retires, so memory
+//!   stays bounded at millions of virtual requests. Full `ImageStats`
+//!   retention is opt-in ([`FleetConfig::retain_images`]) and bounded.
+//!
+//! ## Determinism and the compatibility contract
+//!
+//! Runs are bit-reproducible: one seeded RNG for allocation tie-breaks
+//! (consumed in admission order), per-tenant seeded arrival generators,
+//! and a deterministic event queue (time, then insertion order). A
+//! single-tenant, closed-loop, churn-free config reproduces the
+//! historical `AdcnnSim` run *byte-identically* — decisions, timestamps,
+//! and statistics — which `tests/fleet_differential.rs` pins against
+//! goldens recorded from the pre-refactor monolith. `AdcnnSim` itself is
+//! now a thin wrapper over this driver.
+
+use crate::arrivals::{ArrivalGen, ArrivalSpec};
+use crate::cluster::{ImageStats, SimNode};
+use crate::engine::{EventQueue, FifoResource, SpeedSchedule, ThrottledCpu};
+use crate::profiles::LinkParams;
+use crate::tenancy::{FairScheduler, TenantSpec};
+use adcnn_core::compress::wire_bits_estimate;
+use adcnn_core::config::ConfigError;
+use adcnn_core::lifecycle::{Action, Event, TileLifecycle, TimerPolicy};
+use adcnn_core::obs::{Histogram, HistogramSnapshot, ObsEvent, SinkHandle};
+use adcnn_core::sched::{StatsCollector, TileAllocator};
+use adcnn_core::wire::HEADER_BITS;
+use adcnn_nn::cost::{prefix_weight_load_s, suffix_time_s, tile_prefix_time_s, DeviceProfile};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Serialize;
+use std::collections::{HashMap, VecDeque};
+
+/// Full configuration of one fleet run: one cluster, N tenants.
+#[derive(Clone, Debug)]
+pub struct FleetConfig {
+    /// The Conv nodes (churn lives in each node's throttle schedule —
+    /// compose one in with [`crate::churn::ChurnPlan::apply`]).
+    pub nodes: Vec<SimNode>,
+    /// The Central node's hardware.
+    pub central: DeviceProfile,
+    /// The shared wireless channel.
+    pub link: LinkParams,
+    /// The models sharing the cluster.
+    pub tenants: Vec<TenantSpec>,
+    /// Maximum images in flight at once, across all tenants.
+    pub pipeline_depth: usize,
+    /// RNG seed: allocation tie-breaks and (xored per tenant) arrivals.
+    pub seed: u64,
+    /// Retain full [`ImageStats`] for at most this many completed images
+    /// (in completion order). 0 — the default — keeps memory strictly
+    /// bounded on million-request runs; the streaming aggregates in
+    /// [`TenantSummary`] are always maintained.
+    pub retain_images: usize,
+    /// Structured-event sink (decisions + modeled spans), the runtime's
+    /// schema. Default never constructs events.
+    pub sink: SinkHandle,
+}
+
+impl FleetConfig {
+    /// A fleet on `nodes` serving `tenants`, with the §7.2 testbed
+    /// defaults for everything else: Pi Central on 87.72 Mbps WiFi,
+    /// admission window 2, seed 42, streaming aggregates only.
+    pub fn new(nodes: Vec<SimNode>, tenants: Vec<TenantSpec>) -> Self {
+        FleetConfig {
+            nodes,
+            central: DeviceProfile::raspberry_pi3(),
+            link: LinkParams::wifi_fast(),
+            tenants,
+            pipeline_depth: 2,
+            seed: 42,
+            retain_images: 0,
+            sink: SinkHandle::null(),
+        }
+    }
+
+    /// Check the invariants the driver relies on.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.nodes.is_empty() {
+            return Err(ConfigError::NoWorkers);
+        }
+        if self.tenants.is_empty() {
+            return Err(ConfigError::NoTenants);
+        }
+        if self.pipeline_depth == 0 {
+            return Err(ConfigError::ZeroPipelineDepth);
+        }
+        for t in &self.tenants {
+            t.validate()?;
+        }
+        Ok(())
+    }
+}
+
+/// Streaming per-tenant aggregates for one run — everything the
+/// historical per-image `ImageStats` vector could answer about a tenant,
+/// at O(1) memory.
+#[derive(Clone, Debug, Serialize)]
+pub struct TenantSummary {
+    /// Tenant display name.
+    pub name: String,
+    /// Fair-share weight the run used.
+    pub weight: f64,
+    /// Requests submitted.
+    pub requests: u64,
+    /// Requests completed (always equal to `requests` at drain).
+    pub completed: u64,
+    /// Log2 histogram of end-to-end latencies, microseconds.
+    pub latency_us: HistogramSnapshot,
+    /// Log2 histogram of admission-queue waits, microseconds.
+    pub queue_wait_us: HistogramSnapshot,
+    /// Exact running sum of latencies, seconds (completion order).
+    pub latency_sum_s: f64,
+    /// Exact running sum of admission-queue waits, seconds.
+    pub queue_wait_sum_s: f64,
+    /// Exact running sum of per-image channel time, seconds.
+    pub transmission_sum_s: f64,
+    /// Exact running sum of per-image compute time, seconds.
+    pub computation_sum_s: f64,
+    /// Tiles allocated across all completed images.
+    pub tiles_allocated: u64,
+    /// Tiles zero-filled after missing the timeout (historical
+    /// "dropped": allocated-but-never-arrived, abandoned excluded).
+    pub dropped_tiles: u64,
+    /// Results that arrived after their image's suffix had started.
+    pub late_tiles: u64,
+    /// Tile re-sends issued by deadline-fired recovery rounds.
+    pub redispatched_tiles: u64,
+    /// Results discarded because another copy won the re-dispatch race.
+    pub duplicate_tiles: u64,
+    /// Completion time of this tenant's last image, seconds.
+    pub last_done_s: f64,
+}
+
+impl TenantSummary {
+    /// Mean end-to-end latency, seconds.
+    pub fn mean_latency_s(&self) -> f64 {
+        self.latency_sum_s / (self.completed.max(1)) as f64
+    }
+
+    /// Streaming median latency, seconds (within one log2 bucket).
+    pub fn p50_latency_s(&self) -> Option<f64> {
+        self.latency_us.p50().map(|us| us / 1e6)
+    }
+
+    /// Streaming p99 latency, seconds (within one log2 bucket).
+    pub fn p99_latency_s(&self) -> Option<f64> {
+        self.latency_us.p99().map(|us| us / 1e6)
+    }
+
+    /// Mean admission-queue wait, seconds.
+    pub fn mean_queue_wait_s(&self) -> f64 {
+        self.queue_wait_sum_s / (self.completed.max(1)) as f64
+    }
+
+    /// Fraction of allocated tiles zero-filled.
+    pub fn zero_fill_rate(&self) -> f64 {
+        self.dropped_tiles as f64 / (self.tiles_allocated.max(1)) as f64
+    }
+
+    /// Completed requests per virtual second, over this tenant's span.
+    pub fn throughput_rps(&self) -> f64 {
+        if self.last_done_s > 0.0 {
+            self.completed as f64 / self.last_done_s
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Whole-fleet summary: per-tenant streaming aggregates plus the shared
+/// cluster's utilization surface.
+#[derive(Clone, Debug, Serialize)]
+pub struct FleetSummary {
+    /// Per-tenant aggregates, in config order.
+    pub tenants: Vec<TenantSummary>,
+    /// Total requests completed.
+    pub completed: u64,
+    /// Log2 histogram of all latencies (all tenants), microseconds.
+    pub latency_us: HistogramSnapshot,
+    /// Per-Conv-node CPU busy seconds over the whole run.
+    pub node_busy_s: Vec<f64>,
+    /// Completion time of the last image.
+    pub total_time_s: f64,
+    /// Time the event queue drained (stragglers included; churn and
+    /// arrival bookkeeping excluded).
+    pub sim_end_s: f64,
+    /// Fraction of `sim_end_s` the shared channel was busy.
+    pub channel_utilization: f64,
+    /// Peak images in flight at once.
+    pub peak_inflight: u32,
+    /// Peak pending events — the queue's high-water mark, the memory
+    /// bound of the run.
+    pub peak_events_pending: u64,
+    /// Events processed (the `events` of the O(events · log events)
+    /// claim).
+    pub events_processed: u64,
+    /// Full per-image records for the first `retain_images` completions,
+    /// tagged with their tenant index, in completion order.
+    pub retained: Vec<(usize, ImageStats)>,
+}
+
+impl FleetSummary {
+    /// Streaming median latency over all tenants, seconds.
+    pub fn p50_latency_s(&self) -> Option<f64> {
+        self.latency_us.p50().map(|us| us / 1e6)
+    }
+
+    /// Streaming p99 latency over all tenants, seconds.
+    pub fn p99_latency_s(&self) -> Option<f64> {
+        self.latency_us.p99().map(|us| us / 1e6)
+    }
+
+    /// Completed requests per virtual second over the whole run.
+    pub fn throughput_rps(&self) -> f64 {
+        if self.total_time_s > 0.0 {
+            self.completed as f64 / self.total_time_s
+        } else {
+            0.0
+        }
+    }
+
+    /// Fraction of all allocated tiles zero-filled.
+    pub fn zero_fill_rate(&self) -> f64 {
+        let dropped: u64 = self.tenants.iter().map(|t| t.dropped_tiles).sum();
+        let tiles: u64 = self.tenants.iter().map(|t| t.tiles_allocated).sum();
+        dropped as f64 / tiles.max(1) as f64
+    }
+}
+
+/// Fleet events. `img` is the global admission id (admission order across
+/// all tenants), the same id the observability stream carries.
+enum Ev {
+    /// A node's speed schedule crosses a death/revival boundary. Pushed
+    /// at init with the lowest sequence numbers, so at equal timestamps
+    /// churn resolves before any workload event — matching the
+    /// `is_dead_at(now)` (`from <= t`) semantics of the schedule walk the
+    /// monolith used.
+    Churn {
+        node: usize,
+        dead: bool,
+    },
+    /// A tenant's next open-loop request lands in its admission backlog.
+    Arrive {
+        tenant: usize,
+    },
+    Admit {
+        img: u64,
+    },
+    /// Stream the next pending input tile of `img` onto the channel.
+    /// Tiles go out one at a time so result transfers interleave fairly
+    /// with the next image's tile distribution.
+    SendNext {
+        img: u64,
+    },
+    TileArrive {
+        img: u64,
+        node: usize,
+        tile: usize,
+        original: bool,
+    },
+    ComputeDone {
+        img: u64,
+        node: usize,
+        tile: usize,
+    },
+    ResultArrive {
+        img: u64,
+        node: usize,
+        tile: usize,
+    },
+    /// A timer the driver armed. The lifecycle machine decides whether it
+    /// is live or stale — the driver never cancels timers.
+    Timer {
+        img: u64,
+    },
+    SuffixDone {
+        img: u64,
+    },
+}
+
+/// Driver-side bookkeeping for one in-flight image. Everything that is a
+/// *decision* lives in `lc`; this tracks the modeled transport and the
+/// measurement surface.
+struct ImageState {
+    tenant: usize,
+    arrival_s: f64,
+    admitted_at: f64,
+    lc: TileLifecycle,
+    tiles_total: u32,
+    tiles_arrived: u32,
+    send_queue: Vec<(usize, usize)>,
+    send_pos: usize,
+    sent_done: f64,
+    send_busy: f64,
+    result_busy: f64,
+    first_compute_start: f64,
+    last_compute_end: f64,
+    suffix_s: f64,
+}
+
+/// Per-tenant runtime: precomputed cost surfaces, the tenant's own
+/// Algorithm 2 statistics and allocator, its arrival stream and backlog,
+/// and its streaming aggregates.
+struct TenantRt {
+    d: usize,
+    tile_in_bits: u64,
+    tile_out_elems: u64,
+    tile_out_bits: u64,
+    tile_work: Vec<f64>,
+    weight_load: Vec<f64>,
+    suffix_work: f64,
+    partition_work: f64,
+    adaptive: bool,
+    stats: StatsCollector,
+    allocator: TileAllocator,
+    arrivals: ArrivalGen,
+    /// Open-loop requests that arrived but are not yet admitted.
+    pending: VecDeque<f64>,
+    admitted: u64,
+    completed: u64,
+    // --- streaming aggregates ---------------------------------------
+    lat_hist: Histogram,
+    wait_hist: Histogram,
+    latency_sum: f64,
+    queue_wait_sum: f64,
+    transmission_sum: f64,
+    computation_sum: f64,
+    tiles_allocated: u64,
+    dropped: u64,
+    late: u64,
+    redispatched: u64,
+    duplicate: u64,
+    last_done: f64,
+}
+
+impl TenantRt {
+    fn build(spec: &TenantSpec, nodes: &[SimNode], central: &DeviceProfile, seed: u64) -> Self {
+        let d = spec.grid.tiles();
+        let model = &spec.model;
+        let tile_in_bits = model.input_wire_bits() / d as u64 + HEADER_BITS;
+        let (oc, oh, ow) = model.block_inputs()[spec.prefix];
+        let tile_out_elems = ((oc * oh * ow) / d).max(1) as u64;
+        let tile_out_bits = match spec.compression {
+            Some(sparsity) => {
+                wire_bits_estimate(tile_out_elems, sparsity, spec.quant_bits) + HEADER_BITS
+            }
+            None => tile_out_elems * 32 + HEADER_BITS,
+        };
+        let tile_work: Vec<f64> = nodes
+            .iter()
+            .map(|n| {
+                tile_prefix_time_s(model, spec.prefix, (spec.grid.rows, spec.grid.cols), &n.profile)
+            })
+            .collect();
+        let weight_load: Vec<f64> =
+            nodes.iter().map(|n| prefix_weight_load_s(model, spec.prefix, &n.profile)).collect();
+        let gather_bytes = (tile_out_bits * d as u64) / 8 + (oc * oh * ow) as u64 * 4;
+        let suffix_work = suffix_time_s(model, spec.prefix, central)
+            + gather_bytes as f64 / central.mem_bytes_per_sec;
+        let partition_work = model.input_bits() as f64 / 8.0 / central.mem_bytes_per_sec;
+        TenantRt {
+            d,
+            tile_in_bits,
+            tile_out_elems,
+            tile_out_bits,
+            tile_work,
+            weight_load,
+            suffix_work,
+            partition_work,
+            adaptive: spec.adaptive,
+            stats: StatsCollector::new(nodes.len(), spec.gamma),
+            allocator: TileAllocator::with_storage(
+                tile_in_bits.max(1),
+                nodes.iter().map(|n| n.storage_bits).collect(),
+            ),
+            arrivals: ArrivalGen::new(spec.arrivals.clone(), spec.requests, seed),
+            pending: VecDeque::new(),
+            admitted: 0,
+            completed: 0,
+            lat_hist: Histogram::default(),
+            wait_hist: Histogram::default(),
+            latency_sum: 0.0,
+            queue_wait_sum: 0.0,
+            transmission_sum: 0.0,
+            computation_sum: 0.0,
+            tiles_allocated: 0,
+            dropped: 0,
+            late: 0,
+            redispatched: 0,
+            duplicate: 0,
+            last_done: 0.0,
+        }
+    }
+
+    /// A request is ready for admission right now.
+    fn has_ready(&self) -> bool {
+        if self.arrivals.is_closed_loop() {
+            self.arrivals.remaining() > 0
+        } else {
+            !self.pending.is_empty()
+        }
+    }
+}
+
+/// The fleet simulator. Construct with a config, call [`FleetSim::run`].
+pub struct FleetSim {
+    cfg: FleetConfig,
+}
+
+impl FleetSim {
+    /// Wrap a configuration (re-validating it, so a hand-mutated struct
+    /// fails as loudly as a builder misuse).
+    pub fn new(cfg: FleetConfig) -> Self {
+        if let Err(e) = cfg.validate() {
+            panic!("invalid FleetConfig: {e}");
+        }
+        FleetSim { cfg }
+    }
+
+    /// Execute the full run and return the streaming summary.
+    pub fn run(&self) -> FleetSummary {
+        let cfg = &self.cfg;
+        let k = cfg.nodes.len();
+
+        // --- per-tenant runtime (precomputed cost surfaces) ------------
+        let mut tenants_rt: Vec<TenantRt> = cfg
+            .tenants
+            .iter()
+            .enumerate()
+            .map(|(t, spec)| {
+                // Distinct, well-separated arrival stream per tenant.
+                let seed = cfg.seed ^ (t as u64 + 1).wrapping_mul(0x517C_C1B7_2722_0A95);
+                TenantRt::build(spec, &cfg.nodes, &cfg.central, seed)
+            })
+            .collect();
+        let mut sched =
+            FairScheduler::new(&cfg.tenants.iter().map(|t| t.weight).collect::<Vec<_>>());
+
+        // --- shared cluster state --------------------------------------
+        let mut queue: EventQueue<Ev> = EventQueue::new();
+        let mut channel = FifoResource::new();
+        let mut central_cpu = ThrottledCpu::new(SpeedSchedule::constant());
+        let mut node_cpus: Vec<ThrottledCpu> =
+            cfg.nodes.iter().map(|n| ThrottledCpu::new(n.throttle.clone())).collect();
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut img_states: HashMap<u64, ImageState> = HashMap::new();
+        // (tenant, arrival time) of admissions whose Admit event is queued.
+        let mut admit_meta: HashMap<u64, (usize, f64)> = HashMap::new();
+        // (tenant, image) whose prefix weights each node last streamed in.
+        let mut node_loaded: Vec<(usize, u64)> = vec![(usize::MAX, u64::MAX); k];
+        // Sorted indices of currently-dead nodes, maintained by churn
+        // events. Replaces the monolith's per-timer walk over every
+        // node's schedule: timers now touch O(dead) entries.
+        let mut dead_list: Vec<usize> = Vec::new();
+
+        // Churn events first: at equal timestamps they must resolve
+        // before any workload event (matching `is_dead_at`'s `from <= t`).
+        for (n, node) in cfg.nodes.iter().enumerate() {
+            for (t, dead) in node.throttle.dead_transitions() {
+                if t.is_finite() {
+                    queue.push(t, Ev::Churn { node: n, dead });
+                }
+            }
+        }
+        // Seed each open-loop tenant's first arrival.
+        for (t, tr) in tenants_rt.iter_mut().enumerate() {
+            if let Some(at) = tr.arrivals.next_arrival() {
+                queue.push(at, Ev::Arrive { tenant: t });
+            }
+        }
+
+        // --- admission control -----------------------------------------
+        // At most `pipeline_depth` images in flight across all tenants,
+        // and the most recently admitted image must have its tiles on
+        // their nodes before the next admission (the Figure 9 gate —
+        // tile distribution is serialized on the shared channel).
+        let window = cfg.pipeline_depth as u64;
+        let mut admitted_total: u64 = 0;
+        let mut completed_total: u64 = 0;
+        let mut gate: u64 = 0;
+        let mut inflight_now = 0usize;
+        let mut peak_inflight = 0u32;
+        macro_rules! try_admit {
+            ($queue:expr, $now:expr) => {{
+                while admitted_total <= gate && admitted_total - completed_total < window {
+                    let Some(t) = sched.pick(|t| tenants_rt[t].has_ready()) else { break };
+                    let tr = &mut tenants_rt[t];
+                    let arrival = if tr.arrivals.is_closed_loop() {
+                        tr.arrivals.take_closed_loop();
+                        $now
+                    } else {
+                        tr.pending.pop_front().expect("eligible tenant has a backlog")
+                    };
+                    let img = admitted_total;
+                    admit_meta.insert(img, (t, arrival));
+                    tr.admitted += 1;
+                    admitted_total += 1;
+                    $queue.push($now, Ev::Admit { img });
+                }
+            }};
+        }
+        try_admit!(queue, 0.0);
+
+        // --- streaming whole-fleet aggregates --------------------------
+        let global_lat_hist = Histogram::default();
+        let mut retained: Vec<(usize, ImageStats)> = Vec::new();
+        let mut sim_end = 0.0f64;
+        let mut events_processed: u64 = 0;
+        let mut peak_pending: u64 = 0;
+
+        while let Some((now, ev)) = queue.pop() {
+            events_processed += 1;
+            peak_pending = peak_pending.max(queue.len() as u64 + 1);
+            // Timers for completed images (hard-timeout fallbacks, stale
+            // re-arms) are pure driver artifacts: they must neither reach
+            // the machine nor stretch the simulated horizon.
+            if let Ev::Timer { img } = ev {
+                match img_states.get(&img) {
+                    None => continue,
+                    Some(st) if st.lc.is_complete() => continue,
+                    _ => {}
+                }
+            }
+            // Churn transitions are config bookkeeping, not workload:
+            // they never stretch the horizon either.
+            if !matches!(ev, Ev::Churn { .. }) {
+                sim_end = sim_end.max(now);
+            }
+            match ev {
+                Ev::Churn { node, dead } => {
+                    if dead {
+                        if let Err(i) = dead_list.binary_search(&node) {
+                            dead_list.insert(i, node);
+                        }
+                    } else if let Ok(i) = dead_list.binary_search(&node) {
+                        dead_list.remove(i);
+                        // A revived node re-enters every tenant's
+                        // Algorithm 2 statistics through the fresh-join
+                        // prior, exactly as the runtime treats a
+                        // reconnecting worker.
+                        for tr in tenants_rt.iter_mut() {
+                            tr.stats.rejoin(node);
+                        }
+                    }
+                }
+                Ev::Arrive { tenant } => {
+                    let tr = &mut tenants_rt[tenant];
+                    tr.pending.push_back(now);
+                    if let Some(at) = tr.arrivals.next_arrival() {
+                        queue.push(at, Ev::Arrive { tenant });
+                    }
+                    try_admit!(queue, now);
+                }
+                Ev::Admit { img } => {
+                    let (tenant, arrival_s) =
+                        admit_meta.remove(&img).expect("admission without metadata");
+                    inflight_now += 1;
+                    peak_inflight = peak_inflight.max(inflight_now as u32);
+                    // Driver-emitted (never by the lifecycle), before the
+                    // machine's own ImageStart — the same ordering the
+                    // runtime's collector uses.
+                    cfg.sink.emit_with(|| ObsEvent::ImageAdmitted {
+                        at: now,
+                        image: img,
+                        queue_wait: now - arrival_s,
+                        inflight: inflight_now as u32,
+                    });
+                    let (_, part_done) = central_cpu.run(now, tenants_rt[tenant].partition_work);
+                    let x = {
+                        let tr = &tenants_rt[tenant];
+                        if tr.adaptive {
+                            tr.allocator.allocate(tr.d, tr.stats.speeds(), &mut rng)
+                        } else {
+                            adcnn_core::sched::allocate_round_robin(tr.d, k)
+                        }
+                    };
+                    let mut live = vec![true; k];
+                    for &n in &dead_list {
+                        live[n] = false;
+                    }
+                    let (lc, acts) = TileLifecycle::begin_observed(
+                        cfg.tenants[tenant].policy,
+                        now,
+                        tenants_rt[tenant].d,
+                        &x,
+                        tenants_rt[tenant].stats.speeds(),
+                        &live,
+                        img,
+                        cfg.sink.clone(),
+                    );
+                    let send_queue: Vec<(usize, usize)> = acts
+                        .iter()
+                        .filter_map(|a| match a {
+                            Action::Dispatch { tile, to } => Some((*tile, *to)),
+                            _ => None,
+                        })
+                        .collect();
+                    let tiles_total = send_queue.len() as u32;
+                    let st = ImageState {
+                        tenant,
+                        arrival_s,
+                        admitted_at: now,
+                        lc,
+                        tiles_total,
+                        tiles_arrived: 0,
+                        send_queue,
+                        send_pos: 0,
+                        sent_done: part_done,
+                        send_busy: 0.0,
+                        result_busy: 0.0,
+                        first_compute_start: f64::INFINITY,
+                        last_compute_end: 0.0,
+                        suffix_s: 0.0,
+                    };
+                    img_states.insert(img, st);
+                    if tiles_total == 0 {
+                        // Nothing allocatable (all nodes dead/out of
+                        // storage): the machine completes on SendComplete,
+                        // the suffix runs on zeros, and the pipeline must
+                        // not stall waiting for arrivals.
+                        let st = img_states.get_mut(&img).expect("just inserted");
+                        let acts = st.lc.handle(Event::SendComplete { at: part_done });
+                        gate = gate.max(img + 1);
+                        try_admit!(queue, part_done);
+                        let suffix_work = tenants_rt[tenant].suffix_work;
+                        for act in acts {
+                            match act {
+                                Action::RecordRate { worker, rate }
+                                    if !cfg.nodes[worker].throttle.is_dead_at(part_done) =>
+                                {
+                                    tenants_rt[tenant].stats.record_node(worker, rate)
+                                }
+                                Action::Complete => Self::start_suffix(
+                                    img,
+                                    part_done,
+                                    &mut img_states,
+                                    &mut central_cpu,
+                                    suffix_work,
+                                    &mut queue,
+                                ),
+                                _ => {}
+                            }
+                        }
+                    } else {
+                        queue.push(part_done, Ev::SendNext { img });
+                    }
+                }
+                Ev::SendNext { img } => {
+                    let Some(st) = img_states.get_mut(&img) else { continue };
+                    if st.send_pos >= st.send_queue.len() {
+                        continue;
+                    }
+                    let (tile, node) = st.send_queue[st.send_pos];
+                    st.send_pos += 1;
+                    let occ = cfg.link.occupancy_s(tenants_rt[st.tenant].tile_in_bits);
+                    let (_, send_end) = channel.acquire(now, occ);
+                    st.send_busy += occ;
+                    st.sent_done = st.sent_done.max(send_end);
+                    queue.push(
+                        send_end + cfg.link.latency_s,
+                        Ev::TileArrive { img, node, tile, original: true },
+                    );
+                    if st.send_pos < st.send_queue.len() {
+                        queue.push(send_end, Ev::SendNext { img });
+                    } else {
+                        // All tiles of this image are on the wire: tell the
+                        // machine and arm whatever timers it asks for.
+                        let acts = st.lc.handle(Event::SendComplete { at: send_end });
+                        for act in acts {
+                            if let Action::ArmDeadline { span } = act {
+                                queue.push(send_end + span, Ev::Timer { img });
+                            }
+                        }
+                        if cfg.tenants[st.tenant].policy.timer == TimerPolicy::Deadline {
+                            // Fallback in case no result ever arrives: the
+                            // machine's hard timeout, as a real event. The
+                            // machine ignores it when it lands stale.
+                            queue.push(st.lc.hard_deadline(), Ev::Timer { img });
+                        }
+                    }
+                }
+                Ev::TileArrive { img, node, tile, original } => {
+                    // The image may already have completed via the timeout
+                    // (its suffix ran on the partial set); drop stragglers
+                    // but still unblock the admission gate.
+                    let Some(st) = img_states.get_mut(&img) else {
+                        gate = gate.max(img + 1);
+                        try_admit!(queue, now);
+                        continue;
+                    };
+                    if original {
+                        st.tiles_arrived += 1;
+                        st.lc.handle(Event::TileDelivered { tile });
+                    }
+                    let all_arrived = st.tiles_arrived == st.tiles_total;
+                    let tr = &tenants_rt[st.tenant];
+                    let mut work = tr.tile_work[node];
+                    if node_loaded[node] != (st.tenant, img) {
+                        node_loaded[node] = (st.tenant, img);
+                        work += tr.weight_load[node];
+                    }
+                    let (cs, ce) = node_cpus[node].run(now, work);
+                    if ce.is_finite() {
+                        st.first_compute_start = st.first_compute_start.min(cs);
+                        queue.push(ce, Ev::ComputeDone { img, node, tile });
+                        cfg.sink.emit_with(|| ObsEvent::TileCompute {
+                            at: ce,
+                            image: img,
+                            tile: tile as u32,
+                            worker: node as u32,
+                            dur: ce - cs,
+                        });
+                    }
+                    // Figure 9 pipelining: the next image becomes eligible
+                    // once this one's tiles are all on their nodes.
+                    if original && all_arrived {
+                        gate = gate.max(img + 1);
+                        try_admit!(queue, now);
+                    }
+                }
+                Ev::ComputeDone { img, node, tile } => {
+                    // The image may already be finished (its suffix ran on
+                    // zero-filled inputs); the node still sends the result,
+                    // which will be discarded on arrival.
+                    let Some(st) = img_states.get_mut(&img) else { continue };
+                    st.last_compute_end = st.last_compute_end.max(now);
+                    let tr = &tenants_rt[st.tenant];
+                    // The §4 pipeline is modeled analytically (its time is
+                    // folded into the compute span), but the byte count is
+                    // real modeled data: emit it so byte-accounting sinks
+                    // see the same schema the runtime's workers emit.
+                    cfg.sink.emit_with(|| ObsEvent::TileCompress {
+                        at: now,
+                        image: img,
+                        tile: tile as u32,
+                        worker: node as u32,
+                        dur: 0.0,
+                        bytes: tr.tile_out_bits / 8,
+                        ratio: tr.tile_out_bits as f64 / (tr.tile_out_elems as f64 * 32.0),
+                    });
+                    let occ = cfg.link.occupancy_s(tr.tile_out_bits);
+                    let (_, send_end) = channel.acquire(now, occ);
+                    st.result_busy += occ;
+                    queue.push(send_end + cfg.link.latency_s, Ev::ResultArrive { img, node, tile });
+                    cfg.sink.emit_with(|| ObsEvent::TileTransfer {
+                        at: send_end + cfg.link.latency_s,
+                        image: img,
+                        tile: tile as u32,
+                        worker: node as u32,
+                        dur: occ,
+                    });
+                }
+                Ev::ResultArrive { img, node, tile } => {
+                    // Results for an image whose record is already gone are
+                    // stragglers past the timeout: discard. Anything else —
+                    // fresh, duplicate, late — is the machine's call.
+                    let Some(st) = img_states.get_mut(&img) else { continue };
+                    let tenant = st.tenant;
+                    let acts = st.lc.handle(Event::ResultArrived {
+                        at: now,
+                        tile,
+                        worker: node,
+                        ok: true,
+                    });
+                    let mut complete = false;
+                    for act in acts {
+                        match act {
+                            // Accept carries no payload to paste in a
+                            // simulation; ZeroFill likewise models nothing.
+                            Action::ArmDeadline { span } => {
+                                queue.push(now + span, Ev::Timer { img })
+                            }
+                            Action::RecordRate { worker, rate }
+                                if dead_list.binary_search(&worker).is_err() =>
+                            {
+                                tenants_rt[tenant].stats.record_node(worker, rate)
+                            }
+                            Action::Complete => complete = true,
+                            _ => {}
+                        }
+                    }
+                    if complete {
+                        let suffix_work = tenants_rt[tenant].suffix_work;
+                        Self::start_suffix(
+                            img,
+                            now,
+                            &mut img_states,
+                            &mut central_cpu,
+                            suffix_work,
+                            &mut queue,
+                        );
+                    }
+                }
+                Ev::Timer { img } => {
+                    let st = img_states.get_mut(&img).expect("checked at loop top");
+                    let tenant = st.tenant;
+                    // Feed positively-observed deaths before judging the
+                    // deadline — the sim's equivalent of the runtime's
+                    // disconnect detection — so the machine never picks a
+                    // dead node as a re-dispatch target. The statistics are
+                    // told too (the runtime's `mark_failed` on disconnect):
+                    // the lifecycle machine suppresses rate observations
+                    // for dead nodes, so starvation must come from here,
+                    // not from stale measurements. The dead-set is sorted,
+                    // so the feed order matches the monolith's 0..k walk.
+                    for &n in &dead_list {
+                        st.lc.handle(Event::WorkerDied { worker: n });
+                        for tr in tenants_rt.iter_mut() {
+                            tr.stats.mark_failed(n);
+                        }
+                    }
+                    let acts = st.lc.handle(Event::DeadlineFired { at: now });
+                    let mut last_send_end = now;
+                    let mut redispatched_any = false;
+                    let mut arm_span = None;
+                    let mut complete = false;
+                    for act in acts {
+                        match act {
+                            Action::Redispatch { tile, to } => {
+                                let occ = cfg.link.occupancy_s(tenants_rt[tenant].tile_in_bits);
+                                // Chained pre-booking: each re-sent tile
+                                // queues behind the previous one's channel
+                                // slot, which may lie past `now` — hence
+                                // not `acquire` (events still pending at
+                                // earlier times keep the monotone clock).
+                                let (_, send_end) = channel.acquire_queued(last_send_end, occ);
+                                st.send_busy += occ;
+                                last_send_end = send_end;
+                                redispatched_any = true;
+                                queue.push(
+                                    send_end + cfg.link.latency_s,
+                                    Ev::TileArrive { img, node: to, tile, original: false },
+                                );
+                            }
+                            Action::ArmDeadline { span } => arm_span = Some(span),
+                            Action::RecordRate { worker, rate }
+                                if dead_list.binary_search(&worker).is_err() =>
+                            {
+                                tenants_rt[tenant].stats.record_node(worker, rate)
+                            }
+                            Action::Complete => complete = true,
+                            _ => {}
+                        }
+                    }
+                    if let Some(span) = arm_span {
+                        // After a re-dispatch round the clock starts when
+                        // the re-sent tiles clear the channel; the machine
+                        // treats the later firing as valid (never stale).
+                        let at = if redispatched_any {
+                            last_send_end + cfg.link.latency_s + span
+                        } else {
+                            now + span
+                        };
+                        queue.push(at, Ev::Timer { img });
+                    }
+                    if complete {
+                        let suffix_work = tenants_rt[tenant].suffix_work;
+                        Self::start_suffix(
+                            img,
+                            now,
+                            &mut img_states,
+                            &mut central_cpu,
+                            suffix_work,
+                            &mut queue,
+                        );
+                    }
+                }
+                Ev::SuffixDone { img } => {
+                    let st = img_states.remove(&img).expect("suffix for unknown image");
+                    let c = st.lc.counters();
+                    let conv_compute = if st.first_compute_start.is_finite() {
+                        (st.last_compute_end - st.first_compute_start).max(0.0)
+                    } else {
+                        0.0
+                    };
+                    let stats = ImageStats {
+                        latency_s: now - st.admitted_at,
+                        send_busy_s: st.send_busy,
+                        result_busy_s: st.result_busy,
+                        conv_compute_s: conv_compute,
+                        suffix_s: st.suffix_s,
+                        alloc: st.lc.alloc().to_vec(),
+                        // Allocated-but-never-arrived (the historical
+                        // definition): abandoned shortfall is excluded.
+                        dropped: c.zero_filled - c.abandoned,
+                        late: c.late,
+                        redispatched: c.redispatched,
+                        duplicate: c.duplicate,
+                        done_at: now,
+                    };
+                    let tenant = st.tenant;
+                    let queue_wait = st.admitted_at - st.arrival_s;
+                    let tr = &mut tenants_rt[tenant];
+                    tr.completed += 1;
+                    completed_total += 1;
+                    // Streaming aggregates, folded in completion order so
+                    // the running sums reproduce the monolith's post-run
+                    // fold bit-for-bit.
+                    tr.lat_hist.record((stats.latency_s * 1e6).round() as u64);
+                    tr.wait_hist.record((queue_wait * 1e6).round() as u64);
+                    global_lat_hist.record((stats.latency_s * 1e6).round() as u64);
+                    tr.latency_sum += stats.latency_s;
+                    tr.queue_wait_sum += queue_wait;
+                    tr.transmission_sum += stats.send_busy_s + stats.result_busy_s;
+                    tr.computation_sum += stats.conv_compute_s + stats.suffix_s;
+                    tr.tiles_allocated += stats.alloc.iter().map(|&x| x as u64).sum::<u64>();
+                    tr.dropped += stats.dropped as u64;
+                    tr.late += stats.late as u64;
+                    tr.redispatched += stats.redispatched as u64;
+                    tr.duplicate += stats.duplicate as u64;
+                    tr.last_done = now;
+                    if retained.len() < cfg.retain_images {
+                        retained.push((tenant, stats));
+                    }
+                    inflight_now -= 1;
+                    cfg.sink.emit_with(|| ObsEvent::ImageRetired {
+                        at: now,
+                        image: img,
+                        inflight: inflight_now as u32,
+                    });
+                    try_admit!(queue, now);
+                }
+            }
+        }
+        debug_assert!(queue.is_empty(), "drained loop left events behind");
+
+        let expected: u64 = cfg.tenants.iter().map(|t| t.requests as u64).sum();
+        assert_eq!(completed_total, expected, "not every request completed");
+        let total_time_s = tenants_rt.iter().map(|tr| tr.last_done).fold(0.0f64, f64::max);
+        FleetSummary {
+            tenants: cfg
+                .tenants
+                .iter()
+                .zip(&tenants_rt)
+                .map(|(spec, tr)| TenantSummary {
+                    name: spec.name.clone(),
+                    weight: spec.weight,
+                    requests: spec.requests as u64,
+                    completed: tr.completed,
+                    latency_us: tr.lat_hist.snapshot(),
+                    queue_wait_us: tr.wait_hist.snapshot(),
+                    latency_sum_s: tr.latency_sum,
+                    queue_wait_sum_s: tr.queue_wait_sum,
+                    transmission_sum_s: tr.transmission_sum,
+                    computation_sum_s: tr.computation_sum,
+                    tiles_allocated: tr.tiles_allocated,
+                    dropped_tiles: tr.dropped,
+                    late_tiles: tr.late,
+                    redispatched_tiles: tr.redispatched,
+                    duplicate_tiles: tr.duplicate,
+                    last_done_s: tr.last_done,
+                })
+                .collect(),
+            completed: completed_total,
+            latency_us: global_lat_hist.snapshot(),
+            node_busy_s: node_cpus.iter().map(|c| c.busy_total()).collect(),
+            total_time_s,
+            sim_end_s: sim_end,
+            channel_utilization: if sim_end > 0.0 { channel.busy_total() / sim_end } else { 0.0 },
+            peak_inflight,
+            peak_events_pending: peak_pending,
+            events_processed,
+            retained,
+        }
+    }
+
+    /// Run the Central-node suffix for a completed image. The Algorithm 2
+    /// rate observations were already folded in via the machine's
+    /// [`Action::RecordRate`] actions.
+    fn start_suffix(
+        img: u64,
+        now: f64,
+        img_states: &mut HashMap<u64, ImageState>,
+        central_cpu: &mut ThrottledCpu,
+        suffix_work: f64,
+        queue: &mut EventQueue<Ev>,
+    ) {
+        let st = img_states.get_mut(&img).expect("suffix for unknown image");
+        let (s, e) = central_cpu.run(now, suffix_work);
+        st.suffix_s = e - s;
+        queue.push(e, Ev::SuffixDone { img });
+    }
+}
+
+/// Single-tenant compatibility helper: the [`ArrivalSpec`] for the
+/// historical closed-loop source.
+pub fn closed_loop() -> ArrivalSpec {
+    ArrivalSpec::ClosedLoop
+}

@@ -14,8 +14,18 @@
 //!   [`ThrottleSchedule`].
 //! - [`profiles`] — calibrated bandwidths, device profiles and per-model
 //!   compression sparsities (Table 2).
-//! - [`cluster`] — the ADCNN Central + Conv-node cluster simulation
-//!   (Figures 11–13, 15, Table 3).
+//! - [`fleet`] — the multi-tenant, churn-aware fleet driver: one shared
+//!   cluster serving N models at O(events · log events) with streaming
+//!   aggregates (bounded memory at millions of virtual requests).
+//! - [`arrivals`] — seeded request-arrival processes in virtual time
+//!   (closed-loop, Poisson, bursty MMPP, trace replay).
+//! - [`churn`] — node join/leave schedules and diurnal speed curves,
+//!   composed onto per-node [`ThrottleSchedule`]s.
+//! - [`tenancy`] — per-model tenant specs and the weighted-fair
+//!   admission scheduler.
+//! - [`cluster`] — the single-model ADCNN cluster simulation (Figures
+//!   11–13, 15, Table 3); since the fleet refactor, [`AdcnnSim`] is a
+//!   thin wrapper over a one-tenant fleet with a byte-identical trace.
 //! - [`schemes`] — the comparison schemes: single-device, remote-cloud,
 //!   Neurosurgeon and AOFL (Figures 11, 14).
 //! - [`power`] — the energy/memory model behind Figure 13's right panel.
@@ -23,20 +33,28 @@
 //!   grid and split depth under an operator accuracy floor (the paper's
 //!   §7.2 closing suggestion, as an API).
 
+pub mod arrivals;
+pub mod churn;
 pub mod cluster;
 pub(crate) mod engine;
+pub mod fleet;
 pub mod planner;
 pub mod power;
 pub mod profiles;
 pub mod schemes;
+pub mod tenancy;
 
 pub use adcnn_core::config::ConfigError;
 pub use adcnn_core::obs::SinkHandle;
 pub use adcnn_core::report::{AttributionSink, FlightRecorderSink, ImageReport};
+pub use arrivals::{ArrivalGen, ArrivalSpec};
+pub use churn::ChurnPlan;
 pub use cluster::{
     replay_lifecycle_events, replay_lifecycle_events_multi, replay_lifecycle_report,
     replay_lifecycle_trace, replay_lifecycle_trace_multi, AdcnnSim, AdcnnSimConfig,
     AdcnnSimConfigBuilder, ImageStats, LifecyclePolicy, SimNode, SimSummary, ThrottleSchedule,
     TimerPolicy,
 };
+pub use fleet::{FleetConfig, FleetSim, FleetSummary, TenantSummary};
 pub use profiles::LinkParams;
+pub use tenancy::{FairScheduler, TenantSpec};

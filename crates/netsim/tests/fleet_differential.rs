@@ -1,0 +1,189 @@
+//! Differential traces pinning the fleet-engine refactor to the
+//! pre-refactor `AdcnnSim` behavior.
+//!
+//! Each test runs a single-model, no-churn, fixed-arrival configuration —
+//! the regime where the fleet driver and the historical monolithic
+//! `AdcnnSim::run` overlap — with a [`RecordingSink`] attached, formats
+//! the full structured-event stream (every lifecycle decision plus the
+//! driver's modeled compute/transfer spans) and the per-image summary,
+//! and asserts the result is byte-identical to a golden file captured
+//! from the pre-refactor monolith.
+//!
+//! The goldens were recorded at the commit *before* `AdcnnSim` became a
+//! wrapper over `fleet::FleetSim`, so these tests are the refactor's
+//! behavior-preservation proof: same decisions, same timestamps, same
+//! statistics, on healthy and fault-injected seeds.
+//!
+//! Regenerate (only when a change is *intended* to alter behavior) with:
+//! `UPDATE_FLEET_GOLDEN=1 cargo test -p adcnn-netsim --test fleet_differential`
+
+use adcnn_core::obs::{RecordingSink, SinkHandle};
+use adcnn_netsim::{AdcnnSim, AdcnnSimConfig, ThrottleSchedule, TimerPolicy};
+use adcnn_nn::zoo;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// Run `cfg` with a recording sink and format the decision trace: every
+/// ObsEvent in emission order, then the whole-run summary and per-image
+/// stats. Debug-formats `f64`s (shortest round-trip), so two runs agree
+/// iff every modeled timestamp and statistic agrees to the last bit.
+fn decision_trace(mut cfg: AdcnnSimConfig) -> String {
+    let rec = Arc::new(RecordingSink::new());
+    cfg.sink = SinkHandle::new(rec.clone());
+    let s = AdcnnSim::new(cfg).run();
+    let mut out = String::new();
+    for e in rec.events() {
+        out.push_str(&format!("{e:?}\n"));
+    }
+    out.push_str(&format!(
+        "SUMMARY images={} mean_latency_s={:?} mean_transmission_s={:?} \
+         mean_computation_s={:?} total_time_s={:?} sim_end_s={:?} \
+         channel_utilization={:?} node_busy_s={:?}\n",
+        s.images.len(),
+        s.mean_latency_s,
+        s.mean_transmission_s,
+        s.mean_computation_s,
+        s.total_time_s,
+        s.sim_end_s,
+        s.channel_utilization,
+        s.node_busy_s,
+    ));
+    for img in &s.images {
+        out.push_str(&format!(
+            "IMG done_at={:?} latency_s={:?} send_busy_s={:?} result_busy_s={:?} \
+             conv_compute_s={:?} suffix_s={:?} dropped={} late={} redispatched={} \
+             duplicate={} alloc={:?}\n",
+            img.done_at,
+            img.latency_s,
+            img.send_busy_s,
+            img.result_busy_s,
+            img.conv_compute_s,
+            img.suffix_s,
+            img.dropped,
+            img.late,
+            img.redispatched,
+            img.duplicate,
+            img.alloc,
+        ));
+    }
+    out
+}
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden").join(format!("{name}.txt"))
+}
+
+fn check_golden(name: &str, cfg: AdcnnSimConfig) {
+    let got = decision_trace(cfg);
+    let path = golden_path(name);
+    if std::env::var("UPDATE_FLEET_GOLDEN").is_ok() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &got).unwrap();
+        return;
+    }
+    let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!("missing golden {path:?} ({e}); run with UPDATE_FLEET_GOLDEN=1")
+    });
+    if got != want {
+        // Point at the first diverging line rather than dumping two
+        // multi-thousand-line traces.
+        for (i, (g, w)) in got.lines().zip(want.lines()).enumerate() {
+            assert_eq!(g, w, "golden {name} diverges at line {}", i + 1);
+        }
+        assert_eq!(
+            got.lines().count(),
+            want.lines().count(),
+            "golden {name}: traces agree on common prefix but differ in length"
+        );
+        unreachable!("golden {name}: traces differ but no diverging line found");
+    }
+}
+
+/// §7.2 testbed, all nodes healthy, classic one-image-ahead pipeline.
+#[test]
+fn golden_healthy_vgg16() {
+    let mut cfg = AdcnnSimConfig::paper_testbed(zoo::vgg16(), 8);
+    cfg.images = 12;
+    cfg.pipeline_depth = 2;
+    cfg.seed = 42;
+    check_golden("fleet_healthy_vgg16", cfg);
+}
+
+/// Second architecture + deeper admission window + a different seed, so
+/// the golden covers the allocator's RNG tie-breaking on another model's
+/// grid and cost surface.
+#[test]
+fn golden_healthy_resnet18_depth3() {
+    let mut cfg = AdcnnSimConfig::paper_testbed(zoo::resnet18(), 4);
+    cfg.images = 8;
+    cfg.pipeline_depth = 3;
+    cfg.seed = 1234;
+    check_golden("fleet_healthy_resnet18_depth3", cfg);
+}
+
+/// Fault injection: one node dead from t=0; lifecycle recovery on, so the
+/// golden pins the re-dispatch rounds, the WorkerDied feed at timers, and
+/// the Algorithm 2 starvation path.
+#[test]
+fn golden_dead_node_redispatch() {
+    let mut cfg = AdcnnSimConfig::paper_testbed(zoo::vgg16(), 4);
+    cfg.images = 16;
+    cfg.pipeline_depth = 2;
+    cfg.seed = 7;
+    cfg.nodes[3].throttle = ThrottleSchedule::throttle_at(0.0, 0.0);
+    check_golden("fleet_dead_node_redispatch", cfg);
+}
+
+/// Same dead node with re-dispatch disabled: the paper's pure zero-fill
+/// behavior (§6.3). Pins the ZeroFill decisions and drop accounting.
+#[test]
+fn golden_dead_node_zerofill() {
+    let mut cfg = AdcnnSimConfig::paper_testbed(zoo::vgg16(), 4);
+    cfg.images = 10;
+    cfg.pipeline_depth = 2;
+    cfg.seed = 5;
+    cfg.policy.max_redispatch_rounds = 0;
+    cfg.nodes[3].throttle = ThrottleSchedule::throttle_at(0.0, 0.0);
+    check_golden("fleet_dead_node_zerofill", cfg);
+}
+
+/// Mid-run throttling of half the cluster (the Figure 15 shape): pins the
+/// EWMA adaptation trajectory and the deadline/late accounting under a
+/// changing speed surface.
+#[test]
+fn golden_throttled_midrun() {
+    let mut cfg = AdcnnSimConfig::paper_testbed(zoo::vgg16(), 8);
+    cfg.images = 20;
+    cfg.pipeline_depth = 3;
+    cfg.seed = 123;
+    cfg.nodes[4].throttle = ThrottleSchedule::throttle_at(0.15, 0.45);
+    cfg.nodes[5].throttle = ThrottleSchedule::throttle_at(0.15, 0.45);
+    cfg.nodes[6].throttle = ThrottleSchedule::throttle_at(0.30, 0.24);
+    check_golden("fleet_throttled_midrun", cfg);
+}
+
+/// The literal reading of the paper's T_L timer (AfterSend): aggressive
+/// zero-fill, unpipelined. Pins the stale-timer and late-result paths.
+#[test]
+fn golden_after_send_policy() {
+    let mut cfg = AdcnnSimConfig::paper_testbed(zoo::vgg16(), 4);
+    cfg.images = 6;
+    cfg.pipeline_depth = 1;
+    cfg.seed = 9;
+    cfg.policy.timer = TimerPolicy::AfterSend;
+    check_golden("fleet_after_send_policy", cfg);
+}
+
+/// Storage-capped node (Equation 1's H_k bound): pins the allocator's
+/// capacity-fallback placement inside the full event loop.
+#[test]
+fn golden_storage_capped() {
+    let mut cfg = AdcnnSimConfig::paper_testbed(zoo::vgg16(), 4);
+    cfg.images = 8;
+    cfg.pipeline_depth = 1;
+    cfg.seed = 11;
+    let tile_bits =
+        cfg.model.input_wire_bits() / cfg.grid.tiles() as u64 + adcnn_core::wire::HEADER_BITS;
+    cfg.nodes[0].storage_bits = tile_bits * 3 + tile_bits / 2;
+    check_golden("fleet_storage_capped", cfg);
+}

@@ -47,6 +47,9 @@ pub mod prelude {
         Reporter, ReporterSample, TileReport,
     };
     pub use adcnn_netsim::cluster::{AdcnnSim, AdcnnSimConfig, AdcnnSimConfigBuilder, SimSummary};
+    pub use adcnn_netsim::{
+        ArrivalSpec, ChurnPlan, FleetConfig, FleetSim, FleetSummary, SimNode, TenantSpec,
+    };
     pub use adcnn_nn::zoo::{alexnet, resnet18, resnet34, vgg16, yolo, ModelSpec};
     pub use adcnn_retrain::PartitionedModel;
     pub use adcnn_runtime::central::{
