@@ -64,13 +64,16 @@ cargo bench -p adcnn-bench --bench transport_loopback >/dev/null
 grep -q '"loopback_tcp"' results/BENCH_runtime.json
 cat results/BENCH_runtime.json
 
-echo "==> fleet-scale smoke scenario (results/BENCH_netsim.json)"
+echo "==> fleet-scale smoke scenario + placement sweep (results/BENCH_netsim.json)"
 # Seeded fleet smoke: the size/load sweeps shrink, but the headline
 # scenario still runs 64 nodes, 2 models, churn on, ~50k virtual requests
 # in seconds of wall time. The bench self-asserts scaling/queueing
-# invariants, a < 512 MiB RSS bound on the bulk run, and that the emitted
-# document passes obs::json::is_well_formed before and after the write.
+# invariants, a < 512 MiB RSS bound on the bulk run, that at least one
+# placement policy beats the all-nodes baseline on throughput or p99,
+# and that the emitted document passes obs::json::is_well_formed before
+# and after the write.
 FLEET_SMOKE=1 cargo bench -p adcnn-bench --bench fleet_scale >/dev/null
 grep -q '"fleet"' results/BENCH_netsim.json
+grep -q '"placement"' results/BENCH_netsim.json
 
 echo "==> CI OK"

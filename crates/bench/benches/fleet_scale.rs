@@ -14,9 +14,13 @@
 use adcnn_bench::{emit_raw_json, print_table, results_dir};
 use adcnn_core::fdsp::TileGrid;
 use adcnn_core::obs::json::{self, array, Obj};
-use adcnn_netsim::{ArrivalSpec, ChurnPlan, FleetConfig, FleetSim, SimNode, TenantSpec};
+use adcnn_netsim::{
+    AllNodesPlacement, ArrivalSpec, ChurnAwarePlacement, ChurnPlan, FleetConfig, FleetSim,
+    GreedyPlacement, PlacementPolicy, SimNode, TenantSpec,
+};
 use adcnn_nn::cost::DeviceProfile;
 use adcnn_nn::zoo;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// One cluster size in the closed-loop VGG16 sweep.
@@ -123,6 +127,86 @@ impl TenantScenario {
     }
 }
 
+/// One placement policy's showing on the headline multi-tenant churn
+/// scenario: same fleet, same tenants, same churn, same seed — only the
+/// tenant-to-node placement differs.
+struct PlacementPoint {
+    policy: &'static str,
+    throughput_rps: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+    zero_fill_rate: f64,
+    redispatched_tiles: u64,
+    replacements: u64,
+    /// Initial decision: (tenant, placed-node count).
+    tenant_nodes: Vec<(String, usize)>,
+    wall_ms: f64,
+}
+
+impl PlacementPoint {
+    fn to_json(&self, base: &PlacementPoint) -> String {
+        Obj::new()
+            .str("policy", self.policy)
+            .f64("throughput_rps", self.throughput_rps)
+            .f64("p50_ms", self.p50_ms)
+            .f64("p99_ms", self.p99_ms)
+            .f64("zero_fill_rate", self.zero_fill_rate)
+            .u64("redispatched_tiles", self.redispatched_tiles)
+            .u64("replacements", self.replacements)
+            .raw(
+                "tenant_nodes",
+                array(
+                    self.tenant_nodes
+                        .iter()
+                        .map(|(t, k)| Obj::new().str("tenant", t).u64("nodes", *k as u64).finish()),
+                ),
+            )
+            .f64("throughput_gain_pct", gain_pct(self.throughput_rps, base.throughput_rps))
+            .f64("p99_reduction_pct", gain_pct(base.p99_ms, self.p99_ms))
+            .f64("wall_ms", self.wall_ms)
+            .finish()
+    }
+}
+
+/// Relative improvement of `new` over `base`, percent (positive = better
+/// when larger-is-better; call with swapped args for smaller-is-better).
+fn gain_pct(new: f64, base: f64) -> f64 {
+    if base == 0.0 {
+        0.0
+    } else {
+        (new - base) / base * 100.0
+    }
+}
+
+fn placement_point(
+    policy: &'static str,
+    requests_each: usize,
+    capacity: f64,
+    pol: Arc<dyn PlacementPolicy>,
+) -> PlacementPoint {
+    let cfg = multi_tenant_cfg(requests_each, capacity, pol);
+    let wall = Instant::now();
+    let fs = FleetSim::new(cfg).run();
+    let wall_ms = wall.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(fs.completed as usize, 2 * requests_each);
+    PlacementPoint {
+        policy,
+        throughput_rps: fs.throughput_rps(),
+        p50_ms: ms(fs.p50_latency_s()),
+        p99_ms: ms(fs.p99_latency_s()),
+        zero_fill_rate: fs.zero_fill_rate(),
+        redispatched_tiles: fs.tenants.iter().map(|t| t.redispatched_tiles).sum(),
+        replacements: fs.replacements,
+        tenant_nodes: fs
+            .placement
+            .assignments
+            .iter()
+            .map(|a| (a.tenant.clone(), a.nodes.len()))
+            .collect(),
+        wall_ms,
+    }
+}
+
 /// Million-request run with per-image retention off: peak RSS stays flat,
 /// the streaming aggregates carry the whole latency surface.
 struct MemoryRun {
@@ -164,15 +248,20 @@ fn peak_rss_mib() -> Option<f64> {
 }
 
 fn size_point(nodes: usize, requests: usize) -> SizePoint {
-    let mut tenant = TenantSpec::new(zoo::vgg16());
-    tenant.requests = requests;
     // 16×16 tiles so even the 256-node fleet has one tile per node; a
     // V100-class central keeps the suffix stage off the critical path so
     // the sweep measures the Conv fleet, not the aggregator.
-    tenant.grid = TileGrid::new(16, 16);
-    let mut cfg = FleetConfig::new(pis(nodes), vec![tenant]);
-    cfg.central = DeviceProfile::cloud_v100();
-    cfg.pipeline_depth = 4;
+    let tenant = TenantSpec::builder(zoo::vgg16())
+        .requests(requests)
+        .grid(TileGrid::new(16, 16))
+        .build()
+        .expect("valid sweep tenant");
+    let cfg = FleetConfig::builder(pis(nodes))
+        .tenant(tenant)
+        .central(DeviceProfile::cloud_v100())
+        .pipeline_depth(4)
+        .build()
+        .expect("valid sweep fleet");
     let wall = Instant::now();
     let fs = FleetSim::new(cfg).run();
     let wall_ms = wall.elapsed().as_secs_f64() * 1e3;
@@ -191,13 +280,18 @@ fn size_point(nodes: usize, requests: usize) -> SizePoint {
 
 fn load_point(nodes: usize, requests: usize, capacity_rps: f64, load: f64) -> LoadPoint {
     let offered = capacity_rps * load;
-    let mut tenant = TenantSpec::new(zoo::vgg16());
-    tenant.requests = requests;
-    tenant.grid = TileGrid::new(16, 16);
-    tenant.arrivals = ArrivalSpec::Poisson { rate_per_s: offered };
-    let mut cfg = FleetConfig::new(pis(nodes), vec![tenant]);
-    cfg.central = DeviceProfile::cloud_v100();
-    cfg.pipeline_depth = 4;
+    let tenant = TenantSpec::builder(zoo::vgg16())
+        .requests(requests)
+        .grid(TileGrid::new(16, 16))
+        .arrivals(ArrivalSpec::poisson(offered).expect("positive offered load"))
+        .build()
+        .expect("valid load tenant");
+    let cfg = FleetConfig::builder(pis(nodes))
+        .tenant(tenant)
+        .central(DeviceProfile::cloud_v100())
+        .pipeline_depth(4)
+        .build()
+        .expect("valid load fleet");
     let fs = FleetSim::new(cfg).run();
     assert_eq!(fs.completed as usize, requests);
     let t = &fs.tenants[0];
@@ -212,48 +306,76 @@ fn load_point(nodes: usize, requests: usize, capacity_rps: f64, load: f64) -> Lo
     }
 }
 
-/// The headline scenario (and ci.sh's smoke): 64 nodes, two models at 2:1
-/// weights under Poisson load, join/leave churn plus a diurnal capacity
-/// curve on every node.
-fn multi_tenant(requests_each: usize) -> TenantScenario {
-    let nodes_n = 64;
-    // Calibrate offered load against the churn-free closed-loop capacity
-    // so the open-loop scenario is busy but stable.
-    let mut cal = TenantSpec::new(zoo::vgg16());
-    cal.grid = TileGrid::new(4, 4);
-    cal.requests = 2_000;
-    let mut cal_cfg = FleetConfig::new(pis(nodes_n), vec![cal]);
-    cal_cfg.pipeline_depth = 4;
-    let capacity = FleetSim::new(cal_cfg).run().throughput_rps();
+/// Churn-free closed-loop capacity of a `nodes_n`-node fleet — the anchor
+/// the open-loop scenarios calibrate their offered load against.
+fn fleet_capacity(nodes_n: usize) -> f64 {
+    let cal = TenantSpec::builder(zoo::vgg16())
+        .grid(TileGrid::new(4, 4))
+        .requests(2_000)
+        .build()
+        .expect("valid calibration tenant");
+    let cfg = FleetConfig::builder(pis(nodes_n))
+        .tenant(cal)
+        .pipeline_depth(4)
+        .build()
+        .expect("valid calibration fleet");
+    FleetSim::new(cfg).run().throughput_rps()
+}
 
-    let mut a = TenantSpec::new(zoo::vgg16());
-    a.grid = TileGrid::new(4, 4);
-    a.weight = 2.0;
-    a.requests = requests_each;
-    a.arrivals = ArrivalSpec::Poisson { rate_per_s: capacity * 0.6 };
-    let mut b = TenantSpec::new(zoo::resnet34());
-    b.grid = TileGrid::new(4, 4);
-    b.weight = 1.0;
-    b.requests = requests_each;
-    b.arrivals = ArrivalSpec::Poisson { rate_per_s: capacity * 0.3 };
+/// The headline scenario's config: 64 nodes, two models at 2:1 weights
+/// under Poisson load, join/leave churn plus a diurnal capacity curve on
+/// every node — parameterized by the placement policy so the placement
+/// sweep runs the *same* fleet under each policy.
+fn multi_tenant_cfg(
+    requests_each: usize,
+    capacity: f64,
+    placement: Arc<dyn PlacementPolicy>,
+) -> FleetConfig {
+    let nodes_n = 64;
+    let a = TenantSpec::builder(zoo::vgg16())
+        .grid(TileGrid::new(4, 4))
+        .weight(2.0)
+        .requests(requests_each)
+        .arrivals(ArrivalSpec::poisson(capacity * 0.6).expect("positive offered load"))
+        .build()
+        .expect("valid tenant a");
+    let b = TenantSpec::builder(zoo::resnet34())
+        .grid(TileGrid::new(4, 4))
+        .weight(1.0)
+        .requests(requests_each)
+        .arrivals(ArrivalSpec::poisson(capacity * 0.3).expect("positive offered load"))
+        .build()
+        .expect("valid tenant b");
 
     let horizon = requests_each as f64 / (capacity * 0.3) * 1.5;
     let mut nodes = pis(nodes_n);
-    ChurnPlan::new(horizon, 2024)
+    ChurnPlan::builder(horizon, 2024)
         .join_leave(horizon / 8.0, horizon / 40.0)
         .diurnal(horizon / 4.0, 0.5)
+        .build()
+        .expect("valid churn plan")
         .apply(&mut nodes);
 
-    let mut cfg = FleetConfig::new(nodes, vec![a, b]);
-    cfg.pipeline_depth = 4;
-    cfg.seed = 7;
+    FleetConfig::builder(nodes)
+        .tenants(vec![a, b])
+        .pipeline_depth(4)
+        .seed(7)
+        .placement(placement)
+        .build()
+        .expect("valid multi-tenant fleet")
+}
+
+/// The headline scenario (and ci.sh's smoke) under the default all-nodes
+/// placement.
+fn multi_tenant(requests_each: usize, capacity: f64) -> TenantScenario {
+    let cfg = multi_tenant_cfg(requests_each, capacity, Arc::new(AllNodesPlacement));
     let wall = Instant::now();
     let fs = FleetSim::new(cfg).run();
     let wall_ms = wall.elapsed().as_secs_f64() * 1e3;
     assert_eq!(fs.completed as usize, 2 * requests_each);
 
     TenantScenario {
-        nodes: nodes_n,
+        nodes: 64,
         requests_total: fs.completed,
         churn: true,
         events_processed: fs.events_processed,
@@ -278,12 +400,17 @@ fn multi_tenant(requests_each: usize) -> TenantScenario {
 }
 
 fn bounded_memory(requests: usize) -> MemoryRun {
-    let mut tenant = TenantSpec::new(zoo::vgg16());
-    tenant.grid = TileGrid::new(2, 2);
-    tenant.requests = requests;
-    let mut cfg = FleetConfig::new(pis(4), vec![tenant]);
-    cfg.pipeline_depth = 4;
+    let tenant = TenantSpec::builder(zoo::vgg16())
+        .grid(TileGrid::new(2, 2))
+        .requests(requests)
+        .build()
+        .expect("valid bulk tenant");
     // retain_images defaults to 0: no per-image records at all.
+    let cfg = FleetConfig::builder(pis(4))
+        .tenant(tenant)
+        .pipeline_depth(4)
+        .build()
+        .expect("valid bulk fleet");
     let wall = Instant::now();
     let fs = FleetSim::new(cfg).run();
     let wall_ms = wall.elapsed().as_secs_f64() * 1e3;
@@ -377,7 +504,11 @@ fn main() {
         under.mean_queue_wait_ms
     );
 
-    let mt = multi_tenant(mt_each);
+    // The headline scenario calibrates its offered load against the
+    // churn-free closed-loop capacity so the open-loop runs are busy but
+    // stable — measured once, shared with the placement sweep below.
+    let mt_capacity = fleet_capacity(64);
+    let mt = multi_tenant(mt_each, mt_capacity);
     print_table(
         "Multi-tenant churn scenario — 64 nodes, join/leave + diurnal",
         &["tenant", "weight", "requests", "p50 (ms)", "p99 (ms)", "queue wait (ms)", "zero-fill"],
@@ -409,6 +540,63 @@ fn main() {
         mt.wall_ms / 1e3,
     );
 
+    // Placement sweep: the same 64-node two-model churn scenario under
+    // each placement policy — all_nodes is the PR-8 baseline (identity
+    // placement), greedy packs for throughput against the shared-channel
+    // saturation model, churn_aware additionally prices in each node's
+    // availability over the churn horizon.
+    let psweep: Vec<PlacementPoint> = vec![
+        placement_point("all_nodes", mt_each, mt_capacity, Arc::new(AllNodesPlacement)),
+        placement_point("greedy", mt_each, mt_capacity, Arc::new(GreedyPlacement::default())),
+        placement_point(
+            "churn_aware",
+            mt_each,
+            mt_capacity,
+            Arc::new(ChurnAwarePlacement::default()),
+        ),
+    ];
+    let base = &psweep[0];
+    print_table(
+        "Placement sweep — 64 nodes, 2 models, churn on",
+        &["policy", "req/s", "p50 (ms)", "p99 (ms)", "zero-fill", "redisp", "re-place", "wall"],
+        &psweep
+            .iter()
+            .map(|p| {
+                vec![
+                    p.policy.to_string(),
+                    format!("{:.2}", p.throughput_rps),
+                    format!("{:.1}", p.p50_ms),
+                    format!("{:.1}", p.p99_ms),
+                    format!("{:.4}", p.zero_fill_rate),
+                    p.redispatched_tiles.to_string(),
+                    p.replacements.to_string(),
+                    format!("{:.0}", p.wall_ms),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    let placement_gain = |p: &PlacementPoint| {
+        gain_pct(p.throughput_rps, base.throughput_rps).max(gain_pct(base.p99_ms, p.p99_ms))
+    };
+    let best =
+        psweep[1..].iter().max_by(|a, b| placement_gain(a).total_cmp(&placement_gain(b))).unwrap();
+    println!(
+        "placement: {} vs all_nodes — throughput {:+.2}%, p99 {:+.2}%, \
+         zero-fill {:.4} vs {:.4}",
+        best.policy,
+        gain_pct(best.throughput_rps, base.throughput_rps),
+        gain_pct(base.p99_ms, best.p99_ms),
+        best.zero_fill_rate,
+        base.zero_fill_rate,
+    );
+    assert!(
+        placement_gain(best) > 0.0,
+        "no placement policy beat all_nodes on throughput or p99 \
+         (best {} at {:+.3}%)",
+        best.policy,
+        placement_gain(best)
+    );
+
     let mem = bounded_memory(mem_req);
     println!(
         "bounded memory: {} requests, {} events ({} peak pending), {} retained, \
@@ -429,6 +617,21 @@ fn main() {
                 .raw("size_sweep", array(size_sweep.iter().map(|p| p.to_json())))
                 .raw("load_sweep", array(load_sweep.iter().map(|p| p.to_json())))
                 .raw("multi_tenant", mt.to_json())
+                .raw(
+                    "placement",
+                    Obj::new()
+                        .u64("nodes", 64)
+                        .u64("requests_each", mt_each as u64)
+                        .str("baseline", "all_nodes")
+                        .raw("policies", array(psweep.iter().map(|p| p.to_json(base))))
+                        .str("best_policy", best.policy)
+                        .f64(
+                            "best_throughput_gain_pct",
+                            gain_pct(best.throughput_rps, base.throughput_rps),
+                        )
+                        .f64("best_p99_reduction_pct", gain_pct(base.p99_ms, best.p99_ms))
+                        .finish(),
+                )
                 .raw("bounded_memory", mem.to_json())
                 .finish(),
         )

@@ -55,6 +55,16 @@ pub enum ConfigError {
     NonPositiveTenantWeight(f64),
     /// A fleet simulation needs at least one tenant.
     NoTenants,
+    /// A churn plan covers a window of virtual time; an empty or negative
+    /// horizon generates no schedules.
+    NonPositiveChurnHorizon(f64),
+    /// A diurnal capacity curve needs a positive period to oscillate over.
+    NonPositiveDiurnalPeriod(f64),
+    /// The diurnal valley multiplier must lie in (0, 1]: 0 would be
+    /// death (that is what join/leave models), above 1 is not a trough.
+    DiurnalTroughOutOfRange(f64),
+    /// A placement headroom factor must be finite and nonnegative.
+    NegativePlacementHeadroom(f64),
 }
 
 impl std::fmt::Display for ConfigError {
@@ -110,6 +120,18 @@ impl std::fmt::Display for ConfigError {
             }
             ConfigError::NoTenants => {
                 write!(f, "at least one tenant is required")
+            }
+            ConfigError::NonPositiveChurnHorizon(v) => {
+                write!(f, "churn horizon must be > 0 (got {v})")
+            }
+            ConfigError::NonPositiveDiurnalPeriod(v) => {
+                write!(f, "diurnal period must be > 0 (got {v})")
+            }
+            ConfigError::DiurnalTroughOutOfRange(v) => {
+                write!(f, "diurnal trough must be in (0, 1] (got {v})")
+            }
+            ConfigError::NegativePlacementHeadroom(v) => {
+                write!(f, "placement headroom must be finite and >= 0 (got {v})")
             }
         }
     }

@@ -54,6 +54,64 @@ pub enum ArrivalSpec {
 }
 
 impl ArrivalSpec {
+    /// The closed-loop compatibility mode (cannot fail — provided so the
+    /// validated constructors cover every variant).
+    pub fn closed_loop() -> Self {
+        ArrivalSpec::ClosedLoop
+    }
+
+    /// A validated open-loop Poisson process at `rate_per_s`.
+    pub fn poisson(rate_per_s: f64) -> Result<Self, ConfigError> {
+        let spec = ArrivalSpec::Poisson { rate_per_s };
+        spec.validate()?;
+        Ok(spec)
+    }
+
+    /// A validated two-state MMPP: `rate_lo` may be 0 (pure on/off),
+    /// `rate_hi` and both mean dwells must be positive.
+    pub fn mmpp(
+        rate_lo: f64,
+        rate_hi: f64,
+        mean_dwell_lo_s: f64,
+        mean_dwell_hi_s: f64,
+    ) -> Result<Self, ConfigError> {
+        let spec = ArrivalSpec::Mmpp { rate_lo, rate_hi, mean_dwell_lo_s, mean_dwell_hi_s };
+        spec.validate()?;
+        Ok(spec)
+    }
+
+    /// A validated trace replay: `times` must be nonnegative and
+    /// time-sorted.
+    pub fn trace(times: Vec<f64>) -> Result<Self, ConfigError> {
+        let spec = ArrivalSpec::Trace { times };
+        spec.validate()?;
+        Ok(spec)
+    }
+
+    /// Long-run mean offered load, requests/second: the Poisson rate, the
+    /// MMPP dwell-weighted average rate, a trace's span-mean. `None` for
+    /// closed-loop tenants (their demand is whatever capacity allows) and
+    /// for traces too short to define a rate. The placement cost oracle
+    /// uses this as the tenant's target rate.
+    pub fn mean_rate_per_s(&self) -> Option<f64> {
+        match self {
+            ArrivalSpec::ClosedLoop => None,
+            ArrivalSpec::Poisson { rate_per_s } => Some(*rate_per_s),
+            ArrivalSpec::Mmpp { rate_lo, rate_hi, mean_dwell_lo_s, mean_dwell_hi_s } => {
+                let span = mean_dwell_lo_s + mean_dwell_hi_s;
+                Some((rate_lo * mean_dwell_lo_s + rate_hi * mean_dwell_hi_s) / span)
+            }
+            ArrivalSpec::Trace { times } => {
+                let span = times.last()? - times.first()?;
+                if span > 0.0 {
+                    Some((times.len() as f64 - 1.0) / span)
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
     /// Check the invariants the fleet config relies on.
     pub fn validate(&self) -> Result<(), ConfigError> {
         match self {
@@ -290,5 +348,29 @@ mod tests {
         .validate()
         .is_err());
         assert!(ArrivalSpec::ClosedLoop.validate().is_ok());
+    }
+
+    #[test]
+    fn validated_constructors_reject_what_validate_rejects() {
+        assert!(ArrivalSpec::poisson(5.0).is_ok());
+        assert!(ArrivalSpec::poisson(0.0).is_err());
+        assert!(ArrivalSpec::mmpp(0.0, 10.0, 1.0, 1.0).is_ok());
+        assert!(ArrivalSpec::mmpp(0.0, 10.0, 1.0, 0.0).is_err());
+        assert!(ArrivalSpec::trace(vec![0.0, 1.0]).is_ok());
+        assert!(ArrivalSpec::trace(vec![1.0, 0.5]).is_err());
+        assert!(ArrivalSpec::closed_loop().is_closed_loop());
+    }
+
+    #[test]
+    fn mean_rate_matches_the_process() {
+        assert_eq!(ArrivalSpec::ClosedLoop.mean_rate_per_s(), None);
+        assert_eq!(ArrivalSpec::poisson(4.0).unwrap().mean_rate_per_s(), Some(4.0));
+        // Dwell-weighted: (1*3 + 9*1) / 4 = 3.0
+        let m = ArrivalSpec::mmpp(1.0, 9.0, 3.0, 1.0).unwrap().mean_rate_per_s().unwrap();
+        assert!((m - 3.0).abs() < 1e-12, "{m}");
+        // 3 arrivals over 2 s span -> 1 req/s
+        let t = ArrivalSpec::trace(vec![0.0, 1.0, 2.0]).unwrap().mean_rate_per_s().unwrap();
+        assert!((t - 1.0).abs() < 1e-12, "{t}");
+        assert_eq!(ArrivalSpec::trace(vec![1.0]).unwrap().mean_rate_per_s(), None);
     }
 }

@@ -20,6 +20,7 @@
 
 use crate::cluster::SimNode;
 use crate::engine::SpeedSchedule;
+use adcnn_core::config::ConfigError;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -27,7 +28,7 @@ use rand::{Rng, SeedableRng};
 /// [`ChurnPlan::new`], add layers, then [`ChurnPlan::apply`] it to a
 /// roster (or ask for a single node's schedule with
 /// [`ChurnPlan::schedule_for`]).
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct ChurnPlan {
     horizon_s: f64,
     seed: u64,
@@ -45,6 +46,13 @@ impl ChurnPlan {
     pub fn new(horizon_s: f64, seed: u64) -> Self {
         assert!(horizon_s > 0.0, "horizon must be positive");
         ChurnPlan { horizon_s, seed, diurnal: None, join_leave: None }
+    }
+
+    /// Start building a validated plan over `[0, horizon_s)`; unlike the
+    /// asserting chained constructors, the builder reports nonsense as a
+    /// typed [`ConfigError`] at [`ChurnPlanBuilder::build`] time.
+    pub fn builder(horizon_s: f64, seed: u64) -> ChurnPlanBuilder {
+        ChurnPlanBuilder { horizon_s, seed, diurnal: None, join_leave: None }
     }
 
     /// Layer a diurnal speed curve: capacity swings between full speed at
@@ -134,9 +142,98 @@ impl ChurnPlan {
     }
 }
 
+/// Builder for [`ChurnPlan`]; see [`ChurnPlan::builder`].
+#[derive(Clone, Debug)]
+pub struct ChurnPlanBuilder {
+    horizon_s: f64,
+    seed: u64,
+    diurnal: Option<(f64, f64)>,
+    join_leave: Option<(f64, f64)>,
+}
+
+impl ChurnPlanBuilder {
+    /// Layer a diurnal speed curve (see [`ChurnPlan::diurnal`]).
+    pub fn diurnal(mut self, period_s: f64, trough: f64) -> Self {
+        self.diurnal = Some((period_s, trough));
+        self
+    }
+
+    /// Layer an exponential join/leave process (see
+    /// [`ChurnPlan::join_leave`]).
+    pub fn join_leave(mut self, mean_up_s: f64, mean_down_s: f64) -> Self {
+        self.join_leave = Some((mean_up_s, mean_down_s));
+        self
+    }
+
+    /// Validate and produce the plan.
+    pub fn build(self) -> Result<ChurnPlan, ConfigError> {
+        if !(self.horizon_s.is_finite() && self.horizon_s > 0.0) {
+            return Err(ConfigError::NonPositiveChurnHorizon(self.horizon_s));
+        }
+        if let Some((period, trough)) = self.diurnal {
+            if !(period.is_finite() && period > 0.0) {
+                return Err(ConfigError::NonPositiveDiurnalPeriod(period));
+            }
+            if !(trough > 0.0 && trough <= 1.0) {
+                return Err(ConfigError::DiurnalTroughOutOfRange(trough));
+            }
+        }
+        if let Some((up, down)) = self.join_leave {
+            for d in [up, down] {
+                if !(d.is_finite() && d > 0.0) {
+                    return Err(ConfigError::NonPositiveDwell(d));
+                }
+            }
+        }
+        Ok(ChurnPlan {
+            horizon_s: self.horizon_s,
+            seed: self.seed,
+            diurnal: self.diurnal,
+            join_leave: self.join_leave,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn builder_matches_chained_constructors() {
+        let built = ChurnPlan::builder(1000.0, 42)
+            .diurnal(100.0, 0.3)
+            .join_leave(200.0, 20.0)
+            .build()
+            .unwrap();
+        let chained = ChurnPlan::new(1000.0, 42).diurnal(100.0, 0.3).join_leave(200.0, 20.0);
+        for n in 0..4 {
+            let (a, b) = (built.schedule_for(n), chained.schedule_for(n));
+            for &t in &[0.0, 17.0, 99.5, 512.0, 999.0] {
+                assert_eq!(a.multiplier_at(t), b.multiplier_at(t));
+            }
+        }
+    }
+
+    #[test]
+    fn builder_rejects_nonsense_with_typed_errors() {
+        assert_eq!(
+            ChurnPlan::builder(0.0, 1).build(),
+            Err(ConfigError::NonPositiveChurnHorizon(0.0))
+        );
+        assert_eq!(
+            ChurnPlan::builder(10.0, 1).diurnal(-5.0, 0.5).build(),
+            Err(ConfigError::NonPositiveDiurnalPeriod(-5.0))
+        );
+        assert_eq!(
+            ChurnPlan::builder(10.0, 1).diurnal(5.0, 1.5).build(),
+            Err(ConfigError::DiurnalTroughOutOfRange(1.5))
+        );
+        assert_eq!(
+            ChurnPlan::builder(10.0, 1).join_leave(5.0, 0.0).build(),
+            Err(ConfigError::NonPositiveDwell(0.0))
+        );
+        assert!(ChurnPlan::builder(f64::NAN, 1).build().is_err());
+    }
 
     #[test]
     fn plan_is_deterministic_per_node() {

@@ -424,6 +424,7 @@ impl AdcnnSim {
             seed: cfg.seed,
             retain_images: cfg.images,
             sink: cfg.sink.clone(),
+            placement: std::sync::Arc::new(crate::placement::AllNodesPlacement),
         };
         let fs = FleetSim::new(fleet).run();
         let mut images: Vec<ImageStats> = fs.retained.into_iter().map(|(_, s)| s).collect();

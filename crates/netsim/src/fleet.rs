@@ -36,6 +36,7 @@
 use crate::arrivals::{ArrivalGen, ArrivalSpec};
 use crate::cluster::{ImageStats, SimNode};
 use crate::engine::{EventQueue, FifoResource, SpeedSchedule, ThrottledCpu};
+use crate::placement::{AllNodesPlacement, PlacementDecision, PlacementInput, PlacementPolicy};
 use crate::profiles::LinkParams;
 use crate::tenancy::{FairScheduler, TenantSpec};
 use adcnn_core::compress::wire_bits_estimate;
@@ -49,6 +50,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::Serialize;
 use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
 
 /// Full configuration of one fleet run: one cluster, N tenants.
 #[derive(Clone, Debug)]
@@ -74,6 +76,10 @@ pub struct FleetConfig {
     /// Structured-event sink (decisions + modeled spans), the runtime's
     /// schema. Default never constructs events.
     pub sink: SinkHandle,
+    /// Tenant-to-node placement policy, consulted at startup and after
+    /// every join/leave churn event. The default [`AllNodesPlacement`]
+    /// reproduces the pre-placement engine byte-for-byte.
+    pub placement: Arc<dyn PlacementPolicy>,
 }
 
 impl FleetConfig {
@@ -90,7 +96,14 @@ impl FleetConfig {
             seed: 42,
             retain_images: 0,
             sink: SinkHandle::null(),
+            placement: Arc::new(AllNodesPlacement),
         }
+    }
+
+    /// Start building a validated config from [`FleetConfig::new`]'s
+    /// testbed defaults (add tenants with [`FleetConfigBuilder::tenant`]).
+    pub fn builder(nodes: Vec<SimNode>) -> FleetConfigBuilder {
+        FleetConfigBuilder { cfg: FleetConfig::new(nodes, Vec::new()) }
     }
 
     /// Check the invariants the driver relies on.
@@ -108,6 +121,76 @@ impl FleetConfig {
             t.validate()?;
         }
         Ok(())
+    }
+}
+
+/// Builder for [`FleetConfig`]; see [`FleetConfig::builder`]. Setters
+/// are unchecked — [`FleetConfigBuilder::build`] runs the same
+/// [`FleetConfig::validate`] the driver re-runs at launch.
+#[derive(Clone, Debug)]
+pub struct FleetConfigBuilder {
+    cfg: FleetConfig,
+}
+
+impl FleetConfigBuilder {
+    /// Add one tenant (call repeatedly; order is tenant config order).
+    pub fn tenant(mut self, spec: TenantSpec) -> Self {
+        self.cfg.tenants.push(spec);
+        self
+    }
+
+    /// Replace the whole tenant list.
+    pub fn tenants(mut self, tenants: Vec<TenantSpec>) -> Self {
+        self.cfg.tenants = tenants;
+        self
+    }
+
+    /// The Central node's hardware.
+    pub fn central(mut self, central: DeviceProfile) -> Self {
+        self.cfg.central = central;
+        self
+    }
+
+    /// The shared wireless channel.
+    pub fn link(mut self, link: LinkParams) -> Self {
+        self.cfg.link = link;
+        self
+    }
+
+    /// Maximum images in flight at once, across all tenants.
+    pub fn pipeline_depth(mut self, depth: usize) -> Self {
+        self.cfg.pipeline_depth = depth;
+        self
+    }
+
+    /// RNG seed for allocation tie-breaks and (xored) arrivals.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.cfg.seed = seed;
+        self
+    }
+
+    /// Retain full [`ImageStats`] for at most this many completions.
+    pub fn retain_images(mut self, retain: usize) -> Self {
+        self.cfg.retain_images = retain;
+        self
+    }
+
+    /// Install a structured-event sink.
+    pub fn sink(mut self, sink: SinkHandle) -> Self {
+        self.cfg.sink = sink;
+        self
+    }
+
+    /// Install a tenant-to-node placement policy.
+    pub fn placement(mut self, policy: Arc<dyn PlacementPolicy>) -> Self {
+        self.cfg.placement = policy;
+        self
+    }
+
+    /// Validate and produce the config.
+    pub fn build(self) -> Result<FleetConfig, ConfigError> {
+        self.cfg.validate()?;
+        Ok(self.cfg)
     }
 }
 
@@ -217,6 +300,12 @@ pub struct FleetSummary {
     /// Full per-image records for the first `retain_images` completions,
     /// tagged with their tenant index, in completion order.
     pub retained: Vec<(usize, ImageStats)>,
+    /// The placement decision in force at startup (the same struct the
+    /// deployment planner reports).
+    pub placement: PlacementDecision,
+    /// Times the policy was re-consulted after a join/leave churn event
+    /// (always 0 for all-nodes policies, which skip re-placement).
+    pub replacements: u64,
 }
 
 impl FleetSummary {
@@ -333,6 +422,16 @@ struct TenantRt {
     adaptive: bool,
     stats: StatsCollector,
     allocator: TileAllocator,
+    // --- placement masks --------------------------------------------
+    /// Nodes this tenant may use (all true under all-nodes policies).
+    placed: Vec<bool>,
+    /// Fast path: the placed set is the full roster, so admission takes
+    /// exactly the pre-placement code path (what the goldens pin).
+    placed_all: bool,
+    /// Placed nodes not currently dead — the scheduler-skip guard.
+    placed_live: usize,
+    /// Unmasked storage caps, restored on re-placement.
+    base_storage: Vec<u64>,
     arrivals: ArrivalGen,
     /// Open-loop requests that arrived but are not yet admitted.
     pending: VecDeque<f64>,
@@ -393,6 +492,10 @@ impl TenantRt {
                 tile_in_bits.max(1),
                 nodes.iter().map(|n| n.storage_bits).collect(),
             ),
+            placed: vec![true; nodes.len()],
+            placed_all: true,
+            placed_live: nodes.len(),
+            base_storage: nodes.iter().map(|n| n.storage_bits).collect(),
             arrivals: ArrivalGen::new(spec.arrivals.clone(), spec.requests, seed),
             pending: VecDeque::new(),
             admitted: 0,
@@ -419,6 +522,34 @@ impl TenantRt {
         } else {
             !self.pending.is_empty()
         }
+    }
+
+    /// Restrict this tenant to `nodes`: admission speeds, allocator
+    /// storage caps, and lifecycle live-sets all follow. `placed_live`
+    /// counts placed nodes not currently dead (the scheduler-skip
+    /// guard's input).
+    fn apply_placement(&mut self, nodes: &[usize], dead_list: &[usize]) {
+        let k = self.placed.len();
+        self.placed_all = nodes.len() == k;
+        for p in self.placed.iter_mut() {
+            *p = false;
+        }
+        for &n in nodes {
+            self.placed[n] = true;
+        }
+        for n in 0..k {
+            // Zero storage makes a non-placed node invisible to the
+            // allocator — including its any-node-with-capacity fallback.
+            self.allocator.storage_bits[n] = if self.placed[n] { self.base_storage[n] } else { 0 };
+        }
+        self.placed_live =
+            (0..k).filter(|&n| self.placed[n] && dead_list.binary_search(&n).is_err()).count();
+    }
+
+    /// Some placed node returns to life after `now` — i.e. skipping this
+    /// tenant's admission is a wait, not a deadlock.
+    fn revives_after(&self, node_revivals: &[Vec<f64>], now: f64) -> bool {
+        self.placed.iter().enumerate().any(|(n, &p)| p && node_revivals[n].iter().any(|&t| t > now))
     }
 }
 
@@ -455,6 +586,36 @@ impl FleetSim {
             .collect();
         let mut sched =
             FairScheduler::new(&cfg.tenants.iter().map(|t| t.weight).collect::<Vec<_>>());
+
+        // --- placement control plane -----------------------------------
+        // The policy is consulted once at startup and again after every
+        // join/leave churn event. All-nodes policies skip both the masks
+        // and the re-placement — that identity fast path is what keeps
+        // the baseline byte-identical to the pre-placement engine.
+        let placement_all = cfg.placement.places_all();
+        let mut placement_decision =
+            cfg.placement.place(&PlacementInput::from_fleet(cfg, 0.0, &[]));
+        let mut replacements: u64 = 0;
+        if !placement_all {
+            for (t, a) in placement_decision.assignments.iter().enumerate() {
+                tenants_rt[t].apply_placement(&a.nodes, &[]);
+            }
+        }
+        let initial_placement = placement_decision.clone();
+        // When each node returns to life, per node — the scheduler-skip
+        // guard must know whether a fully-dead placed set can recover.
+        let node_revivals: Vec<Vec<f64>> = cfg
+            .nodes
+            .iter()
+            .map(|n| {
+                n.throttle
+                    .dead_transitions()
+                    .into_iter()
+                    .filter(|&(t, dead)| !dead && t.is_finite())
+                    .map(|(t, _)| t)
+                    .collect()
+            })
+            .collect();
 
         // --- shared cluster state --------------------------------------
         let mut queue: EventQueue<Ev> = EventQueue::new();
@@ -503,7 +664,21 @@ impl FleetSim {
         macro_rules! try_admit {
             ($queue:expr, $now:expr) => {{
                 while admitted_total <= gate && admitted_total - completed_total < window {
-                    let Some(t) = sched.pick(|t| tenants_rt[t].has_ready()) else { break };
+                    // A placed tenant whose node-set is entirely dead is
+                    // skipped instead of burning its pass quantum on a
+                    // zero-fill round — unless no placed node will ever
+                    // revive, in which case admitting (and degrading) is
+                    // the only way to drain its budget. All-nodes tenants
+                    // keep the historical always-eligible behavior.
+                    let Some(t) = sched.pick(|t| {
+                        let tr = &tenants_rt[t];
+                        tr.has_ready()
+                            && (tr.placed_all
+                                || tr.placed_live > 0
+                                || !tr.revives_after(&node_revivals, $now))
+                    }) else {
+                        break;
+                    };
                     let tr = &mut tenants_rt[t];
                     let arrival = if tr.arrivals.is_closed_loop() {
                         tr.arrivals.take_closed_loop();
@@ -548,12 +723,15 @@ impl FleetSim {
             }
             match ev {
                 Ev::Churn { node, dead } => {
+                    let mut roster_changed = false;
                     if dead {
                         if let Err(i) = dead_list.binary_search(&node) {
                             dead_list.insert(i, node);
+                            roster_changed = true;
                         }
                     } else if let Ok(i) = dead_list.binary_search(&node) {
                         dead_list.remove(i);
+                        roster_changed = true;
                         // A revived node re-enters every tenant's
                         // Algorithm 2 statistics through the fresh-join
                         // prior, exactly as the runtime treats a
@@ -561,6 +739,21 @@ impl FleetSim {
                         for tr in tenants_rt.iter_mut() {
                             tr.stats.rejoin(node);
                         }
+                    }
+                    // Re-placement: the policy sees the new roster and
+                    // every tenant's masks follow. Skipped for all-nodes
+                    // policies, whose decision is the identity whatever
+                    // the roster — no new events, no changed state, so
+                    // the baseline trace stays byte-identical.
+                    if roster_changed && !placement_all {
+                        placement_decision =
+                            cfg.placement.place(&PlacementInput::from_fleet(cfg, now, &dead_list));
+                        for (t, a) in placement_decision.assignments.iter().enumerate() {
+                            tenants_rt[t].apply_placement(&a.nodes, &dead_list);
+                        }
+                        replacements += 1;
+                        // A revival can make a skipped tenant eligible.
+                        try_admit!(queue, now);
                     }
                 }
                 Ev::Arrive { tenant } => {
@@ -588,22 +781,64 @@ impl FleetSim {
                     let (_, part_done) = central_cpu.run(now, tenants_rt[tenant].partition_work);
                     let x = {
                         let tr = &tenants_rt[tenant];
-                        if tr.adaptive {
-                            tr.allocator.allocate(tr.d, tr.stats.speeds(), &mut rng)
+                        if tr.placed_all {
+                            // The exact pre-placement path (and its exact
+                            // RNG consumption) — the goldens pin this.
+                            if tr.adaptive {
+                                tr.allocator.allocate(tr.d, tr.stats.speeds(), &mut rng)
+                            } else {
+                                adcnn_core::sched::allocate_round_robin(tr.d, k)
+                            }
+                        } else if tr.adaptive {
+                            // Non-placed nodes are invisible: zero speed
+                            // here, zero storage cap in the allocator (so
+                            // even its any-node-with-capacity fallback
+                            // cannot reach outside the placed set).
+                            let mut speeds = tr.stats.speeds().to_vec();
+                            for (n, s) in speeds.iter_mut().enumerate() {
+                                if !tr.placed[n] {
+                                    *s = 0.0;
+                                }
+                            }
+                            tr.allocator.allocate(tr.d, &speeds, &mut rng)
                         } else {
-                            adcnn_core::sched::allocate_round_robin(tr.d, k)
+                            // Round-robin over the placed subset only.
+                            let placed: Vec<usize> = (0..k).filter(|&n| tr.placed[n]).collect();
+                            let rr = adcnn_core::sched::allocate_round_robin(tr.d, placed.len());
+                            let mut x = vec![0u32; k];
+                            for (i, &n) in placed.iter().enumerate() {
+                                x[n] = rr[i];
+                            }
+                            x
                         }
                     };
+                    // The lifecycle's live-set: dead nodes are out for
+                    // everyone; a placed tenant additionally never sees
+                    // non-placed nodes, so re-dispatch recovery stays
+                    // inside its placed set.
                     let mut live = vec![true; k];
                     for &n in &dead_list {
                         live[n] = false;
                     }
+                    let speeds_for_lc: Vec<f64> = {
+                        let tr = &tenants_rt[tenant];
+                        let mut speeds = tr.stats.speeds().to_vec();
+                        if !tr.placed_all {
+                            for n in 0..k {
+                                if !tr.placed[n] {
+                                    live[n] = false;
+                                    speeds[n] = 0.0;
+                                }
+                            }
+                        }
+                        speeds
+                    };
                     let (lc, acts) = TileLifecycle::begin_observed(
                         cfg.tenants[tenant].policy,
                         now,
                         tenants_rt[tenant].d,
                         &x,
-                        tenants_rt[tenant].stats.speeds(),
+                        &speeds_for_lc,
                         &live,
                         img,
                         cfg.sink.clone(),
@@ -981,6 +1216,8 @@ impl FleetSim {
             peak_events_pending: peak_pending,
             events_processed,
             retained,
+            placement: initial_placement,
+            replacements,
         }
     }
 

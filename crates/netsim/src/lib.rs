@@ -29,6 +29,9 @@
 //! - [`schemes`] — the comparison schemes: single-device, remote-cloud,
 //!   Neurosurgeon and AOFL (Figures 11, 14).
 //! - [`power`] — the energy/memory model behind Figure 13's right panel.
+//! - [`placement`] — tenant-to-node placement policies over the fleet
+//!   (all-nodes baseline, greedy throughput bin-packing, churn-aware),
+//!   with a cost oracle built on the shared-channel saturation model.
 //! - [`planner`] — a deployment planner that jointly picks the partition
 //!   grid and split depth under an operator accuracy floor (the paper's
 //!   §7.2 closing suggestion, as an API).
@@ -38,6 +41,7 @@ pub mod churn;
 pub mod cluster;
 pub(crate) mod engine;
 pub mod fleet;
+pub mod placement;
 pub mod planner;
 pub mod power;
 pub mod profiles;
@@ -48,13 +52,18 @@ pub use adcnn_core::config::ConfigError;
 pub use adcnn_core::obs::SinkHandle;
 pub use adcnn_core::report::{AttributionSink, FlightRecorderSink, ImageReport};
 pub use arrivals::{ArrivalGen, ArrivalSpec};
-pub use churn::ChurnPlan;
+pub use churn::{ChurnPlan, ChurnPlanBuilder};
 pub use cluster::{
     replay_lifecycle_events, replay_lifecycle_events_multi, replay_lifecycle_report,
     replay_lifecycle_trace, replay_lifecycle_trace_multi, AdcnnSim, AdcnnSimConfig,
     AdcnnSimConfigBuilder, ImageStats, LifecyclePolicy, SimNode, SimSummary, ThrottleSchedule,
     TimerPolicy,
 };
-pub use fleet::{FleetConfig, FleetSim, FleetSummary, TenantSummary};
+pub use fleet::{FleetConfig, FleetConfigBuilder, FleetSim, FleetSummary, TenantSummary};
+pub use placement::{
+    AllNodesPlacement, ChurnAwarePlacement, CostOracle, GreedyPlacement, PinnedPlacement,
+    PlacementDecision, PlacementInput, PlacementPolicy, TenantAssignment,
+};
+pub use planner::{plan_deployment, plan_placement, Candidate, Plan};
 pub use profiles::LinkParams;
-pub use tenancy::{FairScheduler, TenantSpec};
+pub use tenancy::{FairScheduler, TenantSpec, TenantSpecBuilder};

@@ -10,6 +10,8 @@
 //! floor.
 
 use crate::cluster::{AdcnnSim, AdcnnSimConfig};
+use crate::fleet::FleetConfig;
+use crate::placement::{PlacementDecision, PlacementInput, PlacementPolicy};
 use adcnn_core::fdsp::TileGrid;
 use serde::{Deserialize, Serialize};
 
@@ -35,6 +37,29 @@ pub struct Plan {
     pub chosen: Option<Candidate>,
     /// Every evaluated candidate, for reporting.
     pub candidates: Vec<Candidate>,
+    /// Tenant-to-node placement for the planned deployment, when the
+    /// caller attached one via [`Plan::with_placement`]. This is the same
+    /// [`PlacementDecision`] the fleet driver records in its summary, so
+    /// a plan and the run it provisions are directly comparable.
+    #[serde(default)]
+    pub placement: Option<PlacementDecision>,
+}
+
+impl Plan {
+    /// Attach a placement decision (see [`plan_placement`]) to the plan.
+    pub fn with_placement(mut self, placement: PlacementDecision) -> Self {
+        self.placement = Some(placement);
+        self
+    }
+}
+
+/// Consult `policy` for `cfg`'s tenants at t = 0 with a full healthy
+/// roster — exactly the initial placement [`crate::FleetSim::run`] takes —
+/// and return the shared decision record. Lets an operator inspect (or
+/// pin, via [`crate::PinnedPlacement::from_decision`]) the tenant-to-node
+/// assignment before committing a fleet to it.
+pub fn plan_placement(cfg: &FleetConfig, policy: &dyn PlacementPolicy) -> PlacementDecision {
+    policy.place(&PlacementInput::from_fleet(cfg, 0.0, &[]))
 }
 
 /// Sweep `grids × prefixes` under `base` (its own grid/prefix are
@@ -79,7 +104,7 @@ pub fn plan_deployment(
         .filter(|c| c.feasible)
         .min_by(|a, b| a.latency_s.total_cmp(&b.latency_s))
         .cloned();
-    Plan { chosen, candidates }
+    Plan { chosen, candidates, placement: None }
 }
 
 #[cfg(test)]
@@ -144,6 +169,38 @@ mod tests {
         let plan = plan_deployment(&cfg, &[TileGrid::new(2, 2)], &[7], 0.999, &oracle(sep));
         assert!(plan.chosen.is_none());
         assert!(!plan.candidates.is_empty());
+    }
+
+    #[test]
+    fn plan_placement_matches_the_fleet_drivers_initial_decision() {
+        use crate::cluster::SimNode;
+        use crate::fleet::{FleetConfig, FleetSim};
+        use crate::placement::GreedyPlacement;
+        use crate::tenancy::TenantSpec;
+        use std::sync::Arc;
+
+        let nodes: Vec<SimNode> = (0..6).map(|_| SimNode::pi()).collect();
+        let mk = |arrival_rate: f64, requests: usize| {
+            let mut a = TenantSpec::new(zoo::vgg16());
+            a.grid = TileGrid::new(2, 2);
+            a.requests = requests;
+            a.arrivals = crate::arrivals::ArrivalSpec::Poisson { rate_per_s: arrival_rate };
+            let mut b = TenantSpec::new(zoo::resnet18());
+            b.grid = TileGrid::new(2, 2);
+            b.requests = requests;
+            b.arrivals = crate::arrivals::ArrivalSpec::Poisson { rate_per_s: arrival_rate };
+            let mut cfg = FleetConfig::new(nodes.clone(), vec![a, b]);
+            cfg.placement = Arc::new(GreedyPlacement::default());
+            cfg
+        };
+        let planned = plan_placement(&mk(2.0, 8), &GreedyPlacement::default());
+        let ran = FleetSim::new(mk(2.0, 8)).run().placement;
+        assert_eq!(planned, ran, "planner and driver disagree on the initial placement");
+        assert_eq!(planned.policy, "greedy");
+        assert_eq!(planned.assignments.len(), 2);
+        for a in &planned.assignments {
+            assert!(!a.nodes.is_empty(), "tenant {} placed nowhere", a.tenant);
+        }
     }
 
     #[test]

@@ -74,6 +74,12 @@ impl TenantSpec {
         }
     }
 
+    /// Start building a validated spec from [`TenantSpec::new`]'s
+    /// paper-testbed defaults for `model`.
+    pub fn builder(model: ModelSpec) -> TenantSpecBuilder {
+        TenantSpecBuilder { spec: TenantSpec::new(model) }
+    }
+
     /// Check the invariants the fleet driver relies on.
     pub fn validate(&self) -> Result<(), ConfigError> {
         self.policy.validate()?;
@@ -94,6 +100,90 @@ impl TenantSpec {
             return Err(ConfigError::NonPositiveTenantWeight(self.weight));
         }
         self.arrivals.validate()
+    }
+}
+
+/// Builder for [`TenantSpec`]; see [`TenantSpec::builder`]. Setters are
+/// unchecked — [`TenantSpecBuilder::build`] runs the same
+/// [`TenantSpec::validate`] the fleet driver re-runs at launch, so a
+/// bad grid, weight, or arrival process fails with a typed
+/// [`ConfigError`] instead of wedging a run.
+#[derive(Clone, Debug)]
+pub struct TenantSpecBuilder {
+    spec: TenantSpec,
+}
+
+impl TenantSpecBuilder {
+    /// Display name (defaults to the model's name).
+    pub fn name(mut self, name: impl Into<String>) -> Self {
+        self.spec.name = name.into();
+        self
+    }
+
+    /// FDSP grid.
+    pub fn grid(mut self, grid: TileGrid) -> Self {
+        self.spec.grid = grid;
+        self
+    }
+
+    /// Separable layer blocks executed on Conv nodes.
+    pub fn prefix(mut self, prefix: usize) -> Self {
+        self.spec.prefix = prefix;
+        self
+    }
+
+    /// Per-model tile-lifecycle policy.
+    pub fn policy(mut self, policy: LifecyclePolicy) -> Self {
+        self.spec.policy = policy;
+        self
+    }
+
+    /// Algorithm 2 decay γ for this tenant's statistics.
+    pub fn gamma(mut self, gamma: f64) -> Self {
+        self.spec.gamma = gamma;
+        self
+    }
+
+    /// Intermediate-result sparsity; `None` sends raw 32-bit floats.
+    pub fn compression(mut self, sparsity: Option<f64>) -> Self {
+        self.spec.compression = sparsity;
+        self
+    }
+
+    /// Quantizer bit width (one of {2, 4, 8}).
+    pub fn quant_bits(mut self, bits: u8) -> Self {
+        self.spec.quant_bits = bits;
+        self
+    }
+
+    /// Algorithms 2+3 (true) or a static equal split (false).
+    pub fn adaptive(mut self, adaptive: bool) -> Self {
+        self.spec.adaptive = adaptive;
+        self
+    }
+
+    /// Fair-share weight.
+    pub fn weight(mut self, weight: f64) -> Self {
+        self.spec.weight = weight;
+        self
+    }
+
+    /// The request-arrival process.
+    pub fn arrivals(mut self, arrivals: ArrivalSpec) -> Self {
+        self.spec.arrivals = arrivals;
+        self
+    }
+
+    /// Total virtual requests this tenant submits over the run.
+    pub fn requests(mut self, requests: usize) -> Self {
+        self.spec.requests = requests;
+        self
+    }
+
+    /// Validate and produce the spec.
+    pub fn build(self) -> Result<TenantSpec, ConfigError> {
+        self.spec.validate()?;
+        Ok(self.spec)
     }
 }
 
@@ -160,6 +250,43 @@ mod tests {
         let mut s = TenantSpec::new(zoo::vgg16());
         s.arrivals = ArrivalSpec::Poisson { rate_per_s: -1.0 };
         assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn builder_validates_and_sets_every_field() {
+        let spec = TenantSpec::builder(zoo::vgg16())
+            .name("web-tier")
+            .grid(TileGrid::new(2, 2))
+            .gamma(0.8)
+            .quant_bits(8)
+            .adaptive(false)
+            .weight(3.0)
+            .arrivals(ArrivalSpec::Poisson { rate_per_s: 2.0 })
+            .requests(42)
+            .build()
+            .unwrap();
+        assert_eq!(spec.name, "web-tier");
+        assert_eq!(spec.grid.tiles(), 4);
+        assert_eq!(spec.gamma, 0.8);
+        assert_eq!(spec.quant_bits, 8);
+        assert!(!spec.adaptive);
+        assert_eq!(spec.weight, 3.0);
+        assert_eq!(spec.requests, 42);
+
+        assert!(matches!(
+            TenantSpec::builder(zoo::vgg16()).weight(-1.0).build(),
+            Err(ConfigError::NonPositiveTenantWeight(_))
+        ));
+        assert!(matches!(
+            TenantSpec::builder(zoo::vgg16()).quant_bits(3).build(),
+            Err(ConfigError::UnsupportedQuantBits(3))
+        ));
+        assert!(matches!(
+            TenantSpec::builder(zoo::vgg16())
+                .arrivals(ArrivalSpec::Poisson { rate_per_s: 0.0 })
+                .build(),
+            Err(ConfigError::NonPositiveArrivalRate(_))
+        ));
     }
 
     #[test]

@@ -17,8 +17,12 @@
 //! Regenerate (only when a change is *intended* to alter behavior) with:
 //! `UPDATE_FLEET_GOLDEN=1 cargo test -p adcnn-netsim --test fleet_differential`
 
+use adcnn_core::fdsp::TileGrid;
 use adcnn_core::obs::{RecordingSink, SinkHandle};
-use adcnn_netsim::{AdcnnSim, AdcnnSimConfig, ThrottleSchedule, TimerPolicy};
+use adcnn_netsim::{
+    AdcnnSim, AdcnnSimConfig, AllNodesPlacement, ArrivalSpec, FleetConfig, FleetSim,
+    GreedyPlacement, SimNode, TenantSpec, ThrottleSchedule, TimerPolicy,
+};
 use adcnn_nn::zoo;
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -67,6 +71,176 @@ fn decision_trace(mut cfg: AdcnnSimConfig) -> String {
         ));
     }
     out
+}
+
+/// Fleet-level analogue of [`decision_trace`]: run a full multi-tenant
+/// [`FleetConfig`] with a recording sink and format the structured-event
+/// stream plus the whole-fleet and per-tenant streaming aggregates and
+/// every retained image. Debug-formats `f64`s, so two runs agree iff
+/// every modeled timestamp and statistic agrees to the last bit.
+fn fleet_decision_trace(mut cfg: FleetConfig) -> String {
+    let rec = Arc::new(RecordingSink::new());
+    cfg.sink = SinkHandle::new(rec.clone());
+    let s = FleetSim::new(cfg).run();
+    let mut out = String::new();
+    for e in rec.events() {
+        out.push_str(&format!("{e:?}\n"));
+    }
+    out.push_str(&format!(
+        "FLEET completed={} total_time_s={:?} sim_end_s={:?} channel_utilization={:?} \
+         node_busy_s={:?} peak_inflight={} events_processed={}\n",
+        s.completed,
+        s.total_time_s,
+        s.sim_end_s,
+        s.channel_utilization,
+        s.node_busy_s,
+        s.peak_inflight,
+        s.events_processed,
+    ));
+    for t in &s.tenants {
+        out.push_str(&format!(
+            "TENANT name={} completed={} latency_sum_s={:?} queue_wait_sum_s={:?} \
+             transmission_sum_s={:?} computation_sum_s={:?} tiles_allocated={} dropped={} \
+             late={} redispatched={} duplicate={} last_done_s={:?}\n",
+            t.name,
+            t.completed,
+            t.latency_sum_s,
+            t.queue_wait_sum_s,
+            t.transmission_sum_s,
+            t.computation_sum_s,
+            t.tiles_allocated,
+            t.dropped_tiles,
+            t.late_tiles,
+            t.redispatched_tiles,
+            t.duplicate_tiles,
+            t.last_done_s,
+        ));
+    }
+    for (tenant, img) in &s.retained {
+        out.push_str(&format!(
+            "IMG tenant={} done_at={:?} latency_s={:?} send_busy_s={:?} result_busy_s={:?} \
+             conv_compute_s={:?} suffix_s={:?} dropped={} late={} redispatched={} \
+             duplicate={} alloc={:?}\n",
+            tenant,
+            img.done_at,
+            img.latency_s,
+            img.send_busy_s,
+            img.result_busy_s,
+            img.conv_compute_s,
+            img.suffix_s,
+            img.dropped,
+            img.late,
+            img.redispatched,
+            img.duplicate,
+            img.alloc,
+        ));
+    }
+    // Placement section only for non-identity policies: the all-nodes
+    // golden was recorded from the pre-placement engine, whose trace
+    // format had no placement lines — and must stay byte-identical.
+    if s.placement.policy != "all_nodes" {
+        out.push_str(&format!(
+            "PLACEMENT policy={} replacements={}\n",
+            s.placement.policy, s.replacements
+        ));
+        for a in &s.placement.assignments {
+            out.push_str(&format!(
+                "ASSIGN tenant={} nodes={:?} predicted_rps={:?}\n",
+                a.tenant, a.nodes, a.predicted_rps
+            ));
+        }
+    }
+    out
+}
+
+/// The shared two-tenant leave-wave scenario: six Pi nodes, half the
+/// roster drops at t=8 s and returns at t=16 s while both tenants'
+/// open-loop Poisson streams keep arriving — admission, allocation, and
+/// recovery all cross the wave.
+fn leave_wave_config() -> FleetConfig {
+    let mut nodes: Vec<SimNode> = (0..6).map(|_| SimNode::pi()).collect();
+    for n in [2, 3, 4] {
+        nodes[n].throttle = ThrottleSchedule::from_points(vec![(8.0, 0.0), (16.0, 1.0)]);
+    }
+    let a = TenantSpec::builder(zoo::vgg16())
+        .grid(TileGrid::new(2, 2))
+        .weight(2.0)
+        .requests(24)
+        .arrivals(ArrivalSpec::poisson(2.0).unwrap())
+        .build()
+        .unwrap();
+    let b = TenantSpec::builder(zoo::resnet18())
+        .grid(TileGrid::new(2, 2))
+        .requests(24)
+        .arrivals(ArrivalSpec::poisson(2.0).unwrap())
+        .build()
+        .unwrap();
+    FleetConfig::builder(nodes)
+        .tenants(vec![a, b])
+        .pipeline_depth(3)
+        .seed(2024)
+        .retain_images(48)
+        .build()
+        .unwrap()
+}
+
+fn check_fleet_golden(name: &str, cfg: FleetConfig) {
+    let got = fleet_decision_trace(cfg);
+    let path = golden_path(name);
+    if std::env::var("UPDATE_FLEET_GOLDEN").is_ok() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &got).unwrap();
+        return;
+    }
+    let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!("missing golden {path:?} ({e}); run with UPDATE_FLEET_GOLDEN=1")
+    });
+    if got != want {
+        for (i, (g, w)) in got.lines().zip(want.lines()).enumerate() {
+            assert_eq!(g, w, "golden {name} diverges at line {}", i + 1);
+        }
+        assert_eq!(
+            got.lines().count(),
+            want.lines().count(),
+            "golden {name}: traces agree on common prefix but differ in length"
+        );
+        unreachable!("golden {name}: traces differ but no diverging line found");
+    }
+}
+
+/// The default placement (every tenant on every node) pinned to the
+/// multi-tenant fleet behavior that shipped before the placement control
+/// plane existed: this golden was recorded from the PR-8 driver, so any
+/// divergence means the all-nodes path is no longer the identity.
+#[test]
+fn golden_fleet_allnodes_leave_wave() {
+    check_fleet_golden("fleet_allnodes_leave_wave", leave_wave_config());
+}
+
+/// Same as [`golden_fleet_allnodes_leave_wave`], but explicitly passing
+/// the [`AllNodesPlacement`] policy — and asserting the driver never
+/// re-consults it: the baseline must be the identity by construction,
+/// not by luck of equal decisions.
+#[test]
+fn allnodes_policy_is_pr8_identity() {
+    let mut cfg = leave_wave_config();
+    cfg.placement = Arc::new(AllNodesPlacement);
+    let explicit = fleet_decision_trace(cfg);
+    let default = fleet_decision_trace(leave_wave_config());
+    assert_eq!(explicit, default, "explicit all-nodes diverged from the default");
+    let s = FleetSim::new(leave_wave_config()).run();
+    assert_eq!(s.replacements, 0, "all-nodes policy must skip re-placement");
+}
+
+/// The greedy bin-packer over the same leave-wave scenario: a placed
+/// 2-tenant run whose decision trace — admissions, allocations (masked
+/// to each tenant's placed set), recovery across the wave, and the
+/// placement decisions themselves — replays byte-identically.
+#[test]
+fn golden_fleet_greedy_leave_wave() {
+    let mut cfg = leave_wave_config();
+    cfg.placement = Arc::new(GreedyPlacement::default());
+    check_fleet_golden("fleet_greedy_leave_wave", cfg);
 }
 
 fn golden_path(name: &str) -> PathBuf {

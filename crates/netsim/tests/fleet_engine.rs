@@ -4,8 +4,12 @@
 
 use adcnn_core::fdsp::TileGrid;
 use adcnn_netsim::cluster::{AdcnnSim, AdcnnSimConfig};
-use adcnn_netsim::{ArrivalSpec, ChurnPlan, FleetConfig, FleetSim, SimNode, TenantSpec};
+use adcnn_netsim::{
+    ArrivalSpec, ChurnPlan, FleetConfig, FleetSim, PinnedPlacement, SimNode, TenantSpec,
+    ThrottleSchedule,
+};
 use adcnn_nn::zoo;
+use std::sync::Arc;
 
 /// Streaming log2-histogram quantiles must land within one bucket (a
 /// factor of 2) of the exact sorted-latency quantiles on a 10k-request
@@ -42,17 +46,22 @@ fn streaming_quantiles_match_exact_within_one_bucket() {
 /// budget first and waits less in the admission queue.
 #[test]
 fn weighted_fair_sharing_favors_the_heavier_tenant() {
-    let mut heavy = TenantSpec::new(zoo::vgg16());
-    heavy.weight = 2.0;
-    heavy.requests = 60;
-    heavy.arrivals = ArrivalSpec::Trace { times: vec![0.0; 60] };
-    let mut light = TenantSpec::new(zoo::vgg16());
-    light.weight = 1.0;
-    light.requests = 60;
-    light.arrivals = ArrivalSpec::Trace { times: vec![0.0; 60] };
+    let heavy = TenantSpec::builder(zoo::vgg16())
+        .weight(2.0)
+        .requests(60)
+        .arrivals(ArrivalSpec::trace(vec![0.0; 60]).unwrap())
+        .build()
+        .unwrap();
+    let light = TenantSpec::builder(zoo::vgg16())
+        .weight(1.0)
+        .requests(60)
+        .arrivals(ArrivalSpec::trace(vec![0.0; 60]).unwrap())
+        .build()
+        .unwrap();
 
     let nodes: Vec<SimNode> = (0..8).map(|_| SimNode::pi()).collect();
-    let fs = FleetSim::new(FleetConfig::new(nodes, vec![heavy, light])).run();
+    let cfg = FleetConfig::builder(nodes).tenants(vec![heavy, light]).build().unwrap();
+    let fs = FleetSim::new(cfg).run();
 
     let (h, l) = (&fs.tenants[0], &fs.tenants[1]);
     assert_eq!(h.completed, 60);
@@ -77,15 +86,19 @@ fn weighted_fair_sharing_favors_the_heavier_tenant() {
 #[test]
 fn churning_fleet_completes_every_request() {
     let mut nodes: Vec<SimNode> = (0..16).map(|_| SimNode::pi()).collect();
-    ChurnPlan::new(400.0, 9).join_leave(60.0, 15.0).diurnal(120.0, 0.4).apply(&mut nodes);
+    ChurnPlan::builder(400.0, 9)
+        .join_leave(60.0, 15.0)
+        .diurnal(120.0, 0.4)
+        .build()
+        .unwrap()
+        .apply(&mut nodes);
     assert!(
         nodes.iter().any(|n| !n.throttle.dead_transitions().is_empty()),
         "churn plan produced no deaths at all — test would be vacuous"
     );
 
-    let mut tenant = TenantSpec::new(zoo::vgg16());
-    tenant.requests = 200;
-    let fs = FleetSim::new(FleetConfig::new(nodes, vec![tenant])).run();
+    let tenant = TenantSpec::builder(zoo::vgg16()).requests(200).build().unwrap();
+    let fs = FleetSim::new(FleetConfig::builder(nodes).tenant(tenant).build().unwrap()).run();
 
     assert_eq!(fs.completed, 200);
     let t = &fs.tenants[0];
@@ -102,19 +115,18 @@ fn churning_fleet_completes_every_request() {
 #[test]
 fn open_loop_runs_are_deterministic() {
     let build = || {
-        let mut a = TenantSpec::new(zoo::vgg16());
-        a.requests = 80;
-        a.arrivals = ArrivalSpec::Poisson { rate_per_s: 4.0 };
-        let mut b = TenantSpec::new(zoo::resnet18());
-        b.requests = 80;
-        b.arrivals = ArrivalSpec::Mmpp {
-            rate_lo: 0.5,
-            rate_hi: 20.0,
-            mean_dwell_lo_s: 5.0,
-            mean_dwell_hi_s: 2.0,
-        };
+        let a = TenantSpec::builder(zoo::vgg16())
+            .requests(80)
+            .arrivals(ArrivalSpec::poisson(4.0).unwrap())
+            .build()
+            .unwrap();
+        let b = TenantSpec::builder(zoo::resnet18())
+            .requests(80)
+            .arrivals(ArrivalSpec::mmpp(0.5, 20.0, 5.0, 2.0).unwrap())
+            .build()
+            .unwrap();
         let nodes: Vec<SimNode> = (0..8).map(|_| SimNode::pi()).collect();
-        FleetConfig::new(nodes, vec![a, b])
+        FleetConfig::builder(nodes).tenants(vec![a, b]).build().unwrap()
     };
     let x = FleetSim::new(build()).run();
     let y = FleetSim::new(build()).run();
@@ -134,6 +146,76 @@ fn open_loop_runs_are_deterministic() {
     assert!(x.tenants.iter().any(|t| t.queue_wait_sum_s > 0.0));
 }
 
+/// Scheduler-skip regression: a tenant whose placed node-set is entirely
+/// dead is *skipped* by the stride scheduler until a placed node revives
+/// — instead of burning its pass quantum admitting images that can only
+/// zero-fill through the hard timeout. Tenant B is pinned to nodes
+/// {2, 3}, both dead from t=0.5 s to t=40 s; its requests arrive at
+/// t≈2–3 s and must simply wait out the outage, completing cleanly (no
+/// dropped tiles, real compute) after the revival.
+#[test]
+fn scheduler_skips_fully_churned_out_tenant_until_revival() {
+    let mut nodes: Vec<SimNode> = (0..4).map(|_| SimNode::pi()).collect();
+    for n in [2, 3] {
+        nodes[n].throttle = ThrottleSchedule::from_points(vec![(0.5, 0.0), (40.0, 1.0)]);
+    }
+    let a =
+        TenantSpec::builder(zoo::vgg16()).grid(TileGrid::new(2, 2)).requests(10).build().unwrap();
+    let b = TenantSpec::builder(zoo::resnet18())
+        .grid(TileGrid::new(2, 2))
+        .requests(3)
+        .arrivals(ArrivalSpec::trace(vec![2.0, 2.5, 3.0]).unwrap())
+        .build()
+        .unwrap();
+
+    let cfg = FleetConfig::builder(nodes)
+        .tenants(vec![a, b])
+        .placement(Arc::new(PinnedPlacement::new(vec![vec![0, 1], vec![2, 3]])))
+        .build()
+        .unwrap();
+    let fs = FleetSim::new(cfg).run();
+
+    let (ta, tb) = (&fs.tenants[0], &fs.tenants[1]);
+    assert_eq!(ta.completed, 10, "pinned-alive tenant runs normally");
+    assert_eq!(tb.completed, 3, "skipped tenant must still drain after revival");
+    assert_eq!(tb.dropped_tiles, 0, "waiting out the outage means no zero-filled tiles at all");
+    assert!(
+        tb.computation_sum_s > 0.0,
+        "tenant B's images must run real compute after the revival"
+    );
+    // Admission was deferred past the t=40 revival, not granted into the
+    // outage: every one of B's requests waited out most of the dead span.
+    assert!(
+        tb.queue_wait_sum_s > 3.0 * 30.0,
+        "expected ≈37 s queue wait per request, got sum {}",
+        tb.queue_wait_sum_s
+    );
+    assert!(fs.replacements > 0, "churn must re-consult the placement policy");
+
+    // Degenerate variant: the placed set dies and never comes back. The
+    // guard must let the tenant through (degraded zero-fill admission is
+    // the only way to drain its budget) instead of deadlocking the run.
+    let mut nodes: Vec<SimNode> = (0..4).map(|_| SimNode::pi()).collect();
+    for n in [2, 3] {
+        nodes[n].throttle = ThrottleSchedule::from_points(vec![(0.5, 0.0)]);
+    }
+    let a =
+        TenantSpec::builder(zoo::vgg16()).grid(TileGrid::new(2, 2)).requests(6).build().unwrap();
+    let b = TenantSpec::builder(zoo::resnet18())
+        .grid(TileGrid::new(2, 2))
+        .requests(2)
+        .arrivals(ArrivalSpec::trace(vec![2.0, 2.5]).unwrap())
+        .build()
+        .unwrap();
+    let cfg = FleetConfig::builder(nodes)
+        .tenants(vec![a, b])
+        .placement(Arc::new(PinnedPlacement::new(vec![vec![0, 1], vec![2, 3]])))
+        .build()
+        .unwrap();
+    let fs = FleetSim::new(cfg).run();
+    assert_eq!(fs.completed, 8, "permanently-dead placement must degrade, not deadlock");
+}
+
 /// `retain_images` caps per-image retention while the streaming
 /// aggregates still see every completion, and the event queue's
 /// high-water mark stays bounded by the in-flight window rather than the
@@ -141,13 +223,13 @@ fn open_loop_runs_are_deterministic() {
 #[test]
 fn retention_is_capped_and_queue_stays_bounded() {
     let mk = |retain: usize| {
-        let mut tenant = TenantSpec::new(zoo::vgg16());
-        tenant.grid = TileGrid::new(2, 2);
-        tenant.requests = 2_000;
+        let tenant = TenantSpec::builder(zoo::vgg16())
+            .grid(TileGrid::new(2, 2))
+            .requests(2_000)
+            .build()
+            .unwrap();
         let nodes: Vec<SimNode> = (0..4).map(|_| SimNode::pi()).collect();
-        let mut cfg = FleetConfig::new(nodes, vec![tenant]);
-        cfg.retain_images = retain;
-        cfg
+        FleetConfig::builder(nodes).tenant(tenant).retain_images(retain).build().unwrap()
     };
 
     let none = FleetSim::new(mk(0)).run();

@@ -9,8 +9,11 @@
 //! ```
 
 use adcnn::core::fdsp::TileGrid;
-use adcnn::netsim::planner::plan_deployment;
-use adcnn::netsim::AdcnnSimConfig;
+use adcnn::netsim::planner::{plan_deployment, plan_placement};
+use adcnn::netsim::{
+    AdcnnSimConfig, AllNodesPlacement, ArrivalSpec, ChurnAwarePlacement, FleetConfig,
+    GreedyPlacement, PlacementPolicy, SimNode, TenantSpec,
+};
 use adcnn::nn::zoo;
 
 fn main() {
@@ -56,14 +59,60 @@ fn main() {
             if c.feasible { "yes" } else { " no" }
         );
     }
-    match &plan.chosen {
-        Some(c) => println!(
-            "\nchosen: {} tiles, split after block {} -> {:.1} ms at accuracy {:.3}",
-            c.grid,
-            c.prefix,
-            c.latency_s * 1e3,
-            c.accuracy
-        ),
-        None => println!("\nno configuration meets the accuracy floor {floor}"),
+    let chosen = match &plan.chosen {
+        Some(c) => {
+            println!(
+                "\nchosen: {} tiles, split after block {} -> {:.1} ms at accuracy {:.3}",
+                c.grid,
+                c.prefix,
+                c.latency_s * 1e3,
+                c.accuracy
+            );
+            c.clone()
+        }
+        None => {
+            println!("\nno configuration meets the accuracy floor {floor}");
+            return;
+        }
+    };
+
+    // Where would this deployment land on a shared fleet? Put the planned
+    // model next to a second tenant on a 24-node cluster and ask each
+    // placement policy for its tenant-to-node assignment — the same
+    // `PlacementDecision` record the fleet driver embeds in its summary.
+    // The roster is wider than either tenant's tile count so the packers
+    // have room to pick subsets (the one-node-per-tile latency floor
+    // would otherwise force the full roster).
+    let planned = TenantSpec::builder(zoo::by_name(&name).unwrap())
+        .grid(chosen.grid)
+        .prefix(chosen.prefix)
+        .arrivals(ArrivalSpec::poisson(2.0).expect("positive rate"))
+        .build()
+        .expect("valid planned tenant");
+    let neighbor = TenantSpec::builder(zoo::resnet18())
+        .grid(TileGrid::new(2, 2))
+        .arrivals(ArrivalSpec::poisson(1.0).expect("positive rate"))
+        .build()
+        .expect("valid neighbor tenant");
+    let fleet = FleetConfig::builder((0..24).map(|_| SimNode::pi()).collect())
+        .tenants(vec![planned, neighbor])
+        .build()
+        .expect("valid fleet");
+
+    println!("\nplacement on a 24-node fleet (planned {name} + background resnet18):");
+    let policies: [&dyn PlacementPolicy; 3] =
+        [&AllNodesPlacement, &GreedyPlacement::default(), &ChurnAwarePlacement::default()];
+    for policy in policies {
+        let decision = plan_placement(&fleet, policy);
+        println!("  {}:", decision.policy);
+        for a in &decision.assignments {
+            println!(
+                "    {:<10} -> {} nodes {:?}, predicted {:.2} req/s",
+                a.tenant,
+                a.nodes.len(),
+                a.nodes,
+                a.predicted_rps
+            );
+        }
     }
 }

@@ -48,7 +48,10 @@ pub mod prelude {
     };
     pub use adcnn_netsim::cluster::{AdcnnSim, AdcnnSimConfig, AdcnnSimConfigBuilder, SimSummary};
     pub use adcnn_netsim::{
-        ArrivalSpec, ChurnPlan, FleetConfig, FleetSim, FleetSummary, SimNode, TenantSpec,
+        plan_deployment, plan_placement, AllNodesPlacement, ArrivalSpec, ChurnAwarePlacement,
+        ChurnPlan, ChurnPlanBuilder, FleetConfig, FleetConfigBuilder, FleetSim, FleetSummary,
+        GreedyPlacement, PinnedPlacement, PlacementDecision, PlacementInput, PlacementPolicy,
+        SimNode, TenantAssignment, TenantSpec, TenantSpecBuilder,
     };
     pub use adcnn_nn::zoo::{alexnet, resnet18, resnet34, vgg16, yolo, ModelSpec};
     pub use adcnn_retrain::PartitionedModel;
