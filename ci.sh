@@ -75,5 +75,10 @@ echo "==> fleet-scale smoke scenario + placement sweep (results/BENCH_netsim.jso
 FLEET_SMOKE=1 cargo bench -p adcnn-bench --bench fleet_scale >/dev/null
 grep -q '"fleet"' results/BENCH_netsim.json
 grep -q '"placement"' results/BENCH_netsim.json
+# The observability plane: the headline scenario carries per-tenant SLO
+# burn-rate reports and the labeled-metrics registry marker (the bench
+# self-asserts the tenant shards sum to the global completed counter).
+grep -q '"slo"' results/BENCH_netsim.json
+grep -q '"labeled_metrics"' results/BENCH_netsim.json
 
 echo "==> CI OK"

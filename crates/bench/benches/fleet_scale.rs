@@ -16,7 +16,8 @@ use adcnn_core::fdsp::TileGrid;
 use adcnn_core::obs::json::{self, array, Obj};
 use adcnn_netsim::{
     AllNodesPlacement, ArrivalSpec, ChurnAwarePlacement, ChurnPlan, FleetConfig, FleetSim,
-    GreedyPlacement, PlacementPolicy, SimNode, TenantSpec,
+    GreedyPlacement, LabeledMetricsRegistry, PlacementPolicy, SimNode, SinkHandle, SloReport,
+    SloSpec, TenantSpec,
 };
 use adcnn_nn::cost::DeviceProfile;
 use adcnn_nn::zoo;
@@ -85,6 +86,11 @@ struct TenantScenario {
     throughput_rps: f64,
     p99_ms: f64,
     tenants: Vec<TenantPoint>,
+    /// Labeled Prometheus series counts from the fleet-stream registry
+    /// (tenant shards, node shards, total non-comment series rendered).
+    labeled_tenant_series: u64,
+    labeled_node_series: u64,
+    labeled_series_total: u64,
     wall_ms: f64,
 }
 
@@ -96,6 +102,7 @@ struct TenantPoint {
     p99_ms: f64,
     mean_queue_wait_ms: f64,
     zero_fill_rate: f64,
+    slo: Option<SloReport>,
 }
 
 impl TenantScenario {
@@ -111,16 +118,28 @@ impl TenantScenario {
             .raw(
                 "tenants",
                 array(self.tenants.iter().map(|t| {
-                    Obj::new()
+                    let o = Obj::new()
                         .str("name", &t.name)
                         .f64("weight", t.weight)
                         .u64("requests", t.requests)
                         .f64("p50_ms", t.p50_ms)
                         .f64("p99_ms", t.p99_ms)
                         .f64("mean_queue_wait_ms", t.mean_queue_wait_ms)
-                        .f64("zero_fill_rate", t.zero_fill_rate)
-                        .finish()
+                        .f64("zero_fill_rate", t.zero_fill_rate);
+                    match &t.slo {
+                        Some(s) => o.raw("slo", s.to_json()),
+                        None => o.raw("slo", "null"),
+                    }
+                    .finish()
                 })),
+            )
+            .raw(
+                "labeled_metrics",
+                Obj::new()
+                    .u64("tenant_series", self.labeled_tenant_series)
+                    .u64("node_series", self.labeled_node_series)
+                    .u64("series_total", self.labeled_series_total)
+                    .finish(),
             )
             .f64("wall_ms", self.wall_ms)
             .finish()
@@ -368,11 +387,40 @@ fn multi_tenant_cfg(
 /// The headline scenario (and ci.sh's smoke) under the default all-nodes
 /// placement.
 fn multi_tenant(requests_each: usize, capacity: f64) -> TenantScenario {
-    let cfg = multi_tenant_cfg(requests_each, capacity, Arc::new(AllNodesPlacement));
+    let mut cfg = multi_tenant_cfg(requests_each, capacity, Arc::new(AllNodesPlacement));
+    // The headline scenario also drives the observability plane: per-
+    // tenant SLOs plus a labeled metrics registry on the fleet stream.
+    cfg.tenants[0].slo = Some(SloSpec::new(2.5, 0.02));
+    cfg.tenants[1].slo = Some(SloSpec::new(3.5, 0.02));
+    let registry = Arc::new(LabeledMetricsRegistry::new(
+        &cfg.tenants.iter().map(|t| t.name.as_str()).collect::<Vec<_>>(),
+        cfg.nodes.len(),
+    ));
+    let nodes_n = cfg.nodes.len() as u64;
+    cfg.fleet_sink = SinkHandle::new(registry.clone());
     let wall = Instant::now();
     let fs = FleetSim::new(cfg).run();
     let wall_ms = wall.elapsed().as_secs_f64() * 1e3;
     assert_eq!(fs.completed as usize, 2 * requests_each);
+
+    // The labeled shards must reconcile: per-tenant image counts sum to
+    // the fleet's global completed counter.
+    let per_tenant: Vec<u64> = (0..fs.tenants.len())
+        .map(|t| {
+            registry.tenant(t).expect("registry covers every tenant").snapshot().images_finished
+        })
+        .collect();
+    assert_eq!(
+        per_tenant.iter().sum::<u64>(),
+        fs.completed,
+        "labeled tenant shards must sum to the global completed counter"
+    );
+    let prom = registry.to_prometheus();
+    let series_total = prom.lines().filter(|l| !l.starts_with('#') && !l.is_empty()).count() as u64;
+    assert!(
+        prom.contains(r#"adcnn_images_finished_total{tenant="#),
+        "registry must render tenant-labeled series"
+    );
 
     TenantScenario {
         nodes: 64,
@@ -393,8 +441,12 @@ fn multi_tenant(requests_each: usize, capacity: f64) -> TenantScenario {
                 p99_ms: ms(t.p99_latency_s()),
                 mean_queue_wait_ms: t.mean_queue_wait_s() * 1e3,
                 zero_fill_rate: t.zero_fill_rate(),
+                slo: t.slo.clone(),
             })
             .collect(),
+        labeled_tenant_series: fs.tenants.len() as u64,
+        labeled_node_series: nodes_n,
+        labeled_series_total: series_total,
         wall_ms,
     }
 }

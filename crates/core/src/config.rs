@@ -65,6 +65,12 @@ pub enum ConfigError {
     DiurnalTroughOutOfRange(f64),
     /// A placement headroom factor must be finite and nonnegative.
     NegativePlacementHeadroom(f64),
+    /// An SLO latency target must be positive and finite to burn
+    /// against.
+    NonPositiveSloTarget(f64),
+    /// An SLO error budget is a fraction of requests and must lie in
+    /// (0, 1].
+    SloBudgetOutOfRange(f64),
 }
 
 impl std::fmt::Display for ConfigError {
@@ -132,6 +138,12 @@ impl std::fmt::Display for ConfigError {
             }
             ConfigError::NegativePlacementHeadroom(v) => {
                 write!(f, "placement headroom must be finite and >= 0 (got {v})")
+            }
+            ConfigError::NonPositiveSloTarget(v) => {
+                write!(f, "SLO latency target must be finite and > 0 (got {v})")
+            }
+            ConfigError::SloBudgetOutOfRange(v) => {
+                write!(f, "SLO error budget must be in (0, 1] (got {v})")
             }
         }
     }

@@ -1,0 +1,704 @@
+//! Fleet-scope observability: tenant/node-labeled metrics shards, a
+//! live node-stats bus, and SLO burn-rate tracking.
+//!
+//! The per-image obs layer ([`crate::obs`]) is deliberately tenant- and
+//! node-blind: one [`MetricsSink`] aggregates a whole run. A fleet
+//! serves many tenants over a churning roster, so this module adds the
+//! missing dimensions without touching the per-image event schema:
+//!
+//! - [`LabeledMetricsRegistry`] — lock-free [`MetricsSink`] shards per
+//!   tenant and per node, fed by routing one event stream on the
+//!   [`ObsEvent::tenant`]/[`ObsEvent::worker`] tags, rendered as
+//!   labeled Prometheus series (`adcnn_images_finished_total{tenant="vgg16"}`)
+//!   and per-tenant [`Reporter`] lines.
+//! - [`LiveStatsView`] — folds `RateUpdate`/`WorkerDead`/`NodeUp`/
+//!   `NodeDown` streams into per-node EWMA rate + availability
+//!   snapshots. The fleet driver hands the snapshot to
+//!   `PlacementPolicy::place`, which is what lets a policy consume
+//!   *observed* speeds instead of schedule priors.
+//! - [`SloSpec`]/[`SloTracker`]/[`SloReport`] — per-tenant objectives
+//!   (p99 latency target, zero-fill budget) with multi-window burn
+//!   rates in the SRE sense: burn 1.0 consumes exactly the error
+//!   budget over the window, sustained burn > 1.0 pages.
+//!
+//! Everything here is driver-fed: `TileLifecycle` emits nothing new,
+//! so golden decision traces are untouched by construction.
+
+use crate::config::ConfigError;
+use crate::obs::{json, EventSink, MetricsSink, MetricsSnapshot, ObsEvent};
+use crate::report::Reporter;
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+// ---------------------------------------------------------------------------
+// Labeled metrics registry
+// ---------------------------------------------------------------------------
+
+/// Per-tenant and per-node [`MetricsSink`] shards behind one
+/// [`EventSink`]. Routing is tag-driven and lock-free (the shards are
+/// themselves atomic):
+///
+/// - tenant-tagged events ([`ObsEvent::TenantAdmit`]/
+///   [`ObsEvent::TenantFinish`]) fold into their tenant's shard *only*;
+/// - node-scoped events (anything with [`ObsEvent::worker`]) fold into
+///   that node's shard *and* the global shard;
+/// - everything else folds into the global shard.
+///
+/// Feeding the registry both a fleet's lifecycle stream and its
+/// fleet-scope stream therefore never double-counts: images land in
+/// the global shard via `ImageFinish` and in tenant shards via
+/// `TenantFinish`.
+pub struct LabeledMetricsRegistry {
+    global: Arc<MetricsSink>,
+    tenants: Vec<(String, Arc<MetricsSink>)>,
+    nodes: Vec<Arc<MetricsSink>>,
+}
+
+impl LabeledMetricsRegistry {
+    /// A registry with one shard per tenant name and per node, plus the
+    /// global shard.
+    pub fn new(tenants: &[impl AsRef<str>], nodes: usize) -> Self {
+        LabeledMetricsRegistry {
+            global: Arc::new(MetricsSink::new()),
+            tenants: tenants
+                .iter()
+                .map(|t| (t.as_ref().to_string(), Arc::new(MetricsSink::new())))
+                .collect(),
+            nodes: (0..nodes).map(|_| Arc::new(MetricsSink::new())).collect(),
+        }
+    }
+
+    /// The unlabeled shard.
+    pub fn global(&self) -> &Arc<MetricsSink> {
+        &self.global
+    }
+
+    /// Tenant shard by index (registration order).
+    pub fn tenant(&self, idx: usize) -> Option<&Arc<MetricsSink>> {
+        self.tenants.get(idx).map(|(_, s)| s)
+    }
+
+    /// Tenant names in registration order.
+    pub fn tenant_names(&self) -> Vec<&str> {
+        self.tenants.iter().map(|(n, _)| n.as_str()).collect()
+    }
+
+    /// Node shard by index.
+    pub fn node(&self, idx: usize) -> Option<&Arc<MetricsSink>> {
+        self.nodes.get(idx)
+    }
+
+    /// Snapshot every tenant shard, in registration order.
+    pub fn tenant_snapshots(&self) -> Vec<(String, MetricsSnapshot)> {
+        self.tenants.iter().map(|(n, s)| (n.clone(), s.snapshot())).collect()
+    }
+
+    /// Render the whole registry in Prometheus text exposition format:
+    /// the global shard first with `# HELP`/`# TYPE` headers, then the
+    /// tenant shards as `{tenant="..."}` series and the node shards as
+    /// `{node="..."}` series (headers appear once per metric name, as
+    /// the format requires; label values are escaped).
+    pub fn to_prometheus(&self) -> String {
+        let mut out = self.global.snapshot().render_prometheus(&[], true);
+        for (name, sink) in &self.tenants {
+            out.push_str(&sink.snapshot().render_prometheus(&[("tenant", name)], false));
+        }
+        for (w, sink) in self.nodes.iter().enumerate() {
+            out.push_str(&sink.snapshot().render_prometheus(&[("node", &w.to_string())], false));
+        }
+        out
+    }
+}
+
+impl std::fmt::Debug for LabeledMetricsRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "LabeledMetricsRegistry({} tenants, {} nodes)",
+            self.tenants.len(),
+            self.nodes.len()
+        )
+    }
+}
+
+impl EventSink for LabeledMetricsRegistry {
+    fn emit(&self, ev: &ObsEvent) {
+        if let Some(t) = ev.tenant() {
+            if let Some((_, shard)) = self.tenants.get(t as usize) {
+                shard.emit(ev);
+                return;
+            }
+        }
+        if let Some(w) = ev.worker() {
+            if let Some(shard) = self.nodes.get(w as usize) {
+                shard.emit(ev);
+            }
+        }
+        self.global.emit(ev);
+    }
+}
+
+/// One [`Reporter`] per tenant shard: narrates a fleet run live as one
+/// labeled line per tenant per interval.
+#[derive(Debug, Default)]
+pub struct FleetReporter {
+    tenants: Vec<Reporter>,
+}
+
+impl FleetReporter {
+    /// A reporter per tenant shard of `registry`.
+    pub fn new(registry: &LabeledMetricsRegistry) -> Self {
+        FleetReporter { tenants: registry.tenants.iter().map(|_| Reporter::new()).collect() }
+    }
+
+    /// Diff every tenant shard against the previous sample and render
+    /// one `tenant=<name> | <reporter line>` string each.
+    pub fn sample_lines(
+        &mut self,
+        registry: &LabeledMetricsRegistry,
+        elapsed_s: f64,
+    ) -> Vec<String> {
+        self.tenants
+            .iter_mut()
+            .zip(&registry.tenants)
+            .map(|(rep, (name, sink))| {
+                format!("tenant={name} | {}", rep.sample(&sink.snapshot(), elapsed_s).line())
+            })
+            .collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Live node-stats bus
+// ---------------------------------------------------------------------------
+
+/// Atomically add `delta` to an f64 stored as bits.
+fn f64_fetch_add(cell: &AtomicU64, delta: f64) {
+    let mut cur = cell.load(Ordering::Relaxed);
+    loop {
+        let next = (f64::from_bits(cur) + delta).to_bits();
+        match cell.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(now) => cur = now,
+        }
+    }
+}
+
+/// One node's live accumulators (all lock-free; emitters may be worker
+/// threads in the multi-process runtime).
+#[derive(Debug)]
+struct NodeCell {
+    /// Latest view-side EWMA of observed rates; NaN until first update.
+    rate_bits: AtomicU64,
+    rate_updates: AtomicU64,
+    live: AtomicBool,
+    ups: AtomicU64,
+    downs: AtomicU64,
+    /// When the current down spell began; NaN while live.
+    down_since_bits: AtomicU64,
+    /// Accumulated completed-down-spell time.
+    downtime_bits: AtomicU64,
+}
+
+impl NodeCell {
+    fn new() -> Self {
+        NodeCell {
+            rate_bits: AtomicU64::new(f64::NAN.to_bits()),
+            rate_updates: AtomicU64::new(0),
+            live: AtomicBool::new(true),
+            ups: AtomicU64::new(0),
+            downs: AtomicU64::new(0),
+            down_since_bits: AtomicU64::new(f64::NAN.to_bits()),
+            downtime_bits: AtomicU64::new(0f64.to_bits()),
+        }
+    }
+}
+
+/// The queryable live node-stats bus: an [`EventSink`] folding
+/// `RateUpdate` observations into a per-node EWMA and
+/// `NodeUp`/`NodeDown`/`WorkerDead` transitions into liveness +
+/// availability accounting. Tee it into a driver's sink(s) and
+/// [`LiveStatsView::snapshot`] whenever a consistent-enough view is
+/// needed — notably at placement time, where the snapshot rides in as
+/// `PlacementInput::live`.
+#[derive(Debug)]
+pub struct LiveStatsView {
+    alpha: f64,
+    nodes: Vec<NodeCell>,
+}
+
+/// Default view-side smoothing for [`LiveStatsView`]. The incoming
+/// rates are already Algorithm 2 EWMAs per tenant; this second fold
+/// blends tenants and damps inter-tenant jitter.
+pub const LIVE_STATS_ALPHA: f64 = 0.2;
+
+impl LiveStatsView {
+    /// A view over `nodes` nodes, all initially live (fleet rosters
+    /// start complete; the runtime marks workers up on connect).
+    pub fn new(nodes: usize) -> Self {
+        Self::with_alpha(nodes, LIVE_STATS_ALPHA)
+    }
+
+    /// [`LiveStatsView::new`] with an explicit EWMA weight in (0, 1].
+    pub fn with_alpha(nodes: usize, alpha: f64) -> Self {
+        LiveStatsView { alpha, nodes: (0..nodes).map(|_| NodeCell::new()).collect() }
+    }
+
+    /// Nodes tracked.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when tracking zero nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    fn fold_rate(&self, node: usize, rate: f64) {
+        let Some(cell) = self.nodes.get(node) else { return };
+        cell.rate_updates.fetch_add(1, Ordering::Relaxed);
+        let mut cur = cell.rate_bits.load(Ordering::Relaxed);
+        loop {
+            let old = f64::from_bits(cur);
+            let next =
+                if old.is_nan() { rate } else { (1.0 - self.alpha) * old + self.alpha * rate };
+            match cell.rate_bits.compare_exchange_weak(
+                cur,
+                next.to_bits(),
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(now) => cur = now,
+            }
+        }
+    }
+
+    fn mark_up(&self, node: usize, at: f64) {
+        let Some(cell) = self.nodes.get(node) else { return };
+        if !cell.live.swap(true, Ordering::Relaxed) {
+            cell.ups.fetch_add(1, Ordering::Relaxed);
+            let since = f64::from_bits(cell.down_since_bits.load(Ordering::Relaxed));
+            if since.is_finite() && at > since {
+                f64_fetch_add(&cell.downtime_bits, at - since);
+            }
+            cell.down_since_bits.store(f64::NAN.to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    fn mark_down(&self, node: usize, at: f64) {
+        let Some(cell) = self.nodes.get(node) else { return };
+        if cell.live.swap(false, Ordering::Relaxed) {
+            cell.downs.fetch_add(1, Ordering::Relaxed);
+            cell.down_since_bits.store(at.to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    /// Plain-value snapshot at time `now` (the driver's axis);
+    /// availability counts a still-open down spell up to `now`.
+    pub fn snapshot(&self, now: f64) -> LiveStatsSnapshot {
+        let nodes = self
+            .nodes
+            .iter()
+            .enumerate()
+            .map(|(w, cell)| {
+                let rate = f64::from_bits(cell.rate_bits.load(Ordering::Relaxed));
+                let live = cell.live.load(Ordering::Relaxed);
+                let mut down = f64::from_bits(cell.downtime_bits.load(Ordering::Relaxed));
+                let since = f64::from_bits(cell.down_since_bits.load(Ordering::Relaxed));
+                if !live && since.is_finite() && now > since {
+                    down += now - since;
+                }
+                let availability =
+                    if now > 0.0 { ((now - down) / now).clamp(0.0, 1.0) } else { 1.0 };
+                NodeStatsSnapshot {
+                    node: w as u32,
+                    live,
+                    rate: (!rate.is_nan()).then_some(rate),
+                    rate_updates: cell.rate_updates.load(Ordering::Relaxed),
+                    ups: cell.ups.load(Ordering::Relaxed),
+                    downs: cell.downs.load(Ordering::Relaxed),
+                    availability,
+                }
+            })
+            .collect();
+        LiveStatsSnapshot { at: now, nodes }
+    }
+}
+
+impl EventSink for LiveStatsView {
+    fn emit(&self, ev: &ObsEvent) {
+        match *ev {
+            ObsEvent::RateUpdate { worker, rate, .. } => self.fold_rate(worker as usize, rate),
+            ObsEvent::NodeUp { at, node } => self.mark_up(node as usize, at),
+            ObsEvent::NodeDown { at, node } => self.mark_down(node as usize, at),
+            ObsEvent::WorkerDead { at, worker, .. } => self.mark_down(worker as usize, at),
+            _ => {}
+        }
+    }
+}
+
+/// One node's observed state at snapshot time.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct NodeStatsSnapshot {
+    /// Node index.
+    pub node: u32,
+    /// Liveness as of the last observed transition.
+    pub live: bool,
+    /// View-side EWMA of observed `RateUpdate` rates (tiles per `T_L`),
+    /// `None` until the first observation.
+    pub rate: Option<f64>,
+    /// `RateUpdate` observations folded in.
+    pub rate_updates: u64,
+    /// Up-transitions observed (not counting the initial live state).
+    pub ups: u64,
+    /// Down-transitions observed.
+    pub downs: u64,
+    /// Observed up-time fraction over `[0, at]`.
+    pub availability: f64,
+}
+
+/// Every node's observed state at one instant, as handed to placement.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct LiveStatsSnapshot {
+    /// Snapshot time on the driver's axis.
+    pub at: f64,
+    /// Per-node states, indexed by node.
+    pub nodes: Vec<NodeStatsSnapshot>,
+}
+
+impl LiveStatsSnapshot {
+    /// Hand-rendered JSON (the sinks' no-serializer contract), via the
+    /// shared [`json`] helpers.
+    pub fn to_json(&self) -> String {
+        json::Obj::new()
+            .f64("at", self.at)
+            .raw(
+                "nodes",
+                json::array(self.nodes.iter().map(|n| {
+                    let mut o = json::Obj::new().u64("node", n.node.into()).bool("live", n.live);
+                    o = match n.rate {
+                        Some(r) => o.f64("rate", r),
+                        None => o.raw("rate", "null"),
+                    };
+                    o.u64("rate_updates", n.rate_updates)
+                        .u64("ups", n.ups)
+                        .u64("downs", n.downs)
+                        .f64("availability", n.availability)
+                        .finish()
+                })),
+            )
+            .finish()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SLO tracking
+// ---------------------------------------------------------------------------
+
+/// Fraction of requests allowed to exceed the latency target — fixed at
+/// 1% by the objective's p99 semantics.
+pub const LATENCY_ERROR_BUDGET: f64 = 0.01;
+
+/// Short burn-rate window (the "page now" signal), seconds.
+pub const SLO_FAST_WINDOW_S: f64 = 60.0;
+
+/// Long burn-rate window (the "sustained burn" signal), seconds.
+pub const SLO_SLOW_WINDOW_S: f64 = 300.0;
+
+/// A tenant's service-level objectives: a p99 latency target and a
+/// zero-fill (lost-tile) budget.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SloSpec {
+    /// 99th-percentile end-to-end latency target, seconds.
+    pub p99_latency_s: f64,
+    /// Allowed zero-filled fraction of delivered tiles, in (0, 1].
+    pub zero_fill_budget: f64,
+}
+
+impl SloSpec {
+    /// An objective with the given targets.
+    pub fn new(p99_latency_s: f64, zero_fill_budget: f64) -> Self {
+        SloSpec { p99_latency_s, zero_fill_budget }
+    }
+
+    /// Check the invariants the tracker relies on.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if !(self.p99_latency_s.is_finite() && self.p99_latency_s > 0.0) {
+            return Err(ConfigError::NonPositiveSloTarget(self.p99_latency_s));
+        }
+        if !(self.zero_fill_budget > 0.0 && self.zero_fill_budget <= 1.0) {
+            return Err(ConfigError::SloBudgetOutOfRange(self.zero_fill_budget));
+        }
+        Ok(())
+    }
+}
+
+/// One completed request, as the tracker remembers it.
+#[derive(Clone, Copy, Debug)]
+struct FinishRecord {
+    at: f64,
+    slow: bool,
+    zero_filled: u32,
+    tiles: u32,
+}
+
+/// Folds a tenant's completions into burn rates against an [`SloSpec`].
+/// Single-writer by design (the fleet driver owns it mutably); the
+/// multi-window computation happens at [`SloTracker::report`] time over
+/// the retained records, so windows need no pre-declared bucketing.
+#[derive(Clone, Debug)]
+pub struct SloTracker {
+    spec: SloSpec,
+    finishes: Vec<FinishRecord>,
+}
+
+impl SloTracker {
+    /// A tracker burning against `spec`.
+    pub fn new(spec: SloSpec) -> Self {
+        SloTracker { spec, finishes: Vec::new() }
+    }
+
+    /// The objective being tracked.
+    pub fn spec(&self) -> SloSpec {
+        self.spec
+    }
+
+    /// Fold in one completed request.
+    pub fn record(&mut self, at: f64, latency_s: f64, zero_filled: u32, tiles: u32) {
+        self.finishes.push(FinishRecord {
+            at,
+            slow: latency_s > self.spec.p99_latency_s,
+            zero_filled,
+            tiles,
+        });
+    }
+
+    /// Burn over `[now - window, now]`: (fraction of requests breaching
+    /// the latency target) / (the 1% p99 error budget). 1.0 consumes
+    /// the budget exactly; `None` when the window saw no completions.
+    fn latency_burn(&self, now: f64, window: f64) -> Option<f64> {
+        let from = now - window;
+        let (mut n, mut slow) = (0u64, 0u64);
+        for r in &self.finishes {
+            if r.at >= from {
+                n += 1;
+                slow += u64::from(r.slow);
+            }
+        }
+        (n > 0).then(|| (slow as f64 / n as f64) / LATENCY_ERROR_BUDGET)
+    }
+
+    /// Render the report for `tenant` as of `now`.
+    pub fn report(&self, tenant: &str, now: f64) -> SloReport {
+        let requests = self.finishes.len() as u64;
+        let breaching = self.finishes.iter().filter(|r| r.slow).count() as u64;
+        let tiles: u64 = self.finishes.iter().map(|r| u64::from(r.tiles)).sum();
+        let zero_filled: u64 = self.finishes.iter().map(|r| u64::from(r.zero_filled)).sum();
+        let total = self.latency_burn(now, f64::INFINITY).unwrap_or(0.0);
+        let zero_fill_rate = if tiles > 0 { zero_filled as f64 / tiles as f64 } else { 0.0 };
+        let zero_fill_burn = zero_fill_rate / self.spec.zero_fill_budget;
+        SloReport {
+            tenant: tenant.to_string(),
+            p99_target_s: self.spec.p99_latency_s,
+            requests,
+            breaching_requests: breaching,
+            latency_burn_total: total,
+            latency_burn_fast: self.latency_burn(now, SLO_FAST_WINDOW_S).unwrap_or(0.0),
+            latency_burn_slow: self.latency_burn(now, SLO_SLOW_WINDOW_S).unwrap_or(0.0),
+            zero_fill_budget: self.spec.zero_fill_budget,
+            zero_fill_rate,
+            zero_fill_burn,
+            met: total <= 1.0 && zero_fill_burn <= 1.0,
+        }
+    }
+}
+
+/// A tenant's SLO standing: whole-run and windowed burn rates for the
+/// latency objective plus the zero-fill budget's consumption.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SloReport {
+    /// Tenant name.
+    pub tenant: String,
+    /// The p99 latency target, seconds.
+    pub p99_target_s: f64,
+    /// Completions observed.
+    pub requests: u64,
+    /// Completions exceeding the latency target.
+    pub breaching_requests: u64,
+    /// Whole-run latency burn (1.0 = error budget exactly consumed).
+    pub latency_burn_total: f64,
+    /// Latency burn over the last [`SLO_FAST_WINDOW_S`].
+    pub latency_burn_fast: f64,
+    /// Latency burn over the last [`SLO_SLOW_WINDOW_S`].
+    pub latency_burn_slow: f64,
+    /// The configured zero-fill budget.
+    pub zero_fill_budget: f64,
+    /// Observed zero-filled fraction of tiles.
+    pub zero_fill_rate: f64,
+    /// `zero_fill_rate / zero_fill_budget`.
+    pub zero_fill_burn: f64,
+    /// True when both whole-run burns are within budget.
+    pub met: bool,
+}
+
+impl SloReport {
+    /// Hand-rendered JSON via the shared [`json`] helpers.
+    pub fn to_json(&self) -> String {
+        json::Obj::new()
+            .str("tenant", &self.tenant)
+            .f64("p99_target_s", self.p99_target_s)
+            .u64("requests", self.requests)
+            .u64("breaching_requests", self.breaching_requests)
+            .f64("latency_burn_total", self.latency_burn_total)
+            .f64("latency_burn_fast", self.latency_burn_fast)
+            .f64("latency_burn_slow", self.latency_burn_slow)
+            .f64("zero_fill_budget", self.zero_fill_budget)
+            .f64("zero_fill_rate", self.zero_fill_rate)
+            .f64("zero_fill_burn", self.zero_fill_burn)
+            .bool("met", self.met)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::obs::SinkHandle;
+
+    #[test]
+    fn registry_routes_tenant_node_and_global_scopes() {
+        let reg = Arc::new(LabeledMetricsRegistry::new(&["a", "b"], 3));
+        let h = SinkHandle::new(reg.clone());
+        h.emit_with(|| ObsEvent::ImageFinish {
+            at: 1.0,
+            image: 0,
+            latency: 0.010,
+            zero_filled: 0,
+            redispatched: 0,
+        });
+        h.emit_with(|| ObsEvent::TenantFinish {
+            at: 1.0,
+            image: 0,
+            tenant: 1,
+            latency: 0.010,
+            zero_filled: 1,
+            tiles: 4,
+        });
+        h.emit_with(|| ObsEvent::TileArrival { at: 0.9, image: 0, tile: 0, worker: 2 });
+        h.emit_with(|| ObsEvent::NodeDown { at: 2.0, node: 2 });
+
+        let g = reg.global().snapshot();
+        // tenant-tagged events bypass the global shard: no double count
+        assert_eq!(g.images_finished, 1);
+        assert_eq!(g.tiles_arrived, 1);
+        assert_eq!(g.nodes_down, 1);
+        let a = reg.tenant(0).unwrap().snapshot();
+        assert_eq!(a.images_finished, 0);
+        let b = reg.tenant(1).unwrap().snapshot();
+        assert_eq!(b.images_finished, 1);
+        assert_eq!(b.tiles_zero_filled, 1);
+        assert_eq!(b.tiles_arrived, 3);
+        let n2 = reg.node(2).unwrap().snapshot();
+        assert_eq!(n2.tiles_arrived, 1);
+        assert_eq!(n2.nodes_down, 1);
+        assert_eq!(reg.node(0).unwrap().snapshot().tiles_arrived, 0);
+    }
+
+    #[test]
+    fn registry_prometheus_renders_labeled_series_with_single_headers() {
+        let reg = LabeledMetricsRegistry::new(&["vgg16"], 1);
+        reg.emit(&ObsEvent::TenantFinish {
+            at: 1.0,
+            image: 0,
+            tenant: 0,
+            latency: 0.010,
+            zero_filled: 0,
+            tiles: 4,
+        });
+        let text = reg.to_prometheus();
+        assert!(text.contains("adcnn_images_finished_total{tenant=\"vgg16\"} 1\n"), "{text}");
+        assert!(text.contains("adcnn_images_finished_total{node=\"0\"} 0\n"));
+        // exactly one header per metric name despite three shards
+        assert_eq!(text.matches("# TYPE adcnn_images_finished_total counter\n").count(), 1);
+    }
+
+    #[test]
+    fn reporter_lines_are_per_tenant() {
+        let reg = LabeledMetricsRegistry::new(&["a", "b"], 1);
+        let mut rep = FleetReporter::new(&reg);
+        reg.emit(&ObsEvent::TenantFinish {
+            at: 1.0,
+            image: 0,
+            tenant: 0,
+            latency: 0.010,
+            zero_filled: 0,
+            tiles: 4,
+        });
+        let lines = rep.sample_lines(&reg, 2.0);
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("tenant=a | "));
+        assert!(lines[0].contains("0.5 img/s"), "{}", lines[0]);
+        assert!(lines[1].starts_with("tenant=b | "));
+        assert!(lines[1].contains("0.0 img/s"), "{}", lines[1]);
+    }
+
+    #[test]
+    fn live_view_folds_rates_and_availability() {
+        let view = LiveStatsView::with_alpha(2, 0.5);
+        view.emit(&ObsEvent::RateUpdate { at: 1.0, image: 0, worker: 0, rate: 4.0 });
+        view.emit(&ObsEvent::RateUpdate { at: 2.0, image: 0, worker: 0, rate: 8.0 });
+        view.emit(&ObsEvent::NodeDown { at: 5.0, node: 1 });
+        // duplicate down transition is idempotent
+        view.emit(&ObsEvent::WorkerDead { at: 6.0, image: 0, worker: 1 });
+        let snap = view.snapshot(10.0);
+        let n0 = &snap.nodes[0];
+        assert!(n0.live);
+        assert_eq!(n0.rate_updates, 2);
+        assert!((n0.rate.unwrap() - 6.0).abs() < 1e-12, "{:?}", n0.rate); // 0.5·4 + 0.5·8
+        assert!((n0.availability - 1.0).abs() < 1e-12);
+        let n1 = &snap.nodes[1];
+        assert!(!n1.live);
+        assert_eq!(n1.downs, 1);
+        assert!((n1.availability - 0.5).abs() < 1e-12, "{}", n1.availability);
+
+        view.emit(&ObsEvent::NodeUp { at: 15.0, node: 1 });
+        let snap = view.snapshot(20.0);
+        let n1 = &snap.nodes[1];
+        assert!(n1.live);
+        assert_eq!(n1.ups, 1);
+        assert!((n1.availability - 0.5).abs() < 1e-12, "{}", n1.availability);
+        assert!(json::is_well_formed(&snap.to_json()));
+    }
+
+    #[test]
+    fn slo_tracker_burns_multi_window() {
+        let spec = SloSpec::new(0.100, 0.05);
+        spec.validate().unwrap();
+        let mut t = SloTracker::new(spec);
+        // 200 requests, 4 slow (2% > 1% budget → whole-run burn 2.0);
+        // the slow ones land late, so the fast window burns hotter.
+        for i in 0..200u32 {
+            let at = i as f64 * 2.0; // 0 .. 398 s
+            let slow = i >= 196;
+            t.record(at, if slow { 0.200 } else { 0.050 }, u32::from(i % 50 == 0), 16);
+        }
+        let r = t.report("a", 398.0);
+        assert_eq!(r.requests, 200);
+        assert_eq!(r.breaching_requests, 4);
+        assert!((r.latency_burn_total - 2.0).abs() < 1e-9, "{}", r.latency_burn_total);
+        // fast window [338, 398]: 31 requests, 4 slow → ~12.9 burn
+        assert!(r.latency_burn_fast > r.latency_burn_slow);
+        assert!(r.latency_burn_slow > r.latency_burn_total);
+        // 4 zero-filled of 3200 tiles = 0.125% of a 5% budget
+        assert!((r.zero_fill_rate - 4.0 / 3200.0).abs() < 1e-12);
+        assert!(r.zero_fill_burn < 1.0);
+        assert!(!r.met);
+        assert!(json::is_well_formed(&r.to_json()));
+
+        assert!(SloSpec::new(0.0, 0.05).validate().is_err());
+        assert!(SloSpec::new(0.1, 0.0).validate().is_err());
+        assert!(SloSpec::new(0.1, 1.5).validate().is_err());
+    }
+}

@@ -32,6 +32,9 @@
 //! - [`report`] — forensic observability on top of [`obs`]: per-image
 //!   critical-path attribution, a lock-free flight recorder with
 //!   anomaly dumps, Prometheus exposition and live metrics reporting.
+//! - [`fleetobs`] — fleet-scope observability on top of [`obs`]:
+//!   tenant/node-labeled metrics shards, the live node-stats bus
+//!   placement consumes, and SLO burn-rate tracking.
 //! - [`config`] — typed validation ([`config::ConfigError`]) behind the
 //!   builder-based config surface of every crate in the workspace.
 
@@ -39,6 +42,7 @@ pub mod channel_part;
 pub mod compress;
 pub mod config;
 pub mod fdsp;
+pub mod fleetobs;
 pub mod halo;
 pub mod lifecycle;
 pub mod obs;
@@ -50,6 +54,10 @@ pub mod wire;
 pub use compress::{CompressScratch, Quantizer, RleCodec};
 pub use config::ConfigError;
 pub use fdsp::TileGrid;
+pub use fleetobs::{
+    FleetReporter, LabeledMetricsRegistry, LiveStatsSnapshot, LiveStatsView, NodeStatsSnapshot,
+    SloReport, SloSpec, SloTracker,
+};
 pub use lifecycle::{LifecyclePolicy, TileLifecycle, TimerPolicy};
 pub use obs::{
     ChromeTraceSink, EventSink, MetricsSink, MetricsSnapshot, NullSink, ObsEvent, SinkHandle,

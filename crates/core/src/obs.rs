@@ -244,7 +244,34 @@ pub enum ObsEvent {
     /// The image left flight (its handle was resolved); `inflight` is
     /// the depth *after* removal. Driver-emitted.
     ImageRetired { at: f64, image: u64, inflight: u32 },
+    /// `node` became reachable: a churn revival in netsim, a transport
+    /// (re)connect in the multi-process runtime. Driver-emitted (never
+    /// by the lifecycle) — fleet topology and per-image decision traces
+    /// stay on separate streams.
+    NodeUp { at: f64, node: u32 },
+    /// `node` became unreachable: a churn departure in netsim, a
+    /// supervisor-detected disconnect in the runtime. Driver-emitted.
+    NodeDown { at: f64, node: u32 },
+    /// The placement control plane produced decision number `seq`.
+    /// `cause` is one of [`PLACEMENT_INITIAL`], [`PLACEMENT_JOIN`],
+    /// [`PLACEMENT_LEAVE`]; `node` is the triggering node (`u32::MAX`
+    /// for the initial decision). Driver-emitted.
+    PlacementDecided { at: f64, cause: u32, node: u32, tenants: u32, live_nodes: u32, seq: u64 },
+    /// Tenant-tagged twin of [`ObsEvent::ImageAdmitted`], emitted by the
+    /// fleet driver on its fleet-scope stream so labeled metrics can
+    /// attribute admissions without a per-image tenant lookup.
+    TenantAdmit { at: f64, image: u64, tenant: u32, queue_wait: f64 },
+    /// Tenant-tagged completion: `zero_filled` of the image's `tiles`
+    /// tiles were lost, the rest arrived. Driver-emitted.
+    TenantFinish { at: f64, image: u64, tenant: u32, latency: f64, zero_filled: u32, tiles: u32 },
 }
+
+/// [`ObsEvent::PlacementDecided`] cause: the run's first decision.
+pub const PLACEMENT_INITIAL: u32 = 0;
+/// [`ObsEvent::PlacementDecided`] cause: a node (re)joined the roster.
+pub const PLACEMENT_JOIN: u32 = 1;
+/// [`ObsEvent::PlacementDecided`] cause: a node left the roster.
+pub const PLACEMENT_LEAVE: u32 = 2;
 
 impl ObsEvent {
     /// Stable event-type name (the cross-driver schema the differential
@@ -271,6 +298,11 @@ impl ObsEvent {
             ObsEvent::TileTransfer { .. } => "tile_transfer",
             ObsEvent::ImageAdmitted { .. } => "image_admitted",
             ObsEvent::ImageRetired { .. } => "image_retired",
+            ObsEvent::NodeUp { .. } => "node_up",
+            ObsEvent::NodeDown { .. } => "node_down",
+            ObsEvent::PlacementDecided { .. } => "placement_decided",
+            ObsEvent::TenantAdmit { .. } => "tenant_admit",
+            ObsEvent::TenantFinish { .. } => "tenant_finish",
         }
     }
 
@@ -345,12 +377,40 @@ impl ObsEvent {
             ObsEvent::ImageRetired { image, inflight, .. } => {
                 Obj::new().u64("image", image).u64("inflight", inflight.into()).finish()
             }
+            ObsEvent::NodeUp { node, .. } | ObsEvent::NodeDown { node, .. } => {
+                Obj::new().u64("node", node.into()).finish()
+            }
+            ObsEvent::PlacementDecided { cause, node, tenants, live_nodes, seq, .. } => Obj::new()
+                .u64("cause", cause.into())
+                .u64("node", node.into())
+                .u64("tenants", tenants.into())
+                .u64("live_nodes", live_nodes.into())
+                .u64("seq", seq)
+                .finish(),
+            ObsEvent::TenantAdmit { image, tenant, queue_wait, .. } => Obj::new()
+                .u64("image", image)
+                .u64("tenant", tenant.into())
+                .f64("queue_wait", queue_wait)
+                .finish(),
+            ObsEvent::TenantFinish { image, tenant, latency, zero_filled, tiles, .. } => Obj::new()
+                .u64("image", image)
+                .u64("tenant", tenant.into())
+                .f64("latency", latency)
+                .u64("zero_filled", zero_filled.into())
+                .u64("tiles", tiles.into())
+                .finish(),
         }
     }
 
-    /// The image the event belongs to (every variant carries one).
+    /// The image the event belongs to. Node- and placement-scoped
+    /// variants carry no image and return `u64::MAX` — a sentinel no
+    /// driver ever assigns, so image-window filters never match them.
     pub fn image(&self) -> u64 {
         match *self {
+            ObsEvent::NodeUp { .. }
+            | ObsEvent::NodeDown { .. }
+            | ObsEvent::PlacementDecided { .. } => u64::MAX,
+            ObsEvent::TenantAdmit { image, .. } | ObsEvent::TenantFinish { image, .. } => image,
             ObsEvent::ImageStart { image, .. }
             | ObsEvent::ImageFinish { image, .. }
             | ObsEvent::TileDispatch { image, .. }
@@ -407,6 +467,17 @@ impl ObsEvent {
             | ObsEvent::TileCompute { worker, .. }
             | ObsEvent::TileCompress { worker, .. }
             | ObsEvent::TileTransfer { worker, .. } => Some(worker),
+            ObsEvent::NodeUp { node, .. } | ObsEvent::NodeDown { node, .. } => Some(node),
+            _ => None,
+        }
+    }
+
+    /// The tenant the event is tagged with, for fleet-scope variants.
+    pub fn tenant(&self) -> Option<u32> {
+        match *self {
+            ObsEvent::TenantAdmit { tenant, .. } | ObsEvent::TenantFinish { tenant, .. } => {
+                Some(tenant)
+            }
             _ => None,
         }
     }
@@ -433,7 +504,12 @@ impl ObsEvent {
             | ObsEvent::TileCompress { at, .. }
             | ObsEvent::TileTransfer { at, .. }
             | ObsEvent::ImageAdmitted { at, .. }
-            | ObsEvent::ImageRetired { at, .. } => at,
+            | ObsEvent::ImageRetired { at, .. }
+            | ObsEvent::NodeUp { at, .. }
+            | ObsEvent::NodeDown { at, .. }
+            | ObsEvent::PlacementDecided { at, .. }
+            | ObsEvent::TenantAdmit { at, .. }
+            | ObsEvent::TenantFinish { at, .. } => at,
         }
     }
 }
@@ -694,6 +770,9 @@ pub struct MetricsSink {
     compressed_bytes: AtomicU64,
     images_admitted: AtomicU64,
     inflight_depth: AtomicU64,
+    nodes_up: AtomicU64,
+    nodes_down: AtomicU64,
+    placements_decided: AtomicU64,
     compute_us: Histogram,
     compress_us: Histogram,
     transfer_us: Histogram,
@@ -736,6 +815,9 @@ impl MetricsSink {
             compressed_bytes: c(&self.compressed_bytes),
             images_admitted: c(&self.images_admitted),
             inflight_depth: c(&self.inflight_depth),
+            nodes_up: c(&self.nodes_up),
+            nodes_down: c(&self.nodes_down),
+            placements_decided: c(&self.placements_decided),
             compute_us: self.compute_us.snapshot(),
             compress_us: self.compress_us.snapshot(),
             transfer_us: self.transfer_us.snapshot(),
@@ -814,6 +896,31 @@ impl EventSink for MetricsSink {
             ObsEvent::ImageRetired { inflight, .. } => {
                 self.inflight_depth.store(inflight.into(), Ordering::Relaxed);
             }
+            ObsEvent::NodeUp { .. } => {
+                self.nodes_up.fetch_add(1, Ordering::Relaxed);
+            }
+            ObsEvent::NodeDown { .. } => {
+                self.nodes_down.fetch_add(1, Ordering::Relaxed);
+            }
+            ObsEvent::PlacementDecided { .. } => {
+                self.placements_decided.fetch_add(1, Ordering::Relaxed);
+            }
+            // The tenant-tagged twins fold into the same image counters
+            // as their lifecycle counterparts. A sink shard fed only the
+            // fleet-scope stream (the labeled-registry layout) therefore
+            // sees sensible images/latency/zero-fill series; do not feed
+            // one sink a tee of both streams or images double-count.
+            ObsEvent::TenantAdmit { queue_wait, .. } => {
+                self.images_admitted.fetch_add(1, Ordering::Relaxed);
+                self.queue_wait_us.record(us(queue_wait));
+            }
+            ObsEvent::TenantFinish { latency, zero_filled, tiles, .. } => {
+                self.images_finished.fetch_add(1, Ordering::Relaxed);
+                self.image_latency_us.record(us(latency));
+                self.tiles_zero_filled.fetch_add(zero_filled.into(), Ordering::Relaxed);
+                self.tiles_arrived
+                    .fetch_add(u64::from(tiles.saturating_sub(zero_filled)), Ordering::Relaxed);
+            }
         }
     }
 }
@@ -860,6 +967,15 @@ pub struct MetricsSnapshot {
     pub images_admitted: u64,
     /// In-flight depth gauge: last observed concurrent-image count.
     pub inflight_depth: u64,
+    /// Node up-transitions observed (churn revivals, transport connects).
+    #[serde(default)]
+    pub nodes_up: u64,
+    /// Node down-transitions observed (churn departures, disconnects).
+    #[serde(default)]
+    pub nodes_down: u64,
+    /// Placement decisions produced by the control plane.
+    #[serde(default)]
+    pub placements_decided: u64,
     /// Per-tile prefix compute time, µs.
     pub compute_us: HistogramSnapshot,
     /// Per-tile clip/quantize/RLE time, µs.
@@ -906,6 +1022,9 @@ impl MetricsSnapshot {
             .u64("compressed_bytes", self.compressed_bytes)
             .u64("images_admitted", self.images_admitted)
             .u64("inflight_depth", self.inflight_depth)
+            .u64("nodes_up", self.nodes_up)
+            .u64("nodes_down", self.nodes_down)
+            .u64("placements_decided", self.placements_decided)
             .raw("compute_us", hist(&self.compute_us))
             .raw("compress_us", hist(&self.compress_us))
             .raw("transfer_us", hist(&self.transfer_us))

@@ -672,6 +672,31 @@ fn encode(ev: &ObsEvent) -> [u64; SLOT_WORDS] {
             w[0] = 19;
             w[3] = pack(NONE32, inflight);
         }
+        ObsEvent::NodeUp { node, .. } => {
+            w[0] = 20;
+            w[3] = pack(NONE32, node);
+        }
+        ObsEvent::NodeDown { node, .. } => {
+            w[0] = 21;
+            w[3] = pack(NONE32, node);
+        }
+        ObsEvent::PlacementDecided { cause, node, tenants, live_nodes, seq, .. } => {
+            w[0] = 22;
+            w[3] = pack(cause, node);
+            w[4] = pack(tenants, live_nodes);
+            w[5] = seq;
+        }
+        ObsEvent::TenantAdmit { tenant, queue_wait, .. } => {
+            w[0] = 23;
+            w[3] = pack(tenant, NONE32);
+            w[4] = queue_wait.to_bits();
+        }
+        ObsEvent::TenantFinish { tenant, latency, zero_filled, tiles, .. } => {
+            w[0] = 24;
+            w[3] = pack(tenant, zero_filled);
+            w[4] = latency.to_bits();
+            w[5] = u64::from(tiles);
+        }
     }
     w
 }
@@ -717,6 +742,21 @@ fn decode(w: &[u64; SLOT_WORDS]) -> Option<ObsEvent> {
         17 => ObsEvent::TileTransfer { at, image, tile: lo, worker: hi, dur: f64::from_bits(w[4]) },
         18 => ObsEvent::ImageAdmitted { at, image, queue_wait: f64::from_bits(w[4]), inflight: hi },
         19 => ObsEvent::ImageRetired { at, image, inflight: hi },
+        20 => ObsEvent::NodeUp { at, node: hi },
+        21 => ObsEvent::NodeDown { at, node: hi },
+        22 => {
+            let (tenants, live_nodes) = unpack(w[4]);
+            ObsEvent::PlacementDecided { at, cause: lo, node: hi, tenants, live_nodes, seq: w[5] }
+        }
+        23 => ObsEvent::TenantAdmit { at, image, tenant: lo, queue_wait: f64::from_bits(w[4]) },
+        24 => ObsEvent::TenantFinish {
+            at,
+            image,
+            tenant: lo,
+            latency: f64::from_bits(w[4]),
+            zero_filled: hi,
+            tiles: w[5] as u32,
+        },
         _ => return None,
     })
 }
@@ -1073,57 +1113,142 @@ impl EventSink for FlightRecorderSink {
 // Live exposition: Prometheus text format and snapshot diffing
 // ---------------------------------------------------------------------------
 
+/// Escape a Prometheus label *value* per the text exposition format:
+/// backslash, double-quote, and line-feed become `\\`, `\"`, `\n`.
+pub fn prometheus_escape_label(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render `labels` as `key="escaped-value"` pairs, comma-joined (no
+/// surrounding braces — histogram series append their `le` pair).
+fn prometheus_label_pairs(labels: &[(&str, &str)]) -> String {
+    labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", prometheus_escape_label(v)))
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
 impl MetricsSnapshot {
     /// Render in Prometheus text exposition format: one `counter` per
     /// scalar, one `histogram` (cumulative `le` buckets over the log2
     /// boundaries, `+Inf`, `_sum`, `_count`) per histogram, all under
-    /// the `adcnn_` namespace.
+    /// the `adcnn_` namespace, with `# HELP`/`# TYPE` headers.
     pub fn to_prometheus(&self) -> String {
+        self.to_prometheus_labeled(&[])
+    }
+
+    /// [`MetricsSnapshot::to_prometheus`] with every series carrying the
+    /// given labels (values are escaped), e.g.
+    /// `adcnn_images_finished_total{tenant="vgg16"} 100`.
+    pub fn to_prometheus_labeled(&self, labels: &[(&str, &str)]) -> String {
+        self.render_prometheus(labels, true)
+    }
+
+    /// Labeled rendering with optional `# HELP`/`# TYPE` headers. The
+    /// exposition format wants headers once per metric name, so a
+    /// registry of shards renders its first shard with headers and the
+    /// labeled shards without.
+    pub fn render_prometheus(&self, labels: &[(&str, &str)], headers: bool) -> String {
         let mut out = String::with_capacity(4096);
-        let mut counter = |name: &str, v: u64| {
-            out.push_str(&format!("# TYPE adcnn_{name} counter\nadcnn_{name} {v}\n"));
+        let pairs = prometheus_label_pairs(labels);
+        let plain = if pairs.is_empty() { String::new() } else { format!("{{{pairs}}}") };
+        let mut counter = |name: &str, help: &str, v: u64| {
+            if headers {
+                out.push_str(&format!("# HELP adcnn_{name} {help}\n# TYPE adcnn_{name} counter\n"));
+            }
+            out.push_str(&format!("adcnn_{name}{plain} {v}\n"));
         };
-        counter("images_started_total", self.images_started);
-        counter("images_finished_total", self.images_finished);
-        counter("tiles_dispatched_total", self.tiles_dispatched);
-        counter("tiles_redispatched_total", self.tiles_redispatched);
-        counter("tiles_arrived_total", self.tiles_arrived);
-        counter("tiles_duplicate_total", self.tiles_duplicate);
-        counter("tiles_late_total", self.tiles_late);
-        counter("tiles_corrupt_total", self.tiles_corrupt);
-        counter("tiles_zero_filled_total", self.tiles_zero_filled);
-        counter("deadlines_armed_total", self.deadlines_armed);
-        counter("deadlines_fired_total", self.deadlines_fired);
-        counter("workers_died_total", self.workers_died);
-        counter("workers_suspected_total", self.workers_suspected);
-        counter("workers_cleared_total", self.workers_cleared);
-        counter("rate_updates_total", self.rate_updates);
-        counter("compressed_bytes_total", self.compressed_bytes);
-        counter("images_admitted_total", self.images_admitted);
-        out.push_str(&format!(
-            "# TYPE adcnn_inflight_depth gauge\nadcnn_inflight_depth {}\n",
-            self.inflight_depth
-        ));
-        let mut histogram = |name: &str, h: &HistogramSnapshot| {
-            out.push_str(&format!("# TYPE adcnn_{name} histogram\n"));
+        counter("images_started_total", "Images whose lifecycle began.", self.images_started);
+        counter("images_finished_total", "Images that completed.", self.images_finished);
+        counter("tiles_dispatched_total", "Round-0 tile send attempts.", self.tiles_dispatched);
+        counter(
+            "tiles_redispatched_total",
+            "Recovery tile send attempts.",
+            self.tiles_redispatched,
+        );
+        counter("tiles_arrived_total", "Accepted (fresh, decodable) results.", self.tiles_arrived);
+        counter("tiles_duplicate_total", "Discarded duplicate results.", self.tiles_duplicate);
+        counter("tiles_late_total", "Results after image completion.", self.tiles_late);
+        counter("tiles_corrupt_total", "Results that failed to decode.", self.tiles_corrupt);
+        counter("tiles_zero_filled_total", "Tiles zero-filled.", self.tiles_zero_filled);
+        counter("deadlines_armed_total", "Deadline timers armed.", self.deadlines_armed);
+        counter("deadlines_fired_total", "Live deadline firings.", self.deadlines_fired);
+        counter("workers_died_total", "Positively-observed worker deaths.", self.workers_died);
+        counter(
+            "workers_suspected_total",
+            "Silent-fault suspicions raised.",
+            self.workers_suspected,
+        );
+        counter("workers_cleared_total", "Suspicions cleared.", self.workers_cleared);
+        counter("rate_updates_total", "Algorithm 2 EWMA observations.", self.rate_updates);
+        counter(
+            "compressed_bytes_total",
+            "Compressed payload bytes shipped.",
+            self.compressed_bytes,
+        );
+        counter(
+            "images_admitted_total",
+            "Images admitted into the pipeline.",
+            self.images_admitted,
+        );
+        counter("nodes_up_total", "Node up-transitions observed.", self.nodes_up);
+        counter("nodes_down_total", "Node down-transitions observed.", self.nodes_down);
+        counter(
+            "placements_decided_total",
+            "Placement decisions produced.",
+            self.placements_decided,
+        );
+        if headers {
+            out.push_str(
+                "# HELP adcnn_inflight_depth Last observed concurrent-image count.\n# TYPE adcnn_inflight_depth gauge\n",
+            );
+        }
+        out.push_str(&format!("adcnn_inflight_depth{plain} {}\n", self.inflight_depth));
+        let mut histogram = |name: &str, help: &str, h: &HistogramSnapshot| {
+            if headers {
+                out.push_str(&format!(
+                    "# HELP adcnn_{name} {help}\n# TYPE adcnn_{name} histogram\n"
+                ));
+            }
+            let le_pairs = |le: &str| {
+                if pairs.is_empty() {
+                    format!("{{le=\"{le}\"}}")
+                } else {
+                    format!("{{{pairs},le=\"{le}\"}}")
+                }
+            };
             let mut cum = 0u64;
             for (b, n) in h.buckets.iter().enumerate() {
                 cum += n;
                 // bucket b counts v < 2^b (v == 0 for b == 0), so the
                 // inclusive upper bound is 2^b - 1.
                 let le = if b == 0 { 0 } else { (1u64 << b) - 1 };
-                out.push_str(&format!("adcnn_{name}_bucket{{le=\"{le}\"}} {cum}\n"));
+                out.push_str(&format!("adcnn_{name}_bucket{} {cum}\n", le_pairs(&le.to_string())));
             }
-            out.push_str(&format!("adcnn_{name}_bucket{{le=\"+Inf\"}} {}\n", h.count));
-            out.push_str(&format!("adcnn_{name}_sum {}\n", h.sum));
-            out.push_str(&format!("adcnn_{name}_count {}\n", h.count));
+            out.push_str(&format!("adcnn_{name}_bucket{} {}\n", le_pairs("+Inf"), h.count));
+            out.push_str(&format!("adcnn_{name}_sum{plain} {}\n", h.sum));
+            out.push_str(&format!("adcnn_{name}_count{plain} {}\n", h.count));
         };
-        histogram("compute_us", &self.compute_us);
-        histogram("compress_us", &self.compress_us);
-        histogram("transfer_us", &self.transfer_us);
-        histogram("image_latency_us", &self.image_latency_us);
-        histogram("compressed_tile_bytes", &self.compressed_tile_bytes);
-        histogram("queue_wait_us", &self.queue_wait_us);
+        histogram("compute_us", "Per-tile prefix compute time, us.", &self.compute_us);
+        histogram("compress_us", "Per-tile clip/quantize/RLE time, us.", &self.compress_us);
+        histogram("transfer_us", "Per-tile transfer time, us.", &self.transfer_us);
+        histogram("image_latency_us", "End-to-end image latency, us.", &self.image_latency_us);
+        histogram(
+            "compressed_tile_bytes",
+            "Per-tile compressed payload size, bytes.",
+            &self.compressed_tile_bytes,
+        );
+        histogram("queue_wait_us", "Intake-queue wait before admission, us.", &self.queue_wait_us);
         out
     }
 }
@@ -1416,6 +1541,25 @@ mod tests {
             ObsEvent::TileTransfer { at: 0.9, image: 1, tile: 3, worker: 0, dur: 0.05 },
             ObsEvent::ImageAdmitted { at: 0.4, image: 1, queue_wait: 0.025, inflight: 4 },
             ObsEvent::ImageRetired { at: 1.5, image: 1, inflight: 3 },
+            ObsEvent::NodeUp { at: 2.0, node: 7 },
+            ObsEvent::NodeDown { at: 2.5, node: 7 },
+            ObsEvent::PlacementDecided {
+                at: 2.5,
+                cause: 2,
+                node: 7,
+                tenants: 2,
+                live_nodes: 5,
+                seq: 3,
+            },
+            ObsEvent::TenantAdmit { at: 0.4, image: 1, tenant: 1, queue_wait: 0.025 },
+            ObsEvent::TenantFinish {
+                at: 1.5,
+                image: 1,
+                tenant: 1,
+                latency: 1.1,
+                zero_filled: 4,
+                tiles: 16,
+            },
         ];
         for ev in evs {
             assert_eq!(decode(&encode(&ev)), Some(ev));
@@ -1525,6 +1669,141 @@ mod tests {
         assert!(text.contains("adcnn_compute_us_sum 10000\n"));
         assert!(text.contains("adcnn_compute_us_count 2\n"));
         assert!(text.ends_with('\n'));
+    }
+
+    /// Full-format pin for the unlabeled exposition: metric order,
+    /// `# HELP`/`# TYPE` headers, names, and the empty-histogram shape
+    /// are all golden. A change here is a dashboard-breaking change.
+    #[test]
+    fn prometheus_format_is_pinned() {
+        let text = MetricsSnapshot::default().to_prometheus();
+        let expected = concat!(
+            "# HELP adcnn_images_started_total Images whose lifecycle began.\n",
+            "# TYPE adcnn_images_started_total counter\n",
+            "adcnn_images_started_total 0\n",
+            "# HELP adcnn_images_finished_total Images that completed.\n",
+            "# TYPE adcnn_images_finished_total counter\n",
+            "adcnn_images_finished_total 0\n",
+            "# HELP adcnn_tiles_dispatched_total Round-0 tile send attempts.\n",
+            "# TYPE adcnn_tiles_dispatched_total counter\n",
+            "adcnn_tiles_dispatched_total 0\n",
+            "# HELP adcnn_tiles_redispatched_total Recovery tile send attempts.\n",
+            "# TYPE adcnn_tiles_redispatched_total counter\n",
+            "adcnn_tiles_redispatched_total 0\n",
+            "# HELP adcnn_tiles_arrived_total Accepted (fresh, decodable) results.\n",
+            "# TYPE adcnn_tiles_arrived_total counter\n",
+            "adcnn_tiles_arrived_total 0\n",
+            "# HELP adcnn_tiles_duplicate_total Discarded duplicate results.\n",
+            "# TYPE adcnn_tiles_duplicate_total counter\n",
+            "adcnn_tiles_duplicate_total 0\n",
+            "# HELP adcnn_tiles_late_total Results after image completion.\n",
+            "# TYPE adcnn_tiles_late_total counter\n",
+            "adcnn_tiles_late_total 0\n",
+            "# HELP adcnn_tiles_corrupt_total Results that failed to decode.\n",
+            "# TYPE adcnn_tiles_corrupt_total counter\n",
+            "adcnn_tiles_corrupt_total 0\n",
+            "# HELP adcnn_tiles_zero_filled_total Tiles zero-filled.\n",
+            "# TYPE adcnn_tiles_zero_filled_total counter\n",
+            "adcnn_tiles_zero_filled_total 0\n",
+            "# HELP adcnn_deadlines_armed_total Deadline timers armed.\n",
+            "# TYPE adcnn_deadlines_armed_total counter\n",
+            "adcnn_deadlines_armed_total 0\n",
+            "# HELP adcnn_deadlines_fired_total Live deadline firings.\n",
+            "# TYPE adcnn_deadlines_fired_total counter\n",
+            "adcnn_deadlines_fired_total 0\n",
+            "# HELP adcnn_workers_died_total Positively-observed worker deaths.\n",
+            "# TYPE adcnn_workers_died_total counter\n",
+            "adcnn_workers_died_total 0\n",
+            "# HELP adcnn_workers_suspected_total Silent-fault suspicions raised.\n",
+            "# TYPE adcnn_workers_suspected_total counter\n",
+            "adcnn_workers_suspected_total 0\n",
+            "# HELP adcnn_workers_cleared_total Suspicions cleared.\n",
+            "# TYPE adcnn_workers_cleared_total counter\n",
+            "adcnn_workers_cleared_total 0\n",
+            "# HELP adcnn_rate_updates_total Algorithm 2 EWMA observations.\n",
+            "# TYPE adcnn_rate_updates_total counter\n",
+            "adcnn_rate_updates_total 0\n",
+            "# HELP adcnn_compressed_bytes_total Compressed payload bytes shipped.\n",
+            "# TYPE adcnn_compressed_bytes_total counter\n",
+            "adcnn_compressed_bytes_total 0\n",
+            "# HELP adcnn_images_admitted_total Images admitted into the pipeline.\n",
+            "# TYPE adcnn_images_admitted_total counter\n",
+            "adcnn_images_admitted_total 0\n",
+            "# HELP adcnn_nodes_up_total Node up-transitions observed.\n",
+            "# TYPE adcnn_nodes_up_total counter\n",
+            "adcnn_nodes_up_total 0\n",
+            "# HELP adcnn_nodes_down_total Node down-transitions observed.\n",
+            "# TYPE adcnn_nodes_down_total counter\n",
+            "adcnn_nodes_down_total 0\n",
+            "# HELP adcnn_placements_decided_total Placement decisions produced.\n",
+            "# TYPE adcnn_placements_decided_total counter\n",
+            "adcnn_placements_decided_total 0\n",
+            "# HELP adcnn_inflight_depth Last observed concurrent-image count.\n",
+            "# TYPE adcnn_inflight_depth gauge\n",
+            "adcnn_inflight_depth 0\n",
+            "# HELP adcnn_compute_us Per-tile prefix compute time, us.\n",
+            "# TYPE adcnn_compute_us histogram\n",
+            "adcnn_compute_us_bucket{le=\"+Inf\"} 0\n",
+            "adcnn_compute_us_sum 0\n",
+            "adcnn_compute_us_count 0\n",
+            "# HELP adcnn_compress_us Per-tile clip/quantize/RLE time, us.\n",
+            "# TYPE adcnn_compress_us histogram\n",
+            "adcnn_compress_us_bucket{le=\"+Inf\"} 0\n",
+            "adcnn_compress_us_sum 0\n",
+            "adcnn_compress_us_count 0\n",
+            "# HELP adcnn_transfer_us Per-tile transfer time, us.\n",
+            "# TYPE adcnn_transfer_us histogram\n",
+            "adcnn_transfer_us_bucket{le=\"+Inf\"} 0\n",
+            "adcnn_transfer_us_sum 0\n",
+            "adcnn_transfer_us_count 0\n",
+            "# HELP adcnn_image_latency_us End-to-end image latency, us.\n",
+            "# TYPE adcnn_image_latency_us histogram\n",
+            "adcnn_image_latency_us_bucket{le=\"+Inf\"} 0\n",
+            "adcnn_image_latency_us_sum 0\n",
+            "adcnn_image_latency_us_count 0\n",
+            "# HELP adcnn_compressed_tile_bytes Per-tile compressed payload size, bytes.\n",
+            "# TYPE adcnn_compressed_tile_bytes histogram\n",
+            "adcnn_compressed_tile_bytes_bucket{le=\"+Inf\"} 0\n",
+            "adcnn_compressed_tile_bytes_sum 0\n",
+            "adcnn_compressed_tile_bytes_count 0\n",
+            "# HELP adcnn_queue_wait_us Intake-queue wait before admission, us.\n",
+            "# TYPE adcnn_queue_wait_us histogram\n",
+            "adcnn_queue_wait_us_bucket{le=\"+Inf\"} 0\n",
+            "adcnn_queue_wait_us_sum 0\n",
+            "adcnn_queue_wait_us_count 0\n",
+        );
+        assert_eq!(text, expected);
+    }
+
+    #[test]
+    fn prometheus_labels_are_escaped_and_merged_into_le_pairs() {
+        let m = Arc::new(MetricsSink::new());
+        let h = SinkHandle::new(m.clone());
+        h.emit_with(|| ObsEvent::ImageFinish {
+            at: 0.05,
+            image: 0,
+            latency: 0.003,
+            zero_filled: 0,
+            redispatched: 0,
+        });
+        let labels = [("tenant", "a\"b\\c\nd"), ("node", "3")];
+        let text = m.snapshot().to_prometheus_labeled(&labels);
+        // backslash, quote, and newline are escaped in the value
+        assert!(
+            text.contains("adcnn_images_finished_total{tenant=\"a\\\"b\\\\c\\nd\",node=\"3\"} 1\n"),
+            "{text}"
+        );
+        // histogram series merge the shard labels with their le pair
+        assert!(text.contains(
+            "adcnn_image_latency_us_bucket{tenant=\"a\\\"b\\\\c\\nd\",node=\"3\",le=\"+Inf\"} 1\n"
+        ));
+        assert!(text
+            .contains("adcnn_image_latency_us_count{tenant=\"a\\\"b\\\\c\\nd\",node=\"3\"} 1\n"));
+        // headers carry no labels, and headerless rendering drops them
+        assert!(text.contains("# TYPE adcnn_images_finished_total counter\n"));
+        let bare = m.snapshot().render_prometheus(&labels, false);
+        assert!(!bare.contains("# HELP"));
+        assert!(!bare.contains("# TYPE"));
     }
 
     #[test]

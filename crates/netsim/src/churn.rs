@@ -103,6 +103,25 @@ impl ChurnPlan {
         }
     }
 
+    /// The plan's merged topology-event schedule over a roster of
+    /// `nodes`: `(time, node, up)` transitions in time order (ties break
+    /// by node index). This is exactly the `NodeUp`/`NodeDown` stream a
+    /// fleet running this plan emits on its fleet-scope sink — the
+    /// observability tests reconcile the two.
+    pub fn topology_events(&self, nodes: usize) -> Vec<(f64, usize, bool)> {
+        let mut out: Vec<(f64, usize, bool)> = (0..nodes)
+            .flat_map(|n| {
+                self.schedule_for(n)
+                    .dead_transitions()
+                    .into_iter()
+                    .filter(|&(t, _)| t.is_finite())
+                    .map(move |(t, dead)| (t, n, !dead))
+            })
+            .collect();
+        out.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        out
+    }
+
     fn diurnal_schedule(&self, period: f64, trough: f64, rng: &mut StdRng) -> SpeedSchedule {
         let phase: f64 = rng.gen_range(0.0..period);
         let step = period / DIURNAL_STEPS as f64;
@@ -287,6 +306,28 @@ mod tests {
         assert!(deaths > 0, "no node ever left");
         assert!(revivals > 0, "no node ever rejoined");
         assert!(revivals <= deaths, "revival without a preceding death");
+    }
+
+    #[test]
+    fn topology_events_merge_per_node_transitions_in_time_order() {
+        let p = ChurnPlan::new(10_000.0, 11).join_leave(100.0, 30.0);
+        let evs = p.topology_events(8);
+        assert!(!evs.is_empty(), "churny plan produced no topology events");
+        for w in evs.windows(2) {
+            assert!(w[0].0 <= w[1].0, "events out of time order: {w:?}");
+        }
+        // each node's subsequence is exactly its schedule's transitions
+        for n in 0..8 {
+            let mine: Vec<(f64, bool)> =
+                evs.iter().filter(|e| e.1 == n).map(|e| (e.0, !e.2)).collect();
+            let expect: Vec<(f64, bool)> = p
+                .schedule_for(n)
+                .dead_transitions()
+                .into_iter()
+                .filter(|&(t, _)| t.is_finite())
+                .collect();
+            assert_eq!(mine, expect, "node {n} transitions diverge");
+        }
     }
 
     #[test]

@@ -414,6 +414,7 @@ impl AdcnnSim {
             weight: 1.0,
             arrivals: ArrivalSpec::ClosedLoop,
             requests: cfg.images,
+            slo: None,
         };
         let fleet = FleetConfig {
             nodes: cfg.nodes.clone(),
@@ -424,6 +425,7 @@ impl AdcnnSim {
             seed: cfg.seed,
             retain_images: cfg.images,
             sink: cfg.sink.clone(),
+            fleet_sink: SinkHandle::null(),
             placement: std::sync::Arc::new(crate::placement::AllNodesPlacement),
         };
         let fs = FleetSim::new(fleet).run();

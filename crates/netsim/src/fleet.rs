@@ -36,13 +36,20 @@
 use crate::arrivals::{ArrivalGen, ArrivalSpec};
 use crate::cluster::{ImageStats, SimNode};
 use crate::engine::{EventQueue, FifoResource, SpeedSchedule, ThrottledCpu};
-use crate::placement::{AllNodesPlacement, PlacementDecision, PlacementInput, PlacementPolicy};
+use crate::placement::{
+    AllNodesPlacement, PlacementAudit, PlacementAuditEntry, PlacementCause, PlacementDecision,
+    PlacementInput, PlacementPolicy,
+};
 use crate::profiles::LinkParams;
 use crate::tenancy::{FairScheduler, TenantSpec};
 use adcnn_core::compress::wire_bits_estimate;
 use adcnn_core::config::ConfigError;
+use adcnn_core::fleetobs::{LiveStatsSnapshot, LiveStatsView, SloReport, SloTracker};
 use adcnn_core::lifecycle::{Action, Event, TileLifecycle, TimerPolicy};
-use adcnn_core::obs::{Histogram, HistogramSnapshot, ObsEvent, SinkHandle};
+use adcnn_core::obs::{
+    EventSink, Histogram, HistogramSnapshot, ObsEvent, SinkHandle, PLACEMENT_INITIAL,
+    PLACEMENT_JOIN, PLACEMENT_LEAVE,
+};
 use adcnn_core::sched::{StatsCollector, TileAllocator};
 use adcnn_core::wire::HEADER_BITS;
 use adcnn_nn::cost::{prefix_weight_load_s, suffix_time_s, tile_prefix_time_s, DeviceProfile};
@@ -76,6 +83,13 @@ pub struct FleetConfig {
     /// Structured-event sink (decisions + modeled spans), the runtime's
     /// schema. Default never constructs events.
     pub sink: SinkHandle,
+    /// Fleet-scope event sink: `NodeUp`/`NodeDown` topology transitions,
+    /// `PlacementDecided`, and tenant-tagged `TenantAdmit`/`TenantFinish`
+    /// twins of the lifecycle stream's admission/retire events. Kept
+    /// separate from [`FleetConfig::sink`] so the per-image lifecycle
+    /// stream (and the golden traces pinned against it) is untouched.
+    /// Default never constructs events.
+    pub fleet_sink: SinkHandle,
     /// Tenant-to-node placement policy, consulted at startup and after
     /// every join/leave churn event. The default [`AllNodesPlacement`]
     /// reproduces the pre-placement engine byte-for-byte.
@@ -96,6 +110,7 @@ impl FleetConfig {
             seed: 42,
             retain_images: 0,
             sink: SinkHandle::null(),
+            fleet_sink: SinkHandle::null(),
             placement: Arc::new(AllNodesPlacement),
         }
     }
@@ -181,6 +196,13 @@ impl FleetConfigBuilder {
         self
     }
 
+    /// Install a fleet-scope event sink (topology, placement, and
+    /// tenant-tagged admission/finish events).
+    pub fn fleet_sink(mut self, sink: SinkHandle) -> Self {
+        self.cfg.fleet_sink = sink;
+        self
+    }
+
     /// Install a tenant-to-node placement policy.
     pub fn placement(mut self, policy: Arc<dyn PlacementPolicy>) -> Self {
         self.cfg.placement = policy;
@@ -232,6 +254,9 @@ pub struct TenantSummary {
     pub duplicate_tiles: u64,
     /// Completion time of this tenant's last image, seconds.
     pub last_done_s: f64,
+    /// Burn-rate report against this tenant's [`TenantSpec::slo`], when
+    /// one was declared (`None` otherwise).
+    pub slo: Option<SloReport>,
 }
 
 impl TenantSummary {
@@ -306,6 +331,12 @@ pub struct FleetSummary {
     /// Times the policy was re-consulted after a join/leave churn event
     /// (always 0 for all-nodes policies, which skip re-placement).
     pub replacements: u64,
+    /// Every placement decision the run applied — inputs, cause, and
+    /// chosen sets. Entry 0 is always [`FleetSummary::placement`].
+    pub audit: PlacementAudit,
+    /// The live-stats bus at end of run: per-node EWMA rates, up/down
+    /// transition counts, and availability over the simulated horizon.
+    pub live_stats: LiveStatsSnapshot,
 }
 
 impl FleetSummary {
@@ -573,6 +604,18 @@ impl FleetSim {
         let cfg = &self.cfg;
         let k = cfg.nodes.len();
 
+        // --- fleet-scope observability ---------------------------------
+        // The live-stats bus folds the lifecycle stream's RateUpdates and
+        // the fleet stream's NodeUp/NodeDown into per-node snapshots.
+        // Both effective sinks tee into it; the user-installed sinks see
+        // their original event sequences unchanged (a tee delivers to the
+        // original sink first), so the golden traces stay byte-identical.
+        let live_view = Arc::new(LiveStatsView::new(k));
+        let sink = cfg.sink.tee(live_view.clone() as Arc<dyn EventSink>);
+        let fsink = cfg.fleet_sink.tee(live_view.clone() as Arc<dyn EventSink>);
+        let mut slo_trackers: Vec<Option<SloTracker>> =
+            cfg.tenants.iter().map(|t| t.slo.map(SloTracker::new)).collect();
+
         // --- per-tenant runtime (precomputed cost surfaces) ------------
         let mut tenants_rt: Vec<TenantRt> = cfg
             .tenants
@@ -593,8 +636,10 @@ impl FleetSim {
         // and the re-placement — that identity fast path is what keeps
         // the baseline byte-identical to the pre-placement engine.
         let placement_all = cfg.placement.places_all();
-        let mut placement_decision =
-            cfg.placement.place(&PlacementInput::from_fleet(cfg, 0.0, &[]));
+        let initial_snap = live_view.snapshot(0.0);
+        let mut placement_decision = cfg.placement.place(
+            &PlacementInput::from_fleet(cfg, 0.0, &[]).with_live_stats(initial_snap.clone()),
+        );
         let mut replacements: u64 = 0;
         if !placement_all {
             for (t, a) in placement_decision.assignments.iter().enumerate() {
@@ -602,6 +647,28 @@ impl FleetSim {
             }
         }
         let initial_placement = placement_decision.clone();
+        // The audit trail records every decision the run applies, with
+        // the inputs the policy saw; the fleet stream carries a
+        // PlacementDecided event per entry.
+        let mut audit = PlacementAudit::default();
+        let mut placement_seq: u64 = 0;
+        audit.entries.push(PlacementAuditEntry {
+            seq: 0,
+            at: 0.0,
+            cause: PlacementCause::Initial,
+            dead_nodes: Vec::new(),
+            live_nodes: k,
+            observed_rates: initial_snap.nodes.iter().map(|n| n.rate).collect(),
+            decision: placement_decision.clone(),
+        });
+        fsink.emit_with(|| ObsEvent::PlacementDecided {
+            at: 0.0,
+            cause: PLACEMENT_INITIAL,
+            node: u32::MAX,
+            tenants: cfg.tenants.len() as u32,
+            live_nodes: k as u32,
+            seq: 0,
+        });
         // When each node returns to life, per node — the scheduler-skip
         // guard must know whether a fully-dead placed set can recover.
         let node_revivals: Vec<Vec<f64>> = cfg
@@ -728,10 +795,12 @@ impl FleetSim {
                         if let Err(i) = dead_list.binary_search(&node) {
                             dead_list.insert(i, node);
                             roster_changed = true;
+                            fsink.emit_with(|| ObsEvent::NodeDown { at: now, node: node as u32 });
                         }
                     } else if let Ok(i) = dead_list.binary_search(&node) {
                         dead_list.remove(i);
                         roster_changed = true;
+                        fsink.emit_with(|| ObsEvent::NodeUp { at: now, node: node as u32 });
                         // A revived node re-enters every tenant's
                         // Algorithm 2 statistics through the fresh-join
                         // prior, exactly as the runtime treats a
@@ -746,12 +815,38 @@ impl FleetSim {
                     // the roster — no new events, no changed state, so
                     // the baseline trace stays byte-identical.
                     if roster_changed && !placement_all {
-                        placement_decision =
-                            cfg.placement.place(&PlacementInput::from_fleet(cfg, now, &dead_list));
+                        let snap = live_view.snapshot(now);
+                        placement_decision = cfg.placement.place(
+                            &PlacementInput::from_fleet(cfg, now, &dead_list)
+                                .with_live_stats(snap.clone()),
+                        );
                         for (t, a) in placement_decision.assignments.iter().enumerate() {
                             tenants_rt[t].apply_placement(&a.nodes, &dead_list);
                         }
                         replacements += 1;
+                        placement_seq += 1;
+                        let cause = if dead {
+                            PlacementCause::Leave { node }
+                        } else {
+                            PlacementCause::Join { node }
+                        };
+                        audit.entries.push(PlacementAuditEntry {
+                            seq: placement_seq,
+                            at: now,
+                            cause,
+                            dead_nodes: dead_list.clone(),
+                            live_nodes: k - dead_list.len(),
+                            observed_rates: snap.nodes.iter().map(|n| n.rate).collect(),
+                            decision: placement_decision.clone(),
+                        });
+                        fsink.emit_with(|| ObsEvent::PlacementDecided {
+                            at: now,
+                            cause: if dead { PLACEMENT_LEAVE } else { PLACEMENT_JOIN },
+                            node: node as u32,
+                            tenants: cfg.tenants.len() as u32,
+                            live_nodes: (k - dead_list.len()) as u32,
+                            seq: placement_seq,
+                        });
                         // A revival can make a skipped tenant eligible.
                         try_admit!(queue, now);
                     }
@@ -772,11 +867,19 @@ impl FleetSim {
                     // Driver-emitted (never by the lifecycle), before the
                     // machine's own ImageStart — the same ordering the
                     // runtime's collector uses.
-                    cfg.sink.emit_with(|| ObsEvent::ImageAdmitted {
+                    sink.emit_with(|| ObsEvent::ImageAdmitted {
                         at: now,
                         image: img,
                         queue_wait: now - arrival_s,
                         inflight: inflight_now as u32,
+                    });
+                    // Tenant-tagged twin on the fleet stream, same
+                    // instant — the labeled-metrics registry keys on it.
+                    fsink.emit_with(|| ObsEvent::TenantAdmit {
+                        at: now,
+                        image: img,
+                        tenant: tenant as u32,
+                        queue_wait: now - arrival_s,
                     });
                     let (_, part_done) = central_cpu.run(now, tenants_rt[tenant].partition_work);
                     let x = {
@@ -841,7 +944,7 @@ impl FleetSim {
                         &speeds_for_lc,
                         &live,
                         img,
-                        cfg.sink.clone(),
+                        sink.clone(),
                     );
                     let send_queue: Vec<(usize, usize)> = acts
                         .iter()
@@ -958,7 +1061,7 @@ impl FleetSim {
                     if ce.is_finite() {
                         st.first_compute_start = st.first_compute_start.min(cs);
                         queue.push(ce, Ev::ComputeDone { img, node, tile });
-                        cfg.sink.emit_with(|| ObsEvent::TileCompute {
+                        sink.emit_with(|| ObsEvent::TileCompute {
                             at: ce,
                             image: img,
                             tile: tile as u32,
@@ -984,7 +1087,7 @@ impl FleetSim {
                     // folded into the compute span), but the byte count is
                     // real modeled data: emit it so byte-accounting sinks
                     // see the same schema the runtime's workers emit.
-                    cfg.sink.emit_with(|| ObsEvent::TileCompress {
+                    sink.emit_with(|| ObsEvent::TileCompress {
                         at: now,
                         image: img,
                         tile: tile as u32,
@@ -997,7 +1100,7 @@ impl FleetSim {
                     let (_, send_end) = channel.acquire(now, occ);
                     st.result_busy += occ;
                     queue.push(send_end + cfg.link.latency_s, Ev::ResultArrive { img, node, tile });
-                    cfg.sink.emit_with(|| ObsEvent::TileTransfer {
+                    sink.emit_with(|| ObsEvent::TileTransfer {
                         at: send_end + cfg.link.latency_s,
                         image: img,
                         tile: tile as u32,
@@ -1164,11 +1267,25 @@ impl FleetSim {
                     tr.redispatched += stats.redispatched as u64;
                     tr.duplicate += stats.duplicate as u64;
                     tr.last_done = now;
+                    // Tenant-tagged twin on the fleet stream, plus the
+                    // burn-rate fold for tenants that declared an SLO.
+                    let alloc_tiles: u32 = stats.alloc.iter().sum();
+                    fsink.emit_with(|| ObsEvent::TenantFinish {
+                        at: now,
+                        image: img,
+                        tenant: tenant as u32,
+                        latency: stats.latency_s,
+                        zero_filled: stats.dropped,
+                        tiles: alloc_tiles,
+                    });
+                    if let Some(slo) = &mut slo_trackers[tenant] {
+                        slo.record(now, stats.latency_s, stats.dropped, alloc_tiles);
+                    }
                     if retained.len() < cfg.retain_images {
                         retained.push((tenant, stats));
                     }
                     inflight_now -= 1;
-                    cfg.sink.emit_with(|| ObsEvent::ImageRetired {
+                    sink.emit_with(|| ObsEvent::ImageRetired {
                         at: now,
                         image: img,
                         inflight: inflight_now as u32,
@@ -1187,7 +1304,8 @@ impl FleetSim {
                 .tenants
                 .iter()
                 .zip(&tenants_rt)
-                .map(|(spec, tr)| TenantSummary {
+                .enumerate()
+                .map(|(t, (spec, tr))| TenantSummary {
                     name: spec.name.clone(),
                     weight: spec.weight,
                     requests: spec.requests as u64,
@@ -1204,6 +1322,7 @@ impl FleetSim {
                     redispatched_tiles: tr.redispatched,
                     duplicate_tiles: tr.duplicate,
                     last_done_s: tr.last_done,
+                    slo: slo_trackers[t].as_ref().map(|s| s.report(&spec.name, sim_end)),
                 })
                 .collect(),
             completed: completed_total,
@@ -1218,6 +1337,8 @@ impl FleetSim {
             retained,
             placement: initial_placement,
             replacements,
+            audit,
+            live_stats: live_view.snapshot(sim_end),
         }
     }
 

@@ -49,6 +49,9 @@ pub mod schemes;
 pub mod tenancy;
 
 pub use adcnn_core::config::ConfigError;
+pub use adcnn_core::fleetobs::{
+    FleetReporter, LabeledMetricsRegistry, LiveStatsSnapshot, LiveStatsView, SloReport, SloSpec,
+};
 pub use adcnn_core::obs::SinkHandle;
 pub use adcnn_core::report::{AttributionSink, FlightRecorderSink, ImageReport};
 pub use arrivals::{ArrivalGen, ArrivalSpec};
@@ -62,7 +65,8 @@ pub use cluster::{
 pub use fleet::{FleetConfig, FleetConfigBuilder, FleetSim, FleetSummary, TenantSummary};
 pub use placement::{
     AllNodesPlacement, ChurnAwarePlacement, CostOracle, GreedyPlacement, PinnedPlacement,
-    PlacementDecision, PlacementInput, PlacementPolicy, TenantAssignment,
+    PlacementAudit, PlacementAuditEntry, PlacementCause, PlacementDecision, PlacementInput,
+    PlacementPolicy, TenantAssignment,
 };
 pub use planner::{plan_deployment, plan_placement, Candidate, Plan};
 pub use profiles::LinkParams;

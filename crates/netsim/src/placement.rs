@@ -29,6 +29,8 @@
 use crate::fleet::FleetConfig;
 use adcnn_core::compress::wire_bits_estimate;
 use adcnn_core::config::ConfigError;
+use adcnn_core::fleetobs::LiveStatsSnapshot;
+use adcnn_core::obs::json;
 use adcnn_core::wire::HEADER_BITS;
 use adcnn_nn::cost::{prefix_weight_load_s, tile_prefix_time_s};
 use serde::{Deserialize, Serialize};
@@ -63,6 +65,122 @@ impl PlacementDecision {
         used.dedup();
         used.len()
     }
+
+    /// Hand-rendered JSON via the shared [`json`] helpers (the sinks'
+    /// no-serializer contract; also what the audit trail embeds).
+    pub fn to_json(&self) -> String {
+        json::Obj::new()
+            .str("policy", &self.policy)
+            .raw(
+                "assignments",
+                json::array(self.assignments.iter().map(|a| {
+                    json::Obj::new()
+                        .str("tenant", &a.tenant)
+                        .raw("nodes", json::array(a.nodes.iter().map(|n| n.to_string())))
+                        .f64("predicted_rps", a.predicted_rps)
+                        .finish()
+                })),
+            )
+            .finish()
+    }
+}
+
+/// Why the fleet driver (re-)ran its placement policy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PlacementCause {
+    /// The run's initial decision, before any churn.
+    Initial,
+    /// `node` rejoined the live roster.
+    Join {
+        /// The node that came back.
+        node: usize,
+    },
+    /// `node` left the live roster.
+    Leave {
+        /// The node that died.
+        node: usize,
+    },
+}
+
+impl PlacementCause {
+    /// Stable snake_case name (the JSON encoding).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            PlacementCause::Initial => "initial",
+            PlacementCause::Join { .. } => "join",
+            PlacementCause::Leave { .. } => "leave",
+        }
+    }
+
+    /// The triggering node, when there is one.
+    pub fn node(&self) -> Option<usize> {
+        match *self {
+            PlacementCause::Initial => None,
+            PlacementCause::Join { node } | PlacementCause::Leave { node } => Some(node),
+        }
+    }
+}
+
+/// One audited placement decision: when it was made, why, what the
+/// policy saw, and what it chose.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PlacementAuditEntry {
+    /// Decision number, starting at 0 for the initial decision.
+    pub seq: u64,
+    /// Virtual time of the decision.
+    pub at: f64,
+    /// What triggered it.
+    pub cause: PlacementCause,
+    /// Dead-set the policy saw (sorted node indices).
+    pub dead_nodes: Vec<usize>,
+    /// Live-roster size the policy saw.
+    pub live_nodes: usize,
+    /// Observed per-node EWMA rates at decision time (`None` before the
+    /// first `RateUpdate` for a node), from the live-stats bus.
+    pub observed_rates: Vec<Option<f64>>,
+    /// What the policy chose.
+    pub decision: PlacementDecision,
+}
+
+/// The fleet run's full placement audit trail, in decision order. Every
+/// decision the driver applied is here — the initial one matches
+/// `plan_placement` on the same config by construction.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct PlacementAudit {
+    /// Entries in `seq` order.
+    pub entries: Vec<PlacementAuditEntry>,
+}
+
+impl PlacementAudit {
+    /// Hand-rendered JSON via the shared [`json`] helpers.
+    pub fn to_json(&self) -> String {
+        json::Obj::new()
+            .raw(
+                "entries",
+                json::array(self.entries.iter().map(|e| {
+                    let mut o = json::Obj::new()
+                        .u64("seq", e.seq)
+                        .f64("at", e.at)
+                        .str("cause", e.cause.as_str());
+                    o = match e.cause.node() {
+                        Some(n) => o.u64("node", n as u64),
+                        None => o.raw("node", "null"),
+                    };
+                    o.raw("dead_nodes", json::array(e.dead_nodes.iter().map(|n| n.to_string())))
+                        .u64("live_nodes", e.live_nodes as u64)
+                        .raw(
+                            "observed_rates",
+                            json::array(e.observed_rates.iter().map(|r| match r {
+                                Some(v) => json::num(*v),
+                                None => "null".to_string(),
+                            })),
+                        )
+                        .raw("decision", e.decision.to_json())
+                        .finish()
+                })),
+            )
+            .finish()
+    }
 }
 
 /// Everything a policy may consult, precomputed from a [`FleetConfig`]
@@ -81,6 +199,12 @@ pub struct PlacementInput {
     pub nodes: Vec<NodeView>,
     /// Per-tenant views, in tenant config order.
     pub tenants: Vec<TenantView>,
+    /// Observed node stats from the live-stats bus (EWMA rates,
+    /// availability), when the driver has them. `None` from
+    /// [`PlacementInput::from_fleet`] — the schedule-prior fields above
+    /// stay authoritative for the built-in policies, so golden decision
+    /// traces pin; a live-signal policy opts in by reading this.
+    pub live: Option<LiveStatsSnapshot>,
 }
 
 /// One node as a placement policy sees it.
@@ -182,7 +306,14 @@ impl PlacementInput {
                 }
             })
             .collect();
-        PlacementInput { now, horizon_s, nodes, tenants }
+        PlacementInput { now, horizon_s, nodes, tenants, live: None }
+    }
+
+    /// Attach an observed-stats snapshot from the live-stats bus (the
+    /// fleet driver does this at every decision point).
+    pub fn with_live_stats(mut self, live: LiveStatsSnapshot) -> Self {
+        self.live = Some(live);
+        self
     }
 }
 

@@ -15,6 +15,7 @@
 use crate::arrivals::ArrivalSpec;
 use adcnn_core::config::ConfigError;
 use adcnn_core::fdsp::TileGrid;
+use adcnn_core::fleetobs::SloSpec;
 use adcnn_core::lifecycle::LifecyclePolicy;
 use adcnn_nn::zoo::ModelSpec;
 
@@ -48,6 +49,10 @@ pub struct TenantSpec {
     pub arrivals: ArrivalSpec,
     /// Total virtual requests this tenant submits over the run.
     pub requests: usize,
+    /// Service-level objectives (p99 latency target + zero-fill
+    /// budget); `None` runs untracked and the summary carries no
+    /// [`adcnn_core::fleetobs::SloReport`].
+    pub slo: Option<SloSpec>,
 }
 
 impl TenantSpec {
@@ -71,6 +76,7 @@ impl TenantSpec {
             weight: 1.0,
             arrivals: ArrivalSpec::ClosedLoop,
             requests: 100,
+            slo: None,
         }
     }
 
@@ -98,6 +104,9 @@ impl TenantSpec {
         }
         if !(self.weight.is_finite() && self.weight > 0.0) {
             return Err(ConfigError::NonPositiveTenantWeight(self.weight));
+        }
+        if let Some(slo) = &self.slo {
+            slo.validate()?;
         }
         self.arrivals.validate()
     }
@@ -177,6 +186,12 @@ impl TenantSpecBuilder {
     /// Total virtual requests this tenant submits over the run.
     pub fn requests(mut self, requests: usize) -> Self {
         self.spec.requests = requests;
+        self
+    }
+
+    /// Service-level objectives to track for this tenant.
+    pub fn slo(mut self, slo: SloSpec) -> Self {
+        self.spec.slo = Some(slo);
         self
     }
 
@@ -287,6 +302,16 @@ mod tests {
                 .build(),
             Err(ConfigError::NonPositiveArrivalRate(_))
         ));
+        assert!(matches!(
+            TenantSpec::builder(zoo::vgg16()).slo(SloSpec::new(-0.1, 0.05)).build(),
+            Err(ConfigError::NonPositiveSloTarget(_))
+        ));
+        assert!(matches!(
+            TenantSpec::builder(zoo::vgg16()).slo(SloSpec::new(0.5, 2.0)).build(),
+            Err(ConfigError::SloBudgetOutOfRange(_))
+        ));
+        let spec = TenantSpec::builder(zoo::vgg16()).slo(SloSpec::new(0.5, 0.05)).build().unwrap();
+        assert_eq!(spec.slo, Some(SloSpec::new(0.5, 0.05)));
     }
 
     #[test]

@@ -898,6 +898,7 @@ impl AdcnnRuntime {
         let hooks = TransportHooks {
             on_up: {
                 let shared = shared.clone();
+                let sink = sink.clone();
                 Arc::new(move |w: usize| {
                     // A (re)connect is a fresh join: restore the EWMA to
                     // the fresh-join prior *before* the slot becomes
@@ -906,15 +907,25 @@ impl AdcnnRuntime {
                     // incarnation's statistics.
                     shared.stats.lock().rejoin(w);
                     shared.live[w].store(true, Ordering::Relaxed);
+                    sink.emit_with(|| ObsEvent::NodeUp {
+                        at: epoch.elapsed().as_secs_f64(),
+                        node: w as u32,
+                    });
                 })
             },
             on_down: {
                 let shared = shared.clone();
+                let sink = sink.clone();
                 Arc::new(move |w: usize| {
                     // Same guard as a disconnected in-process channel: the
-                    // first detection wins, later ones are no-ops.
+                    // first detection wins, later ones are no-ops — the
+                    // topology stream sees exactly one NodeDown per spell.
                     if shared.live[w].swap(false, Ordering::Relaxed) {
                         shared.stats.lock().mark_failed(w);
+                        sink.emit_with(|| ObsEvent::NodeDown {
+                            at: epoch.elapsed().as_secs_f64(),
+                            node: w as u32,
+                        });
                     }
                 })
             },

@@ -4,6 +4,7 @@
 //! recovered by the lifecycle manager.
 
 use adcnn_core::fdsp::TileGrid;
+use adcnn_core::obs::{ObsEvent, RecordingSink, SinkHandle};
 use adcnn_runtime::transport::{
     decode_welcome, encode_hello, read_frame, spawn_loopback_worker, write_frame, Endpoint,
     RemoteModelSpec, WorkerListener, TAG_HELLO, TAG_RESULT, TAG_TASK, TAG_WELCOME,
@@ -102,7 +103,14 @@ fn kill_dash_nine_recovers_by_redispatch_then_rejoins() {
     let endpoint = listener.endpoint().clone();
     let mut victim = spawn_worker_process(&endpoint);
     let mut peer = spawn_worker_process(&endpoint);
-    let cfg = RuntimeConfig::builder().hard_timeout(Duration::from_secs(5)).build().unwrap();
+    // Record the structured stream too: the supervisor must narrate the
+    // topology (NodeUp on join/rejoin, NodeDown on first death detection).
+    let rec = std::sync::Arc::new(RecordingSink::new());
+    let cfg = RuntimeConfig::builder()
+        .hard_timeout(Duration::from_secs(5))
+        .sink(SinkHandle::new(rec.clone()))
+        .build()
+        .unwrap();
     let mut rt =
         AdcnnRuntime::launch_remote(spec(), 2, cfg, listener, Duration::from_secs(10)).unwrap();
     let mut local = AdcnnRuntime::launch(
@@ -154,6 +162,31 @@ fn kill_dash_nine_recovers_by_redispatch_then_rejoins() {
     let mut replacement = spawn_worker_process(&endpoint);
     wait_for_live(&rt, &[true, true], Duration::from_secs(5));
     assert_eq!(rt.speeds()[dead_slot], 1.0, "rejoin must restart from the fresh-join prior");
+
+    // The topology stream: both initial joins emitted NodeUp, the kill
+    // emitted exactly one NodeDown for the victim's slot, and the
+    // replacement emitted NodeUp for that slot afterwards.
+    let topo: Vec<(String, u32)> = rec
+        .events()
+        .iter()
+        .filter(|e| matches!(e, ObsEvent::NodeUp { .. } | ObsEvent::NodeDown { .. }))
+        .map(|e| (e.kind().to_string(), e.worker().expect("topology events carry the node")))
+        .collect();
+    let slot = dead_slot as u32;
+    assert_eq!(
+        topo.iter().filter(|(k, n)| k == "node_down" && *n == slot).count(),
+        1,
+        "first-detection guard must emit exactly one NodeDown per death: {topo:?}"
+    );
+    let down = topo.iter().position(|(k, n)| k == "node_down" && *n == slot).unwrap();
+    assert!(
+        topo[..down].iter().filter(|(k, _)| k == "node_up").count() >= 2,
+        "both initial joins must emit NodeUp before the kill: {topo:?}"
+    );
+    assert!(
+        topo[down + 1..].iter().any(|(k, n)| k == "node_up" && *n == slot),
+        "the rejoin must emit NodeUp after the slot's NodeDown: {topo:?}"
+    );
 
     // Prove the rejoined slot really is allocatable: kill the survivor so
     // the replacement is the only live worker, and it must carry whole
